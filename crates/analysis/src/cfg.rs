@@ -1,0 +1,432 @@
+//! Control-flow graph over compiled bytecode.
+//!
+//! The CFG provides:
+//! * enumeration of all conditional branches (`JUMPI`) and therefore the
+//!   total number of branch edges — the denominator of the paper's branch
+//!   coverage metric,
+//! * per-branch static nesting depth (how many conditional branches dominate
+//!   the path from the function entry), used to identify "deeply nested"
+//!   branches for the mask-guided mutation,
+//! * forward reachability of *vulnerable instructions* (`CALL`,
+//!   `DELEGATECALL`, `SELFDESTRUCT`, `TIMESTAMP`, ...) from each branch, used
+//!   by the dynamic energy adjustment (paper §IV-C, Algorithm 3).
+//!
+//! Jump targets are recovered with a peephole over the `PUSH`/`JUMP(I)`
+//! pattern the `mufuzz-lang` compiler emits.
+
+use mufuzz_evm::{disassemble, Instruction, Opcode, U256};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// A basic block of the CFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Program counter of the first instruction.
+    pub start: usize,
+    /// Program counter one past the last instruction.
+    pub end: usize,
+    /// Instructions in the block.
+    pub instructions: Vec<Instruction>,
+    /// Successor block start pcs.
+    pub successors: Vec<usize>,
+    /// Whether the block ends in a conditional branch.
+    pub is_branch: bool,
+}
+
+impl BasicBlock {
+    /// Program counters of vulnerable instructions inside the block.
+    pub fn vulnerable_pcs(&self) -> Vec<usize> {
+        self.instructions
+            .iter()
+            .filter(|i| i.opcode.is_vulnerable_instruction())
+            .map(|i| i.pc)
+            .collect()
+    }
+}
+
+/// A conditional branch site in the code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchSite {
+    /// Program counter of the `JUMPI`.
+    pub pc: usize,
+    /// Taken-edge destination, if statically known.
+    pub taken_target: Option<usize>,
+    /// Fall-through destination.
+    pub fallthrough: usize,
+    /// Static nesting depth: number of conditional branches on the shortest
+    /// path from the code entry to this branch.
+    pub nesting_depth: usize,
+    /// Vulnerable instruction pcs reachable from this branch.
+    pub reachable_vulnerable: BTreeSet<usize>,
+}
+
+impl BranchSite {
+    /// The paper calls a branch *nested* when it sits under at least two
+    /// conditional statements.
+    pub fn is_nested(&self) -> bool {
+        self.nesting_depth >= 2
+    }
+}
+
+/// Control-flow graph of one contract's runtime code.
+#[derive(Clone, Debug, Default)]
+pub struct ControlFlowGraph {
+    /// Basic blocks keyed by start pc.
+    pub blocks: BTreeMap<usize, BasicBlock>,
+    /// Conditional branch sites keyed by `JUMPI` pc.
+    pub branches: BTreeMap<usize, BranchSite>,
+    /// All vulnerable-instruction pcs in the code.
+    pub vulnerable_pcs: BTreeSet<usize>,
+}
+
+impl ControlFlowGraph {
+    /// Build the CFG for a code blob.
+    pub fn build(code: &[u8]) -> ControlFlowGraph {
+        let instructions = disassemble(code);
+        if instructions.is_empty() {
+            return ControlFlowGraph::default();
+        }
+
+        // Block leaders: first instruction, jump targets, instruction after a
+        // terminator.
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        leaders.insert(instructions[0].pc);
+        let mut static_targets: HashMap<usize, usize> = HashMap::new();
+        for (idx, instr) in instructions.iter().enumerate() {
+            match instr.opcode {
+                Opcode::Jump | Opcode::JumpI => {
+                    // Peephole: the compiler always pushes the target right
+                    // before the jump.
+                    if idx > 0 {
+                        if let Opcode::Push(_) = instructions[idx - 1].opcode {
+                            let target =
+                                U256::from_be_slice(&instructions[idx - 1].immediate);
+                            if let Some(t) = target.to_usize() {
+                                static_targets.insert(instr.pc, t);
+                                leaders.insert(t);
+                            }
+                        }
+                    }
+                    if let Some(next) = instructions.get(idx + 1) {
+                        leaders.insert(next.pc);
+                    }
+                }
+                op if op.is_terminator() => {
+                    if let Some(next) = instructions.get(idx + 1) {
+                        leaders.insert(next.pc);
+                    }
+                }
+                Opcode::JumpDest => {
+                    leaders.insert(instr.pc);
+                }
+                _ => {}
+            }
+        }
+
+        // Partition instructions into blocks.
+        let mut blocks: BTreeMap<usize, BasicBlock> = BTreeMap::new();
+        let mut current: Vec<Instruction> = Vec::new();
+        let mut current_start = instructions[0].pc;
+        let flush = |blocks: &mut BTreeMap<usize, BasicBlock>,
+                     start: usize,
+                     instrs: &mut Vec<Instruction>| {
+            if instrs.is_empty() {
+                return;
+            }
+            let last = instrs.last().unwrap();
+            let end = last.pc + 1 + last.opcode.immediate_size();
+            blocks.insert(
+                start,
+                BasicBlock {
+                    start,
+                    end,
+                    instructions: std::mem::take(instrs),
+                    successors: Vec::new(),
+                    is_branch: false,
+                },
+            );
+        };
+        for instr in &instructions {
+            if leaders.contains(&instr.pc) && !current.is_empty() {
+                flush(&mut blocks, current_start, &mut current);
+                current_start = instr.pc;
+            }
+            if current.is_empty() {
+                current_start = instr.pc;
+            }
+            current.push(instr.clone());
+        }
+        flush(&mut blocks, current_start, &mut current);
+
+        // Successor edges.
+        let block_starts: Vec<usize> = blocks.keys().copied().collect();
+        let next_block_start = |end: usize| block_starts.iter().copied().find(|&s| s >= end);
+        let mut updates: Vec<(usize, Vec<usize>, bool)> = Vec::new();
+        for (start, block) in &blocks {
+            let last = block.instructions.last().unwrap();
+            let mut successors = Vec::new();
+            let mut is_branch = false;
+            match last.opcode {
+                Opcode::Jump => {
+                    if let Some(&t) = static_targets.get(&last.pc) {
+                        successors.push(t);
+                    }
+                }
+                Opcode::JumpI => {
+                    is_branch = true;
+                    if let Some(&t) = static_targets.get(&last.pc) {
+                        successors.push(t);
+                    }
+                    if let Some(next) = next_block_start(block.end) {
+                        successors.push(next);
+                    }
+                }
+                Opcode::Stop
+                | Opcode::Return
+                | Opcode::Revert
+                | Opcode::Invalid
+                | Opcode::SelfDestruct => {}
+                _ => {
+                    if let Some(next) = next_block_start(block.end) {
+                        successors.push(next);
+                    }
+                }
+            }
+            updates.push((*start, successors, is_branch));
+        }
+        for (start, successors, is_branch) in updates {
+            if let Some(block) = blocks.get_mut(&start) {
+                block.successors = successors;
+                block.is_branch = is_branch;
+            }
+        }
+
+        let vulnerable_pcs: BTreeSet<usize> = instructions
+            .iter()
+            .filter(|i| i.opcode.is_vulnerable_instruction())
+            .map(|i| i.pc)
+            .collect();
+
+        let mut cfg = ControlFlowGraph {
+            blocks,
+            branches: BTreeMap::new(),
+            vulnerable_pcs,
+        };
+        cfg.compute_branches(&static_targets);
+        cfg
+    }
+
+    fn compute_branches(&mut self, static_targets: &HashMap<usize, usize>) {
+        // Nesting depth: BFS from the entry block counting how many branch
+        // blocks precede each block on the shortest path.
+        let entry = match self.blocks.keys().next() {
+            Some(&e) => e,
+            None => return,
+        };
+        let mut depth: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        depth.insert(entry, 0);
+        queue.push_back(entry);
+        while let Some(b) = queue.pop_front() {
+            let (succs, is_branch) = match self.blocks.get(&b) {
+                Some(block) => (block.successors.clone(), block.is_branch),
+                None => continue,
+            };
+            let next_depth = depth[&b] + usize::from(is_branch);
+            for s in succs {
+                if !depth.contains_key(&s) || depth[&s] > next_depth {
+                    depth.insert(s, next_depth);
+                    queue.push_back(s);
+                }
+            }
+        }
+
+        // Vulnerable-instruction reachability: reverse propagation over the
+        // block graph until a fixed point.
+        let mut reach: HashMap<usize, BTreeSet<usize>> = self
+            .blocks
+            .iter()
+            .map(|(start, b)| (*start, b.vulnerable_pcs().into_iter().collect()))
+            .collect();
+        loop {
+            let mut changed = false;
+            let starts: Vec<usize> = self.blocks.keys().copied().collect();
+            for &start in &starts {
+                let succ_union: BTreeSet<usize> = self.blocks[&start]
+                    .successors
+                    .iter()
+                    .filter_map(|s| reach.get(s))
+                    .flatten()
+                    .copied()
+                    .collect();
+                let entry = reach.entry(start).or_default();
+                let before = entry.len();
+                entry.extend(succ_union);
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for (start, block) in &self.blocks {
+            if !block.is_branch {
+                continue;
+            }
+            let jumpi = block.instructions.last().unwrap();
+            let block_depth = depth.get(start).copied().unwrap_or(0);
+            let taken_target = static_targets.get(&jumpi.pc).copied();
+            let fallthrough = block.end;
+            let reachable: BTreeSet<usize> = block
+                .successors
+                .iter()
+                .filter_map(|s| reach.get(s))
+                .flatten()
+                .copied()
+                .collect();
+            self.branches.insert(
+                jumpi.pc,
+                BranchSite {
+                    pc: jumpi.pc,
+                    taken_target,
+                    fallthrough,
+                    nesting_depth: block_depth + 1,
+                    reachable_vulnerable: reachable,
+                },
+            );
+        }
+    }
+
+    /// Total number of branch edges (two per `JUMPI`) — the coverage
+    /// denominator.
+    pub fn total_branch_edges(&self) -> usize {
+        self.branches.len() * 2
+    }
+
+    /// Branches whose static nesting depth marks them as deeply nested.
+    pub fn nested_branches(&self) -> impl Iterator<Item = &BranchSite> {
+        self.branches.values().filter(|b| b.is_nested())
+    }
+
+    /// Branches from which at least one vulnerable instruction is reachable.
+    pub fn vulnerable_branches(&self) -> impl Iterator<Item = &BranchSite> {
+        self.branches
+            .values()
+            .filter(|b| !b.reachable_vulnerable.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_lang::compile_source;
+
+    const NESTED: &str = r#"
+        contract Nested {
+            uint256 total;
+            mapping(address => uint256) balance;
+            function play(uint256 number) public payable {
+                require(msg.value == 88);
+                if (number < 100) {
+                    if (number % 2 == 0) {
+                        balance[msg.sender] += msg.value * 10;
+                    } else {
+                        balance[msg.sender] += msg.value * 5;
+                    }
+                }
+                total += 1;
+            }
+            function drain() public {
+                if (total > 3) {
+                    msg.sender.transfer(total);
+                }
+            }
+        }
+    "#;
+
+    fn cfg() -> ControlFlowGraph {
+        ControlFlowGraph::build(&compile_source(NESTED).unwrap().runtime)
+    }
+
+    #[test]
+    fn builds_blocks_covering_all_code() {
+        let compiled = compile_source(NESTED).unwrap();
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        assert!(!cfg.blocks.is_empty());
+        // Every instruction belongs to exactly one block.
+        let total_instrs: usize = cfg.blocks.values().map(|b| b.instructions.len()).sum();
+        assert_eq!(total_instrs, compiled.instruction_count());
+        // Blocks do not overlap.
+        let mut prev_end = 0;
+        for (start, block) in &cfg.blocks {
+            assert!(*start >= prev_end);
+            prev_end = block.end;
+        }
+    }
+
+    #[test]
+    fn finds_all_conditional_branches() {
+        let cfg = cfg();
+        // Dispatcher: 2 selector comparisons. play: value-guard on require +
+        // require + 2 ifs. drain: non-payable guard + if. At least 7 JUMPIs.
+        assert!(cfg.branches.len() >= 7, "found {}", cfg.branches.len());
+        assert_eq!(cfg.total_branch_edges(), cfg.branches.len() * 2);
+    }
+
+    #[test]
+    fn branch_successors_are_recorded() {
+        let cfg = cfg();
+        for branch in cfg.branches.values() {
+            assert!(branch.taken_target.is_some());
+            assert!(branch.fallthrough > branch.pc);
+        }
+    }
+
+    #[test]
+    fn nesting_depth_increases_for_inner_branches() {
+        let cfg = cfg();
+        let depths: Vec<usize> = cfg.branches.values().map(|b| b.nesting_depth).collect();
+        let max = depths.iter().copied().max().unwrap();
+        let min = depths.iter().copied().min().unwrap();
+        // The innermost if in `play` is much deeper than dispatcher branches.
+        assert!(max >= 4, "max depth {max}");
+        assert_eq!(min, 1);
+        assert!(cfg.nested_branches().count() >= 1);
+    }
+
+    #[test]
+    fn vulnerable_reachability_covers_transfer_branch() {
+        let cfg = cfg();
+        // The CALL inside drain() must be reachable from at least one branch.
+        assert!(!cfg.vulnerable_pcs.is_empty());
+        assert!(cfg.vulnerable_branches().count() >= 1);
+        // Some branch (e.g. inside play after the transfer-free paths) should
+        // not reach every vulnerable instruction — reachability is not a
+        // constant map.
+        let reach_sizes: BTreeSet<usize> = cfg
+            .branches
+            .values()
+            .map(|b| b.reachable_vulnerable.len())
+            .collect();
+        assert!(reach_sizes.len() > 1);
+    }
+
+    #[test]
+    fn straight_line_code_has_no_branches() {
+        let compiled = compile_source(
+            "contract Line { uint256 x; function set(uint256 v) public payable { x = v; } }",
+        )
+        .unwrap();
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        // Only the dispatcher selector comparison remains.
+        assert_eq!(cfg.branches.len(), 1);
+    }
+
+    #[test]
+    fn empty_code_produces_empty_cfg() {
+        let cfg = ControlFlowGraph::build(&[]);
+        assert!(cfg.blocks.is_empty());
+        assert_eq!(cfg.total_branch_edges(), 0);
+    }
+}

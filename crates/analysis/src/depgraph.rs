@@ -1,0 +1,320 @@
+//! Function dependency graph and transaction-sequence planning.
+//!
+//! From the data-flow facts we build a graph with an edge `f1 -> f2` whenever
+//! `f1` writes a state variable that `f2` reads. Topologically ordering this
+//! graph gives the base transaction sequence (writers before readers); the
+//! sequence-aware *mutation* then duplicates the functions that carry a RAW
+//! dependency feeding a branch condition (paper §IV-A).
+
+use crate::dataflow::DataFlowInfo;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The write-before-read dependency graph between functions.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// All function names (graph nodes), in declaration order.
+    pub nodes: Vec<String>,
+    /// Directed edges `writer -> reader`, annotated with the state variables
+    /// that induce them.
+    pub edges: BTreeMap<(String, String), BTreeSet<String>>,
+}
+
+impl DependencyGraph {
+    /// Build the graph from data-flow facts.
+    pub fn from_dataflow(info: &DataFlowInfo) -> DependencyGraph {
+        let nodes: Vec<String> = info.functions.iter().map(|f| f.name.clone()).collect();
+        let mut edges: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+        for writer in &info.functions {
+            for reader in &info.functions {
+                if writer.name == reader.name {
+                    continue;
+                }
+                for var in writer.writes.intersection(&reader.reads) {
+                    edges
+                        .entry((writer.name.clone(), reader.name.clone()))
+                        .or_default()
+                        .insert(var.clone());
+                }
+            }
+        }
+        DependencyGraph { nodes, edges }
+    }
+
+    /// Successors (readers) of a function.
+    pub fn successors(&self, name: &str) -> BTreeSet<&str> {
+        self.edges
+            .keys()
+            .filter(|(w, _)| w == name)
+            .map(|(_, r)| r.as_str())
+            .collect()
+    }
+
+    /// Predecessors (writers) of a function.
+    pub fn predecessors(&self, name: &str) -> BTreeSet<&str> {
+        self.edges
+            .keys()
+            .filter(|(_, r)| r == name)
+            .map(|(w, _)| w.as_str())
+            .collect()
+    }
+
+    /// Approximate topological order: writers first. Cycles (mutual
+    /// read/write) are broken by falling back to declaration order, which
+    /// keeps the ordering deterministic.
+    pub fn topological_order(&self) -> Vec<String> {
+        let mut order = Vec::new();
+        let mut remaining: Vec<&str> = self.nodes.iter().map(|s| s.as_str()).collect();
+        while !remaining.is_empty() {
+            // Pick the remaining node with the fewest unprocessed predecessors
+            // (declaration order breaks ties, which also resolves cycles).
+            let pick_idx = {
+                let mut best = 0usize;
+                let mut best_deg = usize::MAX;
+                for (i, node) in remaining.iter().enumerate() {
+                    let deg = self
+                        .predecessors(node)
+                        .iter()
+                        .filter(|p| remaining.contains(*p))
+                        .count();
+                    if deg < best_deg {
+                        best_deg = deg;
+                        best = i;
+                    }
+                }
+                best
+            };
+            let node = remaining.remove(pick_idx);
+            order.push(node.to_string());
+        }
+        order
+    }
+}
+
+/// The planned transaction sequence for a contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SequencePlan {
+    /// Base sequence: function names ordered writers-before-readers
+    /// (the constructor is implicit and always first).
+    pub base_order: Vec<String>,
+    /// Functions eligible for repetition (RAW dependency feeding a branch).
+    pub repeat_candidates: BTreeSet<String>,
+    /// The mutated sequence with repeated functions inserted before their
+    /// dependent readers.
+    pub mutated_order: Vec<String>,
+}
+
+impl SequencePlan {
+    /// Number of calls in the mutated sequence.
+    pub fn len(&self) -> usize {
+        self.mutated_order.len()
+    }
+
+    /// True if the plan contains no callable functions.
+    pub fn is_empty(&self) -> bool {
+        self.mutated_order.is_empty()
+    }
+}
+
+/// Derive the sequence plan for a contract's data-flow facts.
+pub fn plan_sequence(info: &DataFlowInfo) -> SequencePlan {
+    let graph = DependencyGraph::from_dataflow(info);
+    // Functions that touch no state still get fuzzed, but they are appended at
+    // the end of the sequence (the paper ignores them for ordering purposes).
+    let mut stateful: Vec<String> = Vec::new();
+    let mut stateless: Vec<String> = Vec::new();
+    for name in graph.topological_order() {
+        let touches = info
+            .function(&name)
+            .map(|f| f.touches_state)
+            .unwrap_or(false);
+        if touches {
+            stateful.push(name);
+        } else {
+            stateless.push(name);
+        }
+    }
+    let mut base_order = stateful;
+    base_order.extend(stateless);
+
+    let repeat_candidates = info.repeat_candidates();
+
+    // Sequence mutation: duplicate each repeat candidate immediately before
+    // the last function (after its own position) that reads a variable the
+    // candidate writes.
+    let mut mutated_order = base_order.clone();
+    for candidate in &repeat_candidates {
+        let Some(cand_pos) = mutated_order.iter().position(|n| n == candidate) else {
+            continue;
+        };
+        let cand_writes = info
+            .function(candidate)
+            .map(|f| f.writes.clone())
+            .unwrap_or_default();
+        let mut insert_at = None;
+        for (i, name) in mutated_order.iter().enumerate().skip(cand_pos + 1) {
+            if name == candidate {
+                continue;
+            }
+            let reads = info
+                .function(name)
+                .map(|f| f.reads.clone())
+                .unwrap_or_default();
+            if cand_writes.intersection(&reads).next().is_some() {
+                insert_at = Some(i);
+            }
+        }
+        match insert_at {
+            Some(i) => mutated_order.insert(i, candidate.clone()),
+            None => mutated_order.push(candidate.clone()),
+        }
+    }
+
+    SequencePlan {
+        base_order,
+        repeat_candidates,
+        mutated_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::analyze_contract;
+    use mufuzz_lang::parse_contract_source;
+
+    const CROWDSALE: &str = r#"
+        contract Crowdsale {
+            uint256 phase = 0;
+            uint256 goal;
+            uint256 invested;
+            address owner;
+            mapping(address => uint256) invests;
+            constructor() public { goal = 100 ether; invested = 0; owner = msg.sender; }
+            function invest(uint256 donations) public payable {
+                if (invested < goal) {
+                    invests[msg.sender] += donations;
+                    invested += donations;
+                    phase = 0;
+                } else { phase = 1; }
+            }
+            function refund() public {
+                if (phase == 0) {
+                    msg.sender.transfer(invests[msg.sender]);
+                    invests[msg.sender] = 0;
+                }
+            }
+            function withdraw() public {
+                if (phase == 1) { bug(); owner.transfer(invested); }
+            }
+        }
+    "#;
+
+    fn plan() -> SequencePlan {
+        plan_sequence(&analyze_contract(&parse_contract_source(CROWDSALE).unwrap()))
+    }
+
+    #[test]
+    fn graph_edges_follow_write_read_pairs() {
+        let info = analyze_contract(&parse_contract_source(CROWDSALE).unwrap());
+        let graph = DependencyGraph::from_dataflow(&info);
+        // invest writes phase which refund and withdraw read.
+        assert!(graph
+            .edges
+            .get(&("invest".into(), "refund".into()))
+            .map(|vars| vars.contains("phase"))
+            .unwrap_or(false));
+        assert!(graph
+            .edges
+            .contains_key(&("invest".into(), "withdraw".into())));
+        // withdraw writes nothing, so it has no outgoing edges.
+        assert!(graph.successors("withdraw").is_empty());
+        // withdraw reads phase/invested, both written only by invest.
+        assert_eq!(graph.predecessors("withdraw").len(), 1);
+    }
+
+    #[test]
+    fn base_order_places_invest_first_and_withdraw_last() {
+        let plan = plan();
+        let pos = |name: &str| plan.base_order.iter().position(|n| n == name).unwrap();
+        assert!(pos("invest") < pos("refund"));
+        assert!(pos("invest") < pos("withdraw"));
+        assert_eq!(plan.base_order.len(), 3);
+    }
+
+    #[test]
+    fn mutated_order_repeats_invest_before_withdraw() {
+        // This reproduces the paper's motivating sequence:
+        // [invest, refund, invest, withdraw].
+        let plan = plan();
+        assert!(plan.repeat_candidates.contains("invest"));
+        let invest_count = plan
+            .mutated_order
+            .iter()
+            .filter(|n| n.as_str() == "invest")
+            .count();
+        assert_eq!(invest_count, 2);
+        // The duplicated invest appears after the first and before withdraw.
+        let last_invest = plan
+            .mutated_order
+            .iter()
+            .rposition(|n| n == "invest")
+            .unwrap();
+        let withdraw = plan
+            .mutated_order
+            .iter()
+            .position(|n| n == "withdraw")
+            .unwrap();
+        assert!(last_invest < withdraw);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn stateless_functions_go_last() {
+        let src = r#"
+            contract C {
+                uint256 x;
+                function pureMath(uint256 a) public returns (uint256) { return a * 2; }
+                function setX(uint256 v) public { x = v; }
+                function readX() public returns (uint256) { return x; }
+            }
+        "#;
+        let info = analyze_contract(&parse_contract_source(src).unwrap());
+        let plan = plan_sequence(&info);
+        assert_eq!(plan.base_order.last().unwrap(), "pureMath");
+        let pos = |name: &str| plan.base_order.iter().position(|n| n == name).unwrap();
+        assert!(pos("setX") < pos("readX"));
+    }
+
+    #[test]
+    fn contracts_without_dependencies_keep_declaration_order() {
+        let src = r#"
+            contract C {
+                uint256 a;
+                uint256 b;
+                function setA(uint256 v) public { a = v; }
+                function setB(uint256 v) public { b = v; }
+            }
+        "#;
+        let info = analyze_contract(&parse_contract_source(src).unwrap());
+        let plan = plan_sequence(&info);
+        assert_eq!(plan.base_order, vec!["setA".to_string(), "setB".to_string()]);
+        assert!(plan.repeat_candidates.is_empty());
+        assert_eq!(plan.base_order, plan.mutated_order);
+    }
+
+    #[test]
+    fn cyclic_dependencies_still_produce_a_total_order() {
+        let src = r#"
+            contract C {
+                uint256 a;
+                uint256 b;
+                function f() public { a = b + 1; }
+                function g() public { b = a + 1; }
+            }
+        "#;
+        let info = analyze_contract(&parse_contract_source(src).unwrap());
+        let plan = plan_sequence(&info);
+        assert_eq!(plan.base_order.len(), 2);
+        assert!(!plan.is_empty());
+    }
+}

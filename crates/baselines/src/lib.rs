@@ -1,0 +1,29 @@
+//! # mufuzz-baselines
+//!
+//! Re-implementations of the baseline tools the MuFuzz paper compares against,
+//! built on the shared EVM/compiler substrate so that every observed
+//! difference isolates the algorithmic strategy rather than engineering
+//! details:
+//!
+//! * [`fuzzers`] — sFuzz-, ConFuzzius-, Smartian- and IR-Fuzz-style fuzzing
+//!   strategies (plus full MuFuzz) behind a common [`FuzzingStrategy`] trait;
+//! * [`static_tools`] — pattern-based static analyzers standing in for
+//!   Oyente, Mythril, Osiris, Securify and Slither, with the bug-class
+//!   support sets of Table I;
+//! * [`support_matrix`] — the Table I tool/bug-class support matrix as data.
+
+#![warn(missing_docs)]
+
+pub mod fuzzers;
+pub mod static_tools;
+pub mod support_matrix;
+
+pub use fuzzers::{
+    all_fuzzers, coverage_baselines, ConFuzziusStrategy, FuzzingStrategy, IrFuzzStrategy,
+    MuFuzzStrategy, SFuzzStrategy, SmartianStrategy,
+};
+pub use static_tools::{
+    all_static_analyzers, MythrilLike, OsirisLike, OyenteLike, SecurifyLike, SlitherLike,
+    StaticAnalyzer,
+};
+pub use support_matrix::{table1_matrix, ToolKind, ToolSupport};

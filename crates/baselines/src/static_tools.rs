@@ -1,0 +1,387 @@
+//! Pattern-based static analyzers.
+//!
+//! Table III of the paper compares MuFuzz against static analysis tools
+//! (Oyente, Mythril, Osiris, Securify, Slither). We re-implement the *kind*
+//! of syntactic/AST pattern matching those tools rely on, on top of our own
+//! AST. Each named tool supports the bug-class subset from Table I; their
+//! characteristic false positives (no dynamic confirmation, guards ignored
+//! for some classes) and false negatives (unsupported classes) emerge from
+//! the pattern rules themselves.
+
+use mufuzz_lang::{CompiledContract, EnvValue, Expr, Function, Stmt};
+use mufuzz_oracles::{BugClass, BugFinding};
+use std::collections::BTreeSet;
+
+/// A static analysis tool: a name, a supported bug-class set and an analysis
+/// entry point. Analyzers are stateless, so they are `Send + Sync` and can be
+/// shared across experiment worker threads.
+pub trait StaticAnalyzer: Send + Sync {
+    /// Tool display name.
+    fn name(&self) -> &'static str;
+    /// Bug classes the tool can report.
+    fn supported(&self) -> BTreeSet<BugClass>;
+    /// Analyse one compiled contract.
+    fn analyze(&self, compiled: &CompiledContract) -> Vec<BugFinding> {
+        let mut findings = Vec::new();
+        for class in self.supported() {
+            findings.extend(detect(class, compiled));
+        }
+        findings
+    }
+}
+
+/// Does any sub-expression satisfy the predicate?
+fn expr_contains(expr: &Expr, pred: &dyn Fn(&Expr) -> bool) -> bool {
+    if pred(expr) {
+        return true;
+    }
+    match expr {
+        Expr::Index(a, b) | Expr::Binary(_, a, b) | Expr::Send(a, b) | Expr::CallValue(a, b) => {
+            expr_contains(a, pred) || expr_contains(b, pred)
+        }
+        Expr::Not(a) | Expr::BalanceOf(a) | Expr::Cast(_, a) => expr_contains(a, pred),
+        Expr::Keccak(args) => args.iter().any(|a| expr_contains(a, pred)),
+        Expr::DelegateCall(a, args) => {
+            expr_contains(a, pred) || args.iter().any(|x| expr_contains(x, pred))
+        }
+        Expr::Number(_) | Expr::Bool(_) | Expr::Ident(_) | Expr::Env(_) => false,
+    }
+}
+
+/// Visit every statement in a block (including nested blocks), in order.
+fn for_each_stmt<'a>(block: &'a [Stmt], visit: &mut dyn FnMut(&'a Stmt)) {
+    for stmt in block {
+        visit(stmt);
+        match stmt {
+            Stmt::If(_, then_block, else_block) => {
+                for_each_stmt(then_block, visit);
+                for_each_stmt(else_block, visit);
+            }
+            Stmt::While(_, body) => for_each_stmt(body, visit),
+            _ => {}
+        }
+    }
+}
+
+/// All branch/require condition expressions of a function body.
+fn conditions(body: &[Stmt]) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    for_each_stmt(body, &mut |stmt| match stmt {
+        Stmt::If(cond, _, _) | Stmt::While(cond, _) | Stmt::Require(cond) => out.push(cond),
+        _ => {}
+    });
+    out
+}
+
+fn is_block_env(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Env(EnvValue::BlockTimestamp) | Expr::Env(EnvValue::BlockNumber)
+    )
+}
+
+fn is_sender_or_origin(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Env(EnvValue::MsgSender) | Expr::Env(EnvValue::TxOrigin)
+    )
+}
+
+/// Run the pattern rule for one bug class over a contract.
+pub fn detect(class: BugClass, compiled: &CompiledContract) -> Vec<BugFinding> {
+    let mut findings = Vec::new();
+    let contract = &compiled.contract;
+    for function in contract.functions.iter().filter(|f| !f.name.is_empty()) {
+        if let Some(detail) = detect_in_function(class, function) {
+            findings.push(BugFinding::new(
+                class,
+                Some(function.name.clone()),
+                0,
+                detail,
+            ));
+        }
+    }
+    // Ether freezing is a contract-level property.
+    if class == BugClass::EtherFreezing && detect_ether_freezing(compiled) {
+        findings.push(BugFinding::new(
+            BugClass::EtherFreezing,
+            None,
+            0,
+            "payable contract without any value-releasing statement",
+        ));
+    }
+    findings
+}
+
+fn detect_in_function(class: BugClass, function: &Function) -> Option<&'static str> {
+    let body = &function.body;
+    match class {
+        BugClass::BlockDependency => {
+            let in_condition = conditions(body)
+                .iter()
+                .any(|c| expr_contains(c, &is_block_env));
+            let mut in_transfer = false;
+            for_each_stmt(body, &mut |stmt| {
+                if let Stmt::Transfer(_, amount) = stmt {
+                    in_transfer |= expr_contains(amount, &is_block_env);
+                }
+            });
+            (in_condition || in_transfer).then_some("block state referenced in control flow")
+        }
+        BugClass::UnprotectedDelegatecall => {
+            let mut found = false;
+            for_each_stmt(body, &mut |stmt| {
+                let check = |e: &Expr| matches!(e, Expr::DelegateCall(_, _));
+                match stmt {
+                    Stmt::ExprStmt(e) | Stmt::Require(e) | Stmt::Assign(_, _, e) => {
+                        found |= expr_contains(e, &check)
+                    }
+                    _ => {}
+                }
+            });
+            // Static pattern: every delegatecall is reported, guards are not
+            // modelled (this is what produces the tools' false positives).
+            found.then_some("delegatecall present")
+        }
+        BugClass::IntegerOverflow => {
+            let mut found = false;
+            for_each_stmt(body, &mut |stmt| {
+                if let Stmt::Assign(_, _, value) = stmt {
+                    let has_arith = expr_contains(value, &|e| {
+                        matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic())
+                    });
+                    found |= has_arith;
+                }
+            });
+            found.then_some("unchecked arithmetic in an assignment")
+        }
+        BugClass::Reentrancy => {
+            // call.value followed by a later state write in the same function.
+            let mut saw_call = false;
+            let mut write_after_call = false;
+            for_each_stmt(body, &mut |stmt| {
+                let has_call_value = |e: &Expr| matches!(e, Expr::CallValue(_, _));
+                match stmt {
+                    Stmt::ExprStmt(e) | Stmt::Require(e) => {
+                        if expr_contains(e, &has_call_value) {
+                            saw_call = true;
+                        }
+                    }
+                    Stmt::Assign(_, _, _) if saw_call => write_after_call = true,
+                    _ => {}
+                }
+            });
+            write_after_call.then_some("state written after a call.value invocation")
+        }
+        BugClass::UnprotectedSelfDestruct => {
+            let mut guard_seen = false;
+            let mut unguarded = false;
+            for_each_stmt(body, &mut |stmt| match stmt {
+                Stmt::Require(cond) | Stmt::If(cond, _, _) => {
+                    if expr_contains(cond, &is_sender_or_origin) {
+                        guard_seen = true;
+                    }
+                }
+                Stmt::SelfDestruct(_) if !guard_seen => unguarded = true,
+                _ => {}
+            });
+            unguarded.then_some("selfdestruct reachable without a sender guard")
+        }
+        BugClass::StrictEtherEquality => {
+            let strict = conditions(body).iter().any(|c| {
+                expr_contains(c, &|e| {
+                    matches!(e, Expr::Binary(mufuzz_lang::BinOp::Eq, a, b)
+                        if expr_contains(a, &|x| matches!(x, Expr::BalanceOf(_)))
+                            || expr_contains(b, &|x| matches!(x, Expr::BalanceOf(_))))
+                })
+            });
+            strict.then_some("balance compared with strict equality")
+        }
+        BugClass::TxOriginUse => {
+            let uses_origin = conditions(body).iter().any(|c| {
+                expr_contains(c, &|e| matches!(e, Expr::Env(EnvValue::TxOrigin)))
+            });
+            uses_origin.then_some("tx.origin used in a condition")
+        }
+        BugClass::UnhandledException => {
+            let mut found = false;
+            for_each_stmt(body, &mut |stmt| {
+                if let Stmt::ExprStmt(e) = stmt {
+                    found |= matches!(e, Expr::Send(_, _) | Expr::CallValue(_, _));
+                }
+            });
+            found.then_some("low-level call result is discarded")
+        }
+        BugClass::EtherFreezing => None,
+    }
+}
+
+fn detect_ether_freezing(compiled: &CompiledContract) -> bool {
+    let contract = &compiled.contract;
+    let accepts = contract.functions.iter().any(|f| f.payable) || contract.constructor_payable;
+    if !accepts {
+        return false;
+    }
+    let mut releases = false;
+    for f in &contract.functions {
+        for_each_stmt(&f.body, &mut |stmt| match stmt {
+            Stmt::Transfer(_, _) | Stmt::SelfDestruct(_) => releases = true,
+            Stmt::ExprStmt(e) | Stmt::Require(e) | Stmt::Assign(_, _, e) => {
+                releases |= expr_contains(e, &|x| {
+                    matches!(
+                        x,
+                        Expr::Send(_, _) | Expr::CallValue(_, _) | Expr::DelegateCall(_, _)
+                    )
+                });
+            }
+            _ => {}
+        });
+    }
+    !releases
+}
+
+macro_rules! static_tool {
+    ($struct_name:ident, $display:literal, [$($class:ident),* $(,)?]) => {
+        /// Pattern-based stand-in for the corresponding published tool; the
+        /// supported bug classes follow Table I of the paper.
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $struct_name;
+
+        impl StaticAnalyzer for $struct_name {
+            fn name(&self) -> &'static str {
+                $display
+            }
+            fn supported(&self) -> BTreeSet<BugClass> {
+                BTreeSet::from([$(BugClass::$class),*])
+            }
+        }
+    };
+}
+
+static_tool!(OyenteLike, "Oyente", [BlockDependency, IntegerOverflow, Reentrancy]);
+static_tool!(OsirisLike, "Osiris", [BlockDependency, IntegerOverflow, Reentrancy]);
+static_tool!(
+    MythrilLike,
+    "Mythril",
+    [
+        BlockDependency,
+        UnprotectedDelegatecall,
+        IntegerOverflow,
+        Reentrancy,
+        UnprotectedSelfDestruct,
+        StrictEtherEquality,
+        TxOriginUse,
+        UnhandledException,
+    ]
+);
+static_tool!(SecurifyLike, "Securify", [Reentrancy, UnhandledException]);
+static_tool!(
+    SlitherLike,
+    "Slither",
+    [
+        BlockDependency,
+        UnprotectedDelegatecall,
+        EtherFreezing,
+        Reentrancy,
+        UnprotectedSelfDestruct,
+        StrictEtherEquality,
+        TxOriginUse,
+        UnhandledException,
+    ]
+);
+
+/// The five static analyzers used in the Table III comparison.
+pub fn all_static_analyzers() -> Vec<Box<dyn StaticAnalyzer>> {
+    vec![
+        Box::new(OyenteLike),
+        Box::new(MythrilLike),
+        Box::new(OsirisLike),
+        Box::new(SecurifyLike),
+        Box::new(SlitherLike),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_corpus::contracts;
+    use mufuzz_lang::compile_source;
+
+    fn classes_of(tool: &dyn StaticAnalyzer, source: &str) -> BTreeSet<BugClass> {
+        let compiled = compile_source(source).unwrap();
+        tool.analyze(&compiled).iter().map(|f| f.class).collect()
+    }
+
+    #[test]
+    fn mythril_like_finds_reentrancy_and_tx_origin() {
+        let bank = contracts::reentrant_bank().source;
+        assert!(classes_of(&MythrilLike, &bank).contains(&BugClass::Reentrancy));
+        let auth = contracts::tx_origin_auth().source;
+        assert!(classes_of(&MythrilLike, &auth).contains(&BugClass::TxOriginUse));
+    }
+
+    #[test]
+    fn oyente_like_cannot_report_unsupported_classes() {
+        let proxy = contracts::delegatecall_proxy().source;
+        let classes = classes_of(&OyenteLike, &proxy);
+        assert!(!classes.contains(&BugClass::UnprotectedDelegatecall));
+        let wallet = contracts::suicidal_wallet().source;
+        assert!(!classes_of(&OyenteLike, &wallet).contains(&BugClass::UnprotectedSelfDestruct));
+    }
+
+    #[test]
+    fn slither_like_finds_ether_freezing_and_strict_equality() {
+        let vault = contracts::frozen_vault().source;
+        assert!(classes_of(&SlitherLike, &vault).contains(&BugClass::EtherFreezing));
+        let game = contracts::strict_equality_game().source;
+        assert!(classes_of(&SlitherLike, &game).contains(&BugClass::StrictEtherEquality));
+        // The benign ledger releases funds, so it is not frozen.
+        let benign = contracts::benign_ledger().source;
+        assert!(!classes_of(&SlitherLike, &benign).contains(&BugClass::EtherFreezing));
+    }
+
+    #[test]
+    fn static_delegatecall_rule_produces_false_positive_on_guarded_proxy() {
+        // The guarded forwardSafe() is also reported by the static pattern —
+        // the kind of false positive dynamic confirmation avoids.
+        let compiled = compile_source(&contracts::delegatecall_proxy().source).unwrap();
+        let findings = MythrilLike.analyze(&compiled);
+        let delegate_findings: Vec<_> = findings
+            .iter()
+            .filter(|f| f.class == BugClass::UnprotectedDelegatecall)
+            .collect();
+        assert_eq!(delegate_findings.len(), 2);
+    }
+
+    #[test]
+    fn unchecked_send_rule_distinguishes_checked_calls() {
+        let compiled = compile_source(&contracts::unchecked_send().source).unwrap();
+        let findings = SecurifyLike.analyze(&compiled);
+        let ue: Vec<_> = findings
+            .iter()
+            .filter(|f| f.class == BugClass::UnhandledException)
+            .collect();
+        assert_eq!(ue.len(), 1);
+        assert_eq!(ue[0].function.as_deref(), Some("pay"));
+    }
+
+    #[test]
+    fn every_tool_analyzes_the_whole_handwritten_corpus_without_panicking() {
+        for tool in all_static_analyzers() {
+            for c in contracts::all_handwritten() {
+                let compiled = compile_source(&c.source).unwrap();
+                let _ = tool.analyze(&compiled);
+            }
+        }
+    }
+
+    #[test]
+    fn supported_sets_follow_table_one() {
+        assert_eq!(OyenteLike.supported().len(), 3);
+        assert_eq!(MythrilLike.supported().len(), 8);
+        assert_eq!(SecurifyLike.supported().len(), 2);
+        assert_eq!(SlitherLike.supported().len(), 8);
+        assert!(!MythrilLike.supported().contains(&BugClass::EtherFreezing));
+        assert!(SlitherLike.supported().contains(&BugClass::EtherFreezing));
+    }
+}

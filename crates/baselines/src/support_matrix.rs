@@ -1,0 +1,250 @@
+//! The bug-class support matrix of Table I.
+//!
+//! This is reference data used to regenerate the paper's Table I: for each of
+//! the 27 surveyed tools, its category, public availability and the bug
+//! classes it supports.
+
+use mufuzz_oracles::BugClass;
+
+/// Tool category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToolKind {
+    /// Dynamic fuzzing tool.
+    Fuzzer,
+    /// Static analyzer / symbolic executor / verifier.
+    StaticAnalyzer,
+}
+
+impl ToolKind {
+    /// Label used in the table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ToolKind::Fuzzer => "Fuzzer",
+            ToolKind::StaticAnalyzer => "Static Analyzer",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Clone, Debug)]
+pub struct ToolSupport {
+    /// Tool name.
+    pub name: &'static str,
+    /// Tool category.
+    pub kind: ToolKind,
+    /// Whether the tool is publicly available.
+    pub public: bool,
+    /// Supported bug classes.
+    pub supported: Vec<BugClass>,
+}
+
+impl ToolSupport {
+    /// Whether the tool supports a class.
+    pub fn supports(&self, class: BugClass) -> bool {
+        self.supported.contains(&class)
+    }
+}
+
+/// The full Table I matrix (27 surveyed tools) plus MuFuzz itself.
+pub fn table1_matrix() -> Vec<ToolSupport> {
+    use BugClass::*;
+    let row = |name, kind, public, supported: &[BugClass]| ToolSupport {
+        name,
+        kind,
+        public,
+        supported: supported.to_vec(),
+    };
+    vec![
+        row(
+            "ContractFuzzer",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, Reentrancy, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "ContraMaster",
+            ToolKind::Fuzzer,
+            true,
+            &[IntegerOverflow, Reentrancy, UnhandledException],
+        ),
+        row("Echidna", ToolKind::Fuzzer, true, &[UnhandledException]),
+        row("Reguard", ToolKind::Fuzzer, false, &[Reentrancy]),
+        row(
+            "Harvey",
+            ToolKind::Fuzzer,
+            false,
+            &[IntegerOverflow, Reentrancy, UnhandledException],
+        ),
+        row(
+            "sFuzz",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnhandledException],
+        ),
+        row(
+            "IR-Fuzz",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, StrictEtherEquality, UnhandledException],
+        ),
+        row(
+            "Smartian",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "ILF",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, UnprotectedSelfDestruct, UnhandledException],
+        ),
+        row(
+            "ConFuzzius",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, UnhandledException],
+        ),
+        row(
+            "xFuzz",
+            ToolKind::Fuzzer,
+            true,
+            &[UnprotectedDelegatecall, Reentrancy, TxOriginUse],
+        ),
+        row(
+            "RLF",
+            ToolKind::Fuzzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, UnprotectedSelfDestruct, UnhandledException],
+        ),
+        row(
+            "Oyente",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, IntegerOverflow, Reentrancy],
+        ),
+        row(
+            "Osiris",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, IntegerOverflow, Reentrancy],
+        ),
+        row(
+            "Mythril",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, StrictEtherEquality, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "Slither",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, Reentrancy, UnprotectedSelfDestruct, StrictEtherEquality, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "Securify1.0",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[Reentrancy, UnhandledException],
+        ),
+        row(
+            "Manticore",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, UnprotectedDelegatecall, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "Maian",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[EtherFreezing, UnprotectedSelfDestruct],
+        ),
+        row(
+            "SmartCheck",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, EtherFreezing, IntegerOverflow, Reentrancy, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "Zeus",
+            ToolKind::StaticAnalyzer,
+            false,
+            &[BlockDependency, IntegerOverflow, Reentrancy, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "VeriSmart",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[IntegerOverflow],
+        ),
+        row(
+            "Vandal",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+        ),
+        row("Sereum", ToolKind::StaticAnalyzer, false, &[Reentrancy]),
+        row(
+            "teEther",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[UnprotectedDelegatecall, UnprotectedSelfDestruct],
+        ),
+        row("Sailfish", ToolKind::StaticAnalyzer, true, &[Reentrancy]),
+        row(
+            "DefectChecker",
+            ToolKind::StaticAnalyzer,
+            true,
+            &[BlockDependency, EtherFreezing, Reentrancy, TxOriginUse, UnhandledException],
+        ),
+        row(
+            "MuFuzz",
+            ToolKind::Fuzzer,
+            true,
+            &BugClass::ALL,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_all_surveyed_tools_plus_mufuzz() {
+        let matrix = table1_matrix();
+        assert_eq!(matrix.len(), 28);
+        assert!(matrix.iter().any(|t| t.name == "MuFuzz"));
+        let fuzzers = matrix.iter().filter(|t| t.kind == ToolKind::Fuzzer).count();
+        assert_eq!(fuzzers, 13);
+    }
+
+    #[test]
+    fn mufuzz_supports_all_nine_classes() {
+        let matrix = table1_matrix();
+        let mufuzz = matrix.iter().find(|t| t.name == "MuFuzz").unwrap();
+        for class in BugClass::ALL {
+            assert!(mufuzz.supports(class));
+        }
+    }
+
+    #[test]
+    fn selected_rows_match_the_paper() {
+        let matrix = table1_matrix();
+        let echidna = matrix.iter().find(|t| t.name == "Echidna").unwrap();
+        assert_eq!(echidna.supported.len(), 1);
+        assert!(echidna.supports(BugClass::UnhandledException));
+        let oyente = matrix.iter().find(|t| t.name == "Oyente").unwrap();
+        assert!(oyente.supports(BugClass::IntegerOverflow));
+        assert!(!oyente.supports(BugClass::UnprotectedDelegatecall));
+        let reguard = matrix.iter().find(|t| t.name == "Reguard").unwrap();
+        assert!(!reguard.public);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let matrix = table1_matrix();
+        let names: std::collections::BTreeSet<&str> = matrix.iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), matrix.len());
+    }
+}

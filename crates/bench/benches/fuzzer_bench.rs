@@ -1,0 +1,96 @@
+//! Benchmarks of the fuzzing pipeline: sequence execution throughput,
+//! mutation operators, full (small-budget) campaigns for MuFuzz and the
+//! baselines, and the end-to-end ablation cost of the mask computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mufuzz::{ContractHarness, FuzzerConfig, Fuzzer, InterestingValues, MutationOp, Sequence, TxInput};
+use mufuzz_baselines::{ConFuzziusStrategy, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_corpus::contracts;
+use mufuzz_evm::{ether, U256};
+use mufuzz_lang::compile_source;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sequence_execution(c: &mut Criterion) {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let harness = ContractHarness::new(compiled, &FuzzerConfig::default()).unwrap();
+    let sequence = Sequence::new(vec![
+        TxInput::new("invest", 0, ether(100), &[ether(100)]),
+        TxInput::simple("refund"),
+        TxInput::new("invest", 1, U256::ONE, &[U256::ONE]),
+        TxInput::simple("withdraw"),
+    ]);
+    c.bench_function("harness_execute_4tx_sequence", |bencher| {
+        bencher.iter(|| black_box(harness.execute_sequence(&sequence)).successes)
+    });
+}
+
+fn bench_mutation_operators(c: &mut Criterion) {
+    let stream: Vec<u8> = (0..128u32).map(|i| i as u8).collect();
+    let pool = InterestingValues::defaults();
+    let mut group = c.benchmark_group("mutation");
+    for op in MutationOp::ALL {
+        group.bench_with_input(BenchmarkId::new("apply_op", format!("{op:?}")), &op, |b, &op| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| mufuzz::mutation::apply_op(black_box(&stream), op, 2, &mut rng, &pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let source = contracts::crowdsale().source;
+    let mut group = c.benchmark_group("campaign_200_execs");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("MuFuzz", &MuFuzzStrategy as &dyn FuzzingStrategy),
+        ("ConFuzzius", &ConFuzziusStrategy),
+        ("sFuzz", &SFuzzStrategy),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                let compiled = compile_source(&source).unwrap();
+                let report = strategy.fuzz(compiled, 200, 1).unwrap();
+                black_box(report.covered_edges)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_ablation(c: &mut Criterion) {
+    // Cost of running with and without the mask computation on the Game
+    // contract, whose strict msg.value guard is exactly what the mask targets.
+    let source = contracts::game().source;
+    let mut group = c.benchmark_group("mask_ablation_150_execs");
+    group.sample_size(10);
+    group.bench_function("with_mask", |bencher| {
+        bencher.iter(|| {
+            let compiled = compile_source(&source).unwrap();
+            let mut fuzzer =
+                Fuzzer::new(compiled, FuzzerConfig::mufuzz(150).with_rng_seed(2)).unwrap();
+            black_box(fuzzer.run().covered_edges)
+        })
+    });
+    group.bench_function("without_mask", |bencher| {
+        bencher.iter(|| {
+            let compiled = compile_source(&source).unwrap();
+            let mut fuzzer = Fuzzer::new(
+                compiled,
+                FuzzerConfig::mufuzz(150).with_rng_seed(2).without_mask_guidance(),
+            )
+            .unwrap();
+            black_box(fuzzer.run().covered_edges)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequence_execution,
+    bench_mutation_operators,
+    bench_campaigns,
+    bench_mask_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates Figure 7: the ablation study — coverage and detected alarms
+//! with each MuFuzz component disabled, relative to the full system.
+//!
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`.
+
+use mufuzz_bench::{ablation, env_param, table};
+use mufuzz_corpus::{generate_contract, GeneratorConfig};
+use mufuzz_oracles::BugClass;
+
+fn main() {
+    let contracts = env_param("MUFUZZ_CONTRACTS", 8);
+    let execs = env_param("MUFUZZ_EXECS", 400);
+
+    // The paper samples real contracts from D1, which naturally contain
+    // vulnerabilities; our generated D1 corpus is benign by construction, so
+    // the ablation sample injects one rotating bug class per contract to make
+    // the "detected vulnerabilities" metric meaningful.
+    let with_bug = |name: String, cfg: GeneratorConfig, i: usize| {
+        let class = BugClass::ALL[i % BugClass::ALL.len()];
+        generate_contract(&name, &cfg.with_bugs(vec![class]).with_drain(class != BugClass::EtherFreezing))
+    };
+    let small: Vec<_> = (0..contracts)
+        .map(|i| with_bug(format!("AblS{i}"), GeneratorConfig::small(7_000 + i as u64), i))
+        .collect();
+    let large: Vec<_> = (0..contracts.div_ceil(2))
+        .map(|i| with_bug(format!("AblL{i}"), GeneratorConfig::large(8_000 + i as u64), i))
+        .collect();
+    let result = ablation(&small, &large, execs, 1);
+
+    let full = &result.rows[0];
+    let rel = |v: f64, full: f64| {
+        if full > 0.0 {
+            format!("{:.0}%", v / full * 100.0)
+        } else {
+            "-".into()
+        }
+    };
+    let rel_count = |v: usize, full: usize| {
+        if full > 0 {
+            format!("{:.0}%", v as f64 / full as f64 * 100.0)
+        } else {
+            "-".into()
+        }
+    };
+
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|(name, cs, cl, als, all_)| {
+            vec![
+                name.clone(),
+                format!("{:.1}%", cs * 100.0),
+                rel(*cs, full.1),
+                format!("{:.1}%", cl * 100.0),
+                rel(*cl, full.2),
+                als.to_string(),
+                rel_count(*als, full.3),
+                all_.to_string(),
+                rel_count(*all_, full.4),
+            ]
+        })
+        .collect();
+
+    println!(
+        "Figure 7 — ablation study ({} small / {} large contracts, {execs} executions each)",
+        small.len(),
+        large.len()
+    );
+    println!();
+    print!(
+        "{}",
+        table::render(
+            &[
+                "Variant",
+                "Cov small",
+                "rel",
+                "Cov large",
+                "rel",
+                "Alarms small",
+                "rel",
+                "Alarms large",
+                "rel",
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "Expected shape (paper): every ablation loses coverage and bugs; removing the\n\
+         sequence-aware mutation hurts the most (paper: -18%/-26% coverage on small/large)."
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table I: the bug-class support matrix of the surveyed tools.
+
+use mufuzz_baselines::table1_matrix;
+use mufuzz_bench::table;
+use mufuzz_oracles::BugClass;
+
+fn main() {
+    let matrix = table1_matrix();
+    let mut headers = vec!["Tool", "Type", "Public"];
+    let class_labels: Vec<&str> = BugClass::ALL.iter().map(|c| c.abbrev()).collect();
+    headers.extend(class_labels.iter().copied());
+
+    let rows: Vec<Vec<String>> = matrix
+        .iter()
+        .map(|tool| {
+            let mut row = vec![
+                tool.name.to_string(),
+                tool.kind.label().to_string(),
+                if tool.public { "yes" } else { "no" }.to_string(),
+            ];
+            for class in BugClass::ALL {
+                row.push(if tool.supports(class) { "X" } else { "-" }.to_string());
+            }
+            row
+        })
+        .collect();
+
+    println!("Table I — bug classes supported by each tool");
+    println!("(X = supported, - = not supported; abbreviations as in the paper)");
+    println!();
+    print!("{}", table::render(&headers, &rows));
+}

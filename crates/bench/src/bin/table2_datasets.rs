@@ -1,0 +1,38 @@
+//! Regenerates Table II: the benchmark dataset summary.
+//!
+//! Scale with `MUFUZZ_D1_SMALL`, `MUFUZZ_D1_LARGE`, `MUFUZZ_D2_PER_CLASS`
+//! and `MUFUZZ_D3` environment variables.
+
+use mufuzz_bench::{env_param, table};
+use mufuzz_corpus::table2_summaries;
+
+fn main() {
+    let small = env_param("MUFUZZ_D1_SMALL", 20);
+    let large = env_param("MUFUZZ_D1_LARGE", 8);
+    let per_class = env_param("MUFUZZ_D2_PER_CLASS", 2);
+    let d3 = env_param("MUFUZZ_D3", 12);
+
+    let rows: Vec<Vec<String>> = table2_summaries(small, large, per_class, d3)
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.name,
+                s.paper_source,
+                s.used_for,
+                s.contracts.to_string(),
+                s.annotations.to_string(),
+            ]
+        })
+        .collect();
+
+    println!("Table II — benchmark datasets (reproduction corpus)");
+    println!("(paper sizes: D1 = 17,803 small + 3,344 large, D2 = 155 vulnerable, D3 = 500 popular)");
+    println!();
+    print!(
+        "{}",
+        table::render(
+            &["Dataset", "Stands in for", "Used for", "Contracts", "Annotations"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates Table IV: the real-world case study — alarms, true/false
+//! positives per bug class and average coverage of MuFuzz on the D3 dataset.
+//!
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`.
+
+use mufuzz_bench::{env_param, real_world, table};
+use mufuzz_corpus::d3;
+use mufuzz_oracles::BugClass;
+
+fn main() {
+    let contracts = env_param("MUFUZZ_CONTRACTS", 12);
+    let execs = env_param("MUFUZZ_EXECS", 500);
+
+    let dataset = d3(contracts);
+    let result = real_world(&dataset, execs, 1);
+
+    let rows: Vec<Vec<String>> = BugClass::ALL
+        .iter()
+        .map(|class| {
+            let (reported, tp, fp) = result.per_class.get(class).copied().unwrap_or((0, 0, 0));
+            vec![
+                class.abbrev().to_string(),
+                reported.to_string(),
+                tp.to_string(),
+                fp.to_string(),
+            ]
+        })
+        .collect();
+
+    println!(
+        "Table IV — real-world case study on D3 ({} contracts, each standing in for a popular contract with >30k historical transactions)",
+        result.total_contracts
+    );
+    println!();
+    print!(
+        "{}",
+        table::render(&["Bug ID", "Reported", "TP", "FP"], &rows)
+    );
+    println!();
+    println!(
+        "Total reported: {}   TP: {}   FP: {}",
+        result.total_reported(),
+        result.total_tp(),
+        result.total_fp()
+    );
+    println!(
+        "Contracts flagged with at least one alarm: {} / {}",
+        result.flagged_contracts, result.total_contracts
+    );
+    println!(
+        "Average branch coverage: {:.2}%  (paper: 80.71%)",
+        result.average_coverage * 100.0
+    );
+    println!();
+    println!("Expected shape (paper): 86 alarms, 94% of them true positives, ~80% coverage.");
+}

@@ -1,0 +1,487 @@
+//! Experiment runners for the paper's tables and figures.
+//!
+//! Every experiment follows the same pattern: build (or receive) a corpus
+//! dataset, run one or more fuzzing strategies / static analyzers on every
+//! contract, and aggregate coverage or detection statistics the way the paper
+//! reports them. Campaigns on different contracts are independent, so they
+//! run on a thread pool.
+
+use crossbeam::thread;
+use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
+use mufuzz_baselines::{
+    all_static_analyzers, coverage_baselines, FuzzingStrategy, MuFuzzStrategy,
+};
+use mufuzz_corpus::{BenchContract, Dataset};
+use mufuzz_lang::compile_source;
+use mufuzz_oracles::{score_contract, BugClass, DetectionScore};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum number of worker threads used by the experiment runners.
+const MAX_WORKERS: usize = 8;
+
+/// Map a function over items on a small thread pool, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = MAX_WORKERS.min(items.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::SeqCst);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(&items[index]);
+                results.lock()[index] = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing result"))
+        .collect()
+}
+
+/// Run one strategy on one benchmark contract.
+fn run_strategy(
+    strategy: &dyn FuzzingStrategy,
+    contract: &BenchContract,
+    budget: usize,
+    rng_seed: u64,
+) -> Option<CampaignReport> {
+    let compiled = compile_source(&contract.source).ok()?;
+    strategy.fuzz(compiled, budget, rng_seed).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: branch coverage over time
+// ---------------------------------------------------------------------------
+
+/// Averaged coverage-over-time curves for several tools on one dataset.
+#[derive(Clone, Debug)]
+pub struct CoverageSeries {
+    /// Dataset label (`small` / `large`).
+    pub dataset: String,
+    /// Per-tool series of `(fraction of budget, mean coverage)` checkpoints.
+    pub per_tool: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-tool final mean coverage.
+    pub final_coverage: Vec<(String, f64)>,
+}
+
+/// Sample a campaign's timeline at fixed budget fractions.
+fn sample_timeline(report: &CampaignReport, budget: usize, checkpoints: usize) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(checkpoints);
+    for c in 1..=checkpoints {
+        let target = budget * c / checkpoints;
+        let coverage = report
+            .timeline
+            .iter()
+            .filter(|p| p.executions <= target)
+            .map(|p| p.coverage)
+            .fold(0.0f64, f64::max);
+        samples.push(coverage);
+    }
+    // The curve is monotone by construction of the filter + max.
+    samples
+}
+
+/// Reproduce one panel of Figure 5: run MuFuzz, IR-Fuzz, ConFuzzius and sFuzz
+/// on every contract of the dataset and average coverage at fixed fractions
+/// of the execution budget.
+pub fn coverage_over_time(
+    dataset_label: &str,
+    contracts: &[BenchContract],
+    budget: usize,
+    rng_seed: u64,
+    checkpoints: usize,
+) -> CoverageSeries {
+    let mut per_tool = Vec::new();
+    let mut final_coverage = Vec::new();
+    for strategy in coverage_baselines() {
+        let reports = parallel_map(contracts, |c| {
+            run_strategy(strategy.as_ref(), c, budget, rng_seed)
+        });
+        let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
+        let mut curve = vec![0.0f64; checkpoints];
+        for report in &valid {
+            for (i, v) in sample_timeline(report, budget, checkpoints).iter().enumerate() {
+                curve[i] += v;
+            }
+        }
+        let n = valid.len().max(1) as f64;
+        let points: Vec<(f64, f64)> = curve
+            .iter()
+            .enumerate()
+            .map(|(i, total)| ((i + 1) as f64 / checkpoints as f64, total / n))
+            .collect();
+        let final_mean =
+            valid.iter().map(|r| r.coverage).sum::<f64>() / valid.len().max(1) as f64;
+        per_tool.push((strategy.name().to_string(), points));
+        final_coverage.push((strategy.name().to_string(), final_mean));
+    }
+    CoverageSeries {
+        dataset: dataset_label.to_string(),
+        per_tool,
+        final_coverage,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: overall coverage
+// ---------------------------------------------------------------------------
+
+/// Final mean coverage per tool on small and large contracts (Figure 6).
+#[derive(Clone, Debug)]
+pub struct OverallCoverage {
+    /// Rows `(tool, mean coverage on small, mean coverage on large)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Reproduce Figure 6.
+pub fn overall_coverage(
+    small: &[BenchContract],
+    large: &[BenchContract],
+    budget: usize,
+    rng_seed: u64,
+) -> OverallCoverage {
+    let mut rows = Vec::new();
+    for strategy in coverage_baselines() {
+        let mean = |contracts: &[BenchContract]| -> f64 {
+            let reports = parallel_map(contracts, |c| {
+                run_strategy(strategy.as_ref(), c, budget, rng_seed)
+            });
+            let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
+            if valid.is_empty() {
+                return 0.0;
+            }
+            valid.iter().map(|r| r.coverage).sum::<f64>() / valid.len() as f64
+        };
+        rows.push((strategy.name().to_string(), mean(small), mean(large)));
+    }
+    OverallCoverage { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Table III: bug detection (true positives / false negatives)
+// ---------------------------------------------------------------------------
+
+/// Aggregated detection scores per tool over the D2 dataset (Table III).
+#[derive(Clone, Debug)]
+pub struct BugDetectionResult {
+    /// `(tool name, is_fuzzer, aggregated score)` rows.
+    pub rows: Vec<(String, bool, DetectionScore)>,
+    /// Total number of annotations in the dataset.
+    pub total_annotations: usize,
+}
+
+/// Reproduce Table III: run the static analyzers and all fuzzing strategies
+/// on the annotated D2 corpus and score TP/FN/FP per bug class.
+pub fn bug_detection(dataset: &Dataset, budget: usize, rng_seed: u64) -> BugDetectionResult {
+    let mut rows = Vec::new();
+
+    // Static analyzers.
+    for tool in all_static_analyzers() {
+        let scores = parallel_map(&dataset.contracts, |c| {
+            let Ok(compiled) = compile_source(&c.source) else {
+                return DetectionScore::default();
+            };
+            let findings = tool.analyze(&compiled);
+            score_contract(&findings, &c.annotations)
+        });
+        let mut total = DetectionScore::default();
+        for s in &scores {
+            total.merge(s);
+        }
+        rows.push((tool.name().to_string(), false, total));
+    }
+
+    // Fuzzers.
+    for strategy in mufuzz_baselines::all_fuzzers() {
+        let scores = parallel_map(&dataset.contracts, |c| {
+            match run_strategy(strategy.as_ref(), c, budget, rng_seed) {
+                Some(report) => score_contract(&report.findings, &c.annotations),
+                None => DetectionScore::default(),
+            }
+        });
+        let mut total = DetectionScore::default();
+        for s in &scores {
+            total.merge(s);
+        }
+        rows.push((strategy.name().to_string(), true, total));
+    }
+
+    BugDetectionResult {
+        rows,
+        total_annotations: dataset.total_annotations(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: ablation study
+// ---------------------------------------------------------------------------
+
+/// Ablation results (Figure 7): absolute coverage and alarm counts per
+/// variant on small and large contracts.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Rows `(variant, mean coverage small, mean coverage large,
+    /// alarms small, alarms large)`.
+    pub rows: Vec<(String, f64, f64, usize, usize)>,
+}
+
+impl AblationResult {
+    /// Coverage of a variant relative to the full system, on small contracts.
+    pub fn relative_small(&self, variant: &str) -> Option<f64> {
+        let full = self.rows.first()?.1;
+        let row = self.rows.iter().find(|r| r.0 == variant)?;
+        Some(if full > 0.0 { row.1 / full } else { 0.0 })
+    }
+}
+
+/// Reproduce Figure 7: the full system against the three single-component
+/// ablations, on samples of small and large contracts.
+pub fn ablation(
+    small: &[BenchContract],
+    large: &[BenchContract],
+    budget: usize,
+    rng_seed: u64,
+) -> AblationResult {
+    let variants: Vec<(String, FuzzerConfig)> = vec![
+        ("MuFuzz (full)".into(), FuzzerConfig::mufuzz(budget)),
+        (
+            "w/o sequence-aware mutation".into(),
+            FuzzerConfig::mufuzz(budget).without_sequence_aware(),
+        ),
+        (
+            "w/o mask-guided mutation".into(),
+            FuzzerConfig::mufuzz(budget).without_mask_guidance(),
+        ),
+        (
+            "w/o dynamic energy".into(),
+            FuzzerConfig::mufuzz(budget).without_dynamic_energy(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, config) in variants {
+        let run_set = |contracts: &[BenchContract]| -> (f64, usize) {
+            let results = parallel_map(contracts, |c| {
+                let Ok(compiled) = compile_source(&c.source) else {
+                    return (0.0, 0usize);
+                };
+                let mut fuzzer =
+                    match Fuzzer::new(compiled, config.clone().with_rng_seed(rng_seed)) {
+                        Ok(f) => f,
+                        Err(_) => return (0.0, 0usize),
+                    };
+                let report = fuzzer.run();
+                (report.coverage, report.findings.len())
+            });
+            let n = results.len().max(1) as f64;
+            let coverage = results.iter().map(|(c, _)| c).sum::<f64>() / n;
+            let alarms = results.iter().map(|(_, a)| a).sum();
+            (coverage, alarms)
+        };
+        let (cov_small, alarms_small) = run_set(small);
+        let (cov_large, alarms_large) = run_set(large);
+        rows.push((name, cov_small, cov_large, alarms_small, alarms_large));
+    }
+    AblationResult { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Table IV: real-world case study
+// ---------------------------------------------------------------------------
+
+/// Results of the D3 real-world case study (Table IV).
+#[derive(Clone, Debug, Default)]
+pub struct RealWorldResult {
+    /// Per bug class: `(reported alarms, true positives, false positives)`.
+    pub per_class: BTreeMap<BugClass, (usize, usize, usize)>,
+    /// Number of contracts with at least one alarm.
+    pub flagged_contracts: usize,
+    /// Number of contracts analysed.
+    pub total_contracts: usize,
+    /// Mean branch coverage across all contracts.
+    pub average_coverage: f64,
+}
+
+impl RealWorldResult {
+    /// Total reported alarms.
+    pub fn total_reported(&self) -> usize {
+        self.per_class.values().map(|(r, _, _)| r).sum()
+    }
+
+    /// Total true positives.
+    pub fn total_tp(&self) -> usize {
+        self.per_class.values().map(|(_, tp, _)| tp).sum()
+    }
+
+    /// Total false positives.
+    pub fn total_fp(&self) -> usize {
+        self.per_class.values().map(|(_, _, fp)| fp).sum()
+    }
+}
+
+/// Reproduce Table IV: run full MuFuzz on the D3 dataset, count alarms per
+/// class, and classify them as TP/FP against the injected ground truth.
+pub fn real_world(dataset: &Dataset, budget: usize, rng_seed: u64) -> RealWorldResult {
+    let outcomes = parallel_map(&dataset.contracts, |c| {
+        run_strategy(&MuFuzzStrategy, c, budget, rng_seed).map(|report| {
+            let score = score_contract(&report.findings, &c.annotations);
+            (report, score)
+        })
+    });
+
+    let mut result = RealWorldResult {
+        total_contracts: dataset.len(),
+        ..Default::default()
+    };
+    let mut coverage_sum = 0.0;
+    let mut analysed = 0usize;
+    for outcome in outcomes.into_iter().flatten() {
+        let (report, score) = outcome;
+        analysed += 1;
+        coverage_sum += report.coverage;
+        if !report.findings.is_empty() {
+            result.flagged_contracts += 1;
+        }
+        for class in BugClass::ALL {
+            let cs = score.class(class);
+            let reported = cs.true_positives + cs.false_positives;
+            if reported == 0 {
+                continue;
+            }
+            let entry = result.per_class.entry(class).or_insert((0, 0, 0));
+            entry.0 += reported;
+            entry.1 += cs.true_positives;
+            entry.2 += cs.false_positives;
+        }
+    }
+    result.average_coverage = if analysed > 0 {
+        coverage_sum / analysed as f64
+    } else {
+        0.0
+    };
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_corpus::{contracts, d1_small, d2, d3, generate_contract, GeneratorConfig};
+
+    fn tiny_small() -> Vec<BenchContract> {
+        vec![
+            contracts::crowdsale(),
+            generate_contract("T1", &GeneratorConfig::small(77)),
+        ]
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_everything() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out.len(), 50);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        let empty: Vec<usize> = vec![];
+        assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn coverage_over_time_produces_monotone_curves_for_all_tools() {
+        let series = coverage_over_time("small", &tiny_small(), 120, 5, 6);
+        assert_eq!(series.per_tool.len(), 4);
+        for (tool, points) in &series.per_tool {
+            assert_eq!(points.len(), 6, "{tool}");
+            let mut prev = 0.0;
+            for (_, cov) in points {
+                assert!(*cov >= prev - 1e-9, "{tool} not monotone");
+                prev = *cov;
+            }
+        }
+        // MuFuzz final coverage is positive.
+        assert!(series.final_coverage[0].1 > 0.0);
+    }
+
+    #[test]
+    fn overall_coverage_reports_all_four_tools() {
+        let small = tiny_small();
+        let large = vec![generate_contract("L1", &GeneratorConfig::large(5))];
+        let result = overall_coverage(&small, &large, 100, 9);
+        assert_eq!(result.rows.len(), 4);
+        for (tool, s, l) in &result.rows {
+            assert!(*s > 0.0, "{tool} small");
+            assert!(*l > 0.0, "{tool} large");
+        }
+    }
+
+    #[test]
+    fn bug_detection_scores_mufuzz_above_zero_tp() {
+        // A tiny D2-like dataset: three handwritten vulnerable contracts.
+        let dataset = Dataset {
+            name: "mini-D2".into(),
+            contracts: vec![
+                contracts::reentrant_bank(),
+                contracts::tx_origin_auth(),
+                contracts::suicidal_wallet(),
+            ],
+            historical_txs_per_contract: 0,
+        };
+        let result = bug_detection(&dataset, 250, 13);
+        assert_eq!(result.rows.len(), 10); // 5 static + 5 fuzzers
+        let mufuzz = result
+            .rows
+            .iter()
+            .find(|(name, is_fuzzer, _)| name == "MuFuzz" && *is_fuzzer)
+            .unwrap();
+        assert!(mufuzz.2.total_tp() >= 2, "tp = {}", mufuzz.2.total_tp());
+        assert!(result.total_annotations >= 4);
+    }
+
+    #[test]
+    fn ablation_contains_four_variants_with_positive_coverage() {
+        let small = tiny_small();
+        let large = vec![generate_contract("L2", &GeneratorConfig::large(6))];
+        let result = ablation(&small, &large, 100, 17);
+        assert_eq!(result.rows.len(), 4);
+        for (name, cs, cl, _, _) in &result.rows {
+            assert!(*cs > 0.0, "{name}");
+            assert!(*cl > 0.0, "{name}");
+        }
+        assert!(result.relative_small("MuFuzz (full)").unwrap() > 0.99);
+    }
+
+    #[test]
+    fn real_world_study_reports_coverage_and_flags() {
+        let dataset = d3(4);
+        let result = real_world(&dataset, 150, 23);
+        assert_eq!(result.total_contracts, 4);
+        assert!(result.average_coverage > 0.0);
+        assert!(result.total_reported() >= result.total_tp());
+    }
+
+    #[test]
+    fn dataset_builders_integrate_with_experiments() {
+        // Smoke test: a one-contract slice of each generated dataset runs
+        // through the coverage experiment.
+        let d1 = d1_small(1);
+        let series = coverage_over_time("d1", &d1.contracts, 60, 3, 4);
+        assert_eq!(series.per_tool.len(), 4);
+        let d2set = d2(0);
+        assert!(d2set.len() >= 12);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mufuzz-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! MuFuzz paper's evaluation (§V) on the reproduction corpus:
+//!
+//! | Paper artefact | Binary | Library entry point |
+//! |---|---|---|
+//! | Table I (tool support matrix) | `table1_tool_matrix` | [`mufuzz_baselines::table1_matrix`] |
+//! | Table II (datasets) | `table2_datasets` | [`mufuzz_corpus::table2_summaries`] |
+//! | Figure 5 (coverage over time) | `fig5_coverage_over_time` | [`experiments::coverage_over_time`] |
+//! | Figure 6 (overall coverage) | `fig6_overall_coverage` | [`experiments::overall_coverage`] |
+//! | Table III (bug detection) | `table3_bug_detection` | [`experiments::bug_detection`] |
+//! | Figure 7 (ablation) | `fig7_ablation` | [`experiments::ablation`] |
+//! | Table IV (real-world study) | `table4_real_world` | [`experiments::real_world`] |
+//!
+//! Experiment sizes are scaled down from the paper (which fuzzes tens of
+//! thousands of contracts for 10–20 minutes each); the binaries accept
+//! environment variables (`MUFUZZ_CONTRACTS`, `MUFUZZ_EXECS`) to scale up.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    ablation, bug_detection, coverage_over_time, overall_coverage, real_world, AblationResult,
+    BugDetectionResult, CoverageSeries, OverallCoverage, RealWorldResult,
+};
+
+/// Read a `usize` experiment parameter from the environment with a default.
+pub fn env_param(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_param_falls_back_to_default() {
+        assert_eq!(env_param("MUFUZZ_DOES_NOT_EXIST", 7), 7);
+        std::env::set_var("MUFUZZ_TEST_PARAM", "42");
+        assert_eq!(env_param("MUFUZZ_TEST_PARAM", 7), 42);
+        std::env::set_var("MUFUZZ_TEST_PARAM", "not a number");
+        assert_eq!(env_param("MUFUZZ_TEST_PARAM", 7), 7);
+    }
+}

@@ -1,0 +1,96 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render an ASCII table with a header row and aligned columns.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            out.push_str(&format!("| {cell:<w$} "));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    render_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    sep(&mut out);
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render a simple textual line chart: one labelled series of (x, y) points,
+/// y expressed as a percentage bar.
+pub fn render_series(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = format!("{title}\n");
+    for (label, points) in series {
+        out.push_str(&format!("  {label}\n"));
+        for (x, y) in points {
+            let bar_len = (y * 50.0).round().clamp(0.0, 50.0) as usize;
+            out.push_str(&format!(
+                "    {x:>8.1} | {}{} {:.1}%\n",
+                "#".repeat(bar_len),
+                " ".repeat(50 - bar_len),
+                y * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            &["Tool", "Coverage"],
+            &[
+                vec!["MuFuzz".into(), "90%".into()],
+                vec!["sFuzz".into(), "65%".into()],
+            ],
+        );
+        assert!(out.contains("| Tool   "));
+        assert!(out.contains("| MuFuzz "));
+        assert!(out.contains("| 65%"));
+        // Four horizontal separators total? Three: top, header, bottom.
+        assert_eq!(out.matches("+--").count() / 2, 3);
+    }
+
+    #[test]
+    fn renders_series_with_bars() {
+        let out = render_series(
+            "coverage",
+            &[("MuFuzz".into(), vec![(10.0, 0.5), (20.0, 0.9)])],
+        );
+        assert!(out.contains("MuFuzz"));
+        assert!(out.contains("50.0%"));
+        assert!(out.contains("90.0%"));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let out = render(&["A", "B"], &[vec!["only one".into()]]);
+        assert!(out.contains("only one"));
+    }
+}

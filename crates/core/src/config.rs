@@ -1,0 +1,157 @@
+//! Fuzzer configuration.
+
+/// Configuration of a fuzzing campaign.
+///
+/// The three `enable_*` switches correspond to the paper's three components
+/// and drive the ablation study (Figure 7): sequence-aware mutation (§IV-A),
+/// mask-guided seed mutation (§IV-B) and dynamic-adaptive energy adjustment
+/// (§IV-C).
+#[derive(Clone, Debug)]
+pub struct FuzzerConfig {
+    /// RNG seed: campaigns are fully deterministic for a given seed.
+    pub rng_seed: u64,
+    /// Maximum number of transaction-sequence executions.
+    pub max_executions: usize,
+    /// Optional wall-clock budget in milliseconds (whichever of the two
+    /// budgets is hit first stops the campaign).
+    pub time_budget_ms: Option<u64>,
+    /// Use the data-flow-derived transaction ordering and RAW-based sequence
+    /// repetition. When disabled, sequences are randomly ordered.
+    pub enable_sequence_aware: bool,
+    /// Allow the RAW-based *repetition* of critical transactions within the
+    /// planned ordering. Disabling this while keeping `enable_sequence_aware`
+    /// models data-dependency fuzzers (ConFuzzius/Smartian) that order but
+    /// never repeat transactions.
+    pub enable_sequence_repetition: bool,
+    /// Use the mutation mask (Algorithm 1/2). When disabled, every byte is
+    /// mutable and mutation sites are chosen uniformly.
+    pub enable_mask_guidance: bool,
+    /// Use dynamic branch-weighted energy allocation (Algorithm 3). When
+    /// disabled, every selected seed receives the same energy.
+    pub enable_dynamic_energy: bool,
+    /// Use branch-distance feedback for seed selection (on in MuFuzz and the
+    /// sFuzz-style baselines).
+    pub enable_branch_distance: bool,
+    /// Harvest `PUSH` constants from the contract bytecode into the
+    /// interesting-value pool (MuFuzz, ConFuzzius and IR-Fuzz style tools do
+    /// this through their static/symbolic components; plain AFL-style fuzzers
+    /// such as sFuzz use a fixed boundary-value pool only).
+    pub harvest_constants: bool,
+    /// Number of externally-owned sender accounts in the fuzzing world.
+    pub sender_count: usize,
+    /// Base mutation energy per selected seed (number of mutants generated).
+    pub base_energy: usize,
+    /// How many initial seeds to generate from the sequence plan.
+    pub initial_seeds: usize,
+    /// How many coverage snapshots to keep for the coverage-over-time curve.
+    pub timeline_points: usize,
+    /// Install a re-entrant attacker account in the fuzzing world so the
+    /// reentrancy oracle can observe actual re-entrant executions.
+    pub install_attacker: bool,
+    /// Install a rejecting sink account so failing external calls can be
+    /// observed (exercises the unhandled-exception oracle).
+    pub install_rejecting_sink: bool,
+}
+
+impl Default for FuzzerConfig {
+    fn default() -> Self {
+        FuzzerConfig {
+            rng_seed: 0x5EED,
+            max_executions: 2_000,
+            time_budget_ms: None,
+            enable_sequence_aware: true,
+            enable_sequence_repetition: true,
+            enable_mask_guidance: true,
+            enable_dynamic_energy: true,
+            enable_branch_distance: true,
+            harvest_constants: true,
+            sender_count: 3,
+            base_energy: 8,
+            initial_seeds: 8,
+            timeline_points: 64,
+            install_attacker: true,
+            install_rejecting_sink: true,
+        }
+    }
+}
+
+impl FuzzerConfig {
+    /// Full MuFuzz configuration with a given budget.
+    pub fn mufuzz(max_executions: usize) -> Self {
+        FuzzerConfig {
+            max_executions,
+            ..Default::default()
+        }
+    }
+
+    /// Ablation: disable the sequence-aware mutation only.
+    pub fn without_sequence_aware(mut self) -> Self {
+        self.enable_sequence_aware = false;
+        self
+    }
+
+    /// Keep the data-flow ordering but disable transaction repetition
+    /// (models ConFuzzius/Smartian-style sequence handling).
+    pub fn without_sequence_repetition(mut self) -> Self {
+        self.enable_sequence_repetition = false;
+        self
+    }
+
+    /// Ablation: disable the mask-guided seed mutation only.
+    pub fn without_mask_guidance(mut self) -> Self {
+        self.enable_mask_guidance = false;
+        self
+    }
+
+    /// Ablation: disable the dynamic energy adjustment only.
+    pub fn without_dynamic_energy(mut self) -> Self {
+        self.enable_dynamic_energy = false;
+        self
+    }
+
+    /// Set the RNG seed (builder style).
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Set the wall-clock budget (builder style).
+    pub fn with_time_budget_ms(mut self, ms: u64) -> Self {
+        self.time_budget_ms = Some(ms);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_components() {
+        let cfg = FuzzerConfig::default();
+        assert!(cfg.enable_sequence_aware);
+        assert!(cfg.enable_mask_guidance);
+        assert!(cfg.enable_dynamic_energy);
+        assert!(cfg.enable_branch_distance);
+    }
+
+    #[test]
+    fn ablation_builders_disable_one_component_each() {
+        let a = FuzzerConfig::mufuzz(100).without_sequence_aware();
+        assert!(!a.enable_sequence_aware && a.enable_mask_guidance && a.enable_dynamic_energy);
+        let b = FuzzerConfig::mufuzz(100).without_mask_guidance();
+        assert!(b.enable_sequence_aware && !b.enable_mask_guidance && b.enable_dynamic_energy);
+        let c = FuzzerConfig::mufuzz(100).without_dynamic_energy();
+        assert!(c.enable_sequence_aware && c.enable_mask_guidance && !c.enable_dynamic_energy);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = FuzzerConfig::mufuzz(500)
+            .with_rng_seed(42)
+            .with_time_budget_ms(1_000);
+        assert_eq!(cfg.max_executions, 500);
+        assert_eq!(cfg.rng_seed, 42);
+        assert_eq!(cfg.time_budget_ms, Some(1_000));
+    }
+}

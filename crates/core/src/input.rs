@@ -1,0 +1,274 @@
+//! Transaction inputs, sequences and seeds.
+//!
+//! A test case for a stateful contract is a *sequence* of transactions, each
+//! with a callee function, a sender, an ether value and ABI-encoded argument
+//! bytes. MuFuzz internally represents the mutable part of every transaction
+//! as a byte stream (`value ‖ args`), which is what the mask-guided mutation
+//! operates on (paper §IV-B).
+
+use crate::mutation::MutationMask;
+use mufuzz_evm::{BranchEdge, U256};
+use mufuzz_lang::FunctionAbi;
+use std::collections::BTreeSet;
+
+/// Number of leading bytes of the mutable stream that encode the ether value.
+pub const VALUE_BYTES: usize = 32;
+
+/// One transaction in a sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxInput {
+    /// Name of the called function (resolved against the contract ABI).
+    pub function: String,
+    /// Index into the fuzzer's sender pool.
+    pub sender_index: usize,
+    /// Mutable byte stream: the first 32 bytes are the ether value, the rest
+    /// are the ABI-encoded arguments (without the selector).
+    pub stream: Vec<u8>,
+}
+
+impl TxInput {
+    /// Build a transaction with the given value and argument words.
+    pub fn new(function: &str, sender_index: usize, value: U256, arg_words: &[U256]) -> TxInput {
+        let mut stream = value.to_be_bytes().to_vec();
+        for w in arg_words {
+            stream.extend_from_slice(&w.to_be_bytes());
+        }
+        TxInput {
+            function: function.to_string(),
+            sender_index,
+            stream,
+        }
+    }
+
+    /// Build a zero-argument, zero-value transaction.
+    pub fn simple(function: &str) -> TxInput {
+        TxInput::new(function, 0, U256::ZERO, &[])
+    }
+
+    /// The ether value encoded in the stream.
+    pub fn value(&self) -> U256 {
+        if self.stream.len() >= VALUE_BYTES {
+            U256::from_be_slice(&self.stream[..VALUE_BYTES])
+        } else {
+            U256::from_be_slice(&self.stream)
+        }
+    }
+
+    /// Overwrite the encoded ether value.
+    pub fn set_value(&mut self, value: U256) {
+        if self.stream.len() < VALUE_BYTES {
+            self.stream.resize(VALUE_BYTES, 0);
+        }
+        self.stream[..VALUE_BYTES].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// The argument bytes (after the value prefix).
+    pub fn arg_bytes(&self) -> &[u8] {
+        if self.stream.len() > VALUE_BYTES {
+            &self.stream[VALUE_BYTES..]
+        } else {
+            &[]
+        }
+    }
+
+    /// Build the full calldata for this transaction given its ABI entry:
+    /// selector followed by argument words, padded/truncated to the declared
+    /// parameter count.
+    pub fn calldata(&self, abi: &FunctionAbi) -> Vec<u8> {
+        let mut data = abi.selector.to_vec();
+        let args = self.arg_bytes();
+        let wanted = 32 * abi.inputs.len();
+        for i in 0..wanted {
+            data.push(args.get(i).copied().unwrap_or(0));
+        }
+        data
+    }
+
+    /// Read the i-th argument word.
+    pub fn arg_word(&self, index: usize) -> U256 {
+        let args = self.arg_bytes();
+        let start = index * 32;
+        if start >= args.len() {
+            return U256::ZERO;
+        }
+        let end = (start + 32).min(args.len());
+        U256::from_be_slice(&args[start..end])
+    }
+
+    /// Overwrite the i-th argument word (growing the stream if needed).
+    pub fn set_arg_word(&mut self, index: usize, value: U256) {
+        let needed = VALUE_BYTES + 32 * (index + 1);
+        if self.stream.len() < needed {
+            self.stream.resize(needed, 0);
+        }
+        let start = VALUE_BYTES + 32 * index;
+        self.stream[start..start + 32].copy_from_slice(&value.to_be_bytes());
+    }
+}
+
+/// A transaction sequence: the unit the fuzzer executes and mutates.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Sequence {
+    /// Transactions in execution order (the constructor is implicit).
+    pub txs: Vec<TxInput>,
+}
+
+impl Sequence {
+    /// Build a sequence from transactions.
+    pub fn new(txs: Vec<TxInput>) -> Sequence {
+        Sequence { txs }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True if the sequence has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Total length of all mutable byte streams.
+    pub fn total_stream_len(&self) -> usize {
+        self.txs.iter().map(|t| t.stream.len()).sum()
+    }
+
+    /// Function-name fingerprint, e.g. `invest->refund->invest->withdraw`.
+    pub fn shape(&self) -> String {
+        self.txs
+            .iter()
+            .map(|t| t.function.as_str())
+            .collect::<Vec<_>>()
+            .join("->")
+    }
+}
+
+/// A seed: a sequence plus the feedback recorded when it was executed.
+#[derive(Clone, Debug)]
+pub struct Seed {
+    /// The input sequence.
+    pub sequence: Sequence,
+    /// Branch edges this seed covered when executed.
+    pub covered_edges: BTreeSet<BranchEdge>,
+    /// Number of new edges it contributed when it was admitted to the queue.
+    pub new_edges: usize,
+    /// Whether the seed reached a deeply nested branch.
+    pub hits_nested_branch: bool,
+    /// Energy weight from the pre-fuzz branch-weighting pass (Algorithm 3).
+    pub weight: f64,
+    /// Best (smallest) normalised distance this seed achieved to any
+    /// still-uncovered branch edge.
+    pub best_distance: Option<f64>,
+    /// Number of times this seed has been selected for mutation.
+    pub selections: usize,
+    /// Lazily computed mutation masks, one per transaction (Algorithm 2).
+    pub masks: Option<Vec<MutationMask>>,
+}
+
+impl Seed {
+    /// Wrap a sequence with empty feedback.
+    pub fn new(sequence: Sequence) -> Seed {
+        Seed {
+            sequence,
+            covered_edges: BTreeSet::new(),
+            new_edges: 0,
+            hits_nested_branch: false,
+            weight: 1.0,
+            best_distance: None,
+            selections: 0,
+            masks: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_lang::ParamType;
+
+    fn abi2() -> FunctionAbi {
+        FunctionAbi {
+            name: "f".into(),
+            inputs: vec![ParamType::Uint256, ParamType::Address],
+            payable: true,
+            selector: [0xde, 0xad, 0xbe, 0xef],
+        }
+    }
+
+    #[test]
+    fn value_and_args_roundtrip() {
+        let tx = TxInput::new(
+            "f",
+            1,
+            U256::from_u64(555),
+            &[U256::from_u64(7), U256::from_u64(9)],
+        );
+        assert_eq!(tx.value(), U256::from_u64(555));
+        assert_eq!(tx.arg_word(0), U256::from_u64(7));
+        assert_eq!(tx.arg_word(1), U256::from_u64(9));
+        assert_eq!(tx.arg_word(5), U256::ZERO);
+        assert_eq!(tx.stream.len(), 32 * 3);
+    }
+
+    #[test]
+    fn setters_extend_short_streams() {
+        let mut tx = TxInput::simple("f");
+        assert_eq!(tx.stream.len(), 32);
+        tx.set_arg_word(1, U256::from_u64(11));
+        assert_eq!(tx.arg_word(1), U256::from_u64(11));
+        assert_eq!(tx.arg_word(0), U256::ZERO);
+        tx.set_value(U256::from_u64(3));
+        assert_eq!(tx.value(), U256::from_u64(3));
+    }
+
+    #[test]
+    fn calldata_pads_and_truncates_to_abi_arity() {
+        let abi = abi2();
+        // Too few argument bytes: padded with zeros.
+        let short = TxInput::new("f", 0, U256::ZERO, &[U256::from_u64(1)]);
+        let data = short.calldata(&abi);
+        assert_eq!(data.len(), 4 + 64);
+        assert_eq!(&data[..4], &abi.selector);
+        // Too many argument bytes: truncated.
+        let long = TxInput::new(
+            "f",
+            0,
+            U256::ZERO,
+            &[U256::from_u64(1), U256::from_u64(2), U256::from_u64(3)],
+        );
+        assert_eq!(long.calldata(&abi).len(), 4 + 64);
+    }
+
+    #[test]
+    fn truncated_value_stream_still_decodes() {
+        let mut tx = TxInput::simple("f");
+        tx.stream.truncate(5);
+        // value() falls back to interpreting whatever is left.
+        assert_eq!(tx.value(), U256::ZERO);
+        assert!(tx.arg_bytes().is_empty());
+    }
+
+    #[test]
+    fn sequence_shape_and_lengths() {
+        let seq = Sequence::new(vec![
+            TxInput::simple("invest"),
+            TxInput::simple("refund"),
+            TxInput::simple("invest"),
+            TxInput::simple("withdraw"),
+        ]);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq.shape(), "invest->refund->invest->withdraw");
+        assert_eq!(seq.total_stream_len(), 4 * 32);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn seed_defaults() {
+        let seed = Seed::new(Sequence::new(vec![TxInput::simple("f")]));
+        assert_eq!(seed.new_edges, 0);
+        assert!(!seed.hits_nested_branch);
+        assert_eq!(seed.weight, 1.0);
+        assert!(seed.best_distance.is_none());
+    }
+}

@@ -1,0 +1,437 @@
+//! Mutation operators and the mutation mask.
+//!
+//! MuFuzz mutates the byte stream of each transaction with four operators
+//! (paper §IV-B): **O**verwrite, **I**nsert, **R**eplace-with-interesting and
+//! **D**elete. The *mutation mask* records, per stream position and operator,
+//! whether mutating there is allowed — positions critical for reaching a
+//! nested branch are frozen (Algorithm 2). This implementation applies the
+//! mask at 32-byte word granularity, which matches the ABI encoding where one
+//! word is one argument.
+
+use mufuzz_evm::{disassemble, ether, finney, Opcode, U256};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The four mutation operators of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// O: overwrite bytes in place with random data.
+    Overwrite,
+    /// I: insert new bytes.
+    Insert,
+    /// R: replace bytes with an interesting value.
+    Replace,
+    /// D: delete bytes.
+    Delete,
+}
+
+impl MutationOp {
+    /// All four operators.
+    pub const ALL: [MutationOp; 4] = [
+        MutationOp::Overwrite,
+        MutationOp::Insert,
+        MutationOp::Replace,
+        MutationOp::Delete,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            MutationOp::Overwrite => 1,
+            MutationOp::Insert => 2,
+            MutationOp::Replace => 4,
+            MutationOp::Delete => 8,
+        }
+    }
+}
+
+/// Per-word, per-operator mutation permissions for one transaction stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationMask {
+    /// One bit set per allowed operator, per 32-byte word of the stream.
+    words: Vec<u8>,
+}
+
+impl MutationMask {
+    /// A mask allowing every operator at every word (the behaviour when mask
+    /// guidance is disabled).
+    pub fn allow_all(stream_len: usize) -> MutationMask {
+        MutationMask {
+            words: vec![0x0f; word_count(stream_len)],
+        }
+    }
+
+    /// A mask forbidding everything (the starting point of Algorithm 2).
+    pub fn deny_all(stream_len: usize) -> MutationMask {
+        MutationMask {
+            words: vec![0; word_count(stream_len)],
+        }
+    }
+
+    /// Allow `op` at word `index`.
+    pub fn allow(&mut self, index: usize, op: MutationOp) {
+        if let Some(w) = self.words.get_mut(index) {
+            *w |= op.bit();
+        }
+    }
+
+    /// Is `op` allowed at word `index`? (`OKTOMUTATE` in Algorithm 1.)
+    pub fn ok_to_mutate(&self, index: usize, op: MutationOp) -> bool {
+        self.words
+            .get(index)
+            .map(|w| w & op.bit() != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of words the mask covers.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the mask covers no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// All `(word, op)` pairs that are allowed.
+    pub fn allowed_sites(&self) -> Vec<(usize, MutationOp)> {
+        let mut sites = Vec::new();
+        for (i, _) in self.words.iter().enumerate() {
+            for op in MutationOp::ALL {
+                if self.ok_to_mutate(i, op) {
+                    sites.push((i, op));
+                }
+            }
+        }
+        sites
+    }
+
+    /// Fraction of (word, op) sites that are frozen.
+    pub fn frozen_fraction(&self) -> f64 {
+        if self.words.is_empty() {
+            return 0.0;
+        }
+        let total = self.words.len() * 4;
+        let allowed = self.allowed_sites().len();
+        (total - allowed) as f64 / total as f64
+    }
+}
+
+/// Number of 32-byte words needed to cover a stream.
+pub fn word_count(stream_len: usize) -> usize {
+    stream_len.div_ceil(32).max(1)
+}
+
+/// The pool of interesting values used by the Replace operator: boundary
+/// values, common ether denominations and every constant pushed by the
+/// contract's own bytecode (the latter is what lets equality guards like
+/// `msg.value == 88 finney` be satisfied).
+#[derive(Clone, Debug)]
+pub struct InterestingValues {
+    values: Vec<U256>,
+}
+
+impl InterestingValues {
+    /// Default boundary values only.
+    pub fn defaults() -> InterestingValues {
+        InterestingValues {
+            values: vec![
+                U256::ZERO,
+                U256::ONE,
+                U256::from_u64(2),
+                U256::from_u64(100),
+                U256::from_u64(255),
+                U256::from_u64(256),
+                U256::from_u64(1_000),
+                U256::from_u64(u32::MAX as u64),
+                U256::from_u64(u64::MAX),
+                finney(1),
+                finney(88),
+                ether(1),
+                ether(100),
+                U256::MAX,
+                U256::MAX.wrapping_sub(U256::ONE),
+            ],
+        }
+    }
+
+    /// Defaults plus every PUSH constant harvested from the runtime bytecode.
+    pub fn harvest(runtime_code: &[u8]) -> InterestingValues {
+        let mut pool = Self::defaults();
+        for instr in disassemble(runtime_code) {
+            if let Opcode::Push(_) = instr.opcode {
+                let value = U256::from_be_slice(&instr.immediate);
+                if !pool.values.contains(&value) {
+                    pool.values.push(value);
+                }
+            }
+        }
+        pool
+    }
+
+    /// Add a value to the pool (used for the fuzzing world's well-known
+    /// addresses: senders, the attacker, the sink and the contract itself).
+    pub fn add(&mut self, value: U256) {
+        if !self.values.contains(&value) {
+            self.values.push(value);
+        }
+    }
+
+    /// Pick a random interesting value.
+    pub fn pick(&self, rng: &mut SmallRng) -> U256 {
+        self.values[rng.gen_range(0..self.values.len())]
+    }
+
+    /// Number of values in the pool.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the pool is empty (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Apply one mutation operator to a byte stream at the given word index,
+/// returning the mutated stream.
+pub fn apply_op(
+    stream: &[u8],
+    op: MutationOp,
+    word_index: usize,
+    rng: &mut SmallRng,
+    interesting: &InterestingValues,
+) -> Vec<u8> {
+    let mut out = stream.to_vec();
+    let start = word_index * 32;
+    match op {
+        MutationOp::Overwrite => {
+            if out.is_empty() {
+                return out;
+            }
+            // Either flip a handful of bytes or rewrite the whole word.
+            let end = (start + 32).min(out.len());
+            if start >= out.len() {
+                return out;
+            }
+            if rng.gen_bool(0.5) {
+                let count = rng.gen_range(1..=4usize);
+                for _ in 0..count {
+                    let pos = rng.gen_range(start..end);
+                    out[pos] = rng.gen();
+                }
+            } else {
+                for byte in out.iter_mut().take(end).skip(start) {
+                    *byte = rng.gen();
+                }
+            }
+        }
+        MutationOp::Insert => {
+            let insert_at = start.min(out.len());
+            let word = interesting.pick(rng).to_be_bytes();
+            out.splice(insert_at..insert_at, word.iter().copied());
+        }
+        MutationOp::Replace => {
+            let end = (start + 32).min(out.len());
+            if start >= out.len() {
+                // Replacing past the end appends a word instead.
+                out.extend_from_slice(&interesting.pick(rng).to_be_bytes());
+                return out;
+            }
+            let word = interesting.pick(rng).to_be_bytes();
+            let len = end - start;
+            out[start..end].copy_from_slice(&word[32 - len..]);
+        }
+        MutationOp::Delete => {
+            if out.len() <= 32 {
+                // Never delete the value word entirely; clear it instead.
+                for b in out.iter_mut() {
+                    *b = 0;
+                }
+                return out;
+            }
+            let end = (start + 32).min(out.len());
+            if start < out.len() {
+                out.drain(start..end);
+            }
+        }
+    }
+    out
+}
+
+/// Apply a random allowed mutation according to the mask. Returns `None` when
+/// the mask forbids everything.
+pub fn mutate_masked(
+    stream: &[u8],
+    mask: &MutationMask,
+    rng: &mut SmallRng,
+    interesting: &InterestingValues,
+) -> Option<Vec<u8>> {
+    let sites = mask.allowed_sites();
+    if sites.is_empty() {
+        return None;
+    }
+    let (word, op) = sites[rng.gen_range(0..sites.len())];
+    Some(apply_op(stream, op, word, rng, interesting))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn word_count_rounds_up() {
+        assert_eq!(word_count(0), 1);
+        assert_eq!(word_count(31), 1);
+        assert_eq!(word_count(32), 1);
+        assert_eq!(word_count(33), 2);
+        assert_eq!(word_count(96), 3);
+    }
+
+    #[test]
+    fn mask_allow_and_deny() {
+        let mut mask = MutationMask::deny_all(64);
+        assert_eq!(mask.len(), 2);
+        assert!(!mask.ok_to_mutate(0, MutationOp::Overwrite));
+        mask.allow(0, MutationOp::Overwrite);
+        assert!(mask.ok_to_mutate(0, MutationOp::Overwrite));
+        assert!(!mask.ok_to_mutate(0, MutationOp::Delete));
+        assert!(!mask.ok_to_mutate(1, MutationOp::Overwrite));
+        let all = MutationMask::allow_all(64);
+        assert_eq!(all.allowed_sites().len(), 8);
+        assert_eq!(all.frozen_fraction(), 0.0);
+        assert_eq!(MutationMask::deny_all(64).frozen_fraction(), 1.0);
+    }
+
+    #[test]
+    fn interesting_values_include_harvested_constants() {
+        // PUSH3 0x04c4b4 (314548) somewhere in the code.
+        let code = vec![0x62, 0x04, 0xc4, 0xb4, 0x00];
+        let pool = InterestingValues::harvest(&code);
+        assert!(pool.len() > InterestingValues::defaults().len());
+        let mut r = rng();
+        // Sampling repeatedly must eventually return only pool members.
+        for _ in 0..50 {
+            let _ = pool.pick(&mut r);
+        }
+    }
+
+    #[test]
+    fn overwrite_keeps_length() {
+        let stream = vec![0u8; 96];
+        let out = apply_op(
+            &stream,
+            MutationOp::Overwrite,
+            1,
+            &mut rng(),
+            &InterestingValues::defaults(),
+        );
+        assert_eq!(out.len(), 96);
+        assert_ne!(out, stream);
+        // Only the second word may differ.
+        assert_eq!(&out[..32], &stream[..32]);
+        assert_eq!(&out[64..], &stream[64..]);
+    }
+
+    #[test]
+    fn insert_grows_and_delete_shrinks() {
+        let stream = vec![1u8; 96];
+        let grown = apply_op(
+            &stream,
+            MutationOp::Insert,
+            1,
+            &mut rng(),
+            &InterestingValues::defaults(),
+        );
+        assert_eq!(grown.len(), 128);
+        let shrunk = apply_op(
+            &stream,
+            MutationOp::Delete,
+            1,
+            &mut rng(),
+            &InterestingValues::defaults(),
+        );
+        assert_eq!(shrunk.len(), 64);
+    }
+
+    #[test]
+    fn delete_never_removes_the_last_word() {
+        let stream = vec![9u8; 32];
+        let out = apply_op(
+            &stream,
+            MutationOp::Delete,
+            0,
+            &mut rng(),
+            &InterestingValues::defaults(),
+        );
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn replace_injects_interesting_values() {
+        let stream = vec![0u8; 64];
+        let mut r = rng();
+        let pool = InterestingValues::defaults();
+        let out = apply_op(&stream, MutationOp::Replace, 1, &mut r, &pool);
+        assert_eq!(out.len(), 64);
+        let injected = U256::from_be_slice(&out[32..]);
+        // The injected word must come from the pool.
+        assert!(pool.values.contains(&injected));
+    }
+
+    #[test]
+    fn out_of_range_word_indices_are_safe() {
+        let stream = vec![0u8; 32];
+        let pool = InterestingValues::defaults();
+        let mut r = rng();
+        let a = apply_op(&stream, MutationOp::Overwrite, 9, &mut r, &pool);
+        assert_eq!(a, stream);
+        let b = apply_op(&stream, MutationOp::Replace, 9, &mut r, &pool);
+        assert_eq!(b.len(), 64);
+        let c = apply_op(&stream, MutationOp::Delete, 9, &mut r, &pool);
+        assert_eq!(c.len(), 32);
+    }
+
+    #[test]
+    fn masked_mutation_respects_the_mask() {
+        let stream = vec![0u8; 64];
+        let pool = InterestingValues::defaults();
+        let mut r = rng();
+        let mut mask = MutationMask::deny_all(64);
+        assert!(mutate_masked(&stream, &mask, &mut r, &pool).is_none());
+        // Only allow Replace on word 1: the first word must stay untouched and
+        // the length stays the same.
+        mask.allow(1, MutationOp::Replace);
+        for _ in 0..20 {
+            let out = mutate_masked(&stream, &mask, &mut r, &pool).unwrap();
+            assert_eq!(out.len(), 64);
+            assert_eq!(&out[..32], &stream[..32]);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_for_a_seed() {
+        let stream: Vec<u8> = (0..96).map(|i| i as u8).collect();
+        let pool = InterestingValues::defaults();
+        let a = apply_op(
+            &stream,
+            MutationOp::Overwrite,
+            0,
+            &mut SmallRng::seed_from_u64(99),
+            &pool,
+        );
+        let b = apply_op(
+            &stream,
+            MutationOp::Overwrite,
+            0,
+            &mut SmallRng::seed_from_u64(99),
+            &pool,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the fuzzer's mutation layer: the operators never
+//! panic, respect masks and maintain stream-length invariants.
+
+use mufuzz::mutation::{
+    apply_op, mutate_masked, word_count, InterestingValues, MutationMask, MutationOp,
+};
+use mufuzz::{Sequence, TxInput};
+use mufuzz_evm::U256;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_stream() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+fn arb_op() -> impl Strategy<Value = MutationOp> {
+    prop_oneof![
+        Just(MutationOp::Overwrite),
+        Just(MutationOp::Insert),
+        Just(MutationOp::Replace),
+        Just(MutationOp::Delete),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn apply_op_never_panics_and_bounds_growth(
+        stream in arb_stream(),
+        op in arb_op(),
+        word in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let pool = InterestingValues::defaults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = apply_op(&stream, op, word, &mut rng, &pool);
+        // A single mutation changes the length by at most one 32-byte word.
+        prop_assert!(out.len() + 32 >= stream.len());
+        prop_assert!(out.len() <= stream.len() + 32);
+    }
+
+    #[test]
+    fn overwrite_and_replace_preserve_length(
+        stream in proptest::collection::vec(any::<u8>(), 32..256),
+        word in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let pool = InterestingValues::defaults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = stream.len();
+        let overwritten = apply_op(&stream, MutationOp::Overwrite, word % word_count(len), &mut rng, &pool);
+        prop_assert_eq!(overwritten.len(), len);
+        let replaced = apply_op(&stream, MutationOp::Replace, word % word_count(len), &mut rng, &pool);
+        prop_assert_eq!(replaced.len(), len);
+    }
+
+    #[test]
+    fn masked_mutation_never_touches_fully_frozen_words(
+        stream in proptest::collection::vec(any::<u8>(), 64..160),
+        seed in any::<u64>(),
+    ) {
+        // Freeze everything except the last word with length-preserving ops.
+        let words = word_count(stream.len());
+        let mut mask = MutationMask::deny_all(stream.len());
+        mask.allow(words - 1, MutationOp::Overwrite);
+        mask.allow(words - 1, MutationOp::Replace);
+        let pool = InterestingValues::defaults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = mutate_masked(&stream, &mask, &mut rng, &pool).unwrap();
+        prop_assert_eq!(out.len(), stream.len());
+        // All frozen words are untouched.
+        let frozen_end = (words - 1) * 32;
+        prop_assert_eq!(&out[..frozen_end], &stream[..frozen_end]);
+    }
+
+    #[test]
+    fn fully_denied_masks_produce_no_mutants(stream in arb_stream(), seed in any::<u64>()) {
+        let mask = MutationMask::deny_all(stream.len());
+        let pool = InterestingValues::defaults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert!(mutate_masked(&stream, &mask, &mut rng, &pool).is_none());
+    }
+
+    #[test]
+    fn tx_input_value_and_args_are_consistent(
+        value in proptest::array::uniform32(any::<u8>()),
+        words in proptest::collection::vec(proptest::array::uniform32(any::<u8>()), 0..4),
+    ) {
+        let value = U256::from_be_bytes(value);
+        let args: Vec<U256> = words.iter().map(|w| U256::from_be_bytes(*w)).collect();
+        let tx = TxInput::new("f", 0, value, &args);
+        prop_assert_eq!(tx.value(), value);
+        for (i, arg) in args.iter().enumerate() {
+            prop_assert_eq!(tx.arg_word(i), *arg);
+        }
+        prop_assert_eq!(tx.stream.len(), 32 * (1 + args.len()));
+    }
+
+    #[test]
+    fn sequence_shape_reflects_functions(names in proptest::collection::vec("[a-c]{1,4}", 1..6)) {
+        let seq = Sequence::new(names.iter().map(|n| TxInput::simple(n)).collect());
+        let shape = seq.shape();
+        prop_assert_eq!(shape.split("->").count(), names.len());
+        for name in &names {
+            prop_assert!(shape.contains(name.as_str()));
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Hand-written benchmark contracts.
+//!
+//! These are the fixed reference points of the corpus: the paper's two
+//! running examples (the Crowdsale contract of Figure 1 and the guess-number
+//! Game of Figure 4) plus at least one representative vulnerable contract per
+//! bug class, each carrying its ground-truth annotations.
+
+use mufuzz_oracles::{Annotation, BugClass};
+
+/// A benchmark contract: source code plus ground-truth annotations.
+#[derive(Clone, Debug)]
+pub struct BenchContract {
+    /// Unique name of the benchmark entry.
+    pub name: String,
+    /// Mini-Solidity source code.
+    pub source: String,
+    /// Annotated vulnerabilities (empty for benign contracts).
+    pub annotations: Vec<Annotation>,
+}
+
+impl BenchContract {
+    /// Create a benchmark contract.
+    pub fn new(name: &str, source: &str, annotations: Vec<Annotation>) -> BenchContract {
+        BenchContract {
+            name: name.to_string(),
+            source: source.to_string(),
+            annotations,
+        }
+    }
+
+    /// True if the contract carries at least one annotation of the class.
+    pub fn has_bug(&self, class: BugClass) -> bool {
+        self.annotations.iter().any(|a| a.class == class)
+    }
+}
+
+/// The paper's Figure 1: the simplified Crowdsale contract whose guarded bug
+/// needs the sequence `[invest, ..., invest, withdraw]`.
+pub const CROWDSALE_SOURCE: &str = r#"
+contract Crowdsale {
+    uint256 phase = 0;
+    uint256 goal;
+    uint256 invested;
+    address owner;
+    mapping(address => uint256) invests;
+
+    constructor() public {
+        goal = 100 ether;
+        invested = 0;
+        owner = msg.sender;
+    }
+
+    function invest(uint256 donations) public payable {
+        if (invested < goal) {
+            invests[msg.sender] += donations;
+            invested += donations;
+            phase = 0;
+        } else {
+            phase = 1;
+        }
+    }
+
+    function refund() public {
+        if (phase == 0) {
+            msg.sender.transfer(invests[msg.sender]);
+            invests[msg.sender] = 0;
+        }
+    }
+
+    function withdraw() public {
+        if (phase == 1) {
+            bug();
+            owner.transfer(invested);
+        }
+    }
+}
+"#;
+
+/// The paper's Figure 4: the guess-number Game contract with a strict
+/// `msg.value` guard, nested branches and a potential integer overflow.
+pub const GAME_SOURCE: &str = r#"
+contract Game {
+    mapping(address => uint256) balance;
+
+    function guessNum(uint256 number) public payable {
+        uint256 random = uint256(keccak256(abi.encodePacked(block.timestamp, now))) % 200;
+        require(msg.value == 88 finney);
+        if (number < random) {
+            uint256 luckyNum = number % 2;
+            if (luckyNum == 0) {
+                balance[msg.sender] += msg.value * 10;
+            } else {
+                balance[msg.sender] += msg.value * 5;
+            }
+        }
+    }
+}
+"#;
+
+/// The motivating Crowdsale example (Figure 1).
+pub fn crowdsale() -> BenchContract {
+    BenchContract::new("crowdsale_fig1", CROWDSALE_SOURCE, vec![])
+}
+
+/// The guess-number Game example (Figure 4).
+pub fn game() -> BenchContract {
+    BenchContract::new(
+        "game_fig4",
+        GAME_SOURCE,
+        vec![Annotation::in_function(
+            BugClass::BlockDependency,
+            "guessNum",
+        )],
+    )
+}
+
+/// A reentrancy-vulnerable bank (DAO-style withdraw).
+pub fn reentrant_bank() -> BenchContract {
+    BenchContract::new(
+        "reentrant_bank",
+        r#"
+        contract Bank {
+            mapping(address => uint256) balances;
+            function deposit() public payable { balances[msg.sender] += msg.value; }
+            function withdraw() public {
+                if (balances[msg.sender] > 0) {
+                    msg.sender.call.value(balances[msg.sender])();
+                    balances[msg.sender] = 0;
+                }
+            }
+            function balanceOf(address who) public returns (uint256) { return balances[who]; }
+        }
+        "#,
+        vec![Annotation::in_function(BugClass::Reentrancy, "withdraw")],
+    )
+}
+
+/// A timestamp-dependent lottery.
+pub fn timestamp_lottery() -> BenchContract {
+    BenchContract::new(
+        "timestamp_lottery",
+        r#"
+        contract Lottery {
+            uint256 pot;
+            address lastWinner;
+            function enter() public payable { pot += msg.value; }
+            function draw() public {
+                if (block.timestamp % 13 == 0) {
+                    lastWinner = msg.sender;
+                    msg.sender.transfer(pot);
+                    pot = 0;
+                }
+            }
+            function jackpot() public {
+                if (block.number % 1000 == 7) {
+                    msg.sender.transfer(pot);
+                }
+            }
+        }
+        "#,
+        vec![
+            Annotation::in_function(BugClass::BlockDependency, "draw"),
+            Annotation::in_function(BugClass::BlockDependency, "jackpot"),
+        ],
+    )
+}
+
+/// An unprotected delegatecall proxy.
+pub fn delegatecall_proxy() -> BenchContract {
+    BenchContract::new(
+        "delegatecall_proxy",
+        r#"
+        contract Proxy {
+            address owner;
+            uint256 nonce;
+            constructor() public { owner = msg.sender; }
+            function forward(address callee, uint256 data) public {
+                nonce += 1;
+                callee.delegatecall(data);
+            }
+            function forwardSafe(address callee, uint256 data) public {
+                require(msg.sender == owner);
+                nonce += 1;
+                callee.delegatecall(data);
+            }
+        }
+        "#,
+        vec![Annotation::in_function(
+            BugClass::UnprotectedDelegatecall,
+            "forward",
+        )],
+    )
+}
+
+/// An ERC20-style token with an unchecked multiplication/addition overflow.
+pub fn overflow_token() -> BenchContract {
+    BenchContract::new(
+        "overflow_token",
+        r#"
+        contract Token {
+            mapping(address => uint256) balances;
+            uint256 totalSupply;
+            uint256 price = 2;
+            function buy(uint256 amount) public payable {
+                uint256 cost = amount * price;
+                require(msg.value >= cost);
+                balances[msg.sender] += amount;
+                totalSupply += amount;
+            }
+            function batchTransfer(address to, uint256 count, uint256 each) public {
+                uint256 total = count * each;
+                require(balances[msg.sender] >= total);
+                balances[msg.sender] -= total;
+                balances[to] += count * each;
+            }
+        }
+        "#,
+        vec![
+            Annotation::in_function(BugClass::IntegerOverflow, "buy"),
+            Annotation::in_function(BugClass::IntegerOverflow, "batchTransfer"),
+        ],
+    )
+}
+
+/// A vault that accepts ether but can never release it.
+pub fn frozen_vault() -> BenchContract {
+    BenchContract::new(
+        "frozen_vault",
+        r#"
+        contract Vault {
+            mapping(address => uint256) deposits;
+            uint256 total;
+            function lock() public payable {
+                deposits[msg.sender] += msg.value;
+                total += msg.value;
+            }
+            function audit() public returns (uint256) { return total; }
+        }
+        "#,
+        vec![Annotation::contract(BugClass::EtherFreezing)],
+    )
+}
+
+/// A contract anyone can self-destruct.
+pub fn suicidal_wallet() -> BenchContract {
+    BenchContract::new(
+        "suicidal_wallet",
+        r#"
+        contract Wallet {
+            address owner;
+            uint256 funds;
+            constructor() public { owner = msg.sender; }
+            function store() public payable { funds += msg.value; }
+            function sweep() public {
+                selfdestruct(msg.sender);
+            }
+        }
+        "#,
+        vec![Annotation::in_function(
+            BugClass::UnprotectedSelfDestruct,
+            "sweep",
+        )],
+    )
+}
+
+/// A game that compares the contract balance for strict equality.
+pub fn strict_equality_game() -> BenchContract {
+    BenchContract::new(
+        "strict_equality_game",
+        r#"
+        contract EqualGame {
+            address winner;
+            function play() public payable {
+                if (address(this).balance == 10 ether) {
+                    winner = msg.sender;
+                    msg.sender.transfer(address(this).balance);
+                }
+            }
+        }
+        "#,
+        vec![Annotation::in_function(
+            BugClass::StrictEtherEquality,
+            "play",
+        )],
+    )
+}
+
+/// Authentication via `tx.origin`.
+pub fn tx_origin_auth() -> BenchContract {
+    BenchContract::new(
+        "tx_origin_auth",
+        r#"
+        contract OriginAuth {
+            address owner;
+            uint256 secret;
+            constructor() public { owner = msg.sender; }
+            function update(uint256 value) public {
+                require(tx.origin == owner);
+                secret = value;
+            }
+            function drain() public {
+                if (tx.origin == owner) {
+                    msg.sender.transfer(address(this).balance);
+                }
+            }
+        }
+        "#,
+        vec![
+            Annotation::in_function(BugClass::TxOriginUse, "update"),
+            Annotation::in_function(BugClass::TxOriginUse, "drain"),
+        ],
+    )
+}
+
+/// Unchecked low-level sends.
+pub fn unchecked_send() -> BenchContract {
+    BenchContract::new(
+        "unchecked_send",
+        r#"
+        contract Payout {
+            mapping(address => uint256) owed;
+            uint256 paid;
+            function credit(address who, uint256 amount) public payable { owed[who] += amount; }
+            function pay(address who) public {
+                who.send(owed[who]);
+                paid += owed[who];
+                owed[who] = 0;
+            }
+            function payChecked(address who) public {
+                require(who.send(owed[who]));
+                owed[who] = 0;
+            }
+        }
+        "#,
+        vec![Annotation::in_function(BugClass::UnhandledException, "pay")],
+    )
+}
+
+/// A benign multi-function contract with no annotated bugs; used for false
+/// positive analysis.
+pub fn benign_ledger() -> BenchContract {
+    BenchContract::new(
+        "benign_ledger",
+        r#"
+        contract Ledger {
+            address owner;
+            mapping(address => uint256) balances;
+            uint256 total;
+            constructor() public { owner = msg.sender; }
+            function deposit() public payable {
+                require(msg.value > 0);
+                balances[msg.sender] += msg.value;
+                total += msg.value;
+            }
+            function withdraw(uint256 amount) public {
+                require(balances[msg.sender] >= amount);
+                balances[msg.sender] -= amount;
+                total -= amount;
+                msg.sender.transfer(amount);
+            }
+            function close() public {
+                require(msg.sender == owner);
+                selfdestruct(owner);
+            }
+        }
+        "#,
+        vec![],
+    )
+}
+
+/// All hand-written benchmark contracts.
+pub fn all_handwritten() -> Vec<BenchContract> {
+    vec![
+        crowdsale(),
+        game(),
+        reentrant_bank(),
+        timestamp_lottery(),
+        delegatecall_proxy(),
+        overflow_token(),
+        frozen_vault(),
+        suicidal_wallet(),
+        strict_equality_game(),
+        tx_origin_auth(),
+        unchecked_send(),
+        benign_ledger(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_lang::compile_source;
+
+    #[test]
+    fn every_handwritten_contract_compiles() {
+        for c in all_handwritten() {
+            let compiled = compile_source(&c.source);
+            assert!(compiled.is_ok(), "{} failed to compile: {:?}", c.name, compiled.err());
+            assert!(compiled.unwrap().instruction_count() > 20, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn every_bug_class_is_covered_by_some_contract() {
+        let contracts = all_handwritten();
+        for class in BugClass::ALL {
+            assert!(
+                contracts.iter().any(|c| c.has_bug(class)),
+                "no handwritten contract annotated with {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let contracts = all_handwritten();
+        let names: std::collections::BTreeSet<&str> =
+            contracts.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), contracts.len());
+    }
+
+    #[test]
+    fn benign_contract_has_no_annotations() {
+        assert!(benign_ledger().annotations.is_empty());
+        assert!(!benign_ledger().has_bug(BugClass::Reentrancy));
+    }
+}

@@ -1,0 +1,351 @@
+//! Procedural contract generator.
+//!
+//! Stands in for the paper's real-world datasets (§V-A): it produces
+//! deterministic, seeded mini-Solidity contracts whose difficulty knobs match
+//! the properties the paper's evaluation depends on — state-variable coupling
+//! between functions (so transaction ordering matters), strict constant
+//! guards (so arbitrary byte mutation rarely satisfies them), nested branches
+//! (so energy allocation matters) and optional injected vulnerabilities with
+//! ground-truth annotations.
+
+use crate::contracts::BenchContract;
+use mufuzz_oracles::{Annotation, BugClass};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt::Write;
+
+/// Knobs controlling one generated contract.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// RNG seed; the same seed always produces the same contract.
+    pub seed: u64,
+    /// Number of `uint256` state variables.
+    pub state_vars: usize,
+    /// Number of state-machine functions (excluding injected bug functions).
+    pub functions: usize,
+    /// Maximum `if` nesting depth inside a function.
+    pub max_nesting: usize,
+    /// Probability that a branch condition compares against a "magic"
+    /// constant (hard to satisfy by random mutation).
+    pub magic_guard_prob: f64,
+    /// Probability that a function is payable.
+    pub payable_prob: f64,
+    /// Probability that a function participates in the strict stage
+    /// progression (`require(stage == i)`), which makes transaction ordering
+    /// matter. Non-strict functions only require the stage to have been
+    /// reached at some point.
+    pub strict_stage_prob: f64,
+    /// Probability that advancing a stage requires the same function to be
+    /// called repeatedly (an accumulation threshold larger than one call can
+    /// satisfy) — the RAW-repetition pattern of §IV-A.
+    pub repetition_prob: f64,
+    /// Emit an owner-guarded `drain` function that can release the contract's
+    /// ether (disable to build ether-freezing hosts).
+    pub include_drain: bool,
+    /// Bug classes to inject (one extra function per class).
+    pub inject: Vec<BugClass>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 1,
+            state_vars: 4,
+            functions: 4,
+            max_nesting: 2,
+            magic_guard_prob: 0.4,
+            payable_prob: 0.4,
+            strict_stage_prob: 0.8,
+            repetition_prob: 0.35,
+            include_drain: true,
+            inject: Vec::new(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Configuration for a "small" D1-style contract.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            state_vars: 3 + (seed % 3) as usize,
+            functions: 3 + (seed % 3) as usize,
+            max_nesting: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration for a "large" D1-style contract.
+    pub fn large(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            state_vars: 8 + (seed % 4) as usize,
+            functions: 10 + (seed % 6) as usize,
+            max_nesting: 3,
+            magic_guard_prob: 0.5,
+            ..Default::default()
+        }
+    }
+
+    /// Add injected bug classes.
+    pub fn with_bugs(mut self, bugs: Vec<BugClass>) -> Self {
+        self.inject = bugs;
+        self
+    }
+
+    /// Enable or disable the owner-guarded drain function.
+    pub fn with_drain(mut self, include: bool) -> Self {
+        self.include_drain = include;
+        self
+    }
+}
+
+/// Generate one contract from a configuration.
+pub fn generate_contract(name: &str, config: &GeneratorConfig) -> BenchContract {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut src = String::new();
+    let mut annotations = Vec::new();
+
+    writeln!(src, "contract {name} {{").unwrap();
+    // State variables: a stage counter driving the progression, the
+    // accumulation variables, an owner and a per-account ledger.
+    writeln!(src, "    uint256 stage;").unwrap();
+    for i in 0..config.state_vars {
+        writeln!(src, "    uint256 s{i};").unwrap();
+    }
+    writeln!(src, "    address owner;").unwrap();
+    writeln!(src, "    mapping(address => uint256) ledger;").unwrap();
+    writeln!(src, "    constructor() public {{ owner = msg.sender; }}").unwrap();
+
+    // A strict state machine: function `step_i` is only enabled once the
+    // progression has reached stage `i` (so transaction *ordering* matters),
+    // and advancing to stage `i+1` requires an accumulation threshold that may
+    // take several calls of the same function (so *repetition* matters). The
+    // deepest stages hold the nested branches and bug markers — exactly the
+    // "deep state" structure the paper's evaluation exercises.
+    for i in 0..config.functions {
+        let slot = i % config.state_vars.max(1);
+        let payable = rng.gen_bool(config.payable_prob);
+        let payable_kw = if payable { " payable" } else { "" };
+        writeln!(
+            src,
+            "    function step{i}(uint256 a, uint256 b) public{payable_kw} {{"
+        )
+        .unwrap();
+
+        // Stage guard: strict equality (ordering-sensitive) or a looser
+        // lower bound.
+        if rng.gen_bool(config.strict_stage_prob) {
+            writeln!(src, "        require(stage == {i});").unwrap();
+        } else {
+            writeln!(src, "        require(stage >= {});", i / 2).unwrap();
+        }
+
+        // Optional magic-constant guard on a parameter: hard to satisfy by
+        // blind mutation, easy once the constant (harvested from the
+        // bytecode) is preserved by the mutation mask.
+        if rng.gen_bool(config.magic_guard_prob) {
+            let magic: u64 = rng.gen_range(1_000..1_000_000);
+            writeln!(src, "        require(a == {magic});").unwrap();
+        }
+
+        // Accumulation creating a RAW dependency on s{slot}.
+        writeln!(src, "        s{slot} += b % 1000 + 1;").unwrap();
+
+        // Advancing the stage requires the accumulator to pass a threshold;
+        // thresholds above 1000 cannot be satisfied by a single call.
+        let threshold: u64 = if rng.gen_bool(config.repetition_prob) {
+            rng.gen_range(1_100..2_800)
+        } else {
+            rng.gen_range(2..900)
+        };
+        writeln!(src, "        if (s{slot} >= {threshold}) {{").unwrap();
+        writeln!(src, "            stage = {};", i + 1).unwrap();
+        let mut open = 1usize;
+        let nesting = rng.gen_range(1..=config.max_nesting.max(1));
+        for level in 1..nesting {
+            let t: u64 = rng.gen_range(1..1000);
+            let var = rng.gen_range(0..config.state_vars.max(1));
+            writeln!(
+                src,
+                "        {}if (s{var} + b > {t}) {{",
+                "    ".repeat(level)
+            )
+            .unwrap();
+            open += 1;
+        }
+        let indent = "    ".repeat(open);
+        writeln!(src, "        {indent}s{slot} = s{slot} + a % 7;").unwrap();
+        writeln!(src, "        {indent}ledger[msg.sender] += 1;").unwrap();
+        if rng.gen_bool(0.3) {
+            writeln!(src, "        {indent}bug();").unwrap();
+        }
+        for level in (0..open).rev() {
+            writeln!(src, "        {}}}", "    ".repeat(level)).unwrap();
+        }
+        writeln!(src, "    }}").unwrap();
+    }
+
+    // A read-only probe function so coverage has a cheap baseline.
+    writeln!(
+        src,
+        "    function probe() public returns (uint256) {{ return stage; }}"
+    )
+    .unwrap();
+
+    // An owner-guarded drain so generated contracts are not spuriously
+    // ether-freezing (disabled for dedicated ether-freezing hosts).
+    if config.include_drain {
+        writeln!(
+            src,
+            "    function drainToOwner() public {{\n        require(msg.sender == owner);\n        msg.sender.transfer(address(this).balance);\n    }}"
+        )
+        .unwrap();
+    }
+
+    // Injected vulnerable functions.
+    for class in &config.inject {
+        let (body, annotation) = injected_function(*class, &mut rng);
+        src.push_str(&body);
+        annotations.push(annotation);
+    }
+
+    writeln!(src, "}}").unwrap();
+    BenchContract::new(name, &src, annotations)
+}
+
+/// Source text and annotation for one injected vulnerable function.
+fn injected_function(class: BugClass, rng: &mut SmallRng) -> (String, Annotation) {
+    let id: u32 = rng.gen_range(0..1_000);
+    match class {
+        BugClass::BlockDependency => (
+            format!(
+                "    function luckyDraw{id}() public payable {{\n        if (block.timestamp % 17 == 3) {{\n            msg.sender.transfer(address(this).balance);\n        }}\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::BlockDependency, &format!("luckyDraw{id}")),
+        ),
+        BugClass::UnprotectedDelegatecall => (
+            format!(
+                "    function relay{id}(address callee, uint256 data) public {{\n        callee.delegatecall(data);\n    }}\n"
+            ),
+            Annotation::in_function(
+                BugClass::UnprotectedDelegatecall,
+                &format!("relay{id}"),
+            ),
+        ),
+        BugClass::EtherFreezing => (
+            // Ether freezing is a whole-contract property; the injected
+            // function just makes the contract payable. Only meaningful when
+            // the surrounding contract has no transfer paths, so the dataset
+            // builders inject it into transfer-free contracts.
+            format!(
+                "    function hodl{id}() public payable {{\n        ledger[msg.sender] += msg.value;\n    }}\n"
+            ),
+            Annotation::contract(BugClass::EtherFreezing),
+        ),
+        BugClass::IntegerOverflow => (
+            format!(
+                "    function mint{id}(uint256 amount) public {{\n        ledger[msg.sender] += amount * 340282366920938463463374607431768211455;\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::IntegerOverflow, &format!("mint{id}")),
+        ),
+        BugClass::Reentrancy => (
+            format!(
+                "    function cashOut{id}() public {{\n        if (ledger[msg.sender] > 0) {{\n            msg.sender.call.value(ledger[msg.sender])();\n            ledger[msg.sender] = 0;\n        }}\n    }}\n    function fund{id}() public payable {{\n        ledger[msg.sender] += msg.value;\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::Reentrancy, &format!("cashOut{id}")),
+        ),
+        BugClass::UnprotectedSelfDestruct => (
+            format!(
+                "    function shutdown{id}() public {{\n        selfdestruct(msg.sender);\n    }}\n"
+            ),
+            Annotation::in_function(
+                BugClass::UnprotectedSelfDestruct,
+                &format!("shutdown{id}"),
+            ),
+        ),
+        BugClass::StrictEtherEquality => (
+            format!(
+                "    function exactPot{id}() public payable {{\n        if (address(this).balance == 5 ether) {{\n            msg.sender.transfer(address(this).balance);\n        }}\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::StrictEtherEquality, &format!("exactPot{id}")),
+        ),
+        BugClass::TxOriginUse => (
+            format!(
+                "    function adminReset{id}(uint256 v) public {{\n        require(tx.origin == owner);\n        s0 = v;\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::TxOriginUse, &format!("adminReset{id}")),
+        ),
+        BugClass::UnhandledException => (
+            format!(
+                "    function spray{id}(address who) public payable {{\n        who.send(ledger[who] + 1);\n        ledger[who] = 0;\n    }}\n"
+            ),
+            Annotation::in_function(BugClass::UnhandledException, &format!("spray{id}")),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_lang::compile_source;
+
+    #[test]
+    fn generated_contracts_compile_across_seeds() {
+        for seed in 0..25u64 {
+            let contract = generate_contract(
+                &format!("Gen{seed}"),
+                &GeneratorConfig::small(seed),
+            );
+            let compiled = compile_source(&contract.source);
+            assert!(
+                compiled.is_ok(),
+                "seed {seed} failed: {:?}\n{}",
+                compiled.err(),
+                contract.source
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_contract("X", &GeneratorConfig::small(42));
+        let b = generate_contract("X", &GeneratorConfig::small(42));
+        assert_eq!(a.source, b.source);
+        let c = generate_contract("X", &GeneratorConfig::small(43));
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn large_contracts_are_bigger_than_small_ones() {
+        let small = generate_contract("S", &GeneratorConfig::small(7));
+        let large = generate_contract("L", &GeneratorConfig::large(7));
+        let small_instrs = compile_source(&small.source).unwrap().instruction_count();
+        let large_instrs = compile_source(&large.source).unwrap().instruction_count();
+        assert!(large_instrs > small_instrs * 2, "{small_instrs} vs {large_instrs}");
+    }
+
+    #[test]
+    fn injected_bugs_compile_and_carry_annotations() {
+        for class in BugClass::ALL {
+            let cfg = GeneratorConfig::small(11).with_bugs(vec![class]);
+            let contract = generate_contract("Buggy", &cfg);
+            assert!(contract.has_bug(class), "{class}");
+            let compiled = compile_source(&contract.source);
+            assert!(compiled.is_ok(), "{class}: {:?}", compiled.err());
+        }
+    }
+
+    #[test]
+    fn multiple_injected_bugs_in_one_contract() {
+        let cfg = GeneratorConfig::small(3).with_bugs(vec![
+            BugClass::Reentrancy,
+            BugClass::IntegerOverflow,
+            BugClass::TxOriginUse,
+        ]);
+        let contract = generate_contract("Multi", &cfg);
+        assert_eq!(contract.annotations.len(), 3);
+        assert!(compile_source(&contract.source).is_ok());
+    }
+}

@@ -1,0 +1,37 @@
+//! # mufuzz-corpus
+//!
+//! The benchmark corpus for the MuFuzz reproduction.
+//!
+//! The paper evaluates on three datasets of real Ethereum contracts
+//! (Table II). Those datasets are not available offline, so this crate
+//! substitutes them with:
+//!
+//! * [`contracts`] — hand-written benchmark contracts, including the paper's
+//!   two running examples (Figure 1 Crowdsale, Figure 4 Game) and one or more
+//!   annotated vulnerable contracts per bug class;
+//! * [`generator`] — a seeded procedural generator producing contracts with
+//!   the structural properties the evaluation depends on (ordering-sensitive
+//!   state, magic-constant guards, nested branches, injected bugs);
+//! * [`datasets`] — D1-small/D1-large/D2/D3 builders plus the Table II
+//!   summary rows.
+//!
+//! ```
+//! use mufuzz_corpus::{contracts, datasets};
+//! use mufuzz_lang::compile_source;
+//!
+//! let crowdsale = contracts::crowdsale();
+//! assert!(compile_source(&crowdsale.source).is_ok());
+//!
+//! let d2 = datasets::d2(1);
+//! assert!(d2.total_annotations() > 9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod datasets;
+pub mod generator;
+
+pub use contracts::{all_handwritten, BenchContract};
+pub use datasets::{d1_large, d1_small, d2, d3, table2_summaries, Dataset, DatasetSummary};
+pub use generator::{generate_contract, GeneratorConfig};

@@ -1,0 +1,132 @@
+//! Transaction and block environment types.
+
+use crate::trace::{ExecutionTrace, HaltReason};
+use crate::types::Address;
+use crate::u256::U256;
+
+/// The block-level environment visible to contracts via `TIMESTAMP`,
+/// `NUMBER`, `COINBASE`, etc. The fuzzer mutates the timestamp/number fields
+/// to exercise block-dependency branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEnv {
+    /// Block number.
+    pub number: u64,
+    /// Block timestamp (seconds).
+    pub timestamp: u64,
+    /// Miner / coinbase address.
+    pub coinbase: Address,
+    /// Block gas limit.
+    pub gas_limit: u64,
+    /// Difficulty value (pre-merge semantics, exposed via `DIFFICULTY`).
+    pub difficulty: U256,
+}
+
+impl Default for BlockEnv {
+    fn default() -> Self {
+        BlockEnv {
+            number: 10_000_000,
+            timestamp: 1_700_000_000,
+            coinbase: Address::from_low_u64(0xc0ffee),
+            gas_limit: 30_000_000,
+            difficulty: U256::from_u64(2_000_000_000_000),
+        }
+    }
+}
+
+impl BlockEnv {
+    /// Advance to the next block: increments the number and adds a plausible
+    /// inter-block delay to the timestamp.
+    pub fn advance(&mut self) {
+        self.number += 1;
+        self.timestamp += 13;
+    }
+}
+
+/// A top-level message (transaction) to execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Immediate caller (`msg.sender`).
+    pub caller: Address,
+    /// Transaction originator (`tx.origin`). Usually equals `caller` for
+    /// top-level transactions.
+    pub origin: Address,
+    /// Callee contract.
+    pub to: Address,
+    /// Ether value transferred (`msg.value`).
+    pub value: U256,
+    /// Calldata (function selector + ABI-encoded arguments).
+    pub data: Vec<u8>,
+    /// Gas limit for the transaction.
+    pub gas: u64,
+}
+
+impl Message {
+    /// Convenience constructor with origin == caller and a default gas limit.
+    pub fn new(caller: Address, to: Address, value: U256, data: Vec<u8>) -> Self {
+        Message {
+            caller,
+            origin: caller,
+            to,
+            value,
+            data,
+            gas: 10_000_000,
+        }
+    }
+
+    /// Function selector of the calldata, if present.
+    pub fn selector(&self) -> Option<[u8; 4]> {
+        if self.data.len() >= 4 {
+            Some([self.data[0], self.data[1], self.data[2], self.data[3]])
+        } else {
+            None
+        }
+    }
+}
+
+/// The outcome of executing a top-level transaction.
+#[derive(Clone, Debug)]
+pub struct ExecutionResult {
+    /// True if the outermost frame completed without exception and state was
+    /// committed.
+    pub success: bool,
+    /// Return data of the outermost frame.
+    pub output: Vec<u8>,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Why execution halted.
+    pub halt: HaltReason,
+    /// Full instrumentation trace.
+    pub trace: ExecutionTrace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_env_advance() {
+        let mut env = BlockEnv::default();
+        let (n0, t0) = (env.number, env.timestamp);
+        env.advance();
+        assert_eq!(env.number, n0 + 1);
+        assert!(env.timestamp > t0);
+    }
+
+    #[test]
+    fn message_selector_extraction() {
+        let msg = Message::new(
+            Address::from_low_u64(1),
+            Address::from_low_u64(2),
+            U256::ZERO,
+            vec![0xaa, 0xbb, 0xcc, 0xdd, 0x01],
+        );
+        assert_eq!(msg.selector(), Some([0xaa, 0xbb, 0xcc, 0xdd]));
+        let short = Message::new(
+            Address::from_low_u64(1),
+            Address::from_low_u64(2),
+            U256::ZERO,
+            vec![0xaa],
+        );
+        assert_eq!(short.selector(), None);
+    }
+}

@@ -1,0 +1,1336 @@
+//! The EVM interpreter.
+//!
+//! A fully instrumented 256-bit stack machine. It supports the opcode subset
+//! emitted by the `mufuzz-lang` compiler plus the instructions the bug
+//! oracles and path-prefix analysis inspect. Every transaction execution
+//! produces an [`ExecutionTrace`] with branch decisions, coverage edges,
+//! arithmetic truncation events, call events and storage writes.
+
+use crate::env::{BlockEnv, ExecutionResult, Message};
+use crate::keccak::keccak256;
+use crate::opcode::Opcode;
+use crate::state::{HostBehaviour, WorldState};
+use crate::trace::{
+    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,
+    HaltReason, SelfDestructEvent, StorageWrite, Taint,
+};
+use crate::types::Address;
+use crate::u256::U256;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Configuration knobs for the interpreter.
+#[derive(Clone, Copy, Debug)]
+pub struct EvmConfig {
+    /// Maximum nested call depth.
+    pub max_call_depth: usize,
+    /// Maximum memory size per frame in bytes.
+    pub max_memory: usize,
+    /// Hard cap on executed instructions per transaction (loop guard in
+    /// addition to gas).
+    pub max_instructions: usize,
+    /// Gas stipend forwarded on value-bearing `transfer`/`send` style calls.
+    pub call_stipend: u64,
+}
+
+impl Default for EvmConfig {
+    fn default() -> Self {
+        EvmConfig {
+            max_call_depth: 16,
+            max_memory: 1 << 20,
+            max_instructions: 400_000,
+            call_stipend: 2_300,
+        }
+    }
+}
+
+/// Simple static gas schedule.
+fn gas_cost(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Stop | JumpDest => 1,
+        Push(_) | Dup(_) | Swap(_) | Pop | Pc | MSize | Gas | Address | Origin | Caller
+        | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number
+        | Difficulty | GasLimit | SelfBalance => 2,
+        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl
+        | Shr | CallDataLoad | MLoad | MStore | MStore8 => 3,
+        Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
+        AddMod | MulMod | Jump => 8,
+        JumpI => 10,
+        Exp => 50,
+        Sha3 => 36,
+        Balance | BlockHash => 400,
+        SLoad => 200,
+        SStore => 5_000,
+        Log(n) => 375 * (n as u64 + 1),
+        Call | CallCode | DelegateCall | StaticCall => 700,
+        Create => 32_000,
+        Return | Revert => 0,
+        Invalid | SelfDestruct | CallDataCopy | Unknown(_) => 2,
+    }
+}
+
+/// The result of running a single call frame.
+struct FrameResult {
+    halt: HaltReason,
+    output: Vec<u8>,
+    gas_left: u64,
+}
+
+/// One entry on the interpreter's internal call stack: which contract's code
+/// is executing at which depth. Used to detect re-entrancy.
+#[derive(Clone, Copy)]
+struct FrameInfo {
+    code_address: Address,
+}
+
+/// The EVM: executes messages against a mutable world state.
+pub struct Evm<'w> {
+    /// World state mutated by execution (committed only on success).
+    pub world: &'w mut WorldState,
+    /// Block environment.
+    pub block: BlockEnv,
+    /// Configuration.
+    pub config: EvmConfig,
+}
+
+impl<'w> Evm<'w> {
+    /// Create an interpreter over a world state with the given block env.
+    pub fn new(world: &'w mut WorldState, block: BlockEnv) -> Self {
+        Evm {
+            world,
+            block,
+            config: EvmConfig::default(),
+        }
+    }
+
+    /// Deploy a contract: create the account with `runtime_code`, endow it
+    /// with `value` from the deployer and execute `constructor_code` in the
+    /// context of the new account so storage initialisation takes effect.
+    pub fn deploy(
+        &mut self,
+        deployer: Address,
+        address: Address,
+        constructor_code: &[u8],
+        runtime_code: Vec<u8>,
+        value: U256,
+        constructor_args: Vec<u8>,
+    ) -> ExecutionResult {
+        let account = self.world.account_mut(address);
+        account.code = Arc::new(runtime_code);
+        if !self.world.transfer(deployer, address, value) {
+            return ExecutionResult {
+                success: false,
+                output: vec![],
+                gas_used: 0,
+                halt: HaltReason::Fault("insufficient deployer balance".into()),
+                trace: ExecutionTrace::new(),
+            };
+        }
+        // Run the constructor against the freshly created account, but with
+        // the constructor code rather than the runtime code.
+        let msg = Message {
+            caller: deployer,
+            origin: deployer,
+            to: address,
+            value: U256::ZERO,
+            data: constructor_args,
+            gas: 10_000_000,
+        };
+        self.execute_with_code(&msg, Arc::new(constructor_code.to_vec()))
+    }
+
+    /// Execute a top-level transaction. State changes are committed only if
+    /// the outermost frame succeeds; otherwise the world is rolled back.
+    pub fn execute(&mut self, msg: &Message) -> ExecutionResult {
+        let code = self.world.code(msg.to);
+        self.execute_with_code(msg, code)
+    }
+
+    fn execute_with_code(&mut self, msg: &Message, code: Arc<Vec<u8>>) -> ExecutionResult {
+        let snapshot = self.world.snapshot();
+        let mut trace = ExecutionTrace::new();
+        trace.entered_selector = msg.selector();
+
+        // Value transfer first; a failed transfer aborts the transaction.
+        if !self.world.transfer(msg.caller, msg.to, msg.value) {
+            trace.halt = HaltReason::Fault("insufficient balance for value transfer".into());
+            return ExecutionResult {
+                success: false,
+                output: vec![],
+                gas_used: 0,
+                halt: trace.halt.clone(),
+                trace,
+            };
+        }
+
+        let result = if code.is_empty() {
+            // Plain transfer to an EOA.
+            FrameResult {
+                halt: HaltReason::Normal,
+                output: vec![],
+                gas_left: msg.gas,
+            }
+        } else {
+            let mut frames = vec![FrameInfo {
+                code_address: msg.to,
+            }];
+            self.run_frame(
+                &code,
+                msg.to,
+                msg.to,
+                msg.caller,
+                msg.origin,
+                msg.value,
+                &msg.data,
+                msg.gas,
+                0,
+                &mut frames,
+                &mut trace,
+            )
+        };
+
+        let gas_used = msg.gas.saturating_sub(result.gas_left);
+        trace.gas_used = gas_used;
+        trace.halt = result.halt.clone();
+        let success = result.halt.is_success();
+        if !success {
+            *self.world = snapshot;
+        }
+        ExecutionResult {
+            success,
+            output: result.output,
+            gas_used,
+            halt: result.halt,
+            trace,
+        }
+    }
+
+    /// Valid `JUMPDEST` positions of a code blob (not inside push data).
+    fn jumpdests(code: &[u8]) -> HashSet<usize> {
+        let mut set = HashSet::new();
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let op = Opcode::from_byte(code[pc]);
+            if op == Opcode::JumpDest {
+                set.insert(pc);
+            }
+            pc += 1 + op.immediate_size();
+        }
+        set
+    }
+
+    /// Execute one call frame.
+    #[allow(clippy::too_many_arguments)]
+    fn run_frame(
+        &mut self,
+        code: &[u8],
+        code_address: Address,
+        storage_address: Address,
+        caller: Address,
+        origin: Address,
+        value: U256,
+        calldata: &[u8],
+        gas: u64,
+        depth: usize,
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+    ) -> FrameResult {
+        trace.max_depth = trace.max_depth.max(depth);
+        let jumpdests = Self::jumpdests(code);
+        let mut stack: Vec<(U256, Taint)> = Vec::with_capacity(64);
+        let mut memory: Vec<u8> = Vec::new();
+        let mut pc = 0usize;
+        let mut gas_left = gas;
+        let mut last_cmp: Option<Comparison> = None;
+        let mut caller_guard_seen = false;
+        // Indices into trace.calls for calls made by this frame whose result
+        // has not yet been consumed by a JUMPI.
+        let mut unchecked_calls: Vec<usize> = Vec::new();
+        // Indices of truncated arithmetic events produced in this frame.
+        let mut truncated_events: Vec<usize> = Vec::new();
+
+        macro_rules! fault {
+            ($msg:expr) => {
+                return FrameResult {
+                    halt: HaltReason::Fault($msg.to_string()),
+                    output: vec![],
+                    gas_left,
+                }
+            };
+        }
+
+        macro_rules! pop {
+            () => {
+                match stack.pop() {
+                    Some(v) => v,
+                    None => fault!("stack underflow"),
+                }
+            };
+        }
+
+        macro_rules! push {
+            ($val:expr, $taint:expr) => {{
+                if stack.len() >= 1024 {
+                    fault!("stack overflow");
+                }
+                stack.push(($val, $taint));
+            }};
+        }
+
+        loop {
+            if trace.instructions.len() >= self.config.max_instructions {
+                return FrameResult {
+                    halt: HaltReason::OutOfGas,
+                    output: vec![],
+                    gas_left: 0,
+                };
+            }
+            if pc >= code.len() {
+                // Running off the end of the code is an implicit STOP.
+                return FrameResult {
+                    halt: HaltReason::Normal,
+                    output: vec![],
+                    gas_left,
+                };
+            }
+            let op = Opcode::from_byte(code[pc]);
+            trace.instructions.push((depth, pc, op));
+            let cost = gas_cost(op);
+            if gas_left < cost {
+                return FrameResult {
+                    halt: HaltReason::OutOfGas,
+                    output: vec![],
+                    gas_left: 0,
+                };
+            }
+            gas_left -= cost;
+
+            match op {
+                Opcode::Stop => {
+                    return FrameResult {
+                        halt: HaltReason::Normal,
+                        output: vec![],
+                        gas_left,
+                    }
+                }
+                Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Exp => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let taint = ta | tb;
+                    let (result, truncated) = match op {
+                        Opcode::Add => a.overflowing_add(b),
+                        Opcode::Sub => a.overflowing_sub(b),
+                        Opcode::Mul => a.overflowing_mul(b),
+                        Opcode::Exp => exp_u256(a, b),
+                        _ => unreachable!(),
+                    };
+                    if truncated {
+                        truncated_events.push(trace.arith_events.len());
+                        trace.arith_events.push(ArithEvent {
+                            pc,
+                            opcode: op,
+                            truncated: true,
+                            taint,
+                            reached_storage: false,
+                            depth,
+                        });
+                    }
+                    let result_taint = if truncated {
+                        taint | Taint::TRUNCATED
+                    } else {
+                        taint
+                    };
+                    push!(result, result_taint);
+                }
+                Opcode::Div | Opcode::Mod => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let (q, r) = a.div_rem(b);
+                    push!(if op == Opcode::Div { q } else { r }, ta | tb);
+                }
+                Opcode::Sdiv | Opcode::Smod => {
+                    // Signed variants are approximated by their unsigned
+                    // counterparts; the compiler only emits unsigned division.
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let (q, r) = a.div_rem(b);
+                    push!(if op == Opcode::Sdiv { q } else { r }, ta | tb);
+                }
+                Opcode::AddMod => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let (n, tn) = pop!();
+                    let sum = a.wrapping_add(b);
+                    push!(sum.div_rem(n).1, ta | tb | tn);
+                }
+                Opcode::MulMod => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let (n, tn) = pop!();
+                    let prod = a.wrapping_mul(b);
+                    push!(prod.div_rem(n).1, ta | tb | tn);
+                }
+                Opcode::SignExtend => {
+                    let (_b, tb) = pop!();
+                    let (x, tx) = pop!();
+                    push!(x, tb | tx);
+                }
+                Opcode::Lt | Opcode::Gt | Opcode::Slt | Opcode::Sgt | Opcode::Eq => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    let taint = ta | tb;
+                    let result = match op {
+                        Opcode::Lt => a < b,
+                        Opcode::Gt => a > b,
+                        Opcode::Slt => a.signed_cmp(&b) == std::cmp::Ordering::Less,
+                        Opcode::Sgt => a.signed_cmp(&b) == std::cmp::Ordering::Greater,
+                        Opcode::Eq => a == b,
+                        _ => unreachable!(),
+                    };
+                    let kind = match op {
+                        Opcode::Lt | Opcode::Slt => CmpKind::Lt,
+                        Opcode::Gt | Opcode::Sgt => CmpKind::Gt,
+                        _ => CmpKind::Eq,
+                    };
+                    last_cmp = Some(Comparison {
+                        pc,
+                        kind,
+                        lhs: a,
+                        rhs: b,
+                        taint,
+                    });
+                    push!(U256::from(result), taint);
+                }
+                Opcode::IsZero => {
+                    let (a, ta) = pop!();
+                    // Keep the previous comparison if the operand is already a
+                    // boolean produced by it (ISZERO is just a negation then);
+                    // otherwise treat ISZERO itself as the comparison.
+                    let is_bool = a.is_zero() || a == U256::ONE;
+                    if !(is_bool && last_cmp.is_some()) {
+                        last_cmp = Some(Comparison {
+                            pc,
+                            kind: CmpKind::IsZero,
+                            lhs: a,
+                            rhs: U256::ZERO,
+                            taint: ta,
+                        });
+                    }
+                    push!(U256::from(a.is_zero()), ta);
+                }
+                Opcode::And => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    push!(a & b, ta | tb);
+                }
+                Opcode::Or => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    push!(a | b, ta | tb);
+                }
+                Opcode::Xor => {
+                    let (a, ta) = pop!();
+                    let (b, tb) = pop!();
+                    push!(a ^ b, ta | tb);
+                }
+                Opcode::Not => {
+                    let (a, ta) = pop!();
+                    push!(!a, ta);
+                }
+                Opcode::Byte => {
+                    let (i, ti) = pop!();
+                    let (x, tx) = pop!();
+                    let byte = i
+                        .to_usize()
+                        .filter(|&i| i < 32)
+                        .map(|i| U256::from_u64(x.to_be_bytes()[i] as u64))
+                        .unwrap_or(U256::ZERO);
+                    push!(byte, ti | tx);
+                }
+                Opcode::Shl => {
+                    let (shift, ts) = pop!();
+                    let (x, tx) = pop!();
+                    let shifted = shift
+                        .to_u64()
+                        .map(|s| x.shl_bits(s.min(256) as u32))
+                        .unwrap_or(U256::ZERO);
+                    push!(shifted, ts | tx);
+                }
+                Opcode::Shr => {
+                    let (shift, ts) = pop!();
+                    let (x, tx) = pop!();
+                    let shifted = shift
+                        .to_u64()
+                        .map(|s| x.shr_bits(s.min(256) as u32))
+                        .unwrap_or(U256::ZERO);
+                    push!(shifted, ts | tx);
+                }
+                Opcode::Sha3 => {
+                    let (offset, to) = pop!();
+                    let (len, tl) = pop!();
+                    let (offset, len) = match (offset.to_usize(), len.to_usize()) {
+                        (Some(o), Some(l)) if l <= self.config.max_memory => (o, l),
+                        _ => fault!("sha3 out of bounds"),
+                    };
+                    if let Err(e) = ensure_memory(&mut memory, offset + len, self.config.max_memory)
+                    {
+                        fault!(e);
+                    }
+                    let digest = keccak256(&memory[offset..offset + len]);
+                    push!(U256::from_be_bytes(digest), to | tl);
+                }
+                Opcode::Address => push!(code_address.to_u256(), Taint::empty()),
+                Opcode::Balance => {
+                    let (who, _t) = pop!();
+                    let bal = self.world.balance(Address::from_u256(who));
+                    push!(bal, Taint::BALANCE);
+                }
+                Opcode::SelfBalance => {
+                    push!(self.world.balance(storage_address), Taint::BALANCE);
+                }
+                Opcode::Origin => push!(origin.to_u256(), Taint::ORIGIN),
+                Opcode::Caller => push!(caller.to_u256(), Taint::CALLER),
+                Opcode::CallValue => push!(value, Taint::CALLVALUE),
+                Opcode::CallDataLoad => {
+                    let (offset, _t) = pop!();
+                    let word = calldata_word(calldata, offset);
+                    push!(word, Taint::CALLDATA);
+                }
+                Opcode::CallDataSize => {
+                    push!(U256::from_u64(calldata.len() as u64), Taint::CALLDATA)
+                }
+                Opcode::CallDataCopy => {
+                    let (dst, _td) = pop!();
+                    let (src, _ts) = pop!();
+                    let (len, _tl) = pop!();
+                    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+                        (Some(d), Some(s), Some(l)) if l <= self.config.max_memory => (d, s, l),
+                        _ => fault!("calldatacopy out of bounds"),
+                    };
+                    if let Err(e) = ensure_memory(&mut memory, dst + len, self.config.max_memory) {
+                        fault!(e);
+                    }
+                    for i in 0..len {
+                        memory[dst + i] = calldata.get(src + i).copied().unwrap_or(0);
+                    }
+                }
+                Opcode::CodeSize => push!(U256::from_u64(code.len() as u64), Taint::empty()),
+                Opcode::GasPrice => push!(U256::from_u64(1_000_000_000), Taint::empty()),
+                Opcode::BlockHash => {
+                    let (n, _t) = pop!();
+                    let hash = keccak256(&n.to_be_bytes());
+                    push!(U256::from_be_bytes(hash), Taint::BLOCK);
+                }
+                Opcode::Coinbase => push!(self.block.coinbase.to_u256(), Taint::BLOCK),
+                Opcode::Timestamp => push!(U256::from_u64(self.block.timestamp), Taint::BLOCK),
+                Opcode::Number => push!(U256::from_u64(self.block.number), Taint::BLOCK),
+                Opcode::Difficulty => push!(self.block.difficulty, Taint::BLOCK),
+                Opcode::GasLimit => push!(U256::from_u64(self.block.gas_limit), Taint::empty()),
+                Opcode::Pop => {
+                    pop!();
+                }
+                Opcode::MLoad => {
+                    let (offset, to) = pop!();
+                    let offset = match offset.to_usize() {
+                        Some(o) => o,
+                        None => fault!("mload out of bounds"),
+                    };
+                    if let Err(e) = ensure_memory(&mut memory, offset + 32, self.config.max_memory)
+                    {
+                        fault!(e);
+                    }
+                    let mut word = [0u8; 32];
+                    word.copy_from_slice(&memory[offset..offset + 32]);
+                    push!(U256::from_be_bytes(word), to);
+                }
+                Opcode::MStore => {
+                    let (offset, _to) = pop!();
+                    let (val, _tv) = pop!();
+                    let offset = match offset.to_usize() {
+                        Some(o) => o,
+                        None => fault!("mstore out of bounds"),
+                    };
+                    if let Err(e) = ensure_memory(&mut memory, offset + 32, self.config.max_memory)
+                    {
+                        fault!(e);
+                    }
+                    memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                }
+                Opcode::MStore8 => {
+                    let (offset, _to) = pop!();
+                    let (val, _tv) = pop!();
+                    let offset = match offset.to_usize() {
+                        Some(o) => o,
+                        None => fault!("mstore8 out of bounds"),
+                    };
+                    if let Err(e) = ensure_memory(&mut memory, offset + 1, self.config.max_memory) {
+                        fault!(e);
+                    }
+                    memory[offset] = val.low_u64() as u8;
+                }
+                Opcode::SLoad => {
+                    let (slot, _ts) = pop!();
+                    let val = self.world.storage(storage_address, slot);
+                    let stored_taint = self.world.storage_taint(storage_address, slot);
+                    push!(val, Taint::STORAGE | stored_taint);
+                }
+                Opcode::SStore => {
+                    let (slot, _ts) = pop!();
+                    let (val, tv) = pop!();
+                    let old = self.world.storage(storage_address, slot);
+                    trace.storage_writes.push(StorageWrite {
+                        pc,
+                        contract: storage_address,
+                        slot,
+                        old,
+                        new: val,
+                        taint: tv,
+                    });
+                    if tv.contains(Taint::TRUNCATED) {
+                        for &idx in &truncated_events {
+                            if let Some(ev) = trace.arith_events.get_mut(idx) {
+                                ev.reached_storage = true;
+                            }
+                        }
+                    }
+                    self.world.set_storage(storage_address, slot, val, tv);
+                }
+                Opcode::Jump => {
+                    let (dest, _t) = pop!();
+                    let dest = match dest.to_usize() {
+                        Some(d) if jumpdests.contains(&d) => d,
+                        _ => fault!("invalid jump destination"),
+                    };
+                    pc = dest;
+                    continue;
+                }
+                Opcode::JumpI => {
+                    let (dest, _td) = pop!();
+                    let (cond, tc) = pop!();
+                    let taken = !cond.is_zero();
+                    let dest_usize = dest.to_usize().unwrap_or(usize::MAX);
+                    if tc.intersects(Taint::CALLER | Taint::ORIGIN) {
+                        caller_guard_seen = true;
+                    }
+                    if tc.contains(Taint::CALL_RESULT) {
+                        if let Some(idx) = unchecked_calls.pop() {
+                            if let Some(ev) = trace.calls.get_mut(idx) {
+                                ev.result_checked = true;
+                            }
+                        }
+                    }
+                    let record = BranchRecord {
+                        pc,
+                        dest: dest_usize,
+                        taken,
+                        cond_taint: tc,
+                        comparison: last_cmp,
+                        depth,
+                        code_address,
+                    };
+                    trace.covered_edges.insert(record.edge());
+                    trace.branches.push(record);
+                    last_cmp = None;
+                    if taken {
+                        if !jumpdests.contains(&dest_usize) {
+                            fault!("invalid jump destination");
+                        }
+                        pc = dest_usize;
+                        continue;
+                    }
+                }
+                Opcode::Pc => push!(U256::from_u64(pc as u64), Taint::empty()),
+                Opcode::MSize => push!(U256::from_u64(memory.len() as u64), Taint::empty()),
+                Opcode::Gas => push!(U256::from_u64(gas_left), Taint::empty()),
+                Opcode::JumpDest => {}
+                Opcode::Push(_) => {
+                    let imm_len = op.immediate_size();
+                    let end = (pc + 1 + imm_len).min(code.len());
+                    let val = U256::from_be_slice(&code[pc + 1..end]);
+                    push!(val, Taint::empty());
+                    pc += 1 + imm_len;
+                    continue;
+                }
+                Opcode::Dup(n) => {
+                    let n = n as usize;
+                    if stack.len() < n {
+                        fault!("stack underflow");
+                    }
+                    let item = stack[stack.len() - n];
+                    push!(item.0, item.1);
+                }
+                Opcode::Swap(n) => {
+                    let n = n as usize;
+                    if stack.len() < n + 1 {
+                        fault!("stack underflow");
+                    }
+                    let top = stack.len() - 1;
+                    stack.swap(top, top - n);
+                }
+                Opcode::Log(n) => {
+                    // Topics and data are popped and discarded; logs are not
+                    // needed by the oracles.
+                    let (_offset, _) = pop!();
+                    let (_len, _) = pop!();
+                    for _ in 0..n {
+                        pop!();
+                    }
+                }
+                Opcode::Call | Opcode::CallCode | Opcode::DelegateCall | Opcode::StaticCall => {
+                    let (gas_req, _tg) = pop!();
+                    let (to_word, t_to) = pop!();
+                    let (call_value, tv) = if matches!(op, Opcode::Call | Opcode::CallCode) {
+                        pop!()
+                    } else {
+                        (U256::ZERO, Taint::empty())
+                    };
+                    let (args_offset, _) = pop!();
+                    let (args_len, _) = pop!();
+                    let (_ret_offset, _) = pop!();
+                    let (_ret_len, _) = pop!();
+
+                    let to = Address::from_u256(to_word);
+                    let kind = match op {
+                        Opcode::Call => CallKind::Call,
+                        Opcode::CallCode => CallKind::CallCode,
+                        Opcode::DelegateCall => CallKind::DelegateCall,
+                        _ => CallKind::StaticCall,
+                    };
+                    let args = read_memory_range(
+                        &mut memory,
+                        args_offset,
+                        args_len,
+                        self.config.max_memory,
+                    );
+                    let args = match args {
+                        Ok(a) => a,
+                        Err(e) => fault!(e),
+                    };
+                    let forwarded_gas = gas_req.to_u64().unwrap_or(u64::MAX).min(gas_left);
+
+                    let call_idx = trace.calls.len();
+                    trace.calls.push(CallEvent {
+                        pc,
+                        kind,
+                        from: code_address,
+                        to,
+                        value: call_value,
+                        gas: forwarded_gas,
+                        success: false,
+                        callee_exception: false,
+                        result_checked: false,
+                        depth,
+                        caller_selector: trace.entered_selector,
+                        arg_taint: t_to | tv,
+                        caller_guarded: caller_guard_seen,
+                    });
+
+                    // Re-entrancy detection: callee already on the frame stack.
+                    if frames.iter().any(|f| f.code_address == to) {
+                        trace.reentered = true;
+                    }
+
+                    let (success, callee_exception, output) = self.do_call(
+                        kind,
+                        code_address,
+                        storage_address,
+                        caller,
+                        origin,
+                        value,
+                        to,
+                        call_value,
+                        &args,
+                        forwarded_gas,
+                        depth,
+                        frames,
+                        trace,
+                    );
+                    gas_left = gas_left.saturating_sub(forwarded_gas / 2);
+                    if let Some(ev) = trace.calls.get_mut(call_idx) {
+                        ev.success = success;
+                        ev.callee_exception = callee_exception;
+                    }
+                    unchecked_calls.push(call_idx);
+                    let _ = output;
+                    push!(U256::from(success), Taint::CALL_RESULT);
+                }
+                Opcode::Create => {
+                    // Contract creation from within contracts is not emitted
+                    // by the compiler; treat it as pushing a zero address.
+                    let (_value, _) = pop!();
+                    let (_offset, _) = pop!();
+                    let (_len, _) = pop!();
+                    push!(U256::ZERO, Taint::empty());
+                }
+                Opcode::Return => {
+                    let (offset, _) = pop!();
+                    let (len, _) = pop!();
+                    let out =
+                        match read_memory_range(&mut memory, offset, len, self.config.max_memory) {
+                            Ok(o) => o,
+                            Err(e) => fault!(e),
+                        };
+                    return FrameResult {
+                        halt: HaltReason::Normal,
+                        output: out,
+                        gas_left,
+                    };
+                }
+                Opcode::Revert => {
+                    let (offset, _) = pop!();
+                    let (len, _) = pop!();
+                    let out =
+                        match read_memory_range(&mut memory, offset, len, self.config.max_memory) {
+                            Ok(o) => o,
+                            Err(e) => fault!(e),
+                        };
+                    return FrameResult {
+                        halt: HaltReason::Revert,
+                        output: out,
+                        gas_left,
+                    };
+                }
+                Opcode::Invalid => {
+                    return FrameResult {
+                        halt: HaltReason::Invalid,
+                        output: vec![],
+                        gas_left: 0,
+                    };
+                }
+                Opcode::SelfDestruct => {
+                    let (beneficiary_word, tb) = pop!();
+                    let beneficiary = Address::from_u256(beneficiary_word);
+                    let balance = self.world.balance(storage_address);
+                    self.world.transfer(storage_address, beneficiary, balance);
+                    self.world.account_mut(storage_address).destroyed = true;
+                    trace.self_destructs.push(SelfDestructEvent {
+                        pc,
+                        contract: storage_address,
+                        beneficiary,
+                        caller_guarded: caller_guard_seen,
+                        beneficiary_taint: tb,
+                    });
+                    return FrameResult {
+                        halt: HaltReason::Normal,
+                        output: vec![],
+                        gas_left,
+                    };
+                }
+                Opcode::Unknown(b) => {
+                    fault!(format!("unknown opcode 0x{b:02x}"));
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    /// Perform a nested message call (CALL/CALLCODE/DELEGATECALL/STATICCALL).
+    /// Returns `(success, callee_exception, output)`.
+    #[allow(clippy::too_many_arguments)]
+    fn do_call(
+        &mut self,
+        kind: CallKind,
+        code_address: Address,
+        storage_address: Address,
+        caller: Address,
+        _origin_unused: Address,
+        current_value: U256,
+        to: Address,
+        call_value: U256,
+        args: &[u8],
+        gas: u64,
+        depth: usize,
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+    ) -> (bool, bool, Vec<u8>) {
+        if depth + 1 >= self.config.max_call_depth {
+            return (false, false, vec![]);
+        }
+        let origin = _origin_unused;
+
+        // Value transfer for plain CALLs.
+        if kind == CallKind::Call && !call_value.is_zero() {
+            let from = storage_address;
+            if !self.world.transfer(from, to, call_value) {
+                return (false, false, vec![]);
+            }
+        }
+
+        let behaviour = self
+            .world
+            .account(to)
+            .map(|a| a.behaviour.clone())
+            .unwrap_or_default();
+
+        match behaviour {
+            HostBehaviour::RejectingSink => {
+                // The sink rejects: undo the transfer and report failure with
+                // an exception in the callee.
+                if kind == CallKind::Call && !call_value.is_zero() {
+                    self.world.transfer(to, storage_address, call_value);
+                }
+                (false, true, vec![])
+            }
+            HostBehaviour::ReentrantAttacker {
+                callback_data,
+                max_depth,
+            } => {
+                // The attacker immediately calls back into the calling
+                // contract, provided it still has gas and depth budget.
+                if depth + 2 < self.config.max_call_depth && depth < max_depth && gas > 10_000 {
+                    trace.reentered = true;
+                    let callee_code = self.world.code(code_address);
+                    if !callee_code.is_empty() {
+                        frames.push(FrameInfo {
+                            code_address: to,
+                        });
+                        let _ = self.run_frame(
+                            &callee_code,
+                            code_address,
+                            storage_address,
+                            to,
+                            origin,
+                            U256::ZERO,
+                            &callback_data,
+                            gas.saturating_sub(5_000),
+                            depth + 2,
+                            frames,
+                            trace,
+                        );
+                        frames.pop();
+                    }
+                }
+                (true, false, vec![])
+            }
+            HostBehaviour::None => {
+                let code = self.world.code(to);
+                if code.is_empty() {
+                    // Plain transfer to an EOA succeeds.
+                    return (true, false, vec![]);
+                }
+                // Determine execution context per call kind.
+                let (exec_code_addr, exec_storage_addr, exec_caller, exec_value) = match kind {
+                    CallKind::Call | CallKind::StaticCall => (to, to, code_address, call_value),
+                    CallKind::CallCode => (to, storage_address, code_address, call_value),
+                    CallKind::DelegateCall => (to, storage_address, caller, current_value),
+                };
+                frames.push(FrameInfo { code_address: to });
+                let result = self.run_frame(
+                    &code,
+                    exec_code_addr,
+                    exec_storage_addr,
+                    exec_caller,
+                    origin,
+                    exec_value,
+                    args,
+                    gas,
+                    depth + 1,
+                    frames,
+                    trace,
+                );
+                frames.pop();
+                let success = result.halt.is_success();
+                let exception = matches!(
+                    result.halt,
+                    HaltReason::Invalid | HaltReason::Fault(_) | HaltReason::OutOfGas
+                );
+                if !success && kind == CallKind::Call && !call_value.is_zero() {
+                    // Undo the value transfer of a failed call.
+                    self.world.transfer(to, storage_address, call_value);
+                }
+                (success, exception, result.output)
+            }
+        }
+    }
+}
+
+/// Read a 32-byte word from calldata with zero padding.
+fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
+    let offset = match offset.to_usize() {
+        Some(o) => o,
+        None => return U256::ZERO,
+    };
+    let mut word = [0u8; 32];
+    for i in 0..32 {
+        word[i] = calldata.get(offset + i).copied().unwrap_or(0);
+    }
+    U256::from_be_bytes(word)
+}
+
+/// Grow memory to hold `size` bytes, enforcing the configured cap.
+fn ensure_memory(memory: &mut Vec<u8>, size: usize, max: usize) -> Result<(), &'static str> {
+    if size > max {
+        return Err("memory limit exceeded");
+    }
+    if memory.len() < size {
+        memory.resize(size.next_multiple_of(32), 0);
+    }
+    Ok(())
+}
+
+/// Read a `[offset, offset+len)` range of memory, growing it as needed.
+fn read_memory_range(
+    memory: &mut Vec<u8>,
+    offset: U256,
+    len: U256,
+    max: usize,
+) -> Result<Vec<u8>, &'static str> {
+    let offset = offset.to_usize().ok_or("memory offset out of range")?;
+    let len = len.to_usize().ok_or("memory length out of range")?;
+    if len == 0 {
+        return Ok(vec![]);
+    }
+    ensure_memory(memory, offset + len, max)?;
+    Ok(memory[offset..offset + len].to_vec())
+}
+
+/// 256-bit exponentiation by squaring, reporting whether any intermediate
+/// multiplication truncated.
+fn exp_u256(base: U256, exponent: U256) -> (U256, bool) {
+    let mut result = U256::ONE;
+    let mut overflowed = false;
+    let mut base_acc = base;
+    let bits = exponent.bits();
+    for i in 0..bits {
+        if exponent.bit(i as usize) {
+            let (r, o) = result.overflowing_mul(base_acc);
+            result = r;
+            overflowed |= o;
+        }
+        if i + 1 < bits {
+            let (b, o) = base_acc.overflowing_mul(base_acc);
+            base_acc = b;
+            overflowed |= o;
+        }
+    }
+    (result, overflowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Account;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    /// Build a world with a single contract at address 0x100 and a funded
+    /// sender at 0x1.
+    fn world_with_code(code: Vec<u8>) -> WorldState {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u128(1u128 << 100)));
+        world.put_account(addr(0x100), Account::contract(code, U256::ZERO));
+        world
+    }
+
+    fn run(code: Vec<u8>, data: Vec<u8>, value: U256) -> ExecutionResult {
+        let mut world = world_with_code(code);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        evm.execute(&Message::new(addr(1), addr(0x100), value, data))
+    }
+
+    /// Assemble: push a constant and return it as a 32-byte word.
+    fn return_word_program(ops: &[u8]) -> Vec<u8> {
+        // ops should leave one value on stack; then MSTORE at 0, RETURN 32.
+        let mut code = ops.to_vec();
+        code.extend_from_slice(&[
+            0x60, 0x00, // PUSH1 0
+            0x52, // MSTORE
+            0x60, 0x20, // PUSH1 32
+            0x60, 0x00, // PUSH1 0
+            0xf3, // RETURN
+        ]);
+        code
+    }
+
+    fn output_as_u256(result: &ExecutionResult) -> U256 {
+        U256::from_be_slice(&result.output)
+    }
+
+    #[test]
+    fn add_and_return() {
+        // PUSH1 2, PUSH1 3, ADD
+        let result = run(
+            return_word_program(&[0x60, 0x02, 0x60, 0x03, 0x01]),
+            vec![],
+            U256::ZERO,
+        );
+        assert!(result.success);
+        assert_eq!(output_as_u256(&result), U256::from_u64(5));
+    }
+
+    #[test]
+    fn overflow_recorded_in_trace() {
+        // PUSH1 1, PUSH32 MAX, ADD -> wraps to 0 and records an arith event.
+        let mut ops = vec![0x60, 0x01, 0x7f];
+        ops.extend_from_slice(&[0xff; 32]);
+        ops.push(0x01);
+        let result = run(return_word_program(&ops), vec![], U256::ZERO);
+        assert!(result.success);
+        assert_eq!(output_as_u256(&result), U256::ZERO);
+        assert_eq!(result.trace.arith_events.len(), 1);
+        assert!(result.trace.arith_events[0].truncated);
+    }
+
+    #[test]
+    fn storage_roundtrip_through_sstore_sload() {
+        // PUSH1 42, PUSH1 7, SSTORE, PUSH1 7, SLOAD, return
+        let code = return_word_program(&[0x60, 0x2a, 0x60, 0x07, 0x55, 0x60, 0x07, 0x54]);
+        let result = run(code, vec![], U256::ZERO);
+        assert!(result.success);
+        assert_eq!(output_as_u256(&result), U256::from_u64(42));
+        assert_eq!(result.trace.storage_writes.len(), 1);
+        assert_eq!(result.trace.storage_writes[0].slot, U256::from_u64(7));
+    }
+
+    #[test]
+    fn jumpi_taken_and_branch_recorded() {
+        // PUSH1 1, PUSH1 7, JUMPI, INVALID, JUMPDEST, STOP
+        // pc: 0:PUSH1, 2:PUSH1, 4:JUMPI, 5:INVALID, 6:JUMPDEST, 7:STOP
+        let code = vec![0x60, 0x01, 0x60, 0x06, 0x57, 0xfe, 0x5b, 0x00];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(result.success, "halt: {:?}", result.halt);
+        assert_eq!(result.trace.branches.len(), 1);
+        assert!(result.trace.branches[0].taken);
+        assert_eq!(result.trace.covered_edges.len(), 1);
+    }
+
+    #[test]
+    fn jumpi_not_taken_falls_through_to_invalid() {
+        let code = vec![0x60, 0x00, 0x60, 0x06, 0x57, 0xfe, 0x5b, 0x00];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(!result.success);
+        assert_eq!(result.halt, HaltReason::Invalid);
+        assert!(!result.trace.branches[0].taken);
+    }
+
+    #[test]
+    fn invalid_jump_destination_faults() {
+        // JUMP to a non-JUMPDEST position.
+        let code = vec![0x60, 0x00, 0x56];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(!result.success);
+        assert!(matches!(result.halt, HaltReason::Fault(_)));
+    }
+
+    #[test]
+    fn revert_rolls_back_state() {
+        // Store then revert: the storage write must not persist.
+        // PUSH1 1, PUSH1 0, SSTORE, PUSH1 0, PUSH1 0, REVERT
+        let code = vec![0x60, 0x01, 0x60, 0x00, 0x55, 0x60, 0x00, 0x60, 0x00, 0xfd];
+        let mut world = world_with_code(code);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(!result.success);
+        assert_eq!(result.halt, HaltReason::Revert);
+        assert_eq!(world.storage(addr(0x100), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn successful_execution_commits_state() {
+        let code = vec![0x60, 0x01, 0x60, 0x00, 0x55, 0x00];
+        let mut world = world_with_code(code);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(result.success);
+        assert_eq!(world.storage(addr(0x100), U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn value_transfer_updates_balances() {
+        let code = vec![0x00];
+        let mut world = world_with_code(code);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(
+            addr(1),
+            addr(0x100),
+            U256::from_u64(1234),
+            vec![],
+        ));
+        assert!(result.success);
+        assert_eq!(world.balance(addr(0x100)), U256::from_u64(1234));
+    }
+
+    #[test]
+    fn insufficient_balance_rejected() {
+        let code = vec![0x00];
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(10)));
+        world.put_account(addr(0x100), Account::contract(code, U256::ZERO));
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(
+            addr(1),
+            addr(0x100),
+            U256::from_u64(100),
+            vec![],
+        ));
+        assert!(!result.success);
+        assert_eq!(world.balance(addr(0x100)), U256::ZERO);
+    }
+
+    #[test]
+    fn calldataload_reads_arguments() {
+        // PUSH1 0, CALLDATALOAD, return it
+        let code = return_word_program(&[0x60, 0x00, 0x35]);
+        let mut data = vec![0u8; 32];
+        data[31] = 0x99;
+        let result = run(code, data, U256::ZERO);
+        assert!(result.success);
+        assert_eq!(output_as_u256(&result), U256::from_u64(0x99));
+    }
+
+    #[test]
+    fn caller_taint_reaches_branch_guard() {
+        // CALLER, PUSH1 0, EQ, PUSH1 dest, JUMPI ... (the comparison taints the condition)
+        // Layout: 0:CALLER 1:PUSH1 0 3:EQ 4:PUSH1 8 6:JUMPI 7:STOP 8:JUMPDEST 9:STOP
+        let code = vec![0x33, 0x60, 0x00, 0x14, 0x60, 0x08, 0x57, 0x00, 0x5b, 0x00];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(result.success);
+        let branch = &result.trace.branches[0];
+        assert!(branch.cond_taint.contains(Taint::CALLER));
+        assert!(branch.comparison.is_some());
+    }
+
+    #[test]
+    fn timestamp_taint_propagates() {
+        // TIMESTAMP, PUSH1 0, GT, push dest, JUMPI
+        let code = vec![0x42, 0x60, 0x00, 0x11, 0x60, 0x08, 0x57, 0x00, 0x5b, 0x00];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(result.success);
+        assert!(result.trace.branches[0].cond_taint.contains(Taint::BLOCK));
+    }
+
+    #[test]
+    fn call_to_eoa_succeeds_and_moves_value() {
+        // Contract sends 5 wei to address 0x2 via CALL.
+        // PUSH1 0 (retLen) PUSH1 0 (retOff) PUSH1 0 (argLen) PUSH1 0 (argOff)
+        // PUSH1 5 (value) PUSH1 0x02 (to) PUSH2 0x0fff (gas) CALL, POP, STOP
+        let code = vec![
+            0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x05, 0x60, 0x02, 0x61, 0x0f,
+            0xff, 0xf1, 0x50, 0x00,
+        ];
+        let mut world = world_with_code(code);
+        world.account_mut(addr(0x100)).balance = U256::from_u64(100);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(result.success);
+        assert_eq!(result.trace.calls.len(), 1);
+        assert!(result.trace.calls[0].success);
+        assert_eq!(world.balance(addr(2)), U256::from_u64(5));
+        assert_eq!(world.balance(addr(0x100)), U256::from_u64(95));
+    }
+
+    #[test]
+    fn call_to_rejecting_sink_fails() {
+        let code = vec![
+            0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x05, 0x60, 0x02, 0x61, 0x0f,
+            0xff, 0xf1, 0x50, 0x00,
+        ];
+        let mut world = world_with_code(code);
+        world.account_mut(addr(0x100)).balance = U256::from_u64(100);
+        world.account_mut(addr(2)).behaviour = HostBehaviour::RejectingSink;
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(result.success);
+        assert!(!result.trace.calls[0].success);
+        assert!(result.trace.calls[0].callee_exception);
+        assert_eq!(world.balance(addr(2)), U256::ZERO);
+        assert_eq!(world.balance(addr(0x100)), U256::from_u64(100));
+    }
+
+    #[test]
+    fn selfdestruct_transfers_balance_and_records_event() {
+        // PUSH1 0x02, SELFDESTRUCT
+        let code = vec![0x60, 0x02, 0xff];
+        let mut world = world_with_code(code);
+        world.account_mut(addr(0x100)).balance = U256::from_u64(77);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(result.success);
+        assert_eq!(result.trace.self_destructs.len(), 1);
+        assert!(!result.trace.self_destructs[0].caller_guarded);
+        assert_eq!(world.balance(addr(2)), U256::from_u64(77));
+        assert!(world.account(addr(0x100)).unwrap().destroyed);
+    }
+
+    #[test]
+    fn out_of_gas_halts() {
+        // Infinite loop: JUMPDEST, PUSH1 0, JUMP
+        let code = vec![0x5b, 0x60, 0x00, 0x56];
+        let mut world = world_with_code(code);
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let mut msg = Message::new(addr(1), addr(0x100), U256::ZERO, vec![]);
+        msg.gas = 10_000;
+        let result = evm.execute(&msg);
+        assert!(!result.success);
+        assert_eq!(result.halt, HaltReason::OutOfGas);
+    }
+
+    #[test]
+    fn stack_underflow_faults() {
+        let code = vec![0x01]; // ADD on empty stack
+        let result = run(code, vec![], U256::ZERO);
+        assert!(!result.success);
+        assert!(matches!(result.halt, HaltReason::Fault(_)));
+    }
+
+    #[test]
+    fn sha3_hashes_memory() {
+        // MSTORE 0 <- 0x01, SHA3(31,1) should hash the byte 0x01.
+        // PUSH1 1, PUSH1 0, MSTORE, PUSH1 1, PUSH1 31, SHA3, return
+        let code = return_word_program(&[0x60, 0x01, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x1f, 0x20]);
+        let result = run(code, vec![], U256::ZERO);
+        assert!(result.success);
+        let expected = U256::from_be_bytes(keccak256(&[0x01]));
+        assert_eq!(output_as_u256(&result), expected);
+    }
+
+    #[test]
+    fn exp_helper_detects_overflow() {
+        let (v, o) = exp_u256(U256::from_u64(2), U256::from_u64(10));
+        assert_eq!(v, U256::from_u64(1024));
+        assert!(!o);
+        let (_, o2) = exp_u256(U256::from_u64(2), U256::from_u64(300));
+        assert!(o2);
+        let (one, o3) = exp_u256(U256::from_u64(9), U256::ZERO);
+        assert_eq!(one, U256::ONE);
+        assert!(!o3);
+    }
+
+    #[test]
+    fn deploy_runs_constructor_against_new_account() {
+        // Constructor: store 11 at slot 0.
+        let ctor = vec![0x60, 0x0b, 0x60, 0x00, 0x55, 0x00];
+        let runtime = vec![0x00];
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(1000)));
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.deploy(addr(1), addr(0x200), &ctor, runtime.clone(), U256::ZERO, vec![]);
+        assert!(result.success);
+        assert_eq!(world.storage(addr(0x200), U256::ZERO), U256::from_u64(11));
+        assert_eq!(*world.code(addr(0x200)), runtime);
+    }
+
+    #[test]
+    fn reentrant_attacker_reenters_caller() {
+        // Victim: CALL to attacker (0x2) with value 5, then STOP.
+        let code = vec![
+            0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x05, 0x60, 0x02, 0x62, 0x0f,
+            0xff, 0xff, 0xf1, 0x50, 0x00,
+        ];
+        let mut world = world_with_code(code);
+        world.account_mut(addr(0x100)).balance = U256::from_u64(100);
+        world.account_mut(addr(2)).behaviour = HostBehaviour::ReentrantAttacker {
+            callback_data: vec![],
+            max_depth: 3,
+        };
+        let mut evm = Evm::new(&mut world, BlockEnv::default());
+        let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert!(result.success);
+        assert!(result.trace.reentered);
+        // The victim was re-entered, so more than one call event exists.
+        assert!(result.trace.calls.len() > 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Keccak-256 implemented from scratch.
+//!
+//! The EVM uses Keccak-256 (the original Keccak padding, not NIST SHA3-256)
+//! for the `SHA3` opcode, function selectors and mapping storage slots. The
+//! round constants and rotation offsets are derived programmatically from the
+//! Keccak specification so there are no hand-copied magic tables to get wrong.
+
+/// Output size in bytes of Keccak-256.
+pub const KECCAK256_OUTPUT: usize = 32;
+
+/// Rate in bytes for Keccak-256 (1088 bits).
+const RATE: usize = 136;
+
+/// Number of Keccak-f[1600] rounds.
+const ROUNDS: usize = 24;
+
+/// Compute the 24 round constants via the LFSR defined in the Keccak spec.
+fn round_constants() -> [u64; ROUNDS] {
+    let mut rc = [0u64; ROUNDS];
+    let mut lfsr: u8 = 0x01;
+    for constant in rc.iter_mut() {
+        let mut c: u64 = 0;
+        for j in 0..7 {
+            // Bit position 2^j - 1.
+            let bit_pos = (1u32 << j) - 1;
+            if lfsr & 1 == 1 {
+                c |= 1u64 << bit_pos;
+            }
+            // Advance LFSR: x^8 + x^6 + x^5 + x^4 + 1.
+            let high = lfsr & 0x80 != 0;
+            lfsr <<= 1;
+            if high {
+                lfsr ^= 0x71;
+            }
+        }
+        *constant = c;
+    }
+    rc
+}
+
+/// Compute the rho rotation offsets for each lane.
+fn rotation_offsets() -> [[u32; 5]; 5] {
+    let mut offsets = [[0u32; 5]; 5];
+    let (mut x, mut y) = (1usize, 0usize);
+    for t in 0..24u32 {
+        offsets[x][y] = ((t + 1) * (t + 2) / 2) % 64;
+        let new_x = y;
+        let new_y = (2 * x + 3 * y) % 5;
+        x = new_x;
+        y = new_y;
+    }
+    offsets
+}
+
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    let rc = round_constants();
+    let rot = rotation_offsets();
+    for round in rc.iter().take(ROUNDS) {
+        // Theta
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] ^= d[x];
+            }
+        }
+        // Rho and Pi
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(rot[x][y]);
+            }
+        }
+        // Chi
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota
+        state[0][0] ^= round;
+    }
+}
+
+/// Compute the Keccak-256 digest of `data`.
+pub fn keccak256(data: &[u8]) -> [u8; KECCAK256_OUTPUT] {
+    let mut state = [[0u64; 5]; 5];
+
+    // Absorb phase with Keccak padding (0x01 .. 0x80).
+    let mut padded = data.to_vec();
+    padded.push(0x01);
+    while padded.len() % RATE != 0 {
+        padded.push(0x00);
+    }
+    let last = padded.len() - 1;
+    padded[last] |= 0x80;
+
+    for block in padded.chunks(RATE) {
+        for (i, lane_bytes) in block.chunks(8).enumerate() {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(lane_bytes);
+            let x = i % 5;
+            let y = i / 5;
+            state[x][y] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut state);
+    }
+
+    // Squeeze phase: 32 bytes fit in the first rate block.
+    let mut out = [0u8; KECCAK256_OUTPUT];
+    let mut offset = 0;
+    'outer: for y in 0..5 {
+        for x in 0..5 {
+            let lane = state[x][y].to_le_bytes();
+            let take = (KECCAK256_OUTPUT - offset).min(8);
+            out[offset..offset + take].copy_from_slice(&lane[..take]);
+            offset += take;
+            if offset == KECCAK256_OUTPUT {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// Compute the 4-byte function selector of a canonical signature string,
+/// e.g. `invest(uint256)`.
+pub fn selector(signature: &str) -> [u8; 4] {
+    let digest = keccak256(signature.as_bytes());
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_known_vector() {
+        // Well-known Keccak-256 of the empty string.
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_known_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn transfer_selector_known_vector() {
+        // The ERC-20 transfer(address,uint256) selector is a widely published constant.
+        assert_eq!(hex(&selector("transfer(address,uint256)")), "a9059cbb");
+    }
+
+    #[test]
+    fn deterministic_and_collision_resistant_smoke() {
+        assert_eq!(keccak256(b"mufuzz"), keccak256(b"mufuzz"));
+        assert_ne!(keccak256(b"mufuzz"), keccak256(b"mufuzy"));
+    }
+
+    #[test]
+    fn long_input_spans_multiple_blocks() {
+        let data = vec![0xabu8; 1000];
+        let d1 = keccak256(&data);
+        let mut data2 = data.clone();
+        data2[999] = 0xac;
+        assert_ne!(d1, keccak256(&data2));
+        assert_eq!(d1.len(), 32);
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Inputs right at and around the 136-byte rate boundary exercise the
+        // padding logic.
+        for len in [135usize, 136, 137, 271, 272, 273] {
+            let data = vec![0x5au8; len];
+            let digest = keccak256(&data);
+            assert_eq!(digest.len(), 32);
+            // Changing a single byte must change the digest.
+            let mut other = data.clone();
+            other[len / 2] ^= 0xff;
+            assert_ne!(digest, keccak256(&other));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! World state: accounts, balances, code and persistent storage.
+//!
+//! Smart contracts are stateful programs; the fuzzer repeatedly replays
+//! transaction sequences against a snapshot of the deployed world state, so
+//! cloning and snapshot/revert need to be cheap and correct.
+
+use crate::trace::Taint;
+use crate::types::Address;
+use crate::u256::U256;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Host-implemented behaviour for accounts that are not plain bytecode
+/// contracts. Used to model the attacker harness required by the reentrancy
+/// oracle without having to compile an attacker contract for every target.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum HostBehaviour {
+    /// A plain externally-owned account (or bytecode contract if code is set).
+    #[default]
+    None,
+    /// When this account receives a call carrying value, it re-enters the
+    /// caller with the given calldata, up to `max_depth` nested times.
+    ReentrantAttacker {
+        /// Calldata to send back to the calling contract on re-entry.
+        callback_data: Vec<u8>,
+        /// Maximum re-entrancy depth.
+        max_depth: usize,
+    },
+    /// An account that rejects every incoming transfer (its fallback reverts).
+    /// Useful for exercising unhandled-exception paths.
+    RejectingSink,
+}
+
+/// A single account in the world state.
+#[derive(Clone, Debug, Default)]
+pub struct Account {
+    /// Ether balance in wei.
+    pub balance: U256,
+    /// Deployed runtime bytecode (empty for externally-owned accounts).
+    pub code: Arc<Vec<u8>>,
+    /// Persistent key-value storage.
+    pub storage: HashMap<U256, U256>,
+    /// Taint labels remembered for stored values (analysis-only metadata;
+    /// it does not affect execution semantics).
+    pub storage_taint: HashMap<U256, Taint>,
+    /// Transaction count / deployment nonce.
+    pub nonce: u64,
+    /// Host behaviour override (attacker harness, rejecting sink, ...).
+    pub behaviour: HostBehaviour,
+    /// Whether the account has self-destructed during the current transaction.
+    pub destroyed: bool,
+}
+
+impl Account {
+    /// A plain externally-owned account with the given balance.
+    pub fn eoa(balance: U256) -> Self {
+        Account {
+            balance,
+            ..Default::default()
+        }
+    }
+
+    /// A contract account with the given runtime code and balance.
+    pub fn contract(code: Vec<u8>, balance: U256) -> Self {
+        Account {
+            balance,
+            code: Arc::new(code),
+            ..Default::default()
+        }
+    }
+
+    /// True if the account carries executable code or host behaviour.
+    pub fn is_callable(&self) -> bool {
+        !self.code.is_empty() || self.behaviour != HostBehaviour::None
+    }
+}
+
+/// The full world state: a map from address to account.
+#[derive(Clone, Debug, Default)]
+pub struct WorldState {
+    accounts: HashMap<Address, Account>,
+}
+
+impl WorldState {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace an account.
+    pub fn put_account(&mut self, address: Address, account: Account) {
+        self.accounts.insert(address, account);
+    }
+
+    /// Remove an account entirely, returning it if present.
+    pub fn remove_account(&mut self, address: Address) -> Option<Account> {
+        self.accounts.remove(&address)
+    }
+
+    /// Immutable access to an account.
+    pub fn account(&self, address: Address) -> Option<&Account> {
+        self.accounts.get(&address)
+    }
+
+    /// Mutable access, creating an empty account on demand.
+    pub fn account_mut(&mut self, address: Address) -> &mut Account {
+        self.accounts.entry(address).or_default()
+    }
+
+    /// Balance of an account (zero if absent).
+    pub fn balance(&self, address: Address) -> U256 {
+        self.accounts
+            .get(&address)
+            .map(|a| a.balance)
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// Code of an account (empty if absent).
+    pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.accounts
+            .get(&address)
+            .map(|a| Arc::clone(&a.code))
+            .unwrap_or_default()
+    }
+
+    /// Storage slot value of an account (zero if absent).
+    pub fn storage(&self, address: Address, slot: U256) -> U256 {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.storage.get(&slot).copied())
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// Taint label recorded for a storage slot.
+    pub fn storage_taint(&self, address: Address, slot: U256) -> Taint {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.storage_taint.get(&slot).copied())
+            .unwrap_or_default()
+    }
+
+    /// Write a storage slot, recording its taint label.
+    pub fn set_storage(&mut self, address: Address, slot: U256, value: U256, taint: Taint) {
+        let account = self.account_mut(address);
+        if value.is_zero() {
+            account.storage.remove(&slot);
+        } else {
+            account.storage.insert(slot, value);
+        }
+        if taint.is_empty() {
+            account.storage_taint.remove(&slot);
+        } else {
+            account.storage_taint.insert(slot, taint);
+        }
+    }
+
+    /// Transfer value between two accounts. Returns false (and leaves the
+    /// state untouched) if the sender balance is insufficient.
+    pub fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        let from_balance = self.balance(from);
+        if from_balance < value {
+            return false;
+        }
+        self.account_mut(from).balance = from_balance.wrapping_sub(value);
+        let to_balance = self.balance(to);
+        self.account_mut(to).balance = to_balance.wrapping_add(value);
+        true
+    }
+
+    /// Iterate over all accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Number of accounts in the world.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True if the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Snapshot the whole world. Transaction execution clones the state and
+    /// commits only on success, matching EVM revert semantics.
+    pub fn snapshot(&self) -> WorldState {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    #[test]
+    fn missing_accounts_read_as_zero() {
+        let world = WorldState::new();
+        assert_eq!(world.balance(addr(1)), U256::ZERO);
+        assert_eq!(world.storage(addr(1), U256::ONE), U256::ZERO);
+        assert!(world.code(addr(1)).is_empty());
+    }
+
+    #[test]
+    fn storage_roundtrip_and_zero_deletion() {
+        let mut world = WorldState::new();
+        let a = addr(7);
+        world.set_storage(a, U256::from_u64(3), U256::from_u64(99), Taint::empty());
+        assert_eq!(world.storage(a, U256::from_u64(3)), U256::from_u64(99));
+        world.set_storage(a, U256::from_u64(3), U256::ZERO, Taint::empty());
+        assert_eq!(world.storage(a, U256::from_u64(3)), U256::ZERO);
+        assert!(world.account(a).unwrap().storage.is_empty());
+    }
+
+    #[test]
+    fn transfer_moves_balance() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(100)));
+        assert!(world.transfer(addr(1), addr(2), U256::from_u64(40)));
+        assert_eq!(world.balance(addr(1)), U256::from_u64(60));
+        assert_eq!(world.balance(addr(2)), U256::from_u64(40));
+    }
+
+    #[test]
+    fn transfer_fails_on_insufficient_balance() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(10)));
+        assert!(!world.transfer(addr(1), addr(2), U256::from_u64(40)));
+        assert_eq!(world.balance(addr(1)), U256::from_u64(10));
+        assert_eq!(world.balance(addr(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn zero_value_transfer_always_succeeds() {
+        let mut world = WorldState::new();
+        assert!(world.transfer(addr(1), addr(2), U256::ZERO));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        let snap = world.snapshot();
+        world.account_mut(addr(1)).balance = U256::from_u64(500);
+        assert_eq!(snap.balance(addr(1)), U256::from_u64(5));
+    }
+
+    #[test]
+    fn callable_accounts() {
+        let contract = Account::contract(vec![0x00], U256::ZERO);
+        assert!(contract.is_callable());
+        assert!(!Account::eoa(U256::ZERO).is_callable());
+        let attacker = Account {
+            behaviour: HostBehaviour::ReentrantAttacker {
+                callback_data: vec![],
+                max_depth: 2,
+            },
+            ..Default::default()
+        };
+        assert!(attacker.is_callable());
+    }
+
+    #[test]
+    fn storage_taint_tracking() {
+        let mut world = WorldState::new();
+        let a = addr(9);
+        world.set_storage(a, U256::ONE, U256::from_u64(5), Taint::BLOCK);
+        assert!(world.storage_taint(a, U256::ONE).contains(Taint::BLOCK));
+        assert!(world.storage_taint(a, U256::from_u64(2)).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Common EVM value types: addresses and conversion helpers.
+
+use crate::u256::U256;
+use std::fmt;
+
+/// A 20-byte Ethereum account address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Construct a deterministic address from a small integer. Used for test
+    /// accounts, fuzzer sender pools and corpus contracts.
+    pub fn from_low_u64(v: u64) -> Self {
+        let mut bytes = [0u8; 20];
+        bytes[12..20].copy_from_slice(&v.to_be_bytes());
+        Address(bytes)
+    }
+
+    /// Widen to a 256-bit word (as the EVM does when pushing an address).
+    pub fn to_u256(self) -> U256 {
+        let mut word = [0u8; 32];
+        word[12..].copy_from_slice(&self.0);
+        U256::from_be_bytes(word)
+    }
+
+    /// Truncate a 256-bit word to an address (low 20 bytes).
+    pub fn from_u256(v: U256) -> Self {
+        let bytes = v.to_be_bytes();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes[12..]);
+        Address(out)
+    }
+
+    /// Returns true if this is the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 20]
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(v: u64) -> Self {
+        Address::from_low_u64(v)
+    }
+}
+
+/// One ether expressed in wei.
+pub fn ether(n: u64) -> U256 {
+    U256::from_u64(n).wrapping_mul(U256::from_u128(1_000_000_000_000_000_000))
+}
+
+/// One finney (0.001 ether) expressed in wei.
+pub fn finney(n: u64) -> U256 {
+    U256::from_u64(n).wrapping_mul(U256::from_u128(1_000_000_000_000_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_u256_roundtrip() {
+        let a = Address::from_low_u64(0xdead_beef);
+        assert_eq!(Address::from_u256(a.to_u256()), a);
+    }
+
+    #[test]
+    fn address_truncates_high_bytes() {
+        let v = U256::MAX;
+        let a = Address::from_u256(v);
+        assert_eq!(a.0, [0xffu8; 20]);
+    }
+
+    #[test]
+    fn zero_address() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_low_u64(1).is_zero());
+    }
+
+    #[test]
+    fn display_formats_as_hex() {
+        let a = Address::from_low_u64(0xab);
+        assert_eq!(format!("{a}"), "0x00000000000000000000000000000000000000ab");
+    }
+
+    #[test]
+    fn denominations() {
+        assert_eq!(ether(1), U256::from_u128(1_000_000_000_000_000_000));
+        assert_eq!(finney(1000), ether(1));
+        assert_eq!(finney(88), U256::from_u128(88_000_000_000_000_000));
+    }
+}

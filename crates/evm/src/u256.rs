@@ -1,0 +1,698 @@
+//! A 256-bit unsigned integer implemented from scratch.
+//!
+//! The EVM word size is 256 bits. All stack values, storage keys and storage
+//! values are `U256`. The type is implemented as four little-endian `u64`
+//! limbs and supports the wrapping semantics the EVM mandates, while also
+//! exposing the overflow information the integer-overflow oracle needs
+//! (`overflowing_*` variants).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+
+/// 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value one.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value (2^256 - 1).
+    pub const MAX: U256 = U256([u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+
+    /// Construct from a `u64`.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Construct from a `u128`.
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Returns true if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Lowest 64 bits of the value.
+    #[inline]
+    pub fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Lowest 128 bits of the value.
+    #[inline]
+    pub fn low_u128(&self) -> u128 {
+        (self.0[0] as u128) | ((self.0[1] as u128) << 64)
+    }
+
+    /// Returns the value as `u64` if it fits, otherwise `None`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the value as `usize` if it fits, otherwise `None`.
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Number of significant bits (position of the highest set bit + 1).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Big-endian 32-byte representation.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            let b = limb.to_be_bytes();
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&b);
+        }
+        out
+    }
+
+    /// Construct from a big-endian 32-byte array.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            *limb = u64::from_be_bytes(b);
+        }
+        U256(limbs)
+    }
+
+    /// Construct from a big-endian slice of at most 32 bytes
+    /// (shorter slices are left-padded with zeros, as EVM calldata is).
+    pub fn from_be_slice(slice: &[u8]) -> Self {
+        let mut buf = [0u8; 32];
+        let len = slice.len().min(32);
+        buf[32 - len..].copy_from_slice(&slice[slice.len() - len..]);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Parse a hexadecimal string, with or without a `0x` prefix.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let mut bytes = [0u8; 32];
+        // Left-pad odd-length strings with a zero nibble.
+        let padded: String = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_string()
+        };
+        let n = padded.len() / 2;
+        for i in 0..n {
+            let byte = u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).ok()?;
+            bytes[32 - n + i] = byte;
+        }
+        Some(U256::from_be_bytes(bytes))
+    }
+
+    /// Parse a decimal string.
+    pub fn from_dec(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut acc = U256::ZERO;
+        let ten = U256::from_u64(10);
+        for c in s.chars() {
+            let d = c.to_digit(10)?;
+            let (shifted, o1) = acc.overflowing_mul(ten);
+            let (next, o2) = shifted.overflowing_add(U256::from_u64(d as u64));
+            if o1 || o2 {
+                return None;
+            }
+            acc = next;
+        }
+        Some(acc)
+    }
+
+    /// Addition returning the wrapped result and an overflow flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping addition (EVM `ADD`).
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtraction returning the wrapped result and a borrow (underflow) flag.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Wrapping subtraction (EVM `SUB`).
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Multiplication returning the low 256 bits and an overflow flag.
+    pub fn overflowing_mul(self, rhs: U256) -> (U256, bool) {
+        // Schoolbook multiplication with u128 partial products.
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = prod[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                prod[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            prod[i + 4] = prod[i + 4].wrapping_add(carry as u64);
+        }
+        let overflow = prod[4] != 0 || prod[5] != 0 || prod[6] != 0 || prod[7] != 0;
+        (U256([prod[0], prod[1], prod[2], prod[3]]), overflow)
+    }
+
+    /// Wrapping multiplication (EVM `MUL`).
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        self.overflowing_mul(rhs).0
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_mul(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Quotient and remainder. Division by zero yields `(0, 0)` like the EVM.
+    pub fn div_rem(self, rhs: U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        if rhs == U256::ONE {
+            return (self, U256::ZERO);
+        }
+        // Binary long division: O(256) shift-subtract steps.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let n = self.bits();
+        for i in (0..n).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i as usize) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= rhs {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient = quotient.set_bit(i as usize);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    fn set_bit(mut self, i: usize) -> U256 {
+        self.0[i / 64] |= 1 << (i % 64);
+        self
+    }
+
+    /// Left shift by an arbitrary number of bits (values >= 256 yield zero).
+    pub fn shl_bits(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let word_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= word_shift {
+                out[i] = self.0[i - word_shift] << bit_shift;
+                if bit_shift > 0 && i > word_shift {
+                    out[i] |= self.0[i - word_shift - 1] >> (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+
+    /// Right shift by an arbitrary number of bits (values >= 256 yield zero).
+    pub fn shr_bits(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let word_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + word_shift < 4 {
+                out[i] = self.0[i + word_shift] >> bit_shift;
+                if bit_shift > 0 && i + word_shift + 1 < 4 {
+                    out[i] |= self.0[i + word_shift + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+
+    /// Interpret the value as a signed two's-complement number and report
+    /// whether it is negative (top bit set). Used by `SLT`/`SGT`.
+    pub fn is_negative_signed(&self) -> bool {
+        self.0[3] >> 63 == 1
+    }
+
+    /// Signed comparison in two's complement.
+    pub fn signed_cmp(&self, other: &U256) -> Ordering {
+        match (self.is_negative_signed(), other.is_negative_signed()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp(other),
+        }
+    }
+
+    /// Absolute difference, |self - other|. Used by branch-distance feedback.
+    pub fn abs_diff(self, other: U256) -> U256 {
+        if self >= other {
+            self.wrapping_sub(other)
+        } else {
+            other.wrapping_sub(self)
+        }
+    }
+
+    /// Saturating conversion to `f64` (used only for distance normalisation,
+    /// never for EVM semantics).
+    pub fn to_f64_lossy(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for i in (0..4).rev() {
+            acc = acc * 18446744073709551616.0 + self.0[i] as f64;
+        }
+        acc
+    }
+
+    /// Decimal string representation.
+    pub fn to_dec_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = *self;
+        let ten = U256::from_u64(10);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(ten);
+            digits.push(char::from(b'0' + r.low_u64() as u8));
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+
+    /// Hexadecimal string representation with a `0x` prefix.
+    pub fn to_hex_string(&self) -> String {
+        if self.is_zero() {
+            return "0x0".to_string();
+        }
+        let bytes = self.to_be_bytes();
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        format!("0x{}", hex.trim_start_matches('0'))
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, rhs: u32) -> U256 {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, rhs: u32) -> U256 {
+        self.shr_bits(rhs)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({})", self.to_dec_string())
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dec_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(U256::ZERO.is_zero());
+        assert!(!U256::ONE.is_zero());
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(u(2) + u(3), u(5));
+        assert_eq!(u(0) + u(0), u(0));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let (sum, overflow) = a.overflowing_add(U256::ONE);
+        assert!(!overflow);
+        assert_eq!(sum, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_overflow_wraps() {
+        let (sum, overflow) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(overflow);
+        assert_eq!(sum, U256::ZERO);
+        assert_eq!(U256::MAX.checked_add(U256::ONE), None);
+    }
+
+    #[test]
+    fn sub_underflow_wraps() {
+        let (diff, borrow) = U256::ZERO.overflowing_sub(U256::ONE);
+        assert!(borrow);
+        assert_eq!(diff, U256::MAX);
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(u(7) * u(6), u(42));
+        assert_eq!(u(0) * u(123), u(0));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = U256::from_u128(u128::MAX);
+        let (p, o) = a.overflowing_mul(u(2));
+        assert!(!o);
+        assert_eq!(p, U256([u64::MAX - 1, u64::MAX, 1, 0]));
+    }
+
+    #[test]
+    fn mul_overflow_detected() {
+        let big = U256::ONE.shl_bits(200);
+        let (_, o) = big.overflowing_mul(big);
+        assert!(o);
+        assert!(big.checked_mul(big).is_none());
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let (q, r) = u(100).div_rem(u(7));
+        assert_eq!(q, u(14));
+        assert_eq!(r, u(2));
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        let (q, r) = u(100).div_rem(U256::ZERO);
+        assert_eq!(q, U256::ZERO);
+        assert_eq!(r, U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_large() {
+        let a = U256::from_hex("0xffffffffffffffffffffffffffffffff").unwrap();
+        let b = U256::from_hex("0xfffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(b);
+        // Verify a == q*b + r and r < b.
+        assert!(r < b);
+        assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(u(1).shl_bits(64), U256([0, 1, 0, 0]));
+        assert_eq!(U256([0, 1, 0, 0]).shr_bits(64), u(1));
+        assert_eq!(u(1).shl_bits(256), U256::ZERO);
+        assert_eq!(u(0b1010).shr_bits(1), u(0b101));
+        assert_eq!(u(3).shl_bits(1), u(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(u(1) < u(2));
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert_eq!(u(5).cmp(&u(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let neg_one = U256::MAX; // -1 in two's complement
+        assert!(neg_one.is_negative_signed());
+        assert_eq!(neg_one.signed_cmp(&U256::ONE), Ordering::Less);
+        assert_eq!(U256::ONE.signed_cmp(&neg_one), Ordering::Greater);
+        assert_eq!(u(3).signed_cmp(&u(4)), Ordering::Less);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn be_slice_left_pads() {
+        assert_eq!(U256::from_be_slice(&[0x01, 0x00]), u(256));
+        assert_eq!(U256::from_be_slice(&[]), U256::ZERO);
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(U256::from_hex("0x10").unwrap(), u(16));
+        assert_eq!(U256::from_hex("ff").unwrap(), u(255));
+        assert_eq!(U256::from_hex("0xf").unwrap(), u(15));
+        assert!(U256::from_hex("").is_none());
+        assert!(U256::from_hex("0xzz").is_none());
+    }
+
+    #[test]
+    fn dec_parsing_and_display() {
+        assert_eq!(U256::from_dec("1234567890").unwrap(), u(1234567890));
+        assert_eq!(u(98765).to_dec_string(), "98765");
+        assert_eq!(U256::ZERO.to_dec_string(), "0");
+        let max_str = U256::MAX.to_dec_string();
+        assert_eq!(
+            max_str,
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935"
+        );
+        assert_eq!(U256::from_dec(&max_str).unwrap(), U256::MAX);
+        assert!(U256::from_dec("not a number").is_none());
+    }
+
+    #[test]
+    fn hex_display() {
+        assert_eq!(u(255).to_hex_string(), "0xff");
+        assert_eq!(U256::ZERO.to_hex_string(), "0x0");
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        assert_eq!(u(10).abs_diff(u(3)), u(7));
+        assert_eq!(u(3).abs_diff(u(10)), u(7));
+        assert_eq!(u(5).abs_diff(u(5)), U256::ZERO);
+    }
+
+    #[test]
+    fn f64_conversion_monotone() {
+        assert!(U256::MAX.to_f64_lossy() > u(1_000_000).to_f64_lossy());
+        assert_eq!(u(42).to_f64_lossy(), 42.0);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let v = u(0b1001);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(3));
+        assert!(!v.bit(255));
+        assert!(!v.bit(300));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the EVM substrate: U256 arithmetic laws,
+//! byte-encoding round trips and Keccak-256 behaviour.
+
+use mufuzz_evm::{keccak256, Address, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform32(any::<u8>()).prop_map(U256::from_be_bytes)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributes_overflow_flag(a in arb_u256(), b in arb_u256()) {
+        let (p1, o1) = a.overflowing_mul(b);
+        let (p2, o2) = b.overflowing_mul(a);
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn div_rem_reconstructs_dividend(a in arb_u256(), b in arb_u256()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn checked_add_agrees_with_overflowing_add(a in arb_u256(), b in arb_u256()) {
+        let (sum, overflow) = a.overflowing_add(b);
+        match a.checked_add(b) {
+            Some(v) => {
+                prop_assert!(!overflow);
+                prop_assert_eq!(v, sum);
+            }
+            None => prop_assert!(overflow),
+        }
+    }
+
+    #[test]
+    fn be_bytes_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn decimal_string_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_dec(&a.to_dec_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_string_round_trip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_subtraction(a in arb_u256(), b in arb_u256()) {
+        let (_, borrow) = a.overflowing_sub(b);
+        // a < b exactly when a - b borrows.
+        prop_assert_eq!(a < b, borrow);
+    }
+
+    #[test]
+    fn shifts_compose(a in arb_u256(), s in 0u32..255) {
+        // Shifting left then right clears the high bits but preserves the rest.
+        let masked = a.shl_bits(s).shr_bits(s);
+        let expected = if s == 0 { a } else { a & (U256::MAX.shr_bits(s)) };
+        prop_assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        prop_assert_eq!(a.abs_diff(a), U256::ZERO);
+    }
+
+    #[test]
+    fn address_round_trips_through_u256(n in any::<u64>()) {
+        let addr = Address::from_low_u64(n);
+        prop_assert_eq!(Address::from_u256(addr.to_u256()), addr);
+    }
+
+    #[test]
+    fn keccak_is_deterministic_and_fixed_size(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let d1 = keccak256(&data);
+        let d2 = keccak256(&data);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(d1.len(), 32);
+    }
+
+    #[test]
+    fn keccak_distinguishes_appended_bytes(data in proptest::collection::vec(any::<u8>(), 0..200), extra in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(keccak256(&data), keccak256(&longer));
+    }
+}

@@ -1,0 +1,294 @@
+//! Application binary interface: function selectors, parameter types and
+//! calldata encoding/decoding.
+//!
+//! The fuzzer generates transaction inputs as ABI-encoded byte streams; the
+//! mask-guided mutation then works directly on those bytes. The ABI layer
+//! keeps encoding identical to Solidity's static-type encoding: a 4-byte
+//! selector followed by one 32-byte word per parameter.
+
+use crate::ast::{Contract, Function, Type};
+use mufuzz_evm::{keccak256, Address, U256};
+
+/// ABI-level parameter type (value types only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamType {
+    /// 256-bit unsigned integer.
+    Uint256,
+    /// 160-bit address.
+    Address,
+    /// Boolean.
+    Bool,
+}
+
+impl ParamType {
+    /// Canonical name used in signatures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParamType::Uint256 => "uint256",
+            ParamType::Address => "address",
+            ParamType::Bool => "bool",
+        }
+    }
+
+    /// Convert an AST type to an ABI parameter type, if it is a value type.
+    pub fn from_ast(ty: &Type) -> Option<ParamType> {
+        match ty {
+            Type::Uint256 => Some(ParamType::Uint256),
+            Type::Address => Some(ParamType::Address),
+            Type::Bool => Some(ParamType::Bool),
+            Type::Mapping(_, _) => None,
+        }
+    }
+}
+
+/// A typed argument value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbiValue {
+    /// Unsigned integer.
+    Uint(U256),
+    /// Address.
+    Address(Address),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AbiValue {
+    /// Encode as a 32-byte word.
+    pub fn to_word(&self) -> [u8; 32] {
+        match self {
+            AbiValue::Uint(v) => v.to_be_bytes(),
+            AbiValue::Address(a) => a.to_u256().to_be_bytes(),
+            AbiValue::Bool(b) => U256::from(*b).to_be_bytes(),
+        }
+    }
+
+    /// Decode a word according to the parameter type.
+    pub fn from_word(ty: ParamType, word: &[u8]) -> AbiValue {
+        let value = U256::from_be_slice(word);
+        match ty {
+            ParamType::Uint256 => AbiValue::Uint(value),
+            ParamType::Address => AbiValue::Address(Address::from_u256(value)),
+            ParamType::Bool => AbiValue::Bool(!value.is_zero()),
+        }
+    }
+}
+
+/// ABI description of one externally callable function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionAbi {
+    /// Function name.
+    pub name: String,
+    /// Parameter types in order.
+    pub inputs: Vec<ParamType>,
+    /// Whether the function accepts ether.
+    pub payable: bool,
+    /// 4-byte selector.
+    pub selector: [u8; 4],
+}
+
+impl FunctionAbi {
+    /// Build the ABI entry for an AST function.
+    pub fn from_function(f: &Function) -> FunctionAbi {
+        let inputs: Vec<ParamType> = f
+            .params
+            .iter()
+            .filter_map(|p| ParamType::from_ast(&p.ty))
+            .collect();
+        FunctionAbi {
+            name: f.name.clone(),
+            inputs,
+            payable: f.payable,
+            selector: compute_selector(&f.signature()),
+        }
+    }
+
+    /// Canonical signature string.
+    pub fn signature(&self) -> String {
+        let params: Vec<&str> = self.inputs.iter().map(|p| p.name()).collect();
+        format!("{}({})", self.name, params.join(","))
+    }
+
+    /// ABI-encode a call to this function.
+    pub fn encode_call(&self, args: &[AbiValue]) -> Vec<u8> {
+        let mut data = self.selector.to_vec();
+        for arg in args {
+            data.extend_from_slice(&arg.to_word());
+        }
+        data
+    }
+
+    /// Decode calldata (after the selector) into typed values. Missing bytes
+    /// decode as zero, mirroring EVM `CALLDATALOAD` semantics.
+    pub fn decode_args(&self, calldata: &[u8]) -> Vec<AbiValue> {
+        let body = if calldata.len() >= 4 { &calldata[4..] } else { &[] };
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| {
+                let start = i * 32;
+                let mut word = [0u8; 32];
+                for (j, byte) in word.iter_mut().enumerate() {
+                    *byte = body.get(start + j).copied().unwrap_or(0);
+                }
+                AbiValue::from_word(*ty, &word)
+            })
+            .collect()
+    }
+
+    /// Total calldata length for a call to this function.
+    pub fn calldata_len(&self) -> usize {
+        4 + 32 * self.inputs.len()
+    }
+}
+
+/// Contract-level ABI: every dispatchable function.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContractAbi {
+    /// Functions reachable through the dispatcher.
+    pub functions: Vec<FunctionAbi>,
+}
+
+impl ContractAbi {
+    /// Build the ABI from an AST contract.
+    pub fn from_contract(contract: &Contract) -> ContractAbi {
+        ContractAbi {
+            functions: contract
+                .callable_functions()
+                .filter(|f| !f.name.is_empty())
+                .map(FunctionAbi::from_function)
+                .collect(),
+        }
+    }
+
+    /// Look up by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionAbi> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up by selector.
+    pub fn by_selector(&self, selector: [u8; 4]) -> Option<&FunctionAbi> {
+        self.functions.iter().find(|f| f.selector == selector)
+    }
+}
+
+/// Compute the 4-byte selector of a canonical signature.
+pub fn compute_selector(signature: &str) -> [u8; 4] {
+    let digest = keccak256(signature.as_bytes());
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Param, Visibility};
+
+    fn sample_function() -> Function {
+        Function {
+            name: "invest".into(),
+            params: vec![Param {
+                name: "donations".into(),
+                ty: Type::Uint256,
+            }],
+            visibility: Visibility::Public,
+            payable: true,
+            returns: None,
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn selector_matches_signature_hash() {
+        let abi = FunctionAbi::from_function(&sample_function());
+        assert_eq!(abi.signature(), "invest(uint256)");
+        assert_eq!(abi.selector, compute_selector("invest(uint256)"));
+        // A well-known reference selector.
+        assert_eq!(compute_selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn encode_and_decode_roundtrip() {
+        let abi = FunctionAbi {
+            name: "f".into(),
+            inputs: vec![ParamType::Uint256, ParamType::Address, ParamType::Bool],
+            payable: false,
+            selector: [1, 2, 3, 4],
+        };
+        let args = vec![
+            AbiValue::Uint(U256::from_u64(777)),
+            AbiValue::Address(Address::from_low_u64(0xbeef)),
+            AbiValue::Bool(true),
+        ];
+        let data = abi.encode_call(&args);
+        assert_eq!(data.len(), abi.calldata_len());
+        assert_eq!(&data[..4], &[1, 2, 3, 4]);
+        assert_eq!(abi.decode_args(&data), args);
+    }
+
+    #[test]
+    fn decode_tolerates_truncated_calldata() {
+        let abi = FunctionAbi {
+            name: "f".into(),
+            inputs: vec![ParamType::Uint256, ParamType::Uint256],
+            payable: false,
+            selector: [0; 4],
+        };
+        let decoded = abi.decode_args(&[0, 0, 0, 0, 0xff]);
+        assert_eq!(decoded.len(), 2);
+        assert!(matches!(decoded[1], AbiValue::Uint(v) if v.is_zero()));
+    }
+
+    #[test]
+    fn bool_decoding_is_nonzero_test() {
+        let word_true = U256::from_u64(7).to_be_bytes();
+        assert_eq!(
+            AbiValue::from_word(ParamType::Bool, &word_true),
+            AbiValue::Bool(true)
+        );
+        let word_false = U256::ZERO.to_be_bytes();
+        assert_eq!(
+            AbiValue::from_word(ParamType::Bool, &word_false),
+            AbiValue::Bool(false)
+        );
+    }
+
+    #[test]
+    fn contract_abi_skips_internal_and_fallback_functions() {
+        let mut contract = Contract {
+            name: "C".into(),
+            ..Default::default()
+        };
+        contract.functions.push(sample_function());
+        contract.functions.push(Function {
+            name: "hidden".into(),
+            visibility: Visibility::Internal,
+            params: vec![],
+            payable: false,
+            returns: None,
+            body: vec![],
+        });
+        contract.functions.push(Function {
+            name: String::new(),
+            visibility: Visibility::Public,
+            params: vec![],
+            payable: true,
+            returns: None,
+            body: vec![],
+        });
+        let abi = ContractAbi::from_contract(&contract);
+        assert_eq!(abi.functions.len(), 1);
+        assert!(abi.function("invest").is_some());
+        assert!(abi.by_selector(abi.functions[0].selector).is_some());
+        assert!(abi.by_selector([9, 9, 9, 9]).is_none());
+    }
+
+    #[test]
+    fn mapping_params_are_rejected() {
+        assert_eq!(
+            ParamType::from_ast(&Type::Mapping(
+                Box::new(Type::Address),
+                Box::new(Type::Uint256)
+            )),
+            None
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! A tiny two-pass EVM assembler with symbolic labels.
+//!
+//! The code generator emits a stream of [`AsmItem`]s; label references are
+//! always encoded as `PUSH2` so offsets can be resolved in a single sizing
+//! pass.
+
+use mufuzz_evm::{Opcode, U256};
+use std::collections::HashMap;
+
+/// A symbolic jump label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub usize);
+
+/// One assembler item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmItem {
+    /// A bare opcode.
+    Op(Opcode),
+    /// A push with a concrete immediate payload.
+    Push(Vec<u8>),
+    /// A `PUSH2` whose payload is the resolved offset of a label.
+    PushLabel(Label),
+    /// A label definition; emits a `JUMPDEST` at the label position.
+    LabelDef(Label),
+}
+
+/// Errors produced during assembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError(pub String);
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assembly error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler: collects items, then resolves labels into bytecode.
+#[derive(Default, Debug)]
+pub struct Assembler {
+    items: Vec<AsmItem>,
+    next_label: usize,
+}
+
+impl Assembler {
+    /// Create an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh label.
+    pub fn new_label(&mut self) -> Label {
+        let label = Label(self.next_label);
+        self.next_label += 1;
+        label
+    }
+
+    /// Emit a bare opcode.
+    pub fn op(&mut self, opcode: Opcode) {
+        self.items.push(AsmItem::Op(opcode));
+    }
+
+    /// Emit the minimal `PUSHn` for a 256-bit constant.
+    pub fn push_u256(&mut self, value: U256) {
+        let bytes = value.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(31);
+        self.items.push(AsmItem::Push(bytes[first..].to_vec()));
+    }
+
+    /// Emit the minimal `PUSHn` for a small constant.
+    pub fn push_u64(&mut self, value: u64) {
+        self.push_u256(U256::from_u64(value));
+    }
+
+    /// Emit a `PUSH4` with exactly four bytes (used for selectors).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        assert!(!bytes.is_empty() && bytes.len() <= 32);
+        self.items.push(AsmItem::Push(bytes.to_vec()));
+    }
+
+    /// Emit a `PUSH2` carrying the offset of `label` once resolved.
+    pub fn push_label(&mut self, label: Label) {
+        self.items.push(AsmItem::PushLabel(label));
+    }
+
+    /// Define `label` here; a `JUMPDEST` is emitted at this position.
+    pub fn place(&mut self, label: Label) {
+        self.items.push(AsmItem::LabelDef(label));
+    }
+
+    /// Number of emitted items (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn item_size(item: &AsmItem) -> usize {
+        match item {
+            AsmItem::Op(_) => 1,
+            AsmItem::Push(payload) => 1 + payload.len(),
+            AsmItem::PushLabel(_) => 3,
+            AsmItem::LabelDef(_) => 1, // the JUMPDEST byte
+        }
+    }
+
+    /// Resolve labels and produce bytecode plus the resolved offset of every
+    /// label.
+    pub fn assemble(&self) -> Result<(Vec<u8>, HashMap<Label, usize>), AsmError> {
+        // Pass 1: compute label offsets.
+        let mut offsets = HashMap::new();
+        let mut pc = 0usize;
+        for item in &self.items {
+            if let AsmItem::LabelDef(label) = item {
+                if offsets.insert(*label, pc).is_some() {
+                    return Err(AsmError(format!("label {label:?} defined twice")));
+                }
+            }
+            pc += Self::item_size(item);
+        }
+        if pc > u16::MAX as usize {
+            return Err(AsmError("bytecode exceeds PUSH2-addressable size".into()));
+        }
+
+        // Pass 2: emit bytes.
+        let mut code = Vec::with_capacity(pc);
+        for item in &self.items {
+            match item {
+                AsmItem::Op(op) => code.push(op.to_byte()),
+                AsmItem::Push(payload) => {
+                    code.push(Opcode::Push(payload.len() as u8).to_byte());
+                    code.extend_from_slice(payload);
+                }
+                AsmItem::PushLabel(label) => {
+                    let offset = *offsets
+                        .get(label)
+                        .ok_or_else(|| AsmError(format!("label {label:?} never placed")))?;
+                    code.push(Opcode::Push(2).to_byte());
+                    code.extend_from_slice(&(offset as u16).to_be_bytes());
+                }
+                AsmItem::LabelDef(_) => code.push(Opcode::JumpDest.to_byte()),
+            }
+        }
+        Ok((code, offsets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_evm::disassemble;
+
+    #[test]
+    fn minimal_push_encoding() {
+        let mut asm = Assembler::new();
+        asm.push_u64(0);
+        asm.push_u64(0xff);
+        asm.push_u64(0x1234);
+        asm.push_u256(U256::MAX);
+        let (code, _) = asm.assemble().unwrap();
+        let instrs = disassemble(&code);
+        assert_eq!(instrs[0].opcode, Opcode::Push(1));
+        assert_eq!(instrs[0].immediate, vec![0]);
+        assert_eq!(instrs[1].opcode, Opcode::Push(1));
+        assert_eq!(instrs[1].immediate, vec![0xff]);
+        assert_eq!(instrs[2].opcode, Opcode::Push(2));
+        assert_eq!(instrs[3].opcode, Opcode::Push(32));
+    }
+
+    #[test]
+    fn labels_resolve_to_jumpdest_offsets() {
+        let mut asm = Assembler::new();
+        let target = asm.new_label();
+        asm.push_u64(1);
+        asm.push_label(target);
+        asm.op(Opcode::JumpI);
+        asm.op(Opcode::Invalid);
+        asm.place(target);
+        asm.op(Opcode::Stop);
+        let (code, offsets) = asm.assemble().unwrap();
+        let target_pc = offsets[&target];
+        assert_eq!(code[target_pc], Opcode::JumpDest.to_byte());
+        // The PUSH2 payload must equal the target offset.
+        let instrs = disassemble(&code);
+        let push2 = instrs.iter().find(|i| i.opcode == Opcode::Push(2)).unwrap();
+        let encoded = u16::from_be_bytes([push2.immediate[0], push2.immediate[1]]) as usize;
+        assert_eq!(encoded, target_pc);
+    }
+
+    #[test]
+    fn forward_and_backward_references() {
+        let mut asm = Assembler::new();
+        let start = asm.new_label();
+        let end = asm.new_label();
+        asm.place(start);
+        asm.push_u64(0);
+        asm.push_label(end);
+        asm.op(Opcode::JumpI);
+        asm.push_label(start);
+        asm.op(Opcode::Jump);
+        asm.place(end);
+        asm.op(Opcode::Stop);
+        let (_, offsets) = asm.assemble().unwrap();
+        assert!(offsets[&end] > offsets[&start]);
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.push_label(l);
+        assert!(asm.assemble().is_err());
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.place(l);
+        asm.place(l);
+        assert!(asm.assemble().is_err());
+    }
+}

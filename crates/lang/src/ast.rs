@@ -1,0 +1,401 @@
+//! Abstract syntax tree for the mini-Solidity language.
+//!
+//! The language is the subset of Solidity that the MuFuzz paper's analyses
+//! rely on: contracts with typed state variables (including mappings),
+//! constructors, public functions with value parameters, `require`, `if`,
+//! `while`, compound assignment, ether transfer primitives
+//! (`transfer`/`send`/`call.value`), `delegatecall`, `selfdestruct`,
+//! `keccak256`, and the `msg`/`tx`/`block` environment objects.
+
+use std::fmt;
+
+/// A value or storage type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// 256-bit unsigned integer.
+    Uint256,
+    /// 160-bit address.
+    Address,
+    /// Boolean.
+    Bool,
+    /// `mapping(key => value)`.
+    Mapping(Box<Type>, Box<Type>),
+}
+
+impl Type {
+    /// True if the type can be passed as a function argument (mappings can't).
+    pub fn is_value_type(&self) -> bool {
+        !matches!(self, Type::Mapping(_, _))
+    }
+
+    /// Canonical ABI name used in function signatures.
+    pub fn abi_name(&self) -> &'static str {
+        match self {
+            Type::Uint256 => "uint256",
+            Type::Address => "address",
+            Type::Bool => "bool",
+            Type::Mapping(_, _) => "mapping",
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Mapping(k, v) => write!(f, "mapping({k} => {v})"),
+            other => write!(f, "{}", other.abi_name()),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators (producing booleans).
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for arithmetic operators that can overflow or underflow.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul)
+    }
+}
+
+/// Built-in environment values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvValue {
+    /// `msg.sender`
+    MsgSender,
+    /// `msg.value`
+    MsgValue,
+    /// `tx.origin`
+    TxOrigin,
+    /// `block.timestamp` / `now`
+    BlockTimestamp,
+    /// `block.number`
+    BlockNumber,
+    /// `address(this)` — the executing contract's address.
+    This,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Unsigned integer literal (already scaled by `ether`/`finney` units).
+    Number(u128),
+    /// Boolean literal.
+    Bool(bool),
+    /// Reference to a state variable, local variable or parameter.
+    Ident(String),
+    /// Environment value such as `msg.sender`.
+    Env(EnvValue),
+    /// `mapping[key]` access.
+    Index(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation `!e`.
+    Not(Box<Expr>),
+    /// `keccak256(a, b, ...)` (also produced for
+    /// `keccak256(abi.encodePacked(a, b, ...))`).
+    Keccak(Vec<Expr>),
+    /// `<address expr>.balance`.
+    BalanceOf(Box<Expr>),
+    /// `<address expr>.send(amount)` — returns a bool, does not revert.
+    Send(Box<Expr>, Box<Expr>),
+    /// `<address expr>.call.value(amount)()` — forwards all gas, returns bool.
+    CallValue(Box<Expr>, Box<Expr>),
+    /// `<address expr>.delegatecall(data...)` — returns bool.
+    DelegateCall(Box<Expr>, Vec<Expr>),
+    /// Explicit cast such as `uint256(e)` or `address(e)` (identity at runtime).
+    Cast(Type, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a number literal.
+    pub fn num(v: u128) -> Expr {
+        Expr::Number(v)
+    }
+
+    /// Convenience constructor for an identifier.
+    pub fn ident(name: &str) -> Expr {
+        Expr::Ident(name.to_string())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a mapping access.
+    pub fn index(map: &str, key: Expr) -> Expr {
+        Expr::Index(Box::new(Expr::ident(map)), Box::new(key))
+    }
+}
+
+/// Assignable locations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A named state variable, local or parameter.
+    Ident(String),
+    /// A mapping element `m[key]`.
+    Index(String, Expr),
+}
+
+impl LValue {
+    /// Name of the underlying variable.
+    pub fn base_name(&self) -> &str {
+        match self {
+            LValue::Ident(n) => n,
+            LValue::Index(n, _) => n,
+        }
+    }
+}
+
+/// Compound-assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration with initialiser.
+    Local(String, Type, Expr),
+    /// Assignment (possibly compound) to a state variable, local or mapping
+    /// element.
+    Assign(LValue, AssignOp, Expr),
+    /// `if (cond) { then } else { otherwise }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// `require(cond);`
+    Require(Expr),
+    /// `<address>.transfer(amount);` — reverts the transaction on failure.
+    Transfer(Expr, Expr),
+    /// An expression evaluated for its side effects, result discarded
+    /// (`send`, `call.value`, `delegatecall` used as statements).
+    ExprStmt(Expr),
+    /// `selfdestruct(beneficiary);`
+    SelfDestruct(Expr),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `bug();` — ground-truth marker emitted by benchmark contracts; compiled
+    /// to a `LOG0` so reaching it is observable in the trace.
+    BugMarker,
+}
+
+/// Function visibility. Only `public`/`external` functions are callable by the
+/// fuzzer; `internal`/`private` ones are kept for completeness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// Callable from outside.
+    #[default]
+    Public,
+    /// Callable from outside (no difference in this subset).
+    External,
+    /// Not dispatched.
+    Internal,
+    /// Not dispatched.
+    Private,
+}
+
+impl Visibility {
+    /// True if the function is reachable via the dispatcher.
+    pub fn is_callable(&self) -> bool {
+        matches!(self, Visibility::Public | Visibility::External)
+    }
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (value types only).
+    pub ty: Type,
+}
+
+/// A contract function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name (empty string for the fallback function).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Visibility.
+    pub visibility: Visibility,
+    /// Whether the function accepts ether.
+    pub payable: bool,
+    /// Return type, if any.
+    pub returns: Option<Type>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Canonical signature, e.g. `invest(uint256)`.
+    pub fn signature(&self) -> String {
+        let params: Vec<&str> = self.params.iter().map(|p| p.ty.abi_name()).collect();
+        format!("{}({})", self.name, params.join(","))
+    }
+}
+
+/// A state variable declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVar {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initialiser evaluated in the constructor prologue.
+    pub initial: Option<Expr>,
+}
+
+/// A contract definition.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Contract {
+    /// Contract name.
+    pub name: String,
+    /// State variables in declaration order (defines the storage layout).
+    pub state_vars: Vec<StateVar>,
+    /// Constructor body (runs once at deployment).
+    pub constructor: Vec<Stmt>,
+    /// Whether the constructor accepts ether.
+    pub constructor_payable: bool,
+    /// Constructor parameters.
+    pub constructor_params: Vec<Param>,
+    /// Functions.
+    pub functions: Vec<Function>,
+}
+
+impl Contract {
+    /// Look up a state variable by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVar> {
+        self.state_vars.iter().find(|v| v.name == name)
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Functions reachable through the dispatcher.
+    pub fn callable_functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter().filter(|f| f.visibility.is_callable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_properties() {
+        assert!(Type::Uint256.is_value_type());
+        assert!(!Type::Mapping(Box::new(Type::Address), Box::new(Type::Uint256)).is_value_type());
+        assert_eq!(Type::Address.abi_name(), "address");
+        assert_eq!(
+            Type::Mapping(Box::new(Type::Address), Box::new(Type::Uint256)).to_string(),
+            "mapping(address => uint256)"
+        );
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Mul.is_arithmetic());
+        assert!(!BinOp::Eq.is_arithmetic());
+    }
+
+    #[test]
+    fn function_signature() {
+        let f = Function {
+            name: "invest".into(),
+            params: vec![Param {
+                name: "donations".into(),
+                ty: Type::Uint256,
+            }],
+            visibility: Visibility::Public,
+            payable: true,
+            returns: None,
+            body: vec![],
+        };
+        assert_eq!(f.signature(), "invest(uint256)");
+    }
+
+    #[test]
+    fn contract_lookups() {
+        let c = Contract {
+            name: "C".into(),
+            state_vars: vec![StateVar {
+                name: "x".into(),
+                ty: Type::Uint256,
+                initial: None,
+            }],
+            functions: vec![Function {
+                name: "f".into(),
+                params: vec![],
+                visibility: Visibility::Internal,
+                payable: false,
+                returns: None,
+                body: vec![],
+            }],
+            ..Default::default()
+        };
+        assert!(c.state_var("x").is_some());
+        assert!(c.state_var("y").is_none());
+        assert!(c.function("f").is_some());
+        assert_eq!(c.callable_functions().count(), 0);
+    }
+
+    #[test]
+    fn lvalue_base_name() {
+        assert_eq!(LValue::Ident("a".into()).base_name(), "a");
+        assert_eq!(
+            LValue::Index("m".into(), Expr::num(1)).base_name(),
+            "m"
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Lexer for the mini-Solidity language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u128),
+    /// String literal (only used for `require` messages, which are ignored).
+    Str(String),
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=>`
+    Arrow,
+
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A lexing error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A token paired with the source line it started on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenise mini-Solidity source code.
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            tokens.push(SpannedToken {
+                token: $tok,
+                line,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                i += 1;
+                push!(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Hex literals.
+                if c == '0' && i + 1 < chars.len() && (chars[i + 1] == 'x' || chars[i + 1] == 'X') {
+                    i += 2;
+                    let hex_start = i;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = chars[hex_start..i].iter().collect();
+                    let value = u128::from_str_radix(&text, 16).map_err(|_| LexError {
+                        line,
+                        message: format!("invalid hex literal 0x{text}"),
+                    })?;
+                    push!(Token::Number(value));
+                } else {
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+                    let value = text.parse::<u128>().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal too large: {text}"),
+                    })?;
+                    push!(Token::Number(value));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                push!(Token::Ident(word));
+            }
+            '(' => {
+                push!(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Token::RBracket);
+                i += 1;
+            }
+            ';' => {
+                push!(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                push!(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                push!(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::EqEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    push!(Token::Arrow);
+                    i += 2;
+                } else {
+                    push!(Token::Assign);
+                    i += 1;
+                }
+            }
+            '+' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::PlusAssign);
+                    i += 2;
+                } else {
+                    push!(Token::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::MinusAssign);
+                    i += 2;
+                } else {
+                    push!(Token::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::StarAssign);
+                    i += 2;
+                } else {
+                    push!(Token::Star);
+                    i += 1;
+                }
+            }
+            '/' => {
+                push!(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Token::Percent);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Le);
+                    i += 2;
+                } else {
+                    push!(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Ge);
+                    i += 2;
+                } else {
+                    push!(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::NotEq);
+                    i += 2;
+                } else {
+                    push!(Token::Not);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < chars.len() && chars[i + 1] == '&' {
+                    push!(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "bitwise '&' is not supported".into(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < chars.len() && chars[i + 1] == '|' {
+                    push!(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "bitwise '|' is not supported".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_keywords_and_identifiers() {
+        assert_eq!(
+            toks("contract Foo"),
+            vec![
+                Token::Ident("contract".into()),
+                Token::Ident("Foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        assert_eq!(
+            toks("42 1_000 0xff"),
+            vec![
+                Token::Number(42),
+                Token::Number(1000),
+                Token::Number(255),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            toks("+= == != <= >= && || => ="),
+            vec![
+                Token::PlusAssign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Arrow,
+                Token::Assign,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let src = "a // line comment\n /* block \n comment */ b";
+        assert_eq!(
+            toks(src),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 4);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            toks("require(x, \"message\");"),
+            vec![
+                Token::Ident("require".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Str("message".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_comment_and_bad_chars() {
+        assert!(tokenize("/* never closed").is_err());
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_literal() {
+        let too_big = "9".repeat(60);
+        assert!(tokenize(&too_big).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! # mufuzz-lang
+//!
+//! A mini-Solidity language substrate for the MuFuzz reproduction.
+//!
+//! The MuFuzz pipeline (paper §IV-A) starts from contract source code and
+//! compiles it into the three artefacts the fuzzer consumes: EVM **bytecode**,
+//! the **ABI**, and the **AST**. This crate provides exactly that: a lexer,
+//! recursive-descent parser, ABI generator and bytecode compiler for the
+//! Solidity subset the paper's benchmark contracts use (state variables,
+//! mappings, `require`, branches, loops, ether transfer primitives,
+//! `delegatecall`, `selfdestruct`, `keccak256` and the `msg`/`tx`/`block`
+//! environment).
+//!
+//! ## Example
+//!
+//! ```
+//! use mufuzz_lang::compile_source;
+//!
+//! let compiled = compile_source(
+//!     "contract Counter {
+//!          uint256 count;
+//!          function bump(uint256 by) public { count += by; }
+//!      }",
+//! )
+//! .unwrap();
+//! assert_eq!(compiled.name, "Counter");
+//! assert_eq!(compiled.abi.functions.len(), 1);
+//! assert!(compiled.runtime.len() > 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod asm;
+pub mod ast;
+pub mod compiler;
+pub mod lexer;
+pub mod parser;
+
+pub use abi::{compute_selector, AbiValue, ContractAbi, FunctionAbi, ParamType};
+pub use asm::{Assembler, Label};
+pub use ast::{
+    AssignOp, BinOp, Contract, EnvValue, Expr, Function, LValue, Param, StateVar, Stmt, Type,
+    Visibility,
+};
+pub use compiler::{
+    compile_contract, CompileError, CompiledContract, FunctionInfo, StorageLayout,
+};
+pub use parser::{parse_contract_source, parse_source, ParseError};
+
+/// Errors from the full source-to-bytecode pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// Code generation failed.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "{e}"),
+            LangError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<CompileError> for LangError {
+    fn from(e: CompileError) -> Self {
+        LangError::Compile(e)
+    }
+}
+
+/// Parse and compile the first contract in a source file.
+pub fn compile_source(source: &str) -> Result<CompiledContract, LangError> {
+    let contract = parse_contract_source(source)?;
+    Ok(compile_contract(&contract)?)
+}
+
+/// Parse and compile every contract in a source file.
+pub fn compile_all(source: &str) -> Result<Vec<CompiledContract>, LangError> {
+    let contracts = parse_source(source)?;
+    contracts
+        .iter()
+        .map(|c| compile_contract(c).map_err(LangError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_source_end_to_end() {
+        let compiled = compile_source(
+            "contract T { uint256 x; function set(uint256 v) public { x = v; } }",
+        )
+        .unwrap();
+        assert_eq!(compiled.abi.functions[0].name, "set");
+    }
+
+    #[test]
+    fn compile_all_handles_multiple_contracts() {
+        let compiled = compile_all(
+            "contract A { uint256 x; } contract B { uint256 y; function f() public { y = 1; } }",
+        )
+        .unwrap();
+        assert_eq!(compiled.len(), 2);
+        assert_eq!(compiled[1].abi.functions.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        assert!(matches!(compile_source("not a contract"), Err(LangError::Parse(_))));
+        assert!(matches!(
+            compile_source("contract C { function f() public { ghost = 1; } }"),
+            Err(LangError::Compile(_))
+        ));
+    }
+}

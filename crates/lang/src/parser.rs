@@ -1,0 +1,1031 @@
+//! Recursive-descent parser for the mini-Solidity language.
+
+use crate::ast::{
+    AssignOp, BinOp, Contract, EnvValue, Expr, Function, LValue, Param, StateVar, Stmt, Type,
+    Visibility,
+};
+use crate::lexer::{tokenize, LexError, SpannedToken, Token};
+use std::fmt;
+
+/// A parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a source file into its contract definitions.
+pub fn parse_source(source: &str) -> Result<Vec<Contract>, ParseError> {
+    // Tolerate `pragma solidity ...;` and `import ...;` lines by blanking them
+    // out before lexing (they may contain characters like `^` that the lexer
+    // otherwise rejects). Line numbers are preserved.
+    let cleaned: String = source
+        .lines()
+        .map(|line| {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("pragma ") || trimmed.starts_with("import ") {
+                String::new()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tokens = tokenize(&cleaned)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut contracts = Vec::new();
+    while !matches!(parser.peek(), Token::Eof) {
+        contracts.push(parser.parse_contract()?);
+    }
+    if contracts.is_empty() {
+        return Err(ParseError {
+            line: 1,
+            message: "no contract definition found".into(),
+        });
+    }
+    Ok(contracts)
+}
+
+/// Parse a source file expected to contain exactly one primary contract
+/// (the first one defined).
+pub fn parse_contract_source(source: &str) -> Result<Contract, ParseError> {
+    Ok(parse_source(source)?.remove(0))
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        &self.tokens[(self.pos + offset).min(self.tokens.len() - 1)].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.peek() == token {
+            self.advance();
+            Ok(())
+        } else {
+            self.error(format!("expected {token:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn check_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(w) if w == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.check_ident(word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Token::Ident(name) => Ok(name),
+            other => self.error(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_type_keyword(word: &str) -> bool {
+        matches!(
+            word,
+            "uint256" | "uint" | "uint8" | "uint16" | "uint32" | "uint64" | "uint128" | "address"
+                | "bool" | "mapping"
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let word = self.expect_ident()?;
+        match word.as_str() {
+            "uint256" | "uint" | "uint8" | "uint16" | "uint32" | "uint64" | "uint128" => {
+                Ok(Type::Uint256)
+            }
+            "address" => {
+                // `address payable` is accepted and treated as `address`.
+                self.eat_ident("payable");
+                Ok(Type::Address)
+            }
+            "bool" => Ok(Type::Bool),
+            "mapping" => {
+                self.expect(&Token::LParen)?;
+                let key = self.parse_type()?;
+                self.expect(&Token::Arrow)?;
+                let value = self.parse_type()?;
+                self.expect(&Token::RParen)?;
+                Ok(Type::Mapping(Box::new(key), Box::new(value)))
+            }
+            other => self.error(format!("unknown type '{other}'")),
+        }
+    }
+
+    fn parse_contract(&mut self) -> Result<Contract, ParseError> {
+        if !self.eat_ident("contract") {
+            return self.error("expected 'contract'");
+        }
+        let name = self.expect_ident()?;
+        // Inheritance clauses are accepted and ignored.
+        if self.eat_ident("is") {
+            self.expect_ident()?;
+            while self.peek() == &Token::Comma {
+                self.advance();
+                self.expect_ident()?;
+            }
+        }
+        self.expect(&Token::LBrace)?;
+        let mut contract = Contract {
+            name,
+            ..Default::default()
+        };
+        while self.peek() != &Token::RBrace {
+            if self.check_ident("constructor") {
+                self.advance();
+                let (params, payable) = self.parse_function_header_rest()?;
+                contract.constructor_params = params;
+                contract.constructor_payable = payable;
+                contract.constructor = self.parse_block()?;
+            } else if self.check_ident("function") {
+                contract.functions.push(self.parse_function()?);
+            } else {
+                contract.state_vars.push(self.parse_state_var()?);
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(contract)
+    }
+
+    fn parse_state_var(&mut self) -> Result<StateVar, ParseError> {
+        let ty = self.parse_type()?;
+        // Optional visibility / mutability keywords before the name.
+        loop {
+            if self.check_ident("public")
+                || self.check_ident("private")
+                || self.check_ident("internal")
+                || self.check_ident("constant")
+            {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let name = self.expect_ident()?;
+        let initial = if self.peek() == &Token::Assign {
+            self.advance();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Semi)?;
+        Ok(StateVar { name, ty, initial })
+    }
+
+    /// Parse `(params) modifiers...` shared by functions and constructors.
+    /// Returns the parameters and the payable flag; visibility is returned by
+    /// `parse_function`.
+    fn parse_function_header_rest(&mut self) -> Result<(Vec<Param>, bool), ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Token::RParen {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            params.push(Param { name, ty });
+            if self.peek() == &Token::Comma {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let mut payable = false;
+        loop {
+            if self.check_ident("payable") {
+                payable = true;
+                self.advance();
+            } else if self.check_ident("public")
+                || self.check_ident("external")
+                || self.check_ident("internal")
+                || self.check_ident("private")
+                || self.check_ident("view")
+                || self.check_ident("pure")
+                || self.check_ident("constant")
+            {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok((params, payable))
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        self.advance(); // 'function'
+        let name = if self.peek() == &Token::LParen {
+            String::new() // fallback function
+        } else {
+            self.expect_ident()?
+        };
+
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while self.peek() != &Token::RParen {
+            let ty = self.parse_type()?;
+            let pname = self.expect_ident()?;
+            params.push(Param { name: pname, ty });
+            if self.peek() == &Token::Comma {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RParen)?;
+
+        let mut payable = false;
+        let mut visibility = Visibility::Public;
+        let mut returns = None;
+        loop {
+            if self.check_ident("payable") {
+                payable = true;
+                self.advance();
+            } else if self.check_ident("public") {
+                visibility = Visibility::Public;
+                self.advance();
+            } else if self.check_ident("external") {
+                visibility = Visibility::External;
+                self.advance();
+            } else if self.check_ident("internal") {
+                visibility = Visibility::Internal;
+                self.advance();
+            } else if self.check_ident("private") {
+                visibility = Visibility::Private;
+                self.advance();
+            } else if self.check_ident("view")
+                || self.check_ident("pure")
+                || self.check_ident("constant")
+            {
+                self.advance();
+            } else if self.check_ident("returns") {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                returns = Some(self.parse_type()?);
+                // An optional return-parameter name is ignored.
+                if matches!(self.peek(), Token::Ident(_)) {
+                    self.advance();
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                break;
+            }
+        }
+        let body = self.parse_block()?;
+        Ok(Function {
+            name,
+            params,
+            visibility,
+            payable,
+            returns,
+            body,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Token::RBrace {
+            stmts.push(self.parse_statement()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
+        // Local variable declaration.
+        if let Token::Ident(word) = self.peek() {
+            let word = word.clone();
+            if Self::is_type_keyword(&word) && matches!(self.peek_at(1), Token::Ident(_)) {
+                // Disambiguate casts (`uint256(x)`) from declarations
+                // (`uint256 x = ...`): a declaration is followed by an
+                // identifier, a cast by '('.
+                let ty = self.parse_type()?;
+                let name = self.expect_ident()?;
+                self.expect(&Token::Assign)?;
+                let init = self.parse_expr()?;
+                self.expect(&Token::Semi)?;
+                return Ok(Stmt::Local(name, ty, init));
+            }
+            match word.as_str() {
+                "if" => return self.parse_if(),
+                "while" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    let cond = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    let body = self.parse_block()?;
+                    return Ok(Stmt::While(cond, body));
+                }
+                "require" | "assert" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    let cond = self.parse_expr()?;
+                    if self.peek() == &Token::Comma {
+                        self.advance();
+                        // Error message string is ignored.
+                        self.advance();
+                    }
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Semi)?;
+                    return Ok(Stmt::Require(cond));
+                }
+                "revert" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    if matches!(self.peek(), Token::Str(_)) {
+                        self.advance();
+                    }
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Semi)?;
+                    return Ok(Stmt::Require(Expr::Bool(false)));
+                }
+                "return" => {
+                    self.advance();
+                    if self.peek() == &Token::Semi {
+                        self.advance();
+                        return Ok(Stmt::Return(None));
+                    }
+                    let value = self.parse_expr()?;
+                    self.expect(&Token::Semi)?;
+                    return Ok(Stmt::Return(Some(value)));
+                }
+                "selfdestruct" | "suicide" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    let beneficiary = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Semi)?;
+                    return Ok(Stmt::SelfDestruct(beneficiary));
+                }
+                "bug" => {
+                    self.advance();
+                    self.expect(&Token::LParen)?;
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Semi)?;
+                    return Ok(Stmt::BugMarker);
+                }
+                _ => {}
+            }
+        }
+
+        // Assignment, transfer statement, or expression statement.
+        let target = self.parse_unary()?;
+        match self.peek().clone() {
+            Token::Dot => {
+                // Only `.transfer(amount)` reaches here; every other member is
+                // consumed by the postfix parser.
+                self.advance();
+                let member = self.expect_ident()?;
+                if member != "transfer" {
+                    return self.error(format!("unsupported member call '.{member}' in statement"));
+                }
+                self.expect(&Token::LParen)?;
+                let amount = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Transfer(target, amount))
+            }
+            tok @ (Token::Assign | Token::PlusAssign | Token::MinusAssign | Token::StarAssign) => {
+                self.advance();
+                let op = match tok {
+                    Token::Assign => AssignOp::Assign,
+                    Token::PlusAssign => AssignOp::AddAssign,
+                    Token::MinusAssign => AssignOp::SubAssign,
+                    _ => AssignOp::MulAssign,
+                };
+                let lvalue = match target {
+                    Expr::Ident(name) => LValue::Ident(name),
+                    Expr::Index(base, key) => match *base {
+                        Expr::Ident(name) => LValue::Index(name, *key),
+                        _ => return self.error("unsupported assignment target"),
+                    },
+                    _ => return self.error("unsupported assignment target"),
+                };
+                let value = self.parse_expr()?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Assign(lvalue, op, value))
+            }
+            Token::Semi => {
+                self.advance();
+                Ok(Stmt::ExprStmt(target))
+            }
+            other => self.error(format!("unexpected token {other:?} in statement")),
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.advance(); // 'if'
+        self.expect(&Token::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::RParen)?;
+        let then_block = self.parse_block()?;
+        let else_block = if self.eat_ident("else") {
+            if self.check_ident("if") {
+                vec![self.parse_if()?]
+            } else {
+                self.parse_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then_block, else_block))
+    }
+
+    // -------- expressions --------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == &Token::OrOr {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_equality()?;
+        while self.peek() == &Token::AndAnd {
+            self.advance();
+            let rhs = self.parse_equality()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_comparison()?;
+        loop {
+            let op = match self.peek() {
+                Token::EqEq => BinOp::Eq,
+                Token::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Token::Lt => BinOp::Lt,
+                Token::Gt => BinOp::Gt,
+                Token::Le => BinOp::Le,
+                Token::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Token::Not {
+            self.advance();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Token::LBracket => {
+                    self.advance();
+                    let key = self.parse_expr()?;
+                    self.expect(&Token::RBracket)?;
+                    expr = Expr::Index(Box::new(expr), Box::new(key));
+                }
+                Token::Dot => {
+                    // Leave `.transfer(...)` for the statement parser.
+                    if let Token::Ident(next) = self.peek_at(1) {
+                        if next == "transfer" {
+                            break;
+                        }
+                    }
+                    self.advance();
+                    let member = self.expect_ident()?;
+                    expr = self.parse_member(expr, &member)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_member(&mut self, base: Expr, member: &str) -> Result<Expr, ParseError> {
+        match (&base, member) {
+            (Expr::Ident(name), "sender") if name == "msg" => Ok(Expr::Env(EnvValue::MsgSender)),
+            (Expr::Ident(name), "value") if name == "msg" => Ok(Expr::Env(EnvValue::MsgValue)),
+            (Expr::Ident(name), "origin") if name == "tx" => Ok(Expr::Env(EnvValue::TxOrigin)),
+            (Expr::Ident(name), "timestamp") if name == "block" => {
+                Ok(Expr::Env(EnvValue::BlockTimestamp))
+            }
+            (Expr::Ident(name), "number") if name == "block" => {
+                Ok(Expr::Env(EnvValue::BlockNumber))
+            }
+            (_, "balance") => Ok(Expr::BalanceOf(Box::new(base))),
+            (_, "send") => {
+                self.expect(&Token::LParen)?;
+                let amount = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Send(Box::new(base), Box::new(amount)))
+            }
+            (_, "call") => {
+                // `.call.value(amount)()` possibly followed by `.gas(n)`.
+                self.expect(&Token::Dot)?;
+                let sub = self.expect_ident()?;
+                if sub != "value" {
+                    return self.error(format!("expected '.value' after '.call', found '.{sub}'"));
+                }
+                self.expect(&Token::LParen)?;
+                let amount = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                // Optional `.gas(...)` clause is ignored.
+                if self.peek() == &Token::Dot {
+                    if let Token::Ident(next) = self.peek_at(1) {
+                        if next == "gas" {
+                            self.advance();
+                            self.advance();
+                            self.expect(&Token::LParen)?;
+                            let _ = self.parse_expr()?;
+                            self.expect(&Token::RParen)?;
+                        }
+                    }
+                }
+                self.expect(&Token::LParen)?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::CallValue(Box::new(base), Box::new(amount)))
+            }
+            (_, "delegatecall") => {
+                self.expect(&Token::LParen)?;
+                let mut args = Vec::new();
+                while self.peek() != &Token::RParen {
+                    args.push(self.parse_expr()?);
+                    if self.peek() == &Token::Comma {
+                        self.advance();
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                Ok(Expr::DelegateCall(Box::new(base), args))
+            }
+            _ => self.error(format!("unsupported member access '.{member}'")),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.advance();
+                let multiplier: u128 = if let Token::Ident(unit) = self.peek() {
+                    match unit.as_str() {
+                        "wei" => {
+                            self.advance();
+                            1
+                        }
+                        "finney" => {
+                            self.advance();
+                            1_000_000_000_000_000
+                        }
+                        "ether" => {
+                            self.advance();
+                            1_000_000_000_000_000_000
+                        }
+                        "seconds" => {
+                            self.advance();
+                            1
+                        }
+                        "minutes" => {
+                            self.advance();
+                            60
+                        }
+                        "hours" => {
+                            self.advance();
+                            3_600
+                        }
+                        "days" => {
+                            self.advance();
+                            86_400
+                        }
+                        _ => 1,
+                    }
+                } else {
+                    1
+                };
+                let value = n.checked_mul(multiplier).ok_or_else(|| ParseError {
+                    line: self.line(),
+                    message: "literal with unit overflows 128 bits".into(),
+                })?;
+                Ok(Expr::Number(value))
+            }
+            Token::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(word) => {
+                match word.as_str() {
+                    "true" => {
+                        self.advance();
+                        Ok(Expr::Bool(true))
+                    }
+                    "false" => {
+                        self.advance();
+                        Ok(Expr::Bool(false))
+                    }
+                    "now" => {
+                        self.advance();
+                        Ok(Expr::Env(EnvValue::BlockTimestamp))
+                    }
+                    "this" => {
+                        self.advance();
+                        Ok(Expr::Env(EnvValue::This))
+                    }
+                    "keccak256" => {
+                        self.advance();
+                        self.expect(&Token::LParen)?;
+                        let mut args = Vec::new();
+                        if self.check_ident("abi") {
+                            // keccak256(abi.encodePacked(a, b, ...))
+                            self.advance();
+                            self.expect(&Token::Dot)?;
+                            let sub = self.expect_ident()?;
+                            if sub != "encodePacked" && sub != "encode" {
+                                return self
+                                    .error(format!("unsupported abi helper 'abi.{sub}'"));
+                            }
+                            self.expect(&Token::LParen)?;
+                            while self.peek() != &Token::RParen {
+                                args.push(self.parse_expr()?);
+                                if self.peek() == &Token::Comma {
+                                    self.advance();
+                                }
+                            }
+                            self.expect(&Token::RParen)?;
+                        } else {
+                            while self.peek() != &Token::RParen {
+                                args.push(self.parse_expr()?);
+                                if self.peek() == &Token::Comma {
+                                    self.advance();
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                        Ok(Expr::Keccak(args))
+                    }
+                    w if Self::is_type_keyword(w) => {
+                        // Cast such as `uint256(x)` or `address(this)`.
+                        let ty = self.parse_type()?;
+                        self.expect(&Token::LParen)?;
+                        let inner = self.parse_expr()?;
+                        self.expect(&Token::RParen)?;
+                        Ok(Expr::Cast(ty, Box::new(inner)))
+                    }
+                    _ => {
+                        self.advance();
+                        Ok(Expr::Ident(word))
+                    }
+                }
+            }
+            other => self.error(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CROWDSALE: &str = r#"
+        contract Crowdsale {
+            uint256 phase = 0;
+            uint256 goal;
+            uint256 invested;
+            address owner;
+            mapping(address => uint256) invests;
+
+            constructor() public {
+                goal = 100 ether;
+                invested = 0;
+                owner = msg.sender;
+            }
+
+            function invest(uint256 donations) public payable {
+                if (invested < goal) {
+                    invests[msg.sender] += donations;
+                    invested += donations;
+                    phase = 0;
+                } else {
+                    phase = 1;
+                }
+            }
+
+            function refund() public {
+                if (phase == 0) {
+                    msg.sender.transfer(invests[msg.sender]);
+                    invests[msg.sender] = 0;
+                }
+            }
+
+            function withdraw() public {
+                if (phase == 1) {
+                    bug();
+                    owner.transfer(invested);
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_crowdsale_contract() {
+        let contract = parse_contract_source(CROWDSALE).unwrap();
+        assert_eq!(contract.name, "Crowdsale");
+        assert_eq!(contract.state_vars.len(), 5);
+        assert_eq!(contract.functions.len(), 3);
+        assert_eq!(contract.constructor.len(), 3);
+        assert!(contract.function("invest").unwrap().payable);
+        assert!(!contract.function("refund").unwrap().payable);
+    }
+
+    #[test]
+    fn parses_state_var_initialisers_and_units() {
+        let contract = parse_contract_source(CROWDSALE).unwrap();
+        assert_eq!(
+            contract.state_var("phase").unwrap().initial,
+            Some(Expr::Number(0))
+        );
+        // goal = 100 ether becomes a scaled literal in the constructor.
+        match &contract.constructor[0] {
+            Stmt::Assign(LValue::Ident(name), AssignOp::Assign, Expr::Number(v)) => {
+                assert_eq!(name, "goal");
+                assert_eq!(*v, 100 * 10u128.pow(18));
+            }
+            other => panic!("unexpected constructor stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_and_compound_assignment() {
+        let contract = parse_contract_source(CROWDSALE).unwrap();
+        let invest = contract.function("invest").unwrap();
+        match &invest.body[0] {
+            Stmt::If(cond, then_block, else_block) => {
+                assert!(matches!(cond, Expr::Binary(BinOp::Lt, _, _)));
+                assert_eq!(then_block.len(), 3);
+                assert_eq!(else_block.len(), 1);
+                assert!(matches!(
+                    then_block[0],
+                    Stmt::Assign(LValue::Index(_, _), AssignOp::AddAssign, _)
+                ));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_transfer_and_bug_marker() {
+        let contract = parse_contract_source(CROWDSALE).unwrap();
+        let refund = contract.function("refund").unwrap();
+        match &refund.body[0] {
+            Stmt::If(_, then_block, _) => {
+                assert!(matches!(then_block[0], Stmt::Transfer(_, _)));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+        let withdraw = contract.function("withdraw").unwrap();
+        match &withdraw.body[0] {
+            Stmt::If(_, then_block, _) => {
+                assert!(matches!(then_block[0], Stmt::BugMarker));
+                assert!(matches!(then_block[1], Stmt::Transfer(_, _)));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_game_contract_with_keccak_and_require() {
+        let src = r#"
+            contract Game {
+                mapping(address => uint256) balance;
+                function guessNum(uint256 number) public payable {
+                    uint256 random = uint256(keccak256(abi.encodePacked(block.timestamp, now))) % 200;
+                    require(msg.value == 88 finney);
+                    if (number < random) {
+                        uint256 luckyNum = number % 2;
+                        if (luckyNum == 0) {
+                            balance[msg.sender] += msg.value * 10;
+                        } else {
+                            balance[msg.sender] += msg.value * 5;
+                        }
+                    }
+                }
+            }
+        "#;
+        let contract = parse_contract_source(src).unwrap();
+        let f = contract.function("guessNum").unwrap();
+        assert!(matches!(&f.body[0], Stmt::Local(name, Type::Uint256, _) if name == "random"));
+        assert!(matches!(&f.body[1], Stmt::Require(Expr::Binary(BinOp::Eq, _, _))));
+        // Nested ifs.
+        match &f.body[2] {
+            Stmt::If(_, then_block, _) => {
+                assert!(matches!(&then_block[1], Stmt::If(_, _, _)));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_send_callvalue_delegatecall_selfdestruct() {
+        let src = r#"
+            contract Wallet {
+                address owner;
+                function pay(address to, uint256 amount) public {
+                    to.send(amount);
+                    to.call.value(amount)();
+                }
+                function proxy(address target, uint256 data) public {
+                    target.delegatecall(data);
+                }
+                function kill() public {
+                    selfdestruct(msg.sender);
+                }
+                function origin_guard() public {
+                    require(tx.origin == owner);
+                }
+            }
+        "#;
+        let contract = parse_contract_source(src).unwrap();
+        let pay = contract.function("pay").unwrap();
+        assert!(matches!(&pay.body[0], Stmt::ExprStmt(Expr::Send(_, _))));
+        assert!(matches!(&pay.body[1], Stmt::ExprStmt(Expr::CallValue(_, _))));
+        let proxy = contract.function("proxy").unwrap();
+        assert!(matches!(
+            &proxy.body[0],
+            Stmt::ExprStmt(Expr::DelegateCall(_, _))
+        ));
+        let kill = contract.function("kill").unwrap();
+        assert!(matches!(&kill.body[0], Stmt::SelfDestruct(_)));
+        let guard = contract.function("origin_guard").unwrap();
+        assert!(matches!(&guard.body[0], Stmt::Require(_)));
+    }
+
+    #[test]
+    fn parses_while_loops_and_returns() {
+        let src = r#"
+            contract Loop {
+                uint256 total;
+                function sum(uint256 n) public returns (uint256) {
+                    uint256 i = 0;
+                    while (i < n) {
+                        total += i;
+                        i += 1;
+                    }
+                    return total;
+                }
+            }
+        "#;
+        let contract = parse_contract_source(src).unwrap();
+        let f = contract.function("sum").unwrap();
+        assert_eq!(f.returns, Some(Type::Uint256));
+        assert!(matches!(&f.body[1], Stmt::While(_, body) if body.len() == 2));
+        assert!(matches!(&f.body[2], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn parses_multiple_contracts_and_pragma() {
+        let src = r#"
+            pragma solidity ^0.4.26;
+            contract A { uint256 x; }
+            contract B { uint256 y; }
+        "#;
+        let contracts = parse_source(src).unwrap();
+        assert_eq!(contracts.len(), 2);
+        assert_eq!(contracts[0].name, "A");
+        assert_eq!(contracts[1].name, "B");
+    }
+
+    #[test]
+    fn parses_balance_and_strict_equality() {
+        let src = r#"
+            contract Strict {
+                function check() public {
+                    require(address(this).balance == 1 ether);
+                }
+            }
+        "#;
+        let contract = parse_contract_source(src).unwrap();
+        let f = contract.function("check").unwrap();
+        match &f.body[0] {
+            Stmt::Require(Expr::Binary(BinOp::Eq, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::BalanceOf(_)));
+            }
+            other => panic!("unexpected stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse_contract_source("contract X { uint256 }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse_contract_source("").is_err());
+        assert!(parse_contract_source("contract { }").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_member() {
+        let src = "contract C { function f() public { msg.sender.frobnicate(1); } }";
+        assert!(parse_contract_source(src).is_err());
+    }
+}

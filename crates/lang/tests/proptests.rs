@@ -1,0 +1,112 @@
+//! Property-based tests for the language substrate: ABI encode/decode round
+//! trips, assembler label resolution and compiler determinism.
+
+use mufuzz_evm::{disassemble, Address, Opcode, U256};
+use mufuzz_lang::{compile_source, AbiValue, Assembler, FunctionAbi, ParamType};
+use proptest::prelude::*;
+
+fn arb_param_types() -> impl Strategy<Value = Vec<ParamType>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(ParamType::Uint256),
+            Just(ParamType::Address),
+            Just(ParamType::Bool),
+        ],
+        0..5,
+    )
+}
+
+fn arb_value_for(ty: ParamType) -> BoxedStrategy<AbiValue> {
+    match ty {
+        ParamType::Uint256 => proptest::array::uniform32(any::<u8>())
+            .prop_map(|b| AbiValue::Uint(U256::from_be_bytes(b)))
+            .boxed(),
+        ParamType::Address => any::<u64>()
+            .prop_map(|n| AbiValue::Address(Address::from_low_u64(n)))
+            .boxed(),
+        ParamType::Bool => any::<bool>().prop_map(AbiValue::Bool).boxed(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn abi_encode_decode_round_trips(types in arb_param_types(), seed in any::<u64>()) {
+        let abi = FunctionAbi {
+            name: "f".into(),
+            inputs: types.clone(),
+            payable: false,
+            selector: [seed as u8, (seed >> 8) as u8, (seed >> 16) as u8, (seed >> 24) as u8],
+        };
+        // Build deterministic values from the seed via proptest's own RNG
+        // would be nicer, but a fixed derivation keeps the test simple.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let values: Vec<AbiValue> = types
+            .iter()
+            .map(|t| arb_value_for(*t).new_tree(&mut runner).unwrap().current())
+            .collect();
+        let encoded = abi.encode_call(&values);
+        prop_assert_eq!(encoded.len(), abi.calldata_len());
+        let decoded = abi.decode_args(&encoded);
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn assembler_emits_resolvable_labels(jumps in 1usize..20) {
+        let mut asm = Assembler::new();
+        let labels: Vec<_> = (0..jumps).map(|_| asm.new_label()).collect();
+        for &label in &labels {
+            asm.push_u64(1);
+            asm.push_label(label);
+            asm.op(Opcode::JumpI);
+        }
+        for &label in &labels {
+            asm.place(label);
+            asm.op(Opcode::Stop);
+        }
+        let (code, offsets) = asm.assemble().unwrap();
+        // Every resolved offset points at a JUMPDEST byte.
+        for (_, offset) in offsets {
+            prop_assert_eq!(code[offset], Opcode::JumpDest.to_byte());
+        }
+    }
+
+    #[test]
+    fn push_round_trips_through_disassembler(value in proptest::array::uniform32(any::<u8>())) {
+        let v = U256::from_be_bytes(value);
+        let mut asm = Assembler::new();
+        asm.push_u256(v);
+        asm.op(Opcode::Stop);
+        let (code, _) = asm.assemble().unwrap();
+        let instrs = disassemble(&code);
+        prop_assert_eq!(U256::from_be_slice(&instrs[0].immediate), v);
+    }
+
+    #[test]
+    fn generated_counter_contracts_compile_deterministically(
+        slots in 1usize..6,
+        functions in 1usize..6,
+    ) {
+        // A tiny structural generator distinct from the corpus one: every
+        // combination of slot/function counts must compile, and compilation is
+        // a pure function of the source.
+        let mut src = String::from("contract P {\n");
+        for s in 0..slots {
+            src.push_str(&format!("    uint256 v{s};\n"));
+        }
+        for f in 0..functions {
+            let target = f % slots;
+            src.push_str(&format!(
+                "    function f{f}(uint256 x) public {{ if (x > {f}) {{ v{target} += x; }} }}\n"
+            ));
+        }
+        src.push('}');
+        let a = compile_source(&src).unwrap();
+        let b = compile_source(&src).unwrap();
+        prop_assert_eq!(a.runtime.clone(), b.runtime);
+        prop_assert_eq!(a.abi.functions.len(), functions);
+        // Every selector is unique.
+        let selectors: std::collections::BTreeSet<[u8; 4]> =
+            a.abi.functions.iter().map(|f| f.selector).collect();
+        prop_assert_eq!(selectors.len(), functions);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bug classes and findings.
+//!
+//! MuFuzz targets the nine vulnerability classes of Table I of the paper:
+//! block dependency, unprotected delegatecall, ether freezing, integer
+//! over-/under-flow, reentrancy, unprotected self-destruct, strict ether
+//! equality, transaction-origin use and unhandled exceptions.
+
+use std::fmt;
+
+/// The nine bug classes handled by MuFuzz (paper Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// BD — block dependency (`block.timestamp` / `block.number` influencing
+    /// control flow or transfers).
+    BlockDependency,
+    /// UD — unprotected `delegatecall` with attacker-influenced target/data.
+    UnprotectedDelegatecall,
+    /// EF — ether freezing: the contract can receive ether but never send it.
+    EtherFreezing,
+    /// IO — integer overflow / underflow.
+    IntegerOverflow,
+    /// RE — reentrancy.
+    Reentrancy,
+    /// US — unprotected `selfdestruct`.
+    UnprotectedSelfDestruct,
+    /// SE — strict ether equality used as a branch condition.
+    StrictEtherEquality,
+    /// TO — authentication via `tx.origin`.
+    TxOriginUse,
+    /// UE — unhandled exception (unchecked low-level call / send).
+    UnhandledException,
+}
+
+impl BugClass {
+    /// All nine classes in the order the paper's tables list them.
+    pub const ALL: [BugClass; 9] = [
+        BugClass::BlockDependency,
+        BugClass::UnprotectedDelegatecall,
+        BugClass::EtherFreezing,
+        BugClass::IntegerOverflow,
+        BugClass::Reentrancy,
+        BugClass::UnprotectedSelfDestruct,
+        BugClass::StrictEtherEquality,
+        BugClass::TxOriginUse,
+        BugClass::UnhandledException,
+    ];
+
+    /// The two-letter abbreviation used throughout the paper.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            BugClass::BlockDependency => "BD",
+            BugClass::UnprotectedDelegatecall => "UD",
+            BugClass::EtherFreezing => "EF",
+            BugClass::IntegerOverflow => "IO",
+            BugClass::Reentrancy => "RE",
+            BugClass::UnprotectedSelfDestruct => "US",
+            BugClass::StrictEtherEquality => "SE",
+            BugClass::TxOriginUse => "TO",
+            BugClass::UnhandledException => "UE",
+        }
+    }
+
+    /// Parse a two-letter abbreviation.
+    pub fn from_abbrev(s: &str) -> Option<BugClass> {
+        BugClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.abbrev().eq_ignore_ascii_case(s))
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BugClass::BlockDependency => "block dependency",
+            BugClass::UnprotectedDelegatecall => "unprotected delegatecall",
+            BugClass::EtherFreezing => "ether freezing",
+            BugClass::IntegerOverflow => "integer over-/under-flow",
+            BugClass::Reentrancy => "reentrancy",
+            BugClass::UnprotectedSelfDestruct => "unprotected self-destruct",
+            BugClass::StrictEtherEquality => "strict ether equality",
+            BugClass::TxOriginUse => "transaction origin use",
+            BugClass::UnhandledException => "unhandled exception",
+        }
+    }
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// A deduplicated bug finding: one bug class in one function (or at contract
+/// level when no function can be attributed).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BugFinding {
+    /// Bug class.
+    pub class: BugClass,
+    /// Function the finding is attributed to (`None` = contract level).
+    pub function: Option<String>,
+    /// Representative program counter (first observation).
+    pub pc: usize,
+    /// Short explanation of why the oracle fired.
+    pub detail: String,
+}
+
+impl BugFinding {
+    /// Create a finding.
+    pub fn new(
+        class: BugClass,
+        function: Option<String>,
+        pc: usize,
+        detail: impl Into<String>,
+    ) -> Self {
+        BugFinding {
+            class,
+            function,
+            pc,
+            detail: detail.into(),
+        }
+    }
+
+    /// Key used to deduplicate findings: class + function.
+    pub fn dedup_key(&self) -> (BugClass, Option<&str>) {
+        (self.class, self.function.as_deref())
+    }
+}
+
+impl fmt::Display for BugFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "[{}] in {}(): {}", self.class, func, self.detail),
+            None => write!(f, "[{}] contract-level: {}", self.class, self.detail),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_have_unique_abbreviations() {
+        let mut seen = std::collections::BTreeSet::new();
+        for class in BugClass::ALL {
+            assert!(seen.insert(class.abbrev()));
+            assert_eq!(BugClass::from_abbrev(class.abbrev()), Some(class));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn abbrev_parsing_is_case_insensitive() {
+        assert_eq!(BugClass::from_abbrev("re"), Some(BugClass::Reentrancy));
+        assert_eq!(BugClass::from_abbrev("Io"), Some(BugClass::IntegerOverflow));
+        assert_eq!(BugClass::from_abbrev("zz"), None);
+    }
+
+    #[test]
+    fn finding_display_and_dedup_key() {
+        let f = BugFinding::new(
+            BugClass::Reentrancy,
+            Some("withdraw".into()),
+            42,
+            "call.value followed by state write",
+        );
+        assert!(f.to_string().contains("RE"));
+        assert!(f.to_string().contains("withdraw"));
+        assert_eq!(f.dedup_key(), (BugClass::Reentrancy, Some("withdraw")));
+        let g = BugFinding::new(BugClass::Reentrancy, Some("withdraw".into()), 77, "other");
+        assert_eq!(f.dedup_key(), g.dedup_key());
+    }
+}

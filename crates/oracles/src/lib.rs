@@ -1,0 +1,49 @@
+//! # mufuzz-oracles
+//!
+//! Trace-based bug oracles for the nine smart-contract vulnerability classes
+//! MuFuzz targets (paper §IV-D and Table I), plus scoring utilities that
+//! compare detector output against annotated ground truth the way Table III
+//! does.
+//!
+//! The oracles operate on the instrumented [`mufuzz_evm::ExecutionTrace`]
+//! produced by every transaction execution: taint-annotated branch decisions,
+//! call events, arithmetic truncations, self-destructs and storage writes.
+//!
+//! ```
+//! use mufuzz_oracles::{BugClass, CampaignMonitor};
+//! use mufuzz_lang::compile_source;
+//! use mufuzz_evm::{Account, Address, BlockEnv, Evm, Message, WorldState, U256, ether};
+//!
+//! let compiled = compile_source(
+//!     "contract Lottery {
+//!          uint256 wins;
+//!          function play() public payable {
+//!              if (block.timestamp % 2 == 0) { wins += 1; }
+//!          }
+//!      }",
+//! ).unwrap();
+//!
+//! let sender = Address::from_low_u64(1);
+//! let target = Address::from_low_u64(2);
+//! let mut world = WorldState::new();
+//! world.put_account(sender, Account::eoa(ether(10)));
+//! let mut evm = Evm::new(&mut world, BlockEnv::default());
+//! evm.deploy(sender, target, &compiled.constructor, compiled.runtime.clone(), U256::ZERO, vec![]);
+//! let abi = compiled.abi.function("play").unwrap().clone();
+//! let result = evm.execute(&Message::new(sender, target, U256::ZERO, abi.encode_call(&[])));
+//!
+//! let mut monitor = CampaignMonitor::new();
+//! monitor.observe(&compiled, &result.trace);
+//! monitor.finalize(&compiled, None);
+//! assert!(monitor.detected_classes().contains(&BugClass::BlockDependency));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bugs;
+pub mod monitor;
+pub mod scoring;
+
+pub use bugs::{BugClass, BugFinding};
+pub use monitor::CampaignMonitor;
+pub use scoring::{score_contract, Annotation, ClassScore, DetectionScore};

@@ -1,0 +1,239 @@
+//! Scoring detections against annotated ground truth.
+//!
+//! The paper's Table III reports, per tool and bug class, the number of true
+//! positives and false negatives over the D2 benchmark (contracts with
+//! manually annotated vulnerabilities). This module reproduces that scoring:
+//! every corpus contract carries a set of [`Annotation`]s and the detector
+//! output is compared class-by-class.
+
+use crate::bugs::{BugClass, BugFinding};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One annotated (ground-truth) vulnerability in a contract.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Annotation {
+    /// Bug class.
+    pub class: BugClass,
+    /// Function the bug lives in, when the annotation is that precise.
+    pub function: Option<String>,
+}
+
+impl Annotation {
+    /// Contract-level annotation.
+    pub fn contract(class: BugClass) -> Annotation {
+        Annotation {
+            class,
+            function: None,
+        }
+    }
+
+    /// Function-level annotation.
+    pub fn in_function(class: BugClass, function: &str) -> Annotation {
+        Annotation {
+            class,
+            function: Some(function.to_string()),
+        }
+    }
+}
+
+/// Per-class detection counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassScore {
+    /// Annotated bugs correctly reported.
+    pub true_positives: usize,
+    /// Annotated bugs the detector missed.
+    pub false_negatives: usize,
+    /// Reports with no matching annotation.
+    pub false_positives: usize,
+}
+
+impl ClassScore {
+    /// Recall = TP / (TP + FN); 1.0 when nothing was annotated.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Detection scores for one contract (or aggregated over a dataset).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetectionScore {
+    /// Per-class counts.
+    pub per_class: BTreeMap<BugClass, ClassScore>,
+}
+
+impl DetectionScore {
+    /// Counts for one class (zeros when the class never appeared).
+    pub fn class(&self, class: BugClass) -> ClassScore {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Total true positives.
+    pub fn total_tp(&self) -> usize {
+        self.per_class.values().map(|s| s.true_positives).sum()
+    }
+
+    /// Total false negatives.
+    pub fn total_fn(&self) -> usize {
+        self.per_class.values().map(|s| s.false_negatives).sum()
+    }
+
+    /// Total false positives.
+    pub fn total_fp(&self) -> usize {
+        self.per_class.values().map(|s| s.false_positives).sum()
+    }
+
+    /// Merge another score into this one (used to aggregate over a dataset).
+    pub fn merge(&mut self, other: &DetectionScore) {
+        for (class, score) in &other.per_class {
+            let entry = self.per_class.entry(*class).or_default();
+            entry.true_positives += score.true_positives;
+            entry.false_negatives += score.false_negatives;
+            entry.false_positives += score.false_positives;
+        }
+    }
+}
+
+/// Compare detector findings against annotations for one contract.
+///
+/// Matching is by bug class: a finding of class `C` matches an annotation of
+/// class `C` regardless of the function attribution (tools in the paper are
+/// compared the same way), but each annotation can be matched at most once and
+/// surplus reports of a class with no remaining annotation count as false
+/// positives.
+pub fn score_contract(findings: &[BugFinding], annotations: &[Annotation]) -> DetectionScore {
+    let mut score = DetectionScore::default();
+
+    // Deduplicate findings per (class, function), then count per class.
+    let mut reported_per_class: BTreeMap<BugClass, usize> = BTreeMap::new();
+    let mut seen: BTreeSet<(BugClass, Option<&str>)> = BTreeSet::new();
+    for f in findings {
+        if seen.insert(f.dedup_key()) {
+            *reported_per_class.entry(f.class).or_insert(0) += 1;
+        }
+    }
+    let mut annotated_per_class: BTreeMap<BugClass, usize> = BTreeMap::new();
+    for a in annotations {
+        *annotated_per_class.entry(a.class).or_insert(0) += 1;
+    }
+
+    let classes: BTreeSet<BugClass> = reported_per_class
+        .keys()
+        .chain(annotated_per_class.keys())
+        .copied()
+        .collect();
+    for class in classes {
+        let reported = reported_per_class.get(&class).copied().unwrap_or(0);
+        let annotated = annotated_per_class.get(&class).copied().unwrap_or(0);
+        let tp = reported.min(annotated);
+        score.per_class.insert(
+            class,
+            ClassScore {
+                true_positives: tp,
+                false_negatives: annotated - tp,
+                false_positives: reported - tp,
+            },
+        );
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(class: BugClass, function: &str) -> BugFinding {
+        BugFinding::new(class, Some(function.to_string()), 0, "test")
+    }
+
+    #[test]
+    fn exact_match_scores_true_positive() {
+        let score = score_contract(
+            &[finding(BugClass::Reentrancy, "withdraw")],
+            &[Annotation::in_function(BugClass::Reentrancy, "withdraw")],
+        );
+        let re = score.class(BugClass::Reentrancy);
+        assert_eq!(re.true_positives, 1);
+        assert_eq!(re.false_negatives, 0);
+        assert_eq!(re.false_positives, 0);
+        assert_eq!(re.recall(), 1.0);
+    }
+
+    #[test]
+    fn missed_annotation_is_false_negative() {
+        let score = score_contract(&[], &[Annotation::contract(BugClass::IntegerOverflow)]);
+        let io = score.class(BugClass::IntegerOverflow);
+        assert_eq!(io.true_positives, 0);
+        assert_eq!(io.false_negatives, 1);
+        assert_eq!(io.recall(), 0.0);
+    }
+
+    #[test]
+    fn unmatched_report_is_false_positive() {
+        let score = score_contract(&[finding(BugClass::TxOriginUse, "f")], &[]);
+        let to = score.class(BugClass::TxOriginUse);
+        assert_eq!(to.false_positives, 1);
+        assert_eq!(to.precision(), 0.0);
+        assert_eq!(to.recall(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_findings_count_once() {
+        let score = score_contract(
+            &[
+                finding(BugClass::Reentrancy, "withdraw"),
+                finding(BugClass::Reentrancy, "withdraw"),
+            ],
+            &[Annotation::in_function(BugClass::Reentrancy, "withdraw")],
+        );
+        let re = score.class(BugClass::Reentrancy);
+        assert_eq!(re.true_positives, 1);
+        assert_eq!(re.false_positives, 0);
+    }
+
+    #[test]
+    fn multiple_annotations_of_same_class_need_multiple_findings() {
+        let score = score_contract(
+            &[finding(BugClass::UnhandledException, "a")],
+            &[
+                Annotation::in_function(BugClass::UnhandledException, "a"),
+                Annotation::in_function(BugClass::UnhandledException, "b"),
+            ],
+        );
+        let ue = score.class(BugClass::UnhandledException);
+        assert_eq!(ue.true_positives, 1);
+        assert_eq!(ue.false_negatives, 1);
+    }
+
+    #[test]
+    fn merge_aggregates_counts() {
+        let mut total = score_contract(
+            &[finding(BugClass::Reentrancy, "w")],
+            &[Annotation::in_function(BugClass::Reentrancy, "w")],
+        );
+        total.merge(&score_contract(
+            &[],
+            &[Annotation::contract(BugClass::Reentrancy)],
+        ));
+        let re = total.class(BugClass::Reentrancy);
+        assert_eq!(re.true_positives, 1);
+        assert_eq!(re.false_negatives, 1);
+        assert_eq!(total.total_tp(), 1);
+        assert_eq!(total.total_fn(), 1);
+        assert_eq!(total.total_fp(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Audit a suite of vulnerable contracts with MuFuzz and compare the findings
+//! against the ground-truth annotations — the workflow behind Table III.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p mufuzz-bench --example audit_campaign
+//! ```
+
+use mufuzz::{Fuzzer, FuzzerConfig};
+use mufuzz_corpus::all_handwritten;
+use mufuzz_lang::compile_source;
+use mufuzz_oracles::score_contract;
+
+fn main() {
+    let mut total_tp = 0usize;
+    let mut total_fn = 0usize;
+    let mut total_fp = 0usize;
+
+    for contract in all_handwritten() {
+        let compiled = match compile_source(&contract.source) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{:<22} failed to compile: {e}", contract.name);
+                continue;
+            }
+        };
+        let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(600).with_rng_seed(1))
+            .expect("deployment should succeed");
+        let report = fuzzer.run();
+        let score = score_contract(&report.findings, &contract.annotations);
+        total_tp += score.total_tp();
+        total_fn += score.total_fn();
+        total_fp += score.total_fp();
+
+        let classes: Vec<String> = report
+            .detected_classes()
+            .iter()
+            .map(|c| c.abbrev().to_string())
+            .collect();
+        println!(
+            "{:<22} coverage {:>5.1}%  annotated {}  TP {}  FN {}  FP {}  detected [{}]",
+            contract.name,
+            report.coverage_percent(),
+            contract.annotations.len(),
+            score.total_tp(),
+            score.total_fn(),
+            score.total_fp(),
+            classes.join(", ")
+        );
+    }
+
+    println!("\noverall: TP {total_tp}  FN {total_fn}  FP {total_fp}");
+}

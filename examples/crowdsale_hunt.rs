@@ -1,0 +1,66 @@
+//! The paper's motivating example (Figure 1): hunting the bug guarded by
+//! `phase == 1` in the Crowdsale contract.
+//!
+//! The bug is only reachable when `invest` is executed twice before
+//! `withdraw`. This example shows the three MuFuzz steps: the data-flow
+//! analysis that orders the transactions, the RAW-based sequence mutation
+//! that repeats `invest`, and a head-to-head fuzzing run against an
+//! sFuzz-style random-ordering baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p mufuzz-bench --example crowdsale_hunt
+//! ```
+
+use mufuzz_analysis::{analyze_contract, plan_sequence};
+use mufuzz_baselines::{FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_corpus::contracts;
+use mufuzz_lang::compile_source;
+
+fn main() {
+    let source = contracts::crowdsale().source;
+    let compiled = compile_source(&source).expect("crowdsale compiles");
+
+    // Step 1-2: data-flow analysis and sequence planning (paper §IV-A).
+    let flow = analyze_contract(&compiled.contract);
+    for function in &flow.functions {
+        println!(
+            "{:<10} reads {:?} writes {:?} raw {:?}",
+            function.name, function.reads, function.writes, function.raw_vars
+        );
+    }
+    let plan = plan_sequence(&flow);
+    println!("\nbase sequence    : {}", plan.base_order.join(" -> "));
+    println!("mutated sequence : {}", plan.mutated_order.join(" -> "));
+    println!("repeat candidates: {:?}\n", plan.repeat_candidates);
+
+    // Step 3-4: fuzz and compare against an sFuzz-style baseline.
+    let budget = 800;
+    let mufuzz_report = MuFuzzStrategy
+        .fuzz(compile_source(&source).unwrap(), budget, 7)
+        .unwrap();
+    let sfuzz_report = SFuzzStrategy
+        .fuzz(compile_source(&source).unwrap(), budget, 7)
+        .unwrap();
+
+    println!(
+        "MuFuzz : {:.1}% coverage ({}/{} edges), {} seeds",
+        mufuzz_report.coverage_percent(),
+        mufuzz_report.covered_edges,
+        mufuzz_report.total_edges,
+        mufuzz_report.corpus_size
+    );
+    println!(
+        "sFuzz  : {:.1}% coverage ({}/{} edges), {} seeds",
+        sfuzz_report.coverage_percent(),
+        sfuzz_report.covered_edges,
+        sfuzz_report.total_edges,
+        sfuzz_report.corpus_size
+    );
+    println!(
+        "\nsequences that contributed new coverage for MuFuzz (note the repeated invest):"
+    );
+    for shape in mufuzz_report.interesting_shapes.iter().take(8) {
+        println!("  {shape}");
+    }
+}

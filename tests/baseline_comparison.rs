@@ -1,0 +1,90 @@
+//! Cross-crate comparison tests: the relative ordering of the fuzzing
+//! strategies on the reproduction corpus should match the paper's shape
+//! (MuFuzz ahead of the random-ordering baseline, the ablations behind the
+//! full system).
+
+use mufuzz::{Fuzzer, FuzzerConfig};
+use mufuzz_baselines::{FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_corpus::{contracts, generate_contract, GeneratorConfig};
+use mufuzz_lang::compile_source;
+
+/// Mean coverage of a strategy over a few seeded generated contracts.
+fn mean_coverage(strategy: &dyn FuzzingStrategy, budget: usize) -> f64 {
+    let contracts: Vec<_> = (0..3u64)
+        .map(|i| generate_contract(&format!("Cmp{i}"), &GeneratorConfig::small(100 + i)))
+        .collect();
+    let mut total = 0.0;
+    for c in &contracts {
+        let compiled = compile_source(&c.source).unwrap();
+        let report = strategy.fuzz(compiled, budget, 31).unwrap();
+        total += report.coverage;
+    }
+    total / contracts.len() as f64
+}
+
+#[test]
+fn mufuzz_is_at_least_as_good_as_sfuzz_on_generated_contracts() {
+    let mufuzz = mean_coverage(&MuFuzzStrategy, 300);
+    let sfuzz = mean_coverage(&SFuzzStrategy, 300);
+    assert!(
+        mufuzz >= sfuzz - 0.02,
+        "MuFuzz {mufuzz:.3} vs sFuzz {sfuzz:.3}"
+    );
+}
+
+#[test]
+fn disabling_sequence_awareness_never_helps_on_the_crowdsale() {
+    let source = contracts::crowdsale().source;
+    let run = |config: FuzzerConfig| {
+        let compiled = compile_source(&source).unwrap();
+        Fuzzer::new(compiled, config).unwrap().run().covered_edges
+    };
+    let full = run(FuzzerConfig::mufuzz(400).with_rng_seed(19));
+    let ablated = run(
+        FuzzerConfig::mufuzz(400)
+            .with_rng_seed(19)
+            .without_sequence_aware(),
+    );
+    assert!(full >= ablated, "full {full} < ablated {ablated}");
+}
+
+#[test]
+fn all_strategies_are_deterministic_given_a_seed() {
+    let source = contracts::game().source;
+    for strategy in mufuzz_baselines::all_fuzzers() {
+        let a = strategy
+            .fuzz(compile_source(&source).unwrap(), 150, 23)
+            .unwrap();
+        let b = strategy
+            .fuzz(compile_source(&source).unwrap(), 150, 23)
+            .unwrap();
+        assert_eq!(
+            a.covered_edges,
+            b.covered_edges,
+            "{} is not deterministic",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn mask_guidance_helps_satisfy_the_game_contracts_strict_guard() {
+    // The Game contract requires msg.value == 88 finney. Once a seed satisfies
+    // it, the mask freezes the value word; the full system should therefore
+    // cover at least as many edges as the mask-less variant.
+    let source = contracts::game().source;
+    let run = |config: FuzzerConfig| {
+        let compiled = compile_source(&source).unwrap();
+        Fuzzer::new(compiled, config).unwrap().run().covered_edges
+    };
+    let with_mask = run(FuzzerConfig::mufuzz(300).with_rng_seed(29));
+    let without_mask = run(
+        FuzzerConfig::mufuzz(300)
+            .with_rng_seed(29)
+            .without_mask_guidance(),
+    );
+    assert!(
+        with_mask >= without_mask,
+        "with mask {with_mask} < without {without_mask}"
+    );
+}

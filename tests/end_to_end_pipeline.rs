@@ -1,0 +1,93 @@
+//! End-to-end pipeline tests over the whole hand-written corpus: every
+//! contract compiles, deploys, fuzzes, and the oracles detect the annotated
+//! vulnerability classes for the canonical representatives.
+
+use mufuzz::{Fuzzer, FuzzerConfig};
+use mufuzz_corpus::{all_handwritten, contracts};
+use mufuzz_lang::compile_source;
+use mufuzz_oracles::BugClass;
+
+fn detected_classes(source: &str, budget: usize, seed: u64) -> std::collections::BTreeSet<BugClass> {
+    let compiled = compile_source(source).unwrap();
+    let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(budget).with_rng_seed(seed)).unwrap();
+    fuzzer.run().detected_classes()
+}
+
+#[test]
+fn every_handwritten_contract_survives_a_short_campaign() {
+    for contract in all_handwritten() {
+        let compiled = compile_source(&contract.source).unwrap();
+        let mut fuzzer =
+            Fuzzer::new(compiled, FuzzerConfig::mufuzz(80).with_rng_seed(1)).unwrap();
+        let report = fuzzer.run();
+        assert!(
+            report.covered_edges > 0,
+            "{} covered nothing",
+            contract.name
+        );
+        assert!(report.executions >= 80, "{}", contract.name);
+    }
+}
+
+#[test]
+fn reentrancy_bank_detected() {
+    let classes = detected_classes(&contracts::reentrant_bank().source, 500, 3);
+    assert!(classes.contains(&BugClass::Reentrancy), "{classes:?}");
+}
+
+#[test]
+fn timestamp_lottery_detected_as_block_dependency() {
+    let classes = detected_classes(&contracts::timestamp_lottery().source, 300, 3);
+    assert!(classes.contains(&BugClass::BlockDependency), "{classes:?}");
+}
+
+#[test]
+fn delegatecall_proxy_detected_only_for_the_unguarded_function() {
+    let compiled = compile_source(&contracts::delegatecall_proxy().source).unwrap();
+    let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(400).with_rng_seed(3)).unwrap();
+    let report = fuzzer.run();
+    let ud: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.class == BugClass::UnprotectedDelegatecall)
+        .collect();
+    assert!(!ud.is_empty());
+    assert!(ud.iter().all(|f| f.function.as_deref() == Some("forward")));
+}
+
+#[test]
+fn suicidal_wallet_and_frozen_vault_detected() {
+    let classes = detected_classes(&contracts::suicidal_wallet().source, 300, 5);
+    assert!(classes.contains(&BugClass::UnprotectedSelfDestruct), "{classes:?}");
+    let classes = detected_classes(&contracts::frozen_vault().source, 200, 5);
+    assert!(classes.contains(&BugClass::EtherFreezing), "{classes:?}");
+}
+
+#[test]
+fn strict_equality_and_tx_origin_detected() {
+    let classes = detected_classes(&contracts::strict_equality_game().source, 300, 7);
+    assert!(classes.contains(&BugClass::StrictEtherEquality), "{classes:?}");
+    let classes = detected_classes(&contracts::tx_origin_auth().source, 300, 7);
+    assert!(classes.contains(&BugClass::TxOriginUse), "{classes:?}");
+}
+
+#[test]
+fn unchecked_send_detected_as_unhandled_exception() {
+    let classes = detected_classes(&contracts::unchecked_send().source, 400, 9);
+    assert!(classes.contains(&BugClass::UnhandledException), "{classes:?}");
+}
+
+#[test]
+fn overflow_token_detected_as_integer_overflow() {
+    let classes = detected_classes(&contracts::overflow_token().source, 600, 11);
+    assert!(classes.contains(&BugClass::IntegerOverflow), "{classes:?}");
+}
+
+#[test]
+fn benign_ledger_produces_no_spurious_findings_for_guarded_patterns() {
+    let classes = detected_classes(&contracts::benign_ledger().source, 400, 13);
+    // The guarded selfdestruct and the checked transfer must not be reported.
+    assert!(!classes.contains(&BugClass::UnprotectedSelfDestruct), "{classes:?}");
+    assert!(!classes.contains(&BugClass::UnhandledException), "{classes:?}");
+    assert!(!classes.contains(&BugClass::Reentrancy), "{classes:?}");
+}
