@@ -98,8 +98,7 @@ impl ControlFlowGraph {
                     // before the jump.
                     if idx > 0 {
                         if let Opcode::Push(_) = instructions[idx - 1].opcode {
-                            let target =
-                                U256::from_be_slice(&instructions[idx - 1].immediate);
+                            let target = U256::from_be_slice(&instructions[idx - 1].immediate);
                             if let Some(t) = target.to_usize() {
                                 static_targets.insert(instr.pc, t);
                                 leaders.insert(t);

@@ -54,11 +54,7 @@ impl DataFlowInfo {
     pub fn repeat_candidates(&self) -> BTreeSet<String> {
         self.functions
             .iter()
-            .filter(|f| {
-                f.raw_vars
-                    .iter()
-                    .any(|v| self.branch_read_vars.contains(v))
-            })
+            .filter(|f| f.raw_vars.iter().any(|v| self.branch_read_vars.contains(v)))
             .map(|f| f.name.clone())
             .collect()
     }
@@ -88,11 +84,7 @@ impl DataFlowInfo {
 
 /// Analyse a contract's data flow.
 pub fn analyze_contract(contract: &Contract) -> DataFlowInfo {
-    let state_vars: BTreeSet<String> = contract
-        .state_vars
-        .iter()
-        .map(|v| v.name.clone())
-        .collect();
+    let state_vars: BTreeSet<String> = contract.state_vars.iter().map(|v| v.name.clone()).collect();
 
     let mut functions = Vec::new();
     for f in contract.callable_functions() {
@@ -230,7 +222,9 @@ fn collect_reads(expr: &Expr, state_vars: &BTreeSet<String>, out: &mut BTreeSet<
 /// True if the function's parameters are all value types (mappings cannot be
 /// ABI-encoded). Exposed for corpus sanity checks.
 pub fn has_encodable_params(f: &Function) -> bool {
-    f.params.iter().all(|p| !matches!(p.ty, Type::Mapping(_, _)))
+    f.params
+        .iter()
+        .all(|p| !matches!(p.ty, Type::Mapping(_, _)))
 }
 
 #[cfg(test)]

@@ -210,7 +210,9 @@ mod tests {
     "#;
 
     fn plan() -> SequencePlan {
-        plan_sequence(&analyze_contract(&parse_contract_source(CROWDSALE).unwrap()))
+        plan_sequence(&analyze_contract(
+            &parse_contract_source(CROWDSALE).unwrap(),
+        ))
     }
 
     #[test]
@@ -297,7 +299,10 @@ mod tests {
         "#;
         let info = analyze_contract(&parse_contract_source(src).unwrap());
         let plan = plan_sequence(&info);
-        assert_eq!(plan.base_order, vec!["setA".to_string(), "setB".to_string()]);
+        assert_eq!(
+            plan.base_order,
+            vec!["setA".to_string(), "setB".to_string()]
+        );
         assert!(plan.repeat_candidates.is_empty());
         assert_eq!(plan.base_order, plan.mutated_order);
     }

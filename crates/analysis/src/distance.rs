@@ -71,9 +71,7 @@ impl DistanceMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mufuzz_evm::{
-        Address, BranchRecord, CmpKind, Comparison, Taint,
-    };
+    use mufuzz_evm::{Address, BranchRecord, CmpKind, Comparison, Taint};
 
     fn record(pc: usize, taken: bool, lhs: u64, rhs: u64) -> BranchRecord {
         BranchRecord {

@@ -147,9 +147,10 @@ fn detect_in_function(class: BugClass, function: &Function) -> Option<&'static s
             let mut found = false;
             for_each_stmt(body, &mut |stmt| {
                 if let Stmt::Assign(_, _, value) = stmt {
-                    let has_arith = expr_contains(value, &|e| {
-                        matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic())
-                    });
+                    let has_arith = expr_contains(
+                        value,
+                        &|e| matches!(e, Expr::Binary(op, _, _) if op.is_arithmetic()),
+                    );
                     found |= has_arith;
                 }
             });
@@ -162,10 +163,8 @@ fn detect_in_function(class: BugClass, function: &Function) -> Option<&'static s
             for_each_stmt(body, &mut |stmt| {
                 let has_call_value = |e: &Expr| matches!(e, Expr::CallValue(_, _));
                 match stmt {
-                    Stmt::ExprStmt(e) | Stmt::Require(e) => {
-                        if expr_contains(e, &has_call_value) {
-                            saw_call = true;
-                        }
+                    Stmt::ExprStmt(e) | Stmt::Require(e) if expr_contains(e, &has_call_value) => {
+                        saw_call = true;
                     }
                     Stmt::Assign(_, _, _) if saw_call => write_after_call = true,
                     _ => {}
@@ -177,10 +176,10 @@ fn detect_in_function(class: BugClass, function: &Function) -> Option<&'static s
             let mut guard_seen = false;
             let mut unguarded = false;
             for_each_stmt(body, &mut |stmt| match stmt {
-                Stmt::Require(cond) | Stmt::If(cond, _, _) => {
-                    if expr_contains(cond, &is_sender_or_origin) {
-                        guard_seen = true;
-                    }
+                Stmt::Require(cond) | Stmt::If(cond, _, _)
+                    if expr_contains(cond, &is_sender_or_origin) =>
+                {
+                    guard_seen = true;
                 }
                 Stmt::SelfDestruct(_) if !guard_seen => unguarded = true,
                 _ => {}
@@ -198,9 +197,9 @@ fn detect_in_function(class: BugClass, function: &Function) -> Option<&'static s
             strict.then_some("balance compared with strict equality")
         }
         BugClass::TxOriginUse => {
-            let uses_origin = conditions(body).iter().any(|c| {
-                expr_contains(c, &|e| matches!(e, Expr::Env(EnvValue::TxOrigin)))
-            });
+            let uses_origin = conditions(body)
+                .iter()
+                .any(|c| expr_contains(c, &|e| matches!(e, Expr::Env(EnvValue::TxOrigin))));
             uses_origin.then_some("tx.origin used in a condition")
         }
         BugClass::UnhandledException => {
@@ -258,8 +257,16 @@ macro_rules! static_tool {
     };
 }
 
-static_tool!(OyenteLike, "Oyente", [BlockDependency, IntegerOverflow, Reentrancy]);
-static_tool!(OsirisLike, "Osiris", [BlockDependency, IntegerOverflow, Reentrancy]);
+static_tool!(
+    OyenteLike,
+    "Oyente",
+    [BlockDependency, IntegerOverflow, Reentrancy]
+);
+static_tool!(
+    OsirisLike,
+    "Osiris",
+    [BlockDependency, IntegerOverflow, Reentrancy]
+);
 static_tool!(
     MythrilLike,
     "Mythril",

@@ -59,7 +59,14 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "ContractFuzzer",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, Reentrancy, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                Reentrancy,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "ContraMaster",
@@ -79,31 +86,69 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "sFuzz",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                IntegerOverflow,
+                Reentrancy,
+                UnhandledException,
+            ],
         ),
         row(
             "IR-Fuzz",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, StrictEtherEquality, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                IntegerOverflow,
+                Reentrancy,
+                StrictEtherEquality,
+                UnhandledException,
+            ],
         ),
         row(
             "Smartian",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                IntegerOverflow,
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "ILF",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, UnprotectedSelfDestruct, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                UnprotectedSelfDestruct,
+                UnhandledException,
+            ],
         ),
         row(
             "ConFuzzius",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                IntegerOverflow,
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                UnhandledException,
+            ],
         ),
         row(
             "xFuzz",
@@ -115,7 +160,13 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "RLF",
             ToolKind::Fuzzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, UnprotectedSelfDestruct, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                UnprotectedSelfDestruct,
+                UnhandledException,
+            ],
         ),
         row(
             "Oyente",
@@ -133,13 +184,31 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "Mythril",
             ToolKind::StaticAnalyzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, StrictEtherEquality, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                IntegerOverflow,
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                StrictEtherEquality,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "Slither",
             ToolKind::StaticAnalyzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, EtherFreezing, Reentrancy, UnprotectedSelfDestruct, StrictEtherEquality, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                EtherFreezing,
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                StrictEtherEquality,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "Securify1.0",
@@ -151,7 +220,15 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "Manticore",
             ToolKind::StaticAnalyzer,
             true,
-            &[BlockDependency, UnprotectedDelegatecall, IntegerOverflow, Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                UnprotectedDelegatecall,
+                IntegerOverflow,
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "Maian",
@@ -163,13 +240,26 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "SmartCheck",
             ToolKind::StaticAnalyzer,
             true,
-            &[BlockDependency, EtherFreezing, IntegerOverflow, Reentrancy, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                EtherFreezing,
+                IntegerOverflow,
+                Reentrancy,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "Zeus",
             ToolKind::StaticAnalyzer,
             false,
-            &[BlockDependency, IntegerOverflow, Reentrancy, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                IntegerOverflow,
+                Reentrancy,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row(
             "VeriSmart",
@@ -181,7 +271,12 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "Vandal",
             ToolKind::StaticAnalyzer,
             true,
-            &[Reentrancy, UnprotectedSelfDestruct, TxOriginUse, UnhandledException],
+            &[
+                Reentrancy,
+                UnprotectedSelfDestruct,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
         row("Sereum", ToolKind::StaticAnalyzer, false, &[Reentrancy]),
         row(
@@ -195,14 +290,15 @@ pub fn table1_matrix() -> Vec<ToolSupport> {
             "DefectChecker",
             ToolKind::StaticAnalyzer,
             true,
-            &[BlockDependency, EtherFreezing, Reentrancy, TxOriginUse, UnhandledException],
+            &[
+                BlockDependency,
+                EtherFreezing,
+                Reentrancy,
+                TxOriginUse,
+                UnhandledException,
+            ],
         ),
-        row(
-            "MuFuzz",
-            ToolKind::Fuzzer,
-            true,
-            &BugClass::ALL,
-        ),
+        row("MuFuzz", ToolKind::Fuzzer, true, &BugClass::ALL),
     ]
 }
 

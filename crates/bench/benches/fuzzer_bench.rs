@@ -3,7 +3,9 @@
 //! baselines, and the end-to-end ablation cost of the mask computation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mufuzz::{ContractHarness, FuzzerConfig, Fuzzer, InterestingValues, MutationOp, Sequence, TxInput};
+use mufuzz::{
+    ContractHarness, Fuzzer, FuzzerConfig, InterestingValues, MutationOp, Sequence, TxInput,
+};
 use mufuzz_baselines::{ConFuzziusStrategy, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
 use mufuzz_corpus::contracts;
 use mufuzz_evm::{ether, U256};
@@ -30,10 +32,14 @@ fn bench_mutation_operators(c: &mut Criterion) {
     let pool = InterestingValues::defaults();
     let mut group = c.benchmark_group("mutation");
     for op in MutationOp::ALL {
-        group.bench_with_input(BenchmarkId::new("apply_op", format!("{op:?}")), &op, |b, &op| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| mufuzz::mutation::apply_op(black_box(&stream), op, 2, &mut rng, &pool))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("apply_op", format!("{op:?}")),
+            &op,
+            |b, &op| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                b.iter(|| mufuzz::mutation::apply_op(black_box(&stream), op, 2, &mut rng, &pool))
+            },
+        );
     }
     group.finish();
 }
@@ -77,7 +83,9 @@ fn bench_mask_ablation(c: &mut Criterion) {
             let compiled = compile_source(&source).unwrap();
             let mut fuzzer = Fuzzer::new(
                 compiled,
-                FuzzerConfig::mufuzz(150).with_rng_seed(2).without_mask_guidance(),
+                FuzzerConfig::mufuzz(150)
+                    .with_rng_seed(2)
+                    .without_mask_guidance(),
             )
             .unwrap();
             black_box(fuzzer.run().covered_edges)

@@ -19,7 +19,11 @@ fn main() {
     // minutes); the reproduction scales the execution budget the same way.
     for (label, dataset, budget) in [
         ("(a) small contracts", d1_small(contracts), execs),
-        ("(b) large contracts", d1_large(contracts.div_ceil(2)), execs * 2),
+        (
+            "(b) large contracts",
+            d1_large(contracts.div_ceil(2)),
+            execs * 2,
+        ),
     ] {
         let series = coverage_over_time(label, &dataset.contracts, budget, 1, checkpoints);
         let execs = budget;
@@ -39,7 +43,10 @@ fn main() {
         println!(
             "{}",
             table::render_series(
-                &format!("{label}: coverage vs executions ({} contracts)", dataset.len()),
+                &format!(
+                    "{label}: coverage vs executions ({} contracts)",
+                    dataset.len()
+                ),
                 &chart
             )
         );

@@ -61,7 +61,12 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Tool", "Small (measured)", "Large (measured)", "Paper (small/large)"],
+            &[
+                "Tool",
+                "Small (measured)",
+                "Large (measured)",
+                "Paper (small/large)"
+            ],
             &rows
         )
     );

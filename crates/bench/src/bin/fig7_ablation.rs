@@ -17,13 +17,29 @@ fn main() {
     // the "detected vulnerabilities" metric meaningful.
     let with_bug = |name: String, cfg: GeneratorConfig, i: usize| {
         let class = BugClass::ALL[i % BugClass::ALL.len()];
-        generate_contract(&name, &cfg.with_bugs(vec![class]).with_drain(class != BugClass::EtherFreezing))
+        generate_contract(
+            &name,
+            &cfg.with_bugs(vec![class])
+                .with_drain(class != BugClass::EtherFreezing),
+        )
     };
     let small: Vec<_> = (0..contracts)
-        .map(|i| with_bug(format!("AblS{i}"), GeneratorConfig::small(7_000 + i as u64), i))
+        .map(|i| {
+            with_bug(
+                format!("AblS{i}"),
+                GeneratorConfig::small(7_000 + i as u64),
+                i,
+            )
+        })
         .collect();
     let large: Vec<_> = (0..contracts.div_ceil(2))
-        .map(|i| with_bug(format!("AblL{i}"), GeneratorConfig::large(8_000 + i as u64), i))
+        .map(|i| {
+            with_bug(
+                format!("AblL{i}"),
+                GeneratorConfig::large(8_000 + i as u64),
+                i,
+            )
+        })
         .collect();
     let result = ablation(&small, &large, execs, 1);
 

@@ -26,12 +26,20 @@ fn main() {
         .collect();
 
     println!("Table II — benchmark datasets (reproduction corpus)");
-    println!("(paper sizes: D1 = 17,803 small + 3,344 large, D2 = 155 vulnerable, D3 = 500 popular)");
+    println!(
+        "(paper sizes: D1 = 17,803 small + 3,344 large, D2 = 155 vulnerable, D3 = 500 popular)"
+    );
     println!();
     print!(
         "{}",
         table::render(
-            &["Dataset", "Stands in for", "Used for", "Contracts", "Annotations"],
+            &[
+                "Dataset",
+                "Stands in for",
+                "Used for",
+                "Contracts",
+                "Annotations"
+            ],
             &rows
         )
     );

@@ -24,7 +24,10 @@ fn main() {
     let result = bug_detection(&dataset, execs, 1);
 
     let mut headers: Vec<&str> = vec!["Tool", "Kind"];
-    let class_names: Vec<String> = BugClass::ALL.iter().map(|c| c.abbrev().to_string()).collect();
+    let class_names: Vec<String> = BugClass::ALL
+        .iter()
+        .map(|c| c.abbrev().to_string())
+        .collect();
     let class_refs: Vec<&str> = class_names.iter().map(|s| s.as_str()).collect();
     headers.extend(class_refs.iter().copied());
     headers.push("Total TP");

@@ -6,17 +6,15 @@
 //! reports them. Campaigns on different contracts are independent, so they
 //! run on a thread pool.
 
-use crossbeam::thread;
 use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
-use mufuzz_baselines::{
-    all_static_analyzers, coverage_baselines, FuzzingStrategy, MuFuzzStrategy,
-};
+use mufuzz_baselines::{all_static_analyzers, coverage_baselines, FuzzingStrategy, MuFuzzStrategy};
 use mufuzz_corpus::{BenchContract, Dataset};
 use mufuzz_lang::compile_source;
 use mufuzz_oracles::{score_contract, BugClass, DetectionScore};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
 /// Maximum number of worker threads used by the experiment runners.
 const MAX_WORKERS: usize = 8;
@@ -36,19 +34,19 @@ where
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::SeqCst);
                 if index >= items.len() {
                     break;
                 }
                 let result = f(&items[index]);
-                results.lock()[index] = Some(result);
+                results.lock().expect("worker thread panicked")[index] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
+        .expect("worker thread panicked")
         .into_iter()
         .map(|r| r.expect("missing result"))
         .collect()
@@ -116,7 +114,10 @@ pub fn coverage_over_time(
         let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
         let mut curve = vec![0.0f64; checkpoints];
         for report in &valid {
-            for (i, v) in sample_timeline(report, budget, checkpoints).iter().enumerate() {
+            for (i, v) in sample_timeline(report, budget, checkpoints)
+                .iter()
+                .enumerate()
+            {
                 curve[i] += v;
             }
         }
@@ -126,8 +127,7 @@ pub fn coverage_over_time(
             .enumerate()
             .map(|(i, total)| ((i + 1) as f64 / checkpoints as f64, total / n))
             .collect();
-        let final_mean =
-            valid.iter().map(|r| r.coverage).sum::<f64>() / valid.len().max(1) as f64;
+        let final_mean = valid.iter().map(|r| r.coverage).sum::<f64>() / valid.len().max(1) as f64;
         per_tool.push((strategy.name().to_string(), points));
         final_coverage.push((strategy.name().to_string(), final_mean));
     }
@@ -280,11 +280,11 @@ pub fn ablation(
                 let Ok(compiled) = compile_source(&c.source) else {
                     return (0.0, 0usize);
                 };
-                let mut fuzzer =
-                    match Fuzzer::new(compiled, config.clone().with_rng_seed(rng_seed)) {
-                        Ok(f) => f,
-                        Err(_) => return (0.0, 0usize),
-                    };
+                let mut fuzzer = match Fuzzer::new(compiled, config.clone().with_rng_seed(rng_seed))
+                {
+                    Ok(f) => f,
+                    Err(_) => return (0.0, 0usize),
+                };
                 let report = fuzzer.run();
                 (report.coverage, report.findings.len())
             });

@@ -15,8 +15,8 @@ use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, 
 use crate::seedgen::SequenceGenerator;
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
 use mufuzz_evm::BranchEdge;
-use mufuzz_oracles::{BugFinding, CampaignMonitor};
 use mufuzz_lang::CompiledContract;
+use mufuzz_oracles::{BugFinding, CampaignMonitor};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -145,8 +145,8 @@ impl Fuzzer {
     pub fn run(&mut self) -> CampaignReport {
         let start = Instant::now();
         let total_edges = self.cfg_graph.total_branch_edges().max(1);
-        let snapshot_every = (self.config.max_executions / self.config.timeline_points.max(1))
-            .max(1);
+        let snapshot_every =
+            (self.config.max_executions / self.config.timeline_points.max(1)).max(1);
 
         let mut monitor = CampaignMonitor::new();
         let mut covered: BTreeSet<BranchEdge> = BTreeSet::new();
@@ -206,8 +206,7 @@ impl Fuzzer {
             corpus[seed_index].selections += 1;
 
             // Energy allocation (Algorithm 3).
-            let mean_weight =
-                corpus.iter().map(|s| s.weight).sum::<f64>() / corpus.len() as f64;
+            let mean_weight = corpus.iter().map(|s| s.weight).sum::<f64>() / corpus.len() as f64;
             let energy = allocate_energy(
                 corpus[seed_index].weight,
                 mean_weight,
@@ -310,11 +309,7 @@ impl Fuzzer {
         for trace in &outcome.traces {
             monitor.observe(&self.harness.compiled, trace);
         }
-        monitor.observe_world(
-            outcome
-                .final_world
-                .balance(self.harness.contract_address),
-        );
+        monitor.observe_world(outcome.final_world.balance(self.harness.contract_address));
     }
 
     fn count_new_edges(outcome: &SequenceOutcome, covered: &BTreeSet<BranchEdge>) -> usize {
@@ -333,7 +328,7 @@ impl Fuzzer {
         covered: usize,
         total: usize,
     ) {
-        if executions % every == 0 {
+        if executions.is_multiple_of(every) {
             timeline.push(CoveragePoint {
                 executions,
                 elapsed_ms: start.elapsed().as_millis() as u64,
@@ -462,9 +457,7 @@ impl Fuzzer {
                 .cloned()
                 .filter(|_| use_mask)
                 .unwrap_or_else(|| MutationMask::allow_all(stream.len()));
-            if let Some(mutated) =
-                mutate_masked(&stream, &mask, &mut self.rng, &self.interesting)
-            {
+            if let Some(mutated) = mutate_masked(&stream, &mask, &mut self.rng, &self.interesting) {
                 sequence.txs[idx].stream = mutated;
             }
         }
@@ -672,7 +665,9 @@ mod tests {
         // the withdraw transfer to the owner is also checked. The campaign
         // should not report UE for this contract.
         let report = run_with(FuzzerConfig::mufuzz(300));
-        assert!(!report.detected_classes().contains(&BugClass::UnhandledException));
+        assert!(!report
+            .detected_classes()
+            .contains(&BugClass::UnhandledException));
         // No reentrancy either: transfer() only forwards the stipend.
         assert!(!report.detected_classes().contains(&BugClass::Reentrancy));
     }

@@ -212,7 +212,12 @@ impl ContractHarness {
         }
 
         let mut evm = Evm::new(world, block);
-        let result = evm.execute(&Message::new(sender, self.contract_address, value, calldata));
+        let result = evm.execute(&Message::new(
+            sender,
+            self.contract_address,
+            value,
+            calldata,
+        ));
         result.trace
     }
 
@@ -255,11 +260,7 @@ mod tests {
     "#;
 
     fn harness() -> ContractHarness {
-        ContractHarness::new(
-            compile_source(CROWDSALE).unwrap(),
-            &FuzzerConfig::default(),
-        )
-        .unwrap()
+        ContractHarness::new(compile_source(CROWDSALE).unwrap(), &FuzzerConfig::default()).unwrap()
     }
 
     #[test]

@@ -356,7 +356,9 @@ mod tests {
         let generator = SequenceGenerator::new(&compiled.abi, plan, true, 2);
         let mut rng = SmallRng::seed_from_u64(6);
         let pool = InterestingValues::defaults();
-        assert!(generator.generate(&compiled.abi, &mut rng, &pool).is_empty());
+        assert!(generator
+            .generate(&compiled.abi, &mut rng, &pool)
+            .is_empty());
         assert!(generator
             .initial_sequences(&compiled.abi, 4, &mut rng, &pool)
             .is_empty());

@@ -395,7 +395,12 @@ mod tests {
     fn every_handwritten_contract_compiles() {
         for c in all_handwritten() {
             let compiled = compile_source(&c.source);
-            assert!(compiled.is_ok(), "{} failed to compile: {:?}", c.name, compiled.err());
+            assert!(
+                compiled.is_ok(),
+                "{} failed to compile: {:?}",
+                c.name,
+                compiled.err()
+            );
             assert!(compiled.unwrap().instruction_count() > 20, "{}", c.name);
         }
     }

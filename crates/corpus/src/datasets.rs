@@ -48,7 +48,12 @@ impl Dataset {
 /// Build the D1-small dataset: `count` small generated contracts.
 pub fn d1_small(count: usize) -> Dataset {
     let contracts = (0..count)
-        .map(|i| generate_contract(&format!("D1Small{i}"), &GeneratorConfig::small(1_000 + i as u64)))
+        .map(|i| {
+            generate_contract(
+                &format!("D1Small{i}"),
+                &GeneratorConfig::small(1_000 + i as u64),
+            )
+        })
         .collect();
     Dataset {
         name: "D1-small".into(),
@@ -60,7 +65,12 @@ pub fn d1_small(count: usize) -> Dataset {
 /// Build the D1-large dataset: `count` large generated contracts.
 pub fn d1_large(count: usize) -> Dataset {
     let contracts = (0..count)
-        .map(|i| generate_contract(&format!("D1Large{i}"), &GeneratorConfig::large(2_000 + i as u64)))
+        .map(|i| {
+            generate_contract(
+                &format!("D1Large{i}"),
+                &GeneratorConfig::large(2_000 + i as u64),
+            )
+        })
         .collect();
     Dataset {
         name: "D1-large".into(),
@@ -81,7 +91,11 @@ pub fn d2(generated_per_class: usize) -> Dataset {
             // state-machine functions.
             let cfg = GeneratorConfig {
                 // Keep EF hosts free of transfer instructions.
-                payable_prob: if class == BugClass::EtherFreezing { 0.6 } else { 0.4 },
+                payable_prob: if class == BugClass::EtherFreezing {
+                    0.6
+                } else {
+                    0.4
+                },
                 ..GeneratorConfig::small(3_000 + i as u64 + class as u64 * 97)
             }
             .with_bugs(vec![class])

@@ -294,10 +294,7 @@ mod tests {
     #[test]
     fn generated_contracts_compile_across_seeds() {
         for seed in 0..25u64 {
-            let contract = generate_contract(
-                &format!("Gen{seed}"),
-                &GeneratorConfig::small(seed),
-            );
+            let contract = generate_contract(&format!("Gen{seed}"), &GeneratorConfig::small(seed));
             let compiled = compile_source(&contract.source);
             assert!(
                 compiled.is_ok(),
@@ -323,7 +320,10 @@ mod tests {
         let large = generate_contract("L", &GeneratorConfig::large(7));
         let small_instrs = compile_source(&small.source).unwrap().instruction_count();
         let large_instrs = compile_source(&large.source).unwrap().instruction_count();
-        assert!(large_instrs > small_instrs * 2, "{small_instrs} vs {large_instrs}");
+        assert!(
+            large_instrs > small_instrs * 2,
+            "{small_instrs} vs {large_instrs}"
+        );
     }
 
     #[test]

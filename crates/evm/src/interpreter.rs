@@ -11,8 +11,8 @@ use crate::keccak::keccak256;
 use crate::opcode::Opcode;
 use crate::state::{HostBehaviour, WorldState};
 use crate::trace::{
-    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,
-    HaltReason, SelfDestructEvent, StorageWrite, Taint,
+    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
+    SelfDestructEvent, StorageWrite, Taint,
 };
 use crate::types::Address;
 use crate::u256::U256;
@@ -52,8 +52,8 @@ fn gas_cost(op: Opcode) -> u64 {
         Push(_) | Dup(_) | Swap(_) | Pop | Pc | MSize | Gas | Address | Origin | Caller
         | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number
         | Difficulty | GasLimit | SelfBalance => 2,
-        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl
-        | Shr | CallDataLoad | MLoad | MStore | MStore8 => 3,
+        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl | Shr
+        | CallDataLoad | MLoad | MStore | MStore8 => 3,
         Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
         AddMod | MulMod | Jump => 8,
         JumpI => 10,
@@ -882,9 +882,7 @@ impl<'w> Evm<'w> {
                     trace.reentered = true;
                     let callee_code = self.world.code(code_address);
                     if !callee_code.is_empty() {
-                        frames.push(FrameInfo {
-                            code_address: to,
-                        });
+                        frames.push(FrameInfo { code_address: to });
                         let _ = self.run_frame(
                             &callee_code,
                             code_address,
@@ -952,8 +950,8 @@ fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
         None => return U256::ZERO,
     };
     let mut word = [0u8; 32];
-    for i in 0..32 {
-        word[i] = calldata.get(offset + i).copied().unwrap_or(0);
+    for (i, byte) in word.iter_mut().enumerate() {
+        *byte = calldata.get(offset + i).copied().unwrap_or(0);
     }
     U256::from_be_bytes(word)
 }
@@ -1280,7 +1278,8 @@ mod tests {
     fn sha3_hashes_memory() {
         // MSTORE 0 <- 0x01, SHA3(31,1) should hash the byte 0x01.
         // PUSH1 1, PUSH1 0, MSTORE, PUSH1 1, PUSH1 31, SHA3, return
-        let code = return_word_program(&[0x60, 0x01, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x1f, 0x20]);
+        let code =
+            return_word_program(&[0x60, 0x01, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x1f, 0x20]);
         let result = run(code, vec![], U256::ZERO);
         assert!(result.success);
         let expected = U256::from_be_bytes(keccak256(&[0x01]));
@@ -1307,7 +1306,14 @@ mod tests {
         let mut world = WorldState::new();
         world.put_account(addr(1), Account::eoa(U256::from_u64(1000)));
         let mut evm = Evm::new(&mut world, BlockEnv::default());
-        let result = evm.deploy(addr(1), addr(0x200), &ctor, runtime.clone(), U256::ZERO, vec![]);
+        let result = evm.deploy(
+            addr(1),
+            addr(0x200),
+            &ctor,
+            runtime.clone(),
+            U256::ZERO,
+            vec![],
+        );
         assert!(result.success);
         assert_eq!(world.storage(addr(0x200), U256::ZERO), U256::from_u64(11));
         assert_eq!(*world.code(addr(0x200)), runtime);

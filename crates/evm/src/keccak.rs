@@ -65,9 +65,9 @@ fn keccak_f(state: &mut [[u64; 5]; 5]) {
         for x in 0..5 {
             d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
         }
-        for x in 0..5 {
-            for y in 0..5 {
-                state[x][y] ^= d[x];
+        for (plane, dx) in state.iter_mut().zip(&d) {
+            for lane in plane.iter_mut() {
+                *lane ^= dx;
             }
         }
         // Rho and Pi
@@ -95,7 +95,7 @@ pub fn keccak256(data: &[u8]) -> [u8; KECCAK256_OUTPUT] {
     // Absorb phase with Keccak padding (0x01 .. 0x80).
     let mut padded = data.to_vec();
     padded.push(0x01);
-    while padded.len() % RATE != 0 {
+    while !padded.len().is_multiple_of(RATE) {
         padded.push(0x00);
     }
     let last = padded.len() - 1;
@@ -112,19 +112,12 @@ pub fn keccak256(data: &[u8]) -> [u8; KECCAK256_OUTPUT] {
         keccak_f(&mut state);
     }
 
-    // Squeeze phase: 32 bytes fit in the first rate block.
+    // Squeeze phase: 32 bytes fit in the first rate block; lane order matches
+    // the absorb phase (lane index i maps to column i % 5, row i / 5).
     let mut out = [0u8; KECCAK256_OUTPUT];
-    let mut offset = 0;
-    'outer: for y in 0..5 {
-        for x in 0..5 {
-            let lane = state[x][y].to_le_bytes();
-            let take = (KECCAK256_OUTPUT - offset).min(8);
-            out[offset..offset + take].copy_from_slice(&lane[..take]);
-            offset += take;
-            if offset == KECCAK256_OUTPUT {
-                break 'outer;
-            }
-        }
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let lane = state[i % 5][i / 5].to_le_bytes();
+        chunk.copy_from_slice(&lane[..chunk.len()]);
     }
     out
 }

@@ -50,8 +50,8 @@ pub use keccak::{keccak256, selector};
 pub use opcode::{disassemble, Instruction, Opcode};
 pub use state::{Account, HostBehaviour, WorldState};
 pub use trace::{
-    ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison,
-    ExecutionTrace, HaltReason, SelfDestructEvent, StorageWrite, Taint,
+    ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,
+    HaltReason, SelfDestructEvent, StorageWrite, Taint,
 };
 pub use types::{ether, finney, Address};
 pub use u256::U256;

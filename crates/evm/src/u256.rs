@@ -158,10 +158,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+        for ((word, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *word = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256(out), carry != 0)
@@ -184,10 +184,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+        for ((word, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *word = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256(out), borrow != 0)
@@ -213,9 +213,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = prod[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -298,11 +296,11 @@ impl U256 {
         let word_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, word) in out.iter_mut().enumerate() {
             if i + word_shift < 4 {
-                out[i] = self.0[i + word_shift] >> bit_shift;
+                *word = self.0[i + word_shift] >> bit_shift;
                 if bit_shift > 0 && i + word_shift + 1 < 4 {
-                    out[i] |= self.0[i + word_shift + 1] << (64 - bit_shift);
+                    *word |= self.0[i + word_shift + 1] << (64 - bit_shift);
                 }
             }
         }
@@ -633,8 +631,9 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        let v = U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
-            .unwrap();
+        let v =
+            U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+                .unwrap();
         assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
     }
 

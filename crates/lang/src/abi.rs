@@ -120,7 +120,11 @@ impl FunctionAbi {
     /// Decode calldata (after the selector) into typed values. Missing bytes
     /// decode as zero, mirroring EVM `CALLDATALOAD` semantics.
     pub fn decode_args(&self, calldata: &[u8]) -> Vec<AbiValue> {
-        let body = if calldata.len() >= 4 { &calldata[4..] } else { &[] };
+        let body = if calldata.len() >= 4 {
+            &calldata[4..]
+        } else {
+            &[]
+        };
         self.inputs
             .iter()
             .enumerate()
@@ -202,7 +206,10 @@ mod tests {
         assert_eq!(abi.signature(), "invest(uint256)");
         assert_eq!(abi.selector, compute_selector("invest(uint256)"));
         // A well-known reference selector.
-        assert_eq!(compute_selector("transfer(address,uint256)"), [0xa9, 0x05, 0x9c, 0xbb]);
+        assert_eq!(
+            compute_selector("transfer(address,uint256)"),
+            [0xa9, 0x05, 0x9c, 0xbb]
+        );
     }
 
     #[test]

@@ -393,9 +393,6 @@ mod tests {
     #[test]
     fn lvalue_base_name() {
         assert_eq!(LValue::Ident("a".into()).base_name(), "a");
-        assert_eq!(
-            LValue::Index("m".into(), Expr::num(1)).base_name(),
-            "m"
-        );
+        assert_eq!(LValue::Index("m".into(), Expr::num(1)).base_name(), "m");
     }
 }

@@ -8,9 +8,7 @@
 
 use crate::abi::ContractAbi;
 use crate::asm::{Assembler, Label};
-use crate::ast::{
-    AssignOp, BinOp, Contract, EnvValue, Expr, Function, LValue, Stmt, Type,
-};
+use crate::ast::{AssignOp, BinOp, Contract, EnvValue, Expr, Function, LValue, Stmt, Type};
 use mufuzz_evm::{Opcode, U256};
 use std::collections::HashMap;
 use std::fmt;
@@ -193,8 +191,9 @@ pub fn compile_contract(contract: &Contract) -> Result<CompiledContract, Compile
     asm.push_label(fallback_label);
     asm.op(Opcode::Jump);
 
-    // Function bodies.
-    let mut fn_bounds: Vec<(String, Option<[u8; 4]>, Label, Label, bool)> = Vec::new();
+    // Function bodies: (name, selector, entry label, end label, payable).
+    type FnBounds = (String, Option<[u8; 4]>, Label, Label, bool);
+    let mut fn_bounds: Vec<FnBounds> = Vec::new();
     for (label, f, selector) in &fn_labels {
         let end = asm.new_label();
         asm.place(*label);
@@ -374,10 +373,9 @@ fn compile_stmt(asm: &mut Assembler, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(),
                     };
                     let current = match lvalue {
                         LValue::Ident(name) => Expr::Ident(name.clone()),
-                        LValue::Index(name, key) => Expr::Index(
-                            Box::new(Expr::Ident(name.clone())),
-                            Box::new(key.clone()),
-                        ),
+                        LValue::Index(name, key) => {
+                            Expr::Index(Box::new(Expr::Ident(name.clone())), Box::new(key.clone()))
+                        }
                     };
                     Expr::Binary(bin, Box::new(current), Box::new(value.clone()))
                 }
@@ -408,11 +406,7 @@ fn compile_stmt(asm: &mut Assembler, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(),
                 LValue::Index(name, key) => {
                     let slot = match ctx.resolve(name)? {
                         Loc::Mapping(slot) => slot,
-                        _ => {
-                            return Err(CompileError::new(format!(
-                                "'{name}' is not a mapping"
-                            )))
-                        }
+                        _ => return Err(CompileError::new(format!("'{name}' is not a mapping"))),
                     };
                     compile_expr(asm, ctx, &rhs)?;
                     compile_mapping_slot(asm, ctx, slot, key)?;
@@ -776,7 +770,12 @@ mod tests {
             }
         }
 
-        fn call(&mut self, function: &str, args: &[AbiValue], value: U256) -> mufuzz_evm::ExecutionResult {
+        fn call(
+            &mut self,
+            function: &str,
+            args: &[AbiValue],
+            value: U256,
+        ) -> mufuzz_evm::ExecutionResult {
             let abi = self.compiled.abi.function(function).unwrap().clone();
             let data = abi.encode_call(args);
             let mut evm = Evm::new(&mut self.world, BlockEnv::default());
@@ -874,7 +873,10 @@ mod tests {
         assert!(result.success, "{:?}", result.halt);
         assert_eq!(result.trace.calls.len(), 1);
         assert!(result.trace.calls[0].success);
-        assert_eq!(h.world.balance(h.sender), before.wrapping_add(U256::from_u64(50)));
+        assert_eq!(
+            h.world.balance(h.sender),
+            before.wrapping_add(U256::from_u64(50))
+        );
     }
 
     #[test]
@@ -925,11 +927,7 @@ mod tests {
         "#;
         let mut h = Harness::deploy(src);
         // Wrong msg.value reverts at the require.
-        let result = h.call(
-            "guessNum",
-            &[AbiValue::Uint(U256::ZERO)],
-            U256::from_u64(1),
-        );
+        let result = h.call("guessNum", &[AbiValue::Uint(U256::ZERO)], U256::from_u64(1));
         assert!(!result.success);
         // Correct value (88 finney) passes the require.
         let result = h.call(
@@ -993,7 +991,10 @@ mod tests {
         assert_eq!(result.trace.calls[0].gas, 2_300);
         assert!(result.trace.calls[1].gas > 2_300);
         assert_eq!(h.storage(0), U256::ONE);
-        assert_eq!(h.world.balance(Address::from_low_u64(0x77)), U256::from_u64(6));
+        assert_eq!(
+            h.world.balance(Address::from_low_u64(0x77)),
+            U256::from_u64(6)
+        );
     }
 
     #[test]
@@ -1048,15 +1049,16 @@ mod tests {
             args,
         );
         assert!(result.success);
-        assert_eq!(world.storage(contract_addr, U256::ZERO), U256::from_u64(555));
+        assert_eq!(
+            world.storage(contract_addr, U256::ZERO),
+            U256::from_u64(555)
+        );
     }
 
     #[test]
     fn compile_errors_for_undefined_and_misused_identifiers() {
-        let undefined = parse_contract_source(
-            "contract C { function f() public { x = 1; } }",
-        )
-        .unwrap();
+        let undefined =
+            parse_contract_source("contract C { function f() public { x = 1; } }").unwrap();
         assert!(compile_contract(&undefined).is_err());
 
         let mapping_misuse = parse_contract_source(

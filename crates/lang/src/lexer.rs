@@ -120,10 +120,7 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
 
     macro_rules! push {
         ($tok:expr) => {
-            tokens.push(SpannedToken {
-                token: $tok,
-                line,
-            })
+            tokens.push(SpannedToken { token: $tok, line })
         };
     }
 
@@ -359,7 +356,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -43,9 +43,7 @@ pub use ast::{
     AssignOp, BinOp, Contract, EnvValue, Expr, Function, LValue, Param, StateVar, Stmt, Type,
     Visibility,
 };
-pub use compiler::{
-    compile_contract, CompileError, CompiledContract, FunctionInfo, StorageLayout,
-};
+pub use compiler::{compile_contract, CompileError, CompiledContract, FunctionInfo, StorageLayout};
 pub use parser::{parse_contract_source, parse_source, ParseError};
 
 /// Errors from the full source-to-bytecode pipeline.
@@ -101,10 +99,9 @@ mod tests {
 
     #[test]
     fn compile_source_end_to_end() {
-        let compiled = compile_source(
-            "contract T { uint256 x; function set(uint256 v) public { x = v; } }",
-        )
-        .unwrap();
+        let compiled =
+            compile_source("contract T { uint256 x; function set(uint256 v) public { x = v; } }")
+                .unwrap();
         assert_eq!(compiled.abi.functions[0].name, "set");
     }
 
@@ -120,7 +117,10 @@ mod tests {
 
     #[test]
     fn errors_are_propagated() {
-        assert!(matches!(compile_source("not a contract"), Err(LangError::Parse(_))));
+        assert!(matches!(
+            compile_source("not a contract"),
+            Err(LangError::Parse(_))
+        ));
         assert!(matches!(
             compile_source("contract C { function f() public { ghost = 1; } }"),
             Err(LangError::Compile(_))

@@ -90,7 +90,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> Token {
-        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -136,8 +138,16 @@ impl Parser {
     fn is_type_keyword(word: &str) -> bool {
         matches!(
             word,
-            "uint256" | "uint" | "uint8" | "uint16" | "uint32" | "uint64" | "uint128" | "address"
-                | "bool" | "mapping"
+            "uint256"
+                | "uint"
+                | "uint8"
+                | "uint16"
+                | "uint32"
+                | "uint64"
+                | "uint128"
+                | "address"
+                | "bool"
+                | "mapping"
         )
     }
 
@@ -743,8 +753,7 @@ impl Parser {
                             self.expect(&Token::Dot)?;
                             let sub = self.expect_ident()?;
                             if sub != "encodePacked" && sub != "encode" {
-                                return self
-                                    .error(format!("unsupported abi helper 'abi.{sub}'"));
+                                return self.error(format!("unsupported abi helper 'abi.{sub}'"));
                             }
                             self.expect(&Token::LParen)?;
                             while self.peek() != &Token::RParen {
@@ -916,7 +925,10 @@ mod tests {
         let contract = parse_contract_source(src).unwrap();
         let f = contract.function("guessNum").unwrap();
         assert!(matches!(&f.body[0], Stmt::Local(name, Type::Uint256, _) if name == "random"));
-        assert!(matches!(&f.body[1], Stmt::Require(Expr::Binary(BinOp::Eq, _, _))));
+        assert!(matches!(
+            &f.body[1],
+            Stmt::Require(Expr::Binary(BinOp::Eq, _, _))
+        ));
         // Nested ifs.
         match &f.body[2] {
             Stmt::If(_, then_block, _) => {
@@ -949,7 +961,10 @@ mod tests {
         let contract = parse_contract_source(src).unwrap();
         let pay = contract.function("pay").unwrap();
         assert!(matches!(&pay.body[0], Stmt::ExprStmt(Expr::Send(_, _))));
-        assert!(matches!(&pay.body[1], Stmt::ExprStmt(Expr::CallValue(_, _))));
+        assert!(matches!(
+            &pay.body[1],
+            Stmt::ExprStmt(Expr::CallValue(_, _))
+        ));
         let proxy = contract.function("proxy").unwrap();
         assert!(matches!(
             &proxy.body[0],

@@ -36,7 +36,11 @@ impl CampaignMonitor {
     }
 
     /// Attribute a pc in the outermost frame to a source function.
-    fn function_of(compiled: &CompiledContract, trace: &ExecutionTrace, pc: usize) -> Option<String> {
+    fn function_of(
+        compiled: &CompiledContract,
+        trace: &ExecutionTrace,
+        pc: usize,
+    ) -> Option<String> {
         compiled
             .function_at_pc(pc)
             .map(|f| f.name.clone())
@@ -151,10 +155,7 @@ impl CampaignMonitor {
             if call.kind == CallKind::Call && call.gas > 2_300 && !call.value.is_zero() {
                 let function = Self::function_of(compiled, trace, call.pc);
                 if let Some(name) = &function {
-                    *self
-                        .call_value_invocations
-                        .entry(name.clone())
-                        .or_insert(0) += 1;
+                    *self.call_value_invocations.entry(name.clone()).or_insert(0) += 1;
                 }
                 if trace.reentered {
                     self.record(BugFinding::new(
@@ -324,9 +325,7 @@ impl CampaignMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mufuzz_evm::{
-        ether, Account, Address, BlockEnv, Evm, HostBehaviour, Message, WorldState,
-    };
+    use mufuzz_evm::{ether, Account, Address, BlockEnv, Evm, HostBehaviour, Message, WorldState};
     use mufuzz_lang::{compile_source, AbiValue};
 
     struct Rig {

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p mufuzz-bench --example audit_campaign
+//! cargo run --example audit_campaign
 //! ```
 
 use mufuzz::{Fuzzer, FuzzerConfig};

@@ -9,7 +9,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p mufuzz-bench --example crowdsale_hunt
+//! cargo run --example crowdsale_hunt
 //! ```
 
 use mufuzz_analysis::{analyze_contract, plan_sequence};
@@ -57,9 +57,7 @@ fn main() {
         sfuzz_report.total_edges,
         sfuzz_report.corpus_size
     );
-    println!(
-        "\nsequences that contributed new coverage for MuFuzz (note the repeated invest):"
-    );
+    println!("\nsequences that contributed new coverage for MuFuzz (note the repeated invest):");
     for shape in mufuzz_report.interesting_shapes.iter().take(8) {
         println!("  {shape}");
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p mufuzz-bench --example dataset_sweep
+//! cargo run --example dataset_sweep
 //! ```
 //! Scale up with `MUFUZZ_CONTRACTS` / `MUFUZZ_EXECS`.
 
@@ -24,7 +24,10 @@ fn main() {
     );
 
     let result = overall_coverage(&small.contracts, &large.contracts, execs, 3);
-    println!("{:<12} {:>14} {:>14}", "tool", "small coverage", "large coverage");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "tool", "small coverage", "large coverage"
+    );
     for (tool, small_cov, large_cov) in &result.rows {
         println!(
             "{:<12} {:>13.1}% {:>13.1}%",

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p mufuzz-bench --example quickstart
+//! cargo run --example quickstart
 //! ```
 
 use mufuzz::{Fuzzer, FuzzerConfig};

@@ -1,0 +1,191 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal harness implementing the API subset the `crates/bench/benches`
+//! targets use: [`Criterion::bench_function`], benchmark groups with
+//! throughput/sample-size knobs, [`BenchmarkId`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it measures wall-clock time:
+//! each benchmark is warmed up once, calibrated to a per-benchmark time
+//! budget (`CRITERION_SAMPLE_MS`, default 200 ms), and reported as mean
+//! time/iteration on stdout. Good enough to spot order-of-magnitude
+//! regressions offline; swap back to the real crate for publishable numbers.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it as many times as the harness requested.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn run_benchmark(label: &str, throughput: Option<&Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm up and measure the cost of a single iteration.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let single = bencher.elapsed.max(Duration::from_nanos(1));
+
+    // Spend roughly the sample budget on the measured run.
+    let budget = sample_budget();
+    let iters = (budget.as_nanos() / single.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                ", {:.1} MiB/s",
+                *n as f64 / per_iter * 1e9 / (1 << 20) as f64
+            ),
+            Throughput::Elements(n) => format!(", {:.1} Melem/s", *n as f64 / per_iter * 1e9 / 1e6),
+        })
+        .unwrap_or_default();
+    println!("bench: {label:<50} {per_iter:>12.1} ns/iter ({iters} iters{rate})");
+}
+
+/// Declared throughput of one benchmark, mirroring `criterion::Throughput`.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new<S: Into<String>, D: std::fmt::Display>(name: S, param: D) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+/// The top-level benchmark harness, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.into(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_benchmark(&label, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.throughput.as_ref(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

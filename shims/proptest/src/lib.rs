@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal property-testing harness implementing the exact API subset the
+//! test suites use: the [`Strategy`] trait with `prop_map`/`boxed`,
+//! [`any`], [`Just`], ranges-as-strategies, `collection::vec`,
+//! `array::uniform32`, a tiny character-class string strategy for `&str`
+//! patterns like `"[a-c]{1,4}"`, and the `proptest!`/`prop_assert*`/
+//! `prop_assume!`/`prop_oneof!` macros.
+//!
+//! Unlike real proptest there is **no shrinking** and no failure persistence:
+//! each property runs `PROPTEST_CASES` (default 64) deterministic cases and
+//! panics on the first counterexample, printing the case number. Swapping
+//! back to the real crate is a one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(pub(crate) SmallRng);
+
+impl TestRng {
+    pub(crate) fn deterministic() -> Self {
+        TestRng(SmallRng::seed_from_u64(0x70726f70_74657374))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Test-runner plumbing, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Drives strategies outside of the `proptest!` macro.
+    pub struct TestRunner {
+        pub(crate) rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: the same strategies yield the same values.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: TestRng::deterministic(),
+            }
+        }
+
+        /// The runner's RNG (used by the `proptest!` macro expansion).
+        pub fn rng_mut(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+
+    /// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `elem` with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies, mirroring `proptest::array`.
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A strategy for `[T; 32]`.
+    pub struct Uniform32<S>(S);
+
+    /// Generates `[T; 32]` arrays where every element comes from `elem`.
+    pub fn uniform32<S: Strategy>(elem: S) -> Uniform32<S> {
+        Uniform32(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// The glob import used by every property-test file.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a boolean condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each property runs [`test_runner::case_count`] cases from a fixed seed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                let mut __runner = $crate::test_runner::TestRunner::deterministic();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __runner.rng_mut());)+
+                    let __run = || { $body };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {}/{} (no shrinking in the offline shim)",
+                            stringify!($name), __case + 1, __cases,
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,252 @@
+//! The [`Strategy`] trait and the combinators the test suites use.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Generates a (non-shrinking) value tree, mirroring
+    /// `proptest::strategy::Strategy::new_tree`.
+    fn new_tree(
+        &self,
+        runner: &mut crate::test_runner::TestRunner,
+    ) -> Result<ValueTree<Self::Value>, String> {
+        Ok(ValueTree(self.generate(runner.rng_mut())))
+    }
+}
+
+/// A generated value; real proptest shrinks these, the shim does not.
+pub struct ValueTree<T>(T);
+
+impl<T: Clone> ValueTree<T> {
+    /// The current (and only) value of the tree.
+    pub fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among type-erased strategies (built by `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy generating uniformly arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// A tiny pattern-string strategy: `&str` literals act as generators for a
+/// regex subset of character classes with repetition, e.g. `"[a-c]{1,4}"`.
+///
+/// Supported syntax: literal characters, `[x-y…]` classes of ranges and
+/// single characters, and `{n}` / `{m,n}` repetition suffixes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut class = Vec::new();
+                    for c in chars.by_ref() {
+                        if c == ']' {
+                            break;
+                        }
+                        class.push(c);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            for code in class[i]..=class[i + 2] {
+                                set.push(code);
+                            }
+                            i += 3;
+                        } else {
+                            set.push(class[i]);
+                            i += 1;
+                        }
+                    }
+                    set
+                }
+                lit => vec![lit],
+            };
+            assert!(
+                !choices.is_empty(),
+                "empty character class in pattern {self:?}"
+            );
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition in pattern"),
+                        hi.trim().parse().expect("bad repetition in pattern"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad repetition in pattern");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,17 @@
+//! # mufuzz-repro
+//!
+//! Umbrella crate for the MuFuzz (ICDE 2024) reproduction workspace. It
+//! re-exports every workspace crate under one roof so the top-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single
+//! dependency surface, and so `cargo doc` renders the whole system together.
+
+#![warn(missing_docs)]
+
+pub use mufuzz;
+pub use mufuzz_analysis;
+pub use mufuzz_baselines;
+pub use mufuzz_bench;
+pub use mufuzz_corpus;
+pub use mufuzz_evm;
+pub use mufuzz_lang;
+pub use mufuzz_oracles;

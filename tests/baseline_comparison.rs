@@ -40,11 +40,9 @@ fn disabling_sequence_awareness_never_helps_on_the_crowdsale() {
         Fuzzer::new(compiled, config).unwrap().run().covered_edges
     };
     let full = run(FuzzerConfig::mufuzz(400).with_rng_seed(19));
-    let ablated = run(
-        FuzzerConfig::mufuzz(400)
-            .with_rng_seed(19)
-            .without_sequence_aware(),
-    );
+    let ablated = run(FuzzerConfig::mufuzz(400)
+        .with_rng_seed(19)
+        .without_sequence_aware());
     assert!(full >= ablated, "full {full} < ablated {ablated}");
 }
 
@@ -78,11 +76,9 @@ fn mask_guidance_helps_satisfy_the_game_contracts_strict_guard() {
         Fuzzer::new(compiled, config).unwrap().run().covered_edges
     };
     let with_mask = run(FuzzerConfig::mufuzz(300).with_rng_seed(29));
-    let without_mask = run(
-        FuzzerConfig::mufuzz(300)
-            .with_rng_seed(29)
-            .without_mask_guidance(),
-    );
+    let without_mask = run(FuzzerConfig::mufuzz(300)
+        .with_rng_seed(29)
+        .without_mask_guidance());
     assert!(
         with_mask >= without_mask,
         "with mask {with_mask} < without {without_mask}"

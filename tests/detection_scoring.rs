@@ -2,7 +2,7 @@
 //! detection scoring over annotated datasets, for both the fuzzers and the
 //! pattern-based static analyzers.
 
-use mufuzz_baselines::{all_static_analyzers, StaticAnalyzer, OyenteLike};
+use mufuzz_baselines::{all_static_analyzers, OyenteLike, StaticAnalyzer};
 use mufuzz_bench::{bug_detection, real_world};
 use mufuzz_corpus::{contracts, d3, Dataset};
 use mufuzz_lang::compile_source;
@@ -53,7 +53,12 @@ fn static_analyzers_report_false_positives_dynamic_oracles_avoid() {
         .find(|t| t.name() == "Mythril")
         .unwrap();
     let score = score_contract(&mythril.analyze(&compiled), &annotations);
-    assert!(score.class(BugClass::UnprotectedDelegatecall).false_positives >= 1);
+    assert!(
+        score
+            .class(BugClass::UnprotectedDelegatecall)
+            .false_positives
+            >= 1
+    );
 }
 
 #[test]

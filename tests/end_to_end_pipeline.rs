@@ -7,9 +7,14 @@ use mufuzz_corpus::{all_handwritten, contracts};
 use mufuzz_lang::compile_source;
 use mufuzz_oracles::BugClass;
 
-fn detected_classes(source: &str, budget: usize, seed: u64) -> std::collections::BTreeSet<BugClass> {
+fn detected_classes(
+    source: &str,
+    budget: usize,
+    seed: u64,
+) -> std::collections::BTreeSet<BugClass> {
     let compiled = compile_source(source).unwrap();
-    let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(budget).with_rng_seed(seed)).unwrap();
+    let mut fuzzer =
+        Fuzzer::new(compiled, FuzzerConfig::mufuzz(budget).with_rng_seed(seed)).unwrap();
     fuzzer.run().detected_classes()
 }
 
@@ -17,8 +22,7 @@ fn detected_classes(source: &str, budget: usize, seed: u64) -> std::collections:
 fn every_handwritten_contract_survives_a_short_campaign() {
     for contract in all_handwritten() {
         let compiled = compile_source(&contract.source).unwrap();
-        let mut fuzzer =
-            Fuzzer::new(compiled, FuzzerConfig::mufuzz(80).with_rng_seed(1)).unwrap();
+        let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(80).with_rng_seed(1)).unwrap();
         let report = fuzzer.run();
         assert!(
             report.covered_edges > 0,
@@ -58,7 +62,10 @@ fn delegatecall_proxy_detected_only_for_the_unguarded_function() {
 #[test]
 fn suicidal_wallet_and_frozen_vault_detected() {
     let classes = detected_classes(&contracts::suicidal_wallet().source, 300, 5);
-    assert!(classes.contains(&BugClass::UnprotectedSelfDestruct), "{classes:?}");
+    assert!(
+        classes.contains(&BugClass::UnprotectedSelfDestruct),
+        "{classes:?}"
+    );
     let classes = detected_classes(&contracts::frozen_vault().source, 200, 5);
     assert!(classes.contains(&BugClass::EtherFreezing), "{classes:?}");
 }
@@ -66,7 +73,10 @@ fn suicidal_wallet_and_frozen_vault_detected() {
 #[test]
 fn strict_equality_and_tx_origin_detected() {
     let classes = detected_classes(&contracts::strict_equality_game().source, 300, 7);
-    assert!(classes.contains(&BugClass::StrictEtherEquality), "{classes:?}");
+    assert!(
+        classes.contains(&BugClass::StrictEtherEquality),
+        "{classes:?}"
+    );
     let classes = detected_classes(&contracts::tx_origin_auth().source, 300, 7);
     assert!(classes.contains(&BugClass::TxOriginUse), "{classes:?}");
 }
@@ -74,7 +84,10 @@ fn strict_equality_and_tx_origin_detected() {
 #[test]
 fn unchecked_send_detected_as_unhandled_exception() {
     let classes = detected_classes(&contracts::unchecked_send().source, 400, 9);
-    assert!(classes.contains(&BugClass::UnhandledException), "{classes:?}");
+    assert!(
+        classes.contains(&BugClass::UnhandledException),
+        "{classes:?}"
+    );
 }
 
 #[test]
@@ -87,7 +100,13 @@ fn overflow_token_detected_as_integer_overflow() {
 fn benign_ledger_produces_no_spurious_findings_for_guarded_patterns() {
     let classes = detected_classes(&contracts::benign_ledger().source, 400, 13);
     // The guarded selfdestruct and the checked transfer must not be reported.
-    assert!(!classes.contains(&BugClass::UnprotectedSelfDestruct), "{classes:?}");
-    assert!(!classes.contains(&BugClass::UnhandledException), "{classes:?}");
+    assert!(
+        !classes.contains(&BugClass::UnprotectedSelfDestruct),
+        "{classes:?}"
+    );
+    assert!(
+        !classes.contains(&BugClass::UnhandledException),
+        "{classes:?}"
+    );
     assert!(!classes.contains(&BugClass::Reentrancy), "{classes:?}");
 }

@@ -58,7 +58,10 @@ fn planned_sequence_reaches_the_guarded_bug_while_single_invest_does_not() {
         .traces
         .iter()
         .any(|t| t.contains_opcode(Opcode::Log(0)));
-    assert!(bug_reached, "the mutated sequence must reach the bug marker");
+    assert!(
+        bug_reached,
+        "the mutated sequence must reach the bug marker"
+    );
 
     // Without the repetition (the ConFuzzius/Smartian-style sequence), the
     // else-branch that sets phase = 1 is never taken and the bug stays hidden.
