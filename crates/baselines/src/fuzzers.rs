@@ -27,14 +27,32 @@ pub trait FuzzingStrategy: Send + Sync {
     /// The configuration this strategy uses for a given budget and RNG seed.
     fn config(&self, max_executions: usize, rng_seed: u64) -> FuzzerConfig;
 
-    /// Run a campaign on one contract.
+    /// Run a campaign on one contract with a single worker thread.
+    ///
+    /// Experiments fan out across *contracts* (see
+    /// `mufuzz_bench::parallel_map`), so per-campaign parallelism stays off
+    /// by default and every strategy run is deterministic for a seed.
     fn fuzz(
         &self,
         compiled: CompiledContract,
         max_executions: usize,
         rng_seed: u64,
     ) -> Result<CampaignReport, HarnessError> {
-        let mut fuzzer = Fuzzer::new(compiled, self.config(max_executions, rng_seed))?;
+        self.fuzz_with_workers(compiled, max_executions, rng_seed, 1)
+    }
+
+    /// Run a campaign on one contract with an explicit worker-thread count
+    /// (the `--workers` knob of the figure binaries). Campaigns with more
+    /// than one worker are not deterministic.
+    fn fuzz_with_workers(
+        &self,
+        compiled: CompiledContract,
+        max_executions: usize,
+        rng_seed: u64,
+        workers: usize,
+    ) -> Result<CampaignReport, HarnessError> {
+        let config = self.config(max_executions, rng_seed).with_workers(workers);
+        let mut fuzzer = Fuzzer::new(compiled, config)?;
         Ok(fuzzer.run())
     }
 }

@@ -73,8 +73,11 @@ fn bench_mask_ablation(c: &mut Criterion) {
     group.bench_function("with_mask", |bencher| {
         bencher.iter(|| {
             let compiled = compile_source(&source).unwrap();
-            let mut fuzzer =
-                Fuzzer::new(compiled, FuzzerConfig::mufuzz(150).with_rng_seed(2)).unwrap();
+            let mut fuzzer = Fuzzer::new(
+                compiled,
+                FuzzerConfig::mufuzz(150).with_rng_seed(2).with_workers(1),
+            )
+            .unwrap();
             black_box(fuzzer.run().covered_edges)
         })
     });
@@ -85,6 +88,7 @@ fn bench_mask_ablation(c: &mut Criterion) {
                 compiled,
                 FuzzerConfig::mufuzz(150)
                     .with_rng_seed(2)
+                    .with_workers(1)
                     .without_mask_guidance(),
             )
             .unwrap();

@@ -2,17 +2,22 @@
 //! ConFuzzius and sFuzz on small and large contracts.
 //!
 //! Scale with `MUFUZZ_CONTRACTS` (contracts per dataset) and `MUFUZZ_EXECS`
-//! (execution budget per campaign).
+//! (execution budget per campaign); run each campaign on a worker pool with
+//! `--workers N` (or `MUFUZZ_WORKERS`).
 
-use mufuzz_bench::{coverage_over_time, env_param, table};
+use mufuzz_bench::{coverage_over_time, env_param, table, workers_param};
 use mufuzz_corpus::{d1_large, d1_small};
+use std::time::Instant;
 
 fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 10);
     let execs = env_param("MUFUZZ_EXECS", 400);
+    let workers = workers_param();
     let checkpoints = 10;
 
-    println!("Figure 5 — branch coverage over time (budget = {execs} executions per contract)");
+    println!(
+        "Figure 5 — branch coverage over time (budget = {execs} executions per contract, {workers} worker(s) per campaign)"
+    );
     println!();
 
     // The paper gives large contracts twice the fuzzing budget (20 vs 10
@@ -25,7 +30,9 @@ fn main() {
             execs * 2,
         ),
     ] {
-        let series = coverage_over_time(label, &dataset.contracts, budget, 1, checkpoints);
+        let wall = Instant::now();
+        let series = coverage_over_time(label, &dataset.contracts, budget, 1, checkpoints, workers);
+        let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
         let execs = budget;
         let chart: Vec<(String, Vec<(f64, f64)>)> = series
             .per_tool
@@ -56,6 +63,12 @@ fn main() {
             .map(|(tool, cov)| vec![tool.clone(), format!("{:.1}%", cov * 100.0)])
             .collect();
         print!("{}", table::render(&["Tool", "Final coverage"], &rows));
+        println!(
+            "throughput: {:.0} execs/sec ({} executions in {:.2} s)",
+            series.total_executions as f64 / elapsed,
+            series.total_executions,
+            elapsed
+        );
         println!();
     }
 }

@@ -2,30 +2,37 @@
 //! ConFuzzius and sFuzz on small and large contracts.
 //!
 //! Paper reference values: small 90 / 86 / 82 / 65 (%), large 82 / 76 / 70 / 56 (%).
-//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`.
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; run each campaign on a
+//! worker pool with `--workers N` (or `MUFUZZ_WORKERS`).
 
 /// Per-tool final coverage rows (small, large).
 struct OverallRows {
     rows: Vec<(String, f64, f64)>,
 }
 
-use mufuzz_bench::{coverage_over_time, env_param, table};
+use mufuzz_bench::{coverage_over_time, env_param, table, workers_param};
 use mufuzz_corpus::{d1_large, d1_small};
+use std::time::Instant;
 
 fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 12);
     let execs = env_param("MUFUZZ_EXECS", 500);
+    let workers = workers_param();
 
     let small = d1_small(contracts);
     let large = d1_large(contracts.div_ceil(2));
     // Large contracts receive twice the budget, mirroring the paper's
     // 10-minute / 20-minute split.
-    let small_cov = coverage_over_time("small", &small.contracts, execs, 1, 1).final_coverage;
-    let large_cov = coverage_over_time("large", &large.contracts, execs * 2, 1, 1).final_coverage;
+    let wall = Instant::now();
+    let small_series = coverage_over_time("small", &small.contracts, execs, 1, 1, workers);
+    let large_series = coverage_over_time("large", &large.contracts, execs * 2, 1, 1, workers);
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    let total_executions = small_series.total_executions + large_series.total_executions;
     let result = OverallRows {
-        rows: small_cov
+        rows: small_series
+            .final_coverage
             .into_iter()
-            .zip(large_cov)
+            .zip(large_series.final_coverage)
             .map(|((tool, s), (_, l))| (tool, s, l))
             .collect(),
     };
@@ -69,6 +76,12 @@ fn main() {
             ],
             &rows
         )
+    );
+    println!();
+    println!(
+        "throughput: {:.0} execs/sec ({} executions, {workers} worker(s) per campaign)",
+        total_executions as f64 / elapsed,
+        total_executions
     );
     println!();
     println!(

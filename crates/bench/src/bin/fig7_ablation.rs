@@ -1,15 +1,17 @@
 //! Regenerates Figure 7: the ablation study — coverage and detected alarms
 //! with each MuFuzz component disabled, relative to the full system.
 //!
-//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`.
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; run each campaign on a
+//! worker pool with `--workers N` (or `MUFUZZ_WORKERS`).
 
-use mufuzz_bench::{ablation, env_param, table};
+use mufuzz_bench::{ablation, env_param, table, workers_param};
 use mufuzz_corpus::{generate_contract, GeneratorConfig};
 use mufuzz_oracles::BugClass;
 
 fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 8);
     let execs = env_param("MUFUZZ_EXECS", 400);
+    let workers = workers_param();
 
     // The paper samples real contracts from D1, which naturally contain
     // vulnerabilities; our generated D1 corpus is benign by construction, so
@@ -41,7 +43,9 @@ fn main() {
             )
         })
         .collect();
-    let result = ablation(&small, &large, execs, 1);
+    let wall = std::time::Instant::now();
+    let result = ablation(&small, &large, execs, 1, workers);
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
 
     let full = &result.rows[0];
     let rel = |v: f64, full: f64| {
@@ -78,9 +82,15 @@ fn main() {
         .collect();
 
     println!(
-        "Figure 7 — ablation study ({} small / {} large contracts, {execs} executions each)",
+        "Figure 7 — ablation study ({} small / {} large contracts, {execs} executions each, {workers} worker(s) per campaign)",
         small.len(),
         large.len()
+    );
+    println!(
+        "throughput: {:.0} execs/sec ({} executions in {:.2} s)",
+        result.total_executions as f64 / elapsed,
+        result.total_executions,
+        elapsed
     );
     println!();
     print!(

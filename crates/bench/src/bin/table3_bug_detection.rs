@@ -21,7 +21,7 @@ fn main() {
     println!("Cells are TP / FN (FP); 'n/a' = class not supported by the tool.");
     println!();
 
-    let result = bug_detection(&dataset, execs, 1);
+    let result = bug_detection(&dataset, execs, 1, 1);
 
     let mut headers: Vec<&str> = vec!["Tool", "Kind"];
     let class_names: Vec<String> = BugClass::ALL

@@ -12,7 +12,7 @@ fn main() {
     let execs = env_param("MUFUZZ_EXECS", 500);
 
     let dataset = d3(contracts);
-    let result = real_world(&dataset, execs, 1);
+    let result = real_world(&dataset, execs, 1, 1);
 
     let rows: Vec<Vec<String>> = BugClass::ALL
         .iter()

@@ -58,9 +58,12 @@ fn run_strategy(
     contract: &BenchContract,
     budget: usize,
     rng_seed: u64,
+    workers: usize,
 ) -> Option<CampaignReport> {
     let compiled = compile_source(&contract.source).ok()?;
-    strategy.fuzz(compiled, budget, rng_seed).ok()
+    strategy
+        .fuzz_with_workers(compiled, budget, rng_seed, workers)
+        .ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -76,6 +79,9 @@ pub struct CoverageSeries {
     pub per_tool: Vec<(String, Vec<(f64, f64)>)>,
     /// Per-tool final mean coverage.
     pub final_coverage: Vec<(String, f64)>,
+    /// Total sequence executions across every campaign (throughput numerator
+    /// for the figure binaries' execs/sec reporting).
+    pub total_executions: usize,
 }
 
 /// Sample a campaign's timeline at fixed budget fractions.
@@ -104,14 +110,17 @@ pub fn coverage_over_time(
     budget: usize,
     rng_seed: u64,
     checkpoints: usize,
+    workers: usize,
 ) -> CoverageSeries {
     let mut per_tool = Vec::new();
     let mut final_coverage = Vec::new();
+    let mut total_executions = 0usize;
     for strategy in coverage_baselines() {
         let reports = parallel_map(contracts, |c| {
-            run_strategy(strategy.as_ref(), c, budget, rng_seed)
+            run_strategy(strategy.as_ref(), c, budget, rng_seed, workers)
         });
         let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
+        total_executions += valid.iter().map(|r| r.executions).sum::<usize>();
         let mut curve = vec![0.0f64; checkpoints];
         for report in &valid {
             for (i, v) in sample_timeline(report, budget, checkpoints)
@@ -135,6 +144,7 @@ pub fn coverage_over_time(
         dataset: dataset_label.to_string(),
         per_tool,
         final_coverage,
+        total_executions,
     }
 }
 
@@ -155,12 +165,13 @@ pub fn overall_coverage(
     large: &[BenchContract],
     budget: usize,
     rng_seed: u64,
+    workers: usize,
 ) -> OverallCoverage {
     let mut rows = Vec::new();
     for strategy in coverage_baselines() {
         let mean = |contracts: &[BenchContract]| -> f64 {
             let reports = parallel_map(contracts, |c| {
-                run_strategy(strategy.as_ref(), c, budget, rng_seed)
+                run_strategy(strategy.as_ref(), c, budget, rng_seed, workers)
             });
             let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
             if valid.is_empty() {
@@ -188,7 +199,12 @@ pub struct BugDetectionResult {
 
 /// Reproduce Table III: run the static analyzers and all fuzzing strategies
 /// on the annotated D2 corpus and score TP/FN/FP per bug class.
-pub fn bug_detection(dataset: &Dataset, budget: usize, rng_seed: u64) -> BugDetectionResult {
+pub fn bug_detection(
+    dataset: &Dataset,
+    budget: usize,
+    rng_seed: u64,
+    workers: usize,
+) -> BugDetectionResult {
     let mut rows = Vec::new();
 
     // Static analyzers.
@@ -210,7 +226,7 @@ pub fn bug_detection(dataset: &Dataset, budget: usize, rng_seed: u64) -> BugDete
     // Fuzzers.
     for strategy in mufuzz_baselines::all_fuzzers() {
         let scores = parallel_map(&dataset.contracts, |c| {
-            match run_strategy(strategy.as_ref(), c, budget, rng_seed) {
+            match run_strategy(strategy.as_ref(), c, budget, rng_seed, workers) {
                 Some(report) => score_contract(&report.findings, &c.annotations),
                 None => DetectionScore::default(),
             }
@@ -239,6 +255,9 @@ pub struct AblationResult {
     /// Rows `(variant, mean coverage small, mean coverage large,
     /// alarms small, alarms large)`.
     pub rows: Vec<(String, f64, f64, usize, usize)>,
+    /// Total sequence executions across every campaign (throughput numerator
+    /// for the figure binaries' execs/sec reporting).
+    pub total_executions: usize,
 }
 
 impl AblationResult {
@@ -257,6 +276,7 @@ pub fn ablation(
     large: &[BenchContract],
     budget: usize,
     rng_seed: u64,
+    workers: usize,
 ) -> AblationResult {
     let variants: Vec<(String, FuzzerConfig)> = vec![
         ("MuFuzz (full)".into(), FuzzerConfig::mufuzz(budget)),
@@ -274,30 +294,35 @@ pub fn ablation(
         ),
     ];
     let mut rows = Vec::new();
+    let mut total_executions = 0usize;
     for (name, config) in variants {
-        let run_set = |contracts: &[BenchContract]| -> (f64, usize) {
+        let mut run_set = |contracts: &[BenchContract]| -> (f64, usize) {
             let results = parallel_map(contracts, |c| {
                 let Ok(compiled) = compile_source(&c.source) else {
-                    return (0.0, 0usize);
+                    return (0.0, 0usize, 0usize);
                 };
-                let mut fuzzer = match Fuzzer::new(compiled, config.clone().with_rng_seed(rng_seed))
-                {
+                let variant = config.clone().with_rng_seed(rng_seed).with_workers(workers);
+                let mut fuzzer = match Fuzzer::new(compiled, variant) {
                     Ok(f) => f,
-                    Err(_) => return (0.0, 0usize),
+                    Err(_) => return (0.0, 0usize, 0usize),
                 };
                 let report = fuzzer.run();
-                (report.coverage, report.findings.len())
+                (report.coverage, report.findings.len(), report.executions)
             });
             let n = results.len().max(1) as f64;
-            let coverage = results.iter().map(|(c, _)| c).sum::<f64>() / n;
-            let alarms = results.iter().map(|(_, a)| a).sum();
+            let coverage = results.iter().map(|(c, _, _)| c).sum::<f64>() / n;
+            let alarms = results.iter().map(|(_, a, _)| a).sum();
+            total_executions += results.iter().map(|(_, _, e)| e).sum::<usize>();
             (coverage, alarms)
         };
         let (cov_small, alarms_small) = run_set(small);
         let (cov_large, alarms_large) = run_set(large);
         rows.push((name, cov_small, cov_large, alarms_small, alarms_large));
     }
-    AblationResult { rows }
+    AblationResult {
+        rows,
+        total_executions,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -336,9 +361,14 @@ impl RealWorldResult {
 
 /// Reproduce Table IV: run full MuFuzz on the D3 dataset, count alarms per
 /// class, and classify them as TP/FP against the injected ground truth.
-pub fn real_world(dataset: &Dataset, budget: usize, rng_seed: u64) -> RealWorldResult {
+pub fn real_world(
+    dataset: &Dataset,
+    budget: usize,
+    rng_seed: u64,
+    workers: usize,
+) -> RealWorldResult {
     let outcomes = parallel_map(&dataset.contracts, |c| {
-        run_strategy(&MuFuzzStrategy, c, budget, rng_seed).map(|report| {
+        run_strategy(&MuFuzzStrategy, c, budget, rng_seed, workers).map(|report| {
             let score = score_contract(&report.findings, &c.annotations);
             (report, score)
         })
@@ -403,7 +433,7 @@ mod tests {
 
     #[test]
     fn coverage_over_time_produces_monotone_curves_for_all_tools() {
-        let series = coverage_over_time("small", &tiny_small(), 120, 5, 6);
+        let series = coverage_over_time("small", &tiny_small(), 120, 5, 6, 1);
         assert_eq!(series.per_tool.len(), 4);
         for (tool, points) in &series.per_tool {
             assert_eq!(points.len(), 6, "{tool}");
@@ -421,7 +451,7 @@ mod tests {
     fn overall_coverage_reports_all_four_tools() {
         let small = tiny_small();
         let large = vec![generate_contract("L1", &GeneratorConfig::large(5))];
-        let result = overall_coverage(&small, &large, 100, 9);
+        let result = overall_coverage(&small, &large, 100, 9, 1);
         assert_eq!(result.rows.len(), 4);
         for (tool, s, l) in &result.rows {
             assert!(*s > 0.0, "{tool} small");
@@ -441,7 +471,7 @@ mod tests {
             ],
             historical_txs_per_contract: 0,
         };
-        let result = bug_detection(&dataset, 250, 13);
+        let result = bug_detection(&dataset, 250, 13, 1);
         assert_eq!(result.rows.len(), 10); // 5 static + 5 fuzzers
         let mufuzz = result
             .rows
@@ -456,7 +486,7 @@ mod tests {
     fn ablation_contains_four_variants_with_positive_coverage() {
         let small = tiny_small();
         let large = vec![generate_contract("L2", &GeneratorConfig::large(6))];
-        let result = ablation(&small, &large, 100, 17);
+        let result = ablation(&small, &large, 100, 17, 1);
         assert_eq!(result.rows.len(), 4);
         for (name, cs, cl, _, _) in &result.rows {
             assert!(*cs > 0.0, "{name}");
@@ -468,7 +498,7 @@ mod tests {
     #[test]
     fn real_world_study_reports_coverage_and_flags() {
         let dataset = d3(4);
-        let result = real_world(&dataset, 150, 23);
+        let result = real_world(&dataset, 150, 23, 1);
         assert_eq!(result.total_contracts, 4);
         assert!(result.average_coverage > 0.0);
         assert!(result.total_reported() >= result.total_tp());
@@ -479,7 +509,7 @@ mod tests {
         // Smoke test: a one-contract slice of each generated dataset runs
         // through the coverage experiment.
         let d1 = d1_small(1);
-        let series = coverage_over_time("d1", &d1.contracts, 60, 3, 4);
+        let series = coverage_over_time("d1", &d1.contracts, 60, 3, 4, 1);
         assert_eq!(series.per_tool.len(), 4);
         let d2set = d2(0);
         assert!(d2set.len() >= 12);

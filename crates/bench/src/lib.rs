@@ -35,9 +35,41 @@ pub fn env_param(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Resolve the per-campaign worker-thread count for a figure binary:
+/// a `--workers N` command-line flag wins, then the `MUFUZZ_WORKERS`
+/// environment variable, then 1 (a single worker keeps runs deterministic;
+/// the experiment harness already fans out across contracts).
+pub fn workers_param() -> usize {
+    workers_from(std::env::args(), env_param("MUFUZZ_WORKERS", 1))
+}
+
+fn workers_from(args: impl Iterator<Item = String>, fallback: usize) -> usize {
+    let args: Vec<String> = args.collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--workers" {
+            if let Ok(n) = pair[1].parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    fallback.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn workers_flag_parses_and_clamps() {
+        let parse = |args: &[&str]| workers_from(args.iter().map(|s| s.to_string()), 1);
+        assert_eq!(parse(&["bin", "--workers", "4"]), 4);
+        assert_eq!(parse(&["bin", "--workers", "0"]), 1);
+        assert_eq!(parse(&["bin", "--workers"]), 1); // missing value
+        assert_eq!(parse(&["bin"]), 1);
+        // The flag wins over the environment fallback; the fallback clamps.
+        assert_eq!(workers_from(["bin".to_string()].into_iter(), 8), 8);
+        assert_eq!(workers_from(["bin".to_string()].into_iter(), 0), 1);
+    }
 
     #[test]
     fn env_param_falls_back_to_default() {

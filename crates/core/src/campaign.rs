@@ -6,6 +6,23 @@
 //! orderings, the mask-guided mutator evolves the per-transaction byte
 //! streams, and the dynamic energy scheduler decides how many mutants each
 //! seed receives.
+//!
+//! # Parallel engine
+//!
+//! The mutate→execute→evaluate inner loop runs on `FuzzerConfig::workers`
+//! threads. All scheduling state — the corpus, the global coverage map, the
+//! execution budget and the timeline — lives in a [`SharedCampaignState`]
+//! behind a single mutex; workers hold the lock only to draw a seed batch
+//! (so energy allocation keeps the global Algorithm 3 semantics) and to
+//! merge results, while the expensive sequence executions run unlocked
+//! against thread-local [`ContractHarness`] clones. Bug oracles observe into
+//! thread-local [`CampaignMonitor`]s that are merged before finalisation.
+//!
+//! Worker 0 runs on the calling thread and inherits the campaign RNG, and
+//! every merge happens at the same point of the per-mutant cycle as in the
+//! historical sequential engine, so `workers == 1` reproduces the
+//! single-threaded campaign bit for bit for a fixed `rng_seed`. Additional
+//! workers draw decorrelated `SmallRng` streams derived from `rng_seed`.
 
 use crate::config::FuzzerConfig;
 use crate::energy::{allocate_energy, seed_weight};
@@ -14,13 +31,15 @@ use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
 use crate::seedgen::SequenceGenerator;
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
-use mufuzz_evm::BranchEdge;
+use mufuzz_evm::{BranchEdge, WorldState};
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugFinding, CampaignMonitor};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::thread;
 use std::time::Instant;
 
 /// How deep a branch must sit (static nesting) before a seed that reaches it
@@ -75,6 +94,8 @@ pub struct CampaignReport {
     pub elapsed_ms: u64,
     /// Example sequence shapes that contributed new coverage (diagnostics).
     pub interesting_shapes: Vec<String>,
+    /// Number of worker threads the campaign ran with.
+    pub workers: usize,
 }
 
 impl CampaignReport {
@@ -83,216 +104,71 @@ impl CampaignReport {
         self.coverage * 100.0
     }
 
+    /// Campaign throughput in sequence executions per second.
+    pub fn execs_per_sec(&self) -> f64 {
+        self.executions as f64 * 1_000.0 / (self.elapsed_ms.max(1) as f64)
+    }
+
     /// Bug classes found.
     pub fn detected_classes(&self) -> BTreeSet<mufuzz_oracles::BugClass> {
         self.findings.iter().map(|f| f.class).collect()
     }
 }
 
-/// The MuFuzz fuzzer bound to one compiled contract.
-pub struct Fuzzer {
-    harness: ContractHarness,
-    config: FuzzerConfig,
-    cfg_graph: ControlFlowGraph,
-    generator: SequenceGenerator,
-    interesting: InterestingValues,
-    rng: SmallRng,
+/// Campaign state shared by every worker, guarded by one mutex.
+///
+/// Everything feedback-related lives here so that seed selection and energy
+/// allocation always see the *global* campaign picture (Algorithm 3 stays a
+/// single scheduler even with many workers). Workers only hold the lock for
+/// the cheap bookkeeping around each execution.
+struct SharedCampaignState {
+    covered: BTreeSet<BranchEdge>,
+    corpus: Vec<Seed>,
+    executions: usize,
+    timeline: Vec<CoveragePoint>,
+    interesting_shapes: Vec<String>,
+    last_world: Option<WorldState>,
 }
 
-impl Fuzzer {
-    /// Set up a fuzzer: deploys the contract, runs the static analyses and
-    /// prepares the mutation value pool.
-    pub fn new(compiled: CompiledContract, config: FuzzerConfig) -> Result<Fuzzer, HarnessError> {
-        let cfg_graph = ControlFlowGraph::build(&compiled.runtime);
-        let flow = analyze_contract(&compiled.contract);
-        let mut plan = plan_sequence(&flow);
-        if !config.enable_sequence_repetition {
-            plan.mutated_order = plan.base_order.clone();
-            plan.repeat_candidates.clear();
-        }
-        let mut interesting = if config.harvest_constants {
-            InterestingValues::harvest(&compiled.runtime)
-        } else {
-            InterestingValues::defaults()
-        };
-        let harness = ContractHarness::new(compiled, &config)?;
-        for addr in harness.interesting_addresses() {
-            interesting.add(addr.to_u256());
-        }
-        let generator = SequenceGenerator::new(
-            &harness.compiled.abi,
-            plan,
-            config.enable_sequence_aware,
-            harness.senders.len(),
-        );
-        let rng = SmallRng::seed_from_u64(config.rng_seed);
-        Ok(Fuzzer {
-            harness,
-            config,
-            cfg_graph,
-            generator,
-            interesting,
-            rng,
-        })
-    }
+/// Immutable per-campaign parameters shared by all workers.
+#[derive(Clone, Copy)]
+struct RunParams {
+    start: Instant,
+    snapshot_every: usize,
+    total_edges: usize,
+}
 
-    /// Access the underlying harness (used by integration tests and benches).
-    pub fn harness(&self) -> &ContractHarness {
-        &self.harness
-    }
+/// A decorrelated per-worker RNG seed (SplitMix64 over the campaign seed and
+/// the worker index). Worker 0 does not use this: it inherits the campaign
+/// RNG directly so single-worker runs replay the sequential engine.
+fn derive_worker_seed(rng_seed: u64, index: usize) -> u64 {
+    let mut z = rng_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    /// Run the campaign to completion and produce a report.
-    pub fn run(&mut self) -> CampaignReport {
-        let start = Instant::now();
-        let total_edges = self.cfg_graph.total_branch_edges().max(1);
-        let snapshot_every =
-            (self.config.max_executions / self.config.timeline_points.max(1)).max(1);
+fn count_new_edges(outcome: &SequenceOutcome, covered: &BTreeSet<BranchEdge>) -> usize {
+    outcome
+        .covered_edges
+        .iter()
+        .filter(|e| !covered.contains(e))
+        .count()
+}
 
-        let mut monitor = CampaignMonitor::new();
-        let mut covered: BTreeSet<BranchEdge> = BTreeSet::new();
-        let mut corpus: Vec<Seed> = Vec::new();
-        let mut timeline: Vec<CoveragePoint> = Vec::new();
-        let mut executions = 0usize;
-        let mut interesting_shapes: Vec<String> = Vec::new();
+/// One campaign worker: thread-local harness, RNG and bug monitor plus
+/// references to the immutable campaign context.
+struct Worker<'a> {
+    config: &'a FuzzerConfig,
+    cfg_graph: &'a ControlFlowGraph,
+    generator: &'a SequenceGenerator,
+    interesting: &'a InterestingValues,
+    harness: ContractHarness,
+    rng: SmallRng,
+    monitor: CampaignMonitor,
+}
 
-        // ---- initial seeds ----
-        let initial = self.generator.initial_sequences(
-            &self.harness.compiled.abi,
-            self.config.initial_seeds,
-            &mut self.rng,
-            &self.interesting,
-        );
-        for sequence in initial {
-            if self.budget_exhausted(executions, start) {
-                break;
-            }
-            let outcome = self.harness.execute_sequence(&sequence);
-            executions += 1;
-            self.observe(&mut monitor, &outcome);
-            let new_edges = Self::count_new_edges(&outcome, &covered);
-            covered.extend(outcome.covered_edges.iter().copied());
-            let seed = self.admit_seed(sequence, &outcome, new_edges, &covered);
-            corpus.push(seed);
-            Self::snapshot(
-                &mut timeline,
-                executions,
-                snapshot_every,
-                start,
-                covered.len(),
-                total_edges,
-            );
-        }
-        if corpus.is_empty() {
-            // Contract with no callable functions: report immediately.
-            monitor.finalize(&self.harness.compiled, Some(self.harness.base_world()));
-            return CampaignReport {
-                contract: self.harness.compiled.name.clone(),
-                covered_edges: covered.len(),
-                total_edges,
-                coverage: covered.len() as f64 / total_edges as f64,
-                executions,
-                findings: monitor.findings(),
-                timeline,
-                corpus_size: 0,
-                elapsed_ms: start.elapsed().as_millis() as u64,
-                interesting_shapes,
-            };
-        }
-
-        // ---- main loop ----
-        let mut last_world = None;
-        while !self.budget_exhausted(executions, start) {
-            let seed_index = self.select_seed(&corpus);
-            corpus[seed_index].selections += 1;
-
-            // Energy allocation (Algorithm 3).
-            let mean_weight = corpus.iter().map(|s| s.weight).sum::<f64>() / corpus.len() as f64;
-            let energy = allocate_energy(
-                corpus[seed_index].weight,
-                mean_weight,
-                self.config.base_energy,
-                self.config.enable_dynamic_energy,
-            );
-
-            // Mask computation (Algorithm 2), once per seed, only for seeds
-            // the paper considers worth masking: those hitting deeply nested
-            // branches or improving branch distance. The probe executions are
-            // real executions — they consume budget but also contribute
-            // coverage and can be admitted as seeds — so masking is deferred
-            // until a seed has proven interesting (selected more than once)
-            // and enough budget remains to amortise the probes.
-            let probe_cost_estimate =
-                4 * MAX_MASK_WORDS * corpus[seed_index].sequence.len().clamp(1, MAX_MASK_TXS);
-            let remaining = self.config.max_executions.saturating_sub(executions);
-            if self.config.enable_mask_guidance
-                && corpus[seed_index].masks.is_none()
-                && corpus[seed_index].selections >= 2
-                && remaining > 2 * probe_cost_estimate
-                && (corpus[seed_index].hits_nested_branch
-                    || corpus[seed_index].best_distance.is_some())
-            {
-                let seed_snapshot = corpus[seed_index].clone();
-                let (masks, probes, discovered) =
-                    self.compute_masks(&seed_snapshot, &mut covered, &mut monitor);
-                corpus[seed_index].masks = Some(masks);
-                executions += probes;
-                corpus.extend(discovered);
-            }
-
-            for _ in 0..energy {
-                if self.budget_exhausted(executions, start) {
-                    break;
-                }
-                let candidate = self.mutate_seed(&corpus[seed_index]);
-                let outcome = self.harness.execute_sequence(&candidate);
-                executions += 1;
-                self.observe(&mut monitor, &outcome);
-                let new_edges = Self::count_new_edges(&outcome, &covered);
-                covered.extend(outcome.covered_edges.iter().copied());
-                if new_edges > 0 {
-                    if interesting_shapes.len() < 16 {
-                        interesting_shapes.push(candidate.shape());
-                    }
-                    let seed = self.admit_seed(candidate, &outcome, new_edges, &covered);
-                    corpus.push(seed);
-                }
-                last_world = Some(outcome.final_world);
-                Self::snapshot(
-                    &mut timeline,
-                    executions,
-                    snapshot_every,
-                    start,
-                    covered.len(),
-                    total_edges,
-                );
-            }
-        }
-
-        monitor.finalize(
-            &self.harness.compiled,
-            last_world.as_ref().or(Some(self.harness.base_world())),
-        );
-        let elapsed_ms = start.elapsed().as_millis() as u64;
-        timeline.push(CoveragePoint {
-            executions,
-            elapsed_ms,
-            covered_edges: covered.len(),
-            coverage: covered.len() as f64 / total_edges as f64,
-        });
-        CampaignReport {
-            contract: self.harness.compiled.name.clone(),
-            covered_edges: covered.len(),
-            total_edges,
-            coverage: covered.len() as f64 / total_edges as f64,
-            executions,
-            findings: monitor.findings(),
-            timeline,
-            corpus_size: corpus.len(),
-            elapsed_ms,
-            interesting_shapes,
-        }
-    }
-
+impl Worker<'_> {
     fn budget_exhausted(&self, executions: usize, start: Instant) -> bool {
         if executions >= self.config.max_executions {
             return true;
@@ -305,37 +181,13 @@ impl Fuzzer {
         false
     }
 
-    fn observe(&self, monitor: &mut CampaignMonitor, outcome: &SequenceOutcome) {
+    /// Record a sequence outcome in the thread-local bug monitor.
+    fn observe(&mut self, outcome: &SequenceOutcome) {
         for trace in &outcome.traces {
-            monitor.observe(&self.harness.compiled, trace);
+            self.monitor.observe(&self.harness.compiled, trace);
         }
-        monitor.observe_world(outcome.final_world.balance(self.harness.contract_address));
-    }
-
-    fn count_new_edges(outcome: &SequenceOutcome, covered: &BTreeSet<BranchEdge>) -> usize {
-        outcome
-            .covered_edges
-            .iter()
-            .filter(|e| !covered.contains(e))
-            .count()
-    }
-
-    fn snapshot(
-        timeline: &mut Vec<CoveragePoint>,
-        executions: usize,
-        every: usize,
-        start: Instant,
-        covered: usize,
-        total: usize,
-    ) {
-        if executions.is_multiple_of(every) {
-            timeline.push(CoveragePoint {
-                executions,
-                elapsed_ms: start.elapsed().as_millis() as u64,
-                covered_edges: covered,
-                coverage: covered as f64 / total as f64,
-            });
-        }
+        self.monitor
+            .observe_world(outcome.final_world.balance(self.harness.contract_address));
     }
 
     /// Build seed metadata from an execution outcome.
@@ -349,7 +201,7 @@ impl Fuzzer {
         let mut seed = Seed::new(sequence);
         seed.covered_edges = outcome.covered_edges.clone();
         seed.new_edges = new_edges;
-        seed.weight = seed_weight(&outcome.traces, &self.cfg_graph);
+        seed.weight = seed_weight(&outcome.traces, self.cfg_graph);
         seed.hits_nested_branch = outcome.traces.iter().any(|t| {
             t.branches.iter().any(|b| {
                 self.cfg_graph
@@ -425,7 +277,7 @@ impl Fuzzer {
             return self.generator.generate(
                 &self.harness.compiled.abi,
                 &mut self.rng,
-                &self.interesting,
+                self.interesting,
             );
         }
 
@@ -436,7 +288,7 @@ impl Fuzzer {
                 &sequence,
                 &self.harness.compiled.abi,
                 &mut self.rng,
-                &self.interesting,
+                self.interesting,
             );
         }
 
@@ -457,29 +309,187 @@ impl Fuzzer {
                 .cloned()
                 .filter(|_| use_mask)
                 .unwrap_or_else(|| MutationMask::allow_all(stream.len()));
-            if let Some(mutated) = mutate_masked(&stream, &mask, &mut self.rng, &self.interesting) {
+            if let Some(mutated) = mutate_masked(&stream, &mask, &mut self.rng, self.interesting) {
                 sequence.txs[idx].stream = mutated;
             }
         }
         sequence
     }
 
+    /// Program counters of the deeply nested branches a seed covers.
+    fn nested_branch_pcs(&self, seed: &Seed) -> BTreeSet<usize> {
+        seed.covered_edges
+            .iter()
+            .filter(|e| {
+                self.cfg_graph
+                    .branches
+                    .get(&e.pc)
+                    .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
+                    .unwrap_or(false)
+            })
+            .map(|e| e.pc)
+            .collect()
+    }
+
+    /// Execute the initial plan-derived corpus (runs on the calling thread
+    /// before the worker pool starts).
+    fn run_initial(&mut self, shared: &Mutex<SharedCampaignState>, params: &RunParams) {
+        let initial = self.generator.initial_sequences(
+            &self.harness.compiled.abi,
+            self.config.initial_seeds,
+            &mut self.rng,
+            self.interesting,
+        );
+        for sequence in initial {
+            {
+                let s = shared.lock().expect("campaign state poisoned");
+                if self.budget_exhausted(s.executions, params.start) {
+                    break;
+                }
+            }
+            let outcome = self.harness.execute_sequence(&sequence);
+            self.observe(&outcome);
+            let mut s = shared.lock().expect("campaign state poisoned");
+            s.executions += 1;
+            let new_edges = count_new_edges(&outcome, &s.covered);
+            s.covered.extend(outcome.covered_edges.iter().copied());
+            // Initial seeds always join the corpus, new coverage or not.
+            let seed = self.admit_seed(sequence, &outcome, new_edges, &s.covered);
+            s.corpus.push(seed);
+            Self::snapshot_locked(&mut s, params);
+        }
+    }
+
+    /// Append a timeline point if the execution counter crossed a snapshot
+    /// boundary. Must be called with the state lock held.
+    fn snapshot_locked(s: &mut SharedCampaignState, params: &RunParams) {
+        if s.executions.is_multiple_of(params.snapshot_every) {
+            s.timeline.push(CoveragePoint {
+                executions: s.executions,
+                elapsed_ms: params.start.elapsed().as_millis() as u64,
+                covered_edges: s.covered.len(),
+                coverage: s.covered.len() as f64 / params.total_edges as f64,
+            });
+        }
+    }
+
+    /// The worker main loop: draw a seed batch from the global scheduler,
+    /// optionally probe its mutation mask, then generate and execute the
+    /// allotted mutants, merging feedback after every execution.
+    fn run_loop(&mut self, shared: &Mutex<SharedCampaignState>, params: &RunParams) {
+        loop {
+            // ---- draw a seed batch (global scheduling under the lock) ----
+            let (mut seed_snapshot, seed_index, energy, compute) = {
+                let mut s = shared.lock().expect("campaign state poisoned");
+                if self.budget_exhausted(s.executions, params.start) {
+                    return;
+                }
+                let seed_index = self.select_seed(&s.corpus);
+                s.corpus[seed_index].selections += 1;
+
+                // Energy allocation (Algorithm 3) against the global corpus.
+                let mean_weight =
+                    s.corpus.iter().map(|x| x.weight).sum::<f64>() / s.corpus.len() as f64;
+                let energy = allocate_energy(
+                    s.corpus[seed_index].weight,
+                    mean_weight,
+                    self.config.base_energy,
+                    self.config.enable_dynamic_energy,
+                );
+
+                // Mask computation (Algorithm 2), once per seed, only for
+                // seeds the paper considers worth masking: those hitting
+                // deeply nested branches or improving branch distance. The
+                // probe executions are real executions — they consume budget
+                // but also contribute coverage and can be admitted as seeds —
+                // so masking is deferred until a seed has proven interesting
+                // (selected more than once) and enough budget remains to
+                // amortise the probes.
+                let remaining = self.config.max_executions.saturating_sub(s.executions);
+                let seed = &mut s.corpus[seed_index];
+                let probe_cost_estimate =
+                    4 * MAX_MASK_WORDS * seed.sequence.len().clamp(1, MAX_MASK_TXS);
+                let compute = self.config.enable_mask_guidance
+                    && seed.masks.is_none()
+                    && !seed.masks_pending
+                    && seed.selections >= 2
+                    && remaining > 2 * probe_cost_estimate
+                    && (seed.hits_nested_branch || seed.best_distance.is_some());
+                if compute {
+                    // Claim the probe work so no other worker duplicates it.
+                    seed.masks_pending = true;
+                }
+                // Snapshot only the fields the unlocked batch reads; the
+                // covered-edges set (the potentially large part) is needed
+                // solely as the nested-branch baseline of a probe pass.
+                let snapshot = Seed {
+                    sequence: seed.sequence.clone(),
+                    covered_edges: if compute {
+                        seed.covered_edges.clone()
+                    } else {
+                        BTreeSet::new()
+                    },
+                    new_edges: seed.new_edges,
+                    hits_nested_branch: seed.hits_nested_branch,
+                    weight: seed.weight,
+                    best_distance: seed.best_distance,
+                    selections: seed.selections,
+                    masks: seed.masks.clone(),
+                    masks_pending: seed.masks_pending,
+                };
+                (snapshot, seed_index, energy, compute)
+            };
+
+            if compute {
+                let masks = self.compute_masks(&seed_snapshot, shared);
+                seed_snapshot.masks = Some(masks.clone());
+                let mut s = shared.lock().expect("campaign state poisoned");
+                s.corpus[seed_index].masks = Some(masks);
+            }
+
+            // ---- the mutate→execute→evaluate batch (executions unlocked) ----
+            for _ in 0..energy {
+                {
+                    let s = shared.lock().expect("campaign state poisoned");
+                    if self.budget_exhausted(s.executions, params.start) {
+                        return;
+                    }
+                }
+                let candidate = self.mutate_seed(&seed_snapshot);
+                let outcome = self.harness.execute_sequence(&candidate);
+                self.observe(&outcome);
+
+                let mut s = shared.lock().expect("campaign state poisoned");
+                s.executions += 1;
+                let new_edges = count_new_edges(&outcome, &s.covered);
+                s.covered.extend(outcome.covered_edges.iter().copied());
+                if new_edges > 0 {
+                    if s.interesting_shapes.len() < 16 {
+                        s.interesting_shapes.push(candidate.shape());
+                    }
+                    let seed = self.admit_seed(candidate, &outcome, new_edges, &s.covered);
+                    s.corpus.push(seed);
+                }
+                s.last_world = Some(outcome.final_world);
+                Self::snapshot_locked(&mut s, params);
+            }
+        }
+    }
+
     /// Algorithm 2: probe each (word, operator) site of every transaction in
     /// the seed; a site stays mutable only if mutating it keeps the nested
     /// branch covered or brings the input closer to an uncovered branch.
-    /// Returns the masks, the number of probe executions performed and any
-    /// probe inputs that discovered new coverage (they become seeds).
+    /// Probe executions merge into the shared state one by one (they consume
+    /// budget, contribute coverage and can be admitted as seeds) but, like
+    /// the sequential engine, the probe pass never stops mid-seed.
     fn compute_masks(
         &mut self,
         seed: &Seed,
-        covered: &mut BTreeSet<BranchEdge>,
-        monitor: &mut CampaignMonitor,
-    ) -> (Vec<MutationMask>, usize, Vec<Seed>) {
+        shared: &Mutex<SharedCampaignState>,
+    ) -> Vec<MutationMask> {
         let baseline_nested: BTreeSet<usize> = self.nested_branch_pcs(seed);
         let baseline_distance = seed.best_distance.unwrap_or(1.0);
         let mut masks = Vec::with_capacity(seed.sequence.len());
-        let mut probes = 0usize;
-        let mut discovered = Vec::new();
 
         for (tx_index, tx) in seed.sequence.txs.iter().enumerate() {
             if tx_index >= MAX_MASK_TXS {
@@ -498,22 +508,11 @@ impl Fuzzer {
             for word in 0..probed_words {
                 for op in MutationOp::ALL {
                     let probe_stream =
-                        apply_op(&tx.stream, op, word, &mut self.rng, &self.interesting);
+                        apply_op(&tx.stream, op, word, &mut self.rng, self.interesting);
                     let mut probe_seq = seed.sequence.clone();
                     probe_seq.txs[tx_index].stream = probe_stream;
                     let outcome = self.harness.execute_sequence(&probe_seq);
-                    probes += 1;
-                    self.observe(monitor, &outcome);
-                    let new_edges = Self::count_new_edges(&outcome, covered);
-                    covered.extend(outcome.covered_edges.iter().copied());
-                    if new_edges > 0 {
-                        discovered.push(self.admit_seed(
-                            probe_seq.clone(),
-                            &outcome,
-                            new_edges,
-                            covered,
-                        ));
-                    }
+                    self.observe(&outcome);
 
                     // Does the probe still hit the nested branches the seed hit?
                     let probe_nested: BTreeSet<usize> = outcome
@@ -530,10 +529,21 @@ impl Fuzzer {
                         .map(|b| b.pc)
                         .collect();
                     let keeps_nested = baseline_nested.is_subset(&probe_nested);
-                    // Or does it reduce the distance to an uncovered branch?
-                    let probe_distance = self
-                        .best_distance_to_uncovered(&outcome, covered)
-                        .unwrap_or(1.0);
+
+                    let probe_distance = {
+                        let mut s = shared.lock().expect("campaign state poisoned");
+                        s.executions += 1;
+                        let new_edges = count_new_edges(&outcome, &s.covered);
+                        s.covered.extend(outcome.covered_edges.iter().copied());
+                        if new_edges > 0 {
+                            let admitted =
+                                self.admit_seed(probe_seq.clone(), &outcome, new_edges, &s.covered);
+                            s.corpus.push(admitted);
+                        }
+                        // Or does it reduce the distance to an uncovered branch?
+                        self.best_distance_to_uncovered(&outcome, &s.covered)
+                            .unwrap_or(1.0)
+                    };
                     if keeps_nested || probe_distance < baseline_distance {
                         mask.allow(word, op);
                     }
@@ -546,22 +556,189 @@ impl Fuzzer {
             }
             masks.push(mask);
         }
-        (masks, probes, discovered)
+        masks
+    }
+}
+
+/// The MuFuzz fuzzer bound to one compiled contract.
+pub struct Fuzzer {
+    harness: ContractHarness,
+    config: FuzzerConfig,
+    cfg_graph: ControlFlowGraph,
+    generator: SequenceGenerator,
+    interesting: InterestingValues,
+    rng: SmallRng,
+}
+
+impl Fuzzer {
+    /// Set up a fuzzer: deploys the contract, runs the static analyses and
+    /// prepares the mutation value pool.
+    pub fn new(compiled: CompiledContract, config: FuzzerConfig) -> Result<Fuzzer, HarnessError> {
+        let cfg_graph = ControlFlowGraph::build(&compiled.runtime);
+        let flow = analyze_contract(&compiled.contract);
+        let mut plan = plan_sequence(&flow);
+        if !config.enable_sequence_repetition {
+            plan.mutated_order = plan.base_order.clone();
+            plan.repeat_candidates.clear();
+        }
+        let mut interesting = if config.harvest_constants {
+            InterestingValues::harvest(&compiled.runtime)
+        } else {
+            InterestingValues::defaults()
+        };
+        let harness = ContractHarness::new(compiled, &config)?;
+        for addr in harness.interesting_addresses() {
+            interesting.add(addr.to_u256());
+        }
+        let generator = SequenceGenerator::new(
+            &harness.compiled.abi,
+            plan,
+            config.enable_sequence_aware,
+            harness.senders.len(),
+        );
+        let rng = SmallRng::seed_from_u64(config.rng_seed);
+        Ok(Fuzzer {
+            harness,
+            config,
+            cfg_graph,
+            generator,
+            interesting,
+            rng,
+        })
     }
 
-    /// Program counters of the deeply nested branches a seed covers.
-    fn nested_branch_pcs(&self, seed: &Seed) -> BTreeSet<usize> {
-        seed.covered_edges
-            .iter()
-            .filter(|e| {
-                self.cfg_graph
-                    .branches
-                    .get(&e.pc)
-                    .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
-                    .unwrap_or(false)
-            })
-            .map(|e| e.pc)
-            .collect()
+    /// Access the underlying harness (used by integration tests and benches).
+    pub fn harness(&self) -> &ContractHarness {
+        &self.harness
+    }
+
+    /// Run the campaign to completion and produce a report.
+    pub fn run(&mut self) -> CampaignReport {
+        let start = Instant::now();
+        let total_edges = self.cfg_graph.total_branch_edges().max(1);
+        let snapshot_every =
+            (self.config.max_executions / self.config.timeline_points.max(1)).max(1);
+        let params = RunParams {
+            start,
+            snapshot_every,
+            total_edges,
+        };
+        let workers = self.config.workers.max(1);
+
+        let shared = Mutex::new(SharedCampaignState {
+            covered: BTreeSet::new(),
+            corpus: Vec::new(),
+            executions: 0,
+            timeline: Vec::new(),
+            interesting_shapes: Vec::new(),
+            last_world: None,
+        });
+
+        // Worker 0 runs on the calling thread and continues the campaign RNG,
+        // so single-worker runs replay the sequential engine exactly.
+        let mut worker0 = Worker {
+            config: &self.config,
+            cfg_graph: &self.cfg_graph,
+            generator: &self.generator,
+            interesting: &self.interesting,
+            harness: self.harness.clone(),
+            rng: self.rng.clone(),
+            monitor: CampaignMonitor::new(),
+        };
+
+        // ---- initial seeds (single-threaded prologue) ----
+        worker0.run_initial(&shared, &params);
+
+        if shared
+            .lock()
+            .expect("campaign state poisoned")
+            .corpus
+            .is_empty()
+        {
+            // Contract with no callable functions: report immediately.
+            let mut monitor = worker0.monitor;
+            self.rng = worker0.rng;
+            monitor.finalize(&self.harness.compiled, Some(self.harness.base_world()));
+            let s = shared.into_inner().expect("campaign state poisoned");
+            return CampaignReport {
+                contract: self.harness.compiled.name.clone(),
+                covered_edges: s.covered.len(),
+                total_edges,
+                coverage: s.covered.len() as f64 / total_edges as f64,
+                executions: s.executions,
+                findings: monitor.findings(),
+                timeline: s.timeline,
+                corpus_size: 0,
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                interesting_shapes: s.interesting_shapes,
+                workers,
+            };
+        }
+
+        // ---- main loop on the worker pool ----
+        let mut side_monitors: Vec<CampaignMonitor> = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|index| {
+                    let mut worker = Worker {
+                        config: &self.config,
+                        cfg_graph: &self.cfg_graph,
+                        generator: &self.generator,
+                        interesting: &self.interesting,
+                        harness: self.harness.clone(),
+                        rng: SmallRng::seed_from_u64(derive_worker_seed(
+                            self.config.rng_seed,
+                            index,
+                        )),
+                        monitor: CampaignMonitor::new(),
+                    };
+                    let shared = &shared;
+                    let params = &params;
+                    scope.spawn(move || {
+                        worker.run_loop(shared, params);
+                        worker.monitor
+                    })
+                })
+                .collect();
+            worker0.run_loop(&shared, &params);
+            for handle in handles {
+                side_monitors.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+
+        // Merge per-worker oracle observations in worker order.
+        let mut monitor = worker0.monitor;
+        self.rng = worker0.rng;
+        for side in side_monitors {
+            monitor.merge(side);
+        }
+
+        let s = shared.into_inner().expect("campaign state poisoned");
+        monitor.finalize(
+            &self.harness.compiled,
+            s.last_world.as_ref().or(Some(self.harness.base_world())),
+        );
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let mut timeline = s.timeline;
+        timeline.push(CoveragePoint {
+            executions: s.executions,
+            elapsed_ms,
+            covered_edges: s.covered.len(),
+            coverage: s.covered.len() as f64 / total_edges as f64,
+        });
+        CampaignReport {
+            contract: self.harness.compiled.name.clone(),
+            covered_edges: s.covered.len(),
+            total_edges,
+            coverage: s.covered.len() as f64 / total_edges as f64,
+            executions: s.executions,
+            findings: monitor.findings(),
+            timeline,
+            corpus_size: s.corpus.len(),
+            elapsed_ms,
+            interesting_shapes: s.interesting_shapes,
+            workers,
+        }
     }
 }
 
@@ -598,9 +775,11 @@ mod tests {
         }
     "#;
 
+    /// Run a campaign pinned to one worker: these tests assert seeded,
+    /// deterministic expectations.
     fn run_with(config: FuzzerConfig) -> CampaignReport {
         let compiled = compile_source(CROWDSALE).unwrap();
-        let mut fuzzer = Fuzzer::new(compiled, config).unwrap();
+        let mut fuzzer = Fuzzer::new(compiled, config.with_workers(1)).unwrap();
         fuzzer.run()
     }
 
@@ -617,6 +796,8 @@ mod tests {
             prev = point.covered_edges;
         }
         assert!(report.corpus_size >= 3);
+        assert_eq!(report.workers, 1);
+        assert!(report.execs_per_sec() > 0.0);
     }
 
     #[test]
@@ -626,6 +807,42 @@ mod tests {
         assert_eq!(a.covered_edges, b.covered_edges);
         assert_eq!(a.corpus_size, b.corpus_size);
         assert_eq!(a.detected_classes(), b.detected_classes());
+        assert_eq!(a.timeline.len(), b.timeline.len());
+        assert_eq!(a.interesting_shapes, b.interesting_shapes);
+    }
+
+    #[test]
+    fn parallel_campaign_covers_and_reports() {
+        let compiled = compile_source(CROWDSALE).unwrap();
+        let mut fuzzer = Fuzzer::new(
+            compiled,
+            FuzzerConfig::mufuzz(400).with_rng_seed(5).with_workers(4),
+        )
+        .unwrap();
+        let report = fuzzer.run();
+        assert_eq!(report.workers, 4);
+        assert!(report.executions >= 400);
+        assert!(report.covered_edges > 0);
+        assert!(report.corpus_size >= 3);
+        let mut prev = 0;
+        for point in &report.timeline {
+            assert!(
+                point.covered_edges >= prev,
+                "parallel timeline not monotone"
+            );
+            prev = point.covered_edges;
+        }
+    }
+
+    #[test]
+    fn worker_seed_streams_are_decorrelated() {
+        let s1 = derive_worker_seed(0x5EED, 1);
+        let s2 = derive_worker_seed(0x5EED, 2);
+        let other = derive_worker_seed(0x5EEE, 1);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, other);
+        // Deterministic: the same campaign seed derives the same streams.
+        assert_eq!(s1, derive_worker_seed(0x5EED, 1));
     }
 
     #[test]
@@ -687,7 +904,11 @@ mod tests {
             }
         "#;
         let compiled = compile_source(src).unwrap();
-        let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(600).with_rng_seed(5)).unwrap();
+        let mut fuzzer = Fuzzer::new(
+            compiled,
+            FuzzerConfig::mufuzz(600).with_rng_seed(5).with_workers(1),
+        )
+        .unwrap();
         let report = fuzzer.run();
         assert!(
             report.detected_classes().contains(&BugClass::Reentrancy),

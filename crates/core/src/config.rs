@@ -8,8 +8,16 @@
 /// (§IV-C).
 #[derive(Clone, Debug)]
 pub struct FuzzerConfig {
-    /// RNG seed: campaigns are fully deterministic for a given seed.
+    /// RNG seed: campaigns are fully deterministic for a given seed when
+    /// `workers == 1`.
     pub rng_seed: u64,
+    /// Number of worker threads running the mutate→execute→evaluate loop.
+    /// Defaults to the machine's available parallelism. With `workers == 1`
+    /// the campaign is bit-for-bit identical to the historical
+    /// single-threaded engine for a given `rng_seed`; with more workers the
+    /// merge order of results depends on thread scheduling, so campaigns are
+    /// no longer deterministic.
+    pub workers: usize,
     /// Maximum number of transaction-sequence executions.
     pub max_executions: usize,
     /// Optional wall-clock budget in milliseconds (whichever of the two
@@ -57,6 +65,7 @@ impl Default for FuzzerConfig {
     fn default() -> Self {
         FuzzerConfig {
             rng_seed: 0x5EED,
+            workers: default_workers(),
             max_executions: 2_000,
             time_budget_ms: None,
             enable_sequence_aware: true,
@@ -120,6 +129,21 @@ impl FuzzerConfig {
         self.time_budget_ms = Some(ms);
         self
     }
+
+    /// Set the number of worker threads (builder style). Clamped to at
+    /// least one; `workers == 1` keeps campaigns deterministic.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// The default worker count: the machine's available parallelism (1 when it
+/// cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -149,9 +173,18 @@ mod tests {
     fn builders_chain() {
         let cfg = FuzzerConfig::mufuzz(500)
             .with_rng_seed(42)
-            .with_time_budget_ms(1_000);
+            .with_time_budget_ms(1_000)
+            .with_workers(4);
         assert_eq!(cfg.max_executions, 500);
         assert_eq!(cfg.rng_seed, 42);
         assert_eq!(cfg.time_budget_ms, Some(1_000));
+        assert_eq!(cfg.workers, 4);
+    }
+
+    #[test]
+    fn worker_count_defaults_to_parallelism_and_clamps_to_one() {
+        assert_eq!(FuzzerConfig::default().workers, default_workers());
+        assert!(default_workers() >= 1);
+        assert_eq!(FuzzerConfig::mufuzz(10).with_workers(0).workers, 1);
     }
 }

@@ -164,6 +164,9 @@ pub struct Seed {
     pub selections: usize,
     /// Lazily computed mutation masks, one per transaction (Algorithm 2).
     pub masks: Option<Vec<MutationMask>>,
+    /// Set while a worker is probing this seed's masks so concurrent workers
+    /// do not duplicate the (expensive) probe executions.
+    pub masks_pending: bool,
 }
 
 impl Seed {
@@ -178,6 +181,7 @@ impl Seed {
             best_distance: None,
             selections: 0,
             masks: None,
+            masks_pending: false,
         }
     }
 }

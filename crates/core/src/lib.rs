@@ -18,6 +18,10 @@
 //! Bugs are reported through the nine trace-based oracles of
 //! [`mufuzz_oracles`].
 //!
+//! Campaigns run on a pool of [`FuzzerConfig::workers`] threads sharing one
+//! corpus, coverage map and energy scheduler (see [`campaign`]); with
+//! `workers == 1` they are fully deterministic for a given `rng_seed`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -50,7 +54,7 @@ pub mod mutation;
 pub mod seedgen;
 
 pub use campaign::{CampaignReport, CoveragePoint, Fuzzer};
-pub use config::FuzzerConfig;
+pub use config::{default_workers, FuzzerConfig};
 pub use executor::{ContractHarness, HarnessError, SequenceOutcome};
 pub use input::{Seed, Sequence, TxInput};
 pub use mutation::{InterestingValues, MutationMask, MutationOp};

@@ -350,31 +350,32 @@ impl<'w> Evm<'w> {
                     push!(if op == Opcode::Div { q } else { r }, ta | tb);
                 }
                 Opcode::Sdiv | Opcode::Smod => {
-                    // Signed variants are approximated by their unsigned
-                    // counterparts; the compiler only emits unsigned division.
                     let (a, ta) = pop!();
                     let (b, tb) = pop!();
-                    let (q, r) = a.div_rem(b);
+                    let (q, r) = a.signed_div_rem(b);
                     push!(if op == Opcode::Sdiv { q } else { r }, ta | tb);
                 }
                 Opcode::AddMod => {
                     let (a, ta) = pop!();
                     let (b, tb) = pop!();
                     let (n, tn) = pop!();
-                    let sum = a.wrapping_add(b);
-                    push!(sum.div_rem(n).1, ta | tb | tn);
+                    push!(a.add_mod(b, n), ta | tb | tn);
                 }
                 Opcode::MulMod => {
                     let (a, ta) = pop!();
                     let (b, tb) = pop!();
                     let (n, tn) = pop!();
-                    let prod = a.wrapping_mul(b);
-                    push!(prod.div_rem(n).1, ta | tb | tn);
+                    push!(a.mul_mod(b, n), ta | tb | tn);
                 }
                 Opcode::SignExtend => {
-                    let (_b, tb) = pop!();
+                    let (b, tb) = pop!();
                     let (x, tx) = pop!();
-                    push!(x, tb | tx);
+                    // Byte indices >= 31 (or beyond usize) leave x unchanged.
+                    let extended = match b.to_usize() {
+                        Some(i) => x.sign_extend(i),
+                        None => x,
+                    };
+                    push!(extended, tb | tx);
                 }
                 Opcode::Lt | Opcode::Gt | Opcode::Slt | Opcode::Sgt | Opcode::Eq => {
                     let (a, ta) = pop!();

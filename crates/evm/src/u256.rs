@@ -206,9 +206,10 @@ impl U256 {
         }
     }
 
-    /// Multiplication returning the low 256 bits and an overflow flag.
-    pub fn overflowing_mul(self, rhs: U256) -> (U256, bool) {
-        // Schoolbook multiplication with u128 partial products.
+    /// Full 512-bit product as eight little-endian 64-bit limbs.
+    fn full_mul_limbs(self, rhs: U256) -> [u64; 8] {
+        // Schoolbook multiplication with u128 partial products; the 512-bit
+        // result is exact, so no limb ever wraps.
         let mut prod = [0u64; 8];
         for i in 0..4 {
             let mut carry: u128 = 0;
@@ -217,8 +218,14 @@ impl U256 {
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            prod[i + 4] = prod[i + 4].wrapping_add(carry as u64);
+            prod[i + 4] = carry as u64;
         }
+        prod
+    }
+
+    /// Multiplication returning the low 256 bits and an overflow flag.
+    pub fn overflowing_mul(self, rhs: U256) -> (U256, bool) {
+        let prod = self.full_mul_limbs(rhs);
         let overflow = prod[4] != 0 || prod[5] != 0 || prod[6] != 0 || prod[7] != 0;
         (U256([prod[0], prod[1], prod[2], prod[3]]), overflow)
     }
@@ -262,6 +269,98 @@ impl U256 {
             }
         }
         (quotient, remainder)
+    }
+
+    /// Two's-complement negation, wrapping at 2^256 (`-MIN == MIN`).
+    pub fn wrapping_neg(self) -> U256 {
+        U256::ZERO.wrapping_sub(self)
+    }
+
+    /// Signed quotient and remainder in two's complement (EVM `SDIV`/`SMOD`).
+    ///
+    /// Division by zero yields `(0, 0)`. The quotient truncates toward zero,
+    /// the remainder takes the sign of the dividend, and `MIN / -1` wraps
+    /// back to `MIN` (the EVM-mandated two's-complement overflow case).
+    pub fn signed_div_rem(self, rhs: U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        let neg_a = self.is_negative_signed();
+        let neg_b = rhs.is_negative_signed();
+        let abs_a = if neg_a { self.wrapping_neg() } else { self };
+        let abs_b = if neg_b { rhs.wrapping_neg() } else { rhs };
+        // MIN / -1 needs no special case: |MIN| wraps to MIN, MIN / 1 = MIN,
+        // and negating the quotient wraps back to MIN.
+        let (q, r) = abs_a.div_rem(abs_b);
+        let q = if neg_a != neg_b { q.wrapping_neg() } else { q };
+        let r = if neg_a { r.wrapping_neg() } else { r };
+        (q, r)
+    }
+
+    /// EVM `SIGNEXTEND`: extend the two's-complement sign bit of the byte at
+    /// `byte_index` (0 = least significant) through all higher bits.
+    /// Indices >= 31 leave the value unchanged.
+    pub fn sign_extend(self, byte_index: usize) -> U256 {
+        if byte_index >= 31 {
+            return self;
+        }
+        let sign_bit = byte_index * 8 + 7;
+        let low_mask = U256::ONE
+            .shl_bits(sign_bit as u32 + 1)
+            .wrapping_sub(U256::ONE);
+        if self.bit(sign_bit) {
+            self | !low_mask
+        } else {
+            self & low_mask
+        }
+    }
+
+    /// Reduce a little-endian wide limb value modulo `m` by binary long
+    /// division. `m` must be non-zero.
+    fn reduce_limbs(limbs: &[u64], m: U256) -> U256 {
+        let top = limbs
+            .iter()
+            .rposition(|&l| l != 0)
+            .map(|i| i * 64 + 64 - limbs[i].leading_zeros() as usize)
+            .unwrap_or(0);
+        let mut r = U256::ZERO;
+        for i in (0..top).rev() {
+            // r < m before the shift, so the true value 2r + bit fits in 257
+            // bits and needs at most one subtraction of m; `carry` tracks the
+            // bit shifted past 2^256.
+            let carry = r.bit(255);
+            r = r.shl_bits(1);
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                r.0[0] |= 1;
+            }
+            if carry || r >= m {
+                r = r.wrapping_sub(m);
+            }
+        }
+        r
+    }
+
+    /// EVM `ADDMOD`: `(self + rhs) % m` over the unbounded 257-bit sum.
+    /// A zero modulus yields zero.
+    pub fn add_mod(self, rhs: U256, m: U256) -> U256 {
+        if m.is_zero() {
+            return U256::ZERO;
+        }
+        let (sum, carry) = self.overflowing_add(rhs);
+        if !carry {
+            return sum.div_rem(m).1;
+        }
+        let limbs = [sum.0[0], sum.0[1], sum.0[2], sum.0[3], 1];
+        Self::reduce_limbs(&limbs, m)
+    }
+
+    /// EVM `MULMOD`: `(self * rhs) % m` over the unbounded 512-bit product.
+    /// A zero modulus yields zero.
+    pub fn mul_mod(self, rhs: U256, m: U256) -> U256 {
+        if m.is_zero() {
+            return U256::ZERO;
+        }
+        Self::reduce_limbs(&self.full_mul_limbs(rhs), m)
     }
 
     fn set_bit(mut self, i: usize) -> U256 {
@@ -670,6 +769,102 @@ mod tests {
     fn hex_display() {
         assert_eq!(u(255).to_hex_string(), "0xff");
         assert_eq!(U256::ZERO.to_hex_string(), "0x0");
+    }
+
+    /// Two's-complement encoding of a small signed integer.
+    fn s(v: i64) -> U256 {
+        if v < 0 {
+            u(v.unsigned_abs()).wrapping_neg()
+        } else {
+            u(v as u64)
+        }
+    }
+
+    /// The most negative signed 256-bit value, -2^255.
+    fn min_signed() -> U256 {
+        U256::ONE.shl_bits(255)
+    }
+
+    #[test]
+    fn wrapping_neg_roundtrip() {
+        assert_eq!(u(5).wrapping_neg().wrapping_neg(), u(5));
+        assert_eq!(U256::ZERO.wrapping_neg(), U256::ZERO);
+        assert_eq!(U256::ONE.wrapping_neg(), U256::MAX); // -1
+        assert_eq!(min_signed().wrapping_neg(), min_signed()); // -MIN == MIN
+    }
+
+    #[test]
+    fn signed_div_rem_sign_combinations() {
+        // Quotient truncates toward zero; remainder takes the dividend sign.
+        assert_eq!(s(7).signed_div_rem(s(2)), (s(3), s(1)));
+        assert_eq!(s(-7).signed_div_rem(s(2)), (s(-3), s(-1)));
+        assert_eq!(s(7).signed_div_rem(s(-2)), (s(-3), s(1)));
+        assert_eq!(s(-7).signed_div_rem(s(-2)), (s(3), s(-1)));
+        assert_eq!(s(-8).signed_div_rem(s(3)).1, s(-2));
+        assert_eq!(s(8).signed_div_rem(s(-3)).1, s(2));
+    }
+
+    #[test]
+    fn signed_div_rem_edge_cases() {
+        // Division by zero yields (0, 0) like the EVM.
+        assert_eq!(s(-5).signed_div_rem(U256::ZERO), (U256::ZERO, U256::ZERO));
+        // MIN / -1 wraps back to MIN with remainder 0.
+        assert_eq!(min_signed().signed_div_rem(s(-1)), (min_signed(), s(0)));
+        // MIN / 1 and MIN / MIN are well defined.
+        assert_eq!(min_signed().signed_div_rem(s(1)), (min_signed(), s(0)));
+        assert_eq!(min_signed().signed_div_rem(min_signed()), (s(1), s(0)));
+    }
+
+    #[test]
+    fn sign_extend_matches_evm_vectors() {
+        // Positive byte: high bits cleared.
+        assert_eq!(u(0x7f).sign_extend(0), u(0x7f));
+        assert_eq!(u(0x1234).sign_extend(0), u(0x34));
+        // Negative byte: high bits set.
+        assert_eq!(u(0xff).sign_extend(0), U256::MAX);
+        assert_eq!(u(0xff7f).sign_extend(1), U256::MAX - u(0x80));
+        // Index >= 31 leaves the value unchanged.
+        assert_eq!(U256::MAX.sign_extend(31), U256::MAX);
+        assert_eq!(u(0xff).sign_extend(200), u(0xff));
+        // Index 30: sign bit is bit 247.
+        let v = U256::ONE.shl_bits(247);
+        assert_eq!(
+            v.sign_extend(30),
+            v | !(v.shl_bits(1).wrapping_sub(U256::ONE))
+        );
+    }
+
+    #[test]
+    fn add_mod_with_overflowing_intermediate() {
+        assert_eq!(u(10).add_mod(u(10), u(8)), u(4));
+        assert_eq!(u(10).add_mod(u(10), U256::ZERO), U256::ZERO);
+        // (2^256 - 1) + 1 == 2^256, and 2^256 mod (2^256 - 1) == 1.
+        assert_eq!(U256::MAX.add_mod(U256::ONE, U256::MAX), U256::ONE);
+        // MAX + MAX == 2 * (2^256 - 1), divisible by MAX.
+        assert_eq!(U256::MAX.add_mod(U256::MAX, U256::MAX), U256::ZERO);
+        // Wrapped arithmetic would compute (MAX + MAX) mod 5 as (2^256 - 2) mod 5
+        // = 4; the true sum is 2^257 - 2 ≡ 2 - 2 ≡ 0 (mod 5) since 2^256 ≡ 1.
+        let m = u(5);
+        let wrapped = U256::MAX.wrapping_add(U256::MAX).div_rem(m).1;
+        assert_eq!(wrapped, u(4));
+        assert_eq!(U256::MAX.add_mod(U256::MAX, m), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_mod_with_overflowing_intermediate() {
+        assert_eq!(u(7).mul_mod(u(6), u(5)), u(2));
+        assert_eq!(u(7).mul_mod(u(6), U256::ZERO), U256::ZERO);
+        // 2^255 * 2 == 2^256, and 2^256 mod (2^256 - 1) == 1.
+        assert_eq!(U256::ONE.shl_bits(255).mul_mod(u(2), U256::MAX), U256::ONE);
+        // MAX * MAX == (2^256 - 1)^2, divisible by MAX.
+        assert_eq!(U256::MAX.mul_mod(U256::MAX, U256::MAX), U256::ZERO);
+        // (2^256 - 1)^2 mod 2^256 is 1, but mod (2^256 - 2) it is again 1:
+        // (m + 1)^2 = m^2 + 2m + 1 with m = 2^256 - 2... check via reference:
+        // MAX = m + 1 where m = MAX - 1, so MAX^2 mod m = (1)^2 = 1.
+        assert_eq!(
+            U256::MAX.mul_mod(U256::MAX, U256::MAX - U256::ONE),
+            U256::ONE
+        );
     }
 
     #[test]

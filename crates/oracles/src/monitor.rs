@@ -292,6 +292,23 @@ impl CampaignMonitor {
         }
     }
 
+    /// Merge another monitor's observations into this one.
+    ///
+    /// Used by the parallel campaign engine: every worker observes traces
+    /// into a thread-local monitor and the per-worker monitors are merged
+    /// (in worker order) before [`CampaignMonitor::finalize`]. Findings
+    /// deduplicate by `(class, function)` exactly as sequential observation
+    /// does, invocation counts add up, and the held-balance flag ors.
+    pub fn merge(&mut self, other: CampaignMonitor) {
+        for (key, finding) in other.findings {
+            self.findings.entry(key).or_insert(finding);
+        }
+        for (name, count) in other.call_value_invocations {
+            *self.call_value_invocations.entry(name).or_insert(0) += count;
+        }
+        self.held_balance |= other.held_balance;
+    }
+
     /// All deduplicated findings so far.
     pub fn findings(&self) -> Vec<BugFinding> {
         self.findings.values().cloned().collect()
@@ -605,6 +622,41 @@ mod tests {
         );
         ok.call("lock", &[], ether(1));
         assert!(!ok.classes().contains(&BugClass::EtherFreezing));
+    }
+
+    #[test]
+    fn merged_monitors_deduplicate_and_accumulate() {
+        let src = r#"contract Bank {
+            mapping(address => uint256) balances;
+            function deposit() public payable { balances[msg.sender] += msg.value; }
+            function withdraw() public {
+                if (balances[msg.sender] > 0) {
+                    msg.sender.call.value(balances[msg.sender])();
+                    balances[msg.sender] = 0;
+                }
+            }
+        }"#;
+        // Two "workers" each observe one deposit+withdraw round; neither sees
+        // the repeated call.value invocation on its own.
+        let mut a = Rig::new(src);
+        a.call("deposit", &[], ether(1));
+        a.call("withdraw", &[], U256::ZERO);
+        let mut b = Rig::new(src);
+        b.call("deposit", &[], ether(1));
+        b.call("withdraw", &[], U256::ZERO);
+
+        let compiled = a.compiled.clone();
+        let mut merged = a.monitor;
+        merged.merge(b.monitor);
+        merged.finalize(&compiled, None);
+        // The weak repeated-invocation reentrancy signal only fires once the
+        // per-worker invocation counts are summed.
+        assert!(merged.detected_classes().contains(&BugClass::Reentrancy));
+
+        // Merging the same findings twice does not duplicate them.
+        let before = merged.len();
+        merged.merge(CampaignMonitor::new());
+        assert_eq!(merged.len(), before);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
         execs
     );
 
-    let result = overall_coverage(&small.contracts, &large.contracts, execs, 3);
+    let result = overall_coverage(&small.contracts, &large.contracts, execs, 3, 1);
     println!(
         "{:<12} {:>14} {:>14}",
         "tool", "small coverage", "large coverage"

@@ -50,19 +50,31 @@ fn main() {
         compiled.abi.functions.len()
     );
 
-    // 2. Fuzz with the full MuFuzz configuration for 1,000 sequence executions.
-    let config = FuzzerConfig::mufuzz(1_000).with_rng_seed(42);
+    // 2. Fuzz with the full MuFuzz configuration for 1,000 sequence
+    //    executions. The campaign runs on `workers` threads (default: the
+    //    machine's available parallelism; `MUFUZZ_WORKERS` overrides it —
+    //    pin it to 1 for a deterministic run).
+    let mut config = FuzzerConfig::mufuzz(1_000).with_rng_seed(42);
+    if let Some(workers) = std::env::var("MUFUZZ_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config = config.with_workers(workers);
+    }
     let mut fuzzer = Fuzzer::new(compiled, config).expect("deployment should succeed");
     let report = fuzzer.run();
 
     // 3. Inspect the results.
     println!(
-        "coverage: {:.1}% ({} of {} branch edges) after {} executions in {} ms",
+        "coverage: {:.1}% ({} of {} branch edges) after {} executions in {} ms \
+         ({:.0} execs/sec on {} worker(s))",
         report.coverage_percent(),
         report.covered_edges,
         report.total_edges,
         report.executions,
-        report.elapsed_ms
+        report.elapsed_ms,
+        report.execs_per_sec(),
+        report.workers
     );
     println!("corpus size: {} seeds", report.corpus_size);
     if report.findings.is_empty() {

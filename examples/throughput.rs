@@ -1,0 +1,90 @@
+//! Throughput comparison of the parallel campaign engine: fuzz the
+//! quickstart PiggyBank contract with 1 worker and with N workers and report
+//! execs/sec for both.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example throughput            # N = available parallelism
+//! MUFUZZ_WORKERS=4 cargo run --release --example throughput
+//! ```
+
+use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
+use mufuzz_lang::compile_source;
+
+const SOURCE: &str = r#"
+contract PiggyBank {
+    address owner;
+    uint256 total;
+    mapping(address => uint256) deposits;
+
+    constructor() public { owner = msg.sender; }
+
+    function deposit() public payable {
+        require(msg.value > 0);
+        deposits[msg.sender] += msg.value;
+        total += msg.value;
+    }
+
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        deposits[msg.sender] -= amount;
+        total -= amount;
+        msg.sender.transfer(amount);
+    }
+
+    function smash() public {
+        if (total > 10 ether) {
+            bug();
+            selfdestruct(msg.sender);
+        }
+    }
+}
+"#;
+
+fn campaign(workers: usize, executions: usize) -> CampaignReport {
+    let compiled = compile_source(SOURCE).expect("contract should compile");
+    let config = FuzzerConfig::mufuzz(executions)
+        .with_rng_seed(42)
+        .with_workers(workers);
+    Fuzzer::new(compiled, config)
+        .expect("deployment should succeed")
+        .run()
+}
+
+fn main() {
+    let executions = std::env::var("MUFUZZ_EXECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let workers = std::env::var("MUFUZZ_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mufuzz::default_workers);
+
+    // Warm-up run so page faults and lazy allocations do not skew the
+    // single-worker number.
+    campaign(1, executions / 10);
+
+    let single = campaign(1, executions);
+    println!(
+        "workers=1: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
+        single.executions,
+        single.elapsed_ms,
+        single.execs_per_sec(),
+        single.coverage_percent()
+    );
+
+    let parallel = campaign(workers, executions);
+    println!(
+        "workers={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
+        parallel.workers,
+        parallel.executions,
+        parallel.elapsed_ms,
+        parallel.execs_per_sec(),
+        parallel.coverage_percent()
+    );
+    println!(
+        "speedup: {:.2}x",
+        parallel.execs_per_sec() / single.execs_per_sec()
+    );
+}

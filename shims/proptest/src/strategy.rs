@@ -147,7 +147,7 @@ macro_rules! impl_arbitrary_int {
         }
     )*};
 }
-impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool);
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, bool);
 
 /// The strategy returned by [`any`].
 pub struct Any<T>(PhantomData<T>);

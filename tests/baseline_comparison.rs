@@ -39,9 +39,10 @@ fn disabling_sequence_awareness_never_helps_on_the_crowdsale() {
         let compiled = compile_source(&source).unwrap();
         Fuzzer::new(compiled, config).unwrap().run().covered_edges
     };
-    let full = run(FuzzerConfig::mufuzz(400).with_rng_seed(19));
+    let full = run(FuzzerConfig::mufuzz(400).with_rng_seed(19).with_workers(1));
     let ablated = run(FuzzerConfig::mufuzz(400)
         .with_rng_seed(19)
+        .with_workers(1)
         .without_sequence_aware());
     assert!(full >= ablated, "full {full} < ablated {ablated}");
 }
@@ -75,9 +76,10 @@ fn mask_guidance_helps_satisfy_the_game_contracts_strict_guard() {
         let compiled = compile_source(&source).unwrap();
         Fuzzer::new(compiled, config).unwrap().run().covered_edges
     };
-    let with_mask = run(FuzzerConfig::mufuzz(300).with_rng_seed(29));
+    let with_mask = run(FuzzerConfig::mufuzz(300).with_rng_seed(29).with_workers(1));
     let without_mask = run(FuzzerConfig::mufuzz(300)
         .with_rng_seed(29)
+        .with_workers(1)
         .without_mask_guidance());
     assert!(
         with_mask >= without_mask,

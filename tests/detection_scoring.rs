@@ -25,7 +25,7 @@ fn mini_d2() -> Dataset {
 #[test]
 fn mufuzz_scores_more_true_positives_than_unsupporting_static_tools() {
     let dataset = mini_d2();
-    let result = bug_detection(&dataset, 350, 3);
+    let result = bug_detection(&dataset, 350, 3, 1);
     let tp_of = |name: &str| {
         result
             .rows
@@ -73,7 +73,7 @@ fn unsupported_classes_never_appear_in_a_tools_findings() {
 #[test]
 fn real_world_study_keeps_false_positive_rate_low() {
     let dataset = d3(6);
-    let result = real_world(&dataset, 250, 5);
+    let result = real_world(&dataset, 250, 5, 1);
     assert_eq!(result.total_contracts, 6);
     assert!(result.average_coverage > 0.25);
     // The reproduction should preserve the paper's headline: most alarms are

@@ -13,8 +13,13 @@ fn detected_classes(
     seed: u64,
 ) -> std::collections::BTreeSet<BugClass> {
     let compiled = compile_source(source).unwrap();
-    let mut fuzzer =
-        Fuzzer::new(compiled, FuzzerConfig::mufuzz(budget).with_rng_seed(seed)).unwrap();
+    let mut fuzzer = Fuzzer::new(
+        compiled,
+        FuzzerConfig::mufuzz(budget)
+            .with_rng_seed(seed)
+            .with_workers(1),
+    )
+    .unwrap();
     fuzzer.run().detected_classes()
 }
 
@@ -22,7 +27,11 @@ fn detected_classes(
 fn every_handwritten_contract_survives_a_short_campaign() {
     for contract in all_handwritten() {
         let compiled = compile_source(&contract.source).unwrap();
-        let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(80).with_rng_seed(1)).unwrap();
+        let mut fuzzer = Fuzzer::new(
+            compiled,
+            FuzzerConfig::mufuzz(80).with_rng_seed(1).with_workers(1),
+        )
+        .unwrap();
         let report = fuzzer.run();
         assert!(
             report.covered_edges > 0,
@@ -48,7 +57,11 @@ fn timestamp_lottery_detected_as_block_dependency() {
 #[test]
 fn delegatecall_proxy_detected_only_for_the_unguarded_function() {
     let compiled = compile_source(&contracts::delegatecall_proxy().source).unwrap();
-    let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(400).with_rng_seed(3)).unwrap();
+    let mut fuzzer = Fuzzer::new(
+        compiled,
+        FuzzerConfig::mufuzz(400).with_rng_seed(3).with_workers(1),
+    )
+    .unwrap();
     let report = fuzzer.run();
     let ud: Vec<_> = report
         .findings

@@ -81,7 +81,11 @@ fn planned_sequence_reaches_the_guarded_bug_while_single_invest_does_not() {
 #[test]
 fn mufuzz_campaign_covers_more_than_half_of_the_crowdsale_branches_quickly() {
     let compiled = compile_source(&contracts::crowdsale().source).unwrap();
-    let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(500).with_rng_seed(2)).unwrap();
+    let mut fuzzer = Fuzzer::new(
+        compiled,
+        FuzzerConfig::mufuzz(500).with_rng_seed(2).with_workers(1),
+    )
+    .unwrap();
     let report = fuzzer.run();
     assert!(
         report.coverage > 0.6,

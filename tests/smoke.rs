@@ -31,9 +31,18 @@ fn bounded_campaign_exercises_the_whole_pipeline() {
     );
 
     // A small, seeded campaign: deploy + mutate + execute + oracle checks.
-    let config = FuzzerConfig::mufuzz(200).with_rng_seed(7);
+    // `MUFUZZ_WORKERS` lets CI exercise the concurrent engine (a dedicated
+    // job runs this test with 4 workers); the default stays deterministic.
+    let workers = std::env::var("MUFUZZ_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let config = FuzzerConfig::mufuzz(200)
+        .with_rng_seed(7)
+        .with_workers(workers);
     let mut fuzzer = Fuzzer::new(compiled, config).expect("deployment should succeed");
     let report = fuzzer.run();
+    assert_eq!(report.workers, workers.max(1));
 
     assert!(report.executions > 0, "campaign executed no sequences");
     assert!(
