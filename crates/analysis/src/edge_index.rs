@@ -1,0 +1,207 @@
+//! Dense numbering of CFG branch edges.
+//!
+//! The campaign engine tracks branch coverage in a fixed-size atomic bitmap
+//! (see `mufuzz::coverage`), which needs every possible branch edge of the
+//! contract under test to have a small, stable integer id. [`EdgeIndex`]
+//! assigns those ids at harness build time from the [`ControlFlowGraph`]:
+//! the `JUMPI` sites are enumerated in ascending program-counter order and
+//! each site contributes two consecutive ids — `2 * rank` for the
+//! fall-through edge and `2 * rank + 1` for the taken edge.
+//!
+//! Because the numbering is a pure function of the bytecode, two harnesses
+//! built from the same compiled contract always agree on every id, which is
+//! what lets per-worker execution results be merged without translating
+//! edges through a shared dictionary.
+
+use crate::cfg::ControlFlowGraph;
+use mufuzz_evm::{Address, BranchEdge};
+use std::collections::HashMap;
+
+/// A stable, dense `u32` numbering of the branch edges of one contract.
+///
+/// Ids are dense in `0..len()`, so a bitmap of `len()` bits can represent any
+/// subset of the contract's branch edges.
+///
+/// ```
+/// use mufuzz_analysis::{ControlFlowGraph, EdgeIndex};
+/// use mufuzz_evm::Address;
+/// use mufuzz_lang::compile_source;
+///
+/// let compiled = compile_source(
+///     "contract C { uint256 x; function f(uint256 v) public { if (v > 3) { x = v; } } }",
+/// )
+/// .unwrap();
+/// let cfg = ControlFlowGraph::build(&compiled.runtime);
+/// let index = EdgeIndex::build(&cfg, Address::from_low_u64(0xC0DE));
+///
+/// // Two ids per conditional branch, dense in 0..len().
+/// assert_eq!(index.len(), cfg.total_branch_edges());
+/// let edge = index.edge_of(0).unwrap();
+/// assert_eq!(index.id_of(&edge), Some(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    code_address: Address,
+    /// `JUMPI` pc → branch rank (position in ascending pc order).
+    ranks: HashMap<usize, u32>,
+    /// Dense id → edge, in id order.
+    edges: Vec<BranchEdge>,
+}
+
+impl EdgeIndex {
+    /// Number the branch edges of `cfg`, attributing them to the contract
+    /// deployed at `code_address`.
+    pub fn build(cfg: &ControlFlowGraph, code_address: Address) -> EdgeIndex {
+        let mut ranks = HashMap::with_capacity(cfg.branches.len());
+        let mut edges = Vec::with_capacity(cfg.branches.len() * 2);
+        for (rank, pc) in cfg.branches.keys().enumerate() {
+            ranks.insert(*pc, rank as u32);
+            for taken in [false, true] {
+                edges.push(BranchEdge {
+                    code_address,
+                    pc: *pc,
+                    taken,
+                });
+            }
+        }
+        EdgeIndex {
+            code_address,
+            ranks,
+            edges,
+        }
+    }
+
+    /// The dense id of `edge`, or `None` when the edge does not belong to the
+    /// indexed contract (wrong address, or a pc that is not a `JUMPI` site).
+    pub fn id_of(&self, edge: &BranchEdge) -> Option<u32> {
+        if edge.code_address != self.code_address {
+            return None;
+        }
+        self.ranks
+            .get(&edge.pc)
+            .map(|rank| rank * 2 + u32::from(edge.taken))
+    }
+
+    /// The edge behind a dense id (inverse of [`EdgeIndex::id_of`]).
+    pub fn edge_of(&self, id: u32) -> Option<BranchEdge> {
+        self.edges.get(id as usize).copied()
+    }
+
+    /// Total number of branch edges (two per `JUMPI`); ids are `0..len()`.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the contract has no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The contract address the index attributes edges to.
+    pub fn code_address(&self) -> Address {
+        self.code_address
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_lang::compile_source;
+
+    const SOURCE: &str = r#"
+        contract C {
+            uint256 total;
+            function pay(uint256 v) public payable {
+                if (v < 10) {
+                    if (v % 2 == 0) { total += v; }
+                }
+            }
+            function check() public { if (total > 5) { bug(); } }
+        }
+    "#;
+
+    fn index() -> (ControlFlowGraph, EdgeIndex) {
+        let compiled = compile_source(SOURCE).unwrap();
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        let idx = EdgeIndex::build(&cfg, Address::from_low_u64(0xC0DE));
+        (cfg, idx)
+    }
+
+    #[test]
+    fn ids_are_dense_and_cover_every_edge() {
+        let (cfg, idx) = index();
+        assert_eq!(idx.len(), cfg.total_branch_edges());
+        assert!(!idx.is_empty());
+        // Every (pc, taken) pair maps to a distinct id in range, and the
+        // mapping round-trips.
+        let mut seen = vec![false; idx.len()];
+        for pc in cfg.branches.keys() {
+            for taken in [false, true] {
+                let edge = BranchEdge {
+                    code_address: idx.code_address(),
+                    pc: *pc,
+                    taken,
+                };
+                let id = idx.id_of(&edge).unwrap();
+                assert!((id as usize) < idx.len());
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+                assert_eq!(idx.edge_of(id), Some(edge));
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn sibling_edges_share_a_branch_slot() {
+        let (cfg, idx) = index();
+        for pc in cfg.branches.keys() {
+            let mk = |taken| BranchEdge {
+                code_address: idx.code_address(),
+                pc: *pc,
+                taken,
+            };
+            let fall = idx.id_of(&mk(false)).unwrap();
+            let taken = idx.id_of(&mk(true)).unwrap();
+            assert_eq!(taken, fall + 1);
+            assert_eq!(fall % 2, 0);
+        }
+    }
+
+    #[test]
+    fn numbering_is_stable_across_builds() {
+        let (cfg, idx) = index();
+        let again = EdgeIndex::build(&cfg, idx.code_address());
+        for id in 0..idx.len() as u32 {
+            assert_eq!(idx.edge_of(id), again.edge_of(id));
+        }
+    }
+
+    #[test]
+    fn foreign_edges_have_no_id() {
+        let (cfg, idx) = index();
+        let pc = *cfg.branches.keys().next().unwrap();
+        let foreign = BranchEdge {
+            code_address: Address::from_low_u64(0xBEEF),
+            pc,
+            taken: true,
+        };
+        assert_eq!(idx.id_of(&foreign), None);
+        let unknown_pc = BranchEdge {
+            code_address: idx.code_address(),
+            pc: usize::MAX,
+            taken: false,
+        };
+        assert_eq!(idx.id_of(&unknown_pc), None);
+        assert_eq!(idx.edge_of(u32::MAX), None);
+    }
+
+    #[test]
+    fn branchless_code_yields_an_empty_index() {
+        let cfg = ControlFlowGraph::build(&[]);
+        let idx = EdgeIndex::build(&cfg, Address::from_low_u64(1));
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.edge_of(0), None);
+    }
+}

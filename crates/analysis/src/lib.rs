@@ -7,9 +7,13 @@
 //!   mutation, paper §IV-A),
 //! * [`depgraph`] — the write-before-read function dependency graph and the
 //!   [`SequencePlan`] (base ordering + repetition candidates),
-//! * [`cfg`] — a bytecode control-flow graph with branch enumeration, static
+//! * [`cfg`](mod@cfg) — a bytecode control-flow graph with branch
+//!   enumeration, static
 //!   nesting depth and vulnerable-instruction reachability (feeds the
 //!   mask-guided mutation and the dynamic energy adjustment, §IV-B/C),
+//! * [`edge_index`] — a dense, stable `u32` numbering of the CFG's branch
+//!   edges, the basis of the campaign engine's lock-free atomic coverage
+//!   bitmap,
 //! * [`distance`] — sFuzz-style branch-distance feedback extracted from
 //!   execution traces (§IV-B).
 //!
@@ -38,8 +42,10 @@ pub mod cfg;
 pub mod dataflow;
 pub mod depgraph;
 pub mod distance;
+pub mod edge_index;
 
 pub use cfg::{BasicBlock, BranchSite, ControlFlowGraph};
 pub use dataflow::{analyze_contract, analyze_function, DataFlowInfo, FunctionAccess};
 pub use depgraph::{plan_sequence, DependencyGraph, SequencePlan};
 pub use distance::{normalize, DistanceMap};
+pub use edge_index::EdgeIndex;

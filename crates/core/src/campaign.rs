@@ -10,13 +10,25 @@
 //! # Parallel engine
 //!
 //! The mutate→execute→evaluate inner loop runs on `FuzzerConfig::workers`
-//! threads. All scheduling state — the corpus, the global coverage map, the
-//! execution budget and the timeline — lives in a [`SharedCampaignState`]
-//! behind a single mutex; workers hold the lock only to draw a seed batch
-//! (so energy allocation keeps the global Algorithm 3 semantics) and to
-//! merge results, while the expensive sequence executions run unlocked
-//! against thread-local [`ContractHarness`] clones. Bug oracles observe into
-//! thread-local [`CampaignMonitor`]s that are merged before finalisation.
+//! threads. The shared campaign state is split by contention profile (the
+//! full locking model is documented in `docs/ARCHITECTURE.md`):
+//!
+//! * **Coverage** lives in a lock-free [`CoverageMap`] — an atomic bitmap
+//!   over the dense edge ids assigned by the harness's
+//!   [`mufuzz_analysis::EdgeIndex`]. Workers merge every execution's edges
+//!   with `fetch_or` word updates and never touch the state mutex for it.
+//! * **The execution budget** is an atomic reservation counter: a worker
+//!   reserves a slot *before* executing, so a campaign can never overshoot
+//!   `max_executions`, at any worker count.
+//! * **Scheduling state** — the corpus, the timeline and the diagnostic
+//!   shape log — stays in a `SharedCampaignState` behind one mutex, held
+//!   only to draw a seed batch (so energy allocation keeps the global
+//!   Algorithm 3 semantics), to admit new seeds (and periodically cull
+//!   dominated ones), and to append timeline points.
+//!
+//! Sequence executions run unlocked against thread-local
+//! [`ContractHarness`] clones, and bug oracles observe into thread-local
+//! [`CampaignMonitor`]s that are merged before finalisation.
 //!
 //! Worker 0 runs on the calling thread and inherits the campaign RNG, and
 //! every merge happens at the same point of the per-mutant cycle as in the
@@ -25,19 +37,21 @@
 //! workers draw decorrelated `SmallRng` streams derived from `rng_seed`.
 
 use crate::config::FuzzerConfig;
+use crate::coverage::CoverageMap;
 use crate::energy::{allocate_energy, seed_weight};
 use crate::executor::{ContractHarness, HarnessError, SequenceOutcome};
 use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
 use crate::seedgen::SequenceGenerator;
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
-use mufuzz_evm::{BranchEdge, WorldState};
+use mufuzz_evm::WorldState;
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugFinding, CampaignMonitor};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
@@ -72,6 +86,23 @@ pub struct CoveragePoint {
 }
 
 /// The result of a fuzzing campaign on one contract.
+///
+/// ```
+/// use mufuzz::{Fuzzer, FuzzerConfig};
+/// use mufuzz_lang::compile_source;
+///
+/// let compiled = compile_source(
+///     "contract Toggle { uint256 on; function flip() public { if (on == 0) { on = 1; } else { on = 0; } } }",
+/// )
+/// .unwrap();
+/// let report = Fuzzer::new(compiled, FuzzerConfig::mufuzz(60).with_workers(1))
+///     .unwrap()
+///     .run();
+/// assert_eq!(report.executions, 60); // the budget is exact
+/// assert!(report.covered_edges <= report.total_edges);
+/// assert!(report.coverage_percent() <= 100.0);
+/// assert!(report.execs_per_sec() > 0.0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct CampaignReport {
     /// Contract name.
@@ -90,6 +121,9 @@ pub struct CampaignReport {
     pub timeline: Vec<CoveragePoint>,
     /// Number of seeds in the final corpus.
     pub corpus_size: usize,
+    /// Number of dominated seeds dropped by corpus culling (zero unless
+    /// [`FuzzerConfig::corpus_cull_interval`] is set).
+    pub culled_seeds: usize,
     /// Wall-clock duration of the campaign.
     pub elapsed_ms: u64,
     /// Example sequence shapes that contributed new coverage (diagnostics).
@@ -115,19 +149,114 @@ impl CampaignReport {
     }
 }
 
-/// Campaign state shared by every worker, guarded by one mutex.
+/// Scheduling state shared by every worker, guarded by one mutex.
 ///
-/// Everything feedback-related lives here so that seed selection and energy
-/// allocation always see the *global* campaign picture (Algorithm 3 stays a
-/// single scheduler even with many workers). Workers only hold the lock for
-/// the cheap bookkeeping around each execution.
+/// Seed selection and energy allocation read the *global* corpus here, so
+/// Algorithm 3 stays a single scheduler even with many workers. Coverage and
+/// the execution budget deliberately live *outside* this struct (see
+/// [`CampaignShared`]): they are merged/reserved with atomics so the mutex
+/// only serialises corpus admissions, culling and timeline appends.
 struct SharedCampaignState {
-    covered: BTreeSet<BranchEdge>,
     corpus: Vec<Seed>,
-    executions: usize,
     timeline: Vec<CoveragePoint>,
     interesting_shapes: Vec<String>,
-    last_world: Option<WorldState>,
+    /// Next seed uid to hand out at admission.
+    next_uid: u64,
+    /// Corpus admissions since the last culling pass.
+    admitted_since_cull: usize,
+    /// Total dominated seeds dropped so far.
+    culled: usize,
+}
+
+impl SharedCampaignState {
+    /// Add a seed to the corpus, assigning its stable uid.
+    fn admit(&mut self, mut seed: Seed) {
+        seed.uid = self.next_uid;
+        self.next_uid += 1;
+        self.corpus.push(seed);
+        self.admitted_since_cull += 1;
+    }
+
+    /// Periodic corpus culling: when enabled and due, drop every seed that
+    /// is dominated by a kept seed (covered edges a subset, branch-distance
+    /// score no better — see [`Seed::is_dominated_by`]). Seeds with a mask
+    /// probe in flight are exempt so the probe investment is not wasted.
+    /// Runs under the state lock; the corpus is small (tens of seeds), so the
+    /// quadratic scan is cheap next to a single sequence execution.
+    fn maybe_cull(&mut self, interval: Option<usize>) {
+        let Some(every) = interval else { return };
+        if self.admitted_since_cull < every || self.corpus.len() < 2 {
+            return;
+        }
+        self.admitted_since_cull = 0;
+        let n = self.corpus.len();
+        let mut dropped = vec![false; n];
+        for i in 0..n {
+            if self.corpus[i].masks_pending && self.corpus[i].masks.is_none() {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || dropped[j] {
+                    continue;
+                }
+                if self.corpus[i].is_dominated_by(&self.corpus[j]) {
+                    dropped[i] = true;
+                    break;
+                }
+            }
+        }
+        let mut keep = dropped.iter().map(|d| !d);
+        let before = self.corpus.len();
+        self.corpus.retain(|_| keep.next().unwrap());
+        self.culled += before - self.corpus.len();
+    }
+}
+
+/// Everything the workers share, split by contention profile: the atomic
+/// coverage bitmap and budget counter (merged/reserved lock-free on every
+/// execution) and the mutex-guarded scheduling state (touched only for seed
+/// draws, admissions and timeline points).
+struct CampaignShared {
+    state: Mutex<SharedCampaignState>,
+    coverage: CoverageMap,
+    /// Execution slots handed out. A worker reserves a slot *before* every
+    /// execution and always performs the execution after a successful
+    /// reservation, so this counter equals the number of executions
+    /// performed and can never exceed `max_executions`.
+    reserved: AtomicUsize,
+}
+
+impl CampaignShared {
+    /// Reserve one execution slot against the budget. Returns the 1-based
+    /// slot number (the value the execution counter reaches with this
+    /// execution), or `None` when the budget is exhausted.
+    fn try_reserve(&self, max_executions: usize) -> Option<usize> {
+        self.reserved
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < max_executions).then_some(n + 1)
+            })
+            .ok()
+            .map(|previous| previous + 1)
+    }
+
+    /// Executions performed (equivalently: slots reserved) so far.
+    fn executions(&self) -> usize {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// Merge an execution's coverage into the atomic bitmap and return the
+    /// number of globally new edges. Lock-free on the expected path; only
+    /// edges the index cannot number (none in practice) detour through the
+    /// overflow set.
+    fn merge_coverage(&self, outcome: &SequenceOutcome, harness: &ContractHarness) -> usize {
+        let mut new_edges = self.coverage.merge_ids(&outcome.covered_edge_ids);
+        if outcome.covered_edge_ids.len() != outcome.covered_edges.len() {
+            new_edges += self
+                .coverage
+                .merge_unindexed(&outcome.covered_edges, harness.edge_index());
+        }
+        new_edges
+    }
 }
 
 /// Immutable per-campaign parameters shared by all workers.
@@ -148,14 +277,6 @@ fn derive_worker_seed(rng_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-fn count_new_edges(outcome: &SequenceOutcome, covered: &BTreeSet<BranchEdge>) -> usize {
-    outcome
-        .covered_edges
-        .iter()
-        .filter(|e| !covered.contains(e))
-        .count()
-}
-
 /// One campaign worker: thread-local harness, RNG and bug monitor plus
 /// references to the immutable campaign context.
 struct Worker<'a> {
@@ -166,19 +287,16 @@ struct Worker<'a> {
     harness: ContractHarness,
     rng: SmallRng,
     monitor: CampaignMonitor,
+    /// Final world of the last mutant this worker executed (feeds the
+    /// campaign-level oracles at finalisation).
+    last_world: Option<WorldState>,
 }
 
 impl Worker<'_> {
-    fn budget_exhausted(&self, executions: usize, start: Instant) -> bool {
-        if executions >= self.config.max_executions {
-            return true;
-        }
-        if let Some(ms) = self.config.time_budget_ms {
-            if start.elapsed().as_millis() as u64 >= ms {
-                return true;
-            }
-        }
-        false
+    fn time_exhausted(&self, start: Instant) -> bool {
+        self.config
+            .time_budget_ms
+            .is_some_and(|ms| start.elapsed().as_millis() as u64 >= ms)
     }
 
     /// Record a sequence outcome in the thread-local bug monitor.
@@ -190,16 +308,17 @@ impl Worker<'_> {
             .observe_world(outcome.final_world.balance(self.harness.contract_address));
     }
 
-    /// Build seed metadata from an execution outcome.
+    /// Build seed metadata from an execution outcome. `coverage` must
+    /// already include the outcome's own edges (merge first, then admit).
     fn admit_seed(
         &self,
         sequence: Sequence,
         outcome: &SequenceOutcome,
         new_edges: usize,
-        covered: &BTreeSet<BranchEdge>,
+        coverage: &CoverageMap,
     ) -> Seed {
         let mut seed = Seed::new(sequence);
-        seed.covered_edges = outcome.covered_edges.clone();
+        seed.covered_edge_ids = outcome.covered_edge_ids.clone();
         seed.new_edges = new_edges;
         seed.weight = seed_weight(&outcome.traces, self.cfg_graph);
         seed.hits_nested_branch = outcome.traces.iter().any(|t| {
@@ -211,25 +330,27 @@ impl Worker<'_> {
                     .unwrap_or(false)
             })
         });
-        seed.best_distance = self.best_distance_to_uncovered(outcome, covered);
+        seed.best_distance = self.best_distance_to_uncovered(outcome, coverage);
         seed
     }
 
     /// Smallest normalised distance from this outcome to any branch edge that
-    /// is still uncovered globally (branch-distance feedback, §IV-B).
+    /// is still uncovered globally (branch-distance feedback, §IV-B). Reads
+    /// the atomic coverage bitmap, so no lock is required.
     fn best_distance_to_uncovered(
         &self,
         outcome: &SequenceOutcome,
-        covered: &BTreeSet<BranchEdge>,
+        coverage: &CoverageMap,
     ) -> Option<f64> {
         if !self.config.enable_branch_distance {
             return None;
         }
+        let index = self.harness.edge_index();
         let mut best: Option<f64> = None;
         for trace in &outcome.traces {
             let map = DistanceMap::from_trace(trace);
             for (edge, d) in &map.distances {
-                if covered.contains(edge) {
+                if coverage.contains_edge(edge, index) {
                     continue;
                 }
                 best = Some(match best {
@@ -318,8 +439,10 @@ impl Worker<'_> {
 
     /// Program counters of the deeply nested branches a seed covers.
     fn nested_branch_pcs(&self, seed: &Seed) -> BTreeSet<usize> {
-        seed.covered_edges
+        let index = self.harness.edge_index();
+        seed.covered_edge_ids
             .iter()
+            .filter_map(|id| index.edge_of(*id))
             .filter(|e| {
                 self.cfg_graph
                     .branches
@@ -333,7 +456,7 @@ impl Worker<'_> {
 
     /// Execute the initial plan-derived corpus (runs on the calling thread
     /// before the worker pool starts).
-    fn run_initial(&mut self, shared: &Mutex<SharedCampaignState>, params: &RunParams) {
+    fn run_initial(&mut self, shared: &CampaignShared, params: &RunParams) {
         let initial = self.generator.initial_sequences(
             &self.harness.compiled.abi,
             self.config.initial_seeds,
@@ -341,34 +464,41 @@ impl Worker<'_> {
             self.interesting,
         );
         for sequence in initial {
-            {
-                let s = shared.lock().expect("campaign state poisoned");
-                if self.budget_exhausted(s.executions, params.start) {
-                    break;
-                }
+            if self.time_exhausted(params.start) {
+                break;
             }
+            let Some(slot) = shared.try_reserve(self.config.max_executions) else {
+                break;
+            };
             let outcome = self.harness.execute_sequence(&sequence);
             self.observe(&outcome);
-            let mut s = shared.lock().expect("campaign state poisoned");
-            s.executions += 1;
-            let new_edges = count_new_edges(&outcome, &s.covered);
-            s.covered.extend(outcome.covered_edges.iter().copied());
-            // Initial seeds always join the corpus, new coverage or not.
-            let seed = self.admit_seed(sequence, &outcome, new_edges, &s.covered);
-            s.corpus.push(seed);
-            Self::snapshot_locked(&mut s, params);
+            let new_edges = shared.merge_coverage(&outcome, &self.harness);
+            // Initial seeds always join the corpus, new coverage or not, and
+            // are never subject to culling here (the corpus is still being
+            // seeded).
+            let seed = self.admit_seed(sequence, &outcome, new_edges, &shared.coverage);
+            let mut s = shared.state.lock().expect("campaign state poisoned");
+            s.admit(seed);
+            Self::snapshot_locked(&mut s, shared, params, slot);
         }
     }
 
-    /// Append a timeline point if the execution counter crossed a snapshot
-    /// boundary. Must be called with the state lock held.
-    fn snapshot_locked(s: &mut SharedCampaignState, params: &RunParams) {
-        if s.executions.is_multiple_of(params.snapshot_every) {
+    /// Append a timeline point if the reserved execution slot sits on a
+    /// snapshot boundary. Must be called with the state lock held, after the
+    /// slot's coverage has been merged.
+    fn snapshot_locked(
+        s: &mut SharedCampaignState,
+        shared: &CampaignShared,
+        params: &RunParams,
+        slot: usize,
+    ) {
+        if slot.is_multiple_of(params.snapshot_every) {
+            let covered = shared.coverage.covered_count();
             s.timeline.push(CoveragePoint {
-                executions: s.executions,
+                executions: slot,
                 elapsed_ms: params.start.elapsed().as_millis() as u64,
-                covered_edges: s.covered.len(),
-                coverage: s.covered.len() as f64 / params.total_edges as f64,
+                covered_edges: covered,
+                coverage: covered as f64 / params.total_edges as f64,
             });
         }
     }
@@ -376,14 +506,16 @@ impl Worker<'_> {
     /// The worker main loop: draw a seed batch from the global scheduler,
     /// optionally probe its mutation mask, then generate and execute the
     /// allotted mutants, merging feedback after every execution.
-    fn run_loop(&mut self, shared: &Mutex<SharedCampaignState>, params: &RunParams) {
+    fn run_loop(&mut self, shared: &CampaignShared, params: &RunParams) {
         loop {
             // ---- draw a seed batch (global scheduling under the lock) ----
-            let (mut seed_snapshot, seed_index, energy, compute) = {
-                let mut s = shared.lock().expect("campaign state poisoned");
-                if self.budget_exhausted(s.executions, params.start) {
-                    return;
-                }
+            if shared.executions() >= self.config.max_executions
+                || self.time_exhausted(params.start)
+            {
+                return;
+            }
+            let (mut seed_snapshot, seed_uid, energy, compute) = {
+                let mut s = shared.state.lock().expect("campaign state poisoned");
                 let seed_index = self.select_seed(&s.corpus);
                 s.corpus[seed_index].selections += 1;
 
@@ -405,7 +537,10 @@ impl Worker<'_> {
                 // so masking is deferred until a seed has proven interesting
                 // (selected more than once) and enough budget remains to
                 // amortise the probes.
-                let remaining = self.config.max_executions.saturating_sub(s.executions);
+                let remaining = self
+                    .config
+                    .max_executions
+                    .saturating_sub(shared.executions());
                 let seed = &mut s.corpus[seed_index];
                 let probe_cost_estimate =
                     4 * MAX_MASK_WORDS * seed.sequence.len().clamp(1, MAX_MASK_TXS);
@@ -420,14 +555,15 @@ impl Worker<'_> {
                     seed.masks_pending = true;
                 }
                 // Snapshot only the fields the unlocked batch reads; the
-                // covered-edges set (the potentially large part) is needed
+                // covered-edges list (the potentially large part) is needed
                 // solely as the nested-branch baseline of a probe pass.
                 let snapshot = Seed {
+                    uid: seed.uid,
                     sequence: seed.sequence.clone(),
-                    covered_edges: if compute {
-                        seed.covered_edges.clone()
+                    covered_edge_ids: if compute {
+                        seed.covered_edge_ids.clone()
                     } else {
-                        BTreeSet::new()
+                        Vec::new()
                     },
                     new_edges: seed.new_edges,
                     hits_nested_branch: seed.hits_nested_branch,
@@ -437,41 +573,52 @@ impl Worker<'_> {
                     masks: seed.masks.clone(),
                     masks_pending: seed.masks_pending,
                 };
-                (snapshot, seed_index, energy, compute)
+                (snapshot, seed.uid, energy, compute)
             };
 
             if compute {
                 let masks = self.compute_masks(&seed_snapshot, shared);
                 seed_snapshot.masks = Some(masks.clone());
-                let mut s = shared.lock().expect("campaign state poisoned");
-                s.corpus[seed_index].masks = Some(masks);
+                let mut s = shared.state.lock().expect("campaign state poisoned");
+                // Look the seed up by uid, not index: culling may have
+                // reshuffled (or dropped) it while the probes ran.
+                if let Some(seed) = s.corpus.iter_mut().find(|x| x.uid == seed_uid) {
+                    seed.masks = Some(masks);
+                }
             }
 
             // ---- the mutate→execute→evaluate batch (executions unlocked) ----
             for _ in 0..energy {
-                {
-                    let s = shared.lock().expect("campaign state poisoned");
-                    if self.budget_exhausted(s.executions, params.start) {
-                        return;
-                    }
+                if self.time_exhausted(params.start) {
+                    return;
                 }
+                // Exact budget: reserve the slot before mutating/executing;
+                // a successful reservation is always followed by exactly one
+                // execution, so the campaign can never overshoot.
+                let Some(slot) = shared.try_reserve(self.config.max_executions) else {
+                    return;
+                };
                 let candidate = self.mutate_seed(&seed_snapshot);
                 let outcome = self.harness.execute_sequence(&candidate);
                 self.observe(&outcome);
 
-                let mut s = shared.lock().expect("campaign state poisoned");
-                s.executions += 1;
-                let new_edges = count_new_edges(&outcome, &s.covered);
-                s.covered.extend(outcome.covered_edges.iter().copied());
+                // Coverage merge: atomic bitmap only, no state lock.
+                let new_edges = shared.merge_coverage(&outcome, &self.harness);
                 if new_edges > 0 {
+                    let shape = candidate.shape();
+                    let seed = self.admit_seed(candidate, &outcome, new_edges, &shared.coverage);
+                    let mut s = shared.state.lock().expect("campaign state poisoned");
                     if s.interesting_shapes.len() < 16 {
-                        s.interesting_shapes.push(candidate.shape());
+                        s.interesting_shapes.push(shape);
                     }
-                    let seed = self.admit_seed(candidate, &outcome, new_edges, &s.covered);
-                    s.corpus.push(seed);
+                    s.admit(seed);
+                    s.maybe_cull(self.config.corpus_cull_interval);
                 }
-                s.last_world = Some(outcome.final_world);
-                Self::snapshot_locked(&mut s, params);
+                self.last_world = Some(outcome.final_world);
+                if slot.is_multiple_of(params.snapshot_every) {
+                    let mut s = shared.state.lock().expect("campaign state poisoned");
+                    Self::snapshot_locked(&mut s, shared, params, slot);
+                }
             }
         }
     }
@@ -479,14 +626,13 @@ impl Worker<'_> {
     /// Algorithm 2: probe each (word, operator) site of every transaction in
     /// the seed; a site stays mutable only if mutating it keeps the nested
     /// branch covered or brings the input closer to an uncovered branch.
-    /// Probe executions merge into the shared state one by one (they consume
-    /// budget, contribute coverage and can be admitted as seeds) but, like
-    /// the sequential engine, the probe pass never stops mid-seed.
-    fn compute_masks(
-        &mut self,
-        seed: &Seed,
-        shared: &Mutex<SharedCampaignState>,
-    ) -> Vec<MutationMask> {
+    /// Probe executions are real executions: each reserves a budget slot,
+    /// merges its coverage and can be admitted as a seed. Under the exact
+    /// budget, a probe that cannot reserve a slot is skipped and its site is
+    /// left mutable (the safe default); with one worker this cannot happen —
+    /// the scheduling gate only starts a pass when more than twice its
+    /// worst-case cost remains in the budget.
+    fn compute_masks(&mut self, seed: &Seed, shared: &CampaignShared) -> Vec<MutationMask> {
         let baseline_nested: BTreeSet<usize> = self.nested_branch_pcs(seed);
         let baseline_distance = seed.best_distance.unwrap_or(1.0);
         let mut masks = Vec::with_capacity(seed.sequence.len());
@@ -507,6 +653,13 @@ impl Worker<'_> {
             }
             for word in 0..probed_words {
                 for op in MutationOp::ALL {
+                    if shared.try_reserve(self.config.max_executions).is_none() {
+                        // Budget exhausted mid-pass (only possible with
+                        // concurrent workers draining it): leave the
+                        // unprobed site mutable.
+                        mask.allow(word, op);
+                        continue;
+                    }
                     let probe_stream =
                         apply_op(&tx.stream, op, word, &mut self.rng, self.interesting);
                     let mut probe_seq = seed.sequence.clone();
@@ -530,20 +683,24 @@ impl Worker<'_> {
                         .collect();
                     let keeps_nested = baseline_nested.is_subset(&probe_nested);
 
-                    let probe_distance = {
-                        let mut s = shared.lock().expect("campaign state poisoned");
-                        s.executions += 1;
-                        let new_edges = count_new_edges(&outcome, &s.covered);
-                        s.covered.extend(outcome.covered_edges.iter().copied());
-                        if new_edges > 0 {
-                            let admitted =
-                                self.admit_seed(probe_seq.clone(), &outcome, new_edges, &s.covered);
-                            s.corpus.push(admitted);
-                        }
-                        // Or does it reduce the distance to an uncovered branch?
-                        self.best_distance_to_uncovered(&outcome, &s.covered)
-                            .unwrap_or(1.0)
-                    };
+                    // Merge the probe's coverage (atomic bitmap, no lock) and
+                    // admit it as a seed when it found new edges.
+                    let new_edges = shared.merge_coverage(&outcome, &self.harness);
+                    if new_edges > 0 {
+                        let admitted = self.admit_seed(
+                            probe_seq.clone(),
+                            &outcome,
+                            new_edges,
+                            &shared.coverage,
+                        );
+                        let mut s = shared.state.lock().expect("campaign state poisoned");
+                        s.admit(admitted);
+                        s.maybe_cull(self.config.corpus_cull_interval);
+                    }
+                    // Or does it reduce the distance to an uncovered branch?
+                    let probe_distance = self
+                        .best_distance_to_uncovered(&outcome, &shared.coverage)
+                        .unwrap_or(1.0);
                     if keeps_nested || probe_distance < baseline_distance {
                         mask.allow(word, op);
                     }
@@ -586,7 +743,7 @@ impl Fuzzer {
         } else {
             InterestingValues::defaults()
         };
-        let harness = ContractHarness::new(compiled, &config)?;
+        let harness = ContractHarness::with_cfg(compiled, &config, &cfg_graph)?;
         for addr in harness.interesting_addresses() {
             interesting.add(addr.to_u256());
         }
@@ -613,6 +770,12 @@ impl Fuzzer {
     }
 
     /// Run the campaign to completion and produce a report.
+    ///
+    /// The report upholds the exact-budget invariant
+    /// `report.executions <= config.max_executions` at any worker count:
+    /// execution slots are reserved atomically before each execution, so the
+    /// campaign stops at the budget instead of overshooting by in-flight
+    /// mutants (asserted before returning).
     pub fn run(&mut self) -> CampaignReport {
         let start = Instant::now();
         let total_edges = self.cfg_graph.total_branch_edges().max(1);
@@ -625,14 +788,18 @@ impl Fuzzer {
         };
         let workers = self.config.workers.max(1);
 
-        let shared = Mutex::new(SharedCampaignState {
-            covered: BTreeSet::new(),
-            corpus: Vec::new(),
-            executions: 0,
-            timeline: Vec::new(),
-            interesting_shapes: Vec::new(),
-            last_world: None,
-        });
+        let shared = CampaignShared {
+            state: Mutex::new(SharedCampaignState {
+                corpus: Vec::new(),
+                timeline: Vec::new(),
+                interesting_shapes: Vec::new(),
+                next_uid: 0,
+                admitted_since_cull: 0,
+                culled: 0,
+            }),
+            coverage: CoverageMap::new(self.harness.edge_index().len()),
+            reserved: AtomicUsize::new(0),
+        };
 
         // Worker 0 runs on the calling thread and continues the campaign RNG,
         // so single-worker runs replay the sequential engine exactly.
@@ -644,12 +811,14 @@ impl Fuzzer {
             harness: self.harness.clone(),
             rng: self.rng.clone(),
             monitor: CampaignMonitor::new(),
+            last_world: None,
         };
 
         // ---- initial seeds (single-threaded prologue) ----
         worker0.run_initial(&shared, &params);
 
         if shared
+            .state
             .lock()
             .expect("campaign state poisoned")
             .corpus
@@ -659,24 +828,11 @@ impl Fuzzer {
             let mut monitor = worker0.monitor;
             self.rng = worker0.rng;
             monitor.finalize(&self.harness.compiled, Some(self.harness.base_world()));
-            let s = shared.into_inner().expect("campaign state poisoned");
-            return CampaignReport {
-                contract: self.harness.compiled.name.clone(),
-                covered_edges: s.covered.len(),
-                total_edges,
-                coverage: s.covered.len() as f64 / total_edges as f64,
-                executions: s.executions,
-                findings: monitor.findings(),
-                timeline: s.timeline,
-                corpus_size: 0,
-                elapsed_ms: start.elapsed().as_millis() as u64,
-                interesting_shapes: s.interesting_shapes,
-                workers,
-            };
+            return self.build_report(shared, monitor, start, total_edges, workers, true);
         }
 
         // ---- main loop on the worker pool ----
-        let mut side_monitors: Vec<CampaignMonitor> = Vec::new();
+        let mut side_results: Vec<(CampaignMonitor, Option<WorldState>)> = Vec::new();
         thread::scope(|scope| {
             let handles: Vec<_> = (1..workers)
                 .map(|index| {
@@ -691,50 +847,103 @@ impl Fuzzer {
                             index,
                         )),
                         monitor: CampaignMonitor::new(),
+                        last_world: None,
                     };
                     let shared = &shared;
                     let params = &params;
                     scope.spawn(move || {
                         worker.run_loop(shared, params);
-                        worker.monitor
+                        (worker.monitor, worker.last_world)
                     })
                 })
                 .collect();
             worker0.run_loop(&shared, &params);
             for handle in handles {
-                side_monitors.push(handle.join().expect("worker thread panicked"));
+                side_results.push(handle.join().expect("worker thread panicked"));
             }
         });
 
-        // Merge per-worker oracle observations in worker order.
+        // Merge per-worker oracle observations in worker order, and keep the
+        // freshest world for the campaign-level oracles: worker 0's last
+        // mutant (the only worker with `workers == 1`, preserving the
+        // sequential engine's choice), else any side worker's.
         let mut monitor = worker0.monitor;
         self.rng = worker0.rng;
-        for side in side_monitors {
-            monitor.merge(side);
+        let mut last_world = worker0.last_world;
+        for (side_monitor, side_world) in side_results {
+            monitor.merge(side_monitor);
+            if last_world.is_none() {
+                last_world = side_world;
+            }
         }
-
-        let s = shared.into_inner().expect("campaign state poisoned");
         monitor.finalize(
             &self.harness.compiled,
-            s.last_world.as_ref().or(Some(self.harness.base_world())),
+            last_world.as_ref().or(Some(self.harness.base_world())),
         );
+        self.build_report(shared, monitor, start, total_edges, workers, false)
+    }
+
+    /// Assemble the final report from the shared campaign state, enforcing
+    /// the exact-budget invariant.
+    fn build_report(
+        &self,
+        shared: CampaignShared,
+        monitor: CampaignMonitor,
+        start: Instant,
+        total_edges: usize,
+        workers: usize,
+        empty_corpus: bool,
+    ) -> CampaignReport {
+        let CampaignShared {
+            state,
+            coverage,
+            reserved,
+        } = shared;
+        let s = state.into_inner().expect("campaign state poisoned");
+        let executions = reserved.into_inner();
+        assert!(
+            executions <= self.config.max_executions,
+            "budget overshoot: {executions} executions for a budget of {}",
+            self.config.max_executions
+        );
+        let covered = coverage.covered_count();
         let elapsed_ms = start.elapsed().as_millis() as u64;
         let mut timeline = s.timeline;
-        timeline.push(CoveragePoint {
-            executions: s.executions,
-            elapsed_ms,
-            covered_edges: s.covered.len(),
-            coverage: s.covered.len() as f64 / total_edges as f64,
-        });
+        if !empty_corpus {
+            timeline.push(CoveragePoint {
+                executions,
+                elapsed_ms,
+                covered_edges: covered,
+                coverage: covered as f64 / total_edges as f64,
+            });
+        }
+        // Concurrent workers append snapshot points in lock-acquisition
+        // order, which can trail the slot order (a worker may stall between
+        // reserving its slot and appending its point, and the late append
+        // reads the then-current covered count). Restore the sequential
+        // engine's contract — execution-ordered points with monotone
+        // coverage — by sorting on the slot and carrying the running
+        // maximum forward; both passes are no-ops for `workers == 1`.
+        timeline.sort_by_key(|point| point.executions);
+        let mut running_max = 0usize;
+        for point in &mut timeline {
+            if point.covered_edges < running_max {
+                point.covered_edges = running_max;
+                point.coverage = running_max as f64 / total_edges as f64;
+            } else {
+                running_max = point.covered_edges;
+            }
+        }
         CampaignReport {
             contract: self.harness.compiled.name.clone(),
-            covered_edges: s.covered.len(),
+            covered_edges: covered,
             total_edges,
-            coverage: s.covered.len() as f64 / total_edges as f64,
-            executions: s.executions,
+            coverage: covered as f64 / total_edges as f64,
+            executions,
             findings: monitor.findings(),
             timeline,
             corpus_size: s.corpus.len(),
+            culled_seeds: s.culled,
             elapsed_ms,
             interesting_shapes: s.interesting_shapes,
             workers,
@@ -821,16 +1030,22 @@ mod tests {
         .unwrap();
         let report = fuzzer.run();
         assert_eq!(report.workers, 4);
-        assert!(report.executions >= 400);
+        assert_eq!(report.executions, 400);
         assert!(report.covered_edges > 0);
         assert!(report.corpus_size >= 3);
-        let mut prev = 0;
+        let mut prev_covered = 0;
+        let mut prev_executions = 0;
         for point in &report.timeline {
             assert!(
-                point.covered_edges >= prev,
-                "parallel timeline not monotone"
+                point.covered_edges >= prev_covered,
+                "parallel timeline coverage not monotone"
             );
-            prev = point.covered_edges;
+            assert!(
+                point.executions >= prev_executions,
+                "parallel timeline not execution-ordered"
+            );
+            prev_covered = point.covered_edges;
+            prev_executions = point.executions;
         }
     }
 

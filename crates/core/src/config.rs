@@ -6,6 +6,23 @@
 /// and drive the ablation study (Figure 7): sequence-aware mutation (§IV-A),
 /// mask-guided seed mutation (§IV-B) and dynamic-adaptive energy adjustment
 /// (§IV-C).
+///
+/// Configurations are built from [`FuzzerConfig::mufuzz`] (everything on)
+/// with chained builders:
+///
+/// ```
+/// use mufuzz::FuzzerConfig;
+///
+/// let config = FuzzerConfig::mufuzz(50_000)
+///     .with_rng_seed(7)
+///     .with_workers(4)
+///     .with_corpus_culling(64);
+/// assert_eq!(config.max_executions, 50_000);
+/// assert_eq!(config.workers, 4);
+/// assert_eq!(config.corpus_cull_interval, Some(64));
+/// // Ablations switch one component off at a time.
+/// assert!(!config.without_mask_guidance().enable_mask_guidance);
+/// ```
 #[derive(Clone, Debug)]
 pub struct FuzzerConfig {
     /// RNG seed: campaigns are fully deterministic for a given seed when
@@ -45,6 +62,14 @@ pub struct FuzzerConfig {
     /// this through their static/symbolic components; plain AFL-style fuzzers
     /// such as sFuzz use a fixed boundary-value pool only).
     pub harvest_constants: bool,
+    /// Corpus culling: every `n` admissions (counted inside the campaign
+    /// state lock), drop seeds whose covered-edge set is a subset of another
+    /// seed's with no better branch-distance score. `None` (the default)
+    /// disables culling — dropping seeds reshuffles corpus indices and thus
+    /// the seed-selection RNG stream, which would break the `workers == 1`
+    /// bit-identity contract, so culling is strictly opt-in for long
+    /// campaigns whose corpus would otherwise grow without bound.
+    pub corpus_cull_interval: Option<usize>,
     /// Number of externally-owned sender accounts in the fuzzing world.
     pub sender_count: usize,
     /// Base mutation energy per selected seed (number of mutants generated).
@@ -74,6 +99,7 @@ impl Default for FuzzerConfig {
             enable_dynamic_energy: true,
             enable_branch_distance: true,
             harvest_constants: true,
+            corpus_cull_interval: None,
             sender_count: 3,
             base_energy: 8,
             initial_seeds: 8,
@@ -136,6 +162,16 @@ impl FuzzerConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Enable periodic corpus culling (builder style): every `admissions`
+    /// corpus admissions, dominated seeds — covered edges a subset of another
+    /// seed's, branch-distance score no better — are dropped. Clamped to at
+    /// least one. See [`FuzzerConfig::corpus_cull_interval`] for why this is
+    /// off by default.
+    pub fn with_corpus_culling(mut self, admissions: usize) -> Self {
+        self.corpus_cull_interval = Some(admissions.max(1));
+        self
+    }
 }
 
 /// The default worker count: the machine's available parallelism (1 when it
@@ -186,5 +222,14 @@ mod tests {
         assert_eq!(FuzzerConfig::default().workers, default_workers());
         assert!(default_workers() >= 1);
         assert_eq!(FuzzerConfig::mufuzz(10).with_workers(0).workers, 1);
+    }
+
+    #[test]
+    fn corpus_culling_is_opt_in_and_clamps_to_one() {
+        assert_eq!(FuzzerConfig::default().corpus_cull_interval, None);
+        let cfg = FuzzerConfig::mufuzz(10).with_corpus_culling(0);
+        assert_eq!(cfg.corpus_cull_interval, Some(1));
+        let cfg = FuzzerConfig::mufuzz(10).with_corpus_culling(32);
+        assert_eq!(cfg.corpus_cull_interval, Some(32));
     }
 }

@@ -1,0 +1,222 @@
+//! The campaign's shared coverage map: a fixed-size atomic bitmap over the
+//! dense branch-edge ids assigned by [`mufuzz_analysis::EdgeIndex`].
+//!
+//! Workers merge the edges covered by every execution with plain
+//! `AtomicU64::fetch_or` word updates — no mutex, no allocation — so the
+//! coverage bookkeeping of the feedback loop scales with the worker count
+//! instead of serialising on the campaign state lock. Each bit transitions
+//! from 0 to 1 exactly once, and `fetch_or` returns the previous word, so
+//! the worker whose merge flips a bit is the unique observer of that
+//! transition: per-execution "new edge" counts are exact even under
+//! arbitrary interleaving, and their sum equals the global covered count.
+//!
+//! Edges that the index cannot number (in practice none: the index is built
+//! from the same bytecode the interpreter executes) fall back to a tiny
+//! mutex-guarded overflow set so no coverage is ever silently dropped.
+
+use mufuzz_analysis::EdgeIndex;
+use mufuzz_evm::BranchEdge;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A concurrent branch-edge coverage bitmap.
+///
+/// Bit `i` records whether the edge with dense id `i` has been covered by
+/// any execution of the campaign. All operations are lock-free on the bitmap
+/// path and safe to call from any number of worker threads.
+///
+/// ```
+/// use mufuzz::coverage::CoverageMap;
+///
+/// let map = CoverageMap::new(130); // ids 0..130, i.e. three 64-bit words
+/// assert_eq!(map.merge_ids(&[0, 1, 129]), 3); // three new edges
+/// assert_eq!(map.merge_ids(&[1, 129]), 0);    // nothing new the second time
+/// assert!(map.is_covered(129));
+/// assert!(!map.is_covered(2));
+/// assert_eq!(map.covered_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct CoverageMap {
+    /// One bit per dense edge id, packed into 64-bit words.
+    words: Vec<AtomicU64>,
+    /// Number of addressable edge ids (bits).
+    edges: usize,
+    /// Edges the index could not number. Expected to stay empty; kept so a
+    /// surprising edge (e.g. from foreign code) is still counted rather than
+    /// silently lost.
+    overflow: Mutex<BTreeSet<BranchEdge>>,
+}
+
+impl CoverageMap {
+    /// Create an empty map able to track `edges` dense ids (`0..edges`).
+    pub fn new(edges: usize) -> CoverageMap {
+        let words = (0..edges.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        CoverageMap {
+            words,
+            edges,
+            overflow: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Number of addressable edge ids.
+    pub fn capacity(&self) -> usize {
+        self.edges
+    }
+
+    /// Merge a batch of covered edge ids and return how many were new.
+    ///
+    /// `ids` is expected sorted (as produced by the execution harness); runs
+    /// of ids falling in the same 64-bit word are coalesced into a single
+    /// `fetch_or`. Ids outside `0..capacity()` are ignored.
+    pub fn merge_ids(&self, ids: &[u32]) -> usize {
+        let mut new_edges = 0usize;
+        let mut i = 0;
+        while i < ids.len() {
+            let word_index = (ids[i] / 64) as usize;
+            let mut mask = 0u64;
+            while i < ids.len() && (ids[i] / 64) as usize == word_index {
+                if (ids[i] as usize) < self.edges {
+                    mask |= 1u64 << (ids[i] % 64);
+                }
+                i += 1;
+            }
+            if mask != 0 {
+                let previous = self.words[word_index].fetch_or(mask, Ordering::Relaxed);
+                new_edges += (mask & !previous).count_ones() as usize;
+            }
+        }
+        new_edges
+    }
+
+    /// True if the edge with dense id `id` has been covered.
+    pub fn is_covered(&self, id: u32) -> bool {
+        let (word, bit) = ((id / 64) as usize, id % 64);
+        (id as usize) < self.edges && self.words[word].load(Ordering::Relaxed) & (1u64 << bit) != 0
+    }
+
+    /// True if `edge` has been covered, resolving it through `index` (and the
+    /// overflow set for edges the index cannot number).
+    pub fn contains_edge(&self, edge: &BranchEdge, index: &EdgeIndex) -> bool {
+        match index.id_of(edge) {
+            Some(id) => self.is_covered(id),
+            None => self
+                .overflow
+                .lock()
+                .expect("coverage overflow poisoned")
+                .contains(edge),
+        }
+    }
+
+    /// Merge the edges of `covered` that the index cannot number into the
+    /// overflow set, returning how many were new. Indexed edges are skipped —
+    /// they are expected to arrive through [`CoverageMap::merge_ids`].
+    pub fn merge_unindexed(&self, covered: &BTreeSet<BranchEdge>, index: &EdgeIndex) -> usize {
+        let mut overflow = self.overflow.lock().expect("coverage overflow poisoned");
+        let before = overflow.len();
+        overflow.extend(
+            covered
+                .iter()
+                .filter(|edge| index.id_of(edge).is_none())
+                .copied(),
+        );
+        overflow.len() - before
+    }
+
+    /// Total number of distinct covered edges (bitmap population plus any
+    /// overflow edges).
+    pub fn covered_count(&self) -> usize {
+        let bits: usize = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum();
+        bits + self
+            .overflow
+            .lock()
+            .expect("coverage overflow poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mufuzz_analysis::ControlFlowGraph;
+    use mufuzz_evm::Address;
+    use std::thread;
+
+    #[test]
+    fn merge_counts_only_new_bits() {
+        let map = CoverageMap::new(200);
+        assert_eq!(map.merge_ids(&[0, 63, 64, 199]), 4);
+        assert_eq!(map.merge_ids(&[0, 63, 64, 199]), 0);
+        assert_eq!(map.merge_ids(&[1, 63, 198, 199]), 2);
+        assert_eq!(map.covered_count(), 6);
+        assert!(map.is_covered(198));
+        assert!(!map.is_covered(100));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        let map = CoverageMap::new(10);
+        assert_eq!(map.capacity(), 10);
+        assert_eq!(map.merge_ids(&[9, 10, 11, 5_000]), 1);
+        assert!(!map.is_covered(10));
+        assert!(!map.is_covered(5_000));
+        assert_eq!(map.covered_count(), 1);
+    }
+
+    #[test]
+    fn empty_map_accepts_merges() {
+        let map = CoverageMap::new(0);
+        assert_eq!(map.merge_ids(&[]), 0);
+        assert_eq!(map.merge_ids(&[0, 1]), 0);
+        assert_eq!(map.covered_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_merges_produce_the_exact_union() {
+        // 8 threads repeatedly merge overlapping id slices; the per-merge
+        // "new edge" counts must sum to exactly the final population, i.e.
+        // every 0→1 transition is observed exactly once.
+        let map = CoverageMap::new(1024);
+        let total_new: usize = thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u32)
+                .map(|t| {
+                    let map = &map;
+                    scope.spawn(move || {
+                        let mut new_edges = 0usize;
+                        for round in 0..50u32 {
+                            let ids: Vec<u32> =
+                                (0..1024).filter(|id| (id + t + round) % 3 != 0).collect();
+                            new_edges += map.merge_ids(&ids);
+                        }
+                        new_edges
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total_new, map.covered_count());
+        assert_eq!(map.covered_count(), 1024);
+    }
+
+    #[test]
+    fn unindexed_edges_flow_into_the_overflow_set() {
+        let cfg = ControlFlowGraph::build(&[]);
+        let index = EdgeIndex::build(&cfg, Address::from_low_u64(1));
+        let map = CoverageMap::new(index.len());
+        let edge = BranchEdge {
+            code_address: Address::from_low_u64(2),
+            pc: 7,
+            taken: true,
+        };
+        let covered: BTreeSet<BranchEdge> = [edge].into_iter().collect();
+        assert!(!map.contains_edge(&edge, &index));
+        assert_eq!(map.merge_unindexed(&covered, &index), 1);
+        assert_eq!(map.merge_unindexed(&covered, &index), 0);
+        assert!(map.contains_edge(&edge, &index));
+        assert_eq!(map.covered_count(), 1);
+    }
+}

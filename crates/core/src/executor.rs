@@ -9,6 +9,7 @@
 
 use crate::config::FuzzerConfig;
 use crate::input::{Sequence, TxInput};
+use mufuzz_analysis::{ControlFlowGraph, EdgeIndex};
 use mufuzz_evm::{
     ether, Account, Address, BlockEnv, BranchEdge, Evm, ExecutionTrace, HostBehaviour, Message,
     WorldState, U256,
@@ -16,6 +17,7 @@ use mufuzz_evm::{
 use mufuzz_lang::CompiledContract;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised while setting up or driving the harness.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +44,12 @@ pub struct SequenceOutcome {
     pub traces: Vec<ExecutionTrace>,
     /// Union of branch edges covered by all transactions.
     pub covered_edges: BTreeSet<BranchEdge>,
+    /// The same edges as dense ids from the harness's [`EdgeIndex`], sorted
+    /// ascending. This is what the campaign merges into its atomic coverage
+    /// bitmap without taking any lock. Edges the index cannot number (none in
+    /// practice) appear only in `covered_edges`, so a length mismatch between
+    /// the two collections flags them.
+    pub covered_edge_ids: Vec<u32>,
     /// World state after the whole sequence.
     pub final_world: WorldState,
     /// Number of transactions that completed successfully.
@@ -68,6 +76,10 @@ pub struct ContractHarness {
     pub attacker: Option<Address>,
     /// Rejecting sink account, when installed.
     pub sink: Option<Address>,
+    /// Dense numbering of the contract's branch edges, assigned once at
+    /// harness build time and shared by every clone of the harness (workers
+    /// clone the harness, so ids agree across threads by construction).
+    edge_index: Arc<EdgeIndex>,
     base_world: WorldState,
     base_block: BlockEnv,
 }
@@ -75,6 +87,18 @@ pub struct ContractHarness {
 impl ContractHarness {
     /// Deploy the contract and build the fuzzing world.
     pub fn new(compiled: CompiledContract, config: &FuzzerConfig) -> Result<Self, HarnessError> {
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        Self::with_cfg(compiled, config, &cfg)
+    }
+
+    /// Like [`ContractHarness::new`], but reuses an already-built CFG of
+    /// `compiled.runtime` for the edge numbering instead of rebuilding it
+    /// (the fuzzer constructs one anyway for its scheduling analyses).
+    pub fn with_cfg(
+        compiled: CompiledContract,
+        config: &FuzzerConfig,
+        cfg: &ControlFlowGraph,
+    ) -> Result<Self, HarnessError> {
         let contract_address = Address::from_low_u64(0xC0DE);
         let deployer = Address::from_low_u64(0x1000);
         let mut senders = vec![deployer];
@@ -137,15 +161,23 @@ impl ContractHarness {
             )));
         }
 
+        let edge_index = Arc::new(EdgeIndex::build(cfg, contract_address));
+
         Ok(ContractHarness {
             compiled,
             contract_address,
             senders,
             attacker,
             sink,
+            edge_index,
             base_world: world,
             base_block,
         })
+    }
+
+    /// The dense branch-edge numbering of the contract under test.
+    pub fn edge_index(&self) -> &EdgeIndex {
+        &self.edge_index
     }
 
     /// Addresses worth injecting into address-typed arguments.
@@ -178,9 +210,21 @@ impl ContractHarness {
             traces.push(trace);
         }
 
+        // Dense ids for the atomic coverage bitmap. `covered` iterates in
+        // ascending (address, pc, taken) order, which the index maps to
+        // ascending ids for the single contract under test; the defensive
+        // sort is a no-op then and keeps the contract documented on
+        // `covered_edge_ids` honest if that ever changes.
+        let mut covered_edge_ids: Vec<u32> = covered
+            .iter()
+            .filter_map(|edge| self.edge_index.id_of(edge))
+            .collect();
+        covered_edge_ids.sort_unstable();
+
         SequenceOutcome {
             traces,
             covered_edges: covered,
+            covered_edge_ids,
             final_world: world,
             successes,
         }
@@ -321,6 +365,25 @@ mod tests {
                 .storage(h.contract_address, U256::from_u64(2)),
             ether(100)
         );
+    }
+
+    #[test]
+    fn outcome_edge_ids_mirror_the_edge_set() {
+        let h = harness();
+        let outcome = h.execute_sequence(&Sequence::new(vec![
+            TxInput::new("invest", 0, ether(100), &[ether(100)]),
+            TxInput::simple("refund"),
+            TxInput::simple("withdraw"),
+        ]));
+        // Every covered edge is indexable, and the id list is its exact
+        // sorted image.
+        assert_eq!(outcome.covered_edge_ids.len(), outcome.covered_edges.len());
+        assert!(outcome.covered_edge_ids.windows(2).all(|w| w[0] < w[1]));
+        for edge in &outcome.covered_edges {
+            let id = h.edge_index().id_of(edge).expect("edge must be indexed");
+            assert!(outcome.covered_edge_ids.binary_search(&id).is_ok());
+            assert_eq!(h.edge_index().edge_of(id), Some(*edge));
+        }
     }
 
     #[test]

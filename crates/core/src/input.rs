@@ -7,9 +7,8 @@
 //! operates on (paper §IV-B).
 
 use crate::mutation::MutationMask;
-use mufuzz_evm::{BranchEdge, U256};
+use mufuzz_evm::U256;
 use mufuzz_lang::FunctionAbi;
-use std::collections::BTreeSet;
 
 /// Number of leading bytes of the mutable stream that encode the ether value.
 pub const VALUE_BYTES: usize = 32;
@@ -147,10 +146,15 @@ impl Sequence {
 /// A seed: a sequence plus the feedback recorded when it was executed.
 #[derive(Clone, Debug)]
 pub struct Seed {
+    /// Stable corpus identity, assigned at admission. Unlike the seed's
+    /// position in the corpus vector, the uid survives corpus culling, so
+    /// deferred work (mask probe write-back) can find its seed again.
+    pub uid: u64,
     /// The input sequence.
     pub sequence: Sequence,
-    /// Branch edges this seed covered when executed.
-    pub covered_edges: BTreeSet<BranchEdge>,
+    /// Branch edges this seed covered when executed, as sorted dense ids from
+    /// the harness's [`mufuzz_analysis::EdgeIndex`].
+    pub covered_edge_ids: Vec<u32>,
     /// Number of new edges it contributed when it was admitted to the queue.
     pub new_edges: usize,
     /// Whether the seed reached a deeply nested branch.
@@ -173,8 +177,9 @@ impl Seed {
     /// Wrap a sequence with empty feedback.
     pub fn new(sequence: Sequence) -> Seed {
         Seed {
+            uid: 0,
             sequence,
-            covered_edges: BTreeSet::new(),
+            covered_edge_ids: Vec::new(),
             new_edges: 0,
             hits_nested_branch: false,
             weight: 1.0,
@@ -184,6 +189,47 @@ impl Seed {
             masks_pending: false,
         }
     }
+
+    /// Corpus-culling domination check: `self` is dominated by `other` when
+    /// its covered-edge set is a subset of `other`'s and it has no better
+    /// (smaller) branch-distance score. A dominated seed can be dropped from
+    /// the corpus without shrinking the reachable coverage frontier.
+    ///
+    /// The relation is deliberately a *strict* partial order: when two seeds
+    /// are equivalent (same edges, same distance), only the earlier-admitted
+    /// one (smaller uid) dominates, so culling can never drop both of a pair.
+    pub fn is_dominated_by(&self, other: &Seed) -> bool {
+        if !sorted_subset(&self.covered_edge_ids, &other.covered_edge_ids) {
+            return false;
+        }
+        // Smaller distance-to-uncovered is better; a seed with no distance
+        // signal is never better than one with it.
+        let mine = self.best_distance.unwrap_or(f64::INFINITY);
+        let theirs = other.best_distance.unwrap_or(f64::INFINITY);
+        if mine < theirs {
+            return false;
+        }
+        // Strictness tie-break for fully equivalent seeds.
+        self.covered_edge_ids.len() < other.covered_edge_ids.len()
+            || theirs < mine
+            || other.uid < self.uid
+    }
+}
+
+/// True when sorted id slice `a` is a subset of sorted id slice `b`.
+fn sorted_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut b_iter = b.iter();
+    'outer: for x in a {
+        for y in b_iter.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -270,9 +316,64 @@ mod tests {
     #[test]
     fn seed_defaults() {
         let seed = Seed::new(Sequence::new(vec![TxInput::simple("f")]));
+        assert_eq!(seed.uid, 0);
         assert_eq!(seed.new_edges, 0);
+        assert!(seed.covered_edge_ids.is_empty());
         assert!(!seed.hits_nested_branch);
         assert_eq!(seed.weight, 1.0);
         assert!(seed.best_distance.is_none());
+    }
+
+    fn seed_with(uid: u64, ids: &[u32], distance: Option<f64>) -> Seed {
+        let mut seed = Seed::new(Sequence::new(vec![TxInput::simple("f")]));
+        seed.uid = uid;
+        seed.covered_edge_ids = ids.to_vec();
+        seed.best_distance = distance;
+        seed
+    }
+
+    #[test]
+    fn subset_with_worse_distance_is_dominated() {
+        let small = seed_with(1, &[2, 5], Some(0.8));
+        let big = seed_with(2, &[1, 2, 5, 9], Some(0.3));
+        assert!(small.is_dominated_by(&big));
+        assert!(!big.is_dominated_by(&small));
+    }
+
+    #[test]
+    fn better_distance_protects_a_subset_seed() {
+        let close = seed_with(1, &[2, 5], Some(0.1));
+        let big = seed_with(2, &[1, 2, 5, 9], Some(0.3));
+        assert!(!close.is_dominated_by(&big));
+        // ...and a seed with *no* distance signal never protects itself.
+        let blind = seed_with(3, &[2, 5], None);
+        assert!(blind.is_dominated_by(&big));
+    }
+
+    #[test]
+    fn non_subset_edge_sets_never_dominate() {
+        let a = seed_with(1, &[1, 3], Some(0.5));
+        let b = seed_with(2, &[1, 2, 4, 5], Some(0.1));
+        assert!(!a.is_dominated_by(&b));
+        assert!(!b.is_dominated_by(&a));
+    }
+
+    #[test]
+    fn equivalent_seeds_cannot_drop_each_other() {
+        let a = seed_with(1, &[1, 2], Some(0.5));
+        let b = seed_with(2, &[1, 2], Some(0.5));
+        // Only the earlier seed dominates, never both ways.
+        assert!(b.is_dominated_by(&a));
+        assert!(!a.is_dominated_by(&b));
+        // No seed dominates itself.
+        assert!(!a.is_dominated_by(&a));
+    }
+
+    #[test]
+    fn empty_edge_set_is_dominated_by_anything_no_closer() {
+        let empty = seed_with(5, &[], None);
+        let any = seed_with(6, &[1], None);
+        assert!(empty.is_dominated_by(&any));
+        assert!(!any.is_dominated_by(&empty));
     }
 }

@@ -19,8 +19,13 @@
 //! [`mufuzz_oracles`].
 //!
 //! Campaigns run on a pool of [`FuzzerConfig::workers`] threads sharing one
-//! corpus, coverage map and energy scheduler (see [`campaign`]); with
-//! `workers == 1` they are fully deterministic for a given `rng_seed`.
+//! corpus and energy scheduler (see [`campaign`]); branch coverage is merged
+//! into a lock-free atomic bitmap ([`coverage::CoverageMap`]) keyed by the
+//! dense edge ids of [`mufuzz_analysis::EdgeIndex`], and the execution
+//! budget is reserved atomically so `report.executions` never exceeds
+//! `max_executions`. With `workers == 1` campaigns are fully deterministic
+//! for a given `rng_seed`. The full concurrency model is documented in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,7 @@
 //! let mut fuzzer = Fuzzer::new(compiled, FuzzerConfig::mufuzz(200)).unwrap();
 //! let report = fuzzer.run();
 //! assert!(report.coverage > 0.0);
+//! assert!(report.executions <= 200); // exact budget, at any worker count
 //! println!("covered {}/{} branch edges", report.covered_edges, report.total_edges);
 //! ```
 
@@ -47,6 +53,7 @@
 
 pub mod campaign;
 pub mod config;
+pub mod coverage;
 pub mod energy;
 pub mod executor;
 pub mod input;
@@ -55,6 +62,7 @@ pub mod seedgen;
 
 pub use campaign::{CampaignReport, CoveragePoint, Fuzzer};
 pub use config::{default_workers, FuzzerConfig};
+pub use coverage::CoverageMap;
 pub use executor::{ContractHarness, HarnessError, SequenceOutcome};
 pub use input::{Seed, Sequence, TxInput};
 pub use mutation::{InterestingValues, MutationMask, MutationOp};

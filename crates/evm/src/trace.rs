@@ -198,6 +198,11 @@ impl BranchRecord {
 /// A branch edge: one of the two outcomes of a `JUMPI` in a given contract.
 /// Branch coverage counts distinct executed edges, which is the paper's
 /// "basic block transition" metric.
+///
+/// The derived `Ord` sorts by `(code_address, pc, taken)`; for a single
+/// contract this matches the dense edge numbering the analysis layer assigns
+/// (`mufuzz_analysis::EdgeIndex`), so sorted edge sets map to sorted id
+/// lists.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BranchEdge {
     /// Contract whose code contains the branch.
@@ -206,6 +211,23 @@ pub struct BranchEdge {
     pub pc: usize,
     /// Which outcome the edge denotes.
     pub taken: bool,
+}
+
+impl fmt::Display for BranchEdge {
+    /// Compact `pc→outcome` rendering for coverage diagnostics, e.g.
+    /// `jumpi@42↷taken` / `jumpi@42↓fallthrough`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "jumpi@{}{}",
+            self.pc,
+            if self.taken {
+                "↷taken"
+            } else {
+                "↓fallthrough"
+            }
+        )
+    }
 }
 
 /// An arithmetic operation whose wrapped result differs from the exact
@@ -458,6 +480,26 @@ mod tests {
         assert_ne!(rec.edge(), rec.untaken_edge());
         assert_eq!(rec.edge().pc, rec.untaken_edge().pc);
         assert_eq!(rec.flip_distance(), U256::ONE);
+        assert_eq!(format!("{}", rec.edge()), "jumpi@10↷taken");
+        assert_eq!(format!("{}", rec.untaken_edge()), "jumpi@10↓fallthrough");
+    }
+
+    #[test]
+    fn branch_edge_ordering_groups_siblings() {
+        let edge = |pc, taken| BranchEdge {
+            code_address: Address::from_low_u64(1),
+            pc,
+            taken,
+        };
+        // (pc, fallthrough) sorts immediately before (pc, taken), and both
+        // before any higher pc — the property the dense edge numbering
+        // relies on.
+        let mut edges = vec![edge(9, false), edge(4, true), edge(9, true), edge(4, false)];
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![edge(4, false), edge(4, true), edge(9, false), edge(9, true)]
+        );
     }
 
     #[test]

@@ -295,10 +295,25 @@ impl CampaignMonitor {
     /// Merge another monitor's observations into this one.
     ///
     /// Used by the parallel campaign engine: every worker observes traces
-    /// into a thread-local monitor and the per-worker monitors are merged
-    /// (in worker order) before [`CampaignMonitor::finalize`]. Findings
-    /// deduplicate by `(class, function)` exactly as sequential observation
-    /// does, invocation counts add up, and the held-balance flag ors.
+    /// into a thread-local monitor — oracle bookkeeping, like the atomic
+    /// coverage bitmap, never touches the shared campaign-state mutex — and
+    /// the per-worker monitors are merged (in worker order) before
+    /// [`CampaignMonitor::finalize`]. Findings deduplicate by
+    /// `(class, function)` exactly as sequential observation does,
+    /// invocation counts add up, and the held-balance flag ors.
+    ///
+    /// ```
+    /// use mufuzz_oracles::CampaignMonitor;
+    /// use mufuzz_evm::U256;
+    ///
+    /// let mut main = CampaignMonitor::new();
+    /// let mut worker = CampaignMonitor::new();
+    /// worker.observe_world(U256::from_u64(5)); // the contract held ether
+    /// main.merge(worker);
+    /// // World observations merge silently; they only become findings (e.g.
+    /// // ether freezing) at finalisation.
+    /// assert!(main.findings().is_empty());
+    /// ```
     pub fn merge(&mut self, other: CampaignMonitor) {
         for (key, finding) in other.findings {
             self.findings.entry(key).or_insert(finding);

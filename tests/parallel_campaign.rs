@@ -70,12 +70,10 @@ fn four_workers_match_sequential_coverage_on_crowdsale() {
     let sequential = run_crowdsale(11, 1);
     let parallel = run_crowdsale(11, 4);
     assert_eq!(parallel.workers, 4);
-    assert!(parallel.executions >= 400);
-    // The budget may overshoot by the in-flight mutants (one per extra
-    // worker) plus one outstanding mask-probe pass *per worker* — a pass
-    // runs to completion without budget checks and costs at most
-    // 6 txs x 3 words x 4 ops = 72 probes on this contract.
-    assert!(parallel.executions < 400 + 4 * 72 + 4);
+    // Exact budget: execution slots are reserved atomically before every
+    // execution (including mask probes), so a multi-worker campaign consumes
+    // the budget exactly — no more overshoot by in-flight mutants.
+    assert_eq!(parallel.executions, 400);
     // 400 executions saturate this contract from many seeds; the parallel
     // schedule must find (nearly) the same plateau regardless of interleaving.
     assert!(
@@ -99,4 +97,69 @@ fn parallel_campaign_detects_reentrancy() {
         "findings: {:?}",
         report.findings
     );
+}
+
+/// Exact-budget invariant: `report.executions <= max_executions` at every
+/// worker count. Before the atomic reservation counter, workers checked the
+/// budget and executed afterwards, overshooting by up to `workers - 1`
+/// in-flight mutants plus outstanding mask-probe passes.
+#[test]
+fn budget_is_exact_at_any_worker_count() {
+    for workers in [1, 2, 4, 8] {
+        let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+        let config = FuzzerConfig::mufuzz(150)
+            .with_rng_seed(11)
+            .with_workers(workers);
+        let report = Fuzzer::new(compiled, config).unwrap().run();
+        assert!(
+            report.executions <= 150,
+            "workers={workers}: {} executions overshoot the budget of 150",
+            report.executions
+        );
+        // With no wall-clock budget and a non-empty corpus the campaign also
+        // consumes the whole budget.
+        assert_eq!(
+            report.executions, 150,
+            "workers={workers}: budget left unconsumed"
+        );
+    }
+}
+
+/// Corpus culling drops provably dominated seeds without changing what the
+/// campaign achieves: same coverage plateau, same detections, smaller
+/// corpus. Culling is opt-in (it reshuffles corpus indices, breaking the
+/// `workers == 1` bit-identity contract), so the baseline run here is the
+/// exact snapshot campaign from above.
+#[test]
+fn culling_drops_dominated_seeds_without_losing_coverage_or_detections() {
+    let baseline = run_crowdsale(3, 1);
+    assert_eq!(baseline.culled_seeds, 0, "culling must be off by default");
+    assert!(!baseline.detected_classes().is_empty());
+
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let config = FuzzerConfig::mufuzz(400)
+        .with_rng_seed(3)
+        .with_workers(1)
+        .with_corpus_culling(8);
+    let culled = Fuzzer::new(compiled, config).unwrap().run();
+
+    assert!(
+        culled.culled_seeds > 0,
+        "no dominated seed was dropped (corpus {})",
+        culled.corpus_size
+    );
+    assert!(
+        culled.corpus_size < baseline.corpus_size + culled.culled_seeds,
+        "culling did not shrink the live corpus"
+    );
+    assert_eq!(
+        culled.covered_edges, baseline.covered_edges,
+        "culling changed the coverage plateau"
+    );
+    assert_eq!(
+        culled.detected_classes(),
+        baseline.detected_classes(),
+        "culling changed the detections"
+    );
+    assert_eq!(culled.executions, 400);
 }
