@@ -3,10 +3,12 @@
 //! The campaign engine tracks branch coverage in a fixed-size atomic bitmap
 //! (see `mufuzz::coverage`), which needs every possible branch edge of the
 //! contract under test to have a small, stable integer id. [`EdgeIndex`]
-//! assigns those ids at harness build time from the [`ControlFlowGraph`]:
-//! the `JUMPI` sites are enumerated in ascending program-counter order and
-//! each site contributes two consecutive ids — `2 * rank` for the
-//! fall-through edge and `2 * rank + 1` for the taken edge.
+//! assigns those ids at harness build time — from the [`ControlFlowGraph`]
+//! or directly from the pre-decoded instruction stream the interpreter
+//! executes ([`EdgeIndex::from_program`], no bytecode re-scan): the `JUMPI`
+//! sites are enumerated in ascending program-counter order and each site
+//! contributes two consecutive ids — `2 * rank` for the fall-through edge
+//! and `2 * rank + 1` for the taken edge.
 //!
 //! Because the numbering is a pure function of the bytecode, two harnesses
 //! built from the same compiled contract always agree on every id, which is
@@ -14,7 +16,7 @@
 //! edges through a shared dictionary.
 
 use crate::cfg::ControlFlowGraph;
-use mufuzz_evm::{Address, BranchEdge};
+use mufuzz_evm::{Address, BranchEdge, DecodedProgram, Opcode};
 use std::collections::HashMap;
 
 /// A stable, dense `u32` numbering of the branch edges of one contract.
@@ -60,6 +62,40 @@ impl EdgeIndex {
                 edges.push(BranchEdge {
                     code_address,
                     pc: *pc,
+                    taken,
+                });
+            }
+        }
+        EdgeIndex {
+            code_address,
+            ranks,
+            edges,
+        }
+    }
+
+    /// Number the branch edges directly from a pre-decoded instruction
+    /// stream, without re-scanning the bytecode or building a CFG.
+    ///
+    /// The numbering is identical to [`EdgeIndex::build`] by construction:
+    /// both enumerate the `JUMPI` sites of the same code in ascending
+    /// program-counter order (the decoded stream is in code order, and every
+    /// `JUMPI` terminates a CFG block, so the CFG's branch map contains
+    /// exactly the stream's `JUMPI` pcs). The harness uses this at build
+    /// time, reusing the program it decodes for the interpreter fast path.
+    pub fn from_program(program: &DecodedProgram, code_address: Address) -> EdgeIndex {
+        let mut ranks = HashMap::new();
+        let mut edges = Vec::new();
+        for instr in program
+            .instructions()
+            .iter()
+            .filter(|i| i.op == Opcode::JumpI)
+        {
+            let pc = instr.pc as usize;
+            ranks.insert(pc, ranks.len() as u32);
+            for taken in [false, true] {
+                edges.push(BranchEdge {
+                    code_address,
+                    pc,
                     taken,
                 });
             }
@@ -165,6 +201,27 @@ mod tests {
             let taken = idx.id_of(&mk(true)).unwrap();
             assert_eq!(taken, fall + 1);
             assert_eq!(fall % 2, 0);
+        }
+    }
+
+    #[test]
+    fn program_numbering_matches_the_cfg_numbering() {
+        // The decoded-stream constructor must assign exactly the ids the
+        // CFG-based constructor assigns — the campaign's coverage bitmap
+        // depends on the numbering being a pure function of the bytecode.
+        let compiled = compile_source(SOURCE).unwrap();
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        let program = DecodedProgram::decode(&compiled.runtime);
+        let addr = Address::from_low_u64(0xC0DE);
+        let from_cfg = EdgeIndex::build(&cfg, addr);
+        let from_program = EdgeIndex::from_program(&program, addr);
+        assert_eq!(from_cfg.len(), from_program.len());
+        assert!(!from_program.is_empty());
+        for id in 0..from_cfg.len() as u32 {
+            assert_eq!(from_cfg.edge_of(id), from_program.edge_of(id));
+        }
+        for edge in (0..from_cfg.len() as u32).filter_map(|id| from_cfg.edge_of(id)) {
+            assert_eq!(from_cfg.id_of(&edge), from_program.id_of(&edge));
         }
     }
 

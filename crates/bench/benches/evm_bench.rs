@@ -4,8 +4,12 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mufuzz_analysis::ControlFlowGraph;
 use mufuzz_corpus::contracts;
-use mufuzz_evm::{keccak256, Account, Address, BlockEnv, Evm, Message, WorldState, U256};
+use mufuzz_evm::{
+    keccak256, Account, Address, BlockEnv, DecodedProgram, Evm, ExecFrame, Message, ProgramCache,
+    WorldState, U256,
+};
 use mufuzz_lang::{compile_source, AbiValue};
+use std::sync::Arc;
 
 fn bench_u256(c: &mut Criterion) {
     let a = U256::from_hex("0x1234567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef")
@@ -69,16 +73,32 @@ fn bench_interpreter(c: &mut Criterion) {
     let invest = compiled.abi.function("invest").unwrap();
     let calldata = invest.encode_call(&[AbiValue::Uint(mufuzz_evm::ether(10))]);
 
-    c.bench_function("evm_execute_invest_tx", |bencher| {
+    // Freeze the deployed world: the per-iteration snapshot is then the
+    // production-shaped O(changed) copy-on-write clone.
+    world.freeze();
+    let msg = Message::new(sender, target, mufuzz_evm::ether(10), calldata);
+
+    // The production pipeline: decode-once program cache + reusable frame.
+    let blob = world.code(target);
+    let mut cache = ProgramCache::new();
+    cache.insert(Arc::clone(&blob), Arc::new(DecodedProgram::decode(&blob)));
+    let mut frame = ExecFrame::new();
+    c.bench_function("evm_execute_invest_tx_predecoded", |bencher| {
+        bencher.iter(|| {
+            let mut w = world.snapshot();
+            let mut evm = Evm::new(&mut w, BlockEnv::default()).with_programs(&cache);
+            let result = evm.execute_in(&msg, &mut frame);
+            black_box(result.trace.instruction_count())
+        })
+    });
+
+    // The legacy byte-at-a-time decoder, allocating scratch per execution.
+    c.bench_function("evm_execute_invest_tx_legacy_decode", |bencher| {
         bencher.iter(|| {
             let mut w = world.snapshot();
             let mut evm = Evm::new(&mut w, BlockEnv::default());
-            let result = evm.execute(&Message::new(
-                sender,
-                target,
-                mufuzz_evm::ether(10),
-                calldata.clone(),
-            ));
+            evm.config.legacy_decode = true;
+            let result = evm.execute(&msg);
             black_box(result.trace.instruction_count())
         })
     });

@@ -44,7 +44,7 @@ use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
 use crate::seedgen::SequenceGenerator;
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
-use mufuzz_evm::WorldState;
+use mufuzz_evm::{ExecFrame, WorldState};
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugFinding, CampaignMonitor};
 use rand::rngs::SmallRng;
@@ -287,6 +287,10 @@ struct Worker<'a> {
     harness: ContractHarness,
     rng: SmallRng,
     monitor: CampaignMonitor,
+    /// Reusable interpreter scratch (stacks, memory buffers, trace capacity
+    /// hints); threaded through every execution so the hot loop allocates
+    /// nothing per transaction.
+    frame: ExecFrame,
     /// Final world of the last mutant this worker executed (feeds the
     /// campaign-level oracles at finalisation).
     last_world: Option<WorldState>,
@@ -470,7 +474,9 @@ impl Worker<'_> {
             let Some(slot) = shared.try_reserve(self.config.max_executions) else {
                 break;
             };
-            let outcome = self.harness.execute_sequence(&sequence);
+            let outcome = self
+                .harness
+                .execute_sequence_with(&sequence, &mut self.frame);
             self.observe(&outcome);
             let new_edges = shared.merge_coverage(&outcome, &self.harness);
             // Initial seeds always join the corpus, new coverage or not, and
@@ -599,7 +605,9 @@ impl Worker<'_> {
                     return;
                 };
                 let candidate = self.mutate_seed(&seed_snapshot);
-                let outcome = self.harness.execute_sequence(&candidate);
+                let outcome = self
+                    .harness
+                    .execute_sequence_with(&candidate, &mut self.frame);
                 self.observe(&outcome);
 
                 // Coverage merge: atomic bitmap only, no state lock.
@@ -664,7 +672,9 @@ impl Worker<'_> {
                         apply_op(&tx.stream, op, word, &mut self.rng, self.interesting);
                     let mut probe_seq = seed.sequence.clone();
                     probe_seq.txs[tx_index].stream = probe_stream;
-                    let outcome = self.harness.execute_sequence(&probe_seq);
+                    let outcome = self
+                        .harness
+                        .execute_sequence_with(&probe_seq, &mut self.frame);
                     self.observe(&outcome);
 
                     // Does the probe still hit the nested branches the seed hit?
@@ -743,7 +753,7 @@ impl Fuzzer {
         } else {
             InterestingValues::defaults()
         };
-        let harness = ContractHarness::with_cfg(compiled, &config, &cfg_graph)?;
+        let harness = ContractHarness::new(compiled, &config)?;
         for addr in harness.interesting_addresses() {
             interesting.add(addr.to_u256());
         }
@@ -811,6 +821,7 @@ impl Fuzzer {
             harness: self.harness.clone(),
             rng: self.rng.clone(),
             monitor: CampaignMonitor::new(),
+            frame: ExecFrame::new(),
             last_world: None,
         };
 
@@ -847,6 +858,7 @@ impl Fuzzer {
                             index,
                         )),
                         monitor: CampaignMonitor::new(),
+                        frame: ExecFrame::new(),
                         last_world: None,
                     };
                     let shared = &shared;

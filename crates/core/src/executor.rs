@@ -9,10 +9,10 @@
 
 use crate::config::FuzzerConfig;
 use crate::input::{Sequence, TxInput};
-use mufuzz_analysis::{ControlFlowGraph, EdgeIndex};
+use mufuzz_analysis::EdgeIndex;
 use mufuzz_evm::{
-    ether, Account, Address, BlockEnv, BranchEdge, Evm, ExecutionTrace, HostBehaviour, Message,
-    WorldState, U256,
+    ether, Account, Address, BlockEnv, BranchEdge, DecodedProgram, Evm, ExecFrame, ExecutionTrace,
+    HostBehaviour, Message, ProgramCache, WorldState, U256,
 };
 use mufuzz_lang::CompiledContract;
 use std::collections::BTreeSet;
@@ -80,6 +80,10 @@ pub struct ContractHarness {
     /// harness build time and shared by every clone of the harness (workers
     /// clone the harness, so ids agree across threads by construction).
     edge_index: Arc<EdgeIndex>,
+    /// The runtime bytecode pre-decoded once at build time; shared by every
+    /// clone and handed to the interpreter as a [`ProgramCache`] so
+    /// executions skip byte-at-a-time decoding entirely.
+    programs: Arc<ProgramCache>,
     base_world: WorldState,
     base_block: BlockEnv,
 }
@@ -87,18 +91,6 @@ pub struct ContractHarness {
 impl ContractHarness {
     /// Deploy the contract and build the fuzzing world.
     pub fn new(compiled: CompiledContract, config: &FuzzerConfig) -> Result<Self, HarnessError> {
-        let cfg = ControlFlowGraph::build(&compiled.runtime);
-        Self::with_cfg(compiled, config, &cfg)
-    }
-
-    /// Like [`ContractHarness::new`], but reuses an already-built CFG of
-    /// `compiled.runtime` for the edge numbering instead of rebuilding it
-    /// (the fuzzer constructs one anyway for its scheduling analyses).
-    pub fn with_cfg(
-        compiled: CompiledContract,
-        config: &FuzzerConfig,
-        cfg: &ControlFlowGraph,
-    ) -> Result<Self, HarnessError> {
         let contract_address = Address::from_low_u64(0xC0DE);
         let deployer = Address::from_low_u64(0x1000);
         let mut senders = vec![deployer];
@@ -161,7 +153,19 @@ impl ContractHarness {
             )));
         }
 
-        let edge_index = Arc::new(EdgeIndex::build(cfg, contract_address));
+        // Decode the runtime bytecode once; the decoded stream feeds both
+        // the interpreter fast path (via the program cache, keyed on the
+        // deployed code blob) and the dense edge numbering — no re-scan.
+        let runtime_code = world.code(contract_address);
+        let program = Arc::new(DecodedProgram::decode(&runtime_code));
+        let edge_index = Arc::new(EdgeIndex::from_program(&program, contract_address));
+        let mut programs = ProgramCache::new();
+        programs.insert(runtime_code, program);
+
+        // Freeze the post-constructor world: every sequence execution
+        // restores this constructor snapshot with one Arc clone instead of
+        // copying (or re-deploying) the whole world.
+        world.freeze();
 
         Ok(ContractHarness {
             compiled,
@@ -170,6 +174,7 @@ impl ContractHarness {
             attacker,
             sink,
             edge_index,
+            programs: Arc::new(programs),
             base_world: world,
             base_block,
         })
@@ -193,7 +198,22 @@ impl ContractHarness {
 
     /// Execute a transaction sequence against a fresh snapshot of the
     /// deployed world.
+    ///
+    /// Allocates a transient [`ExecFrame`]; campaign workers should prefer
+    /// [`ContractHarness::execute_sequence_with`] with a long-lived frame so
+    /// interpreter scratch buffers are reused across executions.
     pub fn execute_sequence(&self, sequence: &Sequence) -> SequenceOutcome {
+        self.execute_sequence_with(sequence, &mut ExecFrame::new())
+    }
+
+    /// Like [`ContractHarness::execute_sequence`], reusing the caller's
+    /// [`ExecFrame`] scratch buffers (operand stacks, memory, trace capacity
+    /// hints) instead of allocating fresh ones per execution.
+    pub fn execute_sequence_with(
+        &self,
+        sequence: &Sequence,
+        frame: &mut ExecFrame,
+    ) -> SequenceOutcome {
         let mut world = self.base_world.snapshot();
         let mut block = self.base_block;
         let mut traces = Vec::with_capacity(sequence.len());
@@ -202,7 +222,7 @@ impl ContractHarness {
 
         for tx in &sequence.txs {
             block.advance();
-            let trace = self.execute_tx(&mut world, block, tx);
+            let trace = self.execute_tx(&mut world, block, tx, frame);
             if trace.success() {
                 successes += 1;
             }
@@ -231,7 +251,13 @@ impl ContractHarness {
     }
 
     /// Execute one transaction against the given world.
-    fn execute_tx(&self, world: &mut WorldState, block: BlockEnv, tx: &TxInput) -> ExecutionTrace {
+    fn execute_tx(
+        &self,
+        world: &mut WorldState,
+        block: BlockEnv,
+        tx: &TxInput,
+        frame: &mut ExecFrame,
+    ) -> ExecutionTrace {
         let Some(abi) = self.compiled.abi.function(&tx.function) else {
             // Unknown function (e.g. after a corpus merge): skip by returning
             // an empty trace.
@@ -255,19 +281,23 @@ impl ContractHarness {
             value = value.div_rem(cap).1;
         }
 
-        let mut evm = Evm::new(world, block);
-        let result = evm.execute(&Message::new(
-            sender,
-            self.contract_address,
-            value,
-            calldata,
-        ));
+        let mut evm = Evm::new(world, block).with_programs(&self.programs);
+        let result = evm.execute_in(
+            &Message::new(sender, self.contract_address, value, calldata),
+            frame,
+        );
         result.trace
     }
 
     /// The world state immediately after deployment (before any fuzzing).
     pub fn base_world(&self) -> &WorldState {
         &self.base_world
+    }
+
+    /// The block environment sequence executions start from (advanced once
+    /// per transaction).
+    pub fn base_block(&self) -> BlockEnv {
+        self.base_block
     }
 }
 

@@ -84,7 +84,7 @@ impl Message {
 }
 
 /// The outcome of executing a top-level transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionResult {
     /// True if the outermost frame completed without exception and state was
     /// committed.

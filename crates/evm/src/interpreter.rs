@@ -5,10 +5,32 @@
 //! oracles and path-prefix analysis inspect. Every transaction execution
 //! produces an [`ExecutionTrace`] with branch decisions, coverage edges,
 //! arithmetic truncation events, call events and storage writes.
+//!
+//! # Execution pipeline
+//!
+//! The dispatch loop is generic over a `CodeView`, the (private) abstraction
+//! that feeds it instructions:
+//!
+//! * the **pre-decoded** view walks a [`DecodedProgram`] — bytecode is
+//!   lowered once (per harness, shared via a [`ProgramCache`]) into a dense
+//!   instruction stream with materialised `PUSH` immediates and O(1)
+//!   `JUMP` resolution. This is the default and the fuzzing fast path.
+//! * the **legacy** view ([`EvmConfig::legacy_decode`]) re-decodes the raw
+//!   bytes on the fly, exactly like the original interpreter: one opcode
+//!   match per instruction and a fresh `JUMPDEST` scan per call frame.
+//!
+//! Both views drive the *same* loop body, so they halt, trace and spend gas
+//! identically by construction; `tests/decoder_differential.rs` asserts
+//! bit-identical results across the whole corpus anyway.
+//!
+//! Per-execution scratch (operand stacks, memory buffers, call-argument
+//! staging) lives in a reusable [`ExecFrame`] so a fuzzing campaign executes
+//! without per-transaction heap churn; see its documentation.
 
 use crate::env::{BlockEnv, ExecutionResult, Message};
 use crate::keccak::keccak256;
 use crate::opcode::Opcode;
+use crate::program::{DecodedProgram, ProgramCache};
 use crate::state::{HostBehaviour, WorldState};
 use crate::trace::{
     ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
@@ -31,6 +53,11 @@ pub struct EvmConfig {
     pub max_instructions: usize,
     /// Gas stipend forwarded on value-bearing `transfer`/`send` style calls.
     pub call_stipend: u64,
+    /// Decode bytecode a byte at a time on every execution (the historical
+    /// decoder) instead of through the pre-decoded instruction stream.
+    /// Execution semantics are identical — the knob exists for the decoder
+    /// differential suite and performance comparisons.
+    pub legacy_decode: bool,
 }
 
 impl Default for EvmConfig {
@@ -40,6 +67,7 @@ impl Default for EvmConfig {
             max_memory: 1 << 20,
             max_instructions: 400_000,
             call_stipend: 2_300,
+            legacy_decode: false,
         }
     }
 }
@@ -53,7 +81,7 @@ fn gas_cost(op: Opcode) -> u64 {
         | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number
         | Difficulty | GasLimit | SelfBalance => 2,
         Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl | Shr
-        | CallDataLoad | MLoad | MStore | MStore8 => 3,
+        | Sar | CallDataLoad | MLoad | MStore | MStore8 => 3,
         Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
         AddMod | MulMod | Jump => 8,
         JumpI => 10,
@@ -84,6 +112,215 @@ struct FrameInfo {
     code_address: Address,
 }
 
+/// One instruction as the dispatch loop sees it, independent of how the code
+/// is decoded.
+#[derive(Clone, Copy)]
+struct Fetched {
+    op: Opcode,
+    /// Byte offset of the opcode in the code (what the trace records).
+    pc: usize,
+    /// Pre-materialised immediate for `PUSH*` (zero otherwise).
+    imm: U256,
+    /// Cursor of the next sequential instruction.
+    next: usize,
+}
+
+/// How the dispatch loop reads a code blob. Cursor values are opaque to the
+/// loop: the raw view uses byte offsets, the decoded view instruction
+/// indices. Both views must decode identically — the loop body is shared,
+/// so any divergence is a decode bug (caught by the differential suite).
+trait CodeView {
+    /// Byte length of the underlying code (`CODESIZE`).
+    fn code_len(&self) -> usize;
+    /// Instruction at `cursor`, or `None` once execution runs off the end of
+    /// the code (implicit `STOP`).
+    fn fetch(&self, cursor: usize) -> Option<Fetched>;
+    /// Cursor for a jump destination, if `dest` is a valid `JUMPDEST`.
+    fn jump_cursor(&self, dest: usize) -> Option<usize>;
+}
+
+/// The legacy byte-at-a-time decoder: one opcode match per fetch and a
+/// `JUMPDEST` scan per frame.
+struct RawCode<'a> {
+    code: &'a [u8],
+    jumpdests: HashSet<usize>,
+}
+
+impl<'a> RawCode<'a> {
+    fn new(code: &'a [u8]) -> Self {
+        // Valid JUMPDEST positions of the blob (not inside push data).
+        let mut jumpdests = HashSet::new();
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let op = Opcode::from_byte(code[pc]);
+            if op == Opcode::JumpDest {
+                jumpdests.insert(pc);
+            }
+            pc += 1 + op.immediate_size();
+        }
+        RawCode { code, jumpdests }
+    }
+}
+
+impl CodeView for RawCode<'_> {
+    fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    #[inline]
+    fn fetch(&self, pc: usize) -> Option<Fetched> {
+        if pc >= self.code.len() {
+            return None;
+        }
+        let op = Opcode::from_byte(self.code[pc]);
+        let imm_len = op.immediate_size();
+        let imm = if imm_len > 0 {
+            let end = (pc + 1 + imm_len).min(self.code.len());
+            U256::from_be_slice(&self.code[pc + 1..end])
+        } else {
+            U256::ZERO
+        };
+        Some(Fetched {
+            op,
+            pc,
+            imm,
+            next: pc + 1 + imm_len,
+        })
+    }
+
+    #[inline]
+    fn jump_cursor(&self, dest: usize) -> Option<usize> {
+        self.jumpdests.contains(&dest).then_some(dest)
+    }
+}
+
+/// The pre-decoded fast path: cursors are instruction indices into a
+/// [`DecodedProgram`].
+struct PredecodedCode<'a>(&'a DecodedProgram);
+
+impl CodeView for PredecodedCode<'_> {
+    fn code_len(&self) -> usize {
+        self.0.code_len()
+    }
+
+    #[inline]
+    fn fetch(&self, cursor: usize) -> Option<Fetched> {
+        self.0.instructions().get(cursor).map(|i| Fetched {
+            op: i.op,
+            pc: i.pc as usize,
+            imm: i.imm,
+            next: cursor + 1,
+        })
+    }
+
+    #[inline]
+    fn jump_cursor(&self, dest: usize) -> Option<usize> {
+        self.0.jump_cursor(dest)
+    }
+}
+
+/// Per-call-depth scratch buffers.
+#[derive(Debug, Default)]
+struct DepthScratch {
+    stack: Vec<(U256, Taint)>,
+    memory: Vec<u8>,
+    /// Staging buffer for the argument bytes of an outgoing call.
+    args: Vec<u8>,
+}
+
+/// Reusable per-execution scratch space: operand stacks, memory buffers and
+/// call-argument staging for every call depth, plus capacity hints for the
+/// trace vectors.
+///
+/// The interpreter allocates nothing per execution when driven through a
+/// long-lived `ExecFrame`: buffers are taken for the duration of a call
+/// frame, cleared (capacity retained) and returned when it ends. The fuzzing
+/// harness keeps one frame per worker and threads it through
+/// `execute_sequence_with`; one-shot callers can ignore the type —
+/// [`Evm::execute`] creates a transient frame internally.
+///
+/// ```
+/// use mufuzz_evm::{Account, Address, BlockEnv, Evm, ExecFrame, Message, U256, WorldState};
+///
+/// let mut world = WorldState::new();
+/// world.put_account(Address::from_low_u64(1), Account::eoa(U256::from_u64(10)));
+/// world.put_account(
+///     Address::from_low_u64(2),
+///     Account::contract(vec![0x60, 0x01, 0x60, 0x00, 0x55, 0x00], U256::ZERO),
+/// );
+/// let mut frame = ExecFrame::new();
+/// let msg = Message::new(Address::from_low_u64(1), Address::from_low_u64(2), U256::ZERO, vec![]);
+/// for _ in 0..3 {
+///     // Buffer reuse across executions; results are unaffected.
+///     let result = Evm::new(&mut world, BlockEnv::default()).execute_in(&msg, &mut frame);
+///     assert!(result.success);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct ExecFrame {
+    depths: Vec<DepthScratch>,
+    /// High-water marks of the trace vectors, used to pre-reserve the next
+    /// trace's capacity.
+    instr_hint: usize,
+    branch_hint: usize,
+}
+
+impl ExecFrame {
+    /// An empty frame. Buffers grow to the campaign's high-water marks over
+    /// the first executions and are reused afterwards.
+    pub fn new() -> ExecFrame {
+        ExecFrame::default()
+    }
+
+    fn slot(&mut self, depth: usize) -> &mut DepthScratch {
+        while self.depths.len() <= depth {
+            self.depths.push(DepthScratch::default());
+        }
+        &mut self.depths[depth]
+    }
+
+    /// Borrow the scratch of a call depth by value for the duration of a
+    /// frame (the slot is left empty, so re-entrant executions at deeper
+    /// depths take their own buffers).
+    fn take(&mut self, depth: usize) -> DepthScratch {
+        std::mem::take(self.slot(depth))
+    }
+
+    /// Return a depth's scratch, cleared but with its capacity retained.
+    fn put(&mut self, depth: usize, mut scratch: DepthScratch) {
+        scratch.stack.clear();
+        scratch.memory.clear();
+        scratch.args.clear();
+        *self.slot(depth) = scratch;
+    }
+
+    /// Pre-reserve a fresh trace's hot vectors from the high-water marks of
+    /// previous executions through this frame.
+    fn prime(&self, trace: &mut ExecutionTrace) {
+        trace.instructions.reserve(self.instr_hint);
+        trace.branches.reserve(self.branch_hint);
+    }
+
+    /// Update the high-water marks after an execution.
+    fn note(&mut self, trace: &ExecutionTrace) {
+        self.instr_hint = self.instr_hint.max(trace.instructions.len());
+        self.branch_hint = self.branch_hint.max(trace.branches.len());
+    }
+}
+
+/// The execution context of one call frame.
+#[derive(Clone, Copy)]
+struct FrameCtx<'a> {
+    code_address: Address,
+    storage_address: Address,
+    caller: Address,
+    origin: Address,
+    value: U256,
+    calldata: &'a [u8],
+    gas: u64,
+    depth: usize,
+}
+
 /// The EVM: executes messages against a mutable world state.
 pub struct Evm<'w> {
     /// World state mutated by execution (committed only on success).
@@ -92,6 +329,8 @@ pub struct Evm<'w> {
     pub block: BlockEnv,
     /// Configuration.
     pub config: EvmConfig,
+    /// Pre-decoded programs for known code blobs (decode-once fast path).
+    programs: Option<&'w ProgramCache>,
 }
 
 impl<'w> Evm<'w> {
@@ -101,7 +340,16 @@ impl<'w> Evm<'w> {
             world,
             block,
             config: EvmConfig::default(),
+            programs: None,
         }
+    }
+
+    /// Attach a cache of pre-decoded programs. Code blobs found in the cache
+    /// execute through their decoded instruction stream without re-decoding;
+    /// everything else is decoded on the fly.
+    pub fn with_programs(mut self, programs: &'w ProgramCache) -> Self {
+        self.programs = Some(programs);
+        self
     }
 
     /// Deploy a contract: create the account with `runtime_code`, endow it
@@ -137,19 +385,33 @@ impl<'w> Evm<'w> {
             data: constructor_args,
             gas: 10_000_000,
         };
-        self.execute_with_code(&msg, Arc::new(constructor_code.to_vec()))
+        let mut scratch = ExecFrame::new();
+        self.execute_with_code(&msg, Arc::new(constructor_code.to_vec()), &mut scratch)
     }
 
     /// Execute a top-level transaction. State changes are committed only if
     /// the outermost frame succeeds; otherwise the world is rolled back.
     pub fn execute(&mut self, msg: &Message) -> ExecutionResult {
-        let code = self.world.code(msg.to);
-        self.execute_with_code(msg, code)
+        let mut scratch = ExecFrame::new();
+        self.execute_in(msg, &mut scratch)
     }
 
-    fn execute_with_code(&mut self, msg: &Message, code: Arc<Vec<u8>>) -> ExecutionResult {
+    /// Like [`Evm::execute`], reusing the caller's [`ExecFrame`] scratch
+    /// buffers instead of allocating fresh ones.
+    pub fn execute_in(&mut self, msg: &Message, scratch: &mut ExecFrame) -> ExecutionResult {
+        let code = self.world.code(msg.to);
+        self.execute_with_code(msg, code, scratch)
+    }
+
+    fn execute_with_code(
+        &mut self,
+        msg: &Message,
+        code: Arc<Vec<u8>>,
+        scratch: &mut ExecFrame,
+    ) -> ExecutionResult {
         let snapshot = self.world.snapshot();
         let mut trace = ExecutionTrace::new();
+        scratch.prime(&mut trace);
         trace.entered_selector = msg.selector();
 
         // Value transfer first; a failed transfer aborts the transaction.
@@ -175,19 +437,17 @@ impl<'w> Evm<'w> {
             let mut frames = vec![FrameInfo {
                 code_address: msg.to,
             }];
-            self.run_frame(
-                &code,
-                msg.to,
-                msg.to,
-                msg.caller,
-                msg.origin,
-                msg.value,
-                &msg.data,
-                msg.gas,
-                0,
-                &mut frames,
-                &mut trace,
-            )
+            let ctx = FrameCtx {
+                code_address: msg.to,
+                storage_address: msg.to,
+                caller: msg.caller,
+                origin: msg.origin,
+                value: msg.value,
+                calldata: &msg.data,
+                gas: msg.gas,
+                depth: 0,
+            };
+            self.dispatch_frame(&code, ctx, &mut frames, &mut trace, scratch)
         };
 
         let gas_used = msg.gas.saturating_sub(result.gas_left);
@@ -197,6 +457,7 @@ impl<'w> Evm<'w> {
         if !success {
             *self.world = snapshot;
         }
+        scratch.note(&trace);
         ExecutionResult {
             success,
             output: result.output,
@@ -206,41 +467,81 @@ impl<'w> Evm<'w> {
         }
     }
 
-    /// Valid `JUMPDEST` positions of a code blob (not inside push data).
-    fn jumpdests(code: &[u8]) -> HashSet<usize> {
-        let mut set = HashSet::new();
-        let mut pc = 0usize;
-        while pc < code.len() {
-            let op = Opcode::from_byte(code[pc]);
-            if op == Opcode::JumpDest {
-                set.insert(pc);
-            }
-            pc += 1 + op.immediate_size();
-        }
-        set
-    }
-
-    /// Execute one call frame.
-    #[allow(clippy::too_many_arguments)]
-    fn run_frame(
+    /// Run a call frame through the appropriate code view: the pre-decoded
+    /// stream when available (cache hit, or decoded on the fly), or the
+    /// legacy byte-at-a-time decoder when configured.
+    fn dispatch_frame(
         &mut self,
-        code: &[u8],
-        code_address: Address,
-        storage_address: Address,
-        caller: Address,
-        origin: Address,
-        value: U256,
-        calldata: &[u8],
-        gas: u64,
-        depth: usize,
+        code: &Arc<Vec<u8>>,
+        ctx: FrameCtx<'_>,
         frames: &mut Vec<FrameInfo>,
         trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
     ) -> FrameResult {
+        if self.config.legacy_decode {
+            let view = RawCode::new(code);
+            return self.run_frame(&view, ctx, frames, trace, scratch);
+        }
+        if let Some(program) = self.programs.and_then(|cache| cache.get(code)) {
+            return self.run_frame(
+                &PredecodedCode(program.as_ref()),
+                ctx,
+                frames,
+                trace,
+                scratch,
+            );
+        }
+        let program = DecodedProgram::decode(code);
+        self.run_frame(&PredecodedCode(&program), ctx, frames, trace, scratch)
+    }
+
+    /// Execute one call frame: borrow the depth's scratch buffers, run the
+    /// dispatch loop, and return the buffers for reuse whatever way the
+    /// frame halts.
+    fn run_frame<V: CodeView>(
+        &mut self,
+        view: &V,
+        ctx: FrameCtx<'_>,
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
+    ) -> FrameResult {
+        let mut owned = scratch.take(ctx.depth);
+        if owned.stack.capacity() == 0 {
+            owned.stack.reserve(64);
+        }
+        let result = self.run_frame_inner(view, ctx, frames, trace, scratch, &mut owned);
+        scratch.put(ctx.depth, owned);
+        result
+    }
+
+    /// The dispatch loop.
+    fn run_frame_inner<V: CodeView>(
+        &mut self,
+        view: &V,
+        ctx: FrameCtx<'_>,
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
+        owned: &mut DepthScratch,
+    ) -> FrameResult {
+        let FrameCtx {
+            code_address,
+            storage_address,
+            caller,
+            origin,
+            value,
+            calldata,
+            gas,
+            depth,
+        } = ctx;
         trace.max_depth = trace.max_depth.max(depth);
-        let jumpdests = Self::jumpdests(code);
-        let mut stack: Vec<(U256, Taint)> = Vec::with_capacity(64);
-        let mut memory: Vec<u8> = Vec::new();
-        let mut pc = 0usize;
+        let DepthScratch {
+            stack,
+            memory,
+            args: args_buf,
+        } = owned;
+        let mut cursor = 0usize;
         let mut gas_left = gas;
         let mut last_cmp: Option<Comparison> = None;
         let mut caller_guard_seen = false;
@@ -286,15 +587,16 @@ impl<'w> Evm<'w> {
                     gas_left: 0,
                 };
             }
-            if pc >= code.len() {
+            let Some(instr) = view.fetch(cursor) else {
                 // Running off the end of the code is an implicit STOP.
                 return FrameResult {
                     halt: HaltReason::Normal,
                     output: vec![],
                     gas_left,
                 };
-            }
-            let op = Opcode::from_byte(code[pc]);
+            };
+            let op = instr.op;
+            let pc = instr.pc;
             trace.instructions.push((depth, pc, op));
             let cost = gas_cost(op);
             if gas_left < cost {
@@ -467,6 +769,18 @@ impl<'w> Evm<'w> {
                         .unwrap_or(U256::ZERO);
                     push!(shifted, ts | tx);
                 }
+                Opcode::Sar => {
+                    let (shift, ts) = pop!();
+                    let (x, tx) = pop!();
+                    // Shift amounts >= 256 (or beyond u64) saturate to the
+                    // sign: zero for non-negative values, -1 for negative.
+                    let shifted = match shift.to_u64() {
+                        Some(s) => x.sar_bits(s.min(256) as u32),
+                        None if x.is_negative_signed() => U256::MAX,
+                        None => U256::ZERO,
+                    };
+                    push!(shifted, ts | tx);
+                }
                 Opcode::Sha3 => {
                     let (offset, to) = pop!();
                     let (len, tl) = pop!();
@@ -474,8 +788,11 @@ impl<'w> Evm<'w> {
                         (Some(o), Some(l)) if l <= self.config.max_memory => (o, l),
                         _ => fault!("sha3 out of bounds"),
                     };
-                    if let Err(e) = ensure_memory(&mut memory, offset + len, self.config.max_memory)
-                    {
+                    let span = match mem_span(offset, len) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
                         fault!(e);
                     }
                     let digest = keccak256(&memory[offset..offset + len]);
@@ -509,14 +826,18 @@ impl<'w> Evm<'w> {
                         (Some(d), Some(s), Some(l)) if l <= self.config.max_memory => (d, s, l),
                         _ => fault!("calldatacopy out of bounds"),
                     };
-                    if let Err(e) = ensure_memory(&mut memory, dst + len, self.config.max_memory) {
+                    let span = match mem_span(dst, len) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
                         fault!(e);
                     }
                     for i in 0..len {
                         memory[dst + i] = calldata.get(src + i).copied().unwrap_or(0);
                     }
                 }
-                Opcode::CodeSize => push!(U256::from_u64(code.len() as u64), Taint::empty()),
+                Opcode::CodeSize => push!(U256::from_u64(view.code_len() as u64), Taint::empty()),
                 Opcode::GasPrice => push!(U256::from_u64(1_000_000_000), Taint::empty()),
                 Opcode::BlockHash => {
                     let (n, _t) = pop!();
@@ -537,8 +858,11 @@ impl<'w> Evm<'w> {
                         Some(o) => o,
                         None => fault!("mload out of bounds"),
                     };
-                    if let Err(e) = ensure_memory(&mut memory, offset + 32, self.config.max_memory)
-                    {
+                    let span = match mem_span(offset, 32) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
                         fault!(e);
                     }
                     let mut word = [0u8; 32];
@@ -552,8 +876,11 @@ impl<'w> Evm<'w> {
                         Some(o) => o,
                         None => fault!("mstore out of bounds"),
                     };
-                    if let Err(e) = ensure_memory(&mut memory, offset + 32, self.config.max_memory)
-                    {
+                    let span = match mem_span(offset, 32) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
                         fault!(e);
                     }
                     memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
@@ -565,7 +892,11 @@ impl<'w> Evm<'w> {
                         Some(o) => o,
                         None => fault!("mstore8 out of bounds"),
                     };
-                    if let Err(e) = ensure_memory(&mut memory, offset + 1, self.config.max_memory) {
+                    let span = match mem_span(offset, 1) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
                         fault!(e);
                     }
                     memory[offset] = val.low_u64() as u8;
@@ -599,12 +930,14 @@ impl<'w> Evm<'w> {
                 }
                 Opcode::Jump => {
                     let (dest, _t) = pop!();
-                    let dest = match dest.to_usize() {
-                        Some(d) if jumpdests.contains(&d) => d,
-                        _ => fault!("invalid jump destination"),
-                    };
-                    pc = dest;
-                    continue;
+                    let target = dest.to_usize().and_then(|d| view.jump_cursor(d));
+                    match target {
+                        Some(t) => {
+                            cursor = t;
+                            continue;
+                        }
+                        None => fault!("invalid jump destination"),
+                    }
                 }
                 Opcode::JumpI => {
                     let (dest, _td) = pop!();
@@ -634,11 +967,13 @@ impl<'w> Evm<'w> {
                     trace.branches.push(record);
                     last_cmp = None;
                     if taken {
-                        if !jumpdests.contains(&dest_usize) {
-                            fault!("invalid jump destination");
+                        match view.jump_cursor(dest_usize) {
+                            Some(t) => {
+                                cursor = t;
+                                continue;
+                            }
+                            None => fault!("invalid jump destination"),
                         }
-                        pc = dest_usize;
-                        continue;
                     }
                 }
                 Opcode::Pc => push!(U256::from_u64(pc as u64), Taint::empty()),
@@ -646,12 +981,7 @@ impl<'w> Evm<'w> {
                 Opcode::Gas => push!(U256::from_u64(gas_left), Taint::empty()),
                 Opcode::JumpDest => {}
                 Opcode::Push(_) => {
-                    let imm_len = op.immediate_size();
-                    let end = (pc + 1 + imm_len).min(code.len());
-                    let val = U256::from_be_slice(&code[pc + 1..end]);
-                    push!(val, Taint::empty());
-                    pc += 1 + imm_len;
-                    continue;
+                    push!(instr.imm, Taint::empty());
                 }
                 Opcode::Dup(n) => {
                     let n = n as usize;
@@ -698,16 +1028,16 @@ impl<'w> Evm<'w> {
                         Opcode::DelegateCall => CallKind::DelegateCall,
                         _ => CallKind::StaticCall,
                     };
-                    let args = read_memory_range(
-                        &mut memory,
+                    args_buf.clear();
+                    if let Err(e) = read_memory_into(
+                        memory,
                         args_offset,
                         args_len,
                         self.config.max_memory,
-                    );
-                    let args = match args {
-                        Ok(a) => a,
-                        Err(e) => fault!(e),
-                    };
+                        args_buf,
+                    ) {
+                        fault!(e);
+                    }
                     let forwarded_gas = gas_req.to_u64().unwrap_or(u64::MAX).min(gas_left);
 
                     let call_idx = trace.calls.len();
@@ -733,19 +1063,22 @@ impl<'w> Evm<'w> {
                     }
 
                     let (success, callee_exception, output) = self.do_call(
-                        kind,
-                        code_address,
-                        storage_address,
-                        caller,
-                        origin,
-                        value,
-                        to,
-                        call_value,
-                        &args,
-                        forwarded_gas,
-                        depth,
+                        CallContext {
+                            kind,
+                            code_address,
+                            storage_address,
+                            caller,
+                            origin,
+                            current_value: value,
+                            to,
+                            call_value,
+                            gas: forwarded_gas,
+                            depth,
+                        },
+                        args_buf,
                         frames,
                         trace,
+                        scratch,
                     );
                     gas_left = gas_left.saturating_sub(forwarded_gas / 2);
                     if let Some(ev) = trace.calls.get_mut(call_idx) {
@@ -767,11 +1100,10 @@ impl<'w> Evm<'w> {
                 Opcode::Return => {
                     let (offset, _) = pop!();
                     let (len, _) = pop!();
-                    let out =
-                        match read_memory_range(&mut memory, offset, len, self.config.max_memory) {
-                            Ok(o) => o,
-                            Err(e) => fault!(e),
-                        };
+                    let out = match read_memory_range(memory, offset, len, self.config.max_memory) {
+                        Ok(o) => o,
+                        Err(e) => fault!(e),
+                    };
                     return FrameResult {
                         halt: HaltReason::Normal,
                         output: out,
@@ -781,11 +1113,10 @@ impl<'w> Evm<'w> {
                 Opcode::Revert => {
                     let (offset, _) = pop!();
                     let (len, _) = pop!();
-                    let out =
-                        match read_memory_range(&mut memory, offset, len, self.config.max_memory) {
-                            Ok(o) => o,
-                            Err(e) => fault!(e),
-                        };
+                    let out = match read_memory_range(memory, offset, len, self.config.max_memory) {
+                        Ok(o) => o,
+                        Err(e) => fault!(e),
+                    };
                     return FrameResult {
                         halt: HaltReason::Revert,
                         output: out,
@@ -822,33 +1153,35 @@ impl<'w> Evm<'w> {
                     fault!(format!("unknown opcode 0x{b:02x}"));
                 }
             }
-            pc += 1;
+            cursor = instr.next;
         }
     }
 
     /// Perform a nested message call (CALL/CALLCODE/DELEGATECALL/STATICCALL).
     /// Returns `(success, callee_exception, output)`.
-    #[allow(clippy::too_many_arguments)]
     fn do_call(
         &mut self,
-        kind: CallKind,
-        code_address: Address,
-        storage_address: Address,
-        caller: Address,
-        _origin_unused: Address,
-        current_value: U256,
-        to: Address,
-        call_value: U256,
+        call: CallContext,
         args: &[u8],
-        gas: u64,
-        depth: usize,
         frames: &mut Vec<FrameInfo>,
         trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
     ) -> (bool, bool, Vec<u8>) {
+        let CallContext {
+            kind,
+            code_address,
+            storage_address,
+            caller,
+            origin,
+            current_value,
+            to,
+            call_value,
+            gas,
+            depth,
+        } = call;
         if depth + 1 >= self.config.max_call_depth {
             return (false, false, vec![]);
         }
-        let origin = _origin_unused;
 
         // Value transfer for plain CALLs.
         if kind == CallKind::Call && !call_value.is_zero() {
@@ -884,19 +1217,17 @@ impl<'w> Evm<'w> {
                     let callee_code = self.world.code(code_address);
                     if !callee_code.is_empty() {
                         frames.push(FrameInfo { code_address: to });
-                        let _ = self.run_frame(
-                            &callee_code,
+                        let ctx = FrameCtx {
                             code_address,
                             storage_address,
-                            to,
+                            caller: to,
                             origin,
-                            U256::ZERO,
-                            &callback_data,
-                            gas.saturating_sub(5_000),
-                            depth + 2,
-                            frames,
-                            trace,
-                        );
+                            value: U256::ZERO,
+                            calldata: &callback_data,
+                            gas: gas.saturating_sub(5_000),
+                            depth: depth + 2,
+                        };
+                        let _ = self.dispatch_frame(&callee_code, ctx, frames, trace, scratch);
                         frames.pop();
                     }
                 }
@@ -915,19 +1246,17 @@ impl<'w> Evm<'w> {
                     CallKind::DelegateCall => (to, storage_address, caller, current_value),
                 };
                 frames.push(FrameInfo { code_address: to });
-                let result = self.run_frame(
-                    &code,
-                    exec_code_addr,
-                    exec_storage_addr,
-                    exec_caller,
+                let ctx = FrameCtx {
+                    code_address: exec_code_addr,
+                    storage_address: exec_storage_addr,
+                    caller: exec_caller,
                     origin,
-                    exec_value,
-                    args,
+                    value: exec_value,
+                    calldata: args,
                     gas,
-                    depth + 1,
-                    frames,
-                    trace,
-                );
+                    depth: depth + 1,
+                };
+                let result = self.dispatch_frame(&code, ctx, frames, trace, scratch);
                 frames.pop();
                 let success = result.halt.is_success();
                 let exception = matches!(
@@ -944,6 +1273,20 @@ impl<'w> Evm<'w> {
     }
 }
 
+/// Everything identifying one outgoing message call.
+struct CallContext {
+    kind: CallKind,
+    code_address: Address,
+    storage_address: Address,
+    caller: Address,
+    origin: Address,
+    current_value: U256,
+    to: Address,
+    call_value: U256,
+    gas: u64,
+    depth: usize,
+}
+
 /// Read a 32-byte word from calldata with zero padding.
 fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
     let offset = match offset.to_usize() {
@@ -957,7 +1300,18 @@ fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
     U256::from_be_bytes(word)
 }
 
-/// Grow memory to hold `size` bytes, enforcing the configured cap.
+/// End offset of a `[offset, offset + len)` memory span, rejecting
+/// address-space overflow (the memory cap would reject any such span anyway;
+/// this keeps the arithmetic well-defined instead of panicking).
+fn mem_span(offset: usize, len: usize) -> Result<usize, &'static str> {
+    offset.checked_add(len).ok_or("memory span overflows")
+}
+
+/// Grow memory to hold `size` bytes, enforcing the configured cap. Growth is
+/// word-granular (32-byte multiples, the EVM's `MSIZE` unit); the `resize`
+/// performs a single amortised reservation followed by one zero-fill, so
+/// each growth event is at most one allocation — and none at all once a
+/// reused [`ExecFrame`] buffer has reached its high-water capacity.
 fn ensure_memory(memory: &mut Vec<u8>, size: usize, max: usize) -> Result<(), &'static str> {
     if size > max {
         return Err("memory limit exceeded");
@@ -980,8 +1334,27 @@ fn read_memory_range(
     if len == 0 {
         return Ok(vec![]);
     }
-    ensure_memory(memory, offset + len, max)?;
+    ensure_memory(memory, mem_span(offset, len)?, max)?;
     Ok(memory[offset..offset + len].to_vec())
+}
+
+/// Like [`read_memory_range`], but appending into a reusable buffer instead
+/// of allocating (the call-argument staging path).
+fn read_memory_into(
+    memory: &mut Vec<u8>,
+    offset: U256,
+    len: U256,
+    max: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), &'static str> {
+    let offset = offset.to_usize().ok_or("memory offset out of range")?;
+    let len = len.to_usize().ok_or("memory length out of range")?;
+    if len == 0 {
+        return Ok(());
+    }
+    ensure_memory(memory, mem_span(offset, len)?, max)?;
+    out.extend_from_slice(&memory[offset..offset + len]);
+    Ok(())
 }
 
 /// 256-bit exponentiation by squaring, reporting whether any intermediate
@@ -1109,6 +1482,16 @@ mod tests {
     fn invalid_jump_destination_faults() {
         // JUMP to a non-JUMPDEST position.
         let code = vec![0x60, 0x00, 0x56];
+        let result = run(code, vec![], U256::ZERO);
+        assert!(!result.success);
+        assert!(matches!(result.halt, HaltReason::Fault(_)));
+    }
+
+    #[test]
+    fn jump_into_push_data_faults() {
+        // PUSH1 0x03, JUMP — pc 3 would be inside the PUSH2 immediate that
+        // follows, where a 0x5b byte is data, not a JUMPDEST.
+        let code = vec![0x60, 0x03, 0x56, 0x61, 0x5b, 0x5b, 0x00];
         let result = run(code, vec![], U256::ZERO);
         assert!(!result.success);
         assert!(matches!(result.halt, HaltReason::Fault(_)));
@@ -1339,5 +1722,101 @@ mod tests {
         assert!(result.trace.reentered);
         // The victim was re-entered, so more than one call event exists.
         assert!(result.trace.calls.len() > 1);
+    }
+
+    #[test]
+    fn legacy_decoder_produces_identical_results() {
+        // A program exercising pushes, jumps, storage, memory and a call.
+        let code = vec![
+            0x60, 0x2a, 0x60, 0x01, 0x55, // SSTORE slot 1 <- 42
+            0x60, 0x01, 0x60, 0x0b, 0x57, // JUMPI taken to 0x0b
+            0xfe, // INVALID (skipped)
+            0x5b, // JUMPDEST
+            0x60, 0x01, 0x54, // SLOAD slot 1
+            0x60, 0x00, 0x52, // MSTORE
+            0x60, 0x20, 0x60, 0x00, 0xf3, // RETURN 32 bytes
+        ];
+        let exec = |legacy: bool| {
+            let mut world = world_with_code(code.clone());
+            let mut evm = Evm::new(&mut world, BlockEnv::default());
+            evm.config.legacy_decode = legacy;
+            let result = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+            (result, world)
+        };
+        let (decoded, world_decoded) = exec(false);
+        let (legacy, world_legacy) = exec(true);
+        assert_eq!(decoded, legacy);
+        assert_eq!(world_decoded, world_legacy);
+        assert!(decoded.success);
+        assert_eq!(output_as_u256(&decoded), U256::from_u64(42));
+    }
+
+    #[test]
+    fn exec_frame_reuse_is_transparent() {
+        let code = return_word_program(&[0x60, 0x02, 0x60, 0x03, 0x01]);
+        let mut frame = ExecFrame::new();
+        let fresh = run(code.clone(), vec![], U256::ZERO);
+        for _ in 0..3 {
+            let mut world = world_with_code(code.clone());
+            let mut evm = Evm::new(&mut world, BlockEnv::default());
+            let reused = evm.execute_in(
+                &Message::new(addr(1), addr(0x100), U256::ZERO, vec![]),
+                &mut frame,
+            );
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn program_cache_fast_path_matches_uncached_execution() {
+        let code = return_word_program(&[0x60, 0x07, 0x60, 0x06, 0x02]);
+        let uncached = run(code.clone(), vec![], U256::ZERO);
+
+        let mut world = world_with_code(code);
+        let blob = world.code(addr(0x100));
+        let mut cache = ProgramCache::new();
+        cache.insert(Arc::clone(&blob), Arc::new(DecodedProgram::decode(&blob)));
+        let mut evm = Evm::new(&mut world, BlockEnv::default()).with_programs(&cache);
+        let cached = evm.execute(&Message::new(addr(1), addr(0x100), U256::ZERO, vec![]));
+        assert_eq!(cached, uncached);
+        assert_eq!(output_as_u256(&cached), U256::from_u64(42));
+    }
+
+    #[test]
+    fn ensure_memory_grows_in_words_with_a_single_reservation() {
+        let mut memory = Vec::new();
+        ensure_memory(&mut memory, 1, 1 << 20).unwrap();
+        assert_eq!(memory.len(), 32);
+        ensure_memory(&mut memory, 33, 1 << 20).unwrap();
+        assert_eq!(memory.len(), 64);
+        // No shrink on smaller requests.
+        ensure_memory(&mut memory, 5, 1 << 20).unwrap();
+        assert_eq!(memory.len(), 64);
+    }
+
+    #[test]
+    fn ensure_memory_rejects_exactly_above_the_cap() {
+        let max = 1 << 20; // the default cap, a 32-byte multiple
+        let mut memory = Vec::new();
+        assert!(ensure_memory(&mut memory, max, max).is_ok());
+        assert_eq!(memory.len(), max);
+        let mut memory = Vec::new();
+        assert_eq!(
+            ensure_memory(&mut memory, max + 1, max),
+            Err("memory limit exceeded")
+        );
+        assert!(memory.is_empty(), "a rejected request must not grow memory");
+    }
+
+    #[test]
+    fn huge_mload_offset_faults_instead_of_panicking() {
+        // PUSH8 0xffffffffffffffff, MLOAD: offset + 32 would overflow the
+        // address space; the frame must fault, not crash.
+        let mut code = vec![0x67];
+        code.extend_from_slice(&[0xff; 8]);
+        code.push(0x51);
+        let result = run(code, vec![], U256::ZERO);
+        assert!(!result.success);
+        assert!(matches!(result.halt, HaltReason::Fault(_)));
     }
 }

@@ -39,15 +39,17 @@ pub mod env;
 pub mod interpreter;
 pub mod keccak;
 pub mod opcode;
+pub mod program;
 pub mod state;
 pub mod trace;
 pub mod types;
 pub mod u256;
 
 pub use env::{BlockEnv, ExecutionResult, Message};
-pub use interpreter::{Evm, EvmConfig};
+pub use interpreter::{Evm, EvmConfig, ExecFrame};
 pub use keccak::{keccak256, selector};
 pub use opcode::{disassemble, Instruction, Opcode};
+pub use program::{DecodedInstr, DecodedProgram, ProgramCache};
 pub use state::{Account, HostBehaviour, WorldState};
 pub use trace::{
     ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,

@@ -35,6 +35,7 @@ pub enum Opcode {
     Byte,
     Shl,
     Shr,
+    Sar,
 
     Sha3,
 
@@ -123,6 +124,7 @@ impl Opcode {
             0x1a => Byte,
             0x1b => Shl,
             0x1c => Shr,
+            0x1d => Sar,
             0x20 => Sha3,
             0x30 => Address,
             0x31 => Balance,
@@ -199,6 +201,7 @@ impl Opcode {
             Byte => 0x1a,
             Shl => 0x1b,
             Shr => 0x1c,
+            Sar => 0x1d,
             Sha3 => 0x20,
             Address => 0x30,
             Balance => 0x31,
@@ -264,8 +267,8 @@ impl Opcode {
             IsZero | Not | Balance | CallDataLoad | MLoad | SLoad | BlockHash | Pop | Jump
             | SelfDestruct => 1,
             Add | Mul | Sub | Div | Sdiv | Mod | Smod | Exp | SignExtend | Lt | Gt | Slt | Sgt
-            | Eq | And | Or | Xor | Byte | Shl | Shr | Sha3 | MStore | MStore8 | SStore | JumpI
-            | Return | Revert => 2,
+            | Eq | And | Or | Xor | Byte | Shl | Shr | Sar | Sha3 | MStore | MStore8 | SStore
+            | JumpI | Return | Revert => 2,
             AddMod | MulMod | CallDataCopy | Create => 3,
             Log(n) => 2 + n as usize,
             DelegateCall | StaticCall => 6,
@@ -400,6 +403,8 @@ mod tests {
         assert_eq!(Opcode::DelegateCall.stack_inputs(), 6);
         assert_eq!(Opcode::JumpI.stack_inputs(), 2);
         assert_eq!(Opcode::JumpI.stack_outputs(), 0);
+        assert_eq!(Opcode::Sar.stack_inputs(), 2);
+        assert_eq!(Opcode::Sar.stack_outputs(), 1);
         assert_eq!(Opcode::Push(4).stack_inputs(), 0);
         assert_eq!(Opcode::Push(4).stack_outputs(), 1);
     }

@@ -1,0 +1,228 @@
+//! Pre-decoded instruction streams.
+//!
+//! The fuzzer executes the same runtime bytecode tens of thousands of times
+//! per second. Decoding a byte at a time on every execution — opcode match,
+//! `PUSH` immediate materialisation, `JUMPDEST` scan per call frame — is pure
+//! overhead after the first run, so [`DecodedProgram`] lowers a code blob
+//! once into a dense instruction stream:
+//!
+//! * one [`DecodedInstr`] per instruction with the opcode tag and the
+//!   `PUSH` immediate already materialised as a [`U256`],
+//! * a pc → instruction-index table so `JUMP`/`JUMPI` destinations resolve
+//!   in O(1) without scanning,
+//! * a `JUMPDEST` validity bitmap (a destination is valid only when the
+//!   `0x5b` byte is an instruction start, not push data).
+//!
+//! The sequential successor of an instruction is pre-resolved too: it is
+//! simply the next index in the stream, so the dispatch loop never computes
+//! `pc + 1 + immediate_size` again.
+//!
+//! [`ProgramCache`] maps code blobs (by `Arc` pointer identity — the world
+//! state shares code blobs across snapshots, so the pointer is stable) to
+//! their decoded programs. The fuzzing harness decodes the contract under
+//! test once at build time and shares the cache `Arc`-style across worker
+//! harness clones, exactly like the dense edge index.
+
+use crate::opcode::Opcode;
+use crate::u256::U256;
+use std::sync::Arc;
+
+/// One pre-decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// The opcode.
+    pub op: Opcode,
+    /// Byte offset of the opcode in the original code (what traces record).
+    pub pc: u32,
+    /// Pre-materialised immediate for `PUSH*` (zero for everything else;
+    /// truncated pushes at the end of the code zero-pad exactly like the
+    /// byte-at-a-time decoder).
+    pub imm: U256,
+}
+
+/// A code blob lowered into a dense instruction stream with O(1) jump
+/// resolution.
+///
+/// ```
+/// use mufuzz_evm::{DecodedProgram, Opcode};
+///
+/// // PUSH1 0x03, JUMP, INVALID, JUMPDEST, STOP
+/// let program = DecodedProgram::decode(&[0x60, 0x03, 0x56, 0x5b, 0x00]);
+/// assert_eq!(program.instructions().len(), 4);
+/// assert_eq!(program.instructions()[0].op, Opcode::Push(1));
+/// // pc 3 is a valid JUMPDEST and resolves to instruction index 2.
+/// assert_eq!(program.jump_cursor(3), Some(2));
+/// // pc 1 is push data, not a jump destination.
+/// assert_eq!(program.jump_cursor(1), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DecodedProgram {
+    code_len: usize,
+    instrs: Vec<DecodedInstr>,
+    /// pc → index into `instrs` (`u32::MAX` for bytes inside push data).
+    pc_to_instr: Vec<u32>,
+    /// Valid `JUMPDEST` positions, one bit per code byte.
+    jumpdests: Vec<u64>,
+}
+
+impl DecodedProgram {
+    /// Decode a code blob. One linear pass; every later execution reuses the
+    /// result.
+    pub fn decode(code: &[u8]) -> DecodedProgram {
+        let mut instrs = Vec::with_capacity(code.len());
+        let mut pc_to_instr = vec![u32::MAX; code.len()];
+        let mut jumpdests = vec![0u64; code.len().div_ceil(64)];
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let op = Opcode::from_byte(code[pc]);
+            let imm_len = op.immediate_size();
+            let imm = if imm_len > 0 {
+                let end = (pc + 1 + imm_len).min(code.len());
+                U256::from_be_slice(&code[pc + 1..end])
+            } else {
+                U256::ZERO
+            };
+            pc_to_instr[pc] = instrs.len() as u32;
+            if op == Opcode::JumpDest {
+                jumpdests[pc / 64] |= 1 << (pc % 64);
+            }
+            instrs.push(DecodedInstr {
+                op,
+                pc: pc as u32,
+                imm,
+            });
+            pc += 1 + imm_len;
+        }
+        DecodedProgram {
+            code_len: code.len(),
+            instrs,
+            pc_to_instr,
+            jumpdests,
+        }
+    }
+
+    /// Byte length of the original code (`CODESIZE`).
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// The instruction stream, in code order.
+    pub fn instructions(&self) -> &[DecodedInstr] {
+        &self.instrs
+    }
+
+    /// Resolve a jump destination: the instruction index of `dest` when it
+    /// is a valid `JUMPDEST` (an instruction start carrying `0x5b`), `None`
+    /// otherwise.
+    #[inline]
+    pub fn jump_cursor(&self, dest: usize) -> Option<usize> {
+        if dest >= self.code_len || (self.jumpdests[dest / 64] >> (dest % 64)) & 1 == 0 {
+            return None;
+        }
+        Some(self.pc_to_instr[dest] as usize)
+    }
+}
+
+/// Decoded programs keyed by code-blob identity.
+///
+/// Lookup is by `Arc` pointer equality: the world state hands out clones of
+/// the same `Arc<Vec<u8>>` for an account's code across snapshots, so the
+/// pointer is a stable identity for "the same deployed code". Each entry
+/// pins its code blob alive, so a pointer can never be recycled while the
+/// cache maps it. The cache is built once by the harness and then only read
+/// (it is shared across worker threads behind an `Arc`), so there is no
+/// interior mutability.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramCache {
+    entries: Vec<(Arc<Vec<u8>>, Arc<DecodedProgram>)>,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Register the decoded program of a code blob.
+    pub fn insert(&mut self, code: Arc<Vec<u8>>, program: Arc<DecodedProgram>) {
+        self.entries.push((code, program));
+    }
+
+    /// Look up the decoded program of a code blob by pointer identity. The
+    /// handful of entries (one per deployed contract under test) makes a
+    /// linear scan faster than hashing.
+    #[inline]
+    pub fn get(&self, code: &Arc<Vec<u8>>) -> Option<&Arc<DecodedProgram>> {
+        self.entries
+            .iter()
+            .find(|(c, _)| Arc::ptr_eq(c, code))
+            .map(|(_, p)| p)
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no program is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::disassemble;
+
+    #[test]
+    fn decode_matches_disassembler() {
+        // PUSH1 2, PUSH2 0x0304, ADD, JUMPDEST, PUSH32 (truncated), implicit end
+        let mut code = vec![0x60, 0x02, 0x61, 0x03, 0x04, 0x01, 0x5b];
+        code.push(0x7f);
+        code.extend_from_slice(&[0xaa, 0xbb]);
+        let program = DecodedProgram::decode(&code);
+        let instrs = disassemble(&code);
+        assert_eq!(program.instructions().len(), instrs.len());
+        for (decoded, reference) in program.instructions().iter().zip(&instrs) {
+            assert_eq!(decoded.op, reference.opcode);
+            assert_eq!(decoded.pc as usize, reference.pc);
+            assert_eq!(decoded.imm, U256::from_be_slice(&reference.immediate));
+        }
+        assert_eq!(program.code_len(), code.len());
+    }
+
+    #[test]
+    fn jumpdest_inside_push_data_is_invalid() {
+        // PUSH1 0x5b: the 0x5b byte at pc 1 is data, not a JUMPDEST.
+        let program = DecodedProgram::decode(&[0x60, 0x5b, 0x5b, 0x00]);
+        assert_eq!(program.jump_cursor(1), None);
+        assert_eq!(program.jump_cursor(2), Some(1));
+        assert_eq!(program.jump_cursor(3), None); // STOP, not JUMPDEST
+        assert_eq!(program.jump_cursor(400), None); // out of range
+    }
+
+    #[test]
+    fn empty_code_decodes_to_empty_program() {
+        let program = DecodedProgram::decode(&[]);
+        assert!(program.instructions().is_empty());
+        assert_eq!(program.code_len(), 0);
+        assert_eq!(program.jump_cursor(0), None);
+    }
+
+    #[test]
+    fn cache_hits_by_pointer_identity_only() {
+        let code_a = Arc::new(vec![0x60, 0x01, 0x00]);
+        let code_b = Arc::new(vec![0x60, 0x01, 0x00]); // equal bytes, new blob
+        let mut cache = ProgramCache::new();
+        assert!(cache.is_empty());
+        cache.insert(
+            Arc::clone(&code_a),
+            Arc::new(DecodedProgram::decode(&code_a)),
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&code_a).is_some());
+        assert!(cache.get(&Arc::clone(&code_a)).is_some());
+        assert!(cache.get(&code_b).is_none());
+    }
+}

@@ -3,11 +3,23 @@
 //! Smart contracts are stateful programs; the fuzzer repeatedly replays
 //! transaction sequences against a snapshot of the deployed world state, so
 //! cloning and snapshot/revert need to be cheap and correct.
+//!
+//! The state is copy-on-write: a frozen **base** map of accounts (shared
+//! behind an `Arc` by every snapshot) plus a small **overlay** of accounts
+//! created or modified since. Reads consult the overlay first; the first
+//! write to an account clones it from the base into the overlay. A
+//! [`WorldState::snapshot`] therefore costs one `Arc` clone plus a clone of
+//! the overlay — O(accounts *changed*), not O(world) — which is what lets
+//! the interpreter keep full EVM revert semantics (snapshot before every
+//! transaction, restore on failure) at fuzzing throughput. The harness
+//! [freezes](WorldState::freeze) the post-constructor world once, so every
+//! sequence execution starts from an O(1) restore of that constructor
+//! snapshot.
 
 use crate::trace::Taint;
 use crate::types::Address;
 use crate::u256::U256;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Host-implemented behaviour for accounts that are not plain bytecode
@@ -32,7 +44,7 @@ pub enum HostBehaviour {
 }
 
 /// A single account in the world state.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Account {
     /// Ether balance in wei.
     pub balance: U256,
@@ -75,10 +87,21 @@ impl Account {
     }
 }
 
-/// The full world state: a map from address to account.
+/// The full world state: a copy-on-write map from address to account.
+///
+/// See the [module documentation](self) for the base/overlay split and its
+/// cost model. The external API is a plain address → account map; all
+/// copy-on-write bookkeeping is internal.
 #[derive(Clone, Debug, Default)]
 pub struct WorldState {
-    accounts: HashMap<Address, Account>,
+    /// Accounts frozen at the last [`WorldState::freeze`], shared by every
+    /// snapshot taken since.
+    base: Arc<HashMap<Address, Account>>,
+    /// Accounts created or modified since the freeze; shadows `base`.
+    overlay: HashMap<Address, Account>,
+    /// Accounts removed since the freeze; shadows both maps. Empty in
+    /// ordinary execution (nothing on the EVM path deletes accounts).
+    erased: BTreeSet<Address>,
 }
 
 impl WorldState {
@@ -89,52 +112,77 @@ impl WorldState {
 
     /// Insert or replace an account.
     pub fn put_account(&mut self, address: Address, account: Account) {
-        self.accounts.insert(address, account);
+        self.erased.remove(&address);
+        self.overlay.insert(address, account);
     }
 
     /// Remove an account entirely, returning it if present.
     pub fn remove_account(&mut self, address: Address) -> Option<Account> {
-        self.accounts.remove(&address)
+        let was_erased = self.erased.contains(&address);
+        let from_overlay = self.overlay.remove(&address);
+        if self.base.contains_key(&address) {
+            self.erased.insert(address);
+        }
+        from_overlay.or_else(|| {
+            if was_erased {
+                None
+            } else {
+                self.base.get(&address).cloned()
+            }
+        })
     }
 
     /// Immutable access to an account.
     pub fn account(&self, address: Address) -> Option<&Account> {
-        self.accounts.get(&address)
+        if let Some(account) = self.overlay.get(&address) {
+            return Some(account);
+        }
+        if self.erased.contains(&address) {
+            return None;
+        }
+        self.base.get(&address)
     }
 
-    /// Mutable access, creating an empty account on demand.
+    /// Mutable access, creating an empty account on demand. The first write
+    /// to a frozen account copies it into the overlay (copy-on-write).
     pub fn account_mut(&mut self, address: Address) -> &mut Account {
-        self.accounts.entry(address).or_default()
+        if !self.overlay.contains_key(&address) {
+            let seed = if self.erased.remove(&address) {
+                Account::default()
+            } else {
+                self.base.get(&address).cloned().unwrap_or_default()
+            };
+            self.overlay.insert(address, seed);
+        }
+        self.overlay
+            .get_mut(&address)
+            .expect("account was just inserted into the overlay")
     }
 
     /// Balance of an account (zero if absent).
     pub fn balance(&self, address: Address) -> U256 {
-        self.accounts
-            .get(&address)
+        self.account(address)
             .map(|a| a.balance)
             .unwrap_or(U256::ZERO)
     }
 
     /// Code of an account (empty if absent).
     pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
-        self.accounts
-            .get(&address)
+        self.account(address)
             .map(|a| Arc::clone(&a.code))
             .unwrap_or_default()
     }
 
     /// Storage slot value of an account (zero if absent).
     pub fn storage(&self, address: Address, slot: U256) -> U256 {
-        self.accounts
-            .get(&address)
+        self.account(address)
             .and_then(|a| a.storage.get(&slot).copied())
             .unwrap_or(U256::ZERO)
     }
 
     /// Taint label recorded for a storage slot.
     pub fn storage_taint(&self, address: Address, slot: U256) -> Taint {
-        self.accounts
-            .get(&address)
+        self.account(address)
             .and_then(|a| a.storage_taint.get(&slot).copied())
             .unwrap_or_default()
     }
@@ -170,25 +218,65 @@ impl WorldState {
         true
     }
 
-    /// Iterate over all accounts.
+    /// Iterate over all accounts (overlay entries shadow frozen ones).
     pub fn accounts(&self) -> impl Iterator<Item = (&Address, &Account)> {
-        self.accounts.iter()
+        self.overlay.iter().chain(
+            self.base
+                .iter()
+                .filter(|(a, _)| !self.overlay.contains_key(a) && !self.erased.contains(a)),
+        )
     }
 
     /// Number of accounts in the world.
     pub fn len(&self) -> usize {
-        self.accounts.len()
+        self.overlay.len()
+            + self
+                .base
+                .keys()
+                .filter(|a| !self.overlay.contains_key(a) && !self.erased.contains(a))
+                .count()
     }
 
     /// True if the world is empty.
     pub fn is_empty(&self) -> bool {
-        self.accounts.is_empty()
+        self.len() == 0
     }
 
     /// Snapshot the whole world. Transaction execution clones the state and
-    /// commits only on success, matching EVM revert semantics.
+    /// commits only on success, matching EVM revert semantics. Cost:
+    /// O(accounts changed since the last [`WorldState::freeze`]) — the
+    /// frozen base is shared, only the overlay is copied.
     pub fn snapshot(&self) -> WorldState {
         self.clone()
+    }
+
+    /// Compact every account into a new frozen base shared by all future
+    /// snapshots, making [`WorldState::snapshot`] on the frozen state O(1).
+    /// The harness calls this once on the post-constructor world so each
+    /// sequence execution restarts from the constructor snapshot without
+    /// copying (or re-executing) anything.
+    pub fn freeze(&mut self) {
+        let mut merged = (*self.base).clone();
+        for address in std::mem::take(&mut self.erased) {
+            merged.remove(&address);
+        }
+        for (address, account) in self.overlay.drain() {
+            merged.insert(address, account);
+        }
+        self.base = Arc::new(merged);
+    }
+}
+
+/// Logical equality: two worlds are equal when they map the same addresses
+/// to equal accounts, regardless of how the accounts are split between the
+/// frozen base and the overlay. Used by the decoder differential suite to
+/// assert that the pre-decoded pipeline commits identical state.
+impl PartialEq for WorldState {
+    fn eq(&self, other: &WorldState) -> bool {
+        let view = |w: &'_ WorldState| -> BTreeMap<Address, Account> {
+            w.accounts().map(|(a, acct)| (*a, acct.clone())).collect()
+        };
+        view(self) == view(other)
     }
 }
 
@@ -253,6 +341,73 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_of_frozen_world_is_independent() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        world.set_storage(addr(1), U256::ONE, U256::from_u64(7), Taint::empty());
+        world.freeze();
+        let snap = world.snapshot();
+        // Writes after the freeze go to the overlay and leave the shared
+        // base (and therefore the snapshot) untouched.
+        world.account_mut(addr(1)).balance = U256::from_u64(500);
+        world.set_storage(addr(1), U256::ONE, U256::from_u64(8), Taint::empty());
+        assert_eq!(snap.balance(addr(1)), U256::from_u64(5));
+        assert_eq!(snap.storage(addr(1), U256::ONE), U256::from_u64(7));
+        assert_eq!(world.balance(addr(1)), U256::from_u64(500));
+    }
+
+    #[test]
+    fn freeze_preserves_the_logical_world() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        world.put_account(addr(2), Account::contract(vec![0x00], U256::from_u64(9)));
+        world.set_storage(addr(2), U256::ONE, U256::from_u64(42), Taint::BLOCK);
+        let before = world.snapshot();
+        world.freeze();
+        assert_eq!(world, before);
+        assert_eq!(world.len(), 2);
+        // Frozen accounts stay readable and writable.
+        assert_eq!(world.storage(addr(2), U256::ONE), U256::from_u64(42));
+        assert!(world.transfer(addr(1), addr(2), U256::from_u64(5)));
+        assert_eq!(world.balance(addr(2)), U256::from_u64(14));
+    }
+
+    #[test]
+    fn remove_account_shadows_the_frozen_base() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        world.freeze();
+        let removed = world.remove_account(addr(1));
+        assert_eq!(removed.unwrap().balance, U256::from_u64(5));
+        assert!(world.account(addr(1)).is_none());
+        assert_eq!(world.len(), 0);
+        assert!(world.is_empty());
+        assert!(world.remove_account(addr(1)).is_none());
+        // Re-creating the account starts from scratch, not the frozen copy.
+        assert_eq!(world.account_mut(addr(1)).balance, U256::ZERO);
+        assert_eq!(world.len(), 1);
+    }
+
+    #[test]
+    fn accounts_iteration_merges_base_and_overlay() {
+        let mut world = WorldState::new();
+        world.put_account(addr(1), Account::eoa(U256::from_u64(1)));
+        world.put_account(addr(2), Account::eoa(U256::from_u64(2)));
+        world.freeze();
+        world.put_account(addr(2), Account::eoa(U256::from_u64(20))); // shadowed
+        world.put_account(addr(3), Account::eoa(U256::from_u64(3))); // overlay-only
+        let merged: BTreeMap<Address, U256> = world
+            .accounts()
+            .map(|(a, acct)| (*a, acct.balance))
+            .collect();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[&addr(1)], U256::from_u64(1));
+        assert_eq!(merged[&addr(2)], U256::from_u64(20));
+        assert_eq!(merged[&addr(3)], U256::from_u64(3));
+        assert_eq!(world.len(), 3);
+    }
+
+    #[test]
     fn callable_accounts() {
         let contract = Account::contract(vec![0x00], U256::ZERO);
         assert!(contract.is_callable());
@@ -274,5 +429,17 @@ mod tests {
         world.set_storage(a, U256::ONE, U256::from_u64(5), Taint::BLOCK);
         assert!(world.storage_taint(a, U256::ONE).contains(Taint::BLOCK));
         assert!(world.storage_taint(a, U256::from_u64(2)).is_empty());
+    }
+
+    #[test]
+    fn world_equality_is_logical() {
+        let mut frozen = WorldState::new();
+        frozen.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        frozen.freeze();
+        let mut flat = WorldState::new();
+        flat.put_account(addr(1), Account::eoa(U256::from_u64(5)));
+        assert_eq!(frozen, flat);
+        flat.account_mut(addr(1)).balance = U256::from_u64(6);
+        assert_ne!(frozen, flat);
     }
 }

@@ -353,7 +353,11 @@ impl HaltReason {
 }
 
 /// Instrumentation record of a single top-level transaction execution.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every recorded event — the decoder differential
+/// suite relies on it to assert that the pre-decoded pipeline traces
+/// bit-identically to the legacy byte-at-a-time decoder.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecutionTrace {
     /// Every executed instruction as `(depth, pc, opcode)`. Kept compact; the
     /// heavy analysis data lives in the dedicated event vectors below.

@@ -406,6 +406,24 @@ impl U256 {
         U256(out)
     }
 
+    /// Arithmetic (sign-propagating) right shift in two's complement
+    /// (EVM `SAR`). Shifts of 256 or more saturate to zero for non-negative
+    /// values and to `-1` (all bits set) for negative ones.
+    pub fn sar_bits(self, shift: u32) -> U256 {
+        if !self.is_negative_signed() {
+            return self.shr_bits(shift.min(256));
+        }
+        if shift == 0 {
+            return self;
+        }
+        if shift >= 256 {
+            return U256::MAX;
+        }
+        // Logical shift, then fill the vacated top `shift` bits with the
+        // sign: !(MAX >> shift) is exactly that high mask.
+        self.shr_bits(shift) | !U256::MAX.shr_bits(shift)
+    }
+
     /// Interpret the value as a signed two's-complement number and report
     /// whether it is negative (top bit set). Used by `SLT`/`SGT`.
     pub fn is_negative_signed(&self) -> bool {
@@ -710,6 +728,25 @@ mod tests {
         assert_eq!(u(1).shl_bits(256), U256::ZERO);
         assert_eq!(u(0b1010).shr_bits(1), u(0b101));
         assert_eq!(u(3).shl_bits(1), u(6));
+    }
+
+    #[test]
+    fn arithmetic_shift_propagates_the_sign() {
+        // Non-negative values behave like a logical shift.
+        assert_eq!(u(0b1010).sar_bits(1), u(0b101));
+        assert_eq!(u(7).sar_bits(300), U256::ZERO);
+        // -8 >> 1 == -4, -8 >> 2 == -2, -8 >> 3 == -1, -8 >> 4 == -1.
+        let neg = |v: u64| u(v).wrapping_neg();
+        assert_eq!(neg(8).sar_bits(1), neg(4));
+        assert_eq!(neg(8).sar_bits(3), neg(1));
+        assert_eq!(neg(8).sar_bits(4), neg(1)); // floor division toward -inf
+                                                // Shift 0 is the identity; shifts >= 256 saturate to -1.
+        assert_eq!(neg(8).sar_bits(0), neg(8));
+        assert_eq!(neg(1).sar_bits(255), U256::MAX);
+        assert_eq!(neg(8).sar_bits(256), U256::MAX);
+        assert_eq!(neg(8).sar_bits(u32::MAX), U256::MAX);
+        // MIN >> 255 == -1.
+        assert_eq!(U256::ONE.shl_bits(255).sar_bits(255), U256::MAX);
     }
 
     #[test]

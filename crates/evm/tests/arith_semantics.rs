@@ -1,5 +1,5 @@
 //! EVM-semantics regression suite for the signed and wide arithmetic
-//! opcodes: `SDIV`, `SMOD`, `SIGNEXTEND`, `ADDMOD` and `MULMOD`.
+//! opcodes: `SDIV`, `SMOD`, `SIGNEXTEND`, `ADDMOD`, `MULMOD` and `SAR`.
 //!
 //! Two layers of checks:
 //!
@@ -23,10 +23,23 @@ const SMOD: u8 = 0x07;
 const ADDMOD: u8 = 0x08;
 const MULMOD: u8 = 0x09;
 const SIGNEXTEND: u8 = 0x0b;
+const SAR: u8 = 0x1d;
 
 /// Execute `op` on operands pushed so the first listed operand ends on top
-/// of the stack, and return the single result word.
+/// of the stack, and return the single result word. Runs through both
+/// decoders (pre-decoded stream and legacy byte-at-a-time) and asserts they
+/// agree before returning the value.
 fn eval_op(op: u8, operands: &[U256]) -> U256 {
+    let decoded = eval_op_with(op, operands, false);
+    let legacy = eval_op_with(op, operands, true);
+    assert_eq!(
+        decoded, legacy,
+        "decoder divergence on opcode 0x{op:02x} over {operands:?}"
+    );
+    decoded
+}
+
+fn eval_op_with(op: u8, operands: &[U256], legacy_decode: bool) -> U256 {
     let mut code = Vec::new();
     // Push in reverse so operands[0] is popped first.
     for word in operands.iter().rev() {
@@ -48,6 +61,7 @@ fn eval_op(op: u8, operands: &[U256]) -> U256 {
     world.put_account(sender, Account::eoa(U256::from_u64(1)));
     world.put_account(contract, Account::contract(code, U256::ZERO));
     let mut evm = Evm::new(&mut world, BlockEnv::default());
+    evm.config.legacy_decode = legacy_decode;
     let result = evm.execute(&Message::new(sender, contract, U256::ZERO, vec![]));
     assert!(
         result.success,
@@ -137,6 +151,33 @@ fn mulmod_uses_a_512_bit_intermediate() {
     assert_eq!(eval_op(MULMOD, &[word(3), word(4), word(0)]), U256::ZERO);
 }
 
+#[test]
+fn sar_shifts_arithmetically() {
+    // Stack order: eval_op(SAR, &[shift, value]).
+    // Non-negative values degrade to a logical shift.
+    assert_eq!(eval_op(SAR, &[word(1), word(8)]), word(4));
+    assert_eq!(eval_op(SAR, &[word(4), word(0x7f)]), word(0x07));
+    assert_eq!(eval_op(SAR, &[word(300), word(7)]), U256::ZERO);
+    // Negative values keep their sign: -8 >> 1 == -4, -8 >> 3 == -1 and the
+    // result saturates at -1 (rounding toward negative infinity).
+    assert_eq!(eval_op(SAR, &[word(1), word(-8)]), word(-4));
+    assert_eq!(eval_op(SAR, &[word(3), word(-8)]), word(-1));
+    assert_eq!(eval_op(SAR, &[word(4), word(-8)]), word(-1));
+    // Shift 0 is the identity; shifts >= 256 (including ones that do not
+    // even fit in 64 bits) yield 0 or -1 depending on the sign.
+    assert_eq!(eval_op(SAR, &[word(0), word(-8)]), word(-8));
+    assert_eq!(eval_op(SAR, &[word(256), word(-8)]), word(-1));
+    assert_eq!(eval_op(SAR, &[word(256), word(8)]), U256::ZERO);
+    assert_eq!(eval_op(SAR, &[U256::MAX, word(-8)]), word(-1));
+    assert_eq!(eval_op(SAR, &[U256::MAX, word(8)]), U256::ZERO);
+    // MIN >> 255 == -1; MIN >> 1 == -2^254.
+    assert_eq!(eval_op(SAR, &[word(255), min_signed()]), word(-1));
+    assert_eq!(
+        eval_op(SAR, &[word(1), min_signed()]),
+        U256::ONE.shl_bits(254).wrapping_neg()
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Property tests against reference models
 // ---------------------------------------------------------------------------
@@ -178,6 +219,21 @@ proptest! {
         let bits = 8 * (index as u32 + 1);
         let expected = (x << (128 - bits)) >> (128 - bits);
         prop_assert_eq!(word(x).sign_extend(index), word(expected));
+    }
+
+    #[test]
+    fn sar_matches_i128_reference(x in any::<i128>(), shift in 0u32..512) {
+        // Arithmetic right shift of an i128 saturates to 0 / -1 beyond 127
+        // bits, exactly like the 256-bit shift does for a value that fits in
+        // i128 (the sign extension above bit 127 is uniform).
+        let expected = x >> shift.min(127);
+        prop_assert_eq!(word(x).sar_bits(shift), word(expected));
+    }
+
+    #[test]
+    fn sar_of_nonnegative_equals_logical_shift(x in any::<u128>(), shift in 0u32..300) {
+        let v = U256::from_u128(x);
+        prop_assert_eq!(v.sar_bits(shift), v.shr_bits(shift.min(256)));
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Throughput comparison of the parallel campaign engine: fuzz the
-//! quickstart PiggyBank contract with 1 worker and with N workers and report
-//! execs/sec for both.
+//! Throughput benchmark of the campaign engine: fuzz the quickstart
+//! PiggyBank contract with 1 worker and with N workers, report execs/sec for
+//! both, and emit a machine-readable `BENCH_throughput.json` so CI can track
+//! the performance trajectory across PRs.
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example throughput            # N = available parallelism
-//! MUFUZZ_WORKERS=4 cargo run --release --example throughput
+//! cargo run --release --example throughput            # N = 4 workers
+//! MUFUZZ_WORKERS=8 cargo run --release --example throughput
+//! MUFUZZ_EXECS=100000 cargo run --release --example throughput
 //! ```
 
 use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
@@ -51,6 +53,32 @@ fn campaign(workers: usize, executions: usize) -> CampaignReport {
         .run()
 }
 
+fn print_report(report: &CampaignReport) {
+    println!(
+        "workers={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
+        report.workers,
+        report.executions,
+        report.elapsed_ms,
+        report.execs_per_sec(),
+        report.coverage_percent()
+    );
+}
+
+/// One JSON record per measured configuration.
+fn json_entry(report: &CampaignReport) -> String {
+    format!(
+        concat!(
+            "{{\"workers\": {}, \"executions\": {}, \"elapsed_ms\": {}, ",
+            "\"execs_per_sec\": {:.1}, \"coverage_percent\": {:.2}}}"
+        ),
+        report.workers,
+        report.executions,
+        report.elapsed_ms,
+        report.execs_per_sec(),
+        report.coverage_percent()
+    )
+}
+
 fn main() {
     let executions = std::env::var("MUFUZZ_EXECS")
         .ok()
@@ -59,32 +87,36 @@ fn main() {
     let workers = std::env::var("MUFUZZ_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(mufuzz::default_workers);
+        .unwrap_or(4);
 
     // Warm-up run so page faults and lazy allocations do not skew the
     // single-worker number.
     campaign(1, executions / 10);
 
     let single = campaign(1, executions);
-    println!(
-        "workers=1: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
-        single.executions,
-        single.elapsed_ms,
-        single.execs_per_sec(),
-        single.coverage_percent()
-    );
+    print_report(&single);
 
     let parallel = campaign(workers, executions);
-    println!(
-        "workers={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
-        parallel.workers,
-        parallel.executions,
-        parallel.elapsed_ms,
-        parallel.execs_per_sec(),
-        parallel.coverage_percent()
-    );
+    print_report(&parallel);
     println!(
         "speedup: {:.2}x",
         parallel.execs_per_sec() / single.execs_per_sec()
     );
+
+    // Machine-readable record for the CI perf-smoke artifact.
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"piggybank\",\n  \"budget\": {},\n",
+            "  \"single\": {},\n  \"parallel\": {}\n}}\n"
+        ),
+        executions,
+        json_entry(&single),
+        json_entry(&parallel)
+    );
+    let path =
+        std::env::var("MUFUZZ_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
