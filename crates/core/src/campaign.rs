@@ -20,11 +20,18 @@
 //! * **The execution budget** is an atomic reservation counter: a worker
 //!   reserves a slot *before* executing, so a campaign can never overshoot
 //!   `max_executions`, at any worker count.
+//! * **Seed scheduling** runs off per-worker **corpus shards**: each worker
+//!   mirrors the corpus (seed refs plus cached weights) locally and draws
+//!   seeds / allocates energy from the mirror with no lock at all. A
+//!   [`SchedulerEpoch`] counter, bumped on every admission and culling pass,
+//!   tells stale mirrors to resync before their next draw, so every draw
+//!   still sees the full Algorithm 3 corpus view.
 //! * **Scheduling state** — the corpus, the timeline and the diagnostic
 //!   shape log — stays in a `SharedCampaignState` behind one mutex, held
-//!   only to draw a seed batch (so energy allocation keeps the global
-//!   Algorithm 3 semantics), to admit new seeds (and periodically cull
-//!   dominated ones), and to append timeline points.
+//!   only to admit new seeds (and periodically cull dominated ones), to
+//!   resync shard mirrors, to claim mask-probe passes, and to append
+//!   timeline points. (With `FuzzerConfig::sharded_scheduler` off, seed
+//!   draws themselves also take this lock, as the pre-shard engine did.)
 //!
 //! Sequence executions run unlocked against thread-local
 //! [`ContractHarness`] clones, and bug oracles observe into thread-local
@@ -37,8 +44,8 @@
 //! workers draw decorrelated `SmallRng` streams derived from `rng_seed`.
 
 use crate::config::FuzzerConfig;
-use crate::coverage::CoverageMap;
-use crate::energy::{allocate_energy, seed_weight};
+use crate::coverage::{CoverageMap, SchedulerEpoch};
+use crate::energy::{allocate_energy, corpus_mean_weight, seed_weight};
 use crate::executor::{ContractHarness, HarnessError, SequenceOutcome};
 use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
@@ -51,6 +58,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -224,6 +232,11 @@ struct CampaignShared {
     /// reservation, so this counter equals the number of executions
     /// performed and can never exceed `max_executions`.
     reserved: AtomicUsize,
+    /// Scheduling-state generation: bumped (under the state lock) on every
+    /// corpus admission and culling pass so stale worker shards resync
+    /// before their next draw. Steady-state draws compare against it with a
+    /// single atomic load and touch no lock.
+    epoch: SchedulerEpoch,
 }
 
 impl CampaignShared {
@@ -267,6 +280,38 @@ struct RunParams {
     total_edges: usize,
 }
 
+/// Seed selection: prefer seeds close to uncovered branches (branch-distance
+/// feedback), fall back to weight-proportional choice.
+///
+/// A free function over any corpus view — the mutex-guarded global corpus or
+/// a worker's shard mirror — so both draw paths consume the RNG identically
+/// and make the same choice over the same view.
+fn select_seed(config: &FuzzerConfig, rng: &mut SmallRng, corpus: &[Seed]) -> usize {
+    debug_assert!(!corpus.is_empty());
+    if config.enable_branch_distance && rng.gen_bool(0.5) {
+        let best = corpus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.best_distance.map(|d| (i, d + 0.01 * s.selections as f64)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((i, _)) = best {
+            return i;
+        }
+    }
+    // Weight-proportional roulette (uniform when dynamic energy is off).
+    if config.enable_dynamic_energy {
+        let total: f64 = corpus.iter().map(|s| s.weight).sum();
+        let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (i, seed) in corpus.iter().enumerate() {
+            if target < seed.weight {
+                return i;
+            }
+            target -= seed.weight;
+        }
+    }
+    rng.gen_range(0..corpus.len())
+}
+
 /// A decorrelated per-worker RNG seed (SplitMix64 over the campaign seed and
 /// the worker index). Worker 0 does not use this: it inherits the campaign
 /// RNG directly so single-worker runs replay the sequential engine.
@@ -275,6 +320,29 @@ fn derive_worker_seed(rng_seed: u64, index: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A worker's local mirror of the scheduling state: the corpus's seeds with
+/// their cached weights, stamped with the [`SchedulerEpoch`] generation it
+/// was synced at.
+///
+/// Steady-state seed draws and energy allocation run entirely off this
+/// mirror — no lock. The mirror is rebuilt (under the state lock) whenever
+/// the published epoch differs from the stamp, i.e. before any draw that
+/// would otherwise miss an admission or a culling pass, and every
+/// `FuzzerConfig::shard_resync_draws` draws so locally accumulated selection
+/// counts flow back into the global corpus at bounded staleness.
+#[derive(Default)]
+struct CorpusShard {
+    /// Epoch generation this mirror reflects.
+    epoch: u64,
+    /// The mirrored corpus (same order as the global corpus vector).
+    seeds: Vec<Seed>,
+    /// Selection counts at the last sync, parallel to `seeds`; the per-seed
+    /// difference is the delta flushed at the next resync.
+    synced_selections: Vec<usize>,
+    /// Draws since the last resync.
+    draws: usize,
 }
 
 /// One campaign worker: thread-local harness, RNG and bug monitor plus
@@ -294,6 +362,9 @@ struct Worker<'a> {
     /// Final world of the last mutant this worker executed (feeds the
     /// campaign-level oracles at finalisation).
     last_world: Option<WorldState>,
+    /// Local mirror of the scheduling state for the sharded draw path
+    /// (unused — and empty — when `FuzzerConfig::sharded_scheduler` is off).
+    shard: CorpusShard,
 }
 
 impl Worker<'_> {
@@ -364,34 +435,6 @@ impl Worker<'_> {
             }
         }
         best
-    }
-
-    /// Seed selection: prefer seeds close to uncovered branches
-    /// (branch-distance feedback), fall back to weight-proportional choice.
-    fn select_seed(&mut self, corpus: &[Seed]) -> usize {
-        debug_assert!(!corpus.is_empty());
-        if self.config.enable_branch_distance && self.rng.gen_bool(0.5) {
-            let best = corpus
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.best_distance.map(|d| (i, d + 0.01 * s.selections as f64)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            if let Some((i, _)) = best {
-                return i;
-            }
-        }
-        // Weight-proportional roulette (uniform when dynamic energy is off).
-        if self.config.enable_dynamic_energy {
-            let total: f64 = corpus.iter().map(|s| s.weight).sum();
-            let mut target = self.rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
-            for (i, seed) in corpus.iter().enumerate() {
-                if target < seed.weight {
-                    return i;
-                }
-                target -= seed.weight;
-            }
-        }
-        self.rng.gen_range(0..corpus.len())
     }
 
     /// Mutate a seed: byte-level mask-guided mutation on one transaction,
@@ -485,6 +528,7 @@ impl Worker<'_> {
             let seed = self.admit_seed(sequence, &outcome, new_edges, &shared.coverage);
             let mut s = shared.state.lock().expect("campaign state poisoned");
             s.admit(seed);
+            shared.epoch.bump();
             Self::snapshot_locked(&mut s, shared, params, slot);
         }
     }
@@ -509,126 +553,304 @@ impl Worker<'_> {
         }
     }
 
-    /// The worker main loop: draw a seed batch from the global scheduler,
-    /// optionally probe its mutation mask, then generate and execute the
-    /// allotted mutants, merging feedback after every execution.
+    /// The worker main loop: draw a seed batch (off-lock from the local
+    /// shard by default, under the state lock with the historical global
+    /// scheduler otherwise), optionally probe its mutation mask, then
+    /// generate and execute the allotted mutants, merging feedback after
+    /// every execution.
     fn run_loop(&mut self, shared: &CampaignShared, params: &RunParams) {
         loop {
-            // ---- draw a seed batch (global scheduling under the lock) ----
             if shared.executions() >= self.config.max_executions
                 || self.time_exhausted(params.start)
             {
-                return;
+                break;
             }
-            let (mut seed_snapshot, seed_uid, energy, compute) = {
-                let mut s = shared.state.lock().expect("campaign state poisoned");
-                let seed_index = self.select_seed(&s.corpus);
-                s.corpus[seed_index].selections += 1;
-
-                // Energy allocation (Algorithm 3) against the global corpus.
-                let mean_weight =
-                    s.corpus.iter().map(|x| x.weight).sum::<f64>() / s.corpus.len() as f64;
-                let energy = allocate_energy(
-                    s.corpus[seed_index].weight,
-                    mean_weight,
-                    self.config.base_energy,
-                    self.config.enable_dynamic_energy,
-                );
-
-                // Mask computation (Algorithm 2), once per seed, only for
-                // seeds the paper considers worth masking: those hitting
-                // deeply nested branches or improving branch distance. The
-                // probe executions are real executions — they consume budget
-                // but also contribute coverage and can be admitted as seeds —
-                // so masking is deferred until a seed has proven interesting
-                // (selected more than once) and enough budget remains to
-                // amortise the probes.
-                let remaining = self
-                    .config
-                    .max_executions
-                    .saturating_sub(shared.executions());
-                let seed = &mut s.corpus[seed_index];
-                let probe_cost_estimate =
-                    4 * MAX_MASK_WORDS * seed.sequence.len().clamp(1, MAX_MASK_TXS);
-                let compute = self.config.enable_mask_guidance
-                    && seed.masks.is_none()
-                    && !seed.masks_pending
-                    && seed.selections >= 2
-                    && remaining > 2 * probe_cost_estimate
-                    && (seed.hits_nested_branch || seed.best_distance.is_some());
-                if compute {
-                    // Claim the probe work so no other worker duplicates it.
-                    seed.masks_pending = true;
-                }
-                // Snapshot only the fields the unlocked batch reads; the
-                // covered-edges list (the potentially large part) is needed
-                // solely as the nested-branch baseline of a probe pass.
-                let snapshot = Seed {
-                    uid: seed.uid,
-                    sequence: seed.sequence.clone(),
-                    covered_edge_ids: if compute {
-                        seed.covered_edge_ids.clone()
-                    } else {
-                        Vec::new()
-                    },
-                    new_edges: seed.new_edges,
-                    hits_nested_branch: seed.hits_nested_branch,
-                    weight: seed.weight,
-                    best_distance: seed.best_distance,
-                    selections: seed.selections,
-                    masks: seed.masks.clone(),
-                    masks_pending: seed.masks_pending,
-                };
-                (snapshot, seed.uid, energy, compute)
+            let (seed_snapshot, seed_uid, energy, compute) = if self.config.sharded_scheduler {
+                self.draw_sharded(shared)
+            } else {
+                self.draw_global(shared)
             };
+            if self
+                .run_batch(shared, params, seed_snapshot, seed_uid, energy, compute)
+                .is_break()
+            {
+                break;
+            }
+        }
+        // Leave no locally accumulated scheduling feedback behind: flush the
+        // shard's selection-count deltas before the worker retires.
+        if self.config.sharded_scheduler && !self.shard.seeds.is_empty() {
+            let mut s = shared.state.lock().expect("campaign state poisoned");
+            self.flush_selections_locked(&mut s);
+        }
+    }
 
-            if compute {
-                let masks = self.compute_masks(&seed_snapshot, shared);
-                seed_snapshot.masks = Some(masks.clone());
+    /// Draw a seed batch under the state lock against the global corpus (the
+    /// pre-shard scheduler, kept behind `sharded_scheduler = false` for
+    /// equivalence tests and A/B comparisons).
+    fn draw_global(&mut self, shared: &CampaignShared) -> (Seed, u64, usize, bool) {
+        let mut s = shared.state.lock().expect("campaign state poisoned");
+        let seed_index = select_seed(self.config, &mut self.rng, &s.corpus);
+        s.corpus[seed_index].selections += 1;
+
+        // Energy allocation (Algorithm 3) against the global corpus.
+        let mean_weight = corpus_mean_weight(&s.corpus);
+        let energy = allocate_energy(
+            s.corpus[seed_index].weight,
+            mean_weight,
+            self.config.base_energy,
+            self.config.enable_dynamic_energy,
+        );
+
+        let remaining = self
+            .config
+            .max_executions
+            .saturating_sub(shared.executions());
+        let seed = &mut s.corpus[seed_index];
+        let compute = Self::wants_masks(self.config, seed, remaining);
+        if compute {
+            // Claim the probe work so no other worker duplicates it.
+            seed.masks_pending = true;
+        }
+        // Snapshot only the fields the unlocked batch reads; the
+        // covered-edges list (the potentially large part) is needed
+        // solely as the nested-branch baseline of a probe pass.
+        let snapshot = Seed {
+            uid: seed.uid,
+            sequence: seed.sequence.clone(),
+            covered_edge_ids: if compute {
+                seed.covered_edge_ids.clone()
+            } else {
+                Vec::new()
+            },
+            new_edges: seed.new_edges,
+            hits_nested_branch: seed.hits_nested_branch,
+            weight: seed.weight,
+            best_distance: seed.best_distance,
+            selections: seed.selections,
+            masks: seed.masks.clone(),
+            masks_pending: seed.masks_pending,
+        };
+        (snapshot, seed.uid, energy, compute)
+    }
+
+    /// Draw a seed batch from the worker's corpus shard: selection, energy
+    /// allocation and the mask-probe gate all read the local mirror, so a
+    /// steady-state draw takes no lock at all. The lock is touched only to
+    /// resync a stale mirror (the epoch moved, or the forced interval
+    /// elapsed) and to claim a mask-probe pass against the global view.
+    ///
+    /// Because every corpus change bumps the epoch *before* the changing
+    /// worker's next draw, a fresh mirror is always content-identical to the
+    /// global corpus — the sharded and global schedulers make the same
+    /// decisions from the same RNG stream, which is what keeps `workers ==
+    /// 1` campaigns bit-identical to the historical engine (the snapshot
+    /// test holds with either draw path).
+    fn draw_sharded(&mut self, shared: &CampaignShared) -> (Seed, u64, usize, bool) {
+        if self.shard.epoch != shared.epoch.current()
+            || self.shard.draws >= self.config.shard_resync_draws
+        {
+            self.resync_shard(shared);
+        }
+        self.shard.draws += 1;
+        let seed_index = select_seed(self.config, &mut self.rng, &self.shard.seeds);
+        self.shard.seeds[seed_index].selections += 1;
+
+        // Energy allocation (Algorithm 3) against the mirrored corpus.
+        let mean_weight = corpus_mean_weight(&self.shard.seeds);
+        let energy = allocate_energy(
+            self.shard.seeds[seed_index].weight,
+            mean_weight,
+            self.config.base_energy,
+            self.config.enable_dynamic_energy,
+        );
+
+        let remaining = self
+            .config
+            .max_executions
+            .saturating_sub(shared.executions());
+        let seed = &self.shard.seeds[seed_index];
+        let seed_uid = seed.uid;
+        let wants = Self::wants_masks(self.config, seed, remaining);
+        // Claiming a probe pass needs the global view: another worker may
+        // have claimed — or finished — the same seed's masks since this
+        // mirror was synced.
+        let compute = if wants {
+            let claimed = {
+                let mut s = shared.state.lock().expect("campaign state poisoned");
+                match s.corpus.iter_mut().find(|g| g.uid == seed_uid) {
+                    Some(global) if global.masks.is_none() && !global.masks_pending => {
+                        global.masks_pending = true;
+                        None
+                    }
+                    Some(global) => Some((global.masks.clone(), global.masks_pending)),
+                    // Culled since the last resync: draw it one last time
+                    // without probing; the stale mirror retires at the next
+                    // epoch check.
+                    None => Some((None, false)),
+                }
+            };
+            match claimed {
+                None => {
+                    self.shard.seeds[seed_index].masks_pending = true;
+                    true
+                }
+                Some((masks, pending)) => {
+                    // Adopt the fresher global mask state so the batch
+                    // mutates with it and the mirror stops re-claiming.
+                    let seed = &mut self.shard.seeds[seed_index];
+                    seed.masks = masks;
+                    seed.masks_pending = pending;
+                    false
+                }
+            }
+        } else {
+            false
+        };
+        // Snapshot only the fields the batch reads, exactly like the global
+        // path: the covered-edges list (the potentially large part) is
+        // needed solely as the nested-branch baseline of a probe pass.
+        let seed = &self.shard.seeds[seed_index];
+        let snapshot = Seed {
+            uid: seed.uid,
+            sequence: seed.sequence.clone(),
+            covered_edge_ids: if compute {
+                seed.covered_edge_ids.clone()
+            } else {
+                Vec::new()
+            },
+            new_edges: seed.new_edges,
+            hits_nested_branch: seed.hits_nested_branch,
+            weight: seed.weight,
+            best_distance: seed.best_distance,
+            selections: seed.selections,
+            masks: seed.masks.clone(),
+            masks_pending: seed.masks_pending,
+        };
+        (snapshot, seed_uid, energy, compute)
+    }
+
+    /// The mask-probe gate (Algorithm 2 scheduling): compute masks once per
+    /// seed, only for seeds the paper considers worth masking — those
+    /// hitting deeply nested branches or improving branch distance. The
+    /// probe executions are real executions — they consume budget but also
+    /// contribute coverage and can be admitted as seeds — so masking is
+    /// deferred until a seed has proven interesting (selected more than
+    /// once) and enough budget remains to amortise the probes.
+    fn wants_masks(config: &FuzzerConfig, seed: &Seed, remaining: usize) -> bool {
+        let probe_cost_estimate = 4 * MAX_MASK_WORDS * seed.sequence.len().clamp(1, MAX_MASK_TXS);
+        config.enable_mask_guidance
+            && seed.masks.is_none()
+            && !seed.masks_pending
+            && seed.selections >= 2
+            && remaining > 2 * probe_cost_estimate
+            && (seed.hits_nested_branch || seed.best_distance.is_some())
+    }
+
+    /// Rebuild the worker's corpus mirror from the global scheduling state,
+    /// first flushing the selection counts accumulated locally since the
+    /// previous sync. The epoch stamp is read under the same lock, so a
+    /// mirror is never stamped fresher than its contents.
+    ///
+    /// The corpus clone does run under the lock — that is what makes the
+    /// mirror a consistent snapshot — but resyncs fire only on admissions
+    /// and at the forced interval, the corpus is tens of seeds, and the
+    /// clone replaces what used to be a lock acquisition plus a sequence
+    /// clone on *every* draw.
+    fn resync_shard(&mut self, shared: &CampaignShared) {
+        let mut s = shared.state.lock().expect("campaign state poisoned");
+        self.flush_selections_locked(&mut s);
+        self.shard.epoch = shared.epoch.current();
+        self.shard.seeds = s.corpus.clone();
+        drop(s);
+        self.shard.synced_selections = self.shard.seeds.iter().map(|x| x.selections).collect();
+        self.shard.draws = 0;
+    }
+
+    /// Push the shard's selection-count deltas into the global corpus
+    /// (matching seeds by uid — culling may have dropped or reshuffled
+    /// them). Must be called with the state lock held.
+    fn flush_selections_locked(&self, s: &mut SharedCampaignState) {
+        for (mirror, &synced) in self.shard.seeds.iter().zip(&self.shard.synced_selections) {
+            let delta = mirror.selections - synced;
+            if delta > 0 {
+                if let Some(global) = s.corpus.iter_mut().find(|g| g.uid == mirror.uid) {
+                    global.selections += delta;
+                }
+            }
+        }
+    }
+
+    /// Run one drawn batch: optionally probe the seed's mutation mask, then
+    /// mutate→execute→evaluate `energy` mutants, merging feedback after
+    /// every execution. Returns `Break` when the campaign budget (execution
+    /// or wall-clock) ends inside the batch.
+    fn run_batch(
+        &mut self,
+        shared: &CampaignShared,
+        params: &RunParams,
+        mut seed_snapshot: Seed,
+        seed_uid: u64,
+        energy: usize,
+        compute: bool,
+    ) -> ControlFlow<()> {
+        if compute {
+            let masks = self.compute_masks(&seed_snapshot, shared);
+            seed_snapshot.masks = Some(masks.clone());
+            {
                 let mut s = shared.state.lock().expect("campaign state poisoned");
                 // Look the seed up by uid, not index: culling may have
                 // reshuffled (or dropped) it while the probes ran.
                 if let Some(seed) = s.corpus.iter_mut().find(|x| x.uid == seed_uid) {
-                    seed.masks = Some(masks);
+                    seed.masks = Some(masks.clone());
                 }
             }
-
-            // ---- the mutate→execute→evaluate batch (executions unlocked) ----
-            for _ in 0..energy {
-                if self.time_exhausted(params.start) {
-                    return;
-                }
-                // Exact budget: reserve the slot before mutating/executing;
-                // a successful reservation is always followed by exactly one
-                // execution, so the campaign can never overshoot.
-                let Some(slot) = shared.try_reserve(self.config.max_executions) else {
-                    return;
-                };
-                let candidate = self.mutate_seed(&seed_snapshot);
-                let outcome = self
-                    .harness
-                    .execute_sequence_with(&candidate, &mut self.frame);
-                self.observe(&outcome);
-
-                // Coverage merge: atomic bitmap only, no state lock.
-                let new_edges = shared.merge_coverage(&outcome, &self.harness);
-                if new_edges > 0 {
-                    let shape = candidate.shape();
-                    let seed = self.admit_seed(candidate, &outcome, new_edges, &shared.coverage);
-                    let mut s = shared.state.lock().expect("campaign state poisoned");
-                    if s.interesting_shapes.len() < 16 {
-                        s.interesting_shapes.push(shape);
-                    }
-                    s.admit(seed);
-                    s.maybe_cull(self.config.corpus_cull_interval);
-                }
-                self.last_world = Some(outcome.final_world);
-                if slot.is_multiple_of(params.snapshot_every) {
-                    let mut s = shared.state.lock().expect("campaign state poisoned");
-                    Self::snapshot_locked(&mut s, shared, params, slot);
-                }
+            // Keep the local mirror fresh too; no epoch bump needed — other
+            // workers re-check mask state under the lock when they claim.
+            if let Some(seed) = self.shard.seeds.iter_mut().find(|x| x.uid == seed_uid) {
+                seed.masks = Some(masks);
             }
         }
+
+        // ---- the mutate→execute→evaluate batch (executions unlocked) ----
+        for _ in 0..energy {
+            if self.time_exhausted(params.start) {
+                return ControlFlow::Break(());
+            }
+            // Exact budget: reserve the slot before mutating/executing;
+            // a successful reservation is always followed by exactly one
+            // execution, so the campaign can never overshoot.
+            let Some(slot) = shared.try_reserve(self.config.max_executions) else {
+                return ControlFlow::Break(());
+            };
+            let candidate = self.mutate_seed(&seed_snapshot);
+            let outcome = self
+                .harness
+                .execute_sequence_with(&candidate, &mut self.frame);
+            self.observe(&outcome);
+
+            // Coverage merge: atomic bitmap only, no state lock.
+            let new_edges = shared.merge_coverage(&outcome, &self.harness);
+            if new_edges > 0 {
+                let shape = candidate.shape();
+                let seed = self.admit_seed(candidate, &outcome, new_edges, &shared.coverage);
+                let mut s = shared.state.lock().expect("campaign state poisoned");
+                if s.interesting_shapes.len() < 16 {
+                    s.interesting_shapes.push(shape);
+                }
+                s.admit(seed);
+                s.maybe_cull(self.config.corpus_cull_interval);
+                // Publish the corpus change so every shard resyncs before
+                // its next draw (bumped while the lock is held).
+                shared.epoch.bump();
+            }
+            self.last_world = Some(outcome.final_world);
+            if slot.is_multiple_of(params.snapshot_every) {
+                let mut s = shared.state.lock().expect("campaign state poisoned");
+                Self::snapshot_locked(&mut s, shared, params, slot);
+            }
+        }
+        ControlFlow::Continue(())
     }
 
     /// Algorithm 2: probe each (word, operator) site of every transaction in
@@ -706,6 +928,7 @@ impl Worker<'_> {
                         let mut s = shared.state.lock().expect("campaign state poisoned");
                         s.admit(admitted);
                         s.maybe_cull(self.config.corpus_cull_interval);
+                        shared.epoch.bump();
                     }
                     // Or does it reduce the distance to an uncovered branch?
                     let probe_distance = self
@@ -809,6 +1032,7 @@ impl Fuzzer {
             }),
             coverage: CoverageMap::new(self.harness.edge_index().len()),
             reserved: AtomicUsize::new(0),
+            epoch: SchedulerEpoch::new(),
         };
 
         // Worker 0 runs on the calling thread and continues the campaign RNG,
@@ -823,6 +1047,7 @@ impl Fuzzer {
             monitor: CampaignMonitor::new(),
             frame: ExecFrame::new(),
             last_world: None,
+            shard: CorpusShard::default(),
         };
 
         // ---- initial seeds (single-threaded prologue) ----
@@ -860,6 +1085,7 @@ impl Fuzzer {
                         monitor: CampaignMonitor::new(),
                         frame: ExecFrame::new(),
                         last_world: None,
+                        shard: CorpusShard::default(),
                     };
                     let shared = &shared;
                     let params = &params;
@@ -910,6 +1136,7 @@ impl Fuzzer {
             state,
             coverage,
             reserved,
+            epoch: _,
         } = shared;
         let s = state.into_inner().expect("campaign state poisoned");
         let executions = reserved.into_inner();

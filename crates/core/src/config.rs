@@ -20,6 +20,7 @@
 /// assert_eq!(config.max_executions, 50_000);
 /// assert_eq!(config.workers, 4);
 /// assert_eq!(config.corpus_cull_interval, Some(64));
+/// assert!(config.sharded_scheduler); // lock-free seed draws by default
 /// // Ablations switch one component off at a time.
 /// assert!(!config.without_mask_guidance().enable_mask_guidance);
 /// ```
@@ -70,6 +71,20 @@ pub struct FuzzerConfig {
     /// bit-identity contract, so culling is strictly opt-in for long
     /// campaigns whose corpus would otherwise grow without bound.
     pub corpus_cull_interval: Option<usize>,
+    /// Draw seed batches from a per-worker corpus shard (a local mirror of
+    /// the scheduling state, refreshed when the campaign's epoch counter
+    /// moves) instead of under the shared state lock. Steady-state seed
+    /// draws and energy allocation then touch no lock at all; the mutex is
+    /// taken only for admissions, shard resyncs and timeline points. On by
+    /// default. The shard resyncs before any draw that would observe a
+    /// corpus change, so scheduling decisions — and, at `workers == 1`, the
+    /// entire campaign — are bit-identical to the global draw path.
+    pub sharded_scheduler: bool,
+    /// Force a shard resync every `n` draws even when the epoch counter has
+    /// not moved, so locally accumulated selection counts flow back into the
+    /// global corpus view at a bounded staleness. The amortised lock cost of
+    /// the sharded scheduler is one acquisition per `n` draws.
+    pub shard_resync_draws: usize,
     /// Number of externally-owned sender accounts in the fuzzing world.
     pub sender_count: usize,
     /// Base mutation energy per selected seed (number of mutants generated).
@@ -100,6 +115,8 @@ impl Default for FuzzerConfig {
             enable_branch_distance: true,
             harvest_constants: true,
             corpus_cull_interval: None,
+            sharded_scheduler: true,
+            shard_resync_draws: 64,
             sender_count: 3,
             base_energy: 8,
             initial_seeds: 8,
@@ -163,6 +180,29 @@ impl FuzzerConfig {
         self
     }
 
+    /// Choose the seed-draw path (builder style): `true` (the default) draws
+    /// from per-worker corpus shards without taking the state lock, `false`
+    /// restores the historical global draw under the mutex. Both paths make
+    /// identical scheduling decisions; the knob exists for the equivalence
+    /// tests and for A/B throughput comparisons.
+    pub fn with_sharded_scheduler(mut self, sharded: bool) -> Self {
+        self.sharded_scheduler = sharded;
+        self
+    }
+
+    /// Disable the sharded scheduler, drawing every seed batch under the
+    /// shared state lock as the pre-shard engine did.
+    pub fn without_sharded_scheduler(self) -> Self {
+        self.with_sharded_scheduler(false)
+    }
+
+    /// Set the forced shard-resync interval in draws (builder style).
+    /// Clamped to at least one.
+    pub fn with_shard_resync_draws(mut self, draws: usize) -> Self {
+        self.shard_resync_draws = draws.max(1);
+        self
+    }
+
     /// Enable periodic corpus culling (builder style): every `admissions`
     /// corpus admissions, dominated seeds — covered edges a subset of another
     /// seed's, branch-distance score no better — are dropped. Clamped to at
@@ -222,6 +262,23 @@ mod tests {
         assert_eq!(FuzzerConfig::default().workers, default_workers());
         assert!(default_workers() >= 1);
         assert_eq!(FuzzerConfig::mufuzz(10).with_workers(0).workers, 1);
+    }
+
+    #[test]
+    fn sharded_scheduler_defaults_on_and_toggles() {
+        let cfg = FuzzerConfig::default();
+        assert!(cfg.sharded_scheduler);
+        assert_eq!(cfg.shard_resync_draws, 64);
+        let off = FuzzerConfig::mufuzz(10).without_sharded_scheduler();
+        assert!(!off.sharded_scheduler);
+        let on = off.with_sharded_scheduler(true);
+        assert!(on.sharded_scheduler);
+        assert_eq!(
+            FuzzerConfig::mufuzz(10)
+                .with_shard_resync_draws(0)
+                .shard_resync_draws,
+            1
+        );
     }
 
     #[test]

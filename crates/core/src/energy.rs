@@ -8,6 +8,7 @@
 //! energy in later rounds, so deep and security-relevant branches get a fair
 //! share of the fuzzing budget.
 
+use crate::input::Seed;
 use mufuzz_analysis::ControlFlowGraph;
 use mufuzz_evm::ExecutionTrace;
 
@@ -53,6 +54,19 @@ pub fn seed_weight(traces: &[ExecutionTrace], cfg: &ControlFlowGraph) -> f64 {
     }
     let sum: f64 = traces.iter().map(|t| path_weight(t, cfg)).sum();
     (sum / traces.len() as f64).max(1.0)
+}
+
+/// Mean seed weight of a corpus view — Algorithm 3's normalisation base.
+///
+/// The "view" may be the global corpus (the mutex-guarded draw path) or a
+/// worker's shard mirror of it (the lock-free sharded scheduler); both paths
+/// call this so the normalisation arithmetic — a plain sum-then-divide, kept
+/// deliberately order-dependent-free — is identical to the bit.
+pub fn corpus_mean_weight(seeds: &[Seed]) -> f64 {
+    if seeds.is_empty() {
+        return 1.0;
+    }
+    seeds.iter().map(|s| s.weight).sum::<f64>() / seeds.len() as f64
 }
 
 /// Energy (number of mutants) allocated to a seed.
@@ -149,6 +163,17 @@ mod tests {
         assert_eq!(fixed, 10);
         assert_eq!(heavy, 40); // clamped at 4x
         assert_eq!(light, 5); // clamped at 0.5x
+    }
+
+    #[test]
+    fn corpus_mean_weight_matches_the_arithmetic_mean() {
+        use crate::input::{Seed, Sequence};
+        let mut seeds: Vec<Seed> = (0..4).map(|_| Seed::new(Sequence::default())).collect();
+        for (i, seed) in seeds.iter_mut().enumerate() {
+            seed.weight = (i + 1) as f64;
+        }
+        assert_eq!(corpus_mean_weight(&seeds), 2.5);
+        assert_eq!(corpus_mean_weight(&[]), 1.0);
     }
 
     #[test]

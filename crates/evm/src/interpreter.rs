@@ -72,6 +72,10 @@ impl Default for EvmConfig {
     }
 }
 
+/// Gas added per significant byte of an `EXP` exponent (dynamic part of the
+/// `EXP` price, charged on top of the static base cost).
+const EXP_BYTE_GAS: u64 = 50;
+
 /// Simple static gas schedule.
 fn gas_cost(op: Opcode) -> u64 {
     use Opcode::*;
@@ -85,6 +89,10 @@ fn gas_cost(op: Opcode) -> u64 {
         Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
         AddMod | MulMod | Jump => 8,
         JumpI => 10,
+        // Base cost only: the dispatch loop adds 50 gas per significant
+        // exponent byte once the operands are popped (EIP-160-style dynamic
+        // pricing), so `2 EXP 2^255` costs 50 + 50·32 while `2 EXP 2` costs
+        // 50 + 50·1.
         Exp => 50,
         Sha3 => 36,
         Balance | BlockHash => 400,
@@ -561,6 +569,28 @@ impl<'w> Evm<'w> {
             };
         }
 
+        macro_rules! out_of_gas {
+            () => {
+                return FrameResult {
+                    halt: HaltReason::OutOfGas,
+                    output: vec![],
+                    gas_left: 0,
+                }
+            };
+        }
+
+        // Unwrap a memory operation: expansion the remaining gas cannot pay
+        // halts the frame with `OutOfGas`, structural violations fault.
+        macro_rules! mem_try {
+            ($res:expr) => {
+                match $res {
+                    Ok(value) => value,
+                    Err(MemFail::Fault(msg)) => fault!(msg),
+                    Err(MemFail::OutOfGas) => out_of_gas!(),
+                }
+            };
+        }
+
         macro_rules! pop {
             () => {
                 match stack.pop() {
@@ -620,6 +650,17 @@ impl<'w> Evm<'w> {
                     let (a, ta) = pop!();
                     let (b, tb) = pop!();
                     let taint = ta | tb;
+                    if op == Opcode::Exp {
+                        // Dynamic EXP pricing: 50 gas per significant byte of
+                        // the exponent on top of the static base, so the cost
+                        // scales with the exponent's magnitude as in the EVM.
+                        let exp_bytes = u64::from(b.bits().div_ceil(8));
+                        let dynamic = EXP_BYTE_GAS * exp_bytes;
+                        if gas_left < dynamic {
+                            out_of_gas!();
+                        }
+                        gas_left -= dynamic;
+                    }
                     let (result, truncated) = match op {
                         Opcode::Add => a.overflowing_add(b),
                         Opcode::Sub => a.overflowing_sub(b),
@@ -792,9 +833,12 @@ impl<'w> Evm<'w> {
                         Ok(s) => s,
                         Err(e) => fault!(e),
                     };
-                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
-                        fault!(e);
-                    }
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     let digest = keccak256(&memory[offset..offset + len]);
                     push!(U256::from_be_bytes(digest), to | tl);
                 }
@@ -830,9 +874,12 @@ impl<'w> Evm<'w> {
                         Ok(s) => s,
                         Err(e) => fault!(e),
                     };
-                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
-                        fault!(e);
-                    }
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     for i in 0..len {
                         memory[dst + i] = calldata.get(src + i).copied().unwrap_or(0);
                     }
@@ -862,9 +909,12 @@ impl<'w> Evm<'w> {
                         Ok(s) => s,
                         Err(e) => fault!(e),
                     };
-                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
-                        fault!(e);
-                    }
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     let mut word = [0u8; 32];
                     word.copy_from_slice(&memory[offset..offset + 32]);
                     push!(U256::from_be_bytes(word), to);
@@ -880,9 +930,12 @@ impl<'w> Evm<'w> {
                         Ok(s) => s,
                         Err(e) => fault!(e),
                     };
-                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
-                        fault!(e);
-                    }
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
                 }
                 Opcode::MStore8 => {
@@ -896,9 +949,12 @@ impl<'w> Evm<'w> {
                         Ok(s) => s,
                         Err(e) => fault!(e),
                     };
-                    if let Err(e) = ensure_memory(memory, span, self.config.max_memory) {
-                        fault!(e);
-                    }
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     memory[offset] = val.low_u64() as u8;
                 }
                 Opcode::SLoad => {
@@ -1029,16 +1085,20 @@ impl<'w> Evm<'w> {
                         _ => CallKind::StaticCall,
                     };
                     args_buf.clear();
-                    if let Err(e) = read_memory_into(
+                    mem_try!(read_memory_into(
                         memory,
                         args_offset,
                         args_len,
                         self.config.max_memory,
+                        &mut gas_left,
                         args_buf,
-                    ) {
-                        fault!(e);
-                    }
-                    let forwarded_gas = gas_req.to_u64().unwrap_or(u64::MAX).min(gas_left);
+                    ));
+                    // EIP-150 all-but-one-64th: the caller always retains at
+                    // least 1/64 of its remaining gas, so an outer frame can
+                    // finish (and e.g. persist state) even when the callee
+                    // burns everything it was forwarded.
+                    let available = gas_left - gas_left / 64;
+                    let forwarded_gas = gas_req.to_u64().unwrap_or(u64::MAX).min(available);
 
                     let call_idx = trace.calls.len();
                     trace.calls.push(CallEvent {
@@ -1062,7 +1122,7 @@ impl<'w> Evm<'w> {
                         trace.reentered = true;
                     }
 
-                    let (success, callee_exception, output) = self.do_call(
+                    let (success, callee_exception, output, gas_spent) = self.do_call(
                         CallContext {
                             kind,
                             code_address,
@@ -1080,7 +1140,11 @@ impl<'w> Evm<'w> {
                         trace,
                         scratch,
                     );
-                    gas_left = gas_left.saturating_sub(forwarded_gas / 2);
+                    // The caller pays what the callee actually consumed;
+                    // unspent forwarded gas is refunded. Combined with the
+                    // 63/64 forwarding cap above this bounds the damage a
+                    // draining callee can do to `gas_left / 64`.
+                    gas_left = gas_left.saturating_sub(gas_spent);
                     if let Some(ev) = trace.calls.get_mut(call_idx) {
                         ev.success = success;
                         ev.callee_exception = callee_exception;
@@ -1100,10 +1164,13 @@ impl<'w> Evm<'w> {
                 Opcode::Return => {
                     let (offset, _) = pop!();
                     let (len, _) = pop!();
-                    let out = match read_memory_range(memory, offset, len, self.config.max_memory) {
-                        Ok(o) => o,
-                        Err(e) => fault!(e),
-                    };
+                    let out = mem_try!(read_memory_range(
+                        memory,
+                        offset,
+                        len,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     return FrameResult {
                         halt: HaltReason::Normal,
                         output: out,
@@ -1113,10 +1180,13 @@ impl<'w> Evm<'w> {
                 Opcode::Revert => {
                     let (offset, _) = pop!();
                     let (len, _) = pop!();
-                    let out = match read_memory_range(memory, offset, len, self.config.max_memory) {
-                        Ok(o) => o,
-                        Err(e) => fault!(e),
-                    };
+                    let out = mem_try!(read_memory_range(
+                        memory,
+                        offset,
+                        len,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
                     return FrameResult {
                         halt: HaltReason::Revert,
                         output: out,
@@ -1158,7 +1228,10 @@ impl<'w> Evm<'w> {
     }
 
     /// Perform a nested message call (CALL/CALLCODE/DELEGATECALL/STATICCALL).
-    /// Returns `(success, callee_exception, output)`.
+    /// Returns `(success, callee_exception, output, gas_spent)`, where
+    /// `gas_spent` is how much of the forwarded gas the callee consumed (all
+    /// of it on an exceptional halt, the used portion on success or revert,
+    /// nothing for EOA transfers and host-behaviour stubs).
     fn do_call(
         &mut self,
         call: CallContext,
@@ -1166,7 +1239,7 @@ impl<'w> Evm<'w> {
         frames: &mut Vec<FrameInfo>,
         trace: &mut ExecutionTrace,
         scratch: &mut ExecFrame,
-    ) -> (bool, bool, Vec<u8>) {
+    ) -> (bool, bool, Vec<u8>, u64) {
         let CallContext {
             kind,
             code_address,
@@ -1180,14 +1253,14 @@ impl<'w> Evm<'w> {
             depth,
         } = call;
         if depth + 1 >= self.config.max_call_depth {
-            return (false, false, vec![]);
+            return (false, false, vec![], 0);
         }
 
         // Value transfer for plain CALLs.
         if kind == CallKind::Call && !call_value.is_zero() {
             let from = storage_address;
             if !self.world.transfer(from, to, call_value) {
-                return (false, false, vec![]);
+                return (false, false, vec![], 0);
             }
         }
 
@@ -1204,7 +1277,7 @@ impl<'w> Evm<'w> {
                 if kind == CallKind::Call && !call_value.is_zero() {
                     self.world.transfer(to, storage_address, call_value);
                 }
-                (false, true, vec![])
+                (false, true, vec![], 0)
             }
             HostBehaviour::ReentrantAttacker {
                 callback_data,
@@ -1212,11 +1285,13 @@ impl<'w> Evm<'w> {
             } => {
                 // The attacker immediately calls back into the calling
                 // contract, provided it still has gas and depth budget.
+                let mut gas_spent = 0u64;
                 if depth + 2 < self.config.max_call_depth && depth < max_depth && gas > 10_000 {
                     trace.reentered = true;
                     let callee_code = self.world.code(code_address);
                     if !callee_code.is_empty() {
                         frames.push(FrameInfo { code_address: to });
+                        let callback_gas = gas.saturating_sub(5_000);
                         let ctx = FrameCtx {
                             code_address,
                             storage_address,
@@ -1224,20 +1299,21 @@ impl<'w> Evm<'w> {
                             origin,
                             value: U256::ZERO,
                             calldata: &callback_data,
-                            gas: gas.saturating_sub(5_000),
+                            gas: callback_gas,
                             depth: depth + 2,
                         };
-                        let _ = self.dispatch_frame(&callee_code, ctx, frames, trace, scratch);
+                        let result = self.dispatch_frame(&callee_code, ctx, frames, trace, scratch);
+                        gas_spent = callback_gas.saturating_sub(result.gas_left);
                         frames.pop();
                     }
                 }
-                (true, false, vec![])
+                (true, false, vec![], gas_spent)
             }
             HostBehaviour::None => {
                 let code = self.world.code(to);
                 if code.is_empty() {
                     // Plain transfer to an EOA succeeds.
-                    return (true, false, vec![]);
+                    return (true, false, vec![], 0);
                 }
                 // Determine execution context per call kind.
                 let (exec_code_addr, exec_storage_addr, exec_caller, exec_value) = match kind {
@@ -1267,7 +1343,14 @@ impl<'w> Evm<'w> {
                     // Undo the value transfer of a failed call.
                     self.world.transfer(to, storage_address, call_value);
                 }
-                (success, exception, result.output)
+                // Exceptional halts consume everything that was forwarded;
+                // success and revert refund the unused remainder.
+                let gas_spent = if exception {
+                    gas
+                } else {
+                    gas.saturating_sub(result.gas_left)
+                };
+                (success, exception, result.output, gas_spent)
             }
         }
     }
@@ -1307,34 +1390,81 @@ fn mem_span(offset: usize, len: usize) -> Result<usize, &'static str> {
     offset.checked_add(len).ok_or("memory span overflows")
 }
 
-/// Grow memory to hold `size` bytes, enforcing the configured cap. Growth is
+/// Why a memory request was rejected.
+#[derive(Debug)]
+enum MemFail {
+    /// Structurally invalid or above the configured hard cap — a frame fault.
+    Fault(&'static str),
+    /// The quadratic expansion cost exceeds the remaining gas.
+    OutOfGas,
+}
+
+impl From<&'static str> for MemFail {
+    fn from(msg: &'static str) -> MemFail {
+        MemFail::Fault(msg)
+    }
+}
+
+/// Total gas cost of a memory footprint of `words` 32-byte words (the EVM's
+/// `C_mem`): `3·w + w²/512`. Computed in `u128` so absurd word counts
+/// saturate into a guaranteed out-of-gas instead of wrapping.
+fn memory_cost(words: u64) -> u128 {
+    3 * words as u128 + (words as u128 * words as u128) / 512
+}
+
+/// Grow memory to hold `size` bytes, charging the quadratic word cost of the
+/// expansion against `gas_left` and enforcing the configured cap. Growth is
 /// word-granular (32-byte multiples, the EVM's `MSIZE` unit); the `resize`
 /// performs a single amortised reservation followed by one zero-fill, so
 /// each growth event is at most one allocation — and none at all once a
 /// reused [`ExecFrame`] buffer has reached its high-water capacity.
-fn ensure_memory(memory: &mut Vec<u8>, size: usize, max: usize) -> Result<(), &'static str> {
-    if size > max {
-        return Err("memory limit exceeded");
-    }
+///
+/// Gas is charged before the cap is checked, mirroring the EVM (where the
+/// expansion charge is what stops huge offsets): a request the remaining gas
+/// cannot pay halts with `OutOfGas`, while a payable request above the
+/// simulator's hard cap faults.
+fn ensure_memory(
+    memory: &mut Vec<u8>,
+    size: usize,
+    max: usize,
+    gas_left: &mut u64,
+) -> Result<(), MemFail> {
     if memory.len() < size {
+        let old_words = (memory.len() / 32) as u64;
+        let new_words = (size as u64).div_ceil(32);
+        let cost = memory_cost(new_words) - memory_cost(old_words);
+        if cost > *gas_left as u128 {
+            return Err(MemFail::OutOfGas);
+        }
+        if size > max {
+            return Err(MemFail::Fault("memory limit exceeded"));
+        }
+        *gas_left -= cost as u64;
         memory.resize(size.next_multiple_of(32), 0);
+    } else if size > max {
+        // No growth needed (the request lands in the word-granular padding
+        // of an earlier expansion), but the hard cap still applies: with a
+        // non-32-multiple cap the padding bytes are not addressable.
+        return Err(MemFail::Fault("memory limit exceeded"));
     }
     Ok(())
 }
 
-/// Read a `[offset, offset+len)` range of memory, growing it as needed.
+/// Read a `[offset, offset+len)` range of memory, growing (and charging for)
+/// it as needed.
 fn read_memory_range(
     memory: &mut Vec<u8>,
     offset: U256,
     len: U256,
     max: usize,
-) -> Result<Vec<u8>, &'static str> {
+    gas_left: &mut u64,
+) -> Result<Vec<u8>, MemFail> {
     let offset = offset.to_usize().ok_or("memory offset out of range")?;
     let len = len.to_usize().ok_or("memory length out of range")?;
     if len == 0 {
         return Ok(vec![]);
     }
-    ensure_memory(memory, mem_span(offset, len)?, max)?;
+    ensure_memory(memory, mem_span(offset, len)?, max, gas_left)?;
     Ok(memory[offset..offset + len].to_vec())
 }
 
@@ -1345,14 +1475,15 @@ fn read_memory_into(
     offset: U256,
     len: U256,
     max: usize,
+    gas_left: &mut u64,
     out: &mut Vec<u8>,
-) -> Result<(), &'static str> {
+) -> Result<(), MemFail> {
     let offset = offset.to_usize().ok_or("memory offset out of range")?;
     let len = len.to_usize().ok_or("memory length out of range")?;
     if len == 0 {
         return Ok(());
     }
-    ensure_memory(memory, mem_span(offset, len)?, max)?;
+    ensure_memory(memory, mem_span(offset, len)?, max, gas_left)?;
     out.extend_from_slice(&memory[offset..offset + len]);
     Ok(())
 }
@@ -1785,27 +1916,64 @@ mod tests {
     #[test]
     fn ensure_memory_grows_in_words_with_a_single_reservation() {
         let mut memory = Vec::new();
-        ensure_memory(&mut memory, 1, 1 << 20).unwrap();
+        let mut gas = u64::MAX;
+        ensure_memory(&mut memory, 1, 1 << 20, &mut gas).unwrap();
         assert_eq!(memory.len(), 32);
-        ensure_memory(&mut memory, 33, 1 << 20).unwrap();
+        ensure_memory(&mut memory, 33, 1 << 20, &mut gas).unwrap();
         assert_eq!(memory.len(), 64);
         // No shrink on smaller requests.
-        ensure_memory(&mut memory, 5, 1 << 20).unwrap();
+        ensure_memory(&mut memory, 5, 1 << 20, &mut gas).unwrap();
         assert_eq!(memory.len(), 64);
+        // The quadratic schedule charged exactly C(2) = 3·2 + 2²/512 = 6.
+        assert_eq!(u64::MAX - gas, 6);
     }
 
     #[test]
     fn ensure_memory_rejects_exactly_above_the_cap() {
         let max = 1 << 20; // the default cap, a 32-byte multiple
         let mut memory = Vec::new();
-        assert!(ensure_memory(&mut memory, max, max).is_ok());
+        let mut gas = u64::MAX;
+        assert!(ensure_memory(&mut memory, max, max, &mut gas).is_ok());
         assert_eq!(memory.len(), max);
         let mut memory = Vec::new();
-        assert_eq!(
-            ensure_memory(&mut memory, max + 1, max),
-            Err("memory limit exceeded")
-        );
+        let mut gas = u64::MAX;
+        assert!(matches!(
+            ensure_memory(&mut memory, max + 1, max, &mut gas),
+            Err(MemFail::Fault("memory limit exceeded"))
+        ));
         assert!(memory.is_empty(), "a rejected request must not grow memory");
+        assert_eq!(gas, u64::MAX, "a rejected request must not charge gas");
+    }
+
+    #[test]
+    fn cap_applies_even_inside_word_padding() {
+        // A non-32-multiple cap: growing to 100 bytes pads memory to 128,
+        // but requests for 101..=128 must still fault — the padding is not
+        // addressable space.
+        let mut memory = Vec::new();
+        let mut gas = u64::MAX;
+        assert!(ensure_memory(&mut memory, 100, 100, &mut gas).is_ok());
+        assert_eq!(memory.len(), 128);
+        assert!(matches!(
+            ensure_memory(&mut memory, 101, 100, &mut gas),
+            Err(MemFail::Fault("memory limit exceeded"))
+        ));
+    }
+
+    #[test]
+    fn ensure_memory_charges_the_expansion_before_the_cap() {
+        // A request the remaining gas cannot pay is out-of-gas even when it
+        // also exceeds the cap (huge offsets OOG rather than fault), and it
+        // neither grows memory nor consumes the insufficient gas here (the
+        // dispatch loop zeroes the frame's gas on the OutOfGas halt path).
+        let mut memory = Vec::new();
+        let mut gas = 100;
+        assert!(matches!(
+            ensure_memory(&mut memory, usize::MAX - 31, 1 << 20, &mut gas),
+            Err(MemFail::OutOfGas)
+        ));
+        assert!(memory.is_empty());
+        assert_eq!(gas, 100);
     }
 
     #[test]

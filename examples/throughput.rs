@@ -1,7 +1,10 @@
 //! Throughput benchmark of the campaign engine: fuzz the quickstart
-//! PiggyBank contract with 1 worker and with N workers, report execs/sec for
-//! both, and emit a machine-readable `BENCH_throughput.json` so CI can track
-//! the performance trajectory across PRs.
+//! PiggyBank contract with 1 worker and with N workers — the N-worker
+//! campaign both on the sharded seed scheduler (the default: lock-free
+//! steady-state draws) and on the historical global draw under the state
+//! lock — report execs/sec for each, and emit a machine-readable
+//! `BENCH_throughput.json` so CI can track the performance trajectory and
+//! the sharded-vs-global scaling claim across PRs.
 //!
 //! Run with:
 //! ```text
@@ -43,20 +46,22 @@ contract PiggyBank {
 }
 "#;
 
-fn campaign(workers: usize, executions: usize) -> CampaignReport {
+fn campaign(workers: usize, executions: usize, sharded: bool) -> CampaignReport {
     let compiled = compile_source(SOURCE).expect("contract should compile");
     let config = FuzzerConfig::mufuzz(executions)
         .with_rng_seed(42)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_sharded_scheduler(sharded);
     Fuzzer::new(compiled, config)
         .expect("deployment should succeed")
         .run()
 }
 
-fn print_report(report: &CampaignReport) {
+fn print_report(report: &CampaignReport, sharded: bool) {
     println!(
-        "workers={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
+        "workers={} scheduler={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
         report.workers,
+        if sharded { "sharded" } else { "global" },
         report.executions,
         report.elapsed_ms,
         report.execs_per_sec(),
@@ -65,13 +70,14 @@ fn print_report(report: &CampaignReport) {
 }
 
 /// One JSON record per measured configuration.
-fn json_entry(report: &CampaignReport) -> String {
+fn json_entry(report: &CampaignReport, sharded: bool) -> String {
     format!(
         concat!(
-            "{{\"workers\": {}, \"executions\": {}, \"elapsed_ms\": {}, ",
-            "\"execs_per_sec\": {:.1}, \"coverage_percent\": {:.2}}}"
+            "{{\"workers\": {}, \"sharded_scheduler\": {}, \"executions\": {}, ",
+            "\"elapsed_ms\": {}, \"execs_per_sec\": {:.1}, \"coverage_percent\": {:.2}}}"
         ),
         report.workers,
+        sharded,
         report.executions,
         report.elapsed_ms,
         report.execs_per_sec(),
@@ -91,27 +97,34 @@ fn main() {
 
     // Warm-up run so page faults and lazy allocations do not skew the
     // single-worker number.
-    campaign(1, executions / 10);
+    campaign(1, executions / 10, true);
 
-    let single = campaign(1, executions);
-    print_report(&single);
+    let single = campaign(1, executions, true);
+    print_report(&single, true);
 
-    let parallel = campaign(workers, executions);
-    print_report(&parallel);
+    // The scaling A/B: the same N-worker campaign drawn from per-worker
+    // corpus shards (lock-free steady state) vs under the state lock.
+    let sharded = campaign(workers, executions, true);
+    print_report(&sharded, true);
+    let global = campaign(workers, executions, false);
+    print_report(&global, false);
     println!(
-        "speedup: {:.2}x",
-        parallel.execs_per_sec() / single.execs_per_sec()
+        "speedup vs single: sharded {:.2}x, global {:.2}x; sharded vs global {:.2}x",
+        sharded.execs_per_sec() / single.execs_per_sec(),
+        global.execs_per_sec() / single.execs_per_sec(),
+        sharded.execs_per_sec() / global.execs_per_sec()
     );
 
     // Machine-readable record for the CI perf-smoke artifact.
     let json = format!(
         concat!(
             "{{\n  \"benchmark\": \"piggybank\",\n  \"budget\": {},\n",
-            "  \"single\": {},\n  \"parallel\": {}\n}}\n"
+            "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {}\n}}\n"
         ),
         executions,
-        json_entry(&single),
-        json_entry(&parallel)
+        json_entry(&single, true),
+        json_entry(&sharded, true),
+        json_entry(&global, false)
     );
     let path =
         std::env::var("MUFUZZ_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());
