@@ -13,13 +13,49 @@
 //! | IR-Fuzz-like    | data-flow         | yes        | no   | yes      | dynamic|
 //! | MuFuzz          | data-flow         | yes        | yes  | yes      | dynamic|
 
-use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig, HarnessError};
+use mufuzz::{CampaignHandle, CampaignReport, CampaignService, Fuzzer, FuzzerConfig, HarnessError};
 use mufuzz_lang::CompiledContract;
+
+/// One campaign request: the budget, the RNG seed and the lane count.
+///
+/// A request is strategy-agnostic — the [`FuzzingStrategy`] supplies the
+/// configuration, the request supplies the per-run knobs. Single-lane
+/// requests (the default) are deterministic for a given seed.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzRequest {
+    /// Execution budget (`FuzzerConfig::max_executions()`).
+    pub budget: usize,
+    /// Campaign RNG seed.
+    pub rng_seed: u64,
+    /// Campaign lanes (`FuzzerConfig::workers`). One lane keeps the run
+    /// deterministic; experiments get their parallelism by submitting many
+    /// campaigns to one [`CampaignService`] instead.
+    pub lanes: usize,
+}
+
+impl FuzzRequest {
+    /// A single-lane (deterministic) request.
+    pub fn new(budget: usize, rng_seed: u64) -> FuzzRequest {
+        FuzzRequest {
+            budget,
+            rng_seed,
+            lanes: 1,
+        }
+    }
+
+    /// Set the lane count. Campaigns with more than one lane are not
+    /// deterministic.
+    pub fn with_lanes(mut self, lanes: usize) -> FuzzRequest {
+        self.lanes = lanes.max(1);
+        self
+    }
+}
 
 /// A named fuzzing strategy that can be run on a compiled contract.
 ///
 /// Strategies are stateless descriptions (the RNG seed is passed per run), so
-/// they are `Send + Sync` and experiments can fan campaigns out over threads.
+/// they are `Send + Sync` and experiments can fan campaigns out over a
+/// [`CampaignService`].
 pub trait FuzzingStrategy: Send + Sync {
     /// Display name used in tables and figures.
     fn name(&self) -> &'static str;
@@ -27,23 +63,39 @@ pub trait FuzzingStrategy: Send + Sync {
     /// The configuration this strategy uses for a given budget and RNG seed.
     fn config(&self, max_executions: usize, rng_seed: u64) -> FuzzerConfig;
 
-    /// Run a campaign on one contract with a single worker thread.
-    ///
-    /// Experiments fan out across *contracts* (see
-    /// `mufuzz_bench::parallel_map`), so per-campaign parallelism stays off
-    /// by default and every strategy run is deterministic for a seed.
+    /// Run one campaign to completion on the calling thread.
     fn fuzz(
         &self,
         compiled: CompiledContract,
-        max_executions: usize,
-        rng_seed: u64,
+        req: &FuzzRequest,
     ) -> Result<CampaignReport, HarnessError> {
-        self.fuzz_with_workers(compiled, max_executions, rng_seed, 1)
+        let config = self
+            .config(req.budget, req.rng_seed)
+            .with_workers(req.lanes);
+        let mut fuzzer = Fuzzer::new(compiled, config)?;
+        Ok(fuzzer.run())
     }
 
-    /// Run a campaign on one contract with an explicit worker-thread count
-    /// (the `--workers` knob of the figure binaries). Campaigns with more
-    /// than one worker are not deterministic.
+    /// Submit one campaign to a shared [`CampaignService`] without blocking;
+    /// the returned handle yields the report. This is how experiments fan
+    /// many contracts out over one pool.
+    fn submit(
+        &self,
+        service: &CampaignService,
+        compiled: CompiledContract,
+        req: &FuzzRequest,
+    ) -> Result<CampaignHandle, HarnessError> {
+        let config = self
+            .config(req.budget, req.rng_seed)
+            .with_workers(req.lanes);
+        service.submit(compiled, config)
+    }
+
+    /// Run a campaign with an explicit worker-thread count.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `fuzz(compiled, &FuzzRequest::new(budget, seed).with_lanes(workers))`"
+    )]
     fn fuzz_with_workers(
         &self,
         compiled: CompiledContract,
@@ -51,9 +103,10 @@ pub trait FuzzingStrategy: Send + Sync {
         rng_seed: u64,
         workers: usize,
     ) -> Result<CampaignReport, HarnessError> {
-        let config = self.config(max_executions, rng_seed).with_workers(workers);
-        let mut fuzzer = Fuzzer::new(compiled, config)?;
-        Ok(fuzzer.run())
+        self.fuzz(
+            compiled,
+            &FuzzRequest::new(max_executions, rng_seed).with_lanes(workers),
+        )
     }
 }
 
@@ -205,7 +258,7 @@ mod tests {
         let source = contracts::crowdsale().source;
         for strategy in all_fuzzers() {
             let compiled = compile_source(&source).unwrap();
-            let report = strategy.fuzz(compiled, 120, 9).unwrap();
+            let report = strategy.fuzz(compiled, &FuzzRequest::new(120, 9)).unwrap();
             assert!(
                 report.covered_edges > 0,
                 "{} covered nothing",
@@ -217,11 +270,12 @@ mod tests {
     #[test]
     fn mufuzz_matches_or_beats_sfuzz_on_the_motivating_example() {
         let source = contracts::crowdsale().source;
+        let req = FuzzRequest::new(400, 21);
         let mufuzz = MuFuzzStrategy
-            .fuzz(compile_source(&source).unwrap(), 400, 21)
+            .fuzz(compile_source(&source).unwrap(), &req)
             .unwrap();
         let sfuzz = SFuzzStrategy
-            .fuzz(compile_source(&source).unwrap(), 400, 21)
+            .fuzz(compile_source(&source).unwrap(), &req)
             .unwrap();
         assert!(
             mufuzz.covered_edges >= sfuzz.covered_edges,

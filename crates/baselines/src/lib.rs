@@ -19,8 +19,8 @@ pub mod static_tools;
 pub mod support_matrix;
 
 pub use fuzzers::{
-    all_fuzzers, coverage_baselines, ConFuzziusStrategy, FuzzingStrategy, IrFuzzStrategy,
-    MuFuzzStrategy, SFuzzStrategy, SmartianStrategy,
+    all_fuzzers, coverage_baselines, ConFuzziusStrategy, FuzzRequest, FuzzingStrategy,
+    IrFuzzStrategy, MuFuzzStrategy, SFuzzStrategy, SmartianStrategy,
 };
 pub use static_tools::{
     all_static_analyzers, MythrilLike, OsirisLike, OyenteLike, SecurifyLike, SlitherLike,

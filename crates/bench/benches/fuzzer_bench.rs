@@ -6,7 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mufuzz::{
     ContractHarness, Fuzzer, FuzzerConfig, InterestingValues, MutationOp, Sequence, TxInput,
 };
-use mufuzz_baselines::{ConFuzziusStrategy, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_baselines::{
+    ConFuzziusStrategy, FuzzRequest, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy,
+};
 use mufuzz_corpus::contracts;
 use mufuzz_evm::{ether, U256};
 use mufuzz_lang::compile_source;
@@ -56,7 +58,7 @@ fn bench_campaigns(c: &mut Criterion) {
         group.bench_function(name, |bencher| {
             bencher.iter(|| {
                 let compiled = compile_source(&source).unwrap();
-                let report = strategy.fuzz(compiled, 200, 1).unwrap();
+                let report = strategy.fuzz(compiled, &FuzzRequest::new(200, 1)).unwrap();
                 black_box(report.covered_edges)
             })
         });

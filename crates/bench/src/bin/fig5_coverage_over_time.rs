@@ -2,8 +2,8 @@
 //! ConFuzzius and sFuzz on small and large contracts.
 //!
 //! Scale with `MUFUZZ_CONTRACTS` (contracts per dataset) and `MUFUZZ_EXECS`
-//! (execution budget per campaign); run each campaign on a worker pool with
-//! `--workers N` (or `MUFUZZ_WORKERS`).
+//! (execution budget per campaign); size the fleet pool the campaigns share with
+//! `--workers N` (or `MUFUZZ_WORKERS`; 0 = auto).
 
 use mufuzz_bench::{coverage_over_time, env_param, table, workers_param};
 use mufuzz_corpus::{d1_large, d1_small};
@@ -13,10 +13,11 @@ fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 10);
     let execs = env_param("MUFUZZ_EXECS", 400);
     let workers = workers_param();
+    let pool = mufuzz_bench::fleet_threads(workers);
     let checkpoints = 10;
 
     println!(
-        "Figure 5 — branch coverage over time (budget = {execs} executions per contract, {workers} worker(s) per campaign)"
+        "Figure 5 — branch coverage over time (budget = {execs} executions per contract, fleet pool of {pool} thread(s))"
     );
     println!();
 

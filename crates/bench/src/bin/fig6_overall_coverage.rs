@@ -2,8 +2,8 @@
 //! ConFuzzius and sFuzz on small and large contracts.
 //!
 //! Paper reference values: small 90 / 86 / 82 / 65 (%), large 82 / 76 / 70 / 56 (%).
-//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; run each campaign on a
-//! worker pool with `--workers N` (or `MUFUZZ_WORKERS`).
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; size the shared fleet
+//! pool with `--workers N` (or `MUFUZZ_WORKERS`; 0 = auto).
 
 /// Per-tool final coverage rows (small, large).
 struct OverallRows {
@@ -18,6 +18,7 @@ fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 12);
     let execs = env_param("MUFUZZ_EXECS", 500);
     let workers = workers_param();
+    let pool = mufuzz_bench::fleet_threads(workers);
 
     let small = d1_small(contracts);
     let large = d1_large(contracts.div_ceil(2));
@@ -79,7 +80,7 @@ fn main() {
     );
     println!();
     println!(
-        "throughput: {:.0} execs/sec ({} executions, {workers} worker(s) per campaign)",
+        "throughput: {:.0} execs/sec ({} executions, fleet pool of {pool} thread(s))",
         total_executions as f64 / elapsed,
         total_executions
     );

@@ -1,8 +1,8 @@
 //! Regenerates Figure 7: the ablation study — coverage and detected alarms
 //! with each MuFuzz component disabled, relative to the full system.
 //!
-//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; run each campaign on a
-//! worker pool with `--workers N` (or `MUFUZZ_WORKERS`).
+//! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`; size the shared fleet
+//! pool with `--workers N` (or `MUFUZZ_WORKERS`; 0 = auto).
 
 use mufuzz_bench::{ablation, env_param, table, workers_param};
 use mufuzz_corpus::{generate_contract, GeneratorConfig};
@@ -12,6 +12,7 @@ fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 8);
     let execs = env_param("MUFUZZ_EXECS", 400);
     let workers = workers_param();
+    let pool = mufuzz_bench::fleet_threads(workers);
 
     // The paper samples real contracts from D1, which naturally contain
     // vulnerabilities; our generated D1 corpus is benign by construction, so
@@ -82,7 +83,7 @@ fn main() {
         .collect();
 
     println!(
-        "Figure 7 — ablation study ({} small / {} large contracts, {execs} executions each, {workers} worker(s) per campaign)",
+        "Figure 7 — ablation study ({} small / {} large contracts, {execs} executions each, fleet pool of {pool} thread(s))",
         small.len(),
         large.len()
     );

@@ -4,7 +4,7 @@
 //! Scale with `MUFUZZ_D2_PER_CLASS` (generated vulnerable contracts per bug
 //! class in addition to the hand-written suite) and `MUFUZZ_EXECS`.
 
-use mufuzz_bench::{bug_detection, env_param, table};
+use mufuzz_bench::{bug_detection, env_param, table, workers_param};
 use mufuzz_corpus::d2;
 use mufuzz_oracles::BugClass;
 
@@ -21,7 +21,7 @@ fn main() {
     println!("Cells are TP / FN (FP); 'n/a' = class not supported by the tool.");
     println!();
 
-    let result = bug_detection(&dataset, execs, 1, 1);
+    let result = bug_detection(&dataset, execs, 1, workers_param());
 
     let mut headers: Vec<&str> = vec!["Tool", "Kind"];
     let class_names: Vec<String> = BugClass::ALL

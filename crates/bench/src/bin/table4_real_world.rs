@@ -3,7 +3,7 @@
 //!
 //! Scale with `MUFUZZ_CONTRACTS` and `MUFUZZ_EXECS`.
 
-use mufuzz_bench::{env_param, real_world, table};
+use mufuzz_bench::{env_param, real_world, table, workers_param};
 use mufuzz_corpus::d3;
 use mufuzz_oracles::BugClass;
 
@@ -12,7 +12,7 @@ fn main() {
     let execs = env_param("MUFUZZ_EXECS", 500);
 
     let dataset = d3(contracts);
-    let result = real_world(&dataset, execs, 1, 1);
+    let result = real_world(&dataset, execs, 1, workers_param());
 
     let rows: Vec<Vec<String>> = BugClass::ALL
         .iter()

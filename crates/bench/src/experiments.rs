@@ -3,67 +3,62 @@
 //! Every experiment follows the same pattern: build (or receive) a corpus
 //! dataset, run one or more fuzzing strategies / static analyzers on every
 //! contract, and aggregate coverage or detection statistics the way the paper
-//! reports them. Campaigns on different contracts are independent, so they
-//! run on a thread pool.
+//! reports them. Campaigns on different contracts are independent: each
+//! experiment submits them all to one [`CampaignService`] — a single
+//! work-stealing fleet pool — and collects the reports in submission order.
+//! Campaigns stay single-lane, so per-contract results are deterministic for
+//! a seed no matter how many pool threads the service has.
 
-use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
-use mufuzz_baselines::{all_static_analyzers, coverage_baselines, FuzzingStrategy, MuFuzzStrategy};
+use mufuzz::{CampaignHandle, CampaignReport, CampaignService, FuzzerConfig};
+use mufuzz_baselines::{
+    all_static_analyzers, coverage_baselines, FuzzRequest, FuzzingStrategy, MuFuzzStrategy,
+};
 use mufuzz_corpus::{BenchContract, Dataset};
 use mufuzz_lang::compile_source;
 use mufuzz_oracles::{score_contract, BugClass, DetectionScore};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::thread;
 
-/// Maximum number of worker threads used by the experiment runners.
+/// Cap on the auto-sized fleet pool (`workers == 0`).
 const MAX_WORKERS: usize = 8;
 
-/// Map a function over items on a small thread pool, preserving order.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
+/// Resolve a `--workers` value to a fleet pool size: `0` means auto (the
+/// machine's available parallelism, capped at 8), anything else is taken
+/// literally.
+pub fn fleet_threads(workers: usize) -> usize {
+    if workers == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS)
+    } else {
+        workers
     }
-    let workers = MAX_WORKERS.min(items.len()).max(1);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::SeqCst);
-                if index >= items.len() {
-                    break;
-                }
-                let result = f(&items[index]);
-                results.lock().expect("worker thread panicked")[index] = Some(result);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("worker thread panicked")
-        .into_iter()
-        .map(|r| r.expect("missing result"))
-        .collect()
 }
 
-/// Run one strategy on one benchmark contract.
-fn run_strategy(
+/// Submit one strategy's campaign for every contract and collect the reports
+/// in submission order (contracts that fail to compile or deploy yield
+/// `None`). Submissions are non-blocking, so every campaign is in flight
+/// before the first wait.
+fn run_strategy_on(
+    service: &CampaignService,
     strategy: &dyn FuzzingStrategy,
-    contract: &BenchContract,
+    contracts: &[BenchContract],
     budget: usize,
     rng_seed: u64,
-    workers: usize,
-) -> Option<CampaignReport> {
-    let compiled = compile_source(&contract.source).ok()?;
-    strategy
-        .fuzz_with_workers(compiled, budget, rng_seed, workers)
-        .ok()
+) -> Vec<Option<CampaignReport>> {
+    let req = FuzzRequest::new(budget, rng_seed);
+    let handles: Vec<Option<CampaignHandle>> = contracts
+        .iter()
+        .map(|c| {
+            let compiled = compile_source(&c.source).ok()?;
+            strategy.submit(service, compiled, &req).ok()
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|handle| handle.map(CampaignHandle::wait))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -112,13 +107,12 @@ pub fn coverage_over_time(
     checkpoints: usize,
     workers: usize,
 ) -> CoverageSeries {
+    let service = CampaignService::new(fleet_threads(workers));
     let mut per_tool = Vec::new();
     let mut final_coverage = Vec::new();
     let mut total_executions = 0usize;
     for strategy in coverage_baselines() {
-        let reports = parallel_map(contracts, |c| {
-            run_strategy(strategy.as_ref(), c, budget, rng_seed, workers)
-        });
+        let reports = run_strategy_on(&service, strategy.as_ref(), contracts, budget, rng_seed);
         let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
         total_executions += valid.iter().map(|r| r.executions).sum::<usize>();
         let mut curve = vec![0.0f64; checkpoints];
@@ -167,12 +161,11 @@ pub fn overall_coverage(
     rng_seed: u64,
     workers: usize,
 ) -> OverallCoverage {
+    let service = CampaignService::new(fleet_threads(workers));
     let mut rows = Vec::new();
     for strategy in coverage_baselines() {
         let mean = |contracts: &[BenchContract]| -> f64 {
-            let reports = parallel_map(contracts, |c| {
-                run_strategy(strategy.as_ref(), c, budget, rng_seed, workers)
-            });
+            let reports = run_strategy_on(&service, strategy.as_ref(), contracts, budget, rng_seed);
             let valid: Vec<&CampaignReport> = reports.iter().flatten().collect();
             if valid.is_empty() {
                 return 0.0;
@@ -205,35 +198,36 @@ pub fn bug_detection(
     rng_seed: u64,
     workers: usize,
 ) -> BugDetectionResult {
+    let service = CampaignService::new(fleet_threads(workers));
     let mut rows = Vec::new();
 
-    // Static analyzers.
+    // Static analyzers: pure pattern matching, cheap enough to run inline.
     for tool in all_static_analyzers() {
-        let scores = parallel_map(&dataset.contracts, |c| {
+        let mut total = DetectionScore::default();
+        for c in &dataset.contracts {
             let Ok(compiled) = compile_source(&c.source) else {
-                return DetectionScore::default();
+                continue;
             };
             let findings = tool.analyze(&compiled);
-            score_contract(&findings, &c.annotations)
-        });
-        let mut total = DetectionScore::default();
-        for s in &scores {
-            total.merge(s);
+            total.merge(&score_contract(&findings, &c.annotations));
         }
         rows.push((tool.name().to_string(), false, total));
     }
 
-    // Fuzzers.
+    // Fuzzers: fan every contract's campaign out on the fleet.
     for strategy in mufuzz_baselines::all_fuzzers() {
-        let scores = parallel_map(&dataset.contracts, |c| {
-            match run_strategy(strategy.as_ref(), c, budget, rng_seed, workers) {
-                Some(report) => score_contract(&report.findings, &c.annotations),
-                None => DetectionScore::default(),
-            }
-        });
+        let reports = run_strategy_on(
+            &service,
+            strategy.as_ref(),
+            &dataset.contracts,
+            budget,
+            rng_seed,
+        );
         let mut total = DetectionScore::default();
-        for s in &scores {
-            total.merge(s);
+        for (c, report) in dataset.contracts.iter().zip(&reports) {
+            if let Some(report) = report {
+                total.merge(&score_contract(&report.findings, &c.annotations));
+            }
         }
         rows.push((strategy.name().to_string(), true, total));
     }
@@ -293,22 +287,29 @@ pub fn ablation(
             FuzzerConfig::mufuzz(budget).without_dynamic_energy(),
         ),
     ];
+    let service = CampaignService::new(fleet_threads(workers));
     let mut rows = Vec::new();
     let mut total_executions = 0usize;
     for (name, config) in variants {
         let mut run_set = |contracts: &[BenchContract]| -> (f64, usize) {
-            let results = parallel_map(contracts, |c| {
-                let Ok(compiled) = compile_source(&c.source) else {
-                    return (0.0, 0usize, 0usize);
-                };
-                let variant = config.clone().with_rng_seed(rng_seed).with_workers(workers);
-                let mut fuzzer = match Fuzzer::new(compiled, variant) {
-                    Ok(f) => f,
-                    Err(_) => return (0.0, 0usize, 0usize),
-                };
-                let report = fuzzer.run();
-                (report.coverage, report.findings.len(), report.executions)
-            });
+            let handles: Vec<Option<CampaignHandle>> = contracts
+                .iter()
+                .map(|c| {
+                    let compiled = compile_source(&c.source).ok()?;
+                    let variant = config.clone().with_rng_seed(rng_seed);
+                    service.submit(compiled, variant).ok()
+                })
+                .collect();
+            let results: Vec<(f64, usize, usize)> = handles
+                .into_iter()
+                .map(|handle| match handle {
+                    Some(handle) => {
+                        let report = handle.wait();
+                        (report.coverage, report.findings.len(), report.executions)
+                    }
+                    None => (0.0, 0, 0),
+                })
+                .collect();
             let n = results.len().max(1) as f64;
             let coverage = results.iter().map(|(c, _, _)| c).sum::<f64>() / n;
             let alarms = results.iter().map(|(_, a, _)| a).sum();
@@ -367,12 +368,25 @@ pub fn real_world(
     rng_seed: u64,
     workers: usize,
 ) -> RealWorldResult {
-    let outcomes = parallel_map(&dataset.contracts, |c| {
-        run_strategy(&MuFuzzStrategy, c, budget, rng_seed, workers).map(|report| {
-            let score = score_contract(&report.findings, &c.annotations);
-            (report, score)
+    let service = CampaignService::new(fleet_threads(workers));
+    let reports = run_strategy_on(
+        &service,
+        &MuFuzzStrategy,
+        &dataset.contracts,
+        budget,
+        rng_seed,
+    );
+    let outcomes: Vec<Option<(CampaignReport, DetectionScore)>> = dataset
+        .contracts
+        .iter()
+        .zip(reports)
+        .map(|(c, report)| {
+            report.map(|report| {
+                let score = score_contract(&report.findings, &c.annotations);
+                (report, score)
+            })
         })
-    });
+        .collect();
 
     let mut result = RealWorldResult {
         total_contracts: dataset.len(),
@@ -420,15 +434,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order_and_runs_everything() {
-        let items: Vec<usize> = (0..50).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out.len(), 50);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * 2);
-        }
-        let empty: Vec<usize> = vec![];
-        assert!(parallel_map(&empty, |&x: &usize| x).is_empty());
+    fn fleet_threads_resolves_auto_and_literal_values() {
+        assert!(fleet_threads(0) >= 1);
+        assert!(fleet_threads(0) <= MAX_WORKERS);
+        assert_eq!(fleet_threads(3), 3);
     }
 
     #[test]

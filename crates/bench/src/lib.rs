@@ -23,8 +23,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    ablation, bug_detection, coverage_over_time, overall_coverage, real_world, AblationResult,
-    BugDetectionResult, CoverageSeries, OverallCoverage, RealWorldResult,
+    ablation, bug_detection, coverage_over_time, fleet_threads, overall_coverage, real_world,
+    AblationResult, BugDetectionResult, CoverageSeries, OverallCoverage, RealWorldResult,
 };
 
 /// Read a `usize` experiment parameter from the environment with a default.
@@ -35,12 +35,15 @@ pub fn env_param(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Resolve the per-campaign worker-thread count for a figure binary:
-/// a `--workers N` command-line flag wins, then the `MUFUZZ_WORKERS`
-/// environment variable, then 1 (a single worker keeps runs deterministic;
-/// the experiment harness already fans out across contracts).
+/// Resolve the fleet-pool thread count for a figure binary: a `--workers N`
+/// command-line flag wins, then the `MUFUZZ_WORKERS` environment variable,
+/// then `0` (auto: the machine's parallelism, capped — see
+/// [`experiments::fleet_threads`]). The value sizes the one
+/// [`mufuzz::CampaignService`] pool the experiment fans contracts out on;
+/// per-contract campaigns stay single-lane, so any value keeps per-seed
+/// results deterministic.
 pub fn workers_param() -> usize {
-    workers_from(std::env::args(), env_param("MUFUZZ_WORKERS", 1))
+    workers_from(std::env::args(), env_param("MUFUZZ_WORKERS", 0))
 }
 
 fn workers_from(args: impl Iterator<Item = String>, fallback: usize) -> usize {
@@ -48,11 +51,11 @@ fn workers_from(args: impl Iterator<Item = String>, fallback: usize) -> usize {
     for pair in args.windows(2) {
         if pair[0] == "--workers" {
             if let Ok(n) = pair[1].parse::<usize>() {
-                return n.max(1);
+                return n;
             }
         }
     }
-    fallback.max(1)
+    fallback
 }
 
 #[cfg(test)]
@@ -60,15 +63,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn workers_flag_parses_and_clamps() {
-        let parse = |args: &[&str]| workers_from(args.iter().map(|s| s.to_string()), 1);
+    fn workers_flag_parses_and_keeps_auto() {
+        let parse = |args: &[&str]| workers_from(args.iter().map(|s| s.to_string()), 0);
         assert_eq!(parse(&["bin", "--workers", "4"]), 4);
-        assert_eq!(parse(&["bin", "--workers", "0"]), 1);
-        assert_eq!(parse(&["bin", "--workers"]), 1); // missing value
-        assert_eq!(parse(&["bin"]), 1);
-        // The flag wins over the environment fallback; the fallback clamps.
+        assert_eq!(parse(&["bin", "--workers", "0"]), 0); // 0 = auto-size the pool
+        assert_eq!(parse(&["bin", "--workers"]), 0); // missing value
+        assert_eq!(parse(&["bin"]), 0);
+        // The flag wins over the environment fallback.
         assert_eq!(workers_from(["bin".to_string()].into_iter(), 8), 8);
-        assert_eq!(workers_from(["bin".to_string()].into_iter(), 0), 1);
     }
 
     #[test]

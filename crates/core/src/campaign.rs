@@ -7,11 +7,15 @@
 //! streams, and the dynamic energy scheduler decides how many mutants each
 //! seed receives.
 //!
-//! # Parallel engine
+//! # Fleet engine
 //!
-//! The mutate→execute→evaluate inner loop runs on `FuzzerConfig::workers`
-//! threads. The shared campaign state is split by contention profile (the
-//! full locking model is documented in `docs/ARCHITECTURE.md`):
+//! The mutate→execute→evaluate inner loop runs as `FuzzerConfig::workers`
+//! *lanes* — sequential strands of batch tasks scheduled on a shared
+//! work-stealing [`crate::fleet::FleetPool`] by the
+//! [`crate::service::CampaignService`]. A lane's batches run one at a time
+//! in order, so a single-lane campaign is deterministic at any pool size.
+//! The shared campaign state is split by contention profile (the full
+//! locking model is documented in `docs/ARCHITECTURE.md`):
 //!
 //! * **Coverage** lives in a lock-free [`CoverageMap`] — an atomic bitmap
 //!   over the dense edge ids assigned by the harness's
@@ -20,7 +24,7 @@
 //! * **The execution budget** is an atomic reservation counter: a worker
 //!   reserves a slot *before* executing, so a campaign can never overshoot
 //!   `max_executions`, at any worker count.
-//! * **Seed scheduling** runs off per-worker **corpus shards**: each worker
+//! * **Seed scheduling** runs off per-lane **corpus shards**: each lane
 //!   mirrors the corpus (seed refs plus cached weights) locally and draws
 //!   seeds / allocates energy from the mirror with no lock at all. A
 //!   [`SchedulerEpoch`] counter, bumped on every admission and culling pass,
@@ -30,18 +34,19 @@
 //!   shape log — stays in a `SharedCampaignState` behind one mutex, held
 //!   only to admit new seeds (and periodically cull dominated ones), to
 //!   resync shard mirrors, to claim mask-probe passes, and to append
-//!   timeline points. (With `FuzzerConfig::sharded_scheduler` off, seed
+//!   timeline points. (With `FuzzerConfig::sharded_scheduler()` off, seed
 //!   draws themselves also take this lock, as the pre-shard engine did.)
 //!
-//! Sequence executions run unlocked against thread-local
-//! [`ContractHarness`] clones, and bug oracles observe into thread-local
-//! [`CampaignMonitor`]s that are merged before finalisation.
+//! Sequence executions run unlocked against lane-local [`ContractHarness`]
+//! clones, and bug oracles observe into lane-local [`CampaignMonitor`]s
+//! that are merged before finalisation.
 //!
-//! Worker 0 runs on the calling thread and inherits the campaign RNG, and
-//! every merge happens at the same point of the per-mutant cycle as in the
-//! historical sequential engine, so `workers == 1` reproduces the
-//! single-threaded campaign bit for bit for a fixed `rng_seed`. Additional
-//! workers draw decorrelated `SmallRng` streams derived from `rng_seed`.
+//! Lane 0 inherits the campaign RNG, and every merge happens at the same
+//! point of the per-mutant cycle as in the historical sequential engine, so
+//! `workers == 1` reproduces the single-threaded campaign bit for bit for a
+//! fixed `rng_seed` — and, through [`crate::snapshot::CampaignSnapshot`],
+//! across a checkpoint/resume boundary. Additional lanes draw decorrelated
+//! `SmallRng` streams derived from `rng_seed`.
 
 use crate::config::FuzzerConfig;
 use crate::coverage::{CoverageMap, SchedulerEpoch};
@@ -50,18 +55,18 @@ use crate::executor::{ContractHarness, HarnessError, SequenceOutcome};
 use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
 use crate::seedgen::SequenceGenerator;
+use crate::service::{CampaignService, SubmitOptions};
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
 use mufuzz_evm::{ExecFrame, WorldState};
 use mufuzz_lang::CompiledContract;
-use mufuzz_oracles::{BugFinding, CampaignMonitor};
+use mufuzz_oracles::{BugFinding, CampaignMonitor, MonitorState};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::thread;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How deep a branch must sit (static nesting) before a seed that reaches it
@@ -130,7 +135,8 @@ pub struct CampaignReport {
     /// Number of seeds in the final corpus.
     pub corpus_size: usize,
     /// Number of dominated seeds dropped by corpus culling (zero unless
-    /// [`FuzzerConfig::corpus_cull_interval`] is set).
+    /// [`SchedulerConfig::corpus_cull_interval`](crate::config::SchedulerConfig::corpus_cull_interval)
+    /// is set).
     pub culled_seeds: usize,
     /// Wall-clock duration of the campaign.
     pub elapsed_ms: u64,
@@ -164,16 +170,16 @@ impl CampaignReport {
 /// the execution budget deliberately live *outside* this struct (see
 /// [`CampaignShared`]): they are merged/reserved with atomics so the mutex
 /// only serialises corpus admissions, culling and timeline appends.
-struct SharedCampaignState {
-    corpus: Vec<Seed>,
-    timeline: Vec<CoveragePoint>,
-    interesting_shapes: Vec<String>,
+pub(crate) struct SharedCampaignState {
+    pub(crate) corpus: Vec<Seed>,
+    pub(crate) timeline: Vec<CoveragePoint>,
+    pub(crate) interesting_shapes: Vec<String>,
     /// Next seed uid to hand out at admission.
-    next_uid: u64,
+    pub(crate) next_uid: u64,
     /// Corpus admissions since the last culling pass.
-    admitted_since_cull: usize,
+    pub(crate) admitted_since_cull: usize,
     /// Total dominated seeds dropped so far.
-    culled: usize,
+    pub(crate) culled: usize,
 }
 
 impl SharedCampaignState {
@@ -224,22 +230,39 @@ impl SharedCampaignState {
 /// coverage bitmap and budget counter (merged/reserved lock-free on every
 /// execution) and the mutex-guarded scheduling state (touched only for seed
 /// draws, admissions and timeline points).
-struct CampaignShared {
-    state: Mutex<SharedCampaignState>,
-    coverage: CoverageMap,
+pub(crate) struct CampaignShared {
+    pub(crate) state: Mutex<SharedCampaignState>,
+    pub(crate) coverage: CoverageMap,
     /// Execution slots handed out. A worker reserves a slot *before* every
     /// execution and always performs the execution after a successful
     /// reservation, so this counter equals the number of executions
     /// performed and can never exceed `max_executions`.
-    reserved: AtomicUsize,
+    pub(crate) reserved: AtomicUsize,
     /// Scheduling-state generation: bumped (under the state lock) on every
     /// corpus admission and culling pass so stale worker shards resync
     /// before their next draw. Steady-state draws compare against it with a
     /// single atomic load and touch no lock.
-    epoch: SchedulerEpoch,
+    pub(crate) epoch: SchedulerEpoch,
 }
 
 impl CampaignShared {
+    /// Fresh shared state for a new campaign over `edges` branch edges.
+    pub(crate) fn new(edges: usize) -> CampaignShared {
+        CampaignShared {
+            state: Mutex::new(SharedCampaignState {
+                corpus: Vec::new(),
+                timeline: Vec::new(),
+                interesting_shapes: Vec::new(),
+                next_uid: 0,
+                admitted_since_cull: 0,
+                culled: 0,
+            }),
+            coverage: CoverageMap::new(edges),
+            reserved: AtomicUsize::new(0),
+            epoch: SchedulerEpoch::new(),
+        }
+    }
+
     /// Reserve one execution slot against the budget. Returns the 1-based
     /// slot number (the value the execution counter reaches with this
     /// execution), or `None` when the budget is exhausted.
@@ -253,7 +276,7 @@ impl CampaignShared {
     }
 
     /// Executions performed (equivalently: slots reserved) so far.
-    fn executions(&self) -> usize {
+    pub(crate) fn executions(&self) -> usize {
         self.reserved.load(Ordering::Relaxed)
     }
 
@@ -274,10 +297,64 @@ impl CampaignShared {
 
 /// Immutable per-campaign parameters shared by all workers.
 #[derive(Clone, Copy)]
-struct RunParams {
-    start: Instant,
-    snapshot_every: usize,
-    total_edges: usize,
+pub(crate) struct RunParams {
+    pub(crate) start: Instant,
+    pub(crate) snapshot_every: usize,
+    pub(crate) total_edges: usize,
+    /// Wall-clock milliseconds accumulated by earlier segments of a resumed
+    /// campaign; zero for a fresh submission. Added to every elapsed-time
+    /// reading so time budgets and timeline stamps span the whole campaign.
+    pub(crate) base_elapsed_ms: u64,
+}
+
+impl RunParams {
+    /// Derive the campaign's run parameters from its context.
+    pub(crate) fn new(ctx: &CampaignContext, base_elapsed_ms: u64) -> RunParams {
+        let snapshot_every =
+            (ctx.config.max_executions() / ctx.config.timeline_points.max(1)).max(1);
+        RunParams {
+            start: Instant::now(),
+            snapshot_every,
+            total_edges: ctx.total_edges,
+            base_elapsed_ms,
+        }
+    }
+
+    /// Total campaign wall-clock time, including pre-resume segments.
+    pub(crate) fn elapsed_ms(&self) -> u64 {
+        self.base_elapsed_ms + self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// The pause signal a lane checks at every batch boundary: an optional fixed
+/// execution count (deterministic for single-lane campaigns, the
+/// checkpoint/resume anchor) plus an asynchronous user request.
+pub(crate) struct PauseState {
+    pub(crate) at: Option<usize>,
+    pub(crate) requested: AtomicBool,
+}
+
+impl PauseState {
+    pub(crate) fn new(at: Option<usize>) -> PauseState {
+        PauseState {
+            at,
+            requested: AtomicBool::new(false),
+        }
+    }
+
+    fn engaged(&self, executions: usize) -> bool {
+        self.requested.load(Ordering::Relaxed) || self.at.is_some_and(|at| executions >= at)
+    }
+}
+
+/// What a lane did in one scheduling step.
+pub(crate) enum LaneStep {
+    /// Ran a batch; the lane has more work.
+    Continue,
+    /// The campaign budget (executions or wall clock) is exhausted.
+    Finished,
+    /// The lane stopped at a pause point with budget remaining.
+    Paused,
 }
 
 /// Seed selection: prefer seeds close to uncovered branches (branch-distance
@@ -315,7 +392,7 @@ fn select_seed(config: &FuzzerConfig, rng: &mut SmallRng, corpus: &[Seed]) -> us
 /// A decorrelated per-worker RNG seed (SplitMix64 over the campaign seed and
 /// the worker index). Worker 0 does not use this: it inherits the campaign
 /// RNG directly so single-worker runs replay the sequential engine.
-fn derive_worker_seed(rng_seed: u64, index: usize) -> u64 {
+pub(crate) fn derive_worker_seed(rng_seed: u64, index: usize) -> u64 {
     let mut z = rng_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -345,13 +422,69 @@ struct CorpusShard {
     draws: usize,
 }
 
-/// One campaign worker: thread-local harness, RNG and bug monitor plus
-/// references to the immutable campaign context.
-struct Worker<'a> {
-    config: &'a FuzzerConfig,
-    cfg_graph: &'a ControlFlowGraph,
-    generator: &'a SequenceGenerator,
-    interesting: &'a InterestingValues,
+/// The immutable setup of one campaign, shared by all of its lanes:
+/// configuration, static analyses, the sequence generator, the interesting
+/// value pool and the deployed harness prototype (each lane clones its own
+/// working copy). Built once by [`CampaignContext::prepare`] and passed
+/// around in an `Arc`, so lane tasks on the fleet pool can own it without
+/// borrowing from a driver thread.
+pub(crate) struct CampaignContext {
+    pub(crate) config: FuzzerConfig,
+    pub(crate) cfg_graph: ControlFlowGraph,
+    pub(crate) generator: SequenceGenerator,
+    pub(crate) interesting: InterestingValues,
+    pub(crate) harness: ContractHarness,
+    pub(crate) total_edges: usize,
+}
+
+impl CampaignContext {
+    /// Deploy the contract, run the static analyses and prepare the mutation
+    /// value pool (the campaign setup that used to live in `Fuzzer::new`).
+    pub(crate) fn prepare(
+        compiled: CompiledContract,
+        config: FuzzerConfig,
+    ) -> Result<CampaignContext, HarnessError> {
+        let cfg_graph = ControlFlowGraph::build(&compiled.runtime);
+        let flow = analyze_contract(&compiled.contract);
+        let mut plan = plan_sequence(&flow);
+        if !config.enable_sequence_repetition {
+            plan.mutated_order = plan.base_order.clone();
+            plan.repeat_candidates.clear();
+        }
+        let mut interesting = if config.harvest_constants {
+            InterestingValues::harvest(&compiled.runtime)
+        } else {
+            InterestingValues::defaults()
+        };
+        let harness = ContractHarness::new(compiled, &config)?;
+        for addr in harness.interesting_addresses() {
+            interesting.add(addr.to_u256());
+        }
+        let generator = SequenceGenerator::new(
+            &harness.compiled.abi,
+            plan,
+            config.enable_sequence_aware,
+            harness.senders.len(),
+        );
+        let total_edges = cfg_graph.total_branch_edges().max(1);
+        Ok(CampaignContext {
+            config,
+            cfg_graph,
+            generator,
+            interesting,
+            harness,
+            total_edges,
+        })
+    }
+}
+
+/// One campaign lane: a lane-local harness, RNG and bug monitor plus a
+/// shared handle on the immutable campaign context. A lane is a sequential
+/// strand — the service runs its batches one at a time, in order — so a
+/// single-lane campaign is deterministic no matter how many fleet threads
+/// execute it.
+pub(crate) struct Worker {
+    ctx: Arc<CampaignContext>,
     harness: ContractHarness,
     rng: SmallRng,
     monitor: CampaignMonitor,
@@ -363,15 +496,62 @@ struct Worker<'a> {
     /// campaign-level oracles at finalisation).
     last_world: Option<WorldState>,
     /// Local mirror of the scheduling state for the sharded draw path
-    /// (unused — and empty — when `FuzzerConfig::sharded_scheduler` is off).
+    /// (unused — and empty — when `FuzzerConfig::sharded_scheduler()` is
+    /// off).
     shard: CorpusShard,
 }
 
-impl Worker<'_> {
-    fn time_exhausted(&self, start: Instant) -> bool {
-        self.config
-            .time_budget_ms
-            .is_some_and(|ms| start.elapsed().as_millis() as u64 >= ms)
+impl Worker {
+    /// A fresh lane over `ctx`, drawing from `rng`.
+    pub(crate) fn new(ctx: Arc<CampaignContext>, rng: SmallRng) -> Worker {
+        Worker {
+            harness: ctx.harness.clone(),
+            ctx,
+            rng,
+            monitor: CampaignMonitor::new(),
+            frame: ExecFrame::new(),
+            last_world: None,
+            shard: CorpusShard::default(),
+        }
+    }
+
+    /// Rebuild a lane from checkpointed state: the exact RNG stream position
+    /// and the monitor's accumulated observations.
+    pub(crate) fn restore(
+        ctx: Arc<CampaignContext>,
+        rng_state: [u64; 4],
+        monitor: MonitorState,
+    ) -> Worker {
+        let mut worker = Worker::new(ctx, SmallRng::from_state(rng_state));
+        worker.monitor = CampaignMonitor::from_state(monitor);
+        worker
+    }
+
+    /// The lane's RNG stream position (for checkpointing).
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.to_state()
+    }
+
+    /// The lane's accumulated oracle observations (for checkpointing).
+    pub(crate) fn monitor_state(&self) -> MonitorState {
+        self.monitor.export_state()
+    }
+
+    /// The lane's current deduplicated findings (for event streaming).
+    pub(crate) fn findings(&self) -> Vec<BugFinding> {
+        self.monitor.findings()
+    }
+
+    /// Tear the lane down into the pieces finalisation needs.
+    pub(crate) fn into_parts(self) -> (CampaignMonitor, Option<WorldState>, SmallRng) {
+        (self.monitor, self.last_world, self.rng)
+    }
+
+    fn time_exhausted(&self, params: &RunParams) -> bool {
+        self.ctx
+            .config
+            .time_budget_ms()
+            .is_some_and(|ms| params.elapsed_ms() >= ms)
     }
 
     /// Record a sequence outcome in the thread-local bug monitor.
@@ -395,10 +575,11 @@ impl Worker<'_> {
         let mut seed = Seed::new(sequence);
         seed.covered_edge_ids = outcome.covered_edge_ids.clone();
         seed.new_edges = new_edges;
-        seed.weight = seed_weight(&outcome.traces, self.cfg_graph);
+        seed.weight = seed_weight(&outcome.traces, &self.ctx.cfg_graph);
         seed.hits_nested_branch = outcome.traces.iter().any(|t| {
             t.branches.iter().any(|b| {
-                self.cfg_graph
+                self.ctx
+                    .cfg_graph
                     .branches
                     .get(&b.pc)
                     .map(|site| site.nesting_depth >= NESTED_BRANCH_DEPTH)
@@ -417,7 +598,7 @@ impl Worker<'_> {
         outcome: &SequenceOutcome,
         coverage: &CoverageMap,
     ) -> Option<f64> {
-        if !self.config.enable_branch_distance {
+        if !self.ctx.config.enable_branch_distance {
             return None;
         }
         let index = self.harness.edge_index();
@@ -442,21 +623,21 @@ impl Worker<'_> {
     fn mutate_seed(&mut self, seed: &Seed) -> Sequence {
         let mut sequence = seed.sequence.clone();
         if sequence.is_empty() {
-            return self.generator.generate(
+            return self.ctx.generator.generate(
                 &self.harness.compiled.abi,
                 &mut self.rng,
-                self.interesting,
+                &self.ctx.interesting,
             );
         }
 
         // Structural mutation with 30% probability (ordering is preserved when
         // sequence-aware mutation is on).
         if self.rng.gen_bool(0.3) {
-            sequence = self.generator.mutate_structure(
+            sequence = self.ctx.generator.mutate_structure(
                 &sequence,
                 &self.harness.compiled.abi,
                 &mut self.rng,
-                self.interesting,
+                &self.ctx.interesting,
             );
         }
 
@@ -469,7 +650,7 @@ impl Worker<'_> {
             // a small fraction of mutants still ignores it so the frozen
             // positions themselves can eventually be explored (flipping the
             // guarded branch needs exactly that).
-            let use_mask = self.config.enable_mask_guidance && self.rng.gen_bool(0.8);
+            let use_mask = self.ctx.config.enable_mask_guidance && self.rng.gen_bool(0.8);
             let mask = seed
                 .masks
                 .as_ref()
@@ -477,7 +658,9 @@ impl Worker<'_> {
                 .cloned()
                 .filter(|_| use_mask)
                 .unwrap_or_else(|| MutationMask::allow_all(stream.len()));
-            if let Some(mutated) = mutate_masked(&stream, &mask, &mut self.rng, self.interesting) {
+            if let Some(mutated) =
+                mutate_masked(&stream, &mask, &mut self.rng, &self.ctx.interesting)
+            {
                 sequence.txs[idx].stream = mutated;
             }
         }
@@ -491,7 +674,8 @@ impl Worker<'_> {
             .iter()
             .filter_map(|id| index.edge_of(*id))
             .filter(|e| {
-                self.cfg_graph
+                self.ctx
+                    .cfg_graph
                     .branches
                     .get(&e.pc)
                     .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
@@ -501,20 +685,20 @@ impl Worker<'_> {
             .collect()
     }
 
-    /// Execute the initial plan-derived corpus (runs on the calling thread
-    /// before the worker pool starts).
-    fn run_initial(&mut self, shared: &CampaignShared, params: &RunParams) {
-        let initial = self.generator.initial_sequences(
+    /// Execute the initial plan-derived corpus (the lane-0 prologue, run
+    /// before the other lanes start).
+    pub(crate) fn run_initial(&mut self, shared: &CampaignShared, params: &RunParams) {
+        let initial = self.ctx.generator.initial_sequences(
             &self.harness.compiled.abi,
-            self.config.initial_seeds,
+            self.ctx.config.initial_seeds,
             &mut self.rng,
-            self.interesting,
+            &self.ctx.interesting,
         );
         for sequence in initial {
-            if self.time_exhausted(params.start) {
+            if self.time_exhausted(params) {
                 break;
             }
-            let Some(slot) = shared.try_reserve(self.config.max_executions) else {
+            let Some(slot) = shared.try_reserve(self.ctx.config.max_executions()) else {
                 break;
             };
             let outcome = self
@@ -546,43 +730,64 @@ impl Worker<'_> {
             let covered = shared.coverage.covered_count();
             s.timeline.push(CoveragePoint {
                 executions: slot,
-                elapsed_ms: params.start.elapsed().as_millis() as u64,
+                elapsed_ms: params.elapsed_ms(),
                 covered_edges: covered,
                 coverage: covered as f64 / params.total_edges as f64,
             });
         }
     }
 
-    /// The worker main loop: draw a seed batch (off-lock from the local
-    /// shard by default, under the state lock with the historical global
-    /// scheduler otherwise), optionally probe its mutation mask, then
+    /// One lane scheduling step — the unit of fleet-pool work: check the
+    /// stop and pause conditions, then draw a seed batch (off-lock from the
+    /// local shard by default, under the state lock with the historical
+    /// global scheduler otherwise), optionally probe its mutation mask, and
     /// generate and execute the allotted mutants, merging feedback after
-    /// every execution.
-    fn run_loop(&mut self, shared: &CampaignShared, params: &RunParams) {
-        loop {
-            if shared.executions() >= self.config.max_executions
-                || self.time_exhausted(params.start)
-            {
-                break;
-            }
-            let (seed_snapshot, seed_uid, energy, compute) = if self.config.sharded_scheduler {
-                self.draw_sharded(shared)
-            } else {
-                self.draw_global(shared)
-            };
-            if self
-                .run_batch(shared, params, seed_snapshot, seed_uid, energy, compute)
-                .is_break()
-            {
-                break;
-            }
+    /// every execution. The historical `run_loop` was exactly this body
+    /// iterated to exhaustion; splitting it at the draw boundary lets the
+    /// pool interleave many campaigns without changing any lane's RNG
+    /// stream, and gives pause a deterministic anchor.
+    pub(crate) fn step(
+        &mut self,
+        shared: &CampaignShared,
+        params: &RunParams,
+        pause: &PauseState,
+    ) -> LaneStep {
+        if shared.executions() >= self.ctx.config.max_executions() || self.time_exhausted(params) {
+            self.retire(shared);
+            return LaneStep::Finished;
         }
-        // Leave no locally accumulated scheduling feedback behind: flush the
-        // shard's selection-count deltas before the worker retires.
-        if self.config.sharded_scheduler && !self.shard.seeds.is_empty() {
+        if pause.engaged(shared.executions()) {
+            self.retire(shared);
+            return LaneStep::Paused;
+        }
+        let (seed_snapshot, seed_uid, energy, compute) = if self.ctx.config.sharded_scheduler() {
+            self.draw_sharded(shared)
+        } else {
+            self.draw_global(shared)
+        };
+        if self
+            .run_batch(shared, params, seed_snapshot, seed_uid, energy, compute)
+            .is_break()
+        {
+            self.retire(shared);
+            return LaneStep::Finished;
+        }
+        LaneStep::Continue
+    }
+
+    /// Leave no locally accumulated scheduling feedback behind: flush the
+    /// shard's selection-count deltas and drop the mirror. Called when the
+    /// lane finishes or pauses; after a pause the flushed global corpus is
+    /// the complete scheduling state, which is what the checkpoint
+    /// serializes. Dropping the mirror is RNG-neutral — resyncs never
+    /// consume randomness — so a resumed lane rebuilding it from the global
+    /// corpus continues the exact same campaign.
+    fn retire(&mut self, shared: &CampaignShared) {
+        if self.ctx.config.sharded_scheduler() && !self.shard.seeds.is_empty() {
             let mut s = shared.state.lock().expect("campaign state poisoned");
             self.flush_selections_locked(&mut s);
         }
+        self.shard = CorpusShard::default();
     }
 
     /// Draw a seed batch under the state lock against the global corpus (the
@@ -590,7 +795,7 @@ impl Worker<'_> {
     /// equivalence tests and A/B comparisons).
     fn draw_global(&mut self, shared: &CampaignShared) -> (Seed, u64, usize, bool) {
         let mut s = shared.state.lock().expect("campaign state poisoned");
-        let seed_index = select_seed(self.config, &mut self.rng, &s.corpus);
+        let seed_index = select_seed(&self.ctx.config, &mut self.rng, &s.corpus);
         s.corpus[seed_index].selections += 1;
 
         // Energy allocation (Algorithm 3) against the global corpus.
@@ -598,16 +803,17 @@ impl Worker<'_> {
         let energy = allocate_energy(
             s.corpus[seed_index].weight,
             mean_weight,
-            self.config.base_energy,
-            self.config.enable_dynamic_energy,
+            self.ctx.config.scheduler.base_energy,
+            self.ctx.config.enable_dynamic_energy,
         );
 
         let remaining = self
+            .ctx
             .config
-            .max_executions
+            .max_executions()
             .saturating_sub(shared.executions());
         let seed = &mut s.corpus[seed_index];
-        let compute = Self::wants_masks(self.config, seed, remaining);
+        let compute = Self::wants_masks(&self.ctx.config, seed, remaining);
         if compute {
             // Claim the probe work so no other worker duplicates it.
             seed.masks_pending = true;
@@ -648,12 +854,12 @@ impl Worker<'_> {
     /// test holds with either draw path).
     fn draw_sharded(&mut self, shared: &CampaignShared) -> (Seed, u64, usize, bool) {
         if self.shard.epoch != shared.epoch.current()
-            || self.shard.draws >= self.config.shard_resync_draws
+            || self.shard.draws >= self.ctx.config.scheduler.shard_resync_draws
         {
             self.resync_shard(shared);
         }
         self.shard.draws += 1;
-        let seed_index = select_seed(self.config, &mut self.rng, &self.shard.seeds);
+        let seed_index = select_seed(&self.ctx.config, &mut self.rng, &self.shard.seeds);
         self.shard.seeds[seed_index].selections += 1;
 
         // Energy allocation (Algorithm 3) against the mirrored corpus.
@@ -661,17 +867,18 @@ impl Worker<'_> {
         let energy = allocate_energy(
             self.shard.seeds[seed_index].weight,
             mean_weight,
-            self.config.base_energy,
-            self.config.enable_dynamic_energy,
+            self.ctx.config.scheduler.base_energy,
+            self.ctx.config.enable_dynamic_energy,
         );
 
         let remaining = self
+            .ctx
             .config
-            .max_executions
+            .max_executions()
             .saturating_sub(shared.executions());
         let seed = &self.shard.seeds[seed_index];
         let seed_uid = seed.uid;
-        let wants = Self::wants_masks(self.config, seed, remaining);
+        let wants = Self::wants_masks(&self.ctx.config, seed, remaining);
         // Claiming a probe pass needs the global view: another worker may
         // have claimed — or finished — the same seed's masks since this
         // mirror was synced.
@@ -814,13 +1021,13 @@ impl Worker<'_> {
 
         // ---- the mutate→execute→evaluate batch (executions unlocked) ----
         for _ in 0..energy {
-            if self.time_exhausted(params.start) {
+            if self.time_exhausted(params) {
                 return ControlFlow::Break(());
             }
             // Exact budget: reserve the slot before mutating/executing;
             // a successful reservation is always followed by exactly one
             // execution, so the campaign can never overshoot.
-            let Some(slot) = shared.try_reserve(self.config.max_executions) else {
+            let Some(slot) = shared.try_reserve(self.ctx.config.max_executions()) else {
                 return ControlFlow::Break(());
             };
             let candidate = self.mutate_seed(&seed_snapshot);
@@ -839,7 +1046,7 @@ impl Worker<'_> {
                     s.interesting_shapes.push(shape);
                 }
                 s.admit(seed);
-                s.maybe_cull(self.config.corpus_cull_interval);
+                s.maybe_cull(self.ctx.config.scheduler.corpus_cull_interval);
                 // Publish the corpus change so every shard resyncs before
                 // its next draw (bumped while the lock is held).
                 shared.epoch.bump();
@@ -883,7 +1090,10 @@ impl Worker<'_> {
             }
             for word in 0..probed_words {
                 for op in MutationOp::ALL {
-                    if shared.try_reserve(self.config.max_executions).is_none() {
+                    if shared
+                        .try_reserve(self.ctx.config.max_executions())
+                        .is_none()
+                    {
                         // Budget exhausted mid-pass (only possible with
                         // concurrent workers draining it): leave the
                         // unprobed site mutable.
@@ -891,7 +1101,7 @@ impl Worker<'_> {
                         continue;
                     }
                     let probe_stream =
-                        apply_op(&tx.stream, op, word, &mut self.rng, self.interesting);
+                        apply_op(&tx.stream, op, word, &mut self.rng, &self.ctx.interesting);
                     let mut probe_seq = seed.sequence.clone();
                     probe_seq.txs[tx_index].stream = probe_stream;
                     let outcome = self
@@ -905,7 +1115,8 @@ impl Worker<'_> {
                         .iter()
                         .flat_map(|t| t.branches.iter())
                         .filter(|b| {
-                            self.cfg_graph
+                            self.ctx
+                                .cfg_graph
                                 .branches
                                 .get(&b.pc)
                                 .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
@@ -927,7 +1138,7 @@ impl Worker<'_> {
                         );
                         let mut s = shared.state.lock().expect("campaign state poisoned");
                         s.admit(admitted);
-                        s.maybe_cull(self.config.corpus_cull_interval);
+                        s.maybe_cull(self.ctx.config.scheduler.corpus_cull_interval);
                         shared.epoch.bump();
                     }
                     // Or does it reduce the distance to an uncovered branch?
@@ -950,13 +1161,79 @@ impl Worker<'_> {
     }
 }
 
+/// Assemble the final report from the shared campaign state, enforcing the
+/// exact-budget invariant. Reads the state through its locks (the campaign's
+/// lanes have all retired by the time this runs, so there is no contention).
+pub(crate) fn build_report(
+    ctx: &CampaignContext,
+    shared: &CampaignShared,
+    monitor: CampaignMonitor,
+    params: &RunParams,
+    workers: usize,
+    empty_corpus: bool,
+) -> CampaignReport {
+    let s = shared.state.lock().expect("campaign state poisoned");
+    let executions = shared.executions();
+    let total_edges = params.total_edges;
+    assert!(
+        executions <= ctx.config.max_executions(),
+        "budget overshoot: {executions} executions for a budget of {}",
+        ctx.config.max_executions()
+    );
+    let covered = shared.coverage.covered_count();
+    let elapsed_ms = params.elapsed_ms();
+    let mut timeline = s.timeline.clone();
+    if !empty_corpus {
+        timeline.push(CoveragePoint {
+            executions,
+            elapsed_ms,
+            covered_edges: covered,
+            coverage: covered as f64 / total_edges as f64,
+        });
+    }
+    // Concurrent lanes append snapshot points in lock-acquisition order,
+    // which can trail the slot order (a lane may stall between reserving its
+    // slot and appending its point, and the late append reads the
+    // then-current covered count). Restore the sequential engine's contract
+    // — execution-ordered points with monotone coverage — by sorting on the
+    // slot and carrying the running maximum forward; both passes are no-ops
+    // for `workers == 1`.
+    timeline.sort_by_key(|point| point.executions);
+    let mut running_max = 0usize;
+    for point in &mut timeline {
+        if point.covered_edges < running_max {
+            point.covered_edges = running_max;
+            point.coverage = running_max as f64 / total_edges as f64;
+        } else {
+            running_max = point.covered_edges;
+        }
+    }
+    CampaignReport {
+        contract: ctx.harness.compiled.name.clone(),
+        covered_edges: covered,
+        total_edges,
+        coverage: covered as f64 / total_edges as f64,
+        executions,
+        findings: monitor.findings(),
+        timeline,
+        corpus_size: s.corpus.len(),
+        culled_seeds: s.culled,
+        elapsed_ms,
+        interesting_shapes: s.interesting_shapes.clone(),
+        workers,
+    }
+}
+
 /// The MuFuzz fuzzer bound to one compiled contract.
+///
+/// `Fuzzer` is the single-campaign convenience driver: it owns a prepared
+/// campaign context and a campaign RNG, and [`Fuzzer::run`] submits the
+/// campaign to an ephemeral single-campaign [`CampaignService`] and waits
+/// for the report. To fuzz several contracts concurrently on one thread
+/// pool — or to poll progress, stream events and checkpoint mid-flight —
+/// use a [`CampaignService`] directly.
 pub struct Fuzzer {
-    harness: ContractHarness,
-    config: FuzzerConfig,
-    cfg_graph: ControlFlowGraph,
-    generator: SequenceGenerator,
-    interesting: InterestingValues,
+    ctx: Arc<CampaignContext>,
     rng: SmallRng,
 }
 
@@ -964,229 +1241,40 @@ impl Fuzzer {
     /// Set up a fuzzer: deploys the contract, runs the static analyses and
     /// prepares the mutation value pool.
     pub fn new(compiled: CompiledContract, config: FuzzerConfig) -> Result<Fuzzer, HarnessError> {
-        let cfg_graph = ControlFlowGraph::build(&compiled.runtime);
-        let flow = analyze_contract(&compiled.contract);
-        let mut plan = plan_sequence(&flow);
-        if !config.enable_sequence_repetition {
-            plan.mutated_order = plan.base_order.clone();
-            plan.repeat_candidates.clear();
-        }
-        let mut interesting = if config.harvest_constants {
-            InterestingValues::harvest(&compiled.runtime)
-        } else {
-            InterestingValues::defaults()
-        };
-        let harness = ContractHarness::new(compiled, &config)?;
-        for addr in harness.interesting_addresses() {
-            interesting.add(addr.to_u256());
-        }
-        let generator = SequenceGenerator::new(
-            &harness.compiled.abi,
-            plan,
-            config.enable_sequence_aware,
-            harness.senders.len(),
-        );
-        let rng = SmallRng::seed_from_u64(config.rng_seed);
+        let ctx = CampaignContext::prepare(compiled, config)?;
+        let rng = SmallRng::seed_from_u64(ctx.config.rng_seed);
         Ok(Fuzzer {
-            harness,
-            config,
-            cfg_graph,
-            generator,
-            interesting,
+            ctx: Arc::new(ctx),
             rng,
         })
     }
 
     /// Access the underlying harness (used by integration tests and benches).
     pub fn harness(&self) -> &ContractHarness {
-        &self.harness
+        &self.ctx.harness
     }
 
     /// Run the campaign to completion and produce a report.
     ///
-    /// The report upholds the exact-budget invariant
-    /// `report.executions <= config.max_executions` at any worker count:
+    /// The campaign runs as `config.workers` lanes on a fleet pool of the
+    /// same size, spun up for this call and torn down with it. The report
+    /// upholds the exact-budget invariant
+    /// `report.executions <= config.max_executions()` at any worker count:
     /// execution slots are reserved atomically before each execution, so the
     /// campaign stops at the budget instead of overshooting by in-flight
-    /// mutants (asserted before returning).
+    /// mutants (asserted before returning). With `workers == 1` the campaign
+    /// — and the RNG stream this fuzzer carries across runs — is bit-for-bit
+    /// identical to the historical sequential engine.
     pub fn run(&mut self) -> CampaignReport {
-        let start = Instant::now();
-        let total_edges = self.cfg_graph.total_branch_edges().max(1);
-        let snapshot_every =
-            (self.config.max_executions / self.config.timeline_points.max(1)).max(1);
-        let params = RunParams {
-            start,
-            snapshot_every,
-            total_edges,
-        };
-        let workers = self.config.workers.max(1);
-
-        let shared = CampaignShared {
-            state: Mutex::new(SharedCampaignState {
-                corpus: Vec::new(),
-                timeline: Vec::new(),
-                interesting_shapes: Vec::new(),
-                next_uid: 0,
-                admitted_since_cull: 0,
-                culled: 0,
-            }),
-            coverage: CoverageMap::new(self.harness.edge_index().len()),
-            reserved: AtomicUsize::new(0),
-            epoch: SchedulerEpoch::new(),
-        };
-
-        // Worker 0 runs on the calling thread and continues the campaign RNG,
-        // so single-worker runs replay the sequential engine exactly.
-        let mut worker0 = Worker {
-            config: &self.config,
-            cfg_graph: &self.cfg_graph,
-            generator: &self.generator,
-            interesting: &self.interesting,
-            harness: self.harness.clone(),
-            rng: self.rng.clone(),
-            monitor: CampaignMonitor::new(),
-            frame: ExecFrame::new(),
-            last_world: None,
-            shard: CorpusShard::default(),
-        };
-
-        // ---- initial seeds (single-threaded prologue) ----
-        worker0.run_initial(&shared, &params);
-
-        if shared
-            .state
-            .lock()
-            .expect("campaign state poisoned")
-            .corpus
-            .is_empty()
-        {
-            // Contract with no callable functions: report immediately.
-            let mut monitor = worker0.monitor;
-            self.rng = worker0.rng;
-            monitor.finalize(&self.harness.compiled, Some(self.harness.base_world()));
-            return self.build_report(shared, monitor, start, total_edges, workers, true);
-        }
-
-        // ---- main loop on the worker pool ----
-        let mut side_results: Vec<(CampaignMonitor, Option<WorldState>)> = Vec::new();
-        thread::scope(|scope| {
-            let handles: Vec<_> = (1..workers)
-                .map(|index| {
-                    let mut worker = Worker {
-                        config: &self.config,
-                        cfg_graph: &self.cfg_graph,
-                        generator: &self.generator,
-                        interesting: &self.interesting,
-                        harness: self.harness.clone(),
-                        rng: SmallRng::seed_from_u64(derive_worker_seed(
-                            self.config.rng_seed,
-                            index,
-                        )),
-                        monitor: CampaignMonitor::new(),
-                        frame: ExecFrame::new(),
-                        last_world: None,
-                        shard: CorpusShard::default(),
-                    };
-                    let shared = &shared;
-                    let params = &params;
-                    scope.spawn(move || {
-                        worker.run_loop(shared, params);
-                        (worker.monitor, worker.last_world)
-                    })
-                })
-                .collect();
-            worker0.run_loop(&shared, &params);
-            for handle in handles {
-                side_results.push(handle.join().expect("worker thread panicked"));
-            }
-        });
-
-        // Merge per-worker oracle observations in worker order, and keep the
-        // freshest world for the campaign-level oracles: worker 0's last
-        // mutant (the only worker with `workers == 1`, preserving the
-        // sequential engine's choice), else any side worker's.
-        let mut monitor = worker0.monitor;
-        self.rng = worker0.rng;
-        let mut last_world = worker0.last_world;
-        for (side_monitor, side_world) in side_results {
-            monitor.merge(side_monitor);
-            if last_world.is_none() {
-                last_world = side_world;
-            }
-        }
-        monitor.finalize(
-            &self.harness.compiled,
-            last_world.as_ref().or(Some(self.harness.base_world())),
+        let service = CampaignService::new(self.ctx.config.workers.max(1));
+        let handle = service.submit_prepared(
+            Arc::clone(&self.ctx),
+            self.rng.clone(),
+            SubmitOptions::default(),
         );
-        self.build_report(shared, monitor, start, total_edges, workers, false)
-    }
-
-    /// Assemble the final report from the shared campaign state, enforcing
-    /// the exact-budget invariant.
-    fn build_report(
-        &self,
-        shared: CampaignShared,
-        monitor: CampaignMonitor,
-        start: Instant,
-        total_edges: usize,
-        workers: usize,
-        empty_corpus: bool,
-    ) -> CampaignReport {
-        let CampaignShared {
-            state,
-            coverage,
-            reserved,
-            epoch: _,
-        } = shared;
-        let s = state.into_inner().expect("campaign state poisoned");
-        let executions = reserved.into_inner();
-        assert!(
-            executions <= self.config.max_executions,
-            "budget overshoot: {executions} executions for a budget of {}",
-            self.config.max_executions
-        );
-        let covered = coverage.covered_count();
-        let elapsed_ms = start.elapsed().as_millis() as u64;
-        let mut timeline = s.timeline;
-        if !empty_corpus {
-            timeline.push(CoveragePoint {
-                executions,
-                elapsed_ms,
-                covered_edges: covered,
-                coverage: covered as f64 / total_edges as f64,
-            });
-        }
-        // Concurrent workers append snapshot points in lock-acquisition
-        // order, which can trail the slot order (a worker may stall between
-        // reserving its slot and appending its point, and the late append
-        // reads the then-current covered count). Restore the sequential
-        // engine's contract — execution-ordered points with monotone
-        // coverage — by sorting on the slot and carrying the running
-        // maximum forward; both passes are no-ops for `workers == 1`.
-        timeline.sort_by_key(|point| point.executions);
-        let mut running_max = 0usize;
-        for point in &mut timeline {
-            if point.covered_edges < running_max {
-                point.covered_edges = running_max;
-                point.coverage = running_max as f64 / total_edges as f64;
-            } else {
-                running_max = point.covered_edges;
-            }
-        }
-        CampaignReport {
-            contract: self.harness.compiled.name.clone(),
-            covered_edges: covered,
-            total_edges,
-            coverage: covered as f64 / total_edges as f64,
-            executions,
-            findings: monitor.findings(),
-            timeline,
-            corpus_size: s.corpus.len(),
-            culled_seeds: s.culled,
-            elapsed_ms,
-            interesting_shapes: s.interesting_shapes,
-            workers,
-        }
+        let (report, rng) = handle.wait_internal();
+        self.rng = rng;
+        report
     }
 }
 

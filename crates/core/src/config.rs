@@ -1,4 +1,71 @@
 //! Fuzzer configuration.
+//!
+//! Knobs are grouped by concern: [`BudgetConfig`] bounds how long a campaign
+//! runs, [`SchedulerConfig`] tunes how the seed scheduler spends that budget,
+//! and the remaining [`FuzzerConfig`] fields select the paper's components
+//! and the shape of the fuzzing world. Every knob keeps a chainable
+//! `with_*`/`without_*` builder on [`FuzzerConfig`] itself, so driver code
+//! never has to construct the sub-structs by hand.
+
+/// The campaign's stopping conditions: an execution budget and an optional
+/// wall-clock budget (whichever is hit first stops the campaign).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetConfig {
+    /// Maximum number of transaction-sequence executions.
+    pub max_executions: usize,
+    /// Optional wall-clock budget in milliseconds.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> Self {
+        BudgetConfig {
+            max_executions: 2_000,
+            time_budget_ms: None,
+        }
+    }
+}
+
+/// Seed-scheduler tuning: the draw path, its resync cadence, corpus culling
+/// and the base mutation energy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Draw seed batches from a per-worker corpus shard (a local mirror of
+    /// the scheduling state, refreshed when the campaign's epoch counter
+    /// moves) instead of under the shared state lock. Steady-state seed
+    /// draws and energy allocation then touch no lock at all; the mutex is
+    /// taken only for admissions, shard resyncs and timeline points. On by
+    /// default. The shard resyncs before any draw that would observe a
+    /// corpus change, so scheduling decisions — and, at `workers == 1`, the
+    /// entire campaign — are bit-identical to the global draw path.
+    pub sharded: bool,
+    /// Force a shard resync every `n` draws even when the epoch counter has
+    /// not moved, so locally accumulated selection counts flow back into the
+    /// global corpus view at a bounded staleness. The amortised lock cost of
+    /// the sharded scheduler is one acquisition per `n` draws.
+    pub shard_resync_draws: usize,
+    /// Corpus culling: every `n` admissions (counted inside the campaign
+    /// state lock), drop seeds whose covered-edge set is a subset of another
+    /// seed's with no better branch-distance score. `None` (the default)
+    /// disables culling — dropping seeds reshuffles corpus indices and thus
+    /// the seed-selection RNG stream, which would break the `workers == 1`
+    /// bit-identity contract, so culling is strictly opt-in for long
+    /// campaigns whose corpus would otherwise grow without bound.
+    pub corpus_cull_interval: Option<usize>,
+    /// Base mutation energy per selected seed (number of mutants generated).
+    pub base_energy: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            sharded: true,
+            shard_resync_draws: 64,
+            corpus_cull_interval: None,
+            base_energy: 8,
+        }
+    }
+}
 
 /// Configuration of a fuzzing campaign.
 ///
@@ -17,10 +84,10 @@
 ///     .with_rng_seed(7)
 ///     .with_workers(4)
 ///     .with_corpus_culling(64);
-/// assert_eq!(config.max_executions, 50_000);
+/// assert_eq!(config.budget.max_executions, 50_000);
 /// assert_eq!(config.workers, 4);
-/// assert_eq!(config.corpus_cull_interval, Some(64));
-/// assert!(config.sharded_scheduler); // lock-free seed draws by default
+/// assert_eq!(config.scheduler.corpus_cull_interval, Some(64));
+/// assert!(config.scheduler.sharded); // lock-free seed draws by default
 /// // Ablations switch one component off at a time.
 /// assert!(!config.without_mask_guidance().enable_mask_guidance);
 /// ```
@@ -29,18 +96,17 @@ pub struct FuzzerConfig {
     /// RNG seed: campaigns are fully deterministic for a given seed when
     /// `workers == 1`.
     pub rng_seed: u64,
-    /// Number of worker threads running the mutate→execute→evaluate loop.
+    /// Number of worker lanes running the mutate→execute→evaluate loop.
     /// Defaults to the machine's available parallelism. With `workers == 1`
     /// the campaign is bit-for-bit identical to the historical
     /// single-threaded engine for a given `rng_seed`; with more workers the
     /// merge order of results depends on thread scheduling, so campaigns are
     /// no longer deterministic.
     pub workers: usize,
-    /// Maximum number of transaction-sequence executions.
-    pub max_executions: usize,
-    /// Optional wall-clock budget in milliseconds (whichever of the two
-    /// budgets is hit first stops the campaign).
-    pub time_budget_ms: Option<u64>,
+    /// Stopping conditions (execution and wall-clock budgets).
+    pub budget: BudgetConfig,
+    /// Seed-scheduler tuning (draw path, resync cadence, culling, energy).
+    pub scheduler: SchedulerConfig,
     /// Use the data-flow-derived transaction ordering and RAW-based sequence
     /// repetition. When disabled, sequences are randomly ordered.
     pub enable_sequence_aware: bool,
@@ -63,32 +129,8 @@ pub struct FuzzerConfig {
     /// this through their static/symbolic components; plain AFL-style fuzzers
     /// such as sFuzz use a fixed boundary-value pool only).
     pub harvest_constants: bool,
-    /// Corpus culling: every `n` admissions (counted inside the campaign
-    /// state lock), drop seeds whose covered-edge set is a subset of another
-    /// seed's with no better branch-distance score. `None` (the default)
-    /// disables culling — dropping seeds reshuffles corpus indices and thus
-    /// the seed-selection RNG stream, which would break the `workers == 1`
-    /// bit-identity contract, so culling is strictly opt-in for long
-    /// campaigns whose corpus would otherwise grow without bound.
-    pub corpus_cull_interval: Option<usize>,
-    /// Draw seed batches from a per-worker corpus shard (a local mirror of
-    /// the scheduling state, refreshed when the campaign's epoch counter
-    /// moves) instead of under the shared state lock. Steady-state seed
-    /// draws and energy allocation then touch no lock at all; the mutex is
-    /// taken only for admissions, shard resyncs and timeline points. On by
-    /// default. The shard resyncs before any draw that would observe a
-    /// corpus change, so scheduling decisions — and, at `workers == 1`, the
-    /// entire campaign — are bit-identical to the global draw path.
-    pub sharded_scheduler: bool,
-    /// Force a shard resync every `n` draws even when the epoch counter has
-    /// not moved, so locally accumulated selection counts flow back into the
-    /// global corpus view at a bounded staleness. The amortised lock cost of
-    /// the sharded scheduler is one acquisition per `n` draws.
-    pub shard_resync_draws: usize,
     /// Number of externally-owned sender accounts in the fuzzing world.
     pub sender_count: usize,
-    /// Base mutation energy per selected seed (number of mutants generated).
-    pub base_energy: usize,
     /// How many initial seeds to generate from the sequence plan.
     pub initial_seeds: usize,
     /// How many coverage snapshots to keep for the coverage-over-time curve.
@@ -106,19 +148,15 @@ impl Default for FuzzerConfig {
         FuzzerConfig {
             rng_seed: 0x5EED,
             workers: default_workers(),
-            max_executions: 2_000,
-            time_budget_ms: None,
+            budget: BudgetConfig::default(),
+            scheduler: SchedulerConfig::default(),
             enable_sequence_aware: true,
             enable_sequence_repetition: true,
             enable_mask_guidance: true,
             enable_dynamic_energy: true,
             enable_branch_distance: true,
             harvest_constants: true,
-            corpus_cull_interval: None,
-            sharded_scheduler: true,
-            shard_resync_draws: 64,
             sender_count: 3,
-            base_energy: 8,
             initial_seeds: 8,
             timeline_points: 64,
             install_attacker: true,
@@ -131,9 +169,28 @@ impl FuzzerConfig {
     /// Full MuFuzz configuration with a given budget.
     pub fn mufuzz(max_executions: usize) -> Self {
         FuzzerConfig {
-            max_executions,
+            budget: BudgetConfig {
+                max_executions,
+                ..Default::default()
+            },
             ..Default::default()
         }
+    }
+
+    /// The execution budget (shorthand for `self.budget.max_executions`).
+    pub fn max_executions(&self) -> usize {
+        self.budget.max_executions
+    }
+
+    /// The wall-clock budget (shorthand for `self.budget.time_budget_ms`).
+    pub fn time_budget_ms(&self) -> Option<u64> {
+        self.budget.time_budget_ms
+    }
+
+    /// Whether the sharded seed scheduler is on (shorthand for
+    /// `self.scheduler.sharded`).
+    pub fn sharded_scheduler(&self) -> bool {
+        self.scheduler.sharded
     }
 
     /// Ablation: disable the sequence-aware mutation only.
@@ -169,11 +226,11 @@ impl FuzzerConfig {
 
     /// Set the wall-clock budget (builder style).
     pub fn with_time_budget_ms(mut self, ms: u64) -> Self {
-        self.time_budget_ms = Some(ms);
+        self.budget.time_budget_ms = Some(ms);
         self
     }
 
-    /// Set the number of worker threads (builder style). Clamped to at
+    /// Set the number of worker lanes (builder style). Clamped to at
     /// least one; `workers == 1` keeps campaigns deterministic.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -186,12 +243,13 @@ impl FuzzerConfig {
     /// identical scheduling decisions; the knob exists for the equivalence
     /// tests and for A/B throughput comparisons.
     pub fn with_sharded_scheduler(mut self, sharded: bool) -> Self {
-        self.sharded_scheduler = sharded;
+        self.scheduler.sharded = sharded;
         self
     }
 
     /// Disable the sharded scheduler, drawing every seed batch under the
     /// shared state lock as the pre-shard engine did.
+    #[deprecated(since = "0.6.0", note = "use `with_sharded_scheduler(false)`")]
     pub fn without_sharded_scheduler(self) -> Self {
         self.with_sharded_scheduler(false)
     }
@@ -199,17 +257,17 @@ impl FuzzerConfig {
     /// Set the forced shard-resync interval in draws (builder style).
     /// Clamped to at least one.
     pub fn with_shard_resync_draws(mut self, draws: usize) -> Self {
-        self.shard_resync_draws = draws.max(1);
+        self.scheduler.shard_resync_draws = draws.max(1);
         self
     }
 
     /// Enable periodic corpus culling (builder style): every `admissions`
     /// corpus admissions, dominated seeds — covered edges a subset of another
     /// seed's, branch-distance score no better — are dropped. Clamped to at
-    /// least one. See [`FuzzerConfig::corpus_cull_interval`] for why this is
-    /// off by default.
+    /// least one. See [`SchedulerConfig::corpus_cull_interval`] for why this
+    /// is off by default.
     pub fn with_corpus_culling(mut self, admissions: usize) -> Self {
-        self.corpus_cull_interval = Some(admissions.max(1));
+        self.scheduler.corpus_cull_interval = Some(admissions.max(1));
         self
     }
 }
@@ -251,9 +309,11 @@ mod tests {
             .with_rng_seed(42)
             .with_time_budget_ms(1_000)
             .with_workers(4);
-        assert_eq!(cfg.max_executions, 500);
+        assert_eq!(cfg.budget.max_executions, 500);
+        assert_eq!(cfg.max_executions(), 500);
         assert_eq!(cfg.rng_seed, 42);
-        assert_eq!(cfg.time_budget_ms, Some(1_000));
+        assert_eq!(cfg.budget.time_budget_ms, Some(1_000));
+        assert_eq!(cfg.time_budget_ms(), Some(1_000));
         assert_eq!(cfg.workers, 4);
     }
 
@@ -267,26 +327,36 @@ mod tests {
     #[test]
     fn sharded_scheduler_defaults_on_and_toggles() {
         let cfg = FuzzerConfig::default();
-        assert!(cfg.sharded_scheduler);
-        assert_eq!(cfg.shard_resync_draws, 64);
-        let off = FuzzerConfig::mufuzz(10).without_sharded_scheduler();
-        assert!(!off.sharded_scheduler);
+        assert!(cfg.scheduler.sharded);
+        assert_eq!(cfg.scheduler.shard_resync_draws, 64);
+        let off = FuzzerConfig::mufuzz(10).with_sharded_scheduler(false);
+        assert!(!off.sharded_scheduler());
         let on = off.with_sharded_scheduler(true);
-        assert!(on.sharded_scheduler);
+        assert!(on.scheduler.sharded);
         assert_eq!(
             FuzzerConfig::mufuzz(10)
                 .with_shard_resync_draws(0)
+                .scheduler
                 .shard_resync_draws,
             1
         );
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_without_sharded_scheduler_still_works() {
+        // Kept for one release as a migration shim; it must stay equivalent
+        // to `with_sharded_scheduler(false)` until it is removed.
+        let cfg = FuzzerConfig::mufuzz(10).without_sharded_scheduler();
+        assert!(!cfg.scheduler.sharded);
+    }
+
+    #[test]
     fn corpus_culling_is_opt_in_and_clamps_to_one() {
-        assert_eq!(FuzzerConfig::default().corpus_cull_interval, None);
+        assert_eq!(FuzzerConfig::default().scheduler.corpus_cull_interval, None);
         let cfg = FuzzerConfig::mufuzz(10).with_corpus_culling(0);
-        assert_eq!(cfg.corpus_cull_interval, Some(1));
+        assert_eq!(cfg.scheduler.corpus_cull_interval, Some(1));
         let cfg = FuzzerConfig::mufuzz(10).with_corpus_culling(32);
-        assert_eq!(cfg.corpus_cull_interval, Some(32));
+        assert_eq!(cfg.scheduler.corpus_cull_interval, Some(32));
     }
 }

@@ -171,6 +171,40 @@ impl CoverageMap {
         overflow.len() - before
     }
 
+    /// Export the packed bitmap words for checkpoint serialization.
+    ///
+    /// Only the dense bitmap is exported; callers that need lossless
+    /// snapshots must check [`CoverageMap::has_overflow`] first (the overflow
+    /// set is expected to stay empty — see the module docs).
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Rebuild a map of `edges` ids from words previously exported by
+    /// [`CoverageMap::snapshot_words`]. Missing words are zero-filled and
+    /// excess words are dropped, so a capacity mismatch degrades to partial
+    /// coverage instead of a panic.
+    pub fn restore(edges: usize, snapshot: &[u64]) -> CoverageMap {
+        let map = CoverageMap::new(edges);
+        for (word, &value) in map.words.iter().zip(snapshot) {
+            word.store(value, Ordering::Relaxed);
+        }
+        map
+    }
+
+    /// True if any covered edge had to detour through the overflow set (and
+    /// would therefore be lost by [`CoverageMap::snapshot_words`]).
+    pub fn has_overflow(&self) -> bool {
+        !self
+            .overflow
+            .lock()
+            .expect("coverage overflow poisoned")
+            .is_empty()
+    }
+
     /// Total number of distinct covered edges (bitmap population plus any
     /// overflow edges).
     pub fn covered_count(&self) -> usize {
@@ -268,6 +302,22 @@ mod tests {
         });
         assert_eq!(total_new, map.covered_count());
         assert_eq!(map.covered_count(), 1024);
+    }
+
+    #[test]
+    fn snapshot_words_round_trip_restores_the_bitmap() {
+        let map = CoverageMap::new(200);
+        map.merge_ids(&[0, 63, 64, 130, 199]);
+        assert!(!map.has_overflow());
+        let restored = CoverageMap::restore(200, &map.snapshot_words());
+        assert_eq!(restored.covered_count(), map.covered_count());
+        for id in [0u32, 63, 64, 130, 199] {
+            assert!(restored.is_covered(id));
+        }
+        assert!(!restored.is_covered(1));
+        // Restoring into a larger capacity zero-fills the missing words.
+        let grown = CoverageMap::restore(300, &map.snapshot_words());
+        assert_eq!(grown.covered_count(), 5);
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl Sequence {
 }
 
 /// A seed: a sequence plus the feedback recorded when it was executed.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Seed {
     /// Stable corpus identity, assigned at admission. Unlike the seed's
     /// position in the corpus vector, the uid survives corpus culling, so

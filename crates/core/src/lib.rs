@@ -18,14 +18,18 @@
 //! Bugs are reported through the nine trace-based oracles of
 //! [`mufuzz_oracles`].
 //!
-//! Campaigns run on a pool of [`FuzzerConfig::workers`] threads sharing one
-//! corpus and energy scheduler (see [`campaign`]); branch coverage is merged
-//! into a lock-free atomic bitmap ([`coverage::CoverageMap`]) keyed by the
-//! dense edge ids of [`mufuzz_analysis::EdgeIndex`], and the execution
-//! budget is reserved atomically so `report.executions` never exceeds
-//! `max_executions`. With `workers == 1` campaigns are fully deterministic
-//! for a given `rng_seed`. The full concurrency model is documented in
-//! `docs/ARCHITECTURE.md`.
+//! Campaigns run in **fleet mode**: a [`CampaignService`] schedules every
+//! submitted contract's campaign — as [`FuzzerConfig::workers`] sequential
+//! *lanes* — on one work-stealing [`fleet::FleetPool`], prioritised across
+//! campaigns by marginal coverage per execution. Lanes share one corpus and
+//! energy scheduler per campaign (see [`campaign`]); branch coverage is
+//! merged into a lock-free atomic bitmap ([`coverage::CoverageMap`]) keyed
+//! by the dense edge ids of [`mufuzz_analysis::EdgeIndex`], and the
+//! execution budget is reserved atomically so `report.executions` never
+//! exceeds `max_executions()`. With `workers == 1` campaigns are fully
+//! deterministic for a given `rng_seed`, and can be paused, checkpointed to
+//! a versioned [`CampaignSnapshot`] and resumed bit-identically. The full
+//! concurrency model is documented in `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!
@@ -56,17 +60,25 @@ pub mod config;
 pub mod coverage;
 pub mod energy;
 pub mod executor;
+pub mod fleet;
 pub mod input;
 pub mod mutation;
 pub mod seedgen;
+pub mod service;
+pub mod snapshot;
 
 pub use campaign::{CampaignReport, CoveragePoint, Fuzzer};
-pub use config::{default_workers, FuzzerConfig};
+pub use config::{default_workers, BudgetConfig, FuzzerConfig, SchedulerConfig};
 pub use coverage::CoverageMap;
 pub use executor::{ContractHarness, HarnessError, SequenceOutcome};
+pub use fleet::{pool_threads_spawned, FleetPool};
 pub use input::{Seed, Sequence, TxInput};
 pub use mutation::{InterestingValues, MutationMask, MutationOp};
 pub use seedgen::SequenceGenerator;
+pub use service::{
+    CampaignEvent, CampaignHandle, CampaignProgress, CampaignService, SubmitOptions,
+};
+pub use snapshot::{CampaignSnapshot, SnapshotError};
 
 // Re-export the sibling crates so downstream users can depend on `mufuzz`
 // alone.
@@ -74,3 +86,17 @@ pub use mufuzz_analysis as analysis;
 pub use mufuzz_evm as evm;
 pub use mufuzz_lang as lang;
 pub use mufuzz_oracles as oracles;
+
+/// Everything a driver needs in one import: the fuzzer, the campaign
+/// service, configuration, reports, snapshots, and the compiler entry
+/// point.
+pub mod prelude {
+    pub use crate::campaign::{CampaignReport, CoveragePoint, Fuzzer};
+    pub use crate::config::{default_workers, BudgetConfig, FuzzerConfig, SchedulerConfig};
+    pub use crate::service::{
+        CampaignEvent, CampaignHandle, CampaignProgress, CampaignService, SubmitOptions,
+    };
+    pub use crate::snapshot::{CampaignSnapshot, SnapshotError};
+    pub use mufuzz_lang::{compile_source, CompiledContract};
+    pub use mufuzz_oracles::{BugClass, BugFinding};
+}

@@ -105,6 +105,21 @@ impl MutationMask {
         sites
     }
 
+    /// The raw per-word permission bytes (one bit per operator), for
+    /// checkpoint serialization.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.words
+    }
+
+    /// Rebuild a mask from raw permission bytes previously returned by
+    /// [`MutationMask::as_bytes`]. Bits outside the four operator bits are
+    /// cleared.
+    pub fn from_bytes(words: Vec<u8>) -> MutationMask {
+        MutationMask {
+            words: words.into_iter().map(|w| w & 0x0f).collect(),
+        }
+    }
+
     /// Fraction of (word, op) sites that are frozen.
     pub fn frozen_fraction(&self) -> f64 {
         if self.words.is_empty() {

@@ -1,0 +1,743 @@
+//! The resumable campaign service: many contracts, one fleet pool.
+//!
+//! [`CampaignService`] owns a [`FleetPool`] and
+//! schedules every submitted campaign on it as a set of *lanes* — sequential
+//! strands that run one seed batch at a time. `submit` is non-blocking and
+//! returns a [`CampaignHandle`] for polling progress ([`CampaignHandle::poll`]),
+//! draining coverage/finding events ([`CampaignHandle::events`]), pausing,
+//! checkpointing ([`CampaignHandle::checkpoint`]) and waiting for the final
+//! [`CampaignReport`].
+//!
+//! Scheduling across campaigns is priority-driven: every few batches a lane
+//! re-enters the pool's global injector at
+//! the campaign's *marginal coverage per execution*
+//! ([`marginal_coverage_priority`]), so campaigns still discovering edges
+//! outrank campaigns grinding a plateau, and a fresh submission (which starts
+//! at the top priority) gets on CPU quickly.
+//!
+//! Determinism: a lane's batches run in order no matter which pool thread
+//! picks them up, so a `workers == 1` campaign is bit-for-bit identical to
+//! the historical sequential engine at *any* pool size — and a checkpoint
+//! taken at a deterministic pause point resumes bit-identically
+//! (`tests/fleet_service.rs`).
+
+use crate::campaign::{
+    build_report, derive_worker_seed, CampaignContext, CampaignReport, CampaignShared,
+    CoveragePoint, LaneStep, PauseState, RunParams, SharedCampaignState, Worker,
+};
+use crate::config::FuzzerConfig;
+use crate::coverage::{CoverageMap, SchedulerEpoch};
+use crate::energy::marginal_coverage_priority;
+use crate::executor::HarnessError;
+use crate::fleet::{FleetPool, WorkerCtx};
+use crate::snapshot::{contract_fingerprint, CampaignSnapshot, LaneState, SnapshotError};
+use mufuzz_lang::CompiledContract;
+use mufuzz_oracles::{BugClass, BugFinding, CampaignMonitor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Batches a lane runs before re-entering the global injector at its
+/// campaign's refreshed priority. Between re-injections the lane stays on
+/// its thread's local deque (cheap, cache-friendly); at each re-injection
+/// the cross-campaign scheduler gets a chance to prefer someone else.
+const REINJECT_STEPS: usize = 8;
+
+/// Priority for freshly submitted (and just-resumed) campaigns: above any
+/// marginal-coverage score, so new work starts promptly.
+const LAUNCH_PRIORITY: f64 = 1.0;
+
+/// Options attached to a campaign submission.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Pause the campaign once this many executions have been reserved,
+    /// instead of running to the budget. Lanes stop at the next batch
+    /// boundary at/after the mark; for a single-lane campaign the pause
+    /// point is deterministic, which makes it the checkpoint/resume anchor.
+    pub pause_at: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Pause after (at least) `executions` executions.
+    pub fn pause_at(executions: usize) -> SubmitOptions {
+        SubmitOptions {
+            pause_at: Some(executions),
+        }
+    }
+}
+
+/// A campaign progress event, streamed to the [`CampaignHandle`].
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// The campaign was accepted and its lanes are being scheduled.
+    Started {
+        /// Contract name.
+        contract: String,
+    },
+    /// A coverage timeline point was recorded.
+    Coverage {
+        /// Executions reserved when the point was taken.
+        executions: usize,
+        /// Distinct branch edges covered so far.
+        covered_edges: usize,
+        /// Fraction of the contract's branch edges covered.
+        coverage: f64,
+        /// Campaign wall-clock at the point (including pre-resume segments).
+        elapsed_ms: u64,
+    },
+    /// A new (class, function) bug finding surfaced.
+    Finding(BugFinding),
+    /// The campaign stopped at a pause point with budget remaining.
+    Paused {
+        /// Executions reserved at the pause.
+        executions: usize,
+    },
+    /// The campaign ran to its budget; the report is ready.
+    Completed,
+}
+
+/// A snapshot answer to "how is this campaign doing right now?".
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignProgress {
+    /// Lanes are running (or queued on the pool).
+    Running {
+        /// Executions reserved so far.
+        executions: usize,
+        /// Distinct branch edges covered so far.
+        covered_edges: usize,
+        /// Fraction of the contract's branch edges covered.
+        coverage: f64,
+    },
+    /// The campaign is paused; it can be checkpointed.
+    Paused {
+        /// Executions reserved at the pause.
+        executions: usize,
+    },
+    /// The report is ready to collect.
+    Completed,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum JobStatus {
+    Running,
+    Paused,
+    Completed,
+}
+
+/// Completion state, guarded by `CampaignJob::done` and signalled through
+/// `done_cv`.
+struct JobState {
+    status: JobStatus,
+    report: Option<CampaignReport>,
+    /// Lane 0's RNG after completion — handed back to [`crate::Fuzzer`] so
+    /// consecutive `run()` calls continue one RNG stream, exactly like the
+    /// historical sequential engine.
+    rng: Option<SmallRng>,
+}
+
+/// The cross-campaign scheduling signal: an exponentially smoothed marginal
+/// coverage per execution over the window since the last refresh.
+struct PriorityWindow {
+    score: f64,
+    last_executions: usize,
+    last_covered: usize,
+}
+
+/// Event emission state. `Sender` is single-consumer plumbing; the mutex
+/// also serialises "what has been reported" bookkeeping so events are not
+/// duplicated across lanes.
+struct EventSink {
+    sender: Sender<CampaignEvent>,
+    /// Timeline points already emitted as [`CampaignEvent::Coverage`].
+    timeline_sent: usize,
+    /// Findings already emitted, by (class, function).
+    reported: BTreeSet<(BugClass, Option<String>)>,
+}
+
+/// One submitted campaign: the immutable context, the shared mutable state,
+/// the lane workers, and the scheduling/eventing glue. Owned by an `Arc`
+/// shared between the handle and every queued lane task.
+struct CampaignJob {
+    ctx: Arc<CampaignContext>,
+    shared: CampaignShared,
+    params: RunParams,
+    pause: PauseState,
+    /// One slot per lane. A slot holds the lane's [`Worker`] whenever the
+    /// lane is not mid-batch; finalisation takes them out, a paused campaign
+    /// leaves them in place for [`CampaignHandle::checkpoint`].
+    lanes: Vec<Mutex<Option<Worker>>>,
+    /// Lanes still scheduled (running or queued).
+    active: AtomicUsize,
+    /// Lanes that stopped because the budget was exhausted (as opposed to
+    /// pausing). If any lane finished, the campaign finalises even when the
+    /// others stopped at the pause mark — the budget is simply gone.
+    finished_lanes: AtomicUsize,
+    /// True when the job continues a checkpoint: skip the seeding prologue.
+    resumed: bool,
+    /// Campaign wall-clock frozen at the pause (what the checkpoint stores,
+    /// so post-pause idle time never counts against the time budget).
+    paused_elapsed_ms: AtomicU64,
+    priority: Mutex<PriorityWindow>,
+    sink: Mutex<EventSink>,
+    done: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+/// A handle on one submitted campaign.
+///
+/// Dropping the handle does not cancel the campaign; it keeps running on the
+/// service's pool (events are discarded once the receiver is gone).
+pub struct CampaignHandle {
+    job: Arc<CampaignJob>,
+    events: Receiver<CampaignEvent>,
+}
+
+/// A fleet of fuzzing campaigns over one work-stealing thread pool.
+///
+/// ```no_run
+/// # use mufuzz::{CampaignService, FuzzerConfig};
+/// # let contracts: Vec<mufuzz_lang::CompiledContract> = vec![];
+/// let service = CampaignService::new(4);
+/// let handles: Vec<_> = contracts
+///     .into_iter()
+///     .map(|c| service.submit(c, FuzzerConfig::default()).unwrap())
+///     .collect();
+/// for handle in handles {
+///     let report = handle.wait();
+///     println!("{}: {:.1}% coverage", report.contract, report.coverage_percent());
+/// }
+/// ```
+pub struct CampaignService {
+    pool: Arc<FleetPool>,
+}
+
+impl CampaignService {
+    /// A service over a fresh pool of `threads` worker threads (clamped to
+    /// at least one).
+    pub fn new(threads: usize) -> CampaignService {
+        CampaignService {
+            pool: Arc::new(FleetPool::new(threads)),
+        }
+    }
+
+    /// Number of pool threads serving this fleet.
+    pub fn thread_count(&self) -> usize {
+        self.pool.thread_count()
+    }
+
+    /// Submit a campaign; returns immediately with a handle.
+    ///
+    /// The campaign runs `config.workers` lanes on the shared pool.
+    /// Deployment and static analysis happen on the calling thread so setup
+    /// errors surface here rather than inside the pool.
+    pub fn submit(
+        &self,
+        compiled: CompiledContract,
+        config: FuzzerConfig,
+    ) -> Result<CampaignHandle, HarnessError> {
+        self.submit_with(compiled, config, SubmitOptions::default())
+    }
+
+    /// [`CampaignService::submit`] with explicit [`SubmitOptions`].
+    pub fn submit_with(
+        &self,
+        compiled: CompiledContract,
+        config: FuzzerConfig,
+        options: SubmitOptions,
+    ) -> Result<CampaignHandle, HarnessError> {
+        let ctx = Arc::new(CampaignContext::prepare(compiled, config)?);
+        let rng = SmallRng::seed_from_u64(ctx.config.rng_seed);
+        Ok(self.submit_prepared(ctx, rng, options))
+    }
+
+    /// Submit a campaign from an already-prepared context (the path
+    /// [`crate::Fuzzer::run`] uses, threading its own RNG through).
+    pub(crate) fn submit_prepared(
+        &self,
+        ctx: Arc<CampaignContext>,
+        rng0: SmallRng,
+        options: SubmitOptions,
+    ) -> CampaignHandle {
+        let lane_count = ctx.config.workers.max(1);
+        let mut workers = Vec::with_capacity(lane_count);
+        workers.push(Worker::new(Arc::clone(&ctx), rng0));
+        for index in 1..lane_count {
+            let seed = derive_worker_seed(ctx.config.rng_seed, index);
+            workers.push(Worker::new(Arc::clone(&ctx), SmallRng::seed_from_u64(seed)));
+        }
+        let shared = CampaignShared::new(ctx.harness.edge_index().len());
+        let params = RunParams::new(&ctx, 0);
+        self.launch(ctx, shared, params, workers, options, false)
+    }
+
+    /// Resume a checkpointed campaign; returns immediately with a handle.
+    ///
+    /// The contract must fingerprint-match the snapshot and
+    /// `config.workers` must equal the snapshot's lane count. With one lane
+    /// and an unchanged configuration the resumed campaign continues
+    /// bit-for-bit where the checkpoint left off.
+    pub fn resume(
+        &self,
+        compiled: CompiledContract,
+        config: FuzzerConfig,
+        snapshot: &CampaignSnapshot,
+    ) -> Result<CampaignHandle, SnapshotError> {
+        self.resume_with(compiled, config, snapshot, SubmitOptions::default())
+    }
+
+    /// [`CampaignService::resume`] with explicit [`SubmitOptions`].
+    pub fn resume_with(
+        &self,
+        compiled: CompiledContract,
+        config: FuzzerConfig,
+        snapshot: &CampaignSnapshot,
+        options: SubmitOptions,
+    ) -> Result<CampaignHandle, SnapshotError> {
+        if contract_fingerprint(&compiled) != snapshot.contract_hash {
+            return Err(SnapshotError::ContractMismatch);
+        }
+        let lane_count = config.workers.max(1);
+        if snapshot.lanes() != lane_count {
+            return Err(SnapshotError::LaneMismatch {
+                snapshot: snapshot.lanes(),
+                config: lane_count,
+            });
+        }
+        if snapshot.lane_states.len() != snapshot.lanes() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} lane states for {} lanes",
+                snapshot.lane_states.len(),
+                snapshot.lanes()
+            )));
+        }
+        let ctx = Arc::new(CampaignContext::prepare(compiled, config)?);
+        let edges = ctx.harness.edge_index().len();
+        if snapshot.coverage_edges as usize != edges {
+            return Err(SnapshotError::ContractMismatch);
+        }
+        let workers: Vec<Worker> = snapshot
+            .lane_states
+            .iter()
+            .map(|lane| Worker::restore(Arc::clone(&ctx), lane.rng, lane.monitor.clone()))
+            .collect();
+        let shared = CampaignShared {
+            state: Mutex::new(SharedCampaignState {
+                corpus: snapshot.corpus.clone(),
+                timeline: snapshot.timeline.clone(),
+                interesting_shapes: snapshot.shapes.clone(),
+                next_uid: snapshot.next_uid,
+                admitted_since_cull: snapshot.admitted_since_cull as usize,
+                culled: snapshot.culled as usize,
+            }),
+            coverage: CoverageMap::restore(edges, &snapshot.coverage_words),
+            reserved: AtomicUsize::new(snapshot.executions()),
+            epoch: SchedulerEpoch::new(),
+        };
+        // Force every lane's (empty) shard mirror to resync from the
+        // restored corpus before its first draw. Resyncs consume no
+        // randomness, so this is invisible to the lanes' RNG streams.
+        shared.epoch.bump();
+        let params = RunParams::new(&ctx, snapshot.elapsed_ms());
+        Ok(self.launch(ctx, shared, params, workers, options, true))
+    }
+
+    fn launch(
+        &self,
+        ctx: Arc<CampaignContext>,
+        shared: CampaignShared,
+        params: RunParams,
+        workers: Vec<Worker>,
+        options: SubmitOptions,
+        resumed: bool,
+    ) -> CampaignHandle {
+        let (sender, events) = channel();
+        let _ = sender.send(CampaignEvent::Started {
+            contract: ctx.harness.compiled.name.clone(),
+        });
+        let job = Arc::new(CampaignJob {
+            ctx,
+            shared,
+            params,
+            pause: PauseState::new(options.pause_at),
+            lanes: workers.into_iter().map(|w| Mutex::new(Some(w))).collect(),
+            active: AtomicUsize::new(1),
+            finished_lanes: AtomicUsize::new(0),
+            resumed,
+            paused_elapsed_ms: AtomicU64::new(0),
+            priority: Mutex::new(PriorityWindow {
+                score: LAUNCH_PRIORITY,
+                last_executions: 0,
+                last_covered: 0,
+            }),
+            sink: Mutex::new(EventSink {
+                sender,
+                timeline_sent: 0,
+                reported: BTreeSet::new(),
+            }),
+            done: Mutex::new(JobState {
+                status: JobStatus::Running,
+                report: None,
+                rng: None,
+            }),
+            done_cv: Condvar::new(),
+        });
+        let bootstrap_job = Arc::clone(&job);
+        self.pool
+            .spawn(LAUNCH_PRIORITY, move |wctx| bootstrap(bootstrap_job, wctx));
+        CampaignHandle { job, events }
+    }
+}
+
+impl CampaignHandle {
+    /// Name of the contract this campaign fuzzes.
+    pub fn contract(&self) -> &str {
+        &self.job.ctx.harness.compiled.name
+    }
+
+    /// A non-blocking progress snapshot.
+    pub fn poll(&self) -> CampaignProgress {
+        let done = self.job.done.lock().expect("campaign done state poisoned");
+        match done.status {
+            JobStatus::Completed => CampaignProgress::Completed,
+            JobStatus::Paused => CampaignProgress::Paused {
+                executions: self.job.shared.executions(),
+            },
+            JobStatus::Running => {
+                let covered = self.job.shared.coverage.covered_count();
+                CampaignProgress::Running {
+                    executions: self.job.shared.executions(),
+                    covered_edges: covered,
+                    coverage: covered as f64 / self.job.params.total_edges as f64,
+                }
+            }
+        }
+    }
+
+    /// Drain every event queued since the last call (non-blocking).
+    pub fn events(&self) -> Vec<CampaignEvent> {
+        self.events.try_iter().collect()
+    }
+
+    /// Ask the campaign to pause at the next batch boundary. The lanes stop
+    /// with budget remaining; poll for [`CampaignProgress::Paused`], then
+    /// [`CampaignHandle::checkpoint`].
+    pub fn pause(&self) {
+        self.job.pause.requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the campaign completes or pauses.
+    pub fn join(&self) {
+        let mut done = self.job.done.lock().expect("campaign done state poisoned");
+        while done.status == JobStatus::Running {
+            done = self
+                .job
+                .done_cv
+                .wait(done)
+                .expect("campaign done state poisoned");
+        }
+    }
+
+    /// Block until the campaign finishes and return its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign pauses instead of completing (a paused
+    /// campaign has no final report — checkpoint and resume it).
+    pub fn wait(self) -> CampaignReport {
+        let (report, _) = self.wait_inner();
+        report
+    }
+
+    /// Like [`CampaignHandle::wait`], additionally handing back lane 0's
+    /// RNG so [`crate::Fuzzer`] can continue its stream across runs.
+    pub(crate) fn wait_internal(self) -> (CampaignReport, SmallRng) {
+        let (report, rng) = self.wait_inner();
+        (
+            report,
+            rng.expect("completed campaign always stores lane 0's rng"),
+        )
+    }
+
+    fn wait_inner(&self) -> (CampaignReport, Option<SmallRng>) {
+        self.join();
+        let mut done = self.job.done.lock().expect("campaign done state poisoned");
+        match done.status {
+            JobStatus::Completed => (
+                done.report.take().expect("campaign report already taken"),
+                done.rng.take(),
+            ),
+            _ => panic!(
+                "campaign '{}' paused instead of completing; checkpoint() and resume it",
+                self.job.ctx.harness.compiled.name
+            ),
+        }
+    }
+
+    /// Freeze a paused campaign into a [`CampaignSnapshot`].
+    ///
+    /// Errors with [`SnapshotError::NotPaused`] unless the campaign is
+    /// paused, and with [`SnapshotError::OverflowCoverage`] in the
+    /// (practically unreachable) case of a saturated coverage bitmap.
+    pub fn checkpoint(&self) -> Result<CampaignSnapshot, SnapshotError> {
+        {
+            let done = self.job.done.lock().expect("campaign done state poisoned");
+            if done.status != JobStatus::Paused {
+                return Err(SnapshotError::NotPaused);
+            }
+        }
+        let job = &self.job;
+        if job.shared.coverage.has_overflow() {
+            return Err(SnapshotError::OverflowCoverage);
+        }
+        let (corpus, timeline, shapes, next_uid, admitted_since_cull, culled) = {
+            let s = job.shared.state.lock().expect("campaign state poisoned");
+            (
+                s.corpus.clone(),
+                s.timeline.clone(),
+                s.interesting_shapes.clone(),
+                s.next_uid,
+                s.admitted_since_cull,
+                s.culled,
+            )
+        };
+        let mut lane_states = Vec::with_capacity(job.lanes.len());
+        for slot in &job.lanes {
+            let slot = slot.lock().expect("campaign lane poisoned");
+            let worker = slot.as_ref().ok_or(SnapshotError::NotPaused)?;
+            lane_states.push(LaneState {
+                rng: worker.rng_state(),
+                monitor: worker.monitor_state(),
+            });
+        }
+        Ok(CampaignSnapshot {
+            contract_hash: contract_fingerprint(&job.ctx.harness.compiled),
+            rng_seed: job.ctx.config.rng_seed,
+            lanes: job.lanes.len() as u32,
+            max_executions: job.ctx.config.max_executions() as u64,
+            executions: job.shared.executions() as u64,
+            elapsed_ms: job.paused_elapsed_ms.load(Ordering::Relaxed),
+            coverage_edges: job.ctx.harness.edge_index().len() as u64,
+            coverage_words: job.shared.coverage.snapshot_words(),
+            next_uid,
+            admitted_since_cull: admitted_since_cull as u64,
+            culled: culled as u64,
+            corpus,
+            timeline,
+            shapes,
+            lane_states,
+        })
+    }
+}
+
+/// First task of every campaign: run the seeding prologue (unless resumed),
+/// then fan the lanes out onto the pool. Lane 0 continues on this thread —
+/// for a fresh single-lane campaign that reproduces the sequential engine's
+/// thread usage exactly.
+fn bootstrap(job: Arc<CampaignJob>, wctx: &WorkerCtx) {
+    if !job.resumed {
+        let mut slot = job.lanes[0].lock().expect("campaign lane poisoned");
+        let worker = slot.as_mut().expect("lane worker missing");
+        worker.run_initial(&job.shared, &job.params);
+    }
+    pump_events(&job, 0);
+    let corpus_empty = job
+        .shared
+        .state
+        .lock()
+        .expect("campaign state poisoned")
+        .corpus
+        .is_empty();
+    if corpus_empty {
+        // Contract with no callable functions: report immediately.
+        finalize(&job, true);
+        return;
+    }
+    let lane_count = job.lanes.len();
+    job.active.store(lane_count, Ordering::SeqCst);
+    for lane in 1..lane_count {
+        let lane_job = Arc::clone(&job);
+        wctx.respawn_global(LAUNCH_PRIORITY, move |w| drive_lane(&lane_job, lane, 0, w));
+    }
+    drive_lane(&job, 0, 0, wctx);
+}
+
+/// Run one batch of `lane`, then reschedule it: locally for up to
+/// [`REINJECT_STEPS`] batches, then through the global injector at the
+/// campaign's refreshed marginal-coverage priority.
+fn drive_lane(job: &Arc<CampaignJob>, lane: usize, steps: usize, wctx: &WorkerCtx) {
+    let step = {
+        let mut slot = job.lanes[lane].lock().expect("campaign lane poisoned");
+        let worker = slot.as_mut().expect("lane worker missing");
+        worker.step(&job.shared, &job.params, &job.pause)
+    };
+    pump_events(job, lane);
+    match step {
+        LaneStep::Continue => {
+            let steps = steps + 1;
+            let lane_job = Arc::clone(job);
+            if steps >= REINJECT_STEPS {
+                let score = refresh_priority(job);
+                wctx.respawn_global(score, move |w| drive_lane(&lane_job, lane, 0, w));
+            } else {
+                wctx.respawn_local(move |w| drive_lane(&lane_job, lane, steps, w));
+            }
+        }
+        LaneStep::Finished => {
+            job.finished_lanes.fetch_add(1, Ordering::SeqCst);
+            lane_done(job);
+        }
+        LaneStep::Paused => lane_done(job),
+    }
+}
+
+/// A lane left the pool. The last lane out settles the campaign: if any
+/// lane saw the budget exhausted the campaign finalises, otherwise every
+/// lane stopped at the pause mark and the campaign parks as paused.
+fn lane_done(job: &Arc<CampaignJob>) {
+    if job.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if job.finished_lanes.load(Ordering::SeqCst) > 0 {
+            finalize(job, false);
+        } else {
+            mark_paused(job);
+        }
+    }
+}
+
+/// Merge the lanes' monitors, run the campaign-level oracles, build the
+/// report and publish completion.
+fn finalize(job: &Arc<CampaignJob>, empty_corpus: bool) {
+    let mut merged: Option<CampaignMonitor> = None;
+    let mut last_world = None;
+    let mut rng0 = None;
+    for (index, slot) in job.lanes.iter().enumerate() {
+        let worker = slot
+            .lock()
+            .expect("campaign lane poisoned")
+            .take()
+            .expect("lane worker missing at finalisation");
+        let (monitor, world, rng) = worker.into_parts();
+        if index == 0 {
+            rng0 = Some(rng);
+        }
+        // Keep the freshest world for the campaign-level oracles: lane 0's
+        // last mutant (the only lane with `workers == 1`, preserving the
+        // sequential engine's choice), else any lane's.
+        if last_world.is_none() {
+            last_world = world;
+        }
+        merged = Some(match merged {
+            None => monitor,
+            Some(mut m) => {
+                m.merge(monitor);
+                m
+            }
+        });
+    }
+    let mut monitor = merged.expect("campaign has at least one lane");
+    monitor.finalize(
+        &job.ctx.harness.compiled,
+        last_world.as_ref().or(Some(job.ctx.harness.base_world())),
+    );
+    let report = build_report(
+        &job.ctx,
+        &job.shared,
+        monitor,
+        &job.params,
+        job.lanes.len(),
+        empty_corpus,
+    );
+    {
+        let mut sink = job.sink.lock().expect("campaign sink poisoned");
+        drain_timeline(&mut sink, job);
+        for finding in &report.findings {
+            if sink
+                .reported
+                .insert((finding.class, finding.function.clone()))
+            {
+                let _ = sink.sender.send(CampaignEvent::Finding(finding.clone()));
+            }
+        }
+        let _ = sink.sender.send(CampaignEvent::Completed);
+    }
+    let mut done = job.done.lock().expect("campaign done state poisoned");
+    done.status = JobStatus::Completed;
+    done.report = Some(report);
+    done.rng = rng0;
+    job.done_cv.notify_all();
+}
+
+/// Park the campaign as paused: freeze the campaign clock, flush events,
+/// publish the paused status.
+fn mark_paused(job: &Arc<CampaignJob>) {
+    job.paused_elapsed_ms
+        .store(job.params.elapsed_ms(), Ordering::Relaxed);
+    let executions = job.shared.executions();
+    {
+        let mut sink = job.sink.lock().expect("campaign sink poisoned");
+        drain_timeline(&mut sink, job);
+        let _ = sink.sender.send(CampaignEvent::Paused { executions });
+    }
+    let mut done = job.done.lock().expect("campaign done state poisoned");
+    done.status = JobStatus::Paused;
+    job.done_cv.notify_all();
+}
+
+/// Refresh the campaign's cross-campaign priority from the coverage and
+/// executions accumulated since the last refresh.
+fn refresh_priority(job: &Arc<CampaignJob>) -> f64 {
+    let executions = job.shared.executions();
+    let covered = job.shared.coverage.covered_count();
+    let mut window = job.priority.lock().expect("campaign priority poisoned");
+    let new_executions = executions.saturating_sub(window.last_executions);
+    let new_edges = covered.saturating_sub(window.last_covered);
+    window.score = marginal_coverage_priority(window.score, new_edges, new_executions);
+    window.last_executions = executions;
+    window.last_covered = covered;
+    window.score
+}
+
+/// Emit fresh timeline points and `lane`'s fresh findings as events.
+///
+/// Lock order within a job is sink → state and sink → lane is never needed
+/// (the lane lock is released before the sink lock is taken), so lane tasks
+/// and the handle can pump concurrently without deadlock.
+fn pump_events(job: &Arc<CampaignJob>, lane: usize) {
+    let findings = {
+        let slot = job.lanes[lane].lock().expect("campaign lane poisoned");
+        match slot.as_ref() {
+            Some(worker) => worker.findings(),
+            None => Vec::new(),
+        }
+    };
+    let mut sink = job.sink.lock().expect("campaign sink poisoned");
+    drain_timeline(&mut sink, job);
+    for finding in findings {
+        if sink
+            .reported
+            .insert((finding.class, finding.function.clone()))
+        {
+            let _ = sink.sender.send(CampaignEvent::Finding(finding));
+        }
+    }
+}
+
+/// Send every timeline point not yet emitted. Called with the sink lock
+/// held; takes the state lock briefly to copy the fresh points.
+fn drain_timeline(sink: &mut EventSink, job: &CampaignJob) {
+    let fresh: Vec<CoveragePoint> = {
+        let s = job.shared.state.lock().expect("campaign state poisoned");
+        s.timeline.get(sink.timeline_sent..).unwrap_or(&[]).to_vec()
+    };
+    sink.timeline_sent += fresh.len();
+    for point in fresh {
+        let _ = sink.sender.send(CampaignEvent::Coverage {
+            executions: point.executions,
+            covered_edges: point.covered_edges,
+            coverage: point.coverage,
+            elapsed_ms: point.elapsed_ms,
+        });
+    }
+}

@@ -45,5 +45,5 @@ pub mod monitor;
 pub mod scoring;
 
 pub use bugs::{BugClass, BugFinding};
-pub use monitor::CampaignMonitor;
+pub use monitor::{CampaignMonitor, MonitorState};
 pub use scoring::{score_contract, Annotation, ClassScore, DetectionScore};

@@ -12,6 +12,21 @@ use mufuzz_evm::{CallKind, ExecutionTrace, Opcode, Taint, WorldState, U256};
 use mufuzz_lang::CompiledContract;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A plain-data export of a [`CampaignMonitor`]'s accumulated state, used by
+/// the campaign checkpoint/resume machinery to serialize a monitor and
+/// rebuild it exactly (same findings, same invocation counts, same
+/// held-balance flag) in a later process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonitorState {
+    /// The deduplicated findings, in the monitor's canonical
+    /// `(class, function)` order.
+    pub findings: Vec<BugFinding>,
+    /// Per-function `call.value` invocation counts.
+    pub call_value_invocations: Vec<(String, usize)>,
+    /// Whether the contract ever held a positive balance.
+    pub held_balance: bool,
+}
+
 /// Accumulates bug findings over a fuzzing campaign for one contract.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignMonitor {
@@ -343,6 +358,32 @@ impl CampaignMonitor {
         self.findings.keys().map(|(c, _)| *c).collect()
     }
 
+    /// Export the monitor's full accumulated state for checkpointing.
+    pub fn export_state(&self) -> MonitorState {
+        MonitorState {
+            findings: self.findings(),
+            call_value_invocations: self
+                .call_value_invocations
+                .iter()
+                .map(|(name, &count)| (name.clone(), count))
+                .collect(),
+            held_balance: self.held_balance,
+        }
+    }
+
+    /// Rebuild a monitor from an exported state. The round trip is exact:
+    /// `CampaignMonitor::from_state(m.export_state())` observes, merges and
+    /// finalizes identically to `m`.
+    pub fn from_state(state: MonitorState) -> CampaignMonitor {
+        let mut monitor = CampaignMonitor::new();
+        for finding in state.findings {
+            monitor.record(finding);
+        }
+        monitor.call_value_invocations = state.call_value_invocations.into_iter().collect();
+        monitor.held_balance = state.held_balance;
+        monitor
+    }
+
     /// Number of deduplicated findings.
     pub fn len(&self) -> usize {
         self.findings.len()
@@ -672,6 +713,38 @@ mod tests {
         let before = merged.len();
         merged.merge(CampaignMonitor::new());
         assert_eq!(merged.len(), before);
+    }
+
+    #[test]
+    fn monitor_state_round_trip_is_exact() {
+        let src = r#"contract Bank {
+            mapping(address => uint256) balances;
+            function deposit() public payable { balances[msg.sender] += msg.value; }
+            function withdraw() public {
+                if (balances[msg.sender] > 0) {
+                    msg.sender.call.value(balances[msg.sender])();
+                    balances[msg.sender] = 0;
+                }
+            }
+        }"#;
+        let mut rig = Rig::new(src);
+        rig.call("deposit", &[], ether(1));
+        rig.call("withdraw", &[], U256::ZERO);
+        rig.call("deposit", &[], ether(1));
+        rig.call("withdraw", &[], U256::ZERO);
+        rig.monitor.observe_world(U256::from_u64(3));
+
+        let exported = rig.monitor.export_state();
+        let mut restored = CampaignMonitor::from_state(exported.clone());
+        assert_eq!(restored.export_state(), exported);
+
+        // The restored monitor finalizes to the same detections as the
+        // original (the repeated call.value signal survives the round trip).
+        let compiled = rig.compiled.clone();
+        rig.monitor.finalize(&compiled, None);
+        restored.finalize(&compiled, None);
+        assert_eq!(restored.findings(), rig.monitor.findings());
+        assert!(restored.detected_classes().contains(&BugClass::Reentrancy));
     }
 
     #[test]

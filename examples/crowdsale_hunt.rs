@@ -13,7 +13,7 @@
 //! ```
 
 use mufuzz_analysis::{analyze_contract, plan_sequence};
-use mufuzz_baselines::{FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_baselines::{FuzzRequest, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
 use mufuzz_corpus::contracts;
 use mufuzz_lang::compile_source;
 
@@ -35,12 +35,12 @@ fn main() {
     println!("repeat candidates: {:?}\n", plan.repeat_candidates);
 
     // Step 3-4: fuzz and compare against an sFuzz-style baseline.
-    let budget = 800;
+    let req = FuzzRequest::new(800, 7);
     let mufuzz_report = MuFuzzStrategy
-        .fuzz(compile_source(&source).unwrap(), budget, 7)
+        .fuzz(compile_source(&source).unwrap(), &req)
         .unwrap();
     let sfuzz_report = SFuzzStrategy
-        .fuzz(compile_source(&source).unwrap(), budget, 7)
+        .fuzz(compile_source(&source).unwrap(), &req)
         .unwrap();
 
     println!(

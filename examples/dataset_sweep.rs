@@ -5,25 +5,28 @@
 //! ```text
 //! cargo run --example dataset_sweep
 //! ```
-//! Scale up with `MUFUZZ_CONTRACTS` / `MUFUZZ_EXECS`.
+//! Scale up with `MUFUZZ_CONTRACTS` / `MUFUZZ_EXECS`; size the shared fleet
+//! pool with `--workers N` (or `MUFUZZ_WORKERS`; 0 = auto).
 
-use mufuzz_bench::{env_param, overall_coverage};
+use mufuzz_bench::{env_param, fleet_threads, overall_coverage, workers_param};
 use mufuzz_corpus::{d1_large, d1_small};
 
 fn main() {
     let contracts = env_param("MUFUZZ_CONTRACTS", 6);
     let execs = env_param("MUFUZZ_EXECS", 250);
+    let workers = workers_param();
 
     let small = d1_small(contracts);
     let large = d1_large(contracts.div_ceil(2));
     println!(
-        "sweeping {} small and {} large generated contracts, {} executions each...\n",
+        "sweeping {} small and {} large generated contracts, {} executions each, on a fleet pool of {} thread(s)...\n",
         small.len(),
         large.len(),
-        execs
+        execs,
+        fleet_threads(workers)
     );
 
-    let result = overall_coverage(&small.contracts, &large.contracts, execs, 3, 1);
+    let result = overall_coverage(&small.contracts, &large.contracts, execs, 3, workers);
     println!(
         "{:<12} {:>14} {:>14}",
         "tool", "small coverage", "large coverage"

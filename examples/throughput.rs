@@ -2,9 +2,11 @@
 //! PiggyBank contract with 1 worker and with N workers — the N-worker
 //! campaign both on the sharded seed scheduler (the default: lock-free
 //! steady-state draws) and on the historical global draw under the state
-//! lock — report execs/sec for each, and emit a machine-readable
-//! `BENCH_throughput.json` so CI can track the performance trajectory and
-//! the sharded-vs-global scaling claim across PRs.
+//! lock — then sweep three corpus contracts through one `CampaignService`
+//! fleet pool, sequentially and concurrently. Reports execs/sec for each
+//! and emits a machine-readable `BENCH_throughput.json` so CI can track the
+//! performance trajectory, the sharded-vs-global scaling claim and the
+//! fleet-concurrency claim across PRs.
 //!
 //! Run with:
 //! ```text
@@ -13,8 +15,10 @@
 //! MUFUZZ_EXECS=100000 cargo run --release --example throughput
 //! ```
 
-use mufuzz::{CampaignReport, Fuzzer, FuzzerConfig};
+use mufuzz::{CampaignReport, CampaignService, Fuzzer, FuzzerConfig};
+use mufuzz_corpus::contracts;
 use mufuzz_lang::compile_source;
+use std::time::Instant;
 
 const SOURCE: &str = r#"
 contract PiggyBank {
@@ -85,6 +89,58 @@ fn json_entry(report: &CampaignReport, sharded: bool) -> String {
     )
 }
 
+/// Sweep three corpus contracts through one fleet pool of `threads`
+/// threads. `concurrent` submits all three up front (the fleet case);
+/// otherwise each campaign is waited out before the next is submitted (the
+/// sequential baseline). Returns `(total executions, elapsed ms)`.
+fn fleet_sweep(threads: usize, executions: usize, concurrent: bool) -> (usize, u64) {
+    let sources = [
+        contracts::crowdsale().source,
+        contracts::game().source,
+        contracts::reentrant_bank().source,
+    ];
+    let service = CampaignService::new(threads);
+    let config = || FuzzerConfig::mufuzz(executions).with_rng_seed(42);
+    let start = Instant::now();
+    let total: usize = if concurrent {
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|s| {
+                let compiled = compile_source(s).expect("corpus contract compiles");
+                service.submit(compiled, config()).expect("deploys")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.wait().executions).sum()
+    } else {
+        sources
+            .iter()
+            .map(|s| {
+                let compiled = compile_source(s).expect("corpus contract compiles");
+                service
+                    .submit(compiled, config())
+                    .expect("deploys")
+                    .wait()
+                    .executions
+            })
+            .sum()
+    };
+    (total, start.elapsed().as_millis().max(1) as u64)
+}
+
+/// JSON record for one fleet sweep.
+fn fleet_json(threads: usize, total: usize, elapsed_ms: u64) -> String {
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"executions\": {}, \"elapsed_ms\": {}, ",
+            "\"execs_per_sec\": {:.1}}}"
+        ),
+        threads,
+        total,
+        elapsed_ms,
+        total as f64 * 1000.0 / elapsed_ms as f64
+    )
+}
+
 fn main() {
     let executions = std::env::var("MUFUZZ_EXECS")
         .ok()
@@ -115,16 +171,32 @@ fn main() {
         sharded.execs_per_sec() / global.execs_per_sec()
     );
 
+    // The fleet sweep: three corpus contracts through one CampaignService,
+    // sequentially on one pool thread vs concurrently on `workers` threads.
+    let fleet_budget = (executions / 10).max(500);
+    let (seq_total, seq_ms) = fleet_sweep(1, fleet_budget, false);
+    let (conc_total, conc_ms) = fleet_sweep(workers, fleet_budget, true);
+    let seq_rate = seq_total as f64 * 1000.0 / seq_ms as f64;
+    let conc_rate = conc_total as f64 * 1000.0 / conc_ms as f64;
+    println!(
+        "fleet sweep (3 contracts x {fleet_budget} execs): sequential {seq_rate:.0} execs/sec, \
+         concurrent x{workers} {conc_rate:.0} execs/sec ({:.2}x)",
+        conc_rate / seq_rate
+    );
+
     // Machine-readable record for the CI perf-smoke artifact.
     let json = format!(
         concat!(
             "{{\n  \"benchmark\": \"piggybank\",\n  \"budget\": {},\n",
-            "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {}\n}}\n"
+            "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {},\n",
+            "  \"fleet_sequential\": {},\n  \"fleet_concurrent\": {}\n}}\n"
         ),
         executions,
         json_entry(&single, true),
         json_entry(&sharded, true),
-        json_entry(&global, false)
+        json_entry(&global, false),
+        fleet_json(1, seq_total, seq_ms),
+        fleet_json(workers, conc_total, conc_ms)
     );
     let path =
         std::env::var("MUFUZZ_BENCH_JSON").unwrap_or_else(|_| "BENCH_throughput.json".into());

@@ -202,6 +202,31 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Exports the full xoshiro256++ state (for checkpointing a stream).
+        ///
+        /// Extension beyond the real `rand` 0.8 surface: the real crate
+        /// reaches the generator state through `serde` on `rand_xoshiro`,
+        /// which this offline shim cannot depend on.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously returned by
+        /// [`SmallRng::to_state`], continuing the stream exactly.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            let mut s = state;
+            if s == [0; 4] {
+                // Preserve the no-all-zero invariant, as `from_seed` does.
+                let mut fix = 0x6a09_e667_f3bc_c909;
+                for word in &mut s {
+                    *word = splitmix64(&mut fix);
+                }
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
@@ -292,6 +317,24 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            rng.gen::<u64>();
+        }
+        let mut resumed = SmallRng::from_state(rng.to_state());
+        for _ in 0..100 {
+            assert_eq!(rng.gen::<u64>(), resumed.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn all_zero_state_is_fixed_up() {
+        let mut rng = SmallRng::from_state([0; 4]);
+        assert_ne!(rng.gen::<u64>(), 0);
     }
 
     #[test]

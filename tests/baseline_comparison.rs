@@ -4,7 +4,7 @@
 //! full system).
 
 use mufuzz::{Fuzzer, FuzzerConfig};
-use mufuzz_baselines::{FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
+use mufuzz_baselines::{FuzzRequest, FuzzingStrategy, MuFuzzStrategy, SFuzzStrategy};
 use mufuzz_corpus::{contracts, generate_contract, GeneratorConfig};
 use mufuzz_lang::compile_source;
 
@@ -16,7 +16,9 @@ fn mean_coverage(strategy: &dyn FuzzingStrategy, budget: usize) -> f64 {
     let mut total = 0.0;
     for c in &contracts {
         let compiled = compile_source(&c.source).unwrap();
-        let report = strategy.fuzz(compiled, budget, 31).unwrap();
+        let report = strategy
+            .fuzz(compiled, &FuzzRequest::new(budget, 31))
+            .unwrap();
         total += report.coverage;
     }
     total / contracts.len() as f64
@@ -51,11 +53,12 @@ fn disabling_sequence_awareness_never_helps_on_the_crowdsale() {
 fn all_strategies_are_deterministic_given_a_seed() {
     let source = contracts::game().source;
     for strategy in mufuzz_baselines::all_fuzzers() {
+        let req = FuzzRequest::new(150, 23);
         let a = strategy
-            .fuzz(compile_source(&source).unwrap(), 150, 23)
+            .fuzz(compile_source(&source).unwrap(), &req)
             .unwrap();
         let b = strategy
-            .fuzz(compile_source(&source).unwrap(), 150, 23)
+            .fuzz(compile_source(&source).unwrap(), &req)
             .unwrap();
         assert_eq!(
             a.covered_edges,

@@ -1,0 +1,277 @@
+//! Integration tests for the campaign service: checkpoint/resume
+//! bit-identity, snapshot validation, event streaming and cross-campaign
+//! concurrency.
+//!
+//! The checkpoint contract (satellite of the fleet-mode redesign): pausing a
+//! `workers == 1` campaign at a deterministic execution mark, serializing it
+//! to a [`CampaignSnapshot`], restoring from bytes and resuming must produce
+//! exactly the report an uninterrupted run produces — same coverage, same
+//! executions, same corpus, same findings, same interesting shapes.
+
+use mufuzz::{
+    CampaignEvent, CampaignProgress, CampaignReport, CampaignService, CampaignSnapshot,
+    FuzzerConfig, SnapshotError, SubmitOptions,
+};
+use mufuzz_corpus::contracts;
+use mufuzz_lang::compile_source;
+
+fn crowdsale_config(seed: u64) -> FuzzerConfig {
+    FuzzerConfig::mufuzz(400)
+        .with_rng_seed(seed)
+        .with_workers(1)
+}
+
+fn uninterrupted_run(seed: u64) -> CampaignReport {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    let handle = service.submit(compiled, crowdsale_config(seed)).unwrap();
+    handle.wait()
+}
+
+/// Pause a campaign at `pause_at` executions and checkpoint it.
+fn checkpoint_at(seed: u64, pause_at: usize) -> CampaignSnapshot {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    let handle = service
+        .submit_with(
+            compiled,
+            crowdsale_config(seed),
+            SubmitOptions::pause_at(pause_at),
+        )
+        .unwrap();
+    handle.join();
+    match handle.poll() {
+        CampaignProgress::Paused { executions } => {
+            assert!(
+                executions >= pause_at && executions < 400,
+                "paused at {executions}, expected in [{pause_at}, 400)"
+            );
+        }
+        other => panic!("expected a paused campaign, got {other:?}"),
+    }
+    handle.checkpoint().expect("paused campaign checkpoints")
+}
+
+/// The headline guarantee: pause -> snapshot -> byte round-trip -> resume
+/// reproduces the uninterrupted campaign bit for bit, for several seeds.
+#[test]
+fn resumed_campaign_is_bit_identical_to_uninterrupted_run() {
+    for seed in [11, 42, 7] {
+        let baseline = uninterrupted_run(seed);
+        let snapshot = checkpoint_at(seed, 150);
+        assert!(snapshot.executions() >= 150);
+
+        // Serialize / deserialize before resuming, so the test also proves
+        // the binary format carries the full campaign state.
+        let bytes = snapshot.to_bytes();
+        let restored = CampaignSnapshot::from_bytes(&bytes).expect("snapshot parses");
+        assert_eq!(restored, snapshot);
+
+        let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+        let service = CampaignService::new(1);
+        let resumed = service
+            .resume(compiled, crowdsale_config(seed), &restored)
+            .expect("snapshot resumes")
+            .wait();
+
+        assert_eq!(resumed.covered_edges, baseline.covered_edges, "seed {seed}");
+        assert_eq!(resumed.executions, baseline.executions, "seed {seed}");
+        assert_eq!(resumed.corpus_size, baseline.corpus_size, "seed {seed}");
+        assert_eq!(resumed.culled_seeds, baseline.culled_seeds, "seed {seed}");
+        assert_eq!(
+            resumed.interesting_shapes, baseline.interesting_shapes,
+            "seed {seed}"
+        );
+        assert_eq!(
+            resumed.detected_classes(),
+            baseline.detected_classes(),
+            "seed {seed}"
+        );
+        // The timeline matches in every execution-indexed dimension (wall
+        // clock stamps legitimately differ across process runs).
+        assert_eq!(resumed.timeline.len(), baseline.timeline.len());
+        for (r, b) in resumed.timeline.iter().zip(&baseline.timeline) {
+            assert_eq!(r.executions, b.executions, "seed {seed}");
+            assert_eq!(r.covered_edges, b.covered_edges, "seed {seed}");
+        }
+    }
+}
+
+/// The seed-11 snapshot constants from `parallel_campaign.rs`, reproduced
+/// through a pause/checkpoint/resume cycle: the fleet service's resume path
+/// still replays the historical sequential engine exactly.
+#[test]
+fn resume_reproduces_the_historical_snapshot_constants() {
+    let snapshot = checkpoint_at(11, 150);
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    let report = service
+        .resume(compiled, crowdsale_config(11), &snapshot)
+        .unwrap()
+        .wait();
+    assert_eq!(report.covered_edges, 18);
+    assert_eq!(report.total_edges, 20);
+    assert_eq!(report.executions, 400);
+    assert_eq!(report.corpus_size, 14);
+    assert!(report.findings.is_empty());
+    assert_eq!(
+        report.interesting_shapes.first().map(String::as_str),
+        Some("invest->refund->withdraw")
+    );
+}
+
+/// A snapshot with a flipped version tag is rejected outright.
+#[test]
+fn mismatched_snapshot_version_is_rejected() {
+    let snapshot = checkpoint_at(11, 100);
+    let mut bytes = snapshot.to_bytes();
+    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    match CampaignSnapshot::from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion(2)) => {}
+        other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+    }
+}
+
+/// Resuming against the wrong contract or the wrong lane count fails
+/// loudly instead of corrupting a campaign.
+#[test]
+fn resume_validates_contract_and_lane_count() {
+    let snapshot = checkpoint_at(11, 100);
+    let service = CampaignService::new(1);
+
+    let other = compile_source(&contracts::game().source).unwrap();
+    match service.resume(other, crowdsale_config(11), &snapshot) {
+        Err(SnapshotError::ContractMismatch) => {}
+        other => panic!("expected ContractMismatch, got {:?}", other.err()),
+    }
+
+    let same = compile_source(&contracts::crowdsale().source).unwrap();
+    match service.resume(same, crowdsale_config(11).with_workers(4), &snapshot) {
+        Err(SnapshotError::LaneMismatch {
+            snapshot: 1,
+            config: 4,
+        }) => {}
+        other => panic!("expected LaneMismatch, got {:?}", other.err()),
+    }
+}
+
+/// Checkpointing a running or completed campaign is an error.
+#[test]
+fn checkpoint_requires_a_paused_campaign() {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    let handle = service.submit(compiled, crowdsale_config(3)).unwrap();
+    handle.join();
+    assert_eq!(handle.poll(), CampaignProgress::Completed);
+    match handle.checkpoint() {
+        Err(SnapshotError::NotPaused) => {}
+        other => panic!("expected NotPaused, got {:?}", other.err()),
+    }
+}
+
+/// The event stream carries the campaign lifecycle: Started first, coverage
+/// points in execution order, Completed last.
+#[test]
+fn event_stream_reports_the_campaign_lifecycle() {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    let handle = service.submit(compiled, crowdsale_config(11)).unwrap();
+    handle.join();
+    let events = handle.events();
+    assert!(
+        matches!(events.first(), Some(CampaignEvent::Started { contract }) if contract == "Crowdsale")
+    );
+    assert!(matches!(events.last(), Some(CampaignEvent::Completed)));
+    let coverage: Vec<(usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            CampaignEvent::Coverage {
+                executions,
+                covered_edges,
+                ..
+            } => Some((*executions, *covered_edges)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        coverage.len() >= 2,
+        "expected several coverage events, got {coverage:?}"
+    );
+    for pair in coverage.windows(2) {
+        assert!(
+            pair[0].0 <= pair[1].0,
+            "executions out of order: {coverage:?}"
+        );
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "coverage not monotone: {coverage:?}"
+        );
+    }
+    let report = handle.wait();
+    assert_eq!(report.covered_edges, 18);
+}
+
+/// A finding-rich contract streams Finding events that match the final
+/// report's deduplicated findings.
+#[test]
+fn finding_events_match_the_final_report() {
+    let compiled = compile_source(&contracts::reentrant_bank().source).unwrap();
+    let service = CampaignService::new(1);
+    let handle = service
+        .submit(compiled, FuzzerConfig::mufuzz(400).with_rng_seed(9))
+        .unwrap();
+    handle.join();
+    let events = handle.events();
+    let streamed: usize = events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::Finding(_)))
+        .count();
+    let report = handle.wait();
+    assert!(!report.findings.is_empty(), "reentrant bank finds bugs");
+    assert!(
+        streamed >= report.findings.len(),
+        "streamed {streamed} findings, report has {}",
+        report.findings.len()
+    );
+}
+
+/// Many campaigns on one service: all complete, each is deterministic, and
+/// polling reports sensible progress states throughout.
+#[test]
+fn concurrent_campaigns_on_one_pool_stay_deterministic() {
+    let sources = [
+        contracts::crowdsale().source,
+        contracts::game().source,
+        contracts::reentrant_bank().source,
+    ];
+    let service = CampaignService::new(2);
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|s| {
+            let compiled = compile_source(s).unwrap();
+            service
+                .submit(compiled, FuzzerConfig::mufuzz(250).with_rng_seed(5))
+                .unwrap()
+        })
+        .collect();
+    let concurrent: Vec<CampaignReport> = handles.into_iter().map(|h| h.wait()).collect();
+
+    // A fresh single-thread service produces the same reports: campaign
+    // determinism is independent of pool size and co-tenants.
+    let serial_service = CampaignService::new(1);
+    for (source, parallel_report) in sources.iter().zip(&concurrent) {
+        let compiled = compile_source(source).unwrap();
+        let serial = serial_service
+            .submit(compiled, FuzzerConfig::mufuzz(250).with_rng_seed(5))
+            .unwrap()
+            .wait();
+        assert_eq!(serial.contract, parallel_report.contract);
+        assert_eq!(serial.covered_edges, parallel_report.covered_edges);
+        assert_eq!(serial.executions, parallel_report.executions);
+        assert_eq!(serial.corpus_size, parallel_report.corpus_size);
+        assert_eq!(
+            serial.interesting_shapes,
+            parallel_report.interesting_shapes
+        );
+    }
+}

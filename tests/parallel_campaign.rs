@@ -107,7 +107,7 @@ fn sharded_and_global_draw_are_identical_at_one_worker() {
             FuzzerConfig::mufuzz(400)
                 .with_rng_seed(seed)
                 .with_workers(1)
-                .without_sharded_scheduler(),
+                .with_sharded_scheduler(false),
         )
         .unwrap()
         .run();
@@ -160,7 +160,7 @@ fn global_scheduler_still_supported_at_four_workers() {
     let config = FuzzerConfig::mufuzz(400)
         .with_rng_seed(11)
         .with_workers(4)
-        .without_sharded_scheduler();
+        .with_sharded_scheduler(false);
     let report = Fuzzer::new(compiled, config).unwrap().run();
     assert_eq!(report.executions, 400);
     assert!(report.covered_edges >= 16);
