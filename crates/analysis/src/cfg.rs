@@ -298,9 +298,19 @@ impl ControlFlowGraph {
     }
 
     /// Total number of branch edges (two per `JUMPI`) — the coverage
-    /// denominator.
+    /// denominator. Coverage is block-edge granular: every `JUMPI`
+    /// terminates exactly one basic block, so this equals two edges per
+    /// [`ControlFlowGraph::branch_blocks`] entry and matches the bitmap
+    /// sizing derived from the interpreter's block-lowered program
+    /// (`EdgeIndex::from_blocks`).
     pub fn total_branch_edges(&self) -> usize {
         self.branches.len() * 2
+    }
+
+    /// The basic blocks that end in a conditional branch, in code order —
+    /// one per `JUMPI` site, the block-granular view of the branch map.
+    pub fn branch_blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks.values().filter(|b| b.is_branch)
     }
 
     /// Branches whose static nesting depth marks them as deeply nested.

@@ -3,12 +3,16 @@
 //! The campaign engine tracks branch coverage in a fixed-size atomic bitmap
 //! (see `mufuzz::coverage`), which needs every possible branch edge of the
 //! contract under test to have a small, stable integer id. [`EdgeIndex`]
-//! assigns those ids at harness build time — from the [`ControlFlowGraph`]
-//! or directly from the pre-decoded instruction stream the interpreter
-//! executes ([`EdgeIndex::from_program`], no bytecode re-scan): the `JUMPI`
-//! sites are enumerated in ascending program-counter order and each site
+//! assigns those ids at harness build time — from the [`ControlFlowGraph`],
+//! directly from the pre-decoded instruction stream
+//! ([`EdgeIndex::from_program`], no bytecode re-scan), or from the
+//! block-lowered program the interpreter executes
+//! ([`EdgeIndex::from_blocks`], block-edge granularity): the `JUMPI` sites
+//! are enumerated in ascending program-counter order and each site
 //! contributes two consecutive ids — `2 * rank` for the fall-through edge
-//! and `2 * rank + 1` for the taken edge.
+//! and `2 * rank + 1` for the taken edge. Every `JUMPI` terminates exactly
+//! one basic block, so the three numberings are identical by construction
+//! (and asserted identical in the tests below).
 //!
 //! Because the numbering is a pure function of the bytecode, two harnesses
 //! built from the same compiled contract always agree on every id, which is
@@ -16,7 +20,7 @@
 //! edges through a shared dictionary.
 
 use crate::cfg::ControlFlowGraph;
-use mufuzz_evm::{Address, BranchEdge, DecodedProgram, Opcode};
+use mufuzz_evm::{Address, BlockProgram, BranchEdge, DecodedProgram, Opcode};
 use std::collections::HashMap;
 
 /// A stable, dense `u32` numbering of the branch edges of one contract.
@@ -91,6 +95,41 @@ impl EdgeIndex {
             .filter(|i| i.op == Opcode::JumpI)
         {
             let pc = instr.pc as usize;
+            ranks.insert(pc, ranks.len() as u32);
+            for taken in [false, true] {
+                edges.push(BranchEdge {
+                    code_address,
+                    pc,
+                    taken,
+                });
+            }
+        }
+        EdgeIndex {
+            code_address,
+            ranks,
+            edges,
+        }
+    }
+
+    /// Number the branch edges at block granularity: one rank per basic
+    /// block that ends in a `JUMPI`, enumerated in block (= code) order.
+    ///
+    /// A `JUMPI` is a block terminator, so each one ends exactly one basic
+    /// block and every `JUMPI`-ending block contributes one branch site —
+    /// this numbering is therefore identical to [`EdgeIndex::from_program`]
+    /// and [`EdgeIndex::build`] (asserted in the tests), which is what keeps
+    /// campaign semantics and the `workers == 1` snapshot contract intact
+    /// while the bitmap is sized from the block-edge count.
+    pub fn from_blocks(program: &BlockProgram, code_address: Address) -> EdgeIndex {
+        let instrs = program.base().instructions();
+        let mut ranks = HashMap::new();
+        let mut edges = Vec::new();
+        for block in program.blocks() {
+            let last = &instrs[block.instr_end as usize - 1];
+            if last.op != Opcode::JumpI {
+                continue;
+            }
+            let pc = last.pc as usize;
             ranks.insert(pc, ranks.len() as u32);
             for taken in [false, true] {
                 edges.push(BranchEdge {
@@ -222,6 +261,39 @@ mod tests {
         }
         for edge in (0..from_cfg.len() as u32).filter_map(|id| from_cfg.edge_of(id)) {
             assert_eq!(from_cfg.id_of(&edge), from_program.id_of(&edge));
+        }
+    }
+
+    #[test]
+    fn block_numbering_matches_the_program_and_cfg_numberings() {
+        // The block-granular constructor (what the harness uses now) must
+        // assign exactly the ids of the per-`JUMPI` constructors — coverage
+        // bitmaps sized and indexed by block edges stay bit-compatible with
+        // the historical numbering.
+        use std::sync::Arc;
+        let compiled = compile_source(SOURCE).unwrap();
+        let cfg = ControlFlowGraph::build(&compiled.runtime);
+        let program = Arc::new(DecodedProgram::decode(&compiled.runtime));
+        let blocks = BlockProgram::lower(Arc::clone(&program));
+        let addr = Address::from_low_u64(0xC0DE);
+        let from_cfg = EdgeIndex::build(&cfg, addr);
+        let from_program = EdgeIndex::from_program(&program, addr);
+        let from_blocks = EdgeIndex::from_blocks(&blocks, addr);
+        assert_eq!(from_blocks.len(), from_program.len());
+        assert_eq!(from_blocks.len(), cfg.total_branch_edges());
+        assert_eq!(
+            from_blocks.len(),
+            cfg.branch_blocks().count() * 2,
+            "one branch site per JUMPI-terminated CFG block"
+        );
+        assert!(!from_blocks.is_empty());
+        for id in 0..from_blocks.len() as u32 {
+            assert_eq!(from_blocks.edge_of(id), from_program.edge_of(id));
+            assert_eq!(from_blocks.edge_of(id), from_cfg.edge_of(id));
+        }
+        for edge in (0..from_blocks.len() as u32).filter_map(|id| from_blocks.edge_of(id)) {
+            assert_eq!(from_blocks.id_of(&edge), from_program.id_of(&edge));
+            assert_eq!(from_blocks.id_of(&edge), from_cfg.id_of(&edge));
         }
     }
 

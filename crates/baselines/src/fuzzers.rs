@@ -90,24 +90,6 @@ pub trait FuzzingStrategy: Send + Sync {
             .with_workers(req.lanes);
         service.submit(compiled, config)
     }
-
-    /// Run a campaign with an explicit worker-thread count.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `fuzz(compiled, &FuzzRequest::new(budget, seed).with_lanes(workers))`"
-    )]
-    fn fuzz_with_workers(
-        &self,
-        compiled: CompiledContract,
-        max_executions: usize,
-        rng_seed: u64,
-        workers: usize,
-    ) -> Result<CampaignReport, HarnessError> {
-        self.fuzz(
-            compiled,
-            &FuzzRequest::new(max_executions, rng_seed).with_lanes(workers),
-        )
-    }
 }
 
 /// The full MuFuzz system.

@@ -141,6 +141,12 @@ pub struct FuzzerConfig {
     /// Install a rejecting sink account so failing external calls can be
     /// observed (exercises the unhandled-exception oracle).
     pub install_rejecting_sink: bool,
+    /// Execute through the block-lowered interpreter fast path (per-block
+    /// static gas and stack validation, fused superinstructions). On by
+    /// default; execution is bit-identical either way, so the knob exists
+    /// for the three-way decoder differential and A/B throughput
+    /// comparisons. Maps to `EvmConfig::block_lowering`.
+    pub block_lowering: bool,
 }
 
 impl Default for FuzzerConfig {
@@ -161,6 +167,7 @@ impl Default for FuzzerConfig {
             timeline_points: 64,
             install_attacker: true,
             install_rejecting_sink: true,
+            block_lowering: true,
         }
     }
 }
@@ -247,11 +254,14 @@ impl FuzzerConfig {
         self
     }
 
-    /// Disable the sharded scheduler, drawing every seed batch under the
-    /// shared state lock as the pre-shard engine did.
-    #[deprecated(since = "0.6.0", note = "use `with_sharded_scheduler(false)`")]
-    pub fn without_sharded_scheduler(self) -> Self {
-        self.with_sharded_scheduler(false)
+    /// Choose the interpreter tier (builder style): `true` (the default)
+    /// executes through the block-lowered fast path, `false` restores
+    /// instruction-at-a-time billing over the pre-decoded stream. Both
+    /// tiers halt, trace and bill identically; the knob exists for the
+    /// decoder differential suite and A/B throughput comparisons.
+    pub fn with_block_lowering(mut self, block_lowering: bool) -> Self {
+        self.block_lowering = block_lowering;
+        self
     }
 
     /// Set the forced shard-resync interval in draws (builder style).
@@ -343,12 +353,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_without_sharded_scheduler_still_works() {
-        // Kept for one release as a migration shim; it must stay equivalent
-        // to `with_sharded_scheduler(false)` until it is removed.
-        let cfg = FuzzerConfig::mufuzz(10).without_sharded_scheduler();
-        assert!(!cfg.scheduler.sharded);
+    fn block_lowering_defaults_on_and_toggles() {
+        assert!(FuzzerConfig::default().block_lowering);
+        let off = FuzzerConfig::mufuzz(10).with_block_lowering(false);
+        assert!(!off.block_lowering);
+        assert!(off.with_block_lowering(true).block_lowering);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! The campaign's shared coverage map: a fixed-size atomic bitmap over the
 //! dense branch-edge ids assigned by [`mufuzz_analysis::EdgeIndex`].
 //!
+//! Since the interpreter was lowered to basic blocks, the bitmap is sized
+//! from the block-granular edge numbering (`EdgeIndex::from_blocks`): two
+//! bits per `JUMPI`-terminated block. Every `JUMPI` terminates exactly one
+//! block, so the count — and each edge's id — is provably identical to the
+//! historical per-`JUMPI` numbering, and snapshots taken before the lowering
+//! remain comparable bit for bit.
+//!
 //! Workers merge the edges covered by every execution with plain
 //! `AtomicU64::fetch_or` word updates — no mutex, no allocation — so the
 //! coverage bookkeeping of the feedback loop scales with the worker count

@@ -84,6 +84,9 @@ pub struct ContractHarness {
     /// clone and handed to the interpreter as a [`ProgramCache`] so
     /// executions skip byte-at-a-time decoding entirely.
     programs: Arc<ProgramCache>,
+    /// Whether executions run through the block-lowered interpreter tier
+    /// (mirrors [`FuzzerConfig::block_lowering`]).
+    block_lowering: bool,
     base_world: WorldState,
     base_block: BlockEnv,
 }
@@ -153,14 +156,21 @@ impl ContractHarness {
             )));
         }
 
-        // Decode the runtime bytecode once; the decoded stream feeds both
-        // the interpreter fast path (via the program cache, keyed on the
-        // deployed code blob) and the dense edge numbering — no re-scan.
+        // Decode and block-lower the runtime bytecode once; the lowered
+        // program feeds both the interpreter fast path (via the program
+        // cache, keyed on the deployed code blob) and the dense edge
+        // numbering — block-granular, provably identical to the per-`JUMPI`
+        // numbering — with no re-scan.
         let runtime_code = world.code(contract_address);
         let program = Arc::new(DecodedProgram::decode(&runtime_code));
-        let edge_index = Arc::new(EdgeIndex::from_program(&program, contract_address));
         let mut programs = ProgramCache::new();
-        programs.insert(runtime_code, program);
+        programs.insert(Arc::clone(&runtime_code), program);
+        let edge_index = Arc::new(EdgeIndex::from_blocks(
+            programs
+                .get_block(&runtime_code)
+                .expect("runtime program was just inserted"),
+            contract_address,
+        ));
 
         // Freeze the post-constructor world: every sequence execution
         // restores this constructor snapshot with one Arc clone instead of
@@ -175,6 +185,7 @@ impl ContractHarness {
             sink,
             edge_index,
             programs: Arc::new(programs),
+            block_lowering: config.block_lowering,
             base_world: world,
             base_block,
         })
@@ -183,6 +194,13 @@ impl ContractHarness {
     /// The dense branch-edge numbering of the contract under test.
     pub fn edge_index(&self) -> &EdgeIndex {
         &self.edge_index
+    }
+
+    /// The shared program cache (decoded + block-lowered runtime bytecode).
+    /// Clones of a harness hand out the same cache, so decoding and lowering
+    /// happen exactly once per deployment.
+    pub fn programs(&self) -> &Arc<ProgramCache> {
+        &self.programs
     }
 
     /// Addresses worth injecting into address-typed arguments.
@@ -282,6 +300,7 @@ impl ContractHarness {
         }
 
         let mut evm = Evm::new(world, block).with_programs(&self.programs);
+        evm.config.block_lowering = self.block_lowering;
         let result = evm.execute_in(
             &Message::new(sender, self.contract_address, value, calldata),
             frame,
@@ -414,6 +433,47 @@ mod tests {
             assert!(outcome.covered_edge_ids.binary_search(&id).is_ok());
             assert_eq!(h.edge_index().edge_of(id), Some(*edge));
         }
+    }
+
+    #[test]
+    fn harness_clones_share_one_program_cache_entry() {
+        let h = harness();
+        let clone = h.clone();
+        // Workers clone the harness; the cache itself is one shared Arc, so
+        // the runtime code is decoded and block-lowered exactly once.
+        assert!(Arc::ptr_eq(h.programs(), clone.programs()));
+        let code = h.base_world().code(h.contract_address);
+        assert_eq!(h.programs().len(), 1);
+        let program = h.programs().get(&code).expect("runtime code is cached");
+        let from_clone = clone.programs().get(&code).expect("clone sees the entry");
+        assert!(Arc::ptr_eq(program, from_clone));
+        let blocks = h.programs().get_block(&code).expect("lowering is cached");
+        assert!(Arc::ptr_eq(blocks.base(), program));
+    }
+
+    #[test]
+    fn rebuilt_harness_does_not_hit_a_stale_cache_entry() {
+        // Two independent builds of the same source produce byte-identical
+        // runtime code in distinct allocations. Pointer-identity keying must
+        // keep the caches disjoint — a rebuilt harness can never be served a
+        // stale entry from an older build, and vice versa.
+        let h1 = harness();
+        let h2 = harness();
+        let code1 = h1.base_world().code(h1.contract_address);
+        let code2 = h2.base_world().code(h2.contract_address);
+        assert_eq!(*code1, *code2);
+        assert!(!Arc::ptr_eq(&code1, &code2));
+        assert!(h1.programs().get(&code2).is_none());
+        assert!(h2.programs().get(&code1).is_none());
+        // Both harnesses still execute correctly through their own entries.
+        let seq = Sequence::new(vec![
+            TxInput::new("invest", 0, ether(100), &[ether(100)]),
+            TxInput::simple("withdraw"),
+        ]);
+        let o1 = h1.execute_sequence(&seq);
+        let o2 = h2.execute_sequence(&seq);
+        assert_eq!(o1.successes, o2.successes);
+        assert_eq!(o1.covered_edge_ids, o2.covered_edge_ids);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The interpreter's gas schedule.
+//!
+//! The *static* per-opcode costs live here so the dispatch loop, the
+//! basic-block lowering (which pre-sums them per block, see
+//! [`crate::program::BlockProgram`]) and the block-splitting tests all bill
+//! from one table. Dynamic costs — memory expansion, the per-byte `EXP`
+//! surcharge, call-gas forwarding — are charged by the dispatch loop at the
+//! instruction that incurs them and are *not* part of the static schedule.
+
+use crate::opcode::Opcode;
+
+/// Gas added per significant byte of an `EXP` exponent (dynamic part of the
+/// `EXP` price, charged on top of the static base cost).
+pub const EXP_BYTE_GAS: u64 = 50;
+
+/// The static gas cost of one opcode (the EVM-flavoured schedule every
+/// execution path charges; dynamic surcharges come on top).
+#[inline]
+pub fn static_gas(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Stop | JumpDest => 1,
+        Push(_) | Dup(_) | Swap(_) | Pop | Pc | MSize | Gas | Address | Origin | Caller
+        | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number
+        | Difficulty | GasLimit | SelfBalance => 2,
+        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl | Shr
+        | Sar | CallDataLoad | MLoad | MStore | MStore8 => 3,
+        Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
+        AddMod | MulMod | Jump => 8,
+        JumpI => 10,
+        // Base cost only: the dispatch loop adds 50 gas per significant
+        // exponent byte once the operands are popped (EIP-160-style dynamic
+        // pricing), so `2 EXP 2^255` costs 50 + 50·32 while `2 EXP 2` costs
+        // 50 + 50·1.
+        Exp => 50,
+        Sha3 => 36,
+        Balance | BlockHash => 400,
+        SLoad => 200,
+        SStore => 5_000,
+        Log(n) => 375 * (n as u64 + 1),
+        Call | CallCode | DelegateCall | StaticCall => 700,
+        Create => 32_000,
+        Return | Revert => 0,
+        Invalid | SelfDestruct | CallDataCopy | Unknown(_) => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_spot_checks() {
+        assert_eq!(static_gas(Opcode::Stop), 1);
+        assert_eq!(static_gas(Opcode::Push(32)), 2);
+        assert_eq!(static_gas(Opcode::Add), 3);
+        assert_eq!(static_gas(Opcode::JumpI), 10);
+        assert_eq!(static_gas(Opcode::Exp), 50);
+        assert_eq!(static_gas(Opcode::SStore), 5_000);
+        assert_eq!(static_gas(Opcode::Log(2)), 1_125);
+        assert_eq!(static_gas(Opcode::Return), 0);
+    }
+}

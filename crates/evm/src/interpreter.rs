@@ -11,26 +11,38 @@
 //! The dispatch loop is generic over a `CodeView`, the (private) abstraction
 //! that feeds it instructions:
 //!
+//! * the **block** view walks a [`BlockProgram`] — the decoded stream
+//!   lowered once more into basic blocks with a pre-summed static gas cost
+//!   and stack envelope, validated once per block instead of per
+//!   instruction, plus fused superinstructions for common compiler idioms.
+//!   This is the default fuzzing fast path ([`EvmConfig::block_lowering`]).
+//!   A block whose envelope cannot be prevalidated (near-OOG, stack near
+//!   the limits) *deopts*: the frame resumes per-instruction from the block
+//!   entry, so faults and out-of-gas halts are bit-identical to
+//!   per-instruction billing by construction.
 //! * the **pre-decoded** view walks a [`DecodedProgram`] — bytecode is
 //!   lowered once (per harness, shared via a [`ProgramCache`]) into a dense
 //!   instruction stream with materialised `PUSH` immediates and O(1)
-//!   `JUMP` resolution. This is the default and the fuzzing fast path.
+//!   `JUMP` resolution. Instruction-at-a-time billing; also the deopt
+//!   target of the block view.
 //! * the **legacy** view ([`EvmConfig::legacy_decode`]) re-decodes the raw
 //!   bytes on the fly, exactly like the original interpreter: one opcode
 //!   match per instruction and a fresh `JUMPDEST` scan per call frame.
 //!
-//! Both views drive the *same* loop body, so they halt, trace and spend gas
+//! All views drive the *same* loop body, so they halt, trace and spend gas
 //! identically by construction; `tests/decoder_differential.rs` asserts
-//! bit-identical results across the whole corpus anyway.
+//! bit-identical results (including gas remaining) across the whole corpus
+//! three ways anyway.
 //!
 //! Per-execution scratch (operand stacks, memory buffers, call-argument
 //! staging) lives in a reusable [`ExecFrame`] so a fuzzing campaign executes
 //! without per-transaction heap churn; see its documentation.
 
 use crate::env::{BlockEnv, ExecutionResult, Message};
+use crate::gas::{static_gas, EXP_BYTE_GAS};
 use crate::keccak::keccak256;
 use crate::opcode::Opcode;
-use crate::program::{DecodedProgram, ProgramCache};
+use crate::program::{BlockInfo, BlockProgram, DecodedInstr, DecodedProgram, Fused, ProgramCache};
 use crate::state::{HostBehaviour, WorldState};
 use crate::trace::{
     ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
@@ -56,8 +68,16 @@ pub struct EvmConfig {
     /// Decode bytecode a byte at a time on every execution (the historical
     /// decoder) instead of through the pre-decoded instruction stream.
     /// Execution semantics are identical — the knob exists for the decoder
-    /// differential suite and performance comparisons.
+    /// differential suite and performance comparisons. Takes precedence over
+    /// [`EvmConfig::block_lowering`].
     pub legacy_decode: bool,
+    /// Execute cached programs through the block-lowered fast path: static
+    /// gas and the stack envelope validated once per basic block, fused
+    /// superinstructions for common idioms. Execution semantics are
+    /// identical to instruction-at-a-time billing (blocks that cannot be
+    /// prevalidated deopt to it); the knob exists for the three-way decoder
+    /// differential suite and A/B benchmarks.
+    pub block_lowering: bool,
 }
 
 impl Default for EvmConfig {
@@ -68,41 +88,8 @@ impl Default for EvmConfig {
             max_instructions: 400_000,
             call_stipend: 2_300,
             legacy_decode: false,
+            block_lowering: true,
         }
-    }
-}
-
-/// Gas added per significant byte of an `EXP` exponent (dynamic part of the
-/// `EXP` price, charged on top of the static base cost).
-const EXP_BYTE_GAS: u64 = 50;
-
-/// Simple static gas schedule.
-fn gas_cost(op: Opcode) -> u64 {
-    use Opcode::*;
-    match op {
-        Stop | JumpDest => 1,
-        Push(_) | Dup(_) | Swap(_) | Pop | Pc | MSize | Gas | Address | Origin | Caller
-        | CallValue | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number
-        | Difficulty | GasLimit | SelfBalance => 2,
-        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | IsZero | And | Or | Xor | Byte | Shl | Shr
-        | Sar | CallDataLoad | MLoad | MStore | MStore8 => 3,
-        Mul | Div | Sdiv | Mod | Smod | SignExtend => 5,
-        AddMod | MulMod | Jump => 8,
-        JumpI => 10,
-        // Base cost only: the dispatch loop adds 50 gas per significant
-        // exponent byte once the operands are popped (EIP-160-style dynamic
-        // pricing), so `2 EXP 2^255` costs 50 + 50·32 while `2 EXP 2` costs
-        // 50 + 50·1.
-        Exp => 50,
-        Sha3 => 36,
-        Balance | BlockHash => 400,
-        SLoad => 200,
-        SStore => 5_000,
-        Log(n) => 375 * (n as u64 + 1),
-        Call | CallCode | DelegateCall | StaticCall => 700,
-        Create => 32_000,
-        Return | Revert => 0,
-        Invalid | SelfDestruct | CallDataCopy | Unknown(_) => 2,
     }
 }
 
@@ -113,6 +100,46 @@ struct FrameResult {
     gas_left: u64,
 }
 
+/// Resumable state of the dispatch loop: everything live across a deopt from
+/// the block-billed fast path to per-instruction execution. Stack, memory
+/// and call-argument buffers live in the frame's [`DepthScratch`] and carry
+/// over untouched.
+struct LoopState {
+    cursor: usize,
+    gas_left: u64,
+    last_cmp: Option<Comparison>,
+    caller_guard_seen: bool,
+    /// Indices into `trace.calls` for calls made by this frame whose result
+    /// has not yet been consumed by a `JUMPI`.
+    unchecked_calls: Vec<usize>,
+    /// Indices of truncated arithmetic events produced in this frame.
+    truncated_events: Vec<usize>,
+}
+
+impl LoopState {
+    /// Fresh state at frame entry.
+    fn start(gas: u64) -> LoopState {
+        LoopState {
+            cursor: 0,
+            gas_left: gas,
+            last_cmp: None,
+            caller_guard_seen: false,
+            unchecked_calls: Vec::new(),
+            truncated_events: Vec::new(),
+        }
+    }
+}
+
+/// How one pass of the dispatch loop ended.
+enum FrameOutcome {
+    /// The frame halted (normally or otherwise).
+    Done(FrameResult),
+    /// The block-billed fast path reached a block whose static-gas/stack
+    /// envelope could not be prevalidated (near-OOG or near the stack
+    /// limits); resume per-instruction from the block entry with this state.
+    Deopt(LoopState),
+}
+
 /// One entry on the interpreter's internal call stack: which contract's code
 /// is executing at which depth. Used to detect re-entrancy.
 #[derive(Clone, Copy)]
@@ -120,29 +147,51 @@ struct FrameInfo {
     code_address: Address,
 }
 
-/// One instruction as the dispatch loop sees it, independent of how the code
-/// is decoded.
+/// One dispatch unit as the loop sees it, independent of how the code is
+/// decoded: a single instruction for the raw/pre-decoded views, possibly a
+/// superinstruction plus block metadata for the block view.
 #[derive(Clone, Copy)]
-struct Fetched {
+struct Fetched<'a> {
     op: Opcode,
     /// Byte offset of the opcode in the code (what the trace records).
     pc: usize,
     /// Pre-materialised immediate for `PUSH*` (zero otherwise).
     imm: U256,
-    /// Cursor of the next sequential instruction.
+    /// Cursor of the next sequential unit.
     next: usize,
+    /// Set when this unit starts a basic block (block view only): the
+    /// block's pre-summed static gas and stack envelope to settle at entry.
+    block: Option<&'a BlockInfo>,
+    /// Static-gas residual of the block's remaining instructions (block view
+    /// only, non-zero only for gas-exact ops): un-charged around the arm so
+    /// it observes and bills against the exact per-instruction counter.
+    tail: u64,
+    /// Static-gas residual of the block from this unit (inclusive) to the
+    /// block's end (block view only): re-charged when a fused arm bails
+    /// before touching any state and deopts from the unit's start.
+    head: u64,
+    /// Instruction index one past this unit (block view only) — the cursor a
+    /// mid-block deopt hands to the per-instruction view.
+    instr_next: u32,
+    /// Set for superinstructions (block view only): the fused tag and the
+    /// constituent instructions, in code order.
+    fused: Option<(Fused, &'a [DecodedInstr])>,
 }
 
 /// How the dispatch loop reads a code blob. Cursor values are opaque to the
 /// loop: the raw view uses byte offsets, the decoded view instruction
-/// indices. Both views must decode identically — the loop body is shared,
-/// so any divergence is a decode bug (caught by the differential suite).
+/// indices, the block view unit indices. All views must decode identically —
+/// the loop body is shared, so any divergence is a decode bug (caught by the
+/// differential suite).
 trait CodeView {
+    /// Whether gas and the stack envelope are settled once per basic block
+    /// (with deopt on failure) instead of charged per instruction.
+    const BLOCK_BILLED: bool = false;
     /// Byte length of the underlying code (`CODESIZE`).
     fn code_len(&self) -> usize;
-    /// Instruction at `cursor`, or `None` once execution runs off the end of
-    /// the code (implicit `STOP`).
-    fn fetch(&self, cursor: usize) -> Option<Fetched>;
+    /// Dispatch unit at `cursor`, or `None` once execution runs off the end
+    /// of the code (implicit `STOP`).
+    fn fetch(&self, cursor: usize) -> Option<Fetched<'_>>;
     /// Cursor for a jump destination, if `dest` is a valid `JUMPDEST`.
     fn jump_cursor(&self, dest: usize) -> Option<usize>;
 }
@@ -176,7 +225,7 @@ impl CodeView for RawCode<'_> {
     }
 
     #[inline]
-    fn fetch(&self, pc: usize) -> Option<Fetched> {
+    fn fetch(&self, pc: usize) -> Option<Fetched<'_>> {
         if pc >= self.code.len() {
             return None;
         }
@@ -193,6 +242,11 @@ impl CodeView for RawCode<'_> {
             pc,
             imm,
             next: pc + 1 + imm_len,
+            block: None,
+            tail: 0,
+            head: 0,
+            instr_next: 0,
+            fused: None,
         })
     }
 
@@ -212,18 +266,68 @@ impl CodeView for PredecodedCode<'_> {
     }
 
     #[inline]
-    fn fetch(&self, cursor: usize) -> Option<Fetched> {
+    fn fetch(&self, cursor: usize) -> Option<Fetched<'_>> {
         self.0.instructions().get(cursor).map(|i| Fetched {
             op: i.op,
             pc: i.pc as usize,
             imm: i.imm,
             next: cursor + 1,
+            block: None,
+            tail: 0,
+            head: 0,
+            instr_next: 0,
+            fused: None,
         })
     }
 
     #[inline]
     fn jump_cursor(&self, dest: usize) -> Option<usize> {
         self.0.jump_cursor(dest)
+    }
+}
+
+/// The block-lowered fast path: cursors are unit indices into a
+/// [`BlockProgram`]. Static gas and the stack envelope are settled once per
+/// block; fused units carry their superinstruction tag and constituents.
+struct BlockCode<'a>(&'a BlockProgram);
+
+impl CodeView for BlockCode<'_> {
+    const BLOCK_BILLED: bool = true;
+
+    fn code_len(&self) -> usize {
+        self.0.base().code_len()
+    }
+
+    #[inline]
+    fn fetch(&self, cursor: usize) -> Option<Fetched<'_>> {
+        let unit = self.0.units().get(cursor)?;
+        let fused = if matches!(unit.fused, Fused::None) {
+            None
+        } else {
+            let start = unit.instr_start as usize;
+            let end = start + unit.instr_count as usize;
+            Some((unit.fused, &self.0.base().instructions()[start..end]))
+        };
+        Some(Fetched {
+            op: unit.op,
+            pc: unit.pc as usize,
+            imm: unit.imm,
+            next: cursor + 1,
+            block: if unit.leader == u32::MAX {
+                None
+            } else {
+                Some(&self.0.blocks()[unit.leader as usize])
+            },
+            tail: unit.tail,
+            head: unit.head,
+            instr_next: unit.instr_start + unit.instr_count,
+            fused,
+        })
+    }
+
+    #[inline]
+    fn jump_cursor(&self, dest: usize) -> Option<usize> {
+        self.0.jump_unit(dest)
     }
 }
 
@@ -267,9 +371,8 @@ struct DepthScratch {
 #[derive(Debug, Default)]
 pub struct ExecFrame {
     depths: Vec<DepthScratch>,
-    /// High-water marks of the trace vectors, used to pre-reserve the next
+    /// High-water mark of the branch vector, used to pre-reserve the next
     /// trace's capacity.
-    instr_hint: usize,
     branch_hint: usize,
 }
 
@@ -305,13 +408,11 @@ impl ExecFrame {
     /// Pre-reserve a fresh trace's hot vectors from the high-water marks of
     /// previous executions through this frame.
     fn prime(&self, trace: &mut ExecutionTrace) {
-        trace.instructions.reserve(self.instr_hint);
         trace.branches.reserve(self.branch_hint);
     }
 
     /// Update the high-water marks after an execution.
     fn note(&mut self, trace: &ExecutionTrace) {
-        self.instr_hint = self.instr_hint.max(trace.instructions.len());
         self.branch_hint = self.branch_hint.max(trace.branches.len());
     }
 }
@@ -475,9 +576,10 @@ impl<'w> Evm<'w> {
         }
     }
 
-    /// Run a call frame through the appropriate code view: the pre-decoded
-    /// stream when available (cache hit, or decoded on the fly), or the
-    /// legacy byte-at-a-time decoder when configured.
+    /// Run a call frame through the appropriate code view: the block-lowered
+    /// program on a cache hit (default), the pre-decoded stream when block
+    /// mode is off or the blob is uncached, or the legacy byte-at-a-time
+    /// decoder when configured.
     fn dispatch_frame(
         &mut self,
         code: &Arc<Vec<u8>>,
@@ -490,7 +592,12 @@ impl<'w> Evm<'w> {
             let view = RawCode::new(code);
             return self.run_frame(&view, ctx, frames, trace, scratch);
         }
-        if let Some(program) = self.programs.and_then(|cache| cache.get(code)) {
+        let programs = self.programs;
+        if self.config.block_lowering {
+            if let Some(blocks) = programs.and_then(|cache| cache.get_block(code)) {
+                return self.run_block_frame(blocks.as_ref(), ctx, frames, trace, scratch);
+            }
+        } else if let Some(program) = programs.and_then(|cache| cache.get(code)) {
             return self.run_frame(
                 &PredecodedCode(program.as_ref()),
                 ctx,
@@ -518,12 +625,72 @@ impl<'w> Evm<'w> {
         if owned.stack.capacity() == 0 {
             owned.stack.reserve(64);
         }
-        let result = self.run_frame_inner(view, ctx, frames, trace, scratch, &mut owned);
+        let outcome = self.run_frame_inner(
+            view,
+            ctx,
+            frames,
+            trace,
+            scratch,
+            &mut owned,
+            LoopState::start(ctx.gas),
+        );
+        scratch.put(ctx.depth, owned);
+        match outcome {
+            FrameOutcome::Done(result) => result,
+            FrameOutcome::Deopt(_) => unreachable!("only the block view deopts"),
+        }
+    }
+
+    /// Execute one call frame through the block-billed fast path, falling
+    /// back to per-instruction execution mid-frame if a block's envelope
+    /// cannot be prevalidated. The scratch buffers are borrowed once around
+    /// both passes (returning them in between would clear live frame state).
+    fn run_block_frame(
+        &mut self,
+        program: &BlockProgram,
+        ctx: FrameCtx<'_>,
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
+    ) -> FrameResult {
+        let mut owned = scratch.take(ctx.depth);
+        if owned.stack.capacity() == 0 {
+            owned.stack.reserve(64);
+        }
+        let outcome = self.run_frame_inner(
+            &BlockCode(program),
+            ctx,
+            frames,
+            trace,
+            scratch,
+            &mut owned,
+            LoopState::start(ctx.gas),
+        );
+        let result = match outcome {
+            FrameOutcome::Done(result) => result,
+            FrameOutcome::Deopt(state) => {
+                // The deopt state points at the instruction where block
+                // billing bailed — a leader whose envelope failed to settle,
+                // or a mid-block unit whose pre-validation or dynamic
+                // billing fell through. The per-instruction view replays
+                // from there (through the rest of the frame), reproducing
+                // the exact fault or out-of-gas point the block's envelope
+                // could not rule out.
+                let view = PredecodedCode(program.base().as_ref());
+                match self.run_frame_inner(&view, ctx, frames, trace, scratch, &mut owned, state) {
+                    FrameOutcome::Done(result) => result,
+                    FrameOutcome::Deopt(_) => unreachable!("per-instruction view cannot deopt"),
+                }
+            }
+        };
         scratch.put(ctx.depth, owned);
         result
     }
 
-    /// The dispatch loop.
+    /// The dispatch loop. `state` is fresh at frame entry and carries the
+    /// live loop variables across a block-mode deopt (the cursor is a view
+    /// cursor, so a deopt state's cursor addresses the per-instruction view).
+    #[allow(clippy::too_many_arguments)]
     fn run_frame_inner<V: CodeView>(
         &mut self,
         view: &V,
@@ -532,7 +699,8 @@ impl<'w> Evm<'w> {
         trace: &mut ExecutionTrace,
         scratch: &mut ExecFrame,
         owned: &mut DepthScratch,
-    ) -> FrameResult {
+        state: LoopState,
+    ) -> FrameOutcome {
         let FrameCtx {
             code_address,
             storage_address,
@@ -540,7 +708,7 @@ impl<'w> Evm<'w> {
             origin,
             value,
             calldata,
-            gas,
+            gas: _,
             depth,
         } = ctx;
         trace.max_depth = trace.max_depth.max(depth);
@@ -549,33 +717,32 @@ impl<'w> Evm<'w> {
             memory,
             args: args_buf,
         } = owned;
-        let mut cursor = 0usize;
-        let mut gas_left = gas;
-        let mut last_cmp: Option<Comparison> = None;
-        let mut caller_guard_seen = false;
-        // Indices into trace.calls for calls made by this frame whose result
-        // has not yet been consumed by a JUMPI.
-        let mut unchecked_calls: Vec<usize> = Vec::new();
-        // Indices of truncated arithmetic events produced in this frame.
-        let mut truncated_events: Vec<usize> = Vec::new();
+        let LoopState {
+            mut cursor,
+            mut gas_left,
+            mut last_cmp,
+            mut caller_guard_seen,
+            mut unchecked_calls,
+            mut truncated_events,
+        } = state;
 
         macro_rules! fault {
             ($msg:expr) => {
-                return FrameResult {
+                return FrameOutcome::Done(FrameResult {
                     halt: HaltReason::Fault($msg.to_string()),
                     output: vec![],
                     gas_left,
-                }
+                })
             };
         }
 
         macro_rules! out_of_gas {
             () => {
-                return FrameResult {
+                return FrameOutcome::Done(FrameResult {
                     halt: HaltReason::OutOfGas,
                     output: vec![],
                     gas_left: 0,
-                }
+                })
             };
         }
 
@@ -610,41 +777,731 @@ impl<'w> Evm<'w> {
         }
 
         loop {
-            if trace.instructions.len() >= self.config.max_instructions {
-                return FrameResult {
+            if trace.instr_count as usize >= self.config.max_instructions {
+                return FrameOutcome::Done(FrameResult {
                     halt: HaltReason::OutOfGas,
                     output: vec![],
                     gas_left: 0,
-                };
+                });
             }
             let Some(instr) = view.fetch(cursor) else {
                 // Running off the end of the code is an implicit STOP.
-                return FrameResult {
+                return FrameOutcome::Done(FrameResult {
                     halt: HaltReason::Normal,
                     output: vec![],
                     gas_left,
-                };
+                });
             };
+            if V::BLOCK_BILLED {
+                if let Some(block) = instr.block {
+                    // Settle the whole block at its leader: pre-summed
+                    // static gas and the stack envelope, validated once. If
+                    // any part could fail mid-block, deopt and let the
+                    // per-instruction view reproduce the exact halt.
+                    if gas_left < block.static_gas
+                        || stack.len() < block.stack_needed as usize
+                        || stack.len() + block.max_growth as usize > 1024
+                    {
+                        return FrameOutcome::Deopt(LoopState {
+                            cursor: block.instr_start as usize,
+                            gas_left,
+                            last_cmp,
+                            caller_guard_seen,
+                            unchecked_calls,
+                            truncated_events,
+                        });
+                    }
+                    gas_left -= block.static_gas;
+                }
+                if let Some((fused, parts)) = instr.fused {
+                    // Bail out of the unit before anything mutates: re-charge
+                    // the pre-paid statics of the block's unexecuted
+                    // remainder (the unit's `head`) and hand the
+                    // per-instruction tier the unit's first instruction, so
+                    // it replays the cap hit / expansion / fault with an
+                    // exact counter and trace.
+                    macro_rules! deopt_unit {
+                        () => {{
+                            gas_left += instr.head;
+                            return FrameOutcome::Deopt(LoopState {
+                                cursor: instr.instr_next as usize - parts.len(),
+                                gas_left,
+                                last_cmp,
+                                caller_guard_seen,
+                                unchecked_calls,
+                                truncated_events,
+                            });
+                        }};
+                    }
+                    // Superinstruction dispatch. The instruction cap is
+                    // checked once for the whole unit — if any constituent
+                    // would cross it, deopt untouched and let the
+                    // per-instruction tier halt at the exact instruction.
+                    if trace.instr_count as usize + parts.len() > self.config.max_instructions {
+                        deopt_unit!();
+                    }
+                    // Each constituent still records its own trace entry,
+                    // exactly like unfused dispatch, at the point where the
+                    // per-instruction tier would have recorded it (before
+                    // the constituent's own arm can fault); gas and stack
+                    // bounds are covered by the block settle above.
+                    macro_rules! fstep {
+                        ($di:expr) => {
+                            trace.record_instr($di.op)
+                        };
+                    }
+                    // Fused units ending in a gas-exact op (MLOAD/MSTORE/
+                    // SHA3) carry a tail residual just like plain units: the
+                    // arm un-charges it up front so dynamic billing sees the
+                    // exact counter, then re-charges it here — deopting to
+                    // the next instruction if the dynamic cost consumed the
+                    // budget the rest of the block had pre-paid.
+                    macro_rules! recharge_tail {
+                        () => {{
+                            if gas_left < instr.tail {
+                                return FrameOutcome::Deopt(LoopState {
+                                    cursor: instr.instr_next as usize,
+                                    gas_left,
+                                    last_cmp,
+                                    caller_guard_seen,
+                                    unchecked_calls,
+                                    truncated_events,
+                                });
+                            }
+                            gas_left -= instr.tail;
+                        }};
+                    }
+                    // The binop core shared by every fused pattern ending in
+                    // an arithmetic/comparison/bitwise op: replicates the
+                    // generic arms' truncation events and comparison
+                    // bookkeeping, and evaluates to `(result, taint)`.
+                    // Operand roles mirror the generic arms: `a` is the
+                    // first pop (the later push), `b` the second.
+                    macro_rules! fused_binop {
+                        ($op:expr, $pc:expr, $a:expr, $b:expr, $taint:expr) => {{
+                            let op = $op;
+                            let pc = $pc;
+                            let a = $a;
+                            let b = $b;
+                            let taint = $taint;
+                            match op {
+                                Opcode::Add | Opcode::Sub | Opcode::Mul => {
+                                    let (result, truncated) = match op {
+                                        Opcode::Add => a.overflowing_add(b),
+                                        Opcode::Sub => a.overflowing_sub(b),
+                                        _ => a.overflowing_mul(b),
+                                    };
+                                    if truncated {
+                                        truncated_events.push(trace.arith_events.len());
+                                        trace.arith_events.push(ArithEvent {
+                                            pc,
+                                            opcode: op,
+                                            truncated: true,
+                                            taint,
+                                            reached_storage: false,
+                                            depth,
+                                        });
+                                    }
+                                    let result_taint = if truncated {
+                                        taint | Taint::TRUNCATED
+                                    } else {
+                                        taint
+                                    };
+                                    (result, result_taint)
+                                }
+                                Opcode::Div | Opcode::Mod => {
+                                    let (q, r) = a.div_rem(b);
+                                    (if op == Opcode::Div { q } else { r }, taint)
+                                }
+                                Opcode::Sdiv | Opcode::Smod => {
+                                    let (q, r) = a.signed_div_rem(b);
+                                    (if op == Opcode::Sdiv { q } else { r }, taint)
+                                }
+                                Opcode::Lt
+                                | Opcode::Gt
+                                | Opcode::Slt
+                                | Opcode::Sgt
+                                | Opcode::Eq => {
+                                    let result = match op {
+                                        Opcode::Lt => a < b,
+                                        Opcode::Gt => a > b,
+                                        Opcode::Slt => a.signed_cmp(&b) == std::cmp::Ordering::Less,
+                                        Opcode::Sgt => {
+                                            a.signed_cmp(&b) == std::cmp::Ordering::Greater
+                                        }
+                                        _ => a == b,
+                                    };
+                                    let kind = match op {
+                                        Opcode::Lt | Opcode::Slt => CmpKind::Lt,
+                                        Opcode::Gt | Opcode::Sgt => CmpKind::Gt,
+                                        _ => CmpKind::Eq,
+                                    };
+                                    last_cmp = Some(Comparison {
+                                        pc,
+                                        kind,
+                                        lhs: a,
+                                        rhs: b,
+                                        taint,
+                                    });
+                                    (U256::from(result), taint)
+                                }
+                                Opcode::And => (a & b, taint),
+                                Opcode::Or => (a | b, taint),
+                                Opcode::Xor => (a ^ b, taint),
+                                _ => unreachable!("non-fusable binop"),
+                            }
+                        }};
+                    }
+                    match fused {
+                        Fused::None => unreachable!("plain units carry no fused tag"),
+                        Fused::PushPushBinop => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            fstep!(parts[2]);
+                            let (result, taint) = fused_binop!(
+                                parts[2].op,
+                                parts[2].pc as usize,
+                                parts[1].imm,
+                                parts[0].imm,
+                                Taint::empty()
+                            );
+                            push!(result, taint);
+                            cursor = instr.next;
+                        }
+                        Fused::PushJump { target } => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            // The push/pop pair cancels: no stack traffic.
+                            if target == u32::MAX {
+                                fault!("invalid jump destination");
+                            }
+                            cursor = target as usize;
+                        }
+                        Fused::PushJumpI { target } => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            let (cond, tc) = pop!();
+                            let taken = !cond.is_zero();
+                            let pc = parts[1].pc as usize;
+                            let dest_usize = parts[0].imm.to_usize().unwrap_or(usize::MAX);
+                            if tc.intersects(Taint::CALLER | Taint::ORIGIN) {
+                                caller_guard_seen = true;
+                            }
+                            if tc.contains(Taint::CALL_RESULT) {
+                                if let Some(idx) = unchecked_calls.pop() {
+                                    if let Some(ev) = trace.calls.get_mut(idx) {
+                                        ev.result_checked = true;
+                                    }
+                                }
+                            }
+                            let record = BranchRecord {
+                                pc,
+                                dest: dest_usize,
+                                taken,
+                                cond_taint: tc,
+                                comparison: last_cmp,
+                                depth,
+                                code_address,
+                            };
+                            trace.covered_edges.insert(record.edge());
+                            trace.branches.push(record);
+                            last_cmp = None;
+                            if taken {
+                                if target == u32::MAX {
+                                    fault!("invalid jump destination");
+                                }
+                                cursor = target as usize;
+                            } else {
+                                cursor = instr.next;
+                            }
+                        }
+                        Fused::IsZeroPushJumpI { target } => {
+                            fstep!(parts[0]);
+                            let (x, tx) = pop!();
+                            // ISZERO's comparison bookkeeping, at its own pc.
+                            let is_bool = x.is_zero() || x == U256::ONE;
+                            if !(is_bool && last_cmp.is_some()) {
+                                last_cmp = Some(Comparison {
+                                    pc: parts[0].pc as usize,
+                                    kind: CmpKind::IsZero,
+                                    lhs: x,
+                                    rhs: U256::ZERO,
+                                    taint: tx,
+                                });
+                            }
+                            fstep!(parts[1]);
+                            fstep!(parts[2]);
+                            // The JUMPI condition is ISZERO's output: taken
+                            // iff x is zero, tainted like x.
+                            let taken = x.is_zero();
+                            let tc = tx;
+                            let pc = parts[2].pc as usize;
+                            let dest_usize = parts[1].imm.to_usize().unwrap_or(usize::MAX);
+                            if tc.intersects(Taint::CALLER | Taint::ORIGIN) {
+                                caller_guard_seen = true;
+                            }
+                            if tc.contains(Taint::CALL_RESULT) {
+                                if let Some(idx) = unchecked_calls.pop() {
+                                    if let Some(ev) = trace.calls.get_mut(idx) {
+                                        ev.result_checked = true;
+                                    }
+                                }
+                            }
+                            let record = BranchRecord {
+                                pc,
+                                dest: dest_usize,
+                                taken,
+                                cond_taint: tc,
+                                comparison: last_cmp,
+                                depth,
+                                code_address,
+                            };
+                            trace.covered_edges.insert(record.edge());
+                            trace.branches.push(record);
+                            last_cmp = None;
+                            if taken {
+                                if target == u32::MAX {
+                                    fault!("invalid jump destination");
+                                }
+                                cursor = target as usize;
+                            } else {
+                                cursor = instr.next;
+                            }
+                        }
+                        Fused::DupSwap => {
+                            fstep!(parts[0]);
+                            let n = match parts[0].op {
+                                Opcode::Dup(n) => n as usize,
+                                _ => unreachable!("DupSwap starts with DUP"),
+                            };
+                            if stack.len() < n {
+                                fault!("stack underflow");
+                            }
+                            let item = stack[stack.len() - n];
+                            push!(item.0, item.1);
+                            fstep!(parts[1]);
+                            let m = match parts[1].op {
+                                Opcode::Swap(m) => m as usize,
+                                _ => unreachable!("DupSwap ends with SWAP"),
+                            };
+                            if stack.len() < m + 1 {
+                                fault!("stack underflow");
+                            }
+                            let top = stack.len() - 1;
+                            stack.swap(top, top - m);
+                            cursor = instr.next;
+                        }
+                        Fused::PushPush => {
+                            fstep!(parts[0]);
+                            push!(parts[0].imm, Taint::empty());
+                            fstep!(parts[1]);
+                            push!(parts[1].imm, Taint::empty());
+                            cursor = instr.next;
+                        }
+                        Fused::PushMLoad => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            gas_left += instr.tail;
+                            let offset = match parts[0].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mload out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[offset..offset + 32]);
+                            // The offset taint is the push's: empty.
+                            push!(U256::from_be_bytes(word), Taint::empty());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushMStore => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            gas_left += instr.tail;
+                            // The pushed offset cancels against MSTORE's
+                            // first pop; only the value crosses the stack.
+                            let (val, _tv) = pop!();
+                            let offset = match parts[0].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mstore out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushCallDataLoad => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            let word = calldata_word(calldata, parts[0].imm);
+                            push!(word, Taint::CALLDATA);
+                            cursor = instr.next;
+                        }
+                        Fused::PushPushSha3 => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            fstep!(parts[2]);
+                            gas_left += instr.tail;
+                            // Pop order mirrors the generic arm: offset is
+                            // the later push, length the earlier one.
+                            let (offset, len) = (parts[1].imm, parts[0].imm);
+                            let (offset, len) = match (offset.to_usize(), len.to_usize()) {
+                                (Some(o), Some(l)) if l <= self.config.max_memory => (o, l),
+                                _ => fault!("sha3 out of bounds"),
+                            };
+                            let span = match mem_span(offset, len) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            let digest = keccak256(&memory[offset..offset + len]);
+                            push!(U256::from_be_bytes(digest), Taint::empty());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushPushMLoadBinop => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            fstep!(parts[2]);
+                            gas_left += instr.tail;
+                            let offset = match parts[1].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mload out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[offset..offset + 32]);
+                            fstep!(parts[3]);
+                            // `a` is the loaded local (taint: the pushed
+                            // offset's, empty), `b` the pushed constant.
+                            let (result, taint) = fused_binop!(
+                                parts[3].op,
+                                parts[3].pc as usize,
+                                U256::from_be_bytes(word),
+                                parts[0].imm,
+                                Taint::empty()
+                            );
+                            push!(result, taint);
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushMLoadBinop => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            gas_left += instr.tail;
+                            let offset = match parts[0].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mload out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[offset..offset + 32]);
+                            fstep!(parts[2]);
+                            // The loaded local is the binop's first pop; the
+                            // second operand was already on the stack.
+                            let (b, tb) = pop!();
+                            let (result, taint) = fused_binop!(
+                                parts[2].op,
+                                parts[2].pc as usize,
+                                U256::from_be_bytes(word),
+                                b,
+                                tb
+                            );
+                            push!(result, taint);
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushMLoadPushBinop => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            gas_left += instr.tail;
+                            let offset = match parts[0].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mload out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[offset..offset + 32]);
+                            fstep!(parts[2]);
+                            fstep!(parts[3]);
+                            // `a` is the pushed constant (the later push),
+                            // `b` the loaded local.
+                            let (result, taint) = fused_binop!(
+                                parts[3].op,
+                                parts[3].pc as usize,
+                                parts[2].imm,
+                                U256::from_be_bytes(word),
+                                Taint::empty()
+                            );
+                            push!(result, taint);
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushBinopPushMStore => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            let (b, tb) = pop!();
+                            let (val, _tv) = fused_binop!(
+                                parts[1].op,
+                                parts[1].pc as usize,
+                                parts[0].imm,
+                                b,
+                                tb
+                            );
+                            fstep!(parts[2]);
+                            fstep!(parts[3]);
+                            gas_left += instr.tail;
+                            let offset = match parts[2].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mstore out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushBinop => {
+                            fstep!(parts[0]);
+                            fstep!(parts[1]);
+                            let (b, tb) = pop!();
+                            let (result, taint) = fused_binop!(
+                                parts[1].op,
+                                parts[1].pc as usize,
+                                parts[0].imm,
+                                b,
+                                tb
+                            );
+                            push!(result, taint);
+                            cursor = instr.next;
+                        }
+                        Fused::BinopPushMStore => {
+                            fstep!(parts[0]);
+                            let (a, ta) = pop!();
+                            let (b, tb) = pop!();
+                            let (val, _tv) =
+                                fused_binop!(parts[0].op, parts[0].pc as usize, a, b, ta | tb);
+                            fstep!(parts[1]);
+                            fstep!(parts[2]);
+                            gas_left += instr.tail;
+                            let offset = match parts[1].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mstore out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::LocalExprStore => {
+                            // A whole `local = (local ⊕ c1) ⊕ c2` statement:
+                            // load, fold two constants, store — no stack
+                            // traffic. The mid-unit MLOAD is pre-validated
+                            // before anything mutates: unless its offset is
+                            // statically inside already-expanded memory,
+                            // deopt untouched and let the per-instruction
+                            // tier replay the expansion or fault with its
+                            // exact counter. Compiled preambles expand the
+                            // locals region before any statement runs, so
+                            // that deopt is cold.
+                            let load_off = match parts[2].imm.to_usize() {
+                                Some(o) if memory.len() >= 32 && o <= memory.len() - 32 => o,
+                                _ => deopt_unit!(),
+                            };
+                            for di in parts {
+                                fstep!(di);
+                            }
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[load_off..load_off + 32]);
+                            // Operand roles mirror the unfused 3-unit chain:
+                            // binop1 folds c1 (the later push) into the
+                            // loaded local, binop2 folds c2 into the result.
+                            let (mid, mid_taint) = fused_binop!(
+                                parts[4].op,
+                                parts[4].pc as usize,
+                                U256::from_be_bytes(word),
+                                parts[1].imm,
+                                Taint::empty()
+                            );
+                            let (val, _tv) = fused_binop!(
+                                parts[5].op,
+                                parts[5].pc as usize,
+                                mid,
+                                parts[0].imm,
+                                mid_taint
+                            );
+                            gas_left += instr.tail;
+                            let offset = match parts[6].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mstore out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::LocalPairStore => {
+                            // A whole `local = local_a ⊕ local_b` statement.
+                            // Both mid-unit MLOADs are pre-validated like
+                            // `LocalExprStore`'s: any offset not statically
+                            // inside already-expanded memory deopts untouched
+                            // to the per-instruction tier.
+                            let (off_b, off_a) =
+                                match (parts[0].imm.to_usize(), parts[2].imm.to_usize()) {
+                                    (Some(b), Some(a))
+                                        if memory.len() >= 32
+                                            && b <= memory.len() - 32
+                                            && a <= memory.len() - 32 =>
+                                    {
+                                        (b, a)
+                                    }
+                                    _ => deopt_unit!(),
+                                };
+                            for di in parts {
+                                fstep!(di);
+                            }
+                            let mut word = [0u8; 32];
+                            word.copy_from_slice(&memory[off_b..off_b + 32]);
+                            let b = U256::from_be_bytes(word);
+                            word.copy_from_slice(&memory[off_a..off_a + 32]);
+                            let a = U256::from_be_bytes(word);
+                            // `a` is the later load (the binop's first pop),
+                            // `b` the earlier one; both carry their offset
+                            // pushes' empty taint.
+                            let (val, _tv) = fused_binop!(
+                                parts[4].op,
+                                parts[4].pc as usize,
+                                a,
+                                b,
+                                Taint::empty()
+                            );
+                            gas_left += instr.tail;
+                            let offset = match parts[5].imm.to_usize() {
+                                Some(o) => o,
+                                None => fault!("mstore out of bounds"),
+                            };
+                            let span = match mem_span(offset, 32) {
+                                Ok(s) => s,
+                                Err(e) => fault!(e),
+                            };
+                            mem_try!(ensure_memory(
+                                memory,
+                                span,
+                                self.config.max_memory,
+                                &mut gas_left
+                            ));
+                            memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
+                            recharge_tail!();
+                            cursor = instr.next;
+                        }
+                    }
+                    continue;
+                }
+            }
             let op = instr.op;
             let pc = instr.pc;
-            trace.instructions.push((depth, pc, op));
-            let cost = gas_cost(op);
-            if gas_left < cost {
-                return FrameResult {
-                    halt: HaltReason::OutOfGas,
-                    output: vec![],
-                    gas_left: 0,
-                };
+            trace.record_instr(op);
+            if !V::BLOCK_BILLED {
+                let cost = static_gas(op);
+                if gas_left < cost {
+                    return FrameOutcome::Done(FrameResult {
+                        halt: HaltReason::OutOfGas,
+                        output: vec![],
+                        gas_left: 0,
+                    });
+                }
+                gas_left -= cost;
+            } else if instr.tail > 0 {
+                // Gas-exact op mid-block: un-charge the pre-paid static gas
+                // of the block's remaining instructions, so the arm below
+                // observes, bills and faults against the exact counter the
+                // per-instruction tiers would hold here.
+                gas_left += instr.tail;
             }
-            gas_left -= cost;
 
             match op {
                 Opcode::Stop => {
-                    return FrameResult {
+                    return FrameOutcome::Done(FrameResult {
                         halt: HaltReason::Normal,
                         output: vec![],
                         gas_left,
-                    }
+                    })
                 }
                 Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Exp => {
                     let (a, ta) = pop!();
@@ -1171,11 +2028,11 @@ impl<'w> Evm<'w> {
                         self.config.max_memory,
                         &mut gas_left
                     ));
-                    return FrameResult {
+                    return FrameOutcome::Done(FrameResult {
                         halt: HaltReason::Normal,
                         output: out,
                         gas_left,
-                    };
+                    });
                 }
                 Opcode::Revert => {
                     let (offset, _) = pop!();
@@ -1187,18 +2044,18 @@ impl<'w> Evm<'w> {
                         self.config.max_memory,
                         &mut gas_left
                     ));
-                    return FrameResult {
+                    return FrameOutcome::Done(FrameResult {
                         halt: HaltReason::Revert,
                         output: out,
                         gas_left,
-                    };
+                    });
                 }
                 Opcode::Invalid => {
-                    return FrameResult {
+                    return FrameOutcome::Done(FrameResult {
                         halt: HaltReason::Invalid,
                         output: vec![],
                         gas_left: 0,
-                    };
+                    });
                 }
                 Opcode::SelfDestruct => {
                     let (beneficiary_word, tb) = pop!();
@@ -1213,15 +2070,32 @@ impl<'w> Evm<'w> {
                         caller_guarded: caller_guard_seen,
                         beneficiary_taint: tb,
                     });
-                    return FrameResult {
+                    return FrameOutcome::Done(FrameResult {
                         halt: HaltReason::Normal,
                         output: vec![],
                         gas_left,
-                    };
+                    });
                 }
                 Opcode::Unknown(b) => {
                     fault!(format!("unknown opcode 0x{b:02x}"));
                 }
+            }
+            if V::BLOCK_BILLED && instr.tail > 0 {
+                // Re-charge the residual. If a dynamic bill ate into it, the
+                // per-instruction tiers would run a few more instructions and
+                // halt mid-block; hand the exact state over at the next
+                // instruction and let the pre-decoded view reproduce that.
+                if gas_left < instr.tail {
+                    return FrameOutcome::Deopt(LoopState {
+                        cursor: instr.instr_next as usize,
+                        gas_left,
+                        last_cmp,
+                        caller_guard_seen,
+                        unchecked_calls,
+                        truncated_events,
+                    });
+                }
+                gas_left -= instr.tail;
             }
             cursor = instr.next;
         }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod gas;
 pub mod interpreter;
 pub mod keccak;
 pub mod opcode;
@@ -46,10 +47,13 @@ pub mod types;
 pub mod u256;
 
 pub use env::{BlockEnv, ExecutionResult, Message};
+pub use gas::static_gas;
 pub use interpreter::{Evm, EvmConfig, ExecFrame};
 pub use keccak::{keccak256, selector};
 pub use opcode::{disassemble, Instruction, Opcode};
-pub use program::{DecodedInstr, DecodedProgram, ProgramCache};
+pub use program::{
+    BlockInfo, BlockProgram, BlockUnit, DecodedInstr, DecodedProgram, Fused, ProgramCache,
+};
 pub use state::{Account, HostBehaviour, WorldState};
 pub use trace::{
     ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,

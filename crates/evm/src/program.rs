@@ -17,12 +17,22 @@
 //! simply the next index in the stream, so the dispatch loop never computes
 //! `pc + 1 + immediate_size` again.
 //!
+//! [`BlockProgram`] lowers one step further: the decoded stream is split
+//! into basic blocks (leaders at entry, at every `JUMPDEST`, and at the
+//! fall-through of every block-ending instruction) and each block carries
+//! its pre-summed static gas cost and stack envelope, so the dispatch loop
+//! charges gas and bounds-checks the stack once per block instead of per
+//! instruction. Within a block, common compiler idioms are fused into
+//! superinstructions ([`Fused`]) with dedicated dispatch arms.
+//!
 //! [`ProgramCache`] maps code blobs (by `Arc` pointer identity — the world
 //! state shares code blobs across snapshots, so the pointer is stable) to
-//! their decoded programs. The fuzzing harness decodes the contract under
-//! test once at build time and shares the cache `Arc`-style across worker
-//! harness clones, exactly like the dense edge index.
+//! their decoded *and* block-lowered programs. The fuzzing harness decodes
+//! the contract under test once at build time and shares the cache
+//! `Arc`-style across worker harness clones, exactly like the dense edge
+//! index.
 
+use crate::gas::static_gas;
 use crate::opcode::Opcode;
 use crate::u256::U256;
 use std::sync::Arc;
@@ -123,7 +133,470 @@ impl DecodedProgram {
     }
 }
 
-/// Decoded programs keyed by code-blob identity.
+/// True for opcodes that end a basic block.
+///
+/// Control-flow terminators end a block by definition. The call family and
+/// `CREATE` also end theirs: they forward a fraction of the *exact* counter
+/// into another frame, so the block's accounting must be fully settled
+/// before them. `Unknown` faults while gas remains; keeping it block-final
+/// keeps the reported `gas_left` exact without a residual.
+///
+/// Every other opcode — including the dynamically billed memory / `SHA3` /
+/// `EXP` ops and the gas-observing `GAS` — stays inside its block: its unit
+/// carries a [`BlockUnit::tail`] residual that the dispatch loop un-charges
+/// around the arm, so the arm observes, bills and faults against the exact
+/// per-instruction gas value even though the whole block was pre-charged.
+fn ends_block(op: Opcode) -> bool {
+    use Opcode::*;
+    op.is_terminator()
+        || matches!(
+            op,
+            Call | CallCode | DelegateCall | StaticCall | Create | Unknown(_)
+        )
+}
+
+/// Ops whose dispatch arm must see the exact per-instruction gas counter
+/// mid-block: dynamic billing (memory expansion, `EXP`, `SHA3`,
+/// `CALLDATACOPY`), gas observation (`GAS`), or faults that report
+/// `gas_left` (the memory ops again). Their units carry a non-zero
+/// [`BlockUnit::tail`].
+fn needs_exact_gas(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Exp | Sha3 | CallDataCopy | MLoad | MStore | MStore8 | Gas
+    )
+}
+
+/// Binops eligible for [`Fused::PushPushBinop`]: pure two-operand stack ops
+/// whose dispatch arm touches nothing but the stack and the comparison /
+/// arithmetic trace. `EXP` is excluded (dynamic gas, ends its block).
+fn fusable_binop(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Add | Sub | Mul | Div | Sdiv | Mod | Smod | Lt | Gt | Slt | Sgt | Eq | And | Or | Xor
+    )
+}
+
+/// Static execution envelope of one basic block, precomputed at lowering
+/// time so the dispatch loop validates it once at block entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Sum of the static gas costs of every instruction in the block.
+    pub static_gas: u64,
+    /// Stack items the block consumes below the entry height (the dispatch
+    /// loop underflows somewhere in the block iff fewer are available).
+    pub stack_needed: u32,
+    /// Peak stack growth above the entry height (the dispatch loop
+    /// overflows somewhere in the block iff `entry + max_growth > 1024`).
+    pub max_growth: u32,
+    /// Net stack-height change across the block.
+    pub stack_delta: i32,
+    /// First instruction of the block (index into the decoded stream).
+    pub instr_start: u32,
+    /// One past the last instruction of the block.
+    pub instr_end: u32,
+}
+
+impl BlockInfo {
+    /// Fold the envelope over `instrs` (the block's slice of the decoded
+    /// stream starting at index `start`). This instruction-by-instruction
+    /// fold is exact: every dispatch arm pops its inputs before pushing its
+    /// outputs, so the intra-instruction stack peak equals the
+    /// post-instruction height.
+    fn fold(instrs: &[DecodedInstr], start: usize) -> BlockInfo {
+        let mut static_sum = 0u64;
+        let (mut height, mut needed, mut peak) = (0i64, 0i64, 0i64);
+        for instr in instrs {
+            static_sum += static_gas(instr.op);
+            let ins = instr.op.stack_inputs() as i64;
+            let outs = instr.op.stack_outputs() as i64;
+            needed = needed.max(ins - height);
+            height += outs - ins;
+            peak = peak.max(height);
+        }
+        BlockInfo {
+            static_gas: static_sum,
+            stack_needed: needed.max(0) as u32,
+            max_growth: peak as u32,
+            stack_delta: height as i32,
+            instr_start: start as u32,
+            instr_end: (start + instrs.len()) as u32,
+        }
+    }
+}
+
+/// A superinstruction tag: which fused idiom a [`BlockUnit`] stands for.
+///
+/// The payload is deliberately slim — immediates and constituent opcodes are
+/// read back from the unit's slice of the decoded stream — except for
+/// pre-resolved jump targets, which are *unit* cursors (`u32::MAX` marks an
+/// invalid destination that faults at runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fused {
+    /// Not a superinstruction: dispatch the unit's single opcode generically.
+    None,
+    /// `PUSH a; PUSH b; <binop>` — both operands known statically.
+    PushPushBinop,
+    /// `PUSH dest; JUMP` — unconditional jump with a static destination.
+    PushJump {
+        /// Unit cursor of the destination block leader.
+        target: u32,
+    },
+    /// `PUSH dest; JUMPI` — conditional jump with a static destination.
+    PushJumpI {
+        /// Unit cursor of the destination block leader.
+        target: u32,
+    },
+    /// `ISZERO; PUSH dest; JUMPI` — the dominant compiled branch idiom.
+    IsZeroPushJumpI {
+        /// Unit cursor of the destination block leader.
+        target: u32,
+    },
+    /// `DUPn; SWAPm` — adjacent stack-shuffle pair.
+    DupSwap,
+    /// `PUSH a; PUSH b` — two adjacent immediates, one dispatch.
+    PushPush,
+    /// `PUSH offset; MLOAD` — memory read at a static offset.
+    PushMLoad,
+    /// `PUSH offset; MSTORE` — memory write at a static offset.
+    PushMStore,
+    /// `PUSH offset; CALLDATALOAD` — calldata word at a static offset.
+    PushCallDataLoad,
+    /// `PUSH len; PUSH offset; SHA3` — static-span keccak (the compiler's
+    /// mapping-slot idiom).
+    PushPushSha3,
+    /// `PUSH b; PUSH offset; MLOAD; binop` — "constant ⊕ local", the
+    /// compiler's dominant expression step for memory-resident locals.
+    PushPushMLoadBinop,
+    /// `PUSH offset; MLOAD; PUSH a; binop` — "local ⊕ constant", the
+    /// mirrored operand order.
+    PushMLoadPushBinop,
+    /// `PUSH offset; MLOAD; binop` — fold a local into the running operand.
+    PushMLoadBinop,
+    /// `PUSH a; binop; PUSH offset; MSTORE` — fold a constant into the
+    /// running operand and store the statement result to a local slot.
+    PushBinopPushMStore,
+    /// `binop; PUSH offset; MSTORE` — compute and store a statement result
+    /// to a static local slot.
+    BinopPushMStore,
+    /// `PUSH a; binop` — fold a constant into the running operand.
+    PushBinop,
+    /// `PUSH c2; PUSH c1; PUSH off; MLOAD; binop1; binop2; PUSH off';
+    /// MSTORE` — a whole `local = (local ⊕ c1) ⊕ c2` statement: load,
+    /// fold two constants, store, with no stack traffic at all.
+    LocalExprStore,
+    /// `PUSH off_b; MLOAD; PUSH off_a; MLOAD; binop; PUSH off'; MSTORE` — a
+    /// whole `local = local_a ⊕ local_b` statement: load both operands,
+    /// fold, store, with no stack traffic at all.
+    LocalPairStore,
+}
+
+/// One dispatch unit of a [`BlockProgram`]: either a single instruction
+/// (`fused == Fused::None`) or a superinstruction covering several.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockUnit {
+    /// Opcode of the unit's *last* constituent (the dispatch opcode for
+    /// plain units; fused units dispatch on `fused` instead).
+    pub op: Opcode,
+    /// Byte offset of the unit's *first* constituent.
+    pub pc: u32,
+    /// `PUSH` immediate of the first constituent (zero otherwise).
+    pub imm: U256,
+    /// Block index when this unit starts a basic block, `u32::MAX` otherwise.
+    pub leader: u32,
+    /// First constituent instruction (index into the decoded stream).
+    pub instr_start: u32,
+    /// Number of constituent instructions.
+    pub instr_count: u32,
+    /// Static gas of the block's instructions *after* this unit's last
+    /// gas-exact constituent — already pre-charged at block entry. Non-zero
+    /// only for units containing an op whose arm needs the exact
+    /// per-instruction counter (see `needs_exact_gas`): the dispatch loop
+    /// un-charges this residual before that op bills and re-charges it
+    /// after the arm, deopting if a dynamic bill ate into it.
+    pub tail: u64,
+    /// Static gas of the block's instructions from this unit (inclusive) to
+    /// the block's end — already pre-charged at block entry. A fused arm
+    /// that must bail *before* touching any state (instruction-cap hit, or a
+    /// pre-validation failure) re-charges this and deopts to `instr_start`,
+    /// handing the per-instruction tier an exact counter to replay from.
+    pub head: u64,
+    /// Superinstruction tag.
+    pub fused: Fused,
+}
+
+/// A [`DecodedProgram`] lowered to basic blocks with fused idioms.
+///
+/// ```
+/// use mufuzz_evm::{BlockProgram, DecodedProgram, Fused};
+/// use std::sync::Arc;
+///
+/// // PUSH1 0x04, JUMP, INVALID, JUMPDEST, STOP
+/// let base = Arc::new(DecodedProgram::decode(&[0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00]));
+/// let program = BlockProgram::lower(base);
+/// // Three blocks: [PUSH JUMP], [INVALID], [JUMPDEST STOP].
+/// assert_eq!(program.blocks().len(), 3);
+/// // The PUSH+JUMP pair fuses with its target pre-resolved to a unit cursor.
+/// assert!(matches!(program.units()[0].fused, Fused::PushJump { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockProgram {
+    base: Arc<DecodedProgram>,
+    blocks: Vec<BlockInfo>,
+    units: Vec<BlockUnit>,
+    /// Instruction index → unit index (every instruction belongs to exactly
+    /// one unit).
+    instr_to_unit: Vec<u32>,
+}
+
+impl BlockProgram {
+    /// Lower a decoded program: split at block leaders (entry, `JUMPDEST`s,
+    /// fall-throughs of block-ending instructions), fold the per-block
+    /// static-gas/stack envelope, and fuse idioms into superinstructions.
+    pub fn lower(base: Arc<DecodedProgram>) -> BlockProgram {
+        let instrs = base.instructions();
+        let n = instrs.len();
+
+        // 1. Mark leaders. Jump targets are always `JUMPDEST`s, so every
+        //    reachable control transfer lands on a leader by construction.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, instr) in instrs.iter().enumerate() {
+            if instr.op == Opcode::JumpDest {
+                leader[i] = true;
+            }
+            if ends_block(instr.op) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        // 2. Fold the envelope of each [leader, next leader) range.
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (bi, &start) in starts.iter().enumerate() {
+            let end = starts.get(bi + 1).copied().unwrap_or(n);
+            blocks.push(BlockInfo::fold(&instrs[start..end], start));
+        }
+
+        // 3. Fuse within each block. Patterns never straddle a block
+        //    boundary, so a jump can never land mid-superinstruction.
+        let mut units = Vec::with_capacity(n);
+        let mut instr_to_unit = vec![u32::MAX; n];
+        for (bi, block) in blocks.iter().enumerate() {
+            let (start, end) = (block.instr_start as usize, block.instr_end as usize);
+            let mut i = start;
+            // Static gas of the block's instructions at and after `i`; after
+            // subtracting a unit's constituents it is that unit's tail.
+            let mut remaining = block.static_gas;
+            while i < end {
+                let (count, fused) = Self::match_fusion(&instrs[i..end], &base);
+                let unit_idx = units.len() as u32;
+                for slot in &mut instr_to_unit[i..i + count] {
+                    *slot = unit_idx;
+                }
+                // The tail residual is anchored at the unit's *last*
+                // gas-exact constituent: pure constituents after it
+                // contribute their statics back. A pattern may contain an
+                // *earlier* gas-exact constituent only if its arm
+                // pre-validates that op and deopts before mutating anything
+                // (`LocalExprStore`'s MLOAD).
+                let head = remaining;
+                let mut tail_extra = 0u64;
+                let mut has_exact = false;
+                for instr in &instrs[i..i + count] {
+                    remaining -= static_gas(instr.op);
+                    if needs_exact_gas(instr.op) {
+                        has_exact = true;
+                        tail_extra = 0;
+                    } else if has_exact {
+                        tail_extra += static_gas(instr.op);
+                    }
+                }
+                units.push(BlockUnit {
+                    op: instrs[i + count - 1].op,
+                    pc: instrs[i].pc,
+                    imm: instrs[i].imm,
+                    leader: if i == start { bi as u32 } else { u32::MAX },
+                    instr_start: i as u32,
+                    instr_count: count as u32,
+                    tail: if has_exact { remaining + tail_extra } else { 0 },
+                    head,
+                    fused,
+                });
+                i += count;
+            }
+        }
+
+        // 4. Remap fused jump targets from instruction cursors to unit
+        //    cursors (destinations are `JUMPDEST` leaders, so they always
+        //    start a unit).
+        for unit in &mut units {
+            match &mut unit.fused {
+                Fused::PushJump { target }
+                | Fused::PushJumpI { target }
+                | Fused::IsZeroPushJumpI { target }
+                    if *target != u32::MAX =>
+                {
+                    *target = instr_to_unit[*target as usize];
+                }
+                _ => {}
+            }
+        }
+
+        BlockProgram {
+            base,
+            blocks,
+            units,
+            instr_to_unit,
+        }
+    }
+
+    /// Match the longest fused idiom at the head of `window` (one block's
+    /// remaining instructions). Returns the constituent count and the tag;
+    /// jump targets are *instruction* cursors here, remapped to unit cursors
+    /// by the caller once all units exist.
+    fn match_fusion(window: &[DecodedInstr], base: &DecodedProgram) -> (usize, Fused) {
+        use Opcode::*;
+        let resolve = |imm: U256| -> u32 {
+            imm.to_usize()
+                .and_then(|dest| base.jump_cursor(dest))
+                .map(|i| i as u32)
+                .unwrap_or(u32::MAX)
+        };
+        match window {
+            [a, b, c, ..] if a.op == IsZero && matches!(b.op, Push(_)) && c.op == JumpI => (
+                3,
+                Fused::IsZeroPushJumpI {
+                    target: resolve(b.imm),
+                },
+            ),
+            [a, b, c, d, e, f, g, h, ..]
+                if matches!(a.op, Push(_))
+                    && matches!(b.op, Push(_))
+                    && matches!(c.op, Push(_))
+                    && d.op == MLoad
+                    && fusable_binop(e.op)
+                    && fusable_binop(f.op)
+                    && matches!(g.op, Push(_))
+                    && h.op == MStore =>
+            {
+                (8, Fused::LocalExprStore)
+            }
+            [a, b, c, d, e, f, g, ..]
+                if matches!(a.op, Push(_))
+                    && b.op == MLoad
+                    && matches!(c.op, Push(_))
+                    && d.op == MLoad
+                    && fusable_binop(e.op)
+                    && matches!(f.op, Push(_))
+                    && g.op == MStore =>
+            {
+                (7, Fused::LocalPairStore)
+            }
+            [a, b, c, d, ..]
+                if matches!(a.op, Push(_))
+                    && matches!(b.op, Push(_))
+                    && c.op == MLoad
+                    && fusable_binop(d.op) =>
+            {
+                (4, Fused::PushPushMLoadBinop)
+            }
+            [a, b, c, d, ..]
+                if matches!(a.op, Push(_))
+                    && b.op == MLoad
+                    && matches!(c.op, Push(_))
+                    && fusable_binop(d.op) =>
+            {
+                (4, Fused::PushMLoadPushBinop)
+            }
+            [a, b, c, d, ..]
+                if matches!(a.op, Push(_))
+                    && fusable_binop(b.op)
+                    && matches!(c.op, Push(_))
+                    && d.op == MStore =>
+            {
+                (4, Fused::PushBinopPushMStore)
+            }
+            [a, b, c, ..]
+                if matches!(a.op, Push(_)) && matches!(b.op, Push(_)) && fusable_binop(c.op) =>
+            {
+                (3, Fused::PushPushBinop)
+            }
+            [a, b, c, ..] if matches!(a.op, Push(_)) && matches!(b.op, Push(_)) && c.op == Sha3 => {
+                (3, Fused::PushPushSha3)
+            }
+            [a, b, c, ..] if matches!(a.op, Push(_)) && b.op == MLoad && fusable_binop(c.op) => {
+                (3, Fused::PushMLoadBinop)
+            }
+            [a, b, c, ..] if fusable_binop(a.op) && matches!(b.op, Push(_)) && c.op == MStore => {
+                (3, Fused::BinopPushMStore)
+            }
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == Jump => (
+                2,
+                Fused::PushJump {
+                    target: resolve(a.imm),
+                },
+            ),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == JumpI => (
+                2,
+                Fused::PushJumpI {
+                    target: resolve(a.imm),
+                },
+            ),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == MLoad => (2, Fused::PushMLoad),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == MStore => (2, Fused::PushMStore),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == CallDataLoad => {
+                (2, Fused::PushCallDataLoad)
+            }
+            [a, b, ..] if matches!(a.op, Push(_)) && fusable_binop(b.op) => (2, Fused::PushBinop),
+            // Catch-all immediate pair — unless the *second* push feeds one
+            // of the patterns above, which pair tighter (pre-resolved jump
+            // target, no offset round trip through the stack).
+            [a, b, rest @ ..]
+                if matches!(a.op, Push(_))
+                    && matches!(b.op, Push(_))
+                    && !matches!(
+                        rest.first().map(|i| i.op),
+                        Some(Jump | JumpI | MLoad | MStore | CallDataLoad)
+                    ) =>
+            {
+                (2, Fused::PushPush)
+            }
+            [a, b, ..] if matches!(a.op, Dup(_)) && matches!(b.op, Swap(_)) => (2, Fused::DupSwap),
+            _ => (1, Fused::None),
+        }
+    }
+
+    /// The decoded program this lowering was built from.
+    pub fn base(&self) -> &Arc<DecodedProgram> {
+        &self.base
+    }
+
+    /// The basic blocks, in instruction order.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// The dispatch units, in instruction order.
+    pub fn units(&self) -> &[BlockUnit] {
+        &self.units
+    }
+
+    /// Resolve a jump destination to a *unit* cursor (the block-program
+    /// analogue of [`DecodedProgram::jump_cursor`]).
+    #[inline]
+    pub fn jump_unit(&self, dest: usize) -> Option<usize> {
+        self.base
+            .jump_cursor(dest)
+            .map(|i| self.instr_to_unit[i] as usize)
+    }
+}
+
+/// Decoded and block-lowered programs keyed by code-blob identity.
 ///
 /// Lookup is by `Arc` pointer equality: the world state hands out clones of
 /// the same `Arc<Vec<u8>>` for an account's code across snapshots, so the
@@ -134,7 +607,15 @@ impl DecodedProgram {
 /// interior mutability.
 #[derive(Clone, Debug, Default)]
 pub struct ProgramCache {
-    entries: Vec<(Arc<Vec<u8>>, Arc<DecodedProgram>)>,
+    entries: Vec<CacheEntry>,
+}
+
+/// One cached code blob with its program for each execution tier.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    code: Arc<Vec<u8>>,
+    decoded: Arc<DecodedProgram>,
+    lowered: Arc<BlockProgram>,
 }
 
 impl ProgramCache {
@@ -143,9 +624,15 @@ impl ProgramCache {
         ProgramCache::default()
     }
 
-    /// Register the decoded program of a code blob.
+    /// Register the decoded program of a code blob. The block lowering is
+    /// derived here, once, so every entry serves both execution tiers.
     pub fn insert(&mut self, code: Arc<Vec<u8>>, program: Arc<DecodedProgram>) {
-        self.entries.push((code, program));
+        let lowered = Arc::new(BlockProgram::lower(Arc::clone(&program)));
+        self.entries.push(CacheEntry {
+            code,
+            decoded: program,
+            lowered,
+        });
     }
 
     /// Look up the decoded program of a code blob by pointer identity. The
@@ -155,8 +642,17 @@ impl ProgramCache {
     pub fn get(&self, code: &Arc<Vec<u8>>) -> Option<&Arc<DecodedProgram>> {
         self.entries
             .iter()
-            .find(|(c, _)| Arc::ptr_eq(c, code))
-            .map(|(_, p)| p)
+            .find(|e| Arc::ptr_eq(&e.code, code))
+            .map(|e| &e.decoded)
+    }
+
+    /// Look up the block-lowered program of a code blob by pointer identity.
+    #[inline]
+    pub fn get_block(&self, code: &Arc<Vec<u8>>) -> Option<&Arc<BlockProgram>> {
+        self.entries
+            .iter()
+            .find(|e| Arc::ptr_eq(&e.code, code))
+            .map(|e| &e.lowered)
     }
 
     /// Number of registered programs.

@@ -352,6 +352,28 @@ impl HaltReason {
     }
 }
 
+/// 256-bit presence set over opcode bytes: which opcodes a transaction
+/// executed, at any call depth. Two words of bit arithmetic per membership
+/// operation — cheap enough to update on every dispatched instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpcodeSet([u64; 4]);
+
+impl OpcodeSet {
+    /// Mark `op` as executed.
+    #[inline(always)]
+    pub fn insert(&mut self, op: Opcode) {
+        let byte = op.to_byte() as usize;
+        self.0[byte >> 6] |= 1 << (byte & 63);
+    }
+
+    /// True if `op` was marked.
+    #[inline]
+    pub fn contains(&self, op: Opcode) -> bool {
+        let byte = op.to_byte() as usize;
+        self.0[byte >> 6] & (1 << (byte & 63)) != 0
+    }
+}
+
 /// Instrumentation record of a single top-level transaction execution.
 ///
 /// `PartialEq` compares every recorded event — the decoder differential
@@ -359,9 +381,13 @@ impl HaltReason {
 /// bit-identically to the legacy byte-at-a-time decoder.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecutionTrace {
-    /// Every executed instruction as `(depth, pc, opcode)`. Kept compact; the
-    /// heavy analysis data lives in the dedicated event vectors below.
-    pub instructions: Vec<(usize, usize, Opcode)>,
+    /// Number of executed instructions across all frames. A plain counter:
+    /// nothing downstream replays the instruction stream, so the interpreter
+    /// does not materialise it — the heavy analysis data lives in the
+    /// dedicated event vectors below.
+    pub instr_count: u64,
+    /// Presence set of every opcode executed at any depth.
+    pub ops_seen: OpcodeSet,
     /// Conditional branch decisions in execution order.
     pub branches: Vec<BranchRecord>,
     /// Distinct branch edges exercised.
@@ -403,12 +429,19 @@ impl ExecutionTrace {
 
     /// Number of executed instructions across all frames.
     pub fn instruction_count(&self) -> usize {
-        self.instructions.len()
+        self.instr_count as usize
     }
 
-    /// True if any executed instruction at any depth matches the predicate.
+    /// True if any executed instruction at any depth matches the opcode.
     pub fn contains_opcode(&self, op: Opcode) -> bool {
-        self.instructions.iter().any(|(_, _, o)| *o == op)
+        self.ops_seen.contains(op)
+    }
+
+    /// Record one executed instruction: bump the count and mark the opcode.
+    #[inline(always)]
+    pub fn record_instr(&mut self, op: Opcode) {
+        self.instr_count += 1;
+        self.ops_seen.insert(op);
     }
 
     /// Iterate over the branch records belonging to a particular contract.

@@ -1,0 +1,213 @@
+//! Property-based tests for the basic-block lowering: on arbitrary byte
+//! blobs, the blocks must partition the decoded stream, every `JUMPDEST`
+//! must lead a block, the precomputed per-block envelope must equal an
+//! independent instruction-by-instruction fold, and the dispatch units must
+//! tile the stream exactly. A final property executes random code three
+//! ways (block-lowered / pre-decoded / legacy) and demands bit-identical
+//! results.
+
+use mufuzz_evm::{
+    static_gas, Account, Address, BlockEnv, BlockProgram, DecodedProgram, Evm, Message, Opcode,
+    ProgramCache, WorldState, U256,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn lowered(code: &[u8]) -> BlockProgram {
+    BlockProgram::lower(Arc::new(DecodedProgram::decode(code)))
+}
+
+proptest! {
+    #[test]
+    fn blocks_partition_the_instruction_stream(code in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let program = lowered(&code);
+        let n = program.base().instructions().len() as u32;
+        if n == 0 {
+            prop_assert!(program.blocks().is_empty());
+            return;
+        }
+        // Contiguous, non-empty, covering [0, n): each block starts where
+        // the previous one ended.
+        let mut expected_start = 0u32;
+        for block in program.blocks() {
+            prop_assert_eq!(block.instr_start, expected_start);
+            prop_assert!(block.instr_end > block.instr_start);
+            expected_start = block.instr_end;
+        }
+        prop_assert_eq!(expected_start, n);
+    }
+
+    #[test]
+    fn every_jumpdest_starts_a_block(code in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let program = lowered(&code);
+        let instrs = program.base().instructions();
+        let starts: Vec<u32> = program.blocks().iter().map(|b| b.instr_start).collect();
+        for (i, instr) in instrs.iter().enumerate() {
+            if instr.op == Opcode::JumpDest {
+                prop_assert!(
+                    starts.binary_search(&(i as u32)).is_ok(),
+                    "JUMPDEST at instruction {} is not a block leader", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_envelopes_equal_an_instruction_fold(code in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let program = lowered(&code);
+        let instrs = program.base().instructions();
+        for block in program.blocks() {
+            // Independent re-derivation of the envelope, straight from the
+            // public opcode metadata.
+            let mut gas = 0u64;
+            let (mut height, mut needed, mut peak) = (0i64, 0i64, 0i64);
+            for instr in &instrs[block.instr_start as usize..block.instr_end as usize] {
+                gas += static_gas(instr.op);
+                let ins = instr.op.stack_inputs() as i64;
+                let outs = instr.op.stack_outputs() as i64;
+                needed = needed.max(ins - height);
+                height += outs - ins;
+                peak = peak.max(height);
+            }
+            prop_assert_eq!(block.static_gas, gas);
+            prop_assert_eq!(i64::from(block.stack_needed), needed.max(0));
+            prop_assert_eq!(i64::from(block.max_growth), peak.max(0));
+            prop_assert_eq!(i64::from(block.stack_delta), height);
+        }
+    }
+
+    #[test]
+    fn units_tile_the_stream_and_leaders_line_up(code in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let program = lowered(&code);
+        let instrs = program.base().instructions();
+        // Units are contiguous, non-empty and cover every instruction.
+        let mut expected_start = 0u32;
+        for unit in program.units() {
+            prop_assert_eq!(unit.instr_start, expected_start);
+            prop_assert!(unit.instr_count > 0);
+            prop_assert_eq!(unit.pc, instrs[unit.instr_start as usize].pc);
+            expected_start += unit.instr_count;
+        }
+        prop_assert_eq!(expected_start as usize, instrs.len());
+        // Exactly the first unit of each block carries that block's index,
+        // and fused patterns never straddle a block boundary.
+        let mut leaders = Vec::new();
+        for unit in program.units() {
+            if unit.leader != u32::MAX {
+                leaders.push((unit.leader, unit.instr_start));
+            }
+        }
+        let blocks: Vec<(u32, u32)> = program
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, b.instr_start))
+            .collect();
+        prop_assert_eq!(leaders, blocks);
+        for (unit, block) in program.units().iter().filter(|u| u.leader != u32::MAX).zip(program.blocks()) {
+            prop_assert!(unit.instr_start + unit.instr_count <= block.instr_end);
+        }
+    }
+
+    #[test]
+    fn jump_unit_agrees_with_jump_cursor(code in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let program = lowered(&code);
+        for dest in 0..=code.len() {
+            match (program.base().jump_cursor(dest), program.jump_unit(dest)) {
+                (None, None) => {}
+                (Some(instr), Some(unit)) => {
+                    // The destination is a JUMPDEST, hence a block leader,
+                    // hence the first constituent of its unit.
+                    prop_assert_eq!(program.units()[unit].instr_start as usize, instr);
+                }
+                (a, b) => prop_assert!(false, "jump_cursor {:?} vs jump_unit {:?} at {}", a, b, dest),
+            }
+        }
+    }
+
+    #[test]
+    fn random_code_executes_identically_across_all_three_tiers(
+        code in proptest::collection::vec(any::<u8>(), 0..300),
+        calldata in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let sender = Address::from_low_u64(1);
+        let contract = Address::from_low_u64(0x42);
+        let mut base = WorldState::new();
+        base.put_account(sender, Account::eoa(U256::from_u64(1_000_000)));
+        base.put_account(contract, Account::contract(code.clone(), U256::ZERO));
+        let runtime = base.code(contract);
+        let mut cache = ProgramCache::new();
+        cache.insert(Arc::clone(&runtime), Arc::new(DecodedProgram::decode(&runtime)));
+        base.freeze();
+        let msg = Message::new(sender, contract, U256::ZERO, calldata);
+
+        let run = |legacy: bool, block_lowering: bool| {
+            let mut world = base.snapshot();
+            let mut evm = Evm::new(&mut world, BlockEnv::default()).with_programs(&cache);
+            evm.config.legacy_decode = legacy;
+            evm.config.block_lowering = block_lowering;
+            (evm.execute(&msg), world)
+        };
+        let (block, world_block) = run(false, true);
+        let (pre, world_pre) = run(false, false);
+        let (legacy, world_legacy) = run(true, false);
+
+        prop_assert_eq!(block.gas_used, legacy.gas_used);
+        prop_assert_eq!(&block, &pre);
+        prop_assert_eq!(&pre, &legacy);
+        prop_assert_eq!(&world_block, &world_pre);
+        prop_assert_eq!(&world_pre, &world_legacy);
+    }
+}
+
+/// Run `code` under the block-lowered and the pre-decoded tier and demand
+/// bit-identical results (including the trace, hence the instruction count).
+fn assert_tiers_agree(code: Vec<u8>) {
+    let sender = Address::from_low_u64(1);
+    let contract = Address::from_low_u64(0x42);
+    let mut base = WorldState::new();
+    base.put_account(sender, Account::eoa(U256::from_u64(1_000_000)));
+    base.put_account(contract, Account::contract(code, U256::ZERO));
+    let runtime = base.code(contract);
+    let mut cache = ProgramCache::new();
+    cache.insert(
+        Arc::clone(&runtime),
+        Arc::new(DecodedProgram::decode(&runtime)),
+    );
+    base.freeze();
+    let msg = Message::new(sender, contract, U256::ZERO, vec![]);
+    let run = |block_lowering: bool| {
+        let mut world = base.snapshot();
+        let mut evm = Evm::new(&mut world, BlockEnv::default()).with_programs(&cache);
+        evm.config.block_lowering = block_lowering;
+        evm.execute(&msg)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// A fused memory arm whose mid-unit MLOAD faults must leave the same trace
+/// as the per-instruction tier, which records only the constituents up to
+/// and including the faulting op — not the trailing binop.
+#[test]
+fn mid_unit_mload_fault_keeps_the_trace_exact() {
+    // PUSH1 0; PUSH32 <huge>; MLOAD; ADD; STOP — fuses to
+    // `PushPushMLoadBinop`, and the out-of-range offset faults the MLOAD.
+    let mut code = vec![0x60, 0x00, 0x7f];
+    code.extend([0xff; 32]);
+    code.extend([0x51, 0x01, 0x00]);
+    assert_tiers_agree(code);
+
+    // PUSH1 0; PUSH32 <huge>; MLOAD; PUSH1 1; ADD; STOP — fuses to
+    // `PushMLoadPushBinop` after the guarded leading pair.
+    let mut code = vec![0x60, 0x00, 0x7f];
+    code.extend([0xff; 32]);
+    code.extend([0x51, 0x60, 0x01, 0x01, 0x00]);
+    assert_tiers_agree(code);
+
+    // CALLVALUE; PUSH32 <huge>; MLOAD; ADD; STOP — the stack operand keeps
+    // the longer patterns from matching, so this fuses to `PushMLoadBinop`.
+    let mut code = vec![0x34, 0x7f];
+    code.extend([0xff; 32]);
+    code.extend([0x51, 0x01, 0x00]);
+    assert_tiers_agree(code);
+}

@@ -3,10 +3,15 @@
 //! campaign both on the sharded seed scheduler (the default: lock-free
 //! steady-state draws) and on the historical global draw under the state
 //! lock — then sweep three corpus contracts through one `CampaignService`
-//! fleet pool, sequentially and concurrently. Reports execs/sec for each
-//! and emits a machine-readable `BENCH_throughput.json` so CI can track the
-//! performance trajectory, the sharded-vs-global scaling claim and the
-//! fleet-concurrency claim across PRs.
+//! fleet pool, sequentially and concurrently. A raw-harness interpreter
+//! A/B (block-lowered vs pre-decoded instruction-at-a-time) isolates the
+//! basic-block lowering's speedup from scheduler effects: a straight-line
+//! local-arithmetic kernel executed through `ContractHarness` directly,
+//! with the two tiers measured best-of-N interleaved to shrug off
+//! scheduler noise. Reports execs/sec for each and emits a
+//! machine-readable `BENCH_throughput.json` so CI can track the
+//! performance trajectory, the sharded-vs-global scaling claim, the
+//! fleet-concurrency claim and the block-lowering speedup across PRs.
 //!
 //! Run with:
 //! ```text
@@ -15,8 +20,11 @@
 //! MUFUZZ_EXECS=100000 cargo run --release --example throughput
 //! ```
 
-use mufuzz::{CampaignReport, CampaignService, Fuzzer, FuzzerConfig};
+use mufuzz::{
+    CampaignReport, CampaignService, ContractHarness, Fuzzer, FuzzerConfig, Sequence, TxInput,
+};
 use mufuzz_corpus::contracts;
+use mufuzz_evm::{ExecFrame, U256};
 use mufuzz_lang::compile_source;
 use std::time::Instant;
 
@@ -61,6 +69,64 @@ fn campaign(workers: usize, executions: usize, sharded: bool) -> CampaignReport 
         .run()
 }
 
+/// Straight-line local-arithmetic kernel for the interpreter A/B: an
+/// unrolled run of `x = x * c1 + c2` statements over memory-resident
+/// locals. Scheduler, corpus and branch-record costs are identical across
+/// the two tiers, so a branchy campaign workload buries the dispatch
+/// difference in symmetric overhead — this kernel isolates it.
+fn kernel_source() -> String {
+    let mut body = String::new();
+    for k in 0..48u64 {
+        body.push_str(&format!(
+            "        x = x * {} + {};\n",
+            3 + k % 7,
+            11 + k % 13
+        ));
+        if k % 4 == 3 {
+            body.push_str("        y = y + x;\n");
+        }
+    }
+    format!(
+        "contract Mixer {{\n    uint256 acc;\n    function mix(uint256 seed) public returns (uint256) {{\n        uint256 x = seed;\n        uint256 y = 1;\n{body}        acc = y;\n        return y;\n    }}\n}}\n"
+    )
+}
+
+/// One timed chunk of the interpreter A/B: `iters` transactions of the
+/// kernel through `ContractHarness` pinned to one tier. Returns tx/sec.
+fn tier_chunk(block_lowering: bool, iters: usize) -> f64 {
+    let compiled = compile_source(&kernel_source()).expect("kernel should compile");
+    let config = FuzzerConfig::default().with_block_lowering(block_lowering);
+    let harness = ContractHarness::new(compiled, &config).expect("kernel should deploy");
+    let seq = Sequence::new(vec![TxInput::new(
+        "mix",
+        0,
+        U256::ZERO,
+        &[U256::from_u64(12345)],
+    )]);
+    let mut frame = ExecFrame::new();
+    let start = Instant::now();
+    let mut successes = 0usize;
+    for _ in 0..iters {
+        successes += harness.execute_sequence_with(&seq, &mut frame).successes;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(successes == iters, "kernel transactions should all succeed");
+    iters as f64 / elapsed
+}
+
+/// The interpreter A/B measurement: best-of-N with the tiers interleaved,
+/// so a machine-noise spike hits both sides instead of biasing one.
+fn tier_rates(rounds: usize, iters: usize) -> (f64, f64) {
+    tier_chunk(true, iters / 2); // warm-up: page in both tiers
+    tier_chunk(false, iters / 2);
+    let (mut pre, mut blk) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        pre = pre.max(tier_chunk(false, iters));
+        blk = blk.max(tier_chunk(true, iters));
+    }
+    (pre, blk)
+}
+
 fn print_report(report: &CampaignReport, sharded: bool) {
     println!(
         "workers={} scheduler={}: {} execs in {} ms -> {:.0} execs/sec ({:.1}% coverage)",
@@ -86,6 +152,14 @@ fn json_entry(report: &CampaignReport, sharded: bool) -> String {
         report.elapsed_ms,
         report.execs_per_sec(),
         report.coverage_percent()
+    )
+}
+
+/// JSON record for one interpreter tier of the block-lowering A/B.
+fn tier_json(block_lowering: bool, rate: f64) -> String {
+    format!(
+        "{{\"block_lowering\": {}, \"benchmark\": \"local-arithmetic kernel\", \"execs_per_sec\": {:.1}}}",
+        block_lowering, rate
     )
 }
 
@@ -171,6 +245,16 @@ fn main() {
         sharded.execs_per_sec() / global.execs_per_sec()
     );
 
+    // The interpreter A/B: the raw-harness kernel, block lowering off vs
+    // on. Every per-instruction gas charge, stack bounds check and dispatch
+    // the lowering and its superinstructions remove shows up directly here.
+    let (predecoded, block_lowered) = tier_rates(12, 5000);
+    println!(
+        "interpreter A/B (raw harness): predecoded {predecoded:.0} execs/sec, \
+         block-lowered {block_lowered:.0} execs/sec ({:.2}x)",
+        block_lowered / predecoded
+    );
+
     // The fleet sweep: three corpus contracts through one CampaignService,
     // sequentially on one pool thread vs concurrently on `workers` threads.
     let fleet_budget = (executions / 10).max(500);
@@ -189,12 +273,15 @@ fn main() {
         concat!(
             "{{\n  \"benchmark\": \"piggybank\",\n  \"budget\": {},\n",
             "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {},\n",
+            "  \"predecoded\": {},\n  \"block_lowered\": {},\n",
             "  \"fleet_sequential\": {},\n  \"fleet_concurrent\": {}\n}}\n"
         ),
         executions,
         json_entry(&single, true),
         json_entry(&sharded, true),
         json_entry(&global, false),
+        tier_json(false, predecoded),
+        tier_json(true, block_lowered),
         fleet_json(1, seq_total, seq_ms),
         fleet_json(workers, conc_total, conc_ms)
     );

@@ -1,14 +1,17 @@
-//! Decoder differential suite: the pre-decoded execution pipeline must be
-//! observably identical to the legacy byte-at-a-time decoder.
+//! Decoder differential suite: the block-lowered and pre-decoded execution
+//! pipelines must be observably identical to the legacy byte-at-a-time
+//! decoder.
 //!
 //! For every corpus contract, 256 seeded calldata inputs (a mix of valid
 //! selectors with random argument words and entirely random byte strings)
-//! are executed twice from identical post-constructor world snapshots — once
-//! through the pre-decoded instruction stream (with the production
-//! `ProgramCache` attached, exactly as the fuzzing harness runs) and once
-//! through the legacy decoder. The full [`ExecutionResult`] (success,
-//! output, gas, halt reason and the complete instrumentation trace with its
-//! branch records) and the resulting world state must match bit for bit.
+//! are executed **three ways** from identical post-constructor world
+//! snapshots — through the block-lowered tier (per-block static gas and
+//! stack validation, fused superinstructions — the production default),
+//! through the pre-decoded instruction stream with block lowering disabled,
+//! and through the legacy decoder. The full [`ExecutionResult`] (success,
+//! output, gas remaining, halt reason and the complete instrumentation trace
+//! with its branch records) and the resulting world state must match bit for
+//! bit across all three.
 
 use mufuzz::{ContractHarness, FuzzerConfig};
 use mufuzz_corpus::contracts;
@@ -19,6 +22,19 @@ use rand::{Rng, RngCore, SeedableRng};
 use std::sync::Arc;
 
 const INPUTS_PER_CONTRACT: usize = 256;
+
+/// The three execution tiers under comparison.
+#[derive(Clone, Copy, Debug)]
+enum Tier {
+    /// Byte-at-a-time decoding in the hot loop (`legacy_decode = true`).
+    Legacy,
+    /// Pre-decoded instruction stream, instruction-at-a-time billing
+    /// (`block_lowering = false`).
+    Predecoded,
+    /// Block-lowered program: per-block gas/stack settlement and fused
+    /// superinstructions (the default).
+    Block,
+}
 
 /// Derive one fuzzed calldata input: either a valid function selector with
 /// random argument words, or raw random bytes.
@@ -53,30 +69,35 @@ fn random_calldata(harness: &ContractHarness, rng: &mut SmallRng) -> Vec<u8> {
 }
 
 /// Execute one message from a fresh snapshot of the harness base world,
-/// through either decoder. Returns the result and the post-execution world.
+/// through the given tier. Returns the result and the post-execution world.
 fn run_once(
     harness: &ContractHarness,
     cache: &ProgramCache,
     msg: &Message,
-    legacy: bool,
+    tier: Tier,
 ) -> (ExecutionResult, WorldState) {
     let mut world = harness.base_world().snapshot();
     let mut block = harness.base_block();
     block.advance();
     let mut evm = Evm::new(&mut world, block).with_programs(cache);
-    evm.config.legacy_decode = legacy;
+    match tier {
+        Tier::Legacy => evm.config.legacy_decode = true,
+        Tier::Predecoded => evm.config.block_lowering = false,
+        Tier::Block => debug_assert!(evm.config.block_lowering),
+    }
     let result = evm.execute(msg);
     (result, world)
 }
 
 #[test]
-fn decoded_pipeline_is_bit_identical_to_the_legacy_decoder() {
+fn block_lowered_pipeline_is_bit_identical_to_both_slower_tiers() {
     for bench in contracts::all_handwritten() {
         let compiled = compile_source(&bench.source).expect("corpus contract must compile");
         let harness = ContractHarness::new(compiled, &FuzzerConfig::default())
             .expect("corpus contract must deploy");
 
-        // The production cache shape: the deployed runtime blob, pre-decoded.
+        // The production cache shape: the deployed runtime blob, pre-decoded
+        // and block-lowered on insert.
         let runtime = harness.base_world().code(harness.contract_address);
         let mut cache = ProgramCache::new();
         cache.insert(
@@ -96,9 +117,30 @@ fn decoded_pipeline_is_bit_identical_to_the_legacy_decoder() {
             let value = U256::from_u64(rng.gen_range(0..4u64) * 1_000_000_000);
             let msg = Message::new(sender, harness.contract_address, value, calldata);
 
-            let (decoded, world_decoded) = run_once(&harness, &cache, &msg, false);
-            let (legacy, world_legacy) = run_once(&harness, &cache, &msg, true);
+            let (block, world_block) = run_once(&harness, &cache, &msg, Tier::Block);
+            let (decoded, world_decoded) = run_once(&harness, &cache, &msg, Tier::Predecoded);
+            let (legacy, world_legacy) = run_once(&harness, &cache, &msg, Tier::Legacy);
 
+            // Gas first: with a fixed gas limit, equal `gas_used` is equal
+            // gas remaining — the sharpest signal when block settlement or a
+            // fused arm misbills, so it gets its own assertion.
+            assert_eq!(
+                block.gas_used, decoded.gas_used,
+                "{}: block-lowered gas divergence on input #{case}",
+                bench.name
+            );
+            assert_eq!(
+                decoded.gas_used, legacy.gas_used,
+                "{}: pre-decoded gas divergence on input #{case}",
+                bench.name
+            );
+            assert_eq!(
+                block,
+                decoded,
+                "{}: block-lowered divergence on input #{case} ({} calldata bytes)",
+                bench.name,
+                msg.data.len()
+            );
             assert_eq!(
                 decoded,
                 legacy,
@@ -107,8 +149,13 @@ fn decoded_pipeline_is_bit_identical_to_the_legacy_decoder() {
                 msg.data.len()
             );
             assert_eq!(
-                decoded.trace.branches, legacy.trace.branches,
+                block.trace.branches, legacy.trace.branches,
                 "{}: branch trace divergence on input #{case}",
+                bench.name
+            );
+            assert_eq!(
+                world_block, world_decoded,
+                "{}: block-lowered committed state divergence on input #{case}",
                 bench.name
             );
             assert_eq!(
@@ -120,7 +167,7 @@ fn decoded_pipeline_is_bit_identical_to_the_legacy_decoder() {
     }
 }
 
-/// Whole-sequence equivalence: the harness's production path (pre-decoded,
+/// Whole-sequence equivalence: the harness's production path (block-lowered,
 /// cached, frame-reusing) produces the same traces as a legacy re-execution
 /// of the same transactions.
 #[test]
