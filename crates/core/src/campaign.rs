@@ -54,10 +54,13 @@ use crate::energy::{allocate_energy, corpus_mean_weight, seed_weight};
 use crate::executor::{ContractHarness, HarnessError, SequenceOutcome};
 use crate::input::{Seed, Sequence};
 use crate::mutation::{apply_op, mutate_masked, InterestingValues, MutationMask, MutationOp};
+use crate::replay::FindingRecord;
+use crate::round::RoundRt;
 use crate::seedgen::SequenceGenerator;
 use crate::service::{CampaignService, SubmitOptions};
+use crate::snapshot::{put_seed, Digest};
 use mufuzz_analysis::{analyze_contract, plan_sequence, ControlFlowGraph, DistanceMap};
-use mufuzz_evm::{ExecFrame, WorldState};
+use mufuzz_evm::{BranchEdge, ExecFrame, WorldState};
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugFinding, CampaignMonitor, MonitorState};
 use rand::rngs::SmallRng;
@@ -71,19 +74,19 @@ use std::time::Instant;
 
 /// How deep a branch must sit (static nesting) before a seed that reaches it
 /// is treated as "hitting a deeply nested branch" for mask purposes.
-const NESTED_BRANCH_DEPTH: usize = 3;
+pub(crate) const NESTED_BRANCH_DEPTH: usize = 3;
 
 /// Maximum number of 32-byte words probed per transaction when computing a
 /// mutation mask (bounds the cost of Algorithm 2 on long inputs). The first
 /// words of the stream are the ether value and the leading arguments — the
 /// positions strict guards almost always constrain. Words beyond the probed
 /// prefix stay freely mutable.
-const MAX_MASK_WORDS: usize = 3;
+pub(crate) const MAX_MASK_WORDS: usize = 3;
 
 /// Maximum number of transactions probed per seed when computing masks; later
 /// transactions of very long sequences stay freely mutable. Keeps the probe
 /// cost of Algorithm 2 bounded for the large-contract datasets.
-const MAX_MASK_TXS: usize = 6;
+pub(crate) const MAX_MASK_TXS: usize = 6;
 
 /// One point of the coverage-over-time curve.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -144,6 +147,18 @@ pub struct CampaignReport {
     pub interesting_shapes: Vec<String>,
     /// Number of worker threads the campaign ran with.
     pub workers: usize,
+    /// FNV-1a digest of the final corpus (every seed's snapshot encoding, in
+    /// corpus order). Two campaigns with equal digests ended with
+    /// bit-identical corpora — the round-mode determinism suite compares
+    /// this across worker counts.
+    pub corpus_digest: u64,
+    /// FNV-1a digest of the final coverage bitmap words.
+    pub coverage_digest: u64,
+    /// Replayable finding records (round mode only; empty under the
+    /// free-running profile). Each pins the mutant sequence that triggered a
+    /// finding to its `(seed uid, round, slot)` provenance — see
+    /// [`FindingRecord`] and [`crate::replay::replay_finding`].
+    pub finding_records: Vec<FindingRecord>,
 }
 
 impl CampaignReport {
@@ -184,7 +199,7 @@ pub(crate) struct SharedCampaignState {
 
 impl SharedCampaignState {
     /// Add a seed to the corpus, assigning its stable uid.
-    fn admit(&mut self, mut seed: Seed) {
+    pub(crate) fn admit(&mut self, mut seed: Seed) {
         seed.uid = self.next_uid;
         self.next_uid += 1;
         self.corpus.push(seed);
@@ -197,7 +212,7 @@ impl SharedCampaignState {
     /// probe in flight are exempt so the probe investment is not wasted.
     /// Runs under the state lock; the corpus is small (tens of seeds), so the
     /// quadratic scan is cheap next to a single sequence execution.
-    fn maybe_cull(&mut self, interval: Option<usize>) {
+    pub(crate) fn maybe_cull(&mut self, interval: Option<usize>) {
         let Some(every) = interval else { return };
         if self.admitted_since_cull < every || self.corpus.len() < 2 {
             return;
@@ -243,6 +258,11 @@ pub(crate) struct CampaignShared {
     /// before their next draw. Steady-state draws compare against it with a
     /// single atomic load and touch no lock.
     pub(crate) epoch: SchedulerEpoch,
+    /// Round-mode runtime: the current round's frozen view, slot ledger and
+    /// master monitor. `None` under the free-running profile and until the
+    /// service bootstrap installs the first round. Lock order when combined
+    /// with the others: `round` → event sink → `state`.
+    pub(crate) round: Mutex<Option<RoundRt>>,
 }
 
 impl CampaignShared {
@@ -260,6 +280,7 @@ impl CampaignShared {
             coverage: CoverageMap::new(edges),
             reserved: AtomicUsize::new(0),
             epoch: SchedulerEpoch::new(),
+            round: Mutex::new(None),
         }
     }
 
@@ -342,7 +363,7 @@ impl PauseState {
         }
     }
 
-    fn engaged(&self, executions: usize) -> bool {
+    pub(crate) fn engaged(&self, executions: usize) -> bool {
         self.requested.load(Ordering::Relaxed) || self.at.is_some_and(|at| executions >= at)
     }
 }
@@ -360,10 +381,10 @@ pub(crate) enum LaneStep {
 /// Seed selection: prefer seeds close to uncovered branches (branch-distance
 /// feedback), fall back to weight-proportional choice.
 ///
-/// A free function over any corpus view — the mutex-guarded global corpus or
-/// a worker's shard mirror — so both draw paths consume the RNG identically
-/// and make the same choice over the same view.
-fn select_seed(config: &FuzzerConfig, rng: &mut SmallRng, corpus: &[Seed]) -> usize {
+/// A free function over any corpus view — the mutex-guarded global corpus, a
+/// worker's shard mirror, or a round slot's frozen view — so every draw path
+/// consumes the RNG identically and makes the same choice over the same view.
+pub(crate) fn select_seed(config: &FuzzerConfig, rng: &mut SmallRng, corpus: &[Seed]) -> usize {
     debug_assert!(!corpus.is_empty());
     if config.enable_branch_distance && rng.gen_bool(0.5) {
         let best = corpus
@@ -387,6 +408,148 @@ fn select_seed(config: &FuzzerConfig, rng: &mut SmallRng, corpus: &[Seed]) -> us
         }
     }
     rng.gen_range(0..corpus.len())
+}
+
+/// Mutate a seed into a fresh candidate sequence: byte-level mask-guided
+/// mutation on one transaction, occasionally combined with a structural
+/// sequence mutation. A free function over an explicit RNG so the
+/// free-running lanes (worker RNG) and round-mode slots (slot RNG) consume
+/// randomness identically for the same seed.
+pub(crate) fn mutate_sequence(ctx: &CampaignContext, rng: &mut SmallRng, seed: &Seed) -> Sequence {
+    let mut sequence = seed.sequence.clone();
+    if sequence.is_empty() {
+        return ctx
+            .generator
+            .generate(&ctx.harness.compiled.abi, rng, &ctx.interesting);
+    }
+
+    // Structural mutation with 30% probability (ordering is preserved when
+    // sequence-aware mutation is on).
+    if rng.gen_bool(0.3) {
+        sequence = ctx.generator.mutate_structure(
+            &sequence,
+            &ctx.harness.compiled.abi,
+            rng,
+            &ctx.interesting,
+        );
+    }
+
+    // Byte-level mutation of one (or a few) transactions.
+    let mutations = 1 + rng.gen_range(0..2usize);
+    for _ in 0..mutations {
+        let idx = rng.gen_range(0..sequence.txs.len());
+        let stream = sequence.txs[idx].stream.clone();
+        // The mask biases mutation away from the frozen critical words; a
+        // small fraction of mutants still ignores it so the frozen positions
+        // themselves can eventually be explored (flipping the guarded branch
+        // needs exactly that).
+        let use_mask = ctx.config.enable_mask_guidance && rng.gen_bool(0.8);
+        let mask = seed
+            .masks
+            .as_ref()
+            .and_then(|m| m.get(idx))
+            .cloned()
+            .filter(|_| use_mask)
+            .unwrap_or_else(|| MutationMask::allow_all(stream.len()));
+        if let Some(mutated) = mutate_masked(&stream, &mask, rng, &ctx.interesting) {
+            sequence.txs[idx].stream = mutated;
+        }
+    }
+    sequence
+}
+
+/// Build seed metadata from an execution outcome, resolving "is this edge
+/// covered?" through the supplied predicate — the shared atomic bitmap for
+/// free-running lanes, a slot's frozen local view in round mode. The
+/// coverage view must already include the outcome's own edges (merge first,
+/// then admit).
+pub(crate) fn make_seed(
+    ctx: &CampaignContext,
+    sequence: Sequence,
+    outcome: &SequenceOutcome,
+    new_edges: usize,
+    covered: &dyn Fn(&BranchEdge) -> bool,
+) -> Seed {
+    let mut seed = Seed::new(sequence);
+    seed.covered_edge_ids = outcome.covered_edge_ids.clone();
+    seed.new_edges = new_edges;
+    seed.weight = seed_weight(&outcome.traces, &ctx.cfg_graph);
+    seed.hits_nested_branch = outcome.traces.iter().any(|t| {
+        t.branches.iter().any(|b| {
+            ctx.cfg_graph
+                .branches
+                .get(&b.pc)
+                .map(|site| site.nesting_depth >= NESTED_BRANCH_DEPTH)
+                .unwrap_or(false)
+        })
+    });
+    seed.best_distance = distance_to_uncovered(ctx, outcome, covered);
+    seed
+}
+
+/// Smallest normalised distance from an outcome to any branch edge the
+/// supplied coverage view reports uncovered (branch-distance feedback,
+/// §IV-B).
+pub(crate) fn distance_to_uncovered(
+    ctx: &CampaignContext,
+    outcome: &SequenceOutcome,
+    covered: &dyn Fn(&BranchEdge) -> bool,
+) -> Option<f64> {
+    if !ctx.config.enable_branch_distance {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    for trace in &outcome.traces {
+        let map = DistanceMap::from_trace(trace);
+        for (edge, d) in &map.distances {
+            if covered(edge) {
+                continue;
+            }
+            best = Some(match best {
+                Some(b) if b <= *d => b,
+                _ => *d,
+            });
+        }
+    }
+    best
+}
+
+/// Program counters of the deeply nested branches an outcome covers (the
+/// mask-probe baseline comparison of Algorithm 2).
+pub(crate) fn outcome_nested_pcs(
+    ctx: &CampaignContext,
+    outcome: &SequenceOutcome,
+) -> BTreeSet<usize> {
+    outcome
+        .traces
+        .iter()
+        .flat_map(|t| t.branches.iter())
+        .filter(|b| {
+            ctx.cfg_graph
+                .branches
+                .get(&b.pc)
+                .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
+                .unwrap_or(false)
+        })
+        .map(|b| b.pc)
+        .collect()
+}
+
+/// Program counters of the deeply nested branches a seed covers.
+pub(crate) fn seed_nested_pcs(ctx: &CampaignContext, seed: &Seed) -> BTreeSet<usize> {
+    let index = ctx.harness.edge_index();
+    seed.covered_edge_ids
+        .iter()
+        .filter_map(|id| index.edge_of(*id))
+        .filter(|e| {
+            ctx.cfg_graph
+                .branches
+                .get(&e.pc)
+                .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
+                .unwrap_or(false)
+        })
+        .map(|e| e.pc)
+        .collect()
 }
 
 /// A decorrelated per-worker RNG seed (SplitMix64 over the campaign seed and
@@ -484,17 +647,17 @@ impl CampaignContext {
 /// single-lane campaign is deterministic no matter how many fleet threads
 /// execute it.
 pub(crate) struct Worker {
-    ctx: Arc<CampaignContext>,
-    harness: ContractHarness,
-    rng: SmallRng,
-    monitor: CampaignMonitor,
+    pub(crate) ctx: Arc<CampaignContext>,
+    pub(crate) harness: ContractHarness,
+    pub(crate) rng: SmallRng,
+    pub(crate) monitor: CampaignMonitor,
     /// Reusable interpreter scratch (stacks, memory buffers, trace capacity
     /// hints); threaded through every execution so the hot loop allocates
     /// nothing per transaction.
-    frame: ExecFrame,
+    pub(crate) frame: ExecFrame,
     /// Final world of the last mutant this worker executed (feeds the
     /// campaign-level oracles at finalisation).
-    last_world: Option<WorldState>,
+    pub(crate) last_world: Option<WorldState>,
     /// Local mirror of the scheduling state for the sharded draw path
     /// (unused — and empty — when `FuzzerConfig::sharded_scheduler()` is
     /// off).
@@ -547,7 +710,15 @@ impl Worker {
         (self.monitor, self.last_world, self.rng)
     }
 
-    fn time_exhausted(&self, params: &RunParams) -> bool {
+    /// Move the lane's monitor out, leaving a fresh one behind. The round
+    /// bootstrap promotes lane 0's monitor (which holds the initial-corpus
+    /// and, on resume, the checkpointed observations) to the round runtime's
+    /// master monitor.
+    pub(crate) fn take_monitor(&mut self) -> CampaignMonitor {
+        std::mem::replace(&mut self.monitor, CampaignMonitor::new())
+    }
+
+    pub(crate) fn time_exhausted(&self, params: &RunParams) -> bool {
         self.ctx
             .config
             .time_budget_ms()
@@ -572,22 +743,10 @@ impl Worker {
         new_edges: usize,
         coverage: &CoverageMap,
     ) -> Seed {
-        let mut seed = Seed::new(sequence);
-        seed.covered_edge_ids = outcome.covered_edge_ids.clone();
-        seed.new_edges = new_edges;
-        seed.weight = seed_weight(&outcome.traces, &self.ctx.cfg_graph);
-        seed.hits_nested_branch = outcome.traces.iter().any(|t| {
-            t.branches.iter().any(|b| {
-                self.ctx
-                    .cfg_graph
-                    .branches
-                    .get(&b.pc)
-                    .map(|site| site.nesting_depth >= NESTED_BRANCH_DEPTH)
-                    .unwrap_or(false)
-            })
-        });
-        seed.best_distance = self.best_distance_to_uncovered(outcome, coverage);
-        seed
+        let index = self.harness.edge_index();
+        make_seed(&self.ctx, sequence, outcome, new_edges, &|edge| {
+            coverage.contains_edge(edge, index)
+        })
     }
 
     /// Smallest normalised distance from this outcome to any branch edge that
@@ -598,91 +757,21 @@ impl Worker {
         outcome: &SequenceOutcome,
         coverage: &CoverageMap,
     ) -> Option<f64> {
-        if !self.ctx.config.enable_branch_distance {
-            return None;
-        }
         let index = self.harness.edge_index();
-        let mut best: Option<f64> = None;
-        for trace in &outcome.traces {
-            let map = DistanceMap::from_trace(trace);
-            for (edge, d) in &map.distances {
-                if coverage.contains_edge(edge, index) {
-                    continue;
-                }
-                best = Some(match best {
-                    Some(b) if b <= *d => b,
-                    _ => *d,
-                });
-            }
-        }
-        best
+        distance_to_uncovered(&self.ctx, outcome, &|edge| {
+            coverage.contains_edge(edge, index)
+        })
     }
 
     /// Mutate a seed: byte-level mask-guided mutation on one transaction,
     /// occasionally combined with a structural sequence mutation.
     fn mutate_seed(&mut self, seed: &Seed) -> Sequence {
-        let mut sequence = seed.sequence.clone();
-        if sequence.is_empty() {
-            return self.ctx.generator.generate(
-                &self.harness.compiled.abi,
-                &mut self.rng,
-                &self.ctx.interesting,
-            );
-        }
-
-        // Structural mutation with 30% probability (ordering is preserved when
-        // sequence-aware mutation is on).
-        if self.rng.gen_bool(0.3) {
-            sequence = self.ctx.generator.mutate_structure(
-                &sequence,
-                &self.harness.compiled.abi,
-                &mut self.rng,
-                &self.ctx.interesting,
-            );
-        }
-
-        // Byte-level mutation of one (or a few) transactions.
-        let mutations = 1 + self.rng.gen_range(0..2usize);
-        for _ in 0..mutations {
-            let idx = self.rng.gen_range(0..sequence.txs.len());
-            let stream = sequence.txs[idx].stream.clone();
-            // The mask biases mutation away from the frozen critical words;
-            // a small fraction of mutants still ignores it so the frozen
-            // positions themselves can eventually be explored (flipping the
-            // guarded branch needs exactly that).
-            let use_mask = self.ctx.config.enable_mask_guidance && self.rng.gen_bool(0.8);
-            let mask = seed
-                .masks
-                .as_ref()
-                .and_then(|m| m.get(idx))
-                .cloned()
-                .filter(|_| use_mask)
-                .unwrap_or_else(|| MutationMask::allow_all(stream.len()));
-            if let Some(mutated) =
-                mutate_masked(&stream, &mask, &mut self.rng, &self.ctx.interesting)
-            {
-                sequence.txs[idx].stream = mutated;
-            }
-        }
-        sequence
+        mutate_sequence(&self.ctx, &mut self.rng, seed)
     }
 
     /// Program counters of the deeply nested branches a seed covers.
     fn nested_branch_pcs(&self, seed: &Seed) -> BTreeSet<usize> {
-        let index = self.harness.edge_index();
-        seed.covered_edge_ids
-            .iter()
-            .filter_map(|id| index.edge_of(*id))
-            .filter(|e| {
-                self.ctx
-                    .cfg_graph
-                    .branches
-                    .get(&e.pc)
-                    .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
-                    .unwrap_or(false)
-            })
-            .map(|e| e.pc)
-            .collect()
+        seed_nested_pcs(&self.ctx, seed)
     }
 
     /// Execute the initial plan-derived corpus (the lane-0 prologue, run
@@ -752,6 +841,9 @@ impl Worker {
         params: &RunParams,
         pause: &PauseState,
     ) -> LaneStep {
+        if self.ctx.config.round_mode() {
+            return crate::round::round_step(self, shared, params, pause);
+        }
         if shared.executions() >= self.ctx.config.max_executions() || self.time_exhausted(params) {
             self.retire(shared);
             return LaneStep::Finished;
@@ -944,7 +1036,7 @@ impl Worker {
     /// contribute coverage and can be admitted as seeds — so masking is
     /// deferred until a seed has proven interesting (selected more than
     /// once) and enough budget remains to amortise the probes.
-    fn wants_masks(config: &FuzzerConfig, seed: &Seed, remaining: usize) -> bool {
+    pub(crate) fn wants_masks(config: &FuzzerConfig, seed: &Seed, remaining: usize) -> bool {
         let probe_cost_estimate = 4 * MAX_MASK_WORDS * seed.sequence.len().clamp(1, MAX_MASK_TXS);
         config.enable_mask_guidance
             && seed.masks.is_none()
@@ -1046,7 +1138,7 @@ impl Worker {
                     s.interesting_shapes.push(shape);
                 }
                 s.admit(seed);
-                s.maybe_cull(self.ctx.config.scheduler.corpus_cull_interval);
+                s.maybe_cull(self.ctx.config.effective_cull_interval());
                 // Publish the corpus change so every shard resyncs before
                 // its next draw (bumped while the lock is held).
                 shared.epoch.bump();
@@ -1110,20 +1202,7 @@ impl Worker {
                     self.observe(&outcome);
 
                     // Does the probe still hit the nested branches the seed hit?
-                    let probe_nested: BTreeSet<usize> = outcome
-                        .traces
-                        .iter()
-                        .flat_map(|t| t.branches.iter())
-                        .filter(|b| {
-                            self.ctx
-                                .cfg_graph
-                                .branches
-                                .get(&b.pc)
-                                .map(|s| s.nesting_depth >= NESTED_BRANCH_DEPTH)
-                                .unwrap_or(false)
-                        })
-                        .map(|b| b.pc)
-                        .collect();
+                    let probe_nested = outcome_nested_pcs(&self.ctx, &outcome);
                     let keeps_nested = baseline_nested.is_subset(&probe_nested);
 
                     // Merge the probe's coverage (atomic bitmap, no lock) and
@@ -1138,7 +1217,7 @@ impl Worker {
                         );
                         let mut s = shared.state.lock().expect("campaign state poisoned");
                         s.admit(admitted);
-                        s.maybe_cull(self.ctx.config.scheduler.corpus_cull_interval);
+                        s.maybe_cull(self.ctx.config.effective_cull_interval());
                         shared.epoch.bump();
                     }
                     // Or does it reduce the distance to an uncovered branch?
@@ -1171,6 +1250,7 @@ pub(crate) fn build_report(
     params: &RunParams,
     workers: usize,
     empty_corpus: bool,
+    finding_records: Vec<FindingRecord>,
 ) -> CampaignReport {
     let s = shared.state.lock().expect("campaign state poisoned");
     let executions = shared.executions();
@@ -1208,6 +1288,21 @@ pub(crate) fn build_report(
             running_max = point.covered_edges;
         }
     }
+    // Content digests: every seed's snapshot encoding in corpus order, and
+    // the raw coverage bitmap words. Cheap (one pass over state that is
+    // already resident) and profile-independent; the round-mode determinism
+    // suite compares them across worker counts.
+    let mut corpus_digest = Digest::new();
+    let mut encoded = Vec::new();
+    for seed in &s.corpus {
+        encoded.clear();
+        put_seed(&mut encoded, seed);
+        corpus_digest.eat(&encoded);
+    }
+    let mut coverage_digest = Digest::new();
+    for word in shared.coverage.snapshot_words() {
+        coverage_digest.eat_u64(word);
+    }
     CampaignReport {
         contract: ctx.harness.compiled.name.clone(),
         covered_edges: covered,
@@ -1221,6 +1316,9 @@ pub(crate) fn build_report(
         elapsed_ms,
         interesting_shapes: s.interesting_shapes.clone(),
         workers,
+        corpus_digest: corpus_digest.finish(),
+        coverage_digest: coverage_digest.finish(),
+        finding_records,
     }
 }
 

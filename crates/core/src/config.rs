@@ -7,6 +7,29 @@
 //! `with_*`/`without_*` builder on [`FuzzerConfig`] itself, so driver code
 //! never has to construct the sub-structs by hand.
 
+/// Which reproducibility contract a campaign runs under.
+///
+/// * [`DeterminismProfile::FreeRunning`] (the default) is the historical
+///   engine: lanes merge results as they finish, so only `workers == 1`
+///   campaigns are bit-identical run to run. Fastest, but multi-worker
+///   results depend on thread scheduling.
+/// * [`DeterminismProfile::Round`] runs the campaign as barrier-synchronized
+///   *rounds*: workers claim fixed-size mutant slots against a frozen view of
+///   the corpus and coverage, and a round barrier applies admissions,
+///   coverage merges, finding records and timeline points in stable slot
+///   order. Every slot's RNG derives from `(rng_seed, round, slot)` — never
+///   from which thread ran it — so **any worker count produces the
+///   bit-identical report, corpus and findings**, and recorded findings can
+///   be replayed from a [`crate::CampaignSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeterminismProfile {
+    /// Lanes run freely; only `workers == 1` is reproducible.
+    #[default]
+    FreeRunning,
+    /// Barrier-synchronized rounds; reproducible at any worker count.
+    Round,
+}
+
 /// The campaign's stopping conditions: an execution budget and an optional
 /// wall-clock budget (whichever is hit first stops the campaign).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,14 +70,31 @@ pub struct SchedulerConfig {
     /// Corpus culling: every `n` admissions (counted inside the campaign
     /// state lock), drop seeds whose covered-edge set is a subset of another
     /// seed's with no better branch-distance score. `None` (the default)
-    /// disables culling — dropping seeds reshuffles corpus indices and thus
-    /// the seed-selection RNG stream, which would break the `workers == 1`
-    /// bit-identity contract, so culling is strictly opt-in for long
-    /// campaigns whose corpus would otherwise grow without bound.
+    /// leaves the choice to the determinism profile: free-running campaigns
+    /// run without culling — dropping seeds reshuffles corpus indices and
+    /// thus the seed-selection RNG stream, which would break the
+    /// `workers == 1` bit-identity contract — while round-mode campaigns
+    /// enable it at [`DEFAULT_ROUND_CULL_INTERVAL`] (round mode keys every
+    /// write-back by stable seed uid and freezes the draw view per round, so
+    /// culling cannot perturb determinism there). Set an explicit interval
+    /// with [`FuzzerConfig::with_corpus_culling`], or pin culling off with
+    /// [`FuzzerConfig::without_corpus_culling`].
     pub corpus_cull_interval: Option<usize>,
     /// Base mutation energy per selected seed (number of mutants generated).
     pub base_energy: usize,
+    /// Round mode: how many mutant slots each round schedules. Workers claim
+    /// slots dynamically, so any `workers` count drains the same slots; a
+    /// slot count divisible by the worker count leaves no barrier tail.
+    pub round_slots: usize,
+    /// Round mode: how many executions one slot performs against the round's
+    /// frozen corpus/coverage view. `round_slots * round_batch` executions
+    /// per round bound how stale the frozen view can get.
+    pub round_batch: usize,
 }
+
+/// Culling cadence round mode defaults to when
+/// [`SchedulerConfig::corpus_cull_interval`] is `None`.
+pub const DEFAULT_ROUND_CULL_INTERVAL: usize = 32;
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
@@ -63,6 +103,8 @@ impl Default for SchedulerConfig {
             shard_resync_draws: 64,
             corpus_cull_interval: None,
             base_energy: 8,
+            round_slots: 8,
+            round_batch: 64,
         }
     }
 }
@@ -107,6 +149,9 @@ pub struct FuzzerConfig {
     pub budget: BudgetConfig,
     /// Seed-scheduler tuning (draw path, resync cadence, culling, energy).
     pub scheduler: SchedulerConfig,
+    /// Reproducibility contract: free-running (fastest, `workers == 1` only)
+    /// or barrier-synchronized rounds (bit-identical at any worker count).
+    pub determinism: DeterminismProfile,
     /// Use the data-flow-derived transaction ordering and RAW-based sequence
     /// repetition. When disabled, sequences are randomly ordered.
     pub enable_sequence_aware: bool,
@@ -156,6 +201,7 @@ impl Default for FuzzerConfig {
             workers: default_workers(),
             budget: BudgetConfig::default(),
             scheduler: SchedulerConfig::default(),
+            determinism: DeterminismProfile::FreeRunning,
             enable_sequence_aware: true,
             enable_sequence_repetition: true,
             enable_mask_guidance: true,
@@ -198,6 +244,23 @@ impl FuzzerConfig {
     /// `self.scheduler.sharded`).
     pub fn sharded_scheduler(&self) -> bool {
         self.scheduler.sharded
+    }
+
+    /// Whether the campaign runs under the reproducible round profile.
+    pub fn round_mode(&self) -> bool {
+        self.determinism == DeterminismProfile::Round
+    }
+
+    /// The corpus-culling interval actually in effect: an explicit setting
+    /// wins; otherwise round mode culls at [`DEFAULT_ROUND_CULL_INTERVAL`]
+    /// and free-running leaves culling off (see
+    /// [`SchedulerConfig::corpus_cull_interval`]).
+    pub fn effective_cull_interval(&self) -> Option<usize> {
+        match self.scheduler.corpus_cull_interval {
+            Some(every) => Some(every),
+            None if self.round_mode() => Some(DEFAULT_ROUND_CULL_INTERVAL),
+            None => None,
+        }
     }
 
     /// Ablation: disable the sequence-aware mutation only.
@@ -278,6 +341,43 @@ impl FuzzerConfig {
     /// is off by default.
     pub fn with_corpus_culling(mut self, admissions: usize) -> Self {
         self.scheduler.corpus_cull_interval = Some(admissions.max(1));
+        self
+    }
+
+    /// Pin corpus culling off (builder style), overriding the round-mode
+    /// default. Implemented as an explicit interval that can never elapse,
+    /// so [`FuzzerConfig::effective_cull_interval`] still reports the
+    /// explicit choice.
+    pub fn without_corpus_culling(mut self) -> Self {
+        self.scheduler.corpus_cull_interval = Some(usize::MAX);
+        self
+    }
+
+    /// Select the determinism profile (builder style).
+    pub fn with_determinism(mut self, profile: DeterminismProfile) -> Self {
+        self.determinism = profile;
+        self
+    }
+
+    /// Run the campaign in barrier-synchronized round mode (builder style):
+    /// bit-identical reports, corpus and findings at any worker count. See
+    /// [`DeterminismProfile::Round`].
+    pub fn with_round_mode(mut self) -> Self {
+        self.determinism = DeterminismProfile::Round;
+        self
+    }
+
+    /// Set how many mutant slots each round schedules (builder style).
+    /// Clamped to at least one.
+    pub fn with_round_slots(mut self, slots: usize) -> Self {
+        self.scheduler.round_slots = slots.max(1);
+        self
+    }
+
+    /// Set how many executions one round slot performs (builder style).
+    /// Clamped to at least one.
+    pub fn with_round_batch(mut self, executions: usize) -> Self {
+        self.scheduler.round_batch = executions.max(1);
         self
     }
 }
@@ -367,5 +467,63 @@ mod tests {
         assert_eq!(cfg.scheduler.corpus_cull_interval, Some(1));
         let cfg = FuzzerConfig::mufuzz(10).with_corpus_culling(32);
         assert_eq!(cfg.scheduler.corpus_cull_interval, Some(32));
+    }
+
+    #[test]
+    fn determinism_defaults_free_running_and_round_mode_toggles() {
+        let cfg = FuzzerConfig::default();
+        assert_eq!(cfg.determinism, DeterminismProfile::FreeRunning);
+        assert!(!cfg.round_mode());
+        let round = FuzzerConfig::mufuzz(10).with_round_mode();
+        assert!(round.round_mode());
+        let back = round.with_determinism(DeterminismProfile::FreeRunning);
+        assert!(!back.round_mode());
+    }
+
+    #[test]
+    fn round_geometry_defaults_and_clamps() {
+        let cfg = FuzzerConfig::default();
+        assert_eq!(cfg.scheduler.round_slots, 8);
+        assert_eq!(cfg.scheduler.round_batch, 64);
+        let cfg = FuzzerConfig::mufuzz(10)
+            .with_round_slots(0)
+            .with_round_batch(0);
+        assert_eq!(cfg.scheduler.round_slots, 1);
+        assert_eq!(cfg.scheduler.round_batch, 1);
+        let cfg = FuzzerConfig::mufuzz(10)
+            .with_round_slots(3)
+            .with_round_batch(16);
+        assert_eq!(cfg.scheduler.round_slots, 3);
+        assert_eq!(cfg.scheduler.round_batch, 16);
+    }
+
+    #[test]
+    fn effective_cull_interval_is_profile_aware() {
+        // Free-running, unset: culling stays off.
+        assert_eq!(FuzzerConfig::default().effective_cull_interval(), None);
+        // Round mode, unset: culling defaults on.
+        assert_eq!(
+            FuzzerConfig::mufuzz(10)
+                .with_round_mode()
+                .effective_cull_interval(),
+            Some(DEFAULT_ROUND_CULL_INTERVAL)
+        );
+        // An explicit interval wins in either profile.
+        assert_eq!(
+            FuzzerConfig::mufuzz(10)
+                .with_round_mode()
+                .with_corpus_culling(7)
+                .effective_cull_interval(),
+            Some(7)
+        );
+        // `without_corpus_culling` pins the never-elapsing sentinel even
+        // under round mode.
+        assert_eq!(
+            FuzzerConfig::mufuzz(10)
+                .with_round_mode()
+                .without_corpus_culling()
+                .effective_cull_interval(),
+            Some(usize::MAX)
+        );
     }
 }

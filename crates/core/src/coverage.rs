@@ -228,6 +228,82 @@ impl CoverageMap {
     }
 }
 
+/// A single-threaded coverage bitmap for round mode's frozen slot views.
+///
+/// Each round slot mutates against the coverage state frozen at the round
+/// barrier plus its own discoveries; nothing is shared, so the atomic
+/// machinery of [`CoverageMap`] is unnecessary. The bit numbering matches
+/// `CoverageMap` word for word — a slot view is seeded directly from
+/// [`CoverageMap::snapshot_words`].
+///
+/// Edges the index cannot number are deliberately *not* tracked: a slot only
+/// uses its local map to decide candidacy, and the round barrier re-merges
+/// candidates into the shared map (which does track overflow), so nothing is
+/// lost — an unindexed edge simply cannot make a mutant a candidate.
+///
+/// ```
+/// use mufuzz::coverage::{CoverageMap, LocalCoverage};
+///
+/// let shared = CoverageMap::new(130);
+/// shared.merge_ids(&[0, 129]);
+/// let mut local = LocalCoverage::from_words(130, shared.snapshot_words());
+/// assert_eq!(local.merge_ids(&[0, 1, 129]), 1); // only id 1 is new locally
+/// assert!(local.is_covered(1));
+/// assert_eq!(local.covered_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalCoverage {
+    /// One bit per dense edge id, packed into 64-bit words.
+    words: Vec<u64>,
+    /// Number of addressable edge ids (bits).
+    edges: usize,
+}
+
+impl LocalCoverage {
+    /// Build a local map of `edges` ids seeded from packed bitmap words (as
+    /// exported by [`CoverageMap::snapshot_words`]). Missing words are
+    /// zero-filled and excess words dropped, mirroring
+    /// [`CoverageMap::restore`].
+    pub fn from_words(edges: usize, mut words: Vec<u64>) -> LocalCoverage {
+        words.resize(edges.div_ceil(64), 0);
+        LocalCoverage { words, edges }
+    }
+
+    /// Merge a batch of covered edge ids and return how many were new to
+    /// this local map. `ids` is expected sorted; out-of-range ids are
+    /// ignored — the same contract as [`CoverageMap::merge_ids`].
+    pub fn merge_ids(&mut self, ids: &[u32]) -> usize {
+        let mut new_edges = 0usize;
+        for &id in ids {
+            if (id as usize) < self.edges {
+                let (word, bit) = ((id / 64) as usize, 1u64 << (id % 64));
+                if self.words[word] & bit == 0 {
+                    self.words[word] |= bit;
+                    new_edges += 1;
+                }
+            }
+        }
+        new_edges
+    }
+
+    /// True if the edge with dense id `id` is covered in this local view.
+    pub fn is_covered(&self, id: u32) -> bool {
+        let (word, bit) = ((id / 64) as usize, id % 64);
+        (id as usize) < self.edges && self.words[word] & (1u64 << bit) != 0
+    }
+
+    /// True if `edge` is covered in this local view, resolving it through
+    /// `index`. Unindexed edges report uncovered (see the type docs).
+    pub fn contains_edge(&self, edge: &BranchEdge, index: &EdgeIndex) -> bool {
+        index.id_of(edge).is_some_and(|id| self.is_covered(id))
+    }
+
+    /// Number of covered edges in this local view.
+    pub fn covered_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +401,39 @@ mod tests {
         // Restoring into a larger capacity zero-fills the missing words.
         let grown = CoverageMap::restore(300, &map.snapshot_words());
         assert_eq!(grown.covered_count(), 5);
+    }
+
+    #[test]
+    fn local_coverage_mirrors_the_shared_bitmap_semantics() {
+        let shared = CoverageMap::new(200);
+        shared.merge_ids(&[0, 63, 64, 199]);
+        let mut local = LocalCoverage::from_words(200, shared.snapshot_words());
+        assert_eq!(local.covered_count(), 4);
+        // Only locally-new bits count; out-of-range ids are ignored.
+        assert_eq!(local.merge_ids(&[0, 1, 199, 200, 5_000]), 1);
+        assert!(local.is_covered(1));
+        assert!(!local.is_covered(2));
+        assert!(!local.is_covered(5_000));
+        assert_eq!(local.covered_count(), 5);
+        // Local merges never leak back into the shared map.
+        assert_eq!(shared.covered_count(), 4);
+        // Growing the capacity zero-fills; a fresh slot view from the
+        // updated shared words sees exactly the shared population.
+        let grown = LocalCoverage::from_words(300, shared.snapshot_words());
+        assert_eq!(grown.covered_count(), 4);
+    }
+
+    #[test]
+    fn local_coverage_reports_unindexed_edges_uncovered() {
+        let cfg = ControlFlowGraph::build(&[]);
+        let index = EdgeIndex::build(&cfg, Address::from_low_u64(1));
+        let local = LocalCoverage::from_words(index.len(), Vec::new());
+        let edge = BranchEdge {
+            code_address: Address::from_low_u64(2),
+            pc: 7,
+            taken: true,
+        };
+        assert!(!local.contains_edge(&edge, &index));
     }
 
     #[test]

@@ -28,8 +28,13 @@
 //! execution budget is reserved atomically so `report.executions` never
 //! exceeds `max_executions()`. With `workers == 1` campaigns are fully
 //! deterministic for a given `rng_seed`, and can be paused, checkpointed to
-//! a versioned [`CampaignSnapshot`] and resumed bit-identically. The full
-//! concurrency model is documented in `docs/ARCHITECTURE.md`.
+//! a versioned [`CampaignSnapshot`] and resumed bit-identically. Selecting
+//! [`DeterminismProfile::Round`] extends that contract to *every* worker
+//! count: the campaign advances in barrier-synchronized rounds of fixed
+//! work slots, any parallelism produces the bit-identical report, corpus
+//! and findings, and each finding carries a replayable [`FindingRecord`]
+//! ([`replay_finding`]). The full concurrency model is documented in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!
@@ -63,17 +68,23 @@ pub mod executor;
 pub mod fleet;
 pub mod input;
 pub mod mutation;
+pub mod replay;
+mod round;
 pub mod seedgen;
 pub mod service;
 pub mod snapshot;
 
 pub use campaign::{CampaignReport, CoveragePoint, Fuzzer};
-pub use config::{default_workers, BudgetConfig, FuzzerConfig, SchedulerConfig};
-pub use coverage::CoverageMap;
+pub use config::{
+    default_workers, BudgetConfig, DeterminismProfile, FuzzerConfig, SchedulerConfig,
+    DEFAULT_ROUND_CULL_INTERVAL,
+};
+pub use coverage::{CoverageMap, LocalCoverage};
 pub use executor::{ContractHarness, HarnessError, SequenceOutcome};
 pub use fleet::{pool_threads_spawned, FleetPool};
 pub use input::{Seed, Sequence, TxInput};
 pub use mutation::{InterestingValues, MutationMask, MutationOp};
+pub use replay::{replay_finding, FindingRecord, ReplayError, ReplayOutcome};
 pub use seedgen::SequenceGenerator;
 pub use service::{
     CampaignEvent, CampaignHandle, CampaignProgress, CampaignService, SubmitOptions,
@@ -92,7 +103,10 @@ pub use mufuzz_oracles as oracles;
 /// point.
 pub mod prelude {
     pub use crate::campaign::{CampaignReport, CoveragePoint, Fuzzer};
-    pub use crate::config::{default_workers, BudgetConfig, FuzzerConfig, SchedulerConfig};
+    pub use crate::config::{
+        default_workers, BudgetConfig, DeterminismProfile, FuzzerConfig, SchedulerConfig,
+    };
+    pub use crate::replay::{replay_finding, FindingRecord, ReplayError, ReplayOutcome};
     pub use crate::service::{
         CampaignEvent, CampaignHandle, CampaignProgress, CampaignService, SubmitOptions,
     };

@@ -30,7 +30,12 @@ use crate::coverage::{CoverageMap, SchedulerEpoch};
 use crate::energy::marginal_coverage_priority;
 use crate::executor::HarnessError;
 use crate::fleet::{FleetPool, WorkerCtx};
-use crate::snapshot::{contract_fingerprint, CampaignSnapshot, LaneState, SnapshotError};
+use crate::replay::FindingRecord;
+use crate::round::RoundRt;
+use crate::snapshot::{
+    contract_fingerprint, CampaignSnapshot, LaneState, SnapshotError, PROFILE_FREE_RUNNING,
+    PROFILE_ROUND,
+};
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugClass, BugFinding, CampaignMonitor};
 use rand::rngs::SmallRng;
@@ -177,6 +182,12 @@ struct CampaignJob {
     finished_lanes: AtomicUsize,
     /// True when the job continues a checkpoint: skip the seeding prologue.
     resumed: bool,
+    /// Round index to restart from (zero for a fresh campaign); only
+    /// meaningful under the round profile.
+    resume_round: u64,
+    /// Replayable finding records restored from a checkpoint, handed to the
+    /// round runtime at bootstrap (round profile only).
+    resume_records: Mutex<Vec<FindingRecord>>,
     /// Campaign wall-clock frozen at the pause (what the checkpoint stores,
     /// so post-pause idle time never counts against the time budget).
     paused_elapsed_ms: AtomicU64,
@@ -270,15 +281,18 @@ impl CampaignService {
         }
         let shared = CampaignShared::new(ctx.harness.edge_index().len());
         let params = RunParams::new(&ctx, 0);
-        self.launch(ctx, shared, params, workers, options, false)
+        self.launch(ctx, shared, params, workers, options, false, 0, Vec::new())
     }
 
     /// Resume a checkpointed campaign; returns immediately with a handle.
     ///
-    /// The contract must fingerprint-match the snapshot and
-    /// `config.workers` must equal the snapshot's lane count. With one lane
-    /// and an unchanged configuration the resumed campaign continues
-    /// bit-for-bit where the checkpoint left off.
+    /// The contract must fingerprint-match the snapshot and the
+    /// configuration must select the snapshot's determinism profile. Under
+    /// the free-running profile `config.workers` must additionally equal the
+    /// snapshot's lane count, and with one lane an unchanged configuration
+    /// continues bit-for-bit where the checkpoint left off. Under the round
+    /// profile the snapshot is worker-count independent: it can resume at
+    /// *any* `config.workers` and still produce the bit-identical campaign.
     pub fn resume(
         &self,
         compiled: CompiledContract,
@@ -299,18 +313,40 @@ impl CampaignService {
         if contract_fingerprint(&compiled) != snapshot.contract_hash {
             return Err(SnapshotError::ContractMismatch);
         }
-        let lane_count = config.workers.max(1);
-        if snapshot.lanes() != lane_count {
-            return Err(SnapshotError::LaneMismatch {
-                snapshot: snapshot.lanes(),
-                config: lane_count,
+        let config_profile = if config.round_mode() {
+            PROFILE_ROUND
+        } else {
+            PROFILE_FREE_RUNNING
+        };
+        if snapshot.profile != config_profile {
+            return Err(SnapshotError::ProfileMismatch {
+                snapshot: snapshot.profile,
+                config: config_profile,
             });
         }
-        if snapshot.lane_states.len() != snapshot.lanes() {
+        let lane_count = config.workers.max(1);
+        if snapshot.profile == PROFILE_FREE_RUNNING {
+            // Free-running lanes have their own RNG/monitor streams, so the
+            // resume must rebuild exactly as many as were frozen.
+            if snapshot.lanes() != lane_count {
+                return Err(SnapshotError::LaneMismatch {
+                    snapshot: snapshot.lanes(),
+                    config: lane_count,
+                });
+            }
+            if snapshot.lane_states.len() != snapshot.lanes() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{} lane states for {} lanes",
+                    snapshot.lane_states.len(),
+                    snapshot.lanes()
+                )));
+            }
+        } else if snapshot.lane_states.len() != 1 {
+            // A round checkpoint freezes one lane state: lane 0's RNG and
+            // the master monitor. The worker count is free to change.
             return Err(SnapshotError::Corrupt(format!(
-                "{} lane states for {} lanes",
-                snapshot.lane_states.len(),
-                snapshot.lanes()
+                "{} lane states for a round-mode snapshot (expected 1)",
+                snapshot.lane_states.len()
             )));
         }
         let ctx = Arc::new(CampaignContext::prepare(compiled, config)?);
@@ -318,11 +354,26 @@ impl CampaignService {
         if snapshot.coverage_edges as usize != edges {
             return Err(SnapshotError::ContractMismatch);
         }
-        let workers: Vec<Worker> = snapshot
-            .lane_states
-            .iter()
-            .map(|lane| Worker::restore(Arc::clone(&ctx), lane.rng, lane.monitor.clone()))
-            .collect();
+        let workers: Vec<Worker> = if snapshot.profile == PROFILE_ROUND {
+            let master = &snapshot.lane_states[0];
+            let mut lanes = Vec::with_capacity(lane_count);
+            lanes.push(Worker::restore(
+                Arc::clone(&ctx),
+                master.rng,
+                master.monitor.clone(),
+            ));
+            for index in 1..lane_count {
+                let seed = derive_worker_seed(ctx.config.rng_seed, index);
+                lanes.push(Worker::new(Arc::clone(&ctx), SmallRng::seed_from_u64(seed)));
+            }
+            lanes
+        } else {
+            snapshot
+                .lane_states
+                .iter()
+                .map(|lane| Worker::restore(Arc::clone(&ctx), lane.rng, lane.monitor.clone()))
+                .collect()
+        };
         let shared = CampaignShared {
             state: Mutex::new(SharedCampaignState {
                 corpus: snapshot.corpus.clone(),
@@ -335,15 +386,26 @@ impl CampaignService {
             coverage: CoverageMap::restore(edges, &snapshot.coverage_words),
             reserved: AtomicUsize::new(snapshot.executions()),
             epoch: SchedulerEpoch::new(),
+            round: Mutex::new(None),
         };
         // Force every lane's (empty) shard mirror to resync from the
         // restored corpus before its first draw. Resyncs consume no
         // randomness, so this is invisible to the lanes' RNG streams.
         shared.epoch.bump();
         let params = RunParams::new(&ctx, snapshot.elapsed_ms());
-        Ok(self.launch(ctx, shared, params, workers, options, true))
+        Ok(self.launch(
+            ctx,
+            shared,
+            params,
+            workers,
+            options,
+            true,
+            snapshot.round,
+            snapshot.records.clone(),
+        ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
         ctx: Arc<CampaignContext>,
@@ -352,6 +414,8 @@ impl CampaignService {
         workers: Vec<Worker>,
         options: SubmitOptions,
         resumed: bool,
+        resume_round: u64,
+        resume_records: Vec<FindingRecord>,
     ) -> CampaignHandle {
         let (sender, events) = channel();
         let _ = sender.send(CampaignEvent::Started {
@@ -366,6 +430,8 @@ impl CampaignService {
             active: AtomicUsize::new(1),
             finished_lanes: AtomicUsize::new(0),
             resumed,
+            resume_round,
+            resume_records: Mutex::new(resume_records),
             paused_elapsed_ms: AtomicU64::new(0),
             priority: Mutex::new(PriorityWindow {
                 score: LAUNCH_PRIORITY,
@@ -503,19 +569,45 @@ impl CampaignHandle {
                 s.culled,
             )
         };
-        let mut lane_states = Vec::with_capacity(job.lanes.len());
-        for slot in &job.lanes {
-            let slot = slot.lock().expect("campaign lane poisoned");
-            let worker = slot.as_ref().ok_or(SnapshotError::NotPaused)?;
-            lane_states.push(LaneState {
-                rng: worker.rng_state(),
-                monitor: worker.monitor_state(),
-            });
-        }
+        // A round checkpoint freezes one lane state — lane 0's RNG plus the
+        // runtime's master monitor — and the round index and record list;
+        // the snapshot can then resume at any worker count. Free-running
+        // checkpoints freeze every lane's private stream as before.
+        let round_state = {
+            let guard = job.shared.round.lock().expect("round state poisoned");
+            guard
+                .as_ref()
+                .map(|rt| (rt.round, rt.monitor.export_state(), rt.records.clone()))
+        };
+        let (profile, round, lane_states, records) = match round_state {
+            Some((round, monitor, records)) => {
+                let slot = job.lanes[0].lock().expect("campaign lane poisoned");
+                let worker = slot.as_ref().ok_or(SnapshotError::NotPaused)?;
+                let lane_states = vec![LaneState {
+                    rng: worker.rng_state(),
+                    monitor,
+                }];
+                (PROFILE_ROUND, round, lane_states, records)
+            }
+            None => {
+                let mut lane_states = Vec::with_capacity(job.lanes.len());
+                for slot in &job.lanes {
+                    let slot = slot.lock().expect("campaign lane poisoned");
+                    let worker = slot.as_ref().ok_or(SnapshotError::NotPaused)?;
+                    lane_states.push(LaneState {
+                        rng: worker.rng_state(),
+                        monitor: worker.monitor_state(),
+                    });
+                }
+                (PROFILE_FREE_RUNNING, 0, lane_states, Vec::new())
+            }
+        };
         Ok(CampaignSnapshot {
             contract_hash: contract_fingerprint(&job.ctx.harness.compiled),
             rng_seed: job.ctx.config.rng_seed,
             lanes: job.lanes.len() as u32,
+            profile,
+            round,
             max_executions: job.ctx.config.max_executions() as u64,
             executions: job.shared.executions() as u64,
             elapsed_ms: job.paused_elapsed_ms.load(Ordering::Relaxed),
@@ -528,6 +620,7 @@ impl CampaignHandle {
             timeline,
             shapes,
             lane_states,
+            records,
         })
     }
 }
@@ -554,6 +647,31 @@ fn bootstrap(job: Arc<CampaignJob>, wctx: &WorkerCtx) {
         // Contract with no callable functions: report immediately.
         finalize(&job, true);
         return;
+    }
+    if job.ctx.config.round_mode() {
+        // Promote lane 0's monitor (seeding-prologue and, on resume,
+        // checkpointed observations) to the round runtime's master monitor
+        // and freeze the first round before any lane starts claiming slots.
+        let master = {
+            let mut slot = job.lanes[0].lock().expect("campaign lane poisoned");
+            slot.as_mut().expect("lane worker missing").take_monitor()
+        };
+        let records = std::mem::take(
+            &mut *job
+                .resume_records
+                .lock()
+                .expect("campaign resume records poisoned"),
+        );
+        let rt = RoundRt::install(
+            master,
+            job.resume_round,
+            records,
+            &job.ctx,
+            &job.shared,
+            &job.params,
+            &job.pause,
+        );
+        *job.shared.round.lock().expect("round state poisoned") = Some(rt);
     }
     let lane_count = job.lanes.len();
     job.active.store(lane_count, Ordering::SeqCst);
@@ -606,9 +724,15 @@ fn lane_done(job: &Arc<CampaignJob>) {
     }
 }
 
-/// Merge the lanes' monitors, run the campaign-level oracles, build the
-/// report and publish completion.
+/// Merge the lanes' monitors (or take the round runtime's master state),
+/// run the campaign-level oracles, build the report and publish completion.
 fn finalize(job: &Arc<CampaignJob>, empty_corpus: bool) {
+    let round_rt = job
+        .shared
+        .round
+        .lock()
+        .expect("round state poisoned")
+        .take();
     let mut merged: Option<CampaignMonitor> = None;
     let mut last_world = None;
     let mut rng0 = None;
@@ -636,7 +760,16 @@ fn finalize(job: &Arc<CampaignJob>, empty_corpus: bool) {
             }
         });
     }
-    let mut monitor = merged.expect("campaign has at least one lane");
+    // Round mode keeps its observations in the runtime's master monitor —
+    // committed in slot order, so they are identical at any worker count —
+    // while the lane monitors stay empty.
+    let (mut monitor, finding_records) = match round_rt {
+        Some(rt) => {
+            last_world = rt.last_world;
+            (rt.monitor, rt.records)
+        }
+        None => (merged.expect("campaign has at least one lane"), Vec::new()),
+    };
     monitor.finalize(
         &job.ctx.harness.compiled,
         last_world.as_ref().or(Some(job.ctx.harness.base_world())),
@@ -648,6 +781,7 @@ fn finalize(job: &Arc<CampaignJob>, empty_corpus: bool) {
         &job.params,
         job.lanes.len(),
         empty_corpus,
+        finding_records,
     );
     {
         let mut sink = job.sink.lock().expect("campaign sink poisoned");
@@ -705,7 +839,15 @@ fn refresh_priority(job: &Arc<CampaignJob>) -> f64 {
 /// (the lane lock is released before the sink lock is taken), so lane tasks
 /// and the handle can pump concurrently without deadlock.
 fn pump_events(job: &Arc<CampaignJob>, lane: usize) {
-    let findings = {
+    let findings = if job.ctx.config.round_mode() {
+        // Round-mode findings live in the runtime's master monitor (lane
+        // monitors stay empty); they become visible at round commits.
+        let guard = job.shared.round.lock().expect("round state poisoned");
+        guard
+            .as_ref()
+            .map(|rt| rt.monitor.findings())
+            .unwrap_or_default()
+    } else {
         let slot = job.lanes[lane].lock().expect("campaign lane poisoned");
         match slot.as_ref() {
             Some(worker) => worker.findings(),

@@ -18,6 +18,7 @@ use crate::campaign::CoveragePoint;
 use crate::executor::HarnessError;
 use crate::input::{Seed, Sequence, TxInput};
 use crate::mutation::MutationMask;
+use crate::replay::FindingRecord;
 use mufuzz_lang::CompiledContract;
 use mufuzz_oracles::{BugClass, BugFinding, MonitorState};
 use std::error::Error;
@@ -25,8 +26,15 @@ use std::fmt;
 
 /// Magic bytes opening every serialized snapshot.
 const MAGIC: [u8; 4] = *b"MUFZ";
-/// Current snapshot format version.
-const VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the determinism profile
+/// tag and the round counter; version-1 streams (pre-round-mode) are rejected
+/// rather than guessed at.
+const VERSION: u32 = 2;
+
+/// Wire tag for [`DeterminismProfile::FreeRunning`](crate::DeterminismProfile).
+pub(crate) const PROFILE_FREE_RUNNING: u8 = 0;
+/// Wire tag for [`DeterminismProfile::Round`](crate::DeterminismProfile).
+pub(crate) const PROFILE_ROUND: u8 = 1;
 
 /// Everything needed to resume a paused campaign.
 ///
@@ -39,6 +47,8 @@ pub struct CampaignSnapshot {
     pub(crate) contract_hash: u64,
     pub(crate) rng_seed: u64,
     pub(crate) lanes: u32,
+    pub(crate) profile: u8,
+    pub(crate) round: u64,
     pub(crate) max_executions: u64,
     pub(crate) executions: u64,
     pub(crate) elapsed_ms: u64,
@@ -51,6 +61,10 @@ pub struct CampaignSnapshot {
     pub(crate) timeline: Vec<CoveragePoint>,
     pub(crate) shapes: Vec<String>,
     pub(crate) lane_states: Vec<LaneState>,
+    /// Replayable finding records accumulated so far (round mode only;
+    /// empty under the free-running profile). Carried so a resumed round
+    /// campaign finishes with the same record list as an uninterrupted one.
+    pub(crate) records: Vec<FindingRecord>,
 }
 
 /// Frozen per-lane state: the lane's RNG stream and oracle monitor.
@@ -91,6 +105,8 @@ impl CampaignSnapshot {
         put_u64(&mut w, self.contract_hash);
         put_u64(&mut w, self.rng_seed);
         put_u32(&mut w, self.lanes);
+        w.push(self.profile);
+        put_u64(&mut w, self.round);
         put_u64(&mut w, self.max_executions);
         put_u64(&mut w, self.executions);
         put_u64(&mut w, self.elapsed_ms);
@@ -124,6 +140,10 @@ impl CampaignSnapshot {
             }
             put_monitor(&mut w, &lane.monitor);
         }
+        put_u64(&mut w, self.records.len() as u64);
+        for record in &self.records {
+            put_bytes(&mut w, &record.to_bytes());
+        }
         w
     }
 
@@ -142,6 +162,13 @@ impl CampaignSnapshot {
         let contract_hash = r.u64()?;
         let rng_seed = r.u64()?;
         let lanes = r.u32()?;
+        let profile = r.u8()?;
+        if profile > PROFILE_ROUND {
+            return Err(SnapshotError::Corrupt(format!(
+                "bad determinism profile tag {profile}"
+            )));
+        }
+        let round = r.u64()?;
         let max_executions = r.u64()?;
         let executions = r.u64()?;
         let elapsed_ms = r.u64()?;
@@ -181,6 +208,15 @@ impl CampaignSnapshot {
             let monitor = take_monitor(&mut r)?;
             lane_states.push(LaneState { rng, monitor });
         }
+        let n_records = r.len()?;
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let raw = r.byte_vec()?;
+            records.push(
+                FindingRecord::from_bytes(&raw)
+                    .map_err(|e| SnapshotError::Corrupt(format!("bad finding record: {e}")))?,
+            );
+        }
         if r.pos != bytes.len() {
             return Err(SnapshotError::Corrupt("trailing bytes".into()));
         }
@@ -188,6 +224,8 @@ impl CampaignSnapshot {
             contract_hash,
             rng_seed,
             lanes,
+            profile,
+            round,
             max_executions,
             executions,
             elapsed_ms,
@@ -200,6 +238,7 @@ impl CampaignSnapshot {
             timeline,
             shapes,
             lane_states,
+            records,
         })
     }
 }
@@ -216,6 +255,14 @@ pub enum SnapshotError {
     /// The snapshot was taken from a different contract than the one
     /// offered for resume.
     ContractMismatch,
+    /// The snapshot was taken under a different determinism profile than
+    /// the resume configuration selects.
+    ProfileMismatch {
+        /// Profile tag frozen in the snapshot (`0` free-running, `1` round).
+        snapshot: u8,
+        /// Profile tag the resume configuration selects.
+        config: u8,
+    },
     /// The resume configuration's lane count differs from the snapshot's.
     LaneMismatch {
         /// Lanes frozen in the snapshot.
@@ -247,6 +294,18 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::ContractMismatch => {
                 write!(f, "snapshot was taken from a different contract")
+            }
+            SnapshotError::ProfileMismatch { snapshot, config } => {
+                let name = |tag: &u8| match *tag {
+                    PROFILE_ROUND => "round",
+                    _ => "free-running",
+                };
+                write!(
+                    f,
+                    "snapshot was taken under the {} profile but the config selects {}",
+                    name(snapshot),
+                    name(config)
+                )
             }
             SnapshotError::LaneMismatch { snapshot, config } => write!(
                 f,
@@ -290,28 +349,56 @@ pub(crate) fn contract_fingerprint(compiled: &CompiledContract) -> u64 {
     hash
 }
 
+/// An incremental FNV-1a hasher over the snapshot wire encoding — the digest
+/// primitive behind `CampaignReport`'s corpus/coverage digests and the
+/// finding-record integrity hash. Same offset basis and prime as
+/// [`contract_fingerprint`], kept tiny and dependency-free on purpose.
+#[derive(Debug, Clone)]
+pub(crate) struct Digest(u64);
+
+impl Digest {
+    pub(crate) fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 // ---------------------------------------------------------------------------
-// writer helpers
+// writer helpers (shared with the finding-record encoding in `replay`)
 // ---------------------------------------------------------------------------
 
-fn put_u32(w: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(w: &mut Vec<u8>, v: u32) {
     w.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(w: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(w: &mut Vec<u8>, v: u64) {
     w.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(w: &mut Vec<u8>, bytes: &[u8]) {
+pub(crate) fn put_bytes(w: &mut Vec<u8>, bytes: &[u8]) {
     put_u64(w, bytes.len() as u64);
     w.extend_from_slice(bytes);
 }
 
-fn put_str(w: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(w: &mut Vec<u8>, s: &str) {
     put_bytes(w, s.as_bytes());
 }
 
-fn put_seed(w: &mut Vec<u8>, seed: &Seed) {
+pub(crate) fn put_seed(w: &mut Vec<u8>, seed: &Seed) {
     put_u64(w, seed.uid);
     put_u64(w, seed.sequence.txs.len() as u64);
     for tx in &seed.sequence.txs {
@@ -377,13 +464,13 @@ fn put_monitor(w: &mut Vec<u8>, state: &MonitorState) {
 // reader helpers
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
         if end > self.bytes.len() {
             return Err(SnapshotError::Truncated);
@@ -393,21 +480,21 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
-    fn bool(&mut self) -> Result<bool, SnapshotError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, SnapshotError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -417,7 +504,7 @@ impl<'a> Reader<'a> {
 
     /// A length prefix, sanity-bounded by the bytes actually remaining so a
     /// corrupt length cannot drive a huge allocation.
-    fn len(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn len(&mut self) -> Result<usize, SnapshotError> {
         let n = self.u64()? as usize;
         if n > self.bytes.len().saturating_sub(self.pos) {
             return Err(SnapshotError::Truncated);
@@ -425,18 +512,18 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn byte_vec(&mut self) -> Result<Vec<u8>, SnapshotError> {
+    pub(crate) fn byte_vec(&mut self) -> Result<Vec<u8>, SnapshotError> {
         let n = self.len()?;
         Ok(self.take(n)?.to_vec())
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let raw = self.byte_vec()?;
         String::from_utf8(raw).map_err(|_| SnapshotError::Corrupt("invalid utf-8".into()))
     }
 }
 
-fn take_seed(r: &mut Reader<'_>) -> Result<Seed, SnapshotError> {
+pub(crate) fn take_seed(r: &mut Reader<'_>) -> Result<Seed, SnapshotError> {
     let uid = r.u64()?;
     let n_txs = r.len()?;
     let mut txs = Vec::with_capacity(n_txs);
@@ -549,6 +636,8 @@ mod tests {
             contract_hash: 0xDEAD_BEEF,
             rng_seed: 11,
             lanes: 1,
+            profile: PROFILE_ROUND,
+            round: 5,
             max_executions: 400,
             executions: 150,
             elapsed_ms: 1234,
@@ -578,6 +667,27 @@ mod tests {
                     held_balance: true,
                 },
             }],
+            records: vec![FindingRecord {
+                contract_hash: 0xDEAD_BEEF,
+                seed_uid: 7,
+                round: 4,
+                slot: 2,
+                workers: 4,
+                finding: BugFinding {
+                    class: BugClass::ALL[1],
+                    function: None,
+                    pc: 7,
+                    detail: "sample record".into(),
+                },
+                sequence: Sequence {
+                    txs: vec![TxInput {
+                        function: "invest".into(),
+                        sender_index: 0,
+                        stream: vec![9, 9],
+                    }],
+                },
+                outcome_digest: 0x0123_4567_89AB_CDEF,
+            }],
         }
     }
 
@@ -597,6 +707,31 @@ mod tests {
             CampaignSnapshot::from_bytes(&bytes),
             Err(SnapshotError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn bad_profile_tag_is_rejected() {
+        let mut snapshot = sample_snapshot();
+        snapshot.profile = 7;
+        assert!(matches!(
+            CampaignSnapshot::from_bytes(&snapshot.to_bytes()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_matches_the_fingerprint_basis() {
+        let mut a = Digest::new();
+        a.eat(b"ab");
+        let mut b = Digest::new();
+        b.eat(b"ba");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Digest::new();
+        c.eat_u64(0x0102_0304_0506_0708);
+        let mut d = Digest::new();
+        d.eat(&[8, 7, 6, 5, 4, 3, 2, 1]); // little-endian byte order
+        assert_eq!(c.finish(), d.finish());
+        assert_eq!(Digest::new().finish(), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Record-and-replay driver for round-mode findings.
+//!
+//! Round-mode campaigns attach a replayable [`FindingRecord`] to every
+//! trace-based finding: the exact mutant sequence, its `(seed uid, round,
+//! slot)` provenance and an outcome digest, integrity-hashed into a small
+//! binary blob. Together with a `CampaignSnapshot` checkpointed from the
+//! same campaign, any finding can be re-demonstrated later — on a different
+//! machine, at a different worker count — and verified bit-identical.
+//!
+//! ```text
+//! cargo run --release --example replay -- --record out/
+//! cargo run --release --example replay -- --replay out/finding-0.record --snapshot out/campaign.snapshot
+//! ```
+
+use mufuzz::{
+    replay_finding, CampaignProgress, CampaignService, CampaignSnapshot, FindingRecord,
+    FuzzerConfig, SubmitOptions,
+};
+use mufuzz_lang::compile_source;
+use std::path::Path;
+
+/// The classic reentrancy piggy bank: `smash` pays out through a raw call
+/// before zeroing the savings.
+const SOURCE: &str = "contract PiggyBank {
+    uint256 savings;
+    function deposit() public payable { savings += msg.value; }
+    function smash() public {
+        msg.sender.call.value(address(this).balance)();
+        savings = 0;
+    }
+}";
+
+/// Round-mode campaign config shared by record and replay: small rounds so
+/// the checkpoint lands at a mid-campaign barrier.
+fn config() -> FuzzerConfig {
+    FuzzerConfig::mufuzz(400)
+        .with_rng_seed(9)
+        .with_workers(4)
+        .with_round_mode()
+        .with_round_slots(4)
+        .with_round_batch(16)
+}
+
+/// Run the demo campaign, checkpoint it at a round barrier, finish it, and
+/// write `campaign.snapshot` plus one `finding-N.record` per finding.
+fn record(dir: &Path) {
+    std::fs::create_dir_all(dir).expect("output directory");
+    let service = CampaignService::new(2);
+
+    // Pause mid-campaign: the checkpoint is the anchor replay validates
+    // records against, so it must predate none of the recorded seed uids.
+    let compiled = compile_source(SOURCE).expect("contract compiles");
+    let handle = service
+        .submit_with(compiled, config(), SubmitOptions::pause_at(200))
+        .expect("campaign deploys");
+    handle.join();
+    match handle.poll() {
+        CampaignProgress::Paused { executions } => {
+            println!("paused at the round barrier after {executions} executions");
+        }
+        other => panic!("expected a paused campaign, got {other:?}"),
+    }
+    let snapshot = handle.checkpoint().expect("paused campaign checkpoints");
+    let snap_path = dir.join("campaign.snapshot");
+    std::fs::write(&snap_path, snapshot.to_bytes()).expect("snapshot writes");
+    println!(
+        "wrote {} ({} executions, {} seeds)",
+        snap_path.display(),
+        snapshot.executions(),
+        snapshot.corpus_size()
+    );
+
+    // Resume and run the campaign to completion to collect its findings.
+    let compiled = compile_source(SOURCE).expect("contract compiles");
+    let report = service
+        .resume(compiled, config(), &snapshot)
+        .expect("snapshot resumes")
+        .wait();
+    println!(
+        "campaign finished: {} executions, {} findings, {} replayable records",
+        report.executions,
+        report.findings.len(),
+        report.finding_records.len()
+    );
+    for (i, rec) in report.finding_records.iter().enumerate() {
+        let path = dir.join(format!("finding-{i}.record"));
+        std::fs::write(&path, rec.to_bytes()).expect("record writes");
+        println!(
+            "wrote {}: {:?} via seed uid {} (round {}, slot {})",
+            path.display(),
+            rec.finding.class,
+            rec.seed_uid,
+            rec.round,
+            rec.slot
+        );
+    }
+}
+
+/// Re-execute one recorded finding against its snapshot and verify it.
+fn replay(record_path: &Path, snapshot_path: &Path) {
+    let record_bytes = std::fs::read(record_path).expect("record reads");
+    let record = match FindingRecord::from_bytes(&record_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", record_path.display());
+            std::process::exit(1);
+        }
+    };
+    let snapshot_bytes = std::fs::read(snapshot_path).expect("snapshot reads");
+    let snapshot = match CampaignSnapshot::from_bytes(&snapshot_bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", snapshot_path.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replaying {:?} from round {} slot {} (found at {} workers) ...",
+        record.finding.class, record.round, record.slot, record.workers
+    );
+    let compiled = compile_source(SOURCE).expect("contract compiles");
+    match replay_finding(compiled, &config(), &snapshot, &record) {
+        Ok(outcome) => {
+            println!(
+                "reproduced: {} txs succeeded, {} edges covered, verdict {}",
+                outcome.successes,
+                outcome.covered_edges,
+                if outcome.verdict_reproduced {
+                    "REPRODUCED"
+                } else {
+                    "NOT reproduced"
+                }
+            );
+            for finding in &outcome.findings {
+                println!(
+                    "  {:?} in {} at pc {}",
+                    finding.class,
+                    finding.function.as_deref().unwrap_or("<campaign>"),
+                    finding.pc
+                );
+            }
+            if !outcome.verdict_reproduced {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    match (flag("--record"), flag("--replay"), flag("--snapshot")) {
+        (Some(dir), None, None) => record(Path::new(&dir)),
+        (None, Some(rec), Some(snap)) => replay(Path::new(&rec), Path::new(&snap)),
+        _ => {
+            eprintln!(
+                "usage: replay --record <dir>\n       replay --replay <finding.record> --snapshot <campaign.snapshot>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

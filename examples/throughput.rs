@@ -69,6 +69,19 @@ fn campaign(workers: usize, executions: usize, sharded: bool) -> CampaignReport 
         .run()
 }
 
+/// The same N-worker campaign under the barrier-synchronized round profile:
+/// what reproducibility costs relative to free-running workers.
+fn round_campaign(workers: usize, executions: usize) -> CampaignReport {
+    let compiled = compile_source(SOURCE).expect("contract should compile");
+    let config = FuzzerConfig::mufuzz(executions)
+        .with_rng_seed(42)
+        .with_workers(workers)
+        .with_round_mode();
+    Fuzzer::new(compiled, config)
+        .expect("deployment should succeed")
+        .run()
+}
+
 /// Straight-line local-arithmetic kernel for the interpreter A/B: an
 /// unrolled run of `x = x * c1 + c2` statements over memory-resident
 /// locals. Scheduler, corpus and branch-record costs are identical across
@@ -245,6 +258,25 @@ fn main() {
         sharded.execs_per_sec() / global.execs_per_sec()
     );
 
+    // The determinism A/B: the same N-worker campaign under the round
+    // profile. The barriers and frozen corpus views buy cross-worker-count
+    // reproducibility; the contract is that they cost at most 25% of the
+    // free-running throughput.
+    let round = round_campaign(workers, executions);
+    let round_cost = 1.0 - round.execs_per_sec() / sharded.execs_per_sec();
+    println!(
+        "round mode: {} execs in {} ms -> {:.0} execs/sec ({:.1}% cost vs free-running)",
+        round.executions,
+        round.elapsed_ms,
+        round.execs_per_sec(),
+        round_cost * 100.0
+    );
+    assert!(
+        round.execs_per_sec() >= 0.75 * sharded.execs_per_sec(),
+        "round mode costs {:.1}% throughput vs free-running (budget is 25%)",
+        round_cost * 100.0
+    );
+
     // The interpreter A/B: the raw-harness kernel, block lowering off vs
     // on. Every per-instruction gas charge, stack bounds check and dispatch
     // the lowering and its superinstructions remove shows up directly here.
@@ -273,6 +305,7 @@ fn main() {
         concat!(
             "{{\n  \"benchmark\": \"piggybank\",\n  \"budget\": {},\n",
             "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {},\n",
+            "  \"round_mode\": {},\n",
             "  \"predecoded\": {},\n  \"block_lowered\": {},\n",
             "  \"fleet_sequential\": {},\n  \"fleet_concurrent\": {}\n}}\n"
         ),
@@ -280,6 +313,7 @@ fn main() {
         json_entry(&single, true),
         json_entry(&sharded, true),
         json_entry(&global, false),
+        json_entry(&round, true),
         tier_json(false, predecoded),
         tier_json(true, block_lowered),
         fleet_json(1, seq_total, seq_ms),

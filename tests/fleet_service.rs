@@ -10,7 +10,7 @@
 
 use mufuzz::{
     CampaignEvent, CampaignProgress, CampaignReport, CampaignService, CampaignSnapshot,
-    FuzzerConfig, SnapshotError, SubmitOptions,
+    DeterminismProfile, FuzzerConfig, SnapshotError, SubmitOptions,
 };
 use mufuzz_corpus::contracts;
 use mufuzz_lang::compile_source;
@@ -125,10 +125,10 @@ fn resume_reproduces_the_historical_snapshot_constants() {
 fn mismatched_snapshot_version_is_rejected() {
     let snapshot = checkpoint_at(11, 100);
     let mut bytes = snapshot.to_bytes();
-    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
     match CampaignSnapshot::from_bytes(&bytes) {
-        Err(SnapshotError::UnsupportedVersion(2)) => {}
-        other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        Err(SnapshotError::UnsupportedVersion(9)) => {}
+        other => panic!("expected UnsupportedVersion(9), got {other:?}"),
     }
 }
 
@@ -233,6 +233,153 @@ fn finding_events_match_the_final_report() {
         "streamed {streamed} findings, report has {}",
         report.findings.len()
     );
+}
+
+/// Round-mode config used by the multi-worker checkpoint tests: small
+/// rounds so a 400-execution campaign crosses several barriers and the
+/// pause lands at a genuine mid-campaign round boundary.
+fn round_config(seed: u64, workers: usize) -> FuzzerConfig {
+    FuzzerConfig::mufuzz(400)
+        .with_rng_seed(seed)
+        .with_workers(workers)
+        .with_determinism(DeterminismProfile::Round)
+        .with_round_slots(4)
+        .with_round_batch(16)
+}
+
+/// Pause a round-mode crowdsale campaign at the barrier after `pause_at`
+/// executions and checkpoint it.
+fn round_checkpoint_at(seed: u64, workers: usize, pause_at: usize) -> CampaignSnapshot {
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(2);
+    let handle = service
+        .submit_with(
+            compiled,
+            round_config(seed, workers),
+            SubmitOptions::pause_at(pause_at),
+        )
+        .unwrap();
+    handle.join();
+    match handle.poll() {
+        CampaignProgress::Paused { executions } => {
+            assert!(
+                executions >= pause_at && executions < 400,
+                "paused at {executions}, expected in [{pause_at}, 400)"
+            );
+        }
+        other => panic!("expected a paused campaign, got {other:?}"),
+    }
+    handle
+        .checkpoint()
+        .expect("paused round campaign checkpoints")
+}
+
+/// Every worker-count-independent dimension of two round-mode reports is
+/// bit-identical (wall-clock stamps and the `workers` field may differ).
+fn assert_round_reports_identical(a: &CampaignReport, b: &CampaignReport, label: &str) {
+    assert_eq!(a.executions, b.executions, "{label}: executions");
+    assert_eq!(a.covered_edges, b.covered_edges, "{label}: covered_edges");
+    assert_eq!(a.corpus_size, b.corpus_size, "{label}: corpus_size");
+    assert_eq!(a.culled_seeds, b.culled_seeds, "{label}: culled_seeds");
+    assert_eq!(a.corpus_digest, b.corpus_digest, "{label}: corpus digest");
+    assert_eq!(
+        a.coverage_digest, b.coverage_digest,
+        "{label}: coverage digest"
+    );
+    assert_eq!(a.findings, b.findings, "{label}: findings");
+    assert_eq!(
+        a.interesting_shapes, b.interesting_shapes,
+        "{label}: shapes"
+    );
+    assert_eq!(a.timeline.len(), b.timeline.len(), "{label}: timeline");
+    for (ra, rb) in a.timeline.iter().zip(&b.timeline) {
+        assert_eq!(ra.executions, rb.executions, "{label}: timeline executions");
+        assert_eq!(
+            ra.covered_edges, rb.covered_edges,
+            "{label}: timeline coverage"
+        );
+    }
+    assert_eq!(
+        a.finding_records.len(),
+        b.finding_records.len(),
+        "{label}: finding records"
+    );
+    for (ra, rb) in a.finding_records.iter().zip(&b.finding_records) {
+        assert_eq!(ra.seed_uid, rb.seed_uid, "{label}: record uid");
+        assert_eq!(ra.round, rb.round, "{label}: record round");
+        assert_eq!(ra.slot, rb.slot, "{label}: record slot");
+        assert_eq!(ra.sequence, rb.sequence, "{label}: record trace");
+        assert_eq!(
+            ra.outcome_digest, rb.outcome_digest,
+            "{label}: record digest"
+        );
+    }
+}
+
+/// The multi-worker checkpoint contract: pausing a `workers == 4` round-mode
+/// campaign at a round barrier, round-tripping the snapshot through bytes
+/// and resuming reproduces the uninterrupted run bit for bit — including
+/// when the resumed campaign runs at a *different* worker count than the
+/// one that was paused.
+#[test]
+fn round_mode_pause_resume_is_bit_identical_at_four_workers() {
+    for seed in [11, 42] {
+        let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+        let service = CampaignService::new(2);
+        let baseline = service
+            .submit(compiled, round_config(seed, 4))
+            .unwrap()
+            .wait();
+        assert_eq!(baseline.executions, 400, "seed {seed}: full budget");
+
+        let snapshot = round_checkpoint_at(seed, 4, 200);
+        let bytes = snapshot.to_bytes();
+        let restored = CampaignSnapshot::from_bytes(&bytes).expect("round snapshot parses");
+        assert_eq!(restored, snapshot);
+
+        // Resume at the original worker count and at a different one: the
+        // round profile makes the lane count irrelevant to the result.
+        for workers in [4usize, 2] {
+            let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+            let service = CampaignService::new(2);
+            let resumed = service
+                .resume(compiled, round_config(seed, workers), &restored)
+                .expect("round snapshot resumes at any worker count")
+                .wait();
+            assert_round_reports_identical(
+                &baseline,
+                &resumed,
+                &format!("seed {seed} resumed at {workers} workers"),
+            );
+        }
+    }
+}
+
+/// A round-mode snapshot only resumes under the round profile (and vice
+/// versa): the determinism contract would silently break if a free-running
+/// resume continued a round campaign.
+#[test]
+fn resume_rejects_a_determinism_profile_mismatch() {
+    let snapshot = round_checkpoint_at(11, 4, 200);
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    let service = CampaignService::new(1);
+    match service.resume(compiled, crowdsale_config(11), &snapshot) {
+        Err(SnapshotError::ProfileMismatch {
+            snapshot: 1,
+            config: 0,
+        }) => {}
+        other => panic!("expected ProfileMismatch, got {:?}", other.err()),
+    }
+
+    let free_snapshot = checkpoint_at(11, 150);
+    let compiled = compile_source(&contracts::crowdsale().source).unwrap();
+    match service.resume(compiled, round_config(11, 1), &free_snapshot) {
+        Err(SnapshotError::ProfileMismatch {
+            snapshot: 0,
+            config: 1,
+        }) => {}
+        other => panic!("expected ProfileMismatch, got {:?}", other.err()),
+    }
 }
 
 /// Many campaigns on one service: all complete, each is deterministic, and
