@@ -46,7 +46,7 @@ use crate::program::{BlockInfo, BlockProgram, DecodedInstr, DecodedProgram, Fuse
 use crate::state::{HostBehaviour, WorldState};
 use crate::trace::{
     ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
-    SelfDestructEvent, StorageWrite, Taint,
+    OpcodeSet, SelfDestructEvent, StorageWrite, Taint,
 };
 use crate::types::Address;
 use crate::u256::U256;
@@ -78,6 +78,14 @@ pub struct EvmConfig {
     /// prevalidated deopt to it); the knob exists for the three-way decoder
     /// differential suite and A/B benchmarks.
     pub block_lowering: bool,
+    /// Drive the block-lowered tier through the direct-threaded dispatch
+    /// table: every [`crate::BlockUnit`] carries a handler function pointer
+    /// pre-resolved at lowering time, so the hot loop is an indirect call
+    /// chain instead of a `match` over the unit tag. Semantics are identical
+    /// to the `match` dispatcher by construction (both are asserted
+    /// bit-identical by the differential suite); the knob selects which one
+    /// runs. No effect unless [`EvmConfig::block_lowering`] is on.
+    pub direct_threaded: bool,
 }
 
 impl Default for EvmConfig {
@@ -89,31 +97,32 @@ impl Default for EvmConfig {
             call_stipend: 2_300,
             legacy_decode: false,
             block_lowering: true,
+            direct_threaded: true,
         }
     }
 }
 
 /// The result of running a single call frame.
-struct FrameResult {
-    halt: HaltReason,
-    output: Vec<u8>,
-    gas_left: u64,
+pub(crate) struct FrameResult {
+    pub(crate) halt: HaltReason,
+    pub(crate) output: Vec<u8>,
+    pub(crate) gas_left: u64,
 }
 
 /// Resumable state of the dispatch loop: everything live across a deopt from
 /// the block-billed fast path to per-instruction execution. Stack, memory
 /// and call-argument buffers live in the frame's [`DepthScratch`] and carry
 /// over untouched.
-struct LoopState {
-    cursor: usize,
-    gas_left: u64,
-    last_cmp: Option<Comparison>,
-    caller_guard_seen: bool,
+pub(crate) struct LoopState {
+    pub(crate) cursor: usize,
+    pub(crate) gas_left: u64,
+    pub(crate) last_cmp: Option<Comparison>,
+    pub(crate) caller_guard_seen: bool,
     /// Indices into `trace.calls` for calls made by this frame whose result
     /// has not yet been consumed by a `JUMPI`.
-    unchecked_calls: Vec<usize>,
+    pub(crate) unchecked_calls: Vec<usize>,
     /// Indices of truncated arithmetic events produced in this frame.
-    truncated_events: Vec<usize>,
+    pub(crate) truncated_events: Vec<usize>,
 }
 
 impl LoopState {
@@ -131,7 +140,7 @@ impl LoopState {
 }
 
 /// How one pass of the dispatch loop ended.
-enum FrameOutcome {
+pub(crate) enum FrameOutcome {
     /// The frame halted (normally or otherwise).
     Done(FrameResult),
     /// The block-billed fast path reached a block whose static-gas/stack
@@ -143,8 +152,8 @@ enum FrameOutcome {
 /// One entry on the interpreter's internal call stack: which contract's code
 /// is executing at which depth. Used to detect re-entrancy.
 #[derive(Clone, Copy)]
-struct FrameInfo {
-    code_address: Address,
+pub(crate) struct FrameInfo {
+    pub(crate) code_address: Address,
 }
 
 /// One dispatch unit as the loop sees it, independent of how the code is
@@ -173,6 +182,11 @@ struct Fetched<'a> {
     /// Instruction index one past this unit (block view only) — the cursor a
     /// mid-block deopt hands to the per-instruction view.
     instr_next: u32,
+    /// Opcode-presence mask of the unit's constituents, precomputed at
+    /// lowering time (block view only): fused arms record the whole unit
+    /// into the trace with one bulk OR instead of one insert per
+    /// constituent.
+    mask: OpcodeSet,
     /// Set for superinstructions (block view only): the fused tag and the
     /// constituent instructions, in code order.
     fused: Option<(Fused, &'a [DecodedInstr])>,
@@ -246,6 +260,7 @@ impl CodeView for RawCode<'_> {
             tail: 0,
             head: 0,
             instr_next: 0,
+            mask: OpcodeSet::default(),
             fused: None,
         })
     }
@@ -276,6 +291,7 @@ impl CodeView for PredecodedCode<'_> {
             tail: 0,
             head: 0,
             instr_next: 0,
+            mask: OpcodeSet::default(),
             fused: None,
         })
     }
@@ -321,6 +337,7 @@ impl CodeView for BlockCode<'_> {
             tail: unit.tail,
             head: unit.head,
             instr_next: unit.instr_start + unit.instr_count,
+            mask: unit.mask,
             fused,
         })
     }
@@ -333,11 +350,11 @@ impl CodeView for BlockCode<'_> {
 
 /// Per-call-depth scratch buffers.
 #[derive(Debug, Default)]
-struct DepthScratch {
-    stack: Vec<(U256, Taint)>,
-    memory: Vec<u8>,
+pub(crate) struct DepthScratch {
+    pub(crate) stack: Vec<(U256, Taint)>,
+    pub(crate) memory: Vec<u8>,
     /// Staging buffer for the argument bytes of an outgoing call.
-    args: Vec<u8>,
+    pub(crate) args: Vec<u8>,
 }
 
 /// Reusable per-execution scratch space: operand stacks, memory buffers and
@@ -419,15 +436,15 @@ impl ExecFrame {
 
 /// The execution context of one call frame.
 #[derive(Clone, Copy)]
-struct FrameCtx<'a> {
-    code_address: Address,
-    storage_address: Address,
-    caller: Address,
-    origin: Address,
-    value: U256,
-    calldata: &'a [u8],
-    gas: u64,
-    depth: usize,
+pub(crate) struct FrameCtx<'a> {
+    pub(crate) code_address: Address,
+    pub(crate) storage_address: Address,
+    pub(crate) caller: Address,
+    pub(crate) origin: Address,
+    pub(crate) value: U256,
+    pub(crate) calldata: &'a [u8],
+    pub(crate) gas: u64,
+    pub(crate) depth: usize,
 }
 
 /// The EVM: executes messages against a mutable world state.
@@ -657,15 +674,33 @@ impl<'w> Evm<'w> {
         if owned.stack.capacity() == 0 {
             owned.stack.reserve(64);
         }
-        let outcome = self.run_frame_inner(
-            &BlockCode(program),
-            ctx,
-            frames,
-            trace,
-            scratch,
-            &mut owned,
-            LoopState::start(ctx.gas),
-        );
+        // Two dispatch strategies drive the same block program: the
+        // direct-threaded handler chain (default) and the `match` dispatcher
+        // (`run_frame_inner` over `BlockCode`). They are semantically
+        // identical by construction; the knob exists so the differential
+        // suite can pin them against each other.
+        let outcome = if self.config.direct_threaded {
+            crate::threaded::run(
+                self,
+                program,
+                ctx,
+                frames,
+                trace,
+                scratch,
+                &mut owned,
+                LoopState::start(ctx.gas),
+            )
+        } else {
+            self.run_frame_inner(
+                &BlockCode(program),
+                ctx,
+                frames,
+                trace,
+                scratch,
+                &mut owned,
+                LoopState::start(ctx.gas),
+            )
+        };
         let result = match outcome {
             FrameOutcome::Done(result) => result,
             FrameOutcome::Deopt(state) => {
@@ -840,16 +875,6 @@ impl<'w> Evm<'w> {
                     if trace.instr_count as usize + parts.len() > self.config.max_instructions {
                         deopt_unit!();
                     }
-                    // Each constituent still records its own trace entry,
-                    // exactly like unfused dispatch, at the point where the
-                    // per-instruction tier would have recorded it (before
-                    // the constituent's own arm can fault); gas and stack
-                    // bounds are covered by the block settle above.
-                    macro_rules! fstep {
-                        ($di:expr) => {
-                            trace.record_instr($di.op)
-                        };
-                    }
                     // Fused units ending in a gas-exact op (MLOAD/MSTORE/
                     // SHA3) carry a tail residual just like plain units: the
                     // arm un-charges it up front so dynamic billing sees the
@@ -872,92 +897,95 @@ impl<'w> Evm<'w> {
                         }};
                     }
                     // The binop core shared by every fused pattern ending in
-                    // an arithmetic/comparison/bitwise op: replicates the
-                    // generic arms' truncation events and comparison
-                    // bookkeeping, and evaluates to `(result, taint)`.
-                    // Operand roles mirror the generic arms: `a` is the
-                    // first pop (the later push), `b` the second.
+                    // an arithmetic/comparison/bitwise op — delegates to
+                    // `fused_binop_eval`, the same function the
+                    // direct-threaded handlers call.
                     macro_rules! fused_binop {
-                        ($op:expr, $pc:expr, $a:expr, $b:expr, $taint:expr) => {{
-                            let op = $op;
-                            let pc = $pc;
-                            let a = $a;
-                            let b = $b;
-                            let taint = $taint;
-                            match op {
-                                Opcode::Add | Opcode::Sub | Opcode::Mul => {
-                                    let (result, truncated) = match op {
-                                        Opcode::Add => a.overflowing_add(b),
-                                        Opcode::Sub => a.overflowing_sub(b),
-                                        _ => a.overflowing_mul(b),
-                                    };
-                                    if truncated {
-                                        truncated_events.push(trace.arith_events.len());
-                                        trace.arith_events.push(ArithEvent {
-                                            pc,
-                                            opcode: op,
-                                            truncated: true,
-                                            taint,
-                                            reached_storage: false,
-                                            depth,
-                                        });
-                                    }
-                                    let result_taint = if truncated {
-                                        taint | Taint::TRUNCATED
-                                    } else {
-                                        taint
-                                    };
-                                    (result, result_taint)
-                                }
-                                Opcode::Div | Opcode::Mod => {
-                                    let (q, r) = a.div_rem(b);
-                                    (if op == Opcode::Div { q } else { r }, taint)
-                                }
-                                Opcode::Sdiv | Opcode::Smod => {
-                                    let (q, r) = a.signed_div_rem(b);
-                                    (if op == Opcode::Sdiv { q } else { r }, taint)
-                                }
-                                Opcode::Lt
-                                | Opcode::Gt
-                                | Opcode::Slt
-                                | Opcode::Sgt
-                                | Opcode::Eq => {
-                                    let result = match op {
-                                        Opcode::Lt => a < b,
-                                        Opcode::Gt => a > b,
-                                        Opcode::Slt => a.signed_cmp(&b) == std::cmp::Ordering::Less,
-                                        Opcode::Sgt => {
-                                            a.signed_cmp(&b) == std::cmp::Ordering::Greater
-                                        }
-                                        _ => a == b,
-                                    };
-                                    let kind = match op {
-                                        Opcode::Lt | Opcode::Slt => CmpKind::Lt,
-                                        Opcode::Gt | Opcode::Sgt => CmpKind::Gt,
-                                        _ => CmpKind::Eq,
-                                    };
-                                    last_cmp = Some(Comparison {
-                                        pc,
-                                        kind,
-                                        lhs: a,
-                                        rhs: b,
-                                        taint,
-                                    });
-                                    (U256::from(result), taint)
-                                }
-                                Opcode::And => (a & b, taint),
-                                Opcode::Or => (a | b, taint),
-                                Opcode::Xor => (a ^ b, taint),
-                                _ => unreachable!("non-fusable binop"),
+                        ($op:expr, $pc:expr, $a:expr, $b:expr, $taint:expr) => {
+                            fused_binop_eval(
+                                $op,
+                                $a,
+                                $b,
+                                $taint,
+                                BinopSite {
+                                    pc: $pc,
+                                    depth,
+                                    trace: &mut *trace,
+                                    last_cmp: &mut last_cmp,
+                                    truncated_events: &mut truncated_events,
+                                },
+                            )
+                        };
+                    }
+                    // Record the whole unit's constituents at once: the
+                    // per-unit opcode mask and count were precomputed at
+                    // lowering time, so this is one counter bump plus four
+                    // word ORs however long the pattern is. Used on every
+                    // path where all constituents execute (or where the
+                    // faulting constituent is the unit's last — the
+                    // per-instruction tier records an instruction *before*
+                    // its arm can fault, so the full unit is recorded there
+                    // too).
+                    macro_rules! bulk {
+                        () => {
+                            trace.record_unit(instr.mask, parts.len() as u32)
+                        };
+                    }
+                    // A fault/OOG at constituent `$k` with later constituents
+                    // never reached: record exactly the prefix the
+                    // per-instruction tier would have recorded (each
+                    // instruction up to and including the faulting one).
+                    macro_rules! prefix {
+                        ($k:expr) => {
+                            for di in &parts[..=$k] {
+                                trace.record_instr(di.op);
                             }
+                        };
+                    }
+                    macro_rules! unit_fault {
+                        ($k:expr, $msg:expr) => {{
+                            prefix!($k);
+                            fault!($msg);
+                        }};
+                    }
+                    // Memory operation at constituent `$k` of a pattern with
+                    // constituents after it: fault/OOG paths record the
+                    // prefix before halting.
+                    macro_rules! unit_mem {
+                        ($k:expr, $res:expr) => {
+                            match $res {
+                                Ok(value) => value,
+                                Err(MemFail::Fault(msg)) => {
+                                    prefix!($k);
+                                    fault!(msg)
+                                }
+                                Err(MemFail::OutOfGas) => {
+                                    prefix!($k);
+                                    out_of_gas!()
+                                }
+                            }
+                        };
+                    }
+                    // Per-constituent static charge for arms that replay
+                    // billing exactly from the unit's `head` (the `MapSlot*`
+                    // family): by the time a charge can fail, an earlier
+                    // dynamic bill has drained the counter, and the
+                    // per-instruction tier would record constituent `$k` and
+                    // halt out-of-gas exactly here.
+                    macro_rules! charge {
+                        ($k:expr) => {{
+                            let cost = static_gas(parts[$k].op);
+                            if gas_left < cost {
+                                prefix!($k);
+                                out_of_gas!();
+                            }
+                            gas_left -= cost;
                         }};
                     }
                     match fused {
                         Fused::None => unreachable!("plain units carry no fused tag"),
                         Fused::PushPushBinop => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
-                            fstep!(parts[2]);
+                            bulk!();
                             let (result, taint) = fused_binop!(
                                 parts[2].op,
                                 parts[2].pc as usize,
@@ -969,8 +997,7 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushJump { target } => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             // The push/pop pair cancels: no stack traffic.
                             if target == u32::MAX {
                                 fault!("invalid jump destination");
@@ -978,8 +1005,7 @@ impl<'w> Evm<'w> {
                             cursor = target as usize;
                         }
                         Fused::PushJumpI { target } => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             let (cond, tc) = pop!();
                             let taken = !cond.is_zero();
                             let pc = parts[1].pc as usize;
@@ -1016,7 +1042,7 @@ impl<'w> Evm<'w> {
                             }
                         }
                         Fused::IsZeroPushJumpI { target } => {
-                            fstep!(parts[0]);
+                            bulk!();
                             let (x, tx) = pop!();
                             // ISZERO's comparison bookkeeping, at its own pc.
                             let is_bool = x.is_zero() || x == U256::ONE;
@@ -1029,8 +1055,6 @@ impl<'w> Evm<'w> {
                                     taint: tx,
                                 });
                             }
-                            fstep!(parts[1]);
-                            fstep!(parts[2]);
                             // The JUMPI condition is ISZERO's output: taken
                             // iff x is zero, tainted like x.
                             let taken = x.is_zero();
@@ -1069,38 +1093,38 @@ impl<'w> Evm<'w> {
                             }
                         }
                         Fused::DupSwap => {
-                            fstep!(parts[0]);
                             let n = match parts[0].op {
                                 Opcode::Dup(n) => n as usize,
                                 _ => unreachable!("DupSwap starts with DUP"),
                             };
                             if stack.len() < n {
-                                fault!("stack underflow");
+                                unit_fault!(0, "stack underflow");
+                            }
+                            if stack.len() >= 1024 {
+                                unit_fault!(0, "stack overflow");
                             }
                             let item = stack[stack.len() - n];
-                            push!(item.0, item.1);
-                            fstep!(parts[1]);
+                            stack.push(item);
                             let m = match parts[1].op {
                                 Opcode::Swap(m) => m as usize,
                                 _ => unreachable!("DupSwap ends with SWAP"),
                             };
                             if stack.len() < m + 1 {
-                                fault!("stack underflow");
+                                unit_fault!(1, "stack underflow");
                             }
+                            bulk!();
                             let top = stack.len() - 1;
                             stack.swap(top, top - m);
                             cursor = instr.next;
                         }
                         Fused::PushPush => {
-                            fstep!(parts[0]);
+                            bulk!();
                             push!(parts[0].imm, Taint::empty());
-                            fstep!(parts[1]);
                             push!(parts[1].imm, Taint::empty());
                             cursor = instr.next;
                         }
                         Fused::PushMLoad => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             gas_left += instr.tail;
                             let offset = match parts[0].imm.to_usize() {
                                 Some(o) => o,
@@ -1124,8 +1148,7 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushMStore => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             gas_left += instr.tail;
                             // The pushed offset cancels against MSTORE's
                             // first pop; only the value crosses the stack.
@@ -1149,16 +1172,13 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushCallDataLoad => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             let word = calldata_word(calldata, parts[0].imm);
                             push!(word, Taint::CALLDATA);
                             cursor = instr.next;
                         }
                         Fused::PushPushSha3 => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
-                            fstep!(parts[2]);
+                            bulk!();
                             gas_left += instr.tail;
                             // Pop order mirrors the generic arm: offset is
                             // the later push, length the earlier one.
@@ -1183,27 +1203,22 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushPushMLoadBinop => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
-                            fstep!(parts[2]);
                             gas_left += instr.tail;
                             let offset = match parts[1].imm.to_usize() {
                                 Some(o) => o,
-                                None => fault!("mload out of bounds"),
+                                None => unit_fault!(2, "mload out of bounds"),
                             };
                             let span = match mem_span(offset, 32) {
                                 Ok(s) => s,
-                                Err(e) => fault!(e),
+                                Err(e) => unit_fault!(2, e),
                             };
-                            mem_try!(ensure_memory(
-                                memory,
-                                span,
-                                self.config.max_memory,
-                                &mut gas_left
-                            ));
+                            unit_mem!(
+                                2,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            bulk!();
                             let mut word = [0u8; 32];
                             word.copy_from_slice(&memory[offset..offset + 32]);
-                            fstep!(parts[3]);
                             // `a` is the loaded local (taint: the pushed
                             // offset's, empty), `b` the pushed constant.
                             let (result, taint) = fused_binop!(
@@ -1218,26 +1233,22 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushMLoadBinop => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
                             gas_left += instr.tail;
                             let offset = match parts[0].imm.to_usize() {
                                 Some(o) => o,
-                                None => fault!("mload out of bounds"),
+                                None => unit_fault!(1, "mload out of bounds"),
                             };
                             let span = match mem_span(offset, 32) {
                                 Ok(s) => s,
-                                Err(e) => fault!(e),
+                                Err(e) => unit_fault!(1, e),
                             };
-                            mem_try!(ensure_memory(
-                                memory,
-                                span,
-                                self.config.max_memory,
-                                &mut gas_left
-                            ));
+                            unit_mem!(
+                                1,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            bulk!();
                             let mut word = [0u8; 32];
                             word.copy_from_slice(&memory[offset..offset + 32]);
-                            fstep!(parts[2]);
                             // The loaded local is the binop's first pop; the
                             // second operand was already on the stack.
                             let (b, tb) = pop!();
@@ -1253,27 +1264,22 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushMLoadPushBinop => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
                             gas_left += instr.tail;
                             let offset = match parts[0].imm.to_usize() {
                                 Some(o) => o,
-                                None => fault!("mload out of bounds"),
+                                None => unit_fault!(1, "mload out of bounds"),
                             };
                             let span = match mem_span(offset, 32) {
                                 Ok(s) => s,
-                                Err(e) => fault!(e),
+                                Err(e) => unit_fault!(1, e),
                             };
-                            mem_try!(ensure_memory(
-                                memory,
-                                span,
-                                self.config.max_memory,
-                                &mut gas_left
-                            ));
+                            unit_mem!(
+                                1,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            bulk!();
                             let mut word = [0u8; 32];
                             word.copy_from_slice(&memory[offset..offset + 32]);
-                            fstep!(parts[2]);
-                            fstep!(parts[3]);
                             // `a` is the pushed constant (the later push),
                             // `b` the loaded local.
                             let (result, taint) = fused_binop!(
@@ -1288,8 +1294,7 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushBinopPushMStore => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             let (b, tb) = pop!();
                             let (val, _tv) = fused_binop!(
                                 parts[1].op,
@@ -1298,8 +1303,6 @@ impl<'w> Evm<'w> {
                                 b,
                                 tb
                             );
-                            fstep!(parts[2]);
-                            fstep!(parts[3]);
                             gas_left += instr.tail;
                             let offset = match parts[2].imm.to_usize() {
                                 Some(o) => o,
@@ -1320,8 +1323,7 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::PushBinop => {
-                            fstep!(parts[0]);
-                            fstep!(parts[1]);
+                            bulk!();
                             let (b, tb) = pop!();
                             let (result, taint) = fused_binop!(
                                 parts[1].op,
@@ -1334,13 +1336,11 @@ impl<'w> Evm<'w> {
                             cursor = instr.next;
                         }
                         Fused::BinopPushMStore => {
-                            fstep!(parts[0]);
+                            bulk!();
                             let (a, ta) = pop!();
                             let (b, tb) = pop!();
                             let (val, _tv) =
                                 fused_binop!(parts[0].op, parts[0].pc as usize, a, b, ta | tb);
-                            fstep!(parts[1]);
-                            fstep!(parts[2]);
                             gas_left += instr.tail;
                             let offset = match parts[1].imm.to_usize() {
                                 Some(o) => o,
@@ -1375,9 +1375,7 @@ impl<'w> Evm<'w> {
                                 Some(o) if memory.len() >= 32 && o <= memory.len() - 32 => o,
                                 _ => deopt_unit!(),
                             };
-                            for di in parts {
-                                fstep!(di);
-                            }
+                            bulk!();
                             let mut word = [0u8; 32];
                             word.copy_from_slice(&memory[load_off..load_off + 32]);
                             // Operand roles mirror the unfused 3-unit chain:
@@ -1433,9 +1431,7 @@ impl<'w> Evm<'w> {
                                     }
                                     _ => deopt_unit!(),
                                 };
-                            for di in parts {
-                                fstep!(di);
-                            }
+                            bulk!();
                             let mut word = [0u8; 32];
                             word.copy_from_slice(&memory[off_b..off_b + 32]);
                             let b = U256::from_be_bytes(word);
@@ -1468,6 +1464,194 @@ impl<'w> Evm<'w> {
                             ));
                             memory[offset..offset + 32].copy_from_slice(&val.to_be_bytes());
                             recharge_tail!();
+                            cursor = instr.next;
+                        }
+                        Fused::PushSLoad => {
+                            bulk!();
+                            let slot = parts[0].imm;
+                            let val = self.world.storage(storage_address, slot);
+                            let stored_taint = self.world.storage_taint(storage_address, slot);
+                            push!(val, Taint::STORAGE | stored_taint);
+                            cursor = instr.next;
+                        }
+                        Fused::PushSStore => {
+                            bulk!();
+                            let slot = parts[0].imm;
+                            let (val, tv) = pop!();
+                            let old = self.world.storage(storage_address, slot);
+                            trace.storage_writes.push(StorageWrite {
+                                pc: parts[1].pc as usize,
+                                contract: storage_address,
+                                slot,
+                                old,
+                                new: val,
+                                taint: tv,
+                            });
+                            if tv.contains(Taint::TRUNCATED) {
+                                for &idx in &truncated_events {
+                                    if let Some(ev) = trace.arith_events.get_mut(idx) {
+                                        ev.reached_storage = true;
+                                    }
+                                }
+                            }
+                            self.world.set_storage(storage_address, slot, val, tv);
+                            cursor = instr.next;
+                        }
+                        Fused::StorageExprStore => {
+                            // A whole `storage_var = storage_var ⊕ c`
+                            // statement: load, fold, store back — all
+                            // statically billed (SLOAD and SSTORE have no
+                            // dynamic component in this schedule), with no
+                            // stack traffic at all.
+                            bulk!();
+                            let slot = parts[1].imm;
+                            let loaded = self.world.storage(storage_address, slot);
+                            let stored_taint = self.world.storage_taint(storage_address, slot);
+                            let (val, tv) = fused_binop!(
+                                parts[3].op,
+                                parts[3].pc as usize,
+                                loaded,
+                                parts[0].imm,
+                                Taint::STORAGE | stored_taint
+                            );
+                            let out_slot = parts[4].imm;
+                            let old = self.world.storage(storage_address, out_slot);
+                            trace.storage_writes.push(StorageWrite {
+                                pc: parts[5].pc as usize,
+                                contract: storage_address,
+                                slot: out_slot,
+                                old,
+                                new: val,
+                                taint: tv,
+                            });
+                            if tv.contains(Taint::TRUNCATED) {
+                                for &idx in &truncated_events {
+                                    if let Some(ev) = trace.arith_events.get_mut(idx) {
+                                        ev.reached_storage = true;
+                                    }
+                                }
+                            }
+                            self.world.set_storage(storage_address, out_slot, val, tv);
+                            cursor = instr.next;
+                        }
+                        Fused::MapSlotSha3 | Fused::MapSlotSLoad | Fused::MapSlotSStore => {
+                            // Mapping-slot addressing: stage the key and the
+                            // mapping's slot constant in memory, hash the
+                            // window, then (optionally) read or write the
+                            // derived slot. The pattern carries several
+                            // dynamic bills (two MSTORE expansions plus the
+                            // SHA3 span), so one tail anchor cannot make them
+                            // all exact: instead the arm rewinds to the exact
+                            // per-instruction counter at the unit's start
+                            // (re-charging `head`) and replays every
+                            // constituent's billing in order, recording the
+                            // executed prefix on any mid-pattern halt.
+                            gas_left += instr.head;
+                            charge!(0);
+                            charge!(1);
+                            let (key, _tk) = pop!();
+                            let off1 = match parts[0].imm.to_usize() {
+                                Some(o) => o,
+                                None => unit_fault!(1, "mstore out of bounds"),
+                            };
+                            let span = match mem_span(off1, 32) {
+                                Ok(s) => s,
+                                Err(e) => unit_fault!(1, e),
+                            };
+                            unit_mem!(
+                                1,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            memory[off1..off1 + 32].copy_from_slice(&key.to_be_bytes());
+                            charge!(2);
+                            charge!(3);
+                            charge!(4);
+                            let off2 = match parts[3].imm.to_usize() {
+                                Some(o) => o,
+                                None => unit_fault!(4, "mstore out of bounds"),
+                            };
+                            let span = match mem_span(off2, 32) {
+                                Ok(s) => s,
+                                Err(e) => unit_fault!(4, e),
+                            };
+                            unit_mem!(
+                                4,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            memory[off2..off2 + 32].copy_from_slice(&parts[2].imm.to_be_bytes());
+                            charge!(5);
+                            charge!(6);
+                            charge!(7);
+                            let (sha_off, sha_len) =
+                                match (parts[6].imm.to_usize(), parts[5].imm.to_usize()) {
+                                    (Some(o), Some(l)) if l <= self.config.max_memory => (o, l),
+                                    _ => unit_fault!(7, "sha3 out of bounds"),
+                                };
+                            let span = match mem_span(sha_off, sha_len) {
+                                Ok(s) => s,
+                                Err(e) => unit_fault!(7, e),
+                            };
+                            unit_mem!(
+                                7,
+                                ensure_memory(memory, span, self.config.max_memory, &mut gas_left)
+                            );
+                            let digest =
+                                U256::from_be_bytes(keccak256(&memory[sha_off..sha_off + sha_len]));
+                            match fused {
+                                Fused::MapSlotSha3 => {
+                                    // SHA3's push: both popped offsets carry
+                                    // the pushes' empty taint.
+                                    push!(digest, Taint::empty());
+                                }
+                                Fused::MapSlotSLoad => {
+                                    charge!(8);
+                                    let val = self.world.storage(storage_address, digest);
+                                    let stored_taint =
+                                        self.world.storage_taint(storage_address, digest);
+                                    push!(val, Taint::STORAGE | stored_taint);
+                                }
+                                _ => {
+                                    charge!(8);
+                                    let (val, tv) = pop!();
+                                    let old = self.world.storage(storage_address, digest);
+                                    trace.storage_writes.push(StorageWrite {
+                                        pc: parts[8].pc as usize,
+                                        contract: storage_address,
+                                        slot: digest,
+                                        old,
+                                        new: val,
+                                        taint: tv,
+                                    });
+                                    if tv.contains(Taint::TRUNCATED) {
+                                        for &idx in &truncated_events {
+                                            if let Some(ev) = trace.arith_events.get_mut(idx) {
+                                                ev.reached_storage = true;
+                                            }
+                                        }
+                                    }
+                                    self.world.set_storage(storage_address, digest, val, tv);
+                                }
+                            }
+                            bulk!();
+                            // Restore block billing: re-charge the statics of
+                            // the block's instructions after this unit. If
+                            // the dynamic bills drained what the block had
+                            // pre-paid, the per-instruction tier would halt a
+                            // few instructions later — hand it the exact
+                            // counter at the next instruction.
+                            let unit_statics: u64 = parts.iter().map(|di| static_gas(di.op)).sum();
+                            let after = instr.head - unit_statics;
+                            if gas_left < after {
+                                return FrameOutcome::Deopt(LoopState {
+                                    cursor: instr.instr_next as usize,
+                                    gas_left,
+                                    last_cmp,
+                                    caller_guard_seen,
+                                    unchecked_calls,
+                                    truncated_events,
+                                });
+                            }
+                            gas_left -= after;
                             cursor = instr.next;
                         }
                     }
@@ -2106,7 +2290,7 @@ impl<'w> Evm<'w> {
     /// `gas_spent` is how much of the forwarded gas the callee consumed (all
     /// of it on an exceptional halt, the used portion on success or revert,
     /// nothing for EOA transfers and host-behaviour stubs).
-    fn do_call(
+    pub(crate) fn do_call(
         &mut self,
         call: CallContext,
         args: &[u8],
@@ -2231,21 +2415,21 @@ impl<'w> Evm<'w> {
 }
 
 /// Everything identifying one outgoing message call.
-struct CallContext {
-    kind: CallKind,
-    code_address: Address,
-    storage_address: Address,
-    caller: Address,
-    origin: Address,
-    current_value: U256,
-    to: Address,
-    call_value: U256,
-    gas: u64,
-    depth: usize,
+pub(crate) struct CallContext {
+    pub(crate) kind: CallKind,
+    pub(crate) code_address: Address,
+    pub(crate) storage_address: Address,
+    pub(crate) caller: Address,
+    pub(crate) origin: Address,
+    pub(crate) current_value: U256,
+    pub(crate) to: Address,
+    pub(crate) call_value: U256,
+    pub(crate) gas: u64,
+    pub(crate) depth: usize,
 }
 
 /// Read a 32-byte word from calldata with zero padding.
-fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
+pub(crate) fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
     let offset = match offset.to_usize() {
         Some(o) => o,
         None => return U256::ZERO,
@@ -2260,13 +2444,13 @@ fn calldata_word(calldata: &[u8], offset: U256) -> U256 {
 /// End offset of a `[offset, offset + len)` memory span, rejecting
 /// address-space overflow (the memory cap would reject any such span anyway;
 /// this keeps the arithmetic well-defined instead of panicking).
-fn mem_span(offset: usize, len: usize) -> Result<usize, &'static str> {
+pub(crate) fn mem_span(offset: usize, len: usize) -> Result<usize, &'static str> {
     offset.checked_add(len).ok_or("memory span overflows")
 }
 
 /// Why a memory request was rejected.
 #[derive(Debug)]
-enum MemFail {
+pub(crate) enum MemFail {
     /// Structurally invalid or above the configured hard cap — a frame fault.
     Fault(&'static str),
     /// The quadratic expansion cost exceeds the remaining gas.
@@ -2297,7 +2481,7 @@ fn memory_cost(words: u64) -> u128 {
 /// expansion charge is what stops huge offsets): a request the remaining gas
 /// cannot pay halts with `OutOfGas`, while a payable request above the
 /// simulator's hard cap faults.
-fn ensure_memory(
+pub(crate) fn ensure_memory(
     memory: &mut Vec<u8>,
     size: usize,
     max: usize,
@@ -2326,7 +2510,7 @@ fn ensure_memory(
 
 /// Read a `[offset, offset+len)` range of memory, growing (and charging for)
 /// it as needed.
-fn read_memory_range(
+pub(crate) fn read_memory_range(
     memory: &mut Vec<u8>,
     offset: U256,
     len: U256,
@@ -2344,7 +2528,7 @@ fn read_memory_range(
 
 /// Like [`read_memory_range`], but appending into a reusable buffer instead
 /// of allocating (the call-argument staging path).
-fn read_memory_into(
+pub(crate) fn read_memory_into(
     memory: &mut Vec<u8>,
     offset: U256,
     len: U256,
@@ -2364,7 +2548,7 @@ fn read_memory_into(
 
 /// 256-bit exponentiation by squaring, reporting whether any intermediate
 /// multiplication truncated.
-fn exp_u256(base: U256, exponent: U256) -> (U256, bool) {
+pub(crate) fn exp_u256(base: U256, exponent: U256) -> (U256, bool) {
     let mut result = U256::ONE;
     let mut overflowed = false;
     let mut base_acc = base;
@@ -2382,6 +2566,93 @@ fn exp_u256(base: U256, exponent: U256) -> (U256, bool) {
         }
     }
     (result, overflowed)
+}
+
+/// The frame-local bookkeeping a fused binop mutates: where the op sits
+/// (pc/depth, for events) and the trace / comparison / truncation state it
+/// writes into. Bundled so [`fused_binop_eval`] can be shared between the
+/// `match` dispatcher and the direct-threaded handlers.
+pub(crate) struct BinopSite<'a> {
+    pub(crate) pc: usize,
+    pub(crate) depth: usize,
+    pub(crate) trace: &'a mut ExecutionTrace,
+    pub(crate) last_cmp: &'a mut Option<Comparison>,
+    pub(crate) truncated_events: &'a mut Vec<usize>,
+}
+
+/// The binop core shared by every fused pattern ending in an arithmetic /
+/// comparison / bitwise op: replicates the generic arms' truncation events
+/// and comparison bookkeeping and evaluates to `(result, taint)`. Operand
+/// roles mirror the generic arms: `a` is the first pop (the later push),
+/// `b` the second.
+#[inline(always)]
+pub(crate) fn fused_binop_eval(
+    op: Opcode,
+    a: U256,
+    b: U256,
+    taint: Taint,
+    site: BinopSite<'_>,
+) -> (U256, Taint) {
+    match op {
+        Opcode::Add | Opcode::Sub | Opcode::Mul => {
+            let (result, truncated) = match op {
+                Opcode::Add => a.overflowing_add(b),
+                Opcode::Sub => a.overflowing_sub(b),
+                _ => a.overflowing_mul(b),
+            };
+            if truncated {
+                site.truncated_events.push(site.trace.arith_events.len());
+                site.trace.arith_events.push(ArithEvent {
+                    pc: site.pc,
+                    opcode: op,
+                    truncated: true,
+                    taint,
+                    reached_storage: false,
+                    depth: site.depth,
+                });
+            }
+            let result_taint = if truncated {
+                taint | Taint::TRUNCATED
+            } else {
+                taint
+            };
+            (result, result_taint)
+        }
+        Opcode::Div | Opcode::Mod => {
+            let (q, r) = a.div_rem(b);
+            (if op == Opcode::Div { q } else { r }, taint)
+        }
+        Opcode::Sdiv | Opcode::Smod => {
+            let (q, r) = a.signed_div_rem(b);
+            (if op == Opcode::Sdiv { q } else { r }, taint)
+        }
+        Opcode::Lt | Opcode::Gt | Opcode::Slt | Opcode::Sgt | Opcode::Eq => {
+            let result = match op {
+                Opcode::Lt => a < b,
+                Opcode::Gt => a > b,
+                Opcode::Slt => a.signed_cmp(&b) == std::cmp::Ordering::Less,
+                Opcode::Sgt => a.signed_cmp(&b) == std::cmp::Ordering::Greater,
+                _ => a == b,
+            };
+            let kind = match op {
+                Opcode::Lt | Opcode::Slt => CmpKind::Lt,
+                Opcode::Gt | Opcode::Sgt => CmpKind::Gt,
+                _ => CmpKind::Eq,
+            };
+            *site.last_cmp = Some(Comparison {
+                pc: site.pc,
+                kind,
+                lhs: a,
+                rhs: b,
+                taint,
+            });
+            (U256::from(result), taint)
+        }
+        Opcode::And => (a & b, taint),
+        Opcode::Or => (a | b, taint),
+        Opcode::Xor => (a ^ b, taint),
+        _ => unreachable!("non-fusable binop"),
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod keccak;
 pub mod opcode;
 pub mod program;
 pub mod state;
+mod threaded;
 pub mod trace;
 pub mod types;
 pub mod u256;

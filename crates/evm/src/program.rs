@@ -34,6 +34,8 @@
 
 use crate::gas::static_gas;
 use crate::opcode::Opcode;
+use crate::threaded::{select_handler, UnitHandler};
+use crate::trace::OpcodeSet;
 use crate::u256::U256;
 use std::sync::Arc;
 
@@ -197,6 +199,11 @@ pub struct BlockInfo {
     pub instr_start: u32,
     /// One past the last instruction of the block.
     pub instr_end: u32,
+    /// One past the last dispatch unit of the block (the block's units are
+    /// `[leader unit .. unit_end)`; the leader unit's own index is recorded
+    /// on the unit itself). Lets the direct-threaded driver run a block's
+    /// units in a tight inner loop with the per-unit checks hoisted out.
+    pub unit_end: u32,
 }
 
 impl BlockInfo {
@@ -223,6 +230,7 @@ impl BlockInfo {
             stack_delta: height as i32,
             instr_start: start as u32,
             instr_end: (start + instrs.len()) as u32,
+            unit_end: 0, // filled once the block's units are fused
         }
     }
 }
@@ -291,6 +299,25 @@ pub enum Fused {
     /// whole `local = local_a ⊕ local_b` statement: load both operands,
     /// fold, store, with no stack traffic at all.
     LocalPairStore,
+    /// `PUSH slot; SLOAD` — storage read at a static slot (the compiler's
+    /// scalar-storage-variable read idiom).
+    PushSLoad,
+    /// `PUSH slot; SSTORE` — storage write at a static slot.
+    PushSStore,
+    /// `PUSH c; PUSH slot; SLOAD; binop; PUSH slot; SSTORE` — a whole
+    /// `storage_var = storage_var ⊕ c` read-modify-write statement: load the
+    /// slot, fold the constant, store back, with no stack traffic at all.
+    StorageExprStore,
+    /// `PUSH o1; MSTORE; PUSH slot; PUSH o2; MSTORE; PUSH len; PUSH off;
+    /// SHA3` — the compiler's mapping-slot addressing tail: stage the key
+    /// (already on the stack) and the mapping's slot constant in memory,
+    /// hash the window. Contains several dynamic bills, so the arm replays
+    /// per-constituent gas exactly from the unit's `head`.
+    MapSlotSha3,
+    /// [`Fused::MapSlotSha3`] followed by `SLOAD` — a whole mapping read.
+    MapSlotSLoad,
+    /// [`Fused::MapSlotSha3`] followed by `SSTORE` — a whole mapping write.
+    MapSlotSStore,
 }
 
 /// One dispatch unit of a [`BlockProgram`]: either a single instruction
@@ -322,9 +349,19 @@ pub struct BlockUnit {
     /// that must bail *before* touching any state (instruction-cap hit, or a
     /// pre-validation failure) re-charges this and deopts to `instr_start`,
     /// handing the per-instruction tier an exact counter to replay from.
+    /// Arms with several dynamic bills (the `MapSlot*` family) also re-charge
+    /// it up front and replay per-constituent billing exactly.
     pub head: u64,
     /// Superinstruction tag.
     pub fused: Fused,
+    /// Opcode-presence mask of every constituent, precomputed so fused
+    /// dispatch arms bulk-OR the trace bitset once per unit (see
+    /// [`crate::trace::ExecutionTrace::record_unit`]).
+    pub mask: OpcodeSet,
+    /// Pre-resolved dispatch handler for the direct-threaded tier, selected
+    /// once at lowering time from `(fused, op)` so the hot loop is an
+    /// indirect call instead of a two-level `match`.
+    pub(crate) handler: UnitHandler,
 }
 
 /// A [`DecodedProgram`] lowered to basic blocks with fused idioms.
@@ -386,6 +423,7 @@ impl BlockProgram {
         //    boundary, so a jump can never land mid-superinstruction.
         let mut units = Vec::with_capacity(n);
         let mut instr_to_unit = vec![u32::MAX; n];
+        let mut unit_ends = Vec::with_capacity(blocks.len());
         for (bi, block) in blocks.iter().enumerate() {
             let (start, end) = (block.instr_start as usize, block.instr_end as usize);
             let mut i = start;
@@ -401,14 +439,18 @@ impl BlockProgram {
                 // The tail residual is anchored at the unit's *last*
                 // gas-exact constituent: pure constituents after it
                 // contribute their statics back. A pattern may contain an
-                // *earlier* gas-exact constituent only if its arm
+                // *earlier* gas-exact constituent only if its arm either
                 // pre-validates that op and deopts before mutating anything
-                // (`LocalExprStore`'s MLOAD).
+                // (`LocalExprStore`'s MLOAD) or replays per-constituent
+                // billing exactly from the unit's `head` (the `MapSlot*`
+                // family).
                 let head = remaining;
                 let mut tail_extra = 0u64;
                 let mut has_exact = false;
+                let mut mask = OpcodeSet::default();
                 for instr in &instrs[i..i + count] {
                     remaining -= static_gas(instr.op);
+                    mask.insert(instr.op);
                     if needs_exact_gas(instr.op) {
                         has_exact = true;
                         tail_extra = 0;
@@ -416,8 +458,9 @@ impl BlockProgram {
                         tail_extra += static_gas(instr.op);
                     }
                 }
+                let op = instrs[i + count - 1].op;
                 units.push(BlockUnit {
-                    op: instrs[i + count - 1].op,
+                    op,
                     pc: instrs[i].pc,
                     imm: instrs[i].imm,
                     leader: if i == start { bi as u32 } else { u32::MAX },
@@ -426,9 +469,15 @@ impl BlockProgram {
                     tail: if has_exact { remaining + tail_extra } else { 0 },
                     head,
                     fused,
+                    mask,
+                    handler: select_handler(fused, &instrs[i..i + count]),
                 });
                 i += count;
             }
+            unit_ends.push(units.len() as u32);
+        }
+        for (block, unit_end) in blocks.iter_mut().zip(unit_ends) {
+            block.unit_end = unit_end;
         }
 
         // 4. Remap fused jump targets from instruction cursors to unit
@@ -474,6 +523,38 @@ impl BlockProgram {
                     target: resolve(b.imm),
                 },
             ),
+            [a, b, c, d, e, f, g, h, i, ..]
+                if matches!(a.op, Push(_))
+                    && b.op == MStore
+                    && matches!(c.op, Push(_))
+                    && matches!(d.op, Push(_))
+                    && e.op == MStore
+                    && matches!(f.op, Push(_))
+                    && matches!(g.op, Push(_))
+                    && h.op == Sha3
+                    && matches!(i.op, SLoad | SStore) =>
+            {
+                (
+                    9,
+                    if i.op == SLoad {
+                        Fused::MapSlotSLoad
+                    } else {
+                        Fused::MapSlotSStore
+                    },
+                )
+            }
+            [a, b, c, d, e, f, g, h, ..]
+                if matches!(a.op, Push(_))
+                    && b.op == MStore
+                    && matches!(c.op, Push(_))
+                    && matches!(d.op, Push(_))
+                    && e.op == MStore
+                    && matches!(f.op, Push(_))
+                    && matches!(g.op, Push(_))
+                    && h.op == Sha3 =>
+            {
+                (8, Fused::MapSlotSha3)
+            }
             [a, b, c, d, e, f, g, h, ..]
                 if matches!(a.op, Push(_))
                     && matches!(b.op, Push(_))
@@ -496,6 +577,16 @@ impl BlockProgram {
                     && g.op == MStore =>
             {
                 (7, Fused::LocalPairStore)
+            }
+            [a, b, c, d, e, f, ..]
+                if matches!(a.op, Push(_))
+                    && matches!(b.op, Push(_))
+                    && c.op == SLoad
+                    && fusable_binop(d.op)
+                    && matches!(e.op, Push(_))
+                    && f.op == SStore =>
+            {
+                (6, Fused::StorageExprStore)
             }
             [a, b, c, d, ..]
                 if matches!(a.op, Push(_))
@@ -549,6 +640,8 @@ impl BlockProgram {
             ),
             [a, b, ..] if matches!(a.op, Push(_)) && b.op == MLoad => (2, Fused::PushMLoad),
             [a, b, ..] if matches!(a.op, Push(_)) && b.op == MStore => (2, Fused::PushMStore),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == SLoad => (2, Fused::PushSLoad),
+            [a, b, ..] if matches!(a.op, Push(_)) && b.op == SStore => (2, Fused::PushSStore),
             [a, b, ..] if matches!(a.op, Push(_)) && b.op == CallDataLoad => {
                 (2, Fused::PushCallDataLoad)
             }
@@ -561,7 +654,7 @@ impl BlockProgram {
                     && matches!(b.op, Push(_))
                     && !matches!(
                         rest.first().map(|i| i.op),
-                        Some(Jump | JumpI | MLoad | MStore | CallDataLoad)
+                        Some(Jump | JumpI | MLoad | MStore | CallDataLoad | SLoad | SStore)
                     ) =>
             {
                 (2, Fused::PushPush)
@@ -600,22 +693,77 @@ impl BlockProgram {
 ///
 /// Lookup is by `Arc` pointer equality: the world state hands out clones of
 /// the same `Arc<Vec<u8>>` for an account's code across snapshots, so the
-/// pointer is a stable identity for "the same deployed code". Each entry
-/// pins its code blob alive, so a pointer can never be recycled while the
-/// cache maps it. The cache is built once by the harness and then only read
-/// (it is shared across worker threads behind an `Arc`), so there is no
-/// interior mutability.
+/// pointer is a stable identity for "the same deployed code". The cache is
+/// built once by the harness and then only read (it is shared across worker
+/// threads behind an `Arc`), so there is no interior mutability.
+///
+/// Pointer identity alone is a footgun: an entry pins its blob alive, but a
+/// cache that outlives its blob's other owners — or an entry constructed
+/// against a blob that was dropped and reallocated at the same address —
+/// would silently serve a stale program for different bytes. Every lookup
+/// therefore also checks a `BlobFingerprint` captured at insert time; a
+/// mismatch is treated as a miss, and the caller falls back to decoding on
+/// the fly.
 #[derive(Clone, Debug, Default)]
 pub struct ProgramCache {
     entries: Vec<CacheEntry>,
+}
+
+/// Identity fingerprint of a code blob, captured when it is inserted into
+/// the cache and re-checked on every lookup. Length plus the packed first
+/// and last eight bytes is enough to reject any aliased reallocation the
+/// fuzzer could plausibly produce at a cost of a few loads per lookup; debug
+/// builds additionally verify a full FNV-1a content hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BlobFingerprint {
+    len: usize,
+    head: u64,
+    tail: u64,
+    #[cfg(debug_assertions)]
+    content: u64,
+}
+
+impl BlobFingerprint {
+    fn of(code: &[u8]) -> BlobFingerprint {
+        let pack = |bytes: &[u8]| bytes.iter().fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
+        BlobFingerprint {
+            len: code.len(),
+            head: pack(&code[..code.len().min(8)]),
+            tail: pack(&code[code.len().saturating_sub(8)..]),
+            #[cfg(debug_assertions)]
+            content: fnv1a(code),
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (debug-build content check).
+#[cfg(debug_assertions)]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// One cached code blob with its program for each execution tier.
 #[derive(Clone, Debug)]
 struct CacheEntry {
     code: Arc<Vec<u8>>,
+    fingerprint: BlobFingerprint,
     decoded: Arc<DecodedProgram>,
     lowered: Arc<BlockProgram>,
+}
+
+impl CacheEntry {
+    /// Pointer identity plus the insert-time fingerprint. A pointer match
+    /// with a fingerprint mismatch means the blob behind the address is not
+    /// the one that was decoded — report a miss rather than a stale program.
+    #[inline]
+    fn matches(&self, code: &Arc<Vec<u8>>) -> bool {
+        Arc::ptr_eq(&self.code, code) && self.fingerprint == BlobFingerprint::of(code)
+    }
 }
 
 impl ProgramCache {
@@ -628,8 +776,10 @@ impl ProgramCache {
     /// derived here, once, so every entry serves both execution tiers.
     pub fn insert(&mut self, code: Arc<Vec<u8>>, program: Arc<DecodedProgram>) {
         let lowered = Arc::new(BlockProgram::lower(Arc::clone(&program)));
+        let fingerprint = BlobFingerprint::of(&code);
         self.entries.push(CacheEntry {
             code,
+            fingerprint,
             decoded: program,
             lowered,
         });
@@ -642,7 +792,7 @@ impl ProgramCache {
     pub fn get(&self, code: &Arc<Vec<u8>>) -> Option<&Arc<DecodedProgram>> {
         self.entries
             .iter()
-            .find(|e| Arc::ptr_eq(&e.code, code))
+            .find(|e| e.matches(code))
             .map(|e| &e.decoded)
     }
 
@@ -651,7 +801,7 @@ impl ProgramCache {
     pub fn get_block(&self, code: &Arc<Vec<u8>>) -> Option<&Arc<BlockProgram>> {
         self.entries
             .iter()
-            .find(|e| Arc::ptr_eq(&e.code, code))
+            .find(|e| e.matches(code))
             .map(|e| &e.lowered)
     }
 
@@ -720,5 +870,48 @@ mod tests {
         assert!(cache.get(&code_a).is_some());
         assert!(cache.get(&Arc::clone(&code_a)).is_some());
         assert!(cache.get(&code_b).is_none());
+    }
+
+    #[test]
+    fn poisoned_entry_is_a_miss_not_a_stale_hit() {
+        // Simulate the aliasing hazard directly: an entry whose pointer
+        // matches the probe but whose insert-time fingerprint belongs to
+        // different bytes (a blob that was dropped and reallocated at the
+        // same address). The lookup must treat it as a miss.
+        let original = vec![0x60, 0x01, 0x00];
+        let reallocated = Arc::new(vec![0x60, 0x02, 0x00]);
+        let cache = ProgramCache {
+            entries: vec![CacheEntry {
+                code: Arc::clone(&reallocated),
+                fingerprint: BlobFingerprint::of(&original),
+                decoded: Arc::new(DecodedProgram::decode(&original)),
+                lowered: Arc::new(BlockProgram::lower(Arc::new(DecodedProgram::decode(
+                    &original,
+                )))),
+            }],
+        };
+        assert!(cache.get(&reallocated).is_none());
+        assert!(cache.get_block(&reallocated).is_none());
+    }
+
+    #[test]
+    fn dropped_and_recreated_blobs_never_serve_stale_programs() {
+        // Churn blobs through drop/recreate cycles the way a long campaign
+        // redeploys contracts: the allocator is free to reuse addresses, and
+        // no probe may ever come back with a program decoded from different
+        // bytes.
+        for round in 0..64u8 {
+            let code = Arc::new(vec![0x60, round, 0x00]);
+            let mut cache = ProgramCache::new();
+            cache.insert(Arc::clone(&code), Arc::new(DecodedProgram::decode(&code)));
+            let hit = cache.get(&code).expect("own blob must hit");
+            assert_eq!(hit.instructions()[0].imm, U256::from_u64(u64::from(round)));
+            drop(code);
+            // The entry's own Arc keeps the blob pinned, so a fresh
+            // allocation with different bytes can never alias a live entry.
+            let probe = Arc::new(vec![0x60, round.wrapping_add(1), 0x00]);
+            assert!(cache.get(&probe).is_none());
+            assert!(cache.get_block(&probe).is_none());
+        }
     }
 }

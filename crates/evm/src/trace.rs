@@ -372,6 +372,18 @@ impl OpcodeSet {
         let byte = op.to_byte() as usize;
         self.0[byte >> 6] & (1 << (byte & 63)) != 0
     }
+
+    /// OR another set into this one (bulk insert). Four word ORs — what a
+    /// fused dispatch arm pays to mark a whole superinstruction's opcodes,
+    /// precomputed at lowering time, instead of one [`OpcodeSet::insert`]
+    /// per constituent.
+    #[inline(always)]
+    pub fn merge(&mut self, other: OpcodeSet) {
+        self.0[0] |= other.0[0];
+        self.0[1] |= other.0[1];
+        self.0[2] |= other.0[2];
+        self.0[3] |= other.0[3];
+    }
 }
 
 /// Instrumentation record of a single top-level transaction execution.
@@ -442,6 +454,16 @@ impl ExecutionTrace {
     pub fn record_instr(&mut self, op: Opcode) {
         self.instr_count += 1;
         self.ops_seen.insert(op);
+    }
+
+    /// Record a whole dispatch unit at once: `count` constituent
+    /// instructions whose opcodes are `mask` (precomputed at lowering time).
+    /// Equivalent to `count` [`ExecutionTrace::record_instr`] calls over the
+    /// unit's constituents, in one counter bump and four word ORs.
+    #[inline(always)]
+    pub fn record_unit(&mut self, mask: OpcodeSet, count: u32) {
+        self.instr_count += u64::from(count);
+        self.ops_seen.merge(mask);
     }
 
     /// Iterate over the branch records belonging to a particular contract.

@@ -2,9 +2,10 @@
 //! blobs, the blocks must partition the decoded stream, every `JUMPDEST`
 //! must lead a block, the precomputed per-block envelope must equal an
 //! independent instruction-by-instruction fold, and the dispatch units must
-//! tile the stream exactly. A final property executes random code three
-//! ways (block-lowered / pre-decoded / legacy) and demands bit-identical
-//! results.
+//! tile the stream exactly. A final property executes random code four
+//! ways (direct-threaded / block-lowered `match` / pre-decoded / legacy)
+//! and demands bit-identical results, and targeted gas sweeps drive every
+//! fused storage arm through each possible mid-pattern halt.
 
 use mufuzz_evm::{
     static_gas, Account, Address, BlockEnv, BlockProgram, DecodedProgram, Evm, Message, Opcode,
@@ -126,7 +127,7 @@ proptest! {
     }
 
     #[test]
-    fn random_code_executes_identically_across_all_three_tiers(
+    fn random_code_executes_identically_across_all_four_tiers(
         code in proptest::collection::vec(any::<u8>(), 0..300),
         calldata in proptest::collection::vec(any::<u8>(), 0..40),
     ) {
@@ -141,33 +142,39 @@ proptest! {
         base.freeze();
         let msg = Message::new(sender, contract, U256::ZERO, calldata);
 
-        let run = |legacy: bool, block_lowering: bool| {
+        let run = |legacy: bool, block_lowering: bool, direct_threaded: bool| {
             let mut world = base.snapshot();
             let mut evm = Evm::new(&mut world, BlockEnv::default()).with_programs(&cache);
             evm.config.legacy_decode = legacy;
             evm.config.block_lowering = block_lowering;
+            evm.config.direct_threaded = direct_threaded;
             (evm.execute(&msg), world)
         };
-        let (block, world_block) = run(false, true);
-        let (pre, world_pre) = run(false, false);
-        let (legacy, world_legacy) = run(true, false);
+        let (threaded, world_threaded) = run(false, true, true);
+        let (block, world_block) = run(false, true, false);
+        let (pre, world_pre) = run(false, false, false);
+        let (legacy, world_legacy) = run(true, false, false);
 
-        prop_assert_eq!(block.gas_used, legacy.gas_used);
+        prop_assert_eq!(threaded.gas_used, legacy.gas_used);
+        prop_assert_eq!(&threaded, &block);
         prop_assert_eq!(&block, &pre);
         prop_assert_eq!(&pre, &legacy);
+        prop_assert_eq!(&world_threaded, &world_block);
         prop_assert_eq!(&world_block, &world_pre);
         prop_assert_eq!(&world_pre, &world_legacy);
     }
 }
 
-/// Run `code` under the block-lowered and the pre-decoded tier and demand
-/// bit-identical results (including the trace, hence the instruction count).
-fn assert_tiers_agree(code: Vec<u8>) {
+/// Run `code` with the given gas limit and call value under the
+/// direct-threaded, block-`match` and pre-decoded tiers and demand
+/// bit-identical results (including the trace, hence the instruction count)
+/// and committed state.
+fn assert_tiers_agree_at_gas(code: &[u8], gas: u64, value: u64) {
     let sender = Address::from_low_u64(1);
     let contract = Address::from_low_u64(0x42);
     let mut base = WorldState::new();
     base.put_account(sender, Account::eoa(U256::from_u64(1_000_000)));
-    base.put_account(contract, Account::contract(code, U256::ZERO));
+    base.put_account(contract, Account::contract(code.to_vec(), U256::ZERO));
     let runtime = base.code(contract);
     let mut cache = ProgramCache::new();
     cache.insert(
@@ -175,14 +182,54 @@ fn assert_tiers_agree(code: Vec<u8>) {
         Arc::new(DecodedProgram::decode(&runtime)),
     );
     base.freeze();
-    let msg = Message::new(sender, contract, U256::ZERO, vec![]);
-    let run = |block_lowering: bool| {
+    let mut msg = Message::new(sender, contract, U256::from_u64(value), vec![]);
+    msg.gas = gas;
+    let run = |block_lowering: bool, direct_threaded: bool| {
         let mut world = base.snapshot();
         let mut evm = Evm::new(&mut world, BlockEnv::default()).with_programs(&cache);
         evm.config.block_lowering = block_lowering;
-        evm.execute(&msg)
+        evm.config.direct_threaded = direct_threaded;
+        (evm.execute(&msg), world)
     };
-    assert_eq!(run(true), run(false));
+    let (threaded, world_threaded) = run(true, true);
+    let (matched, world_matched) = run(true, false);
+    let (pre, world_pre) = run(false, false);
+    assert_eq!(threaded, matched, "dispatch divergence at gas {gas}");
+    assert_eq!(matched, pre, "block-tier divergence at gas {gas}");
+    assert_eq!(
+        world_threaded, world_matched,
+        "dispatch state divergence at gas {gas}"
+    );
+    assert_eq!(
+        world_matched, world_pre,
+        "block-tier state divergence at gas {gas}"
+    );
+}
+
+/// [`assert_tiers_agree_at_gas`] at the default transaction gas limit.
+fn assert_tiers_agree(code: Vec<u8>) {
+    assert_tiers_agree_at_gas(&code, 10_000_000, 0);
+}
+
+/// Sweep the transaction gas limit from zero past the full cost of `code`,
+/// demanding tier agreement at every level. Each level lands the
+/// out-of-gas (or deopt) point on a different constituent, so one sweep
+/// exercises every mid-pattern halt a fused arm can take.
+fn assert_tiers_agree_at_every_gas_level(code: &[u8], value: u64) {
+    let sender = Address::from_low_u64(1);
+    let contract = Address::from_low_u64(0x42);
+    let mut base = WorldState::new();
+    base.put_account(sender, Account::eoa(U256::from_u64(1_000_000)));
+    base.put_account(contract, Account::contract(code.to_vec(), U256::ZERO));
+    base.freeze();
+    let msg = Message::new(sender, contract, U256::from_u64(value), vec![]);
+    let mut world = base.snapshot();
+    let full = Evm::new(&mut world, BlockEnv::default()).execute(&msg);
+    // An out-of-gas halt reports the whole limit as used; cap the sweep so a
+    // faulting vector still sweeps its interesting prefix, not 10M levels.
+    for gas in 0..=full.gas_used.min(20_000) + 2 {
+        assert_tiers_agree_at_gas(code, gas, value);
+    }
 }
 
 /// A fused memory arm whose mid-unit MLOAD faults must leave the same trace
@@ -210,4 +257,90 @@ fn mid_unit_mload_fault_keeps_the_trace_exact() {
     code.extend([0xff; 32]);
     code.extend([0x51, 0x01, 0x00]);
     assert_tiers_agree(code);
+}
+
+// The mapping-slot idiom with the key taken from the call value:
+//   CALLVALUE; PUSH1 0; MSTORE; PUSH1 1; PUSH1 0x20; MSTORE;
+//   PUSH1 0x40; PUSH1 0; SHA3
+// which fuses the nine-instruction window into `MapSlotSLoad` /
+// `MapSlotSStore` (or the eight-instruction `MapSlotSha3` without the
+// trailing storage op).
+const MAP_SLOT_PREFIX: [u8; 14] = [
+    0x34, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x20, 0x52, 0x60, 0x40, 0x60, 0x00, 0x20,
+];
+
+/// Every fused storage arm, swept across all gas levels: each level lands
+/// the out-of-gas point on a different constituent, so the sweeps cover
+/// the mid-pattern deopt at the block settle, the per-constituent charge
+/// replay in the `MapSlot*` arms, and the post-arm tail recharge.
+#[test]
+fn fused_storage_arms_agree_at_every_gas_level() {
+    // PUSH1 5; SLOAD; STOP — `PushSLoad`.
+    assert_tiers_agree_at_every_gas_level(&[0x60, 0x05, 0x54, 0x00], 0);
+
+    // CALLVALUE; PUSH1 5; SSTORE; STOP — `PushSStore`; the 5000-gas SSTORE
+    // at the end of the pattern is the mid-pattern out-of-gas candidate.
+    assert_tiers_agree_at_every_gas_level(&[0x34, 0x60, 0x05, 0x55, 0x00], 7);
+
+    // PUSH1 3; PUSH1 0; SLOAD; ADD; PUSH1 0; SSTORE; STOP — the
+    // read-modify-write `StorageExprStore`.
+    assert_tiers_agree_at_every_gas_level(
+        &[0x60, 0x03, 0x60, 0x00, 0x54, 0x01, 0x60, 0x00, 0x55, 0x00],
+        0,
+    );
+
+    // The mapping-slot idiom ending in SLOAD, SSTORE (with CALLDATASIZE as
+    // the stored value) and bare SHA3 (POP; STOP afterwards).
+    let mut sload = MAP_SLOT_PREFIX.to_vec();
+    sload.extend([0x54, 0x00]);
+    assert_tiers_agree_at_every_gas_level(&sload, 9);
+
+    let mut sstore = vec![0x36];
+    sstore.extend(MAP_SLOT_PREFIX);
+    sstore.extend([0x55, 0x00]);
+    assert_tiers_agree_at_every_gas_level(&sstore, 9);
+
+    let mut sha3 = MAP_SLOT_PREFIX.to_vec();
+    sha3.extend([0x50, 0x00]);
+    assert_tiers_agree_at_every_gas_level(&sha3, 9);
+}
+
+/// Faulting constituents *inside* a fused storage pattern: the trace must
+/// record exactly the executed prefix (per-instruction semantics), and the
+/// fault message and remaining gas must match the slower tiers bit for bit.
+#[test]
+fn mid_pattern_storage_faults_keep_the_trace_exact() {
+    // MapSlot whose first MSTORE offset is a PUSH32 beyond the address
+    // space: faults "mstore out of bounds" at constituent 1.
+    let mut code = vec![0x34, 0x7f];
+    code.extend([0xff; 32]);
+    code.extend([
+        0x52, 0x60, 0x01, 0x60, 0x20, 0x52, 0x60, 0x40, 0x60, 0x00, 0x20, 0x54, 0x00,
+    ]);
+    assert_tiers_agree(code);
+
+    // MapSlot whose SHA3 offset is a PUSH32 beyond the address space:
+    // everything up to the hash executes, then constituent 7 faults.
+    let mut code = vec![
+        0x34, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x20, 0x52, 0x60, 0x40, 0x7f,
+    ];
+    code.extend([0xff; 32]);
+    code.extend([0x20, 0x54, 0x00]);
+    assert_tiers_agree(code);
+
+    // MapSlot whose SHA3 offset fits a machine word but overflows the
+    // memory span / expansion bill: the dynamic memory charge at
+    // constituent 7 is the halt point. Swept to also hit the charges
+    // before it.
+    let mut code = vec![
+        0x34, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x20, 0x52, 0x60, 0x40, 0x67,
+    ];
+    code.extend([0xff; 8]);
+    code.extend([0x20, 0x54, 0x00]);
+    assert_tiers_agree_at_every_gas_level(&code, 0);
+
+    // `PushSStore` under exact-gas starvation: enough for the block settle
+    // minus one, then every level below — the arm must deopt untouched and
+    // replay per-instruction, out-of-gassing on the SSTORE itself.
+    assert_tiers_agree_at_every_gas_level(&[0x34, 0x60, 0x05, 0x55, 0x00], 0);
 }

@@ -4,21 +4,28 @@
 //! steady-state draws) and on the historical global draw under the state
 //! lock — then sweep three corpus contracts through one `CampaignService`
 //! fleet pool, sequentially and concurrently. A raw-harness interpreter
-//! A/B (block-lowered vs pre-decoded instruction-at-a-time) isolates the
-//! basic-block lowering's speedup from scheduler effects: a straight-line
-//! local-arithmetic kernel executed through `ContractHarness` directly,
-//! with the two tiers measured best-of-N interleaved to shrug off
-//! scheduler noise. Reports execs/sec for each and emits a
-//! machine-readable `BENCH_throughput.json` so CI can track the
-//! performance trajectory, the sharded-vs-global scaling claim, the
-//! fleet-concurrency claim and the block-lowering speedup across PRs.
+//! A/B isolates the execution tiers from scheduler effects: three kernels
+//! — a straight-line local-arithmetic mixer, a branchy unrolled
+//! Collatz-style router, and a storage-heavy mapping ledger — each
+//! executed through `ContractHarness` directly under three tiers
+//! (pre-decoded instruction-at-a-time, block-lowered `match` dispatch,
+//! and block-lowered direct-threaded dispatch), measured best-of-N
+//! interleaved to shrug off scheduler noise. Reports execs/sec for each
+//! and emits a machine-readable `BENCH_throughput.json` so CI can track
+//! the performance trajectory, the sharded-vs-global scaling claim, the
+//! fleet-concurrency claim, the block-lowering speedup and the
+//! direct-threading speedup across PRs.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example throughput            # N = 4 workers
 //! MUFUZZ_WORKERS=8 cargo run --release --example throughput
 //! MUFUZZ_EXECS=100000 cargo run --release --example throughput
+//! cargo run --release --example throughput -- --kernel branchy
 //! ```
+//!
+//! `--kernel <straight_line|branchy|storage|all>` restricts the
+//! interpreter A/B to one kernel (default: all three).
 
 use mufuzz::{
     CampaignReport, CampaignService, ContractHarness, Fuzzer, FuzzerConfig, Sequence, TxInput,
@@ -82,40 +89,96 @@ fn round_campaign(workers: usize, executions: usize) -> CampaignReport {
         .run()
 }
 
-/// Straight-line local-arithmetic kernel for the interpreter A/B: an
-/// unrolled run of `x = x * c1 + c2` statements over memory-resident
-/// locals. Scheduler, corpus and branch-record costs are identical across
-/// the two tiers, so a branchy campaign workload buries the dispatch
-/// difference in symmetric overhead — this kernel isolates it.
-fn kernel_source() -> String {
-    let mut body = String::new();
-    for k in 0..48u64 {
-        body.push_str(&format!(
-            "        x = x * {} + {};\n",
-            3 + k % 7,
-            11 + k % 13
-        ));
-        if k % 4 == 3 {
-            body.push_str("        y = y + x;\n");
+/// The three interpreter-A/B kernels, each stressing a different part of
+/// the dispatcher.
+const KERNELS: [&str; 3] = ["straight_line", "branchy", "storage"];
+
+/// Kernel source for the interpreter A/B. Scheduler, corpus and
+/// branch-record costs are identical across the tiers, so a mixed campaign
+/// workload buries the dispatch difference in symmetric overhead — these
+/// kernels isolate it, each from a different angle:
+///
+/// * `straight_line` — an unrolled run of `x = x * c1 + c2` over
+///   memory-resident locals: pure fused-arithmetic throughput, the best
+///   case for block settlement and superinstructions.
+/// * `branchy` — an unrolled Collatz-style router whose every step takes a
+///   data-dependent branch: short blocks and dense `JUMPI`s, the workload
+///   where `match` dispatch mispredicts and direct threading should win.
+/// * `storage` — a mapping-and-counter ledger dominated by
+///   `balances[msg.sender] +=` / `total +=` idioms: the `MapSlot*`,
+///   `PushSLoad`/`PushSStore` and `StorageExprStore` fusion arms.
+fn kernel_source(kernel: &str) -> String {
+    match kernel {
+        "straight_line" => {
+            let mut body = String::new();
+            for k in 0..48u64 {
+                body.push_str(&format!(
+                    "        x = x * {} + {};\n",
+                    3 + k % 7,
+                    11 + k % 13
+                ));
+                if k % 4 == 3 {
+                    body.push_str("        y = y + x;\n");
+                }
+            }
+            format!(
+                "contract Mixer {{\n    uint256 acc;\n    function mix(uint256 seed) public returns (uint256) {{\n        uint256 x = seed;\n        uint256 y = 1;\n{body}        acc = y;\n        return y;\n    }}\n}}\n"
+            )
         }
+        "branchy" => {
+            let mut body = String::new();
+            for k in 0..24u64 {
+                body.push_str(&format!(
+                    "        if (x % 2 == 0) {{ x = x / 2; y = y + {}; }} else {{ x = x * 3 + 1; y = y + {}; }}\n",
+                    3 + k % 5,
+                    7 + k % 11
+                ));
+                if k % 6 == 5 {
+                    body.push_str(
+                        "        if (x > 1000000) { x = x % 1000003; } else { y = y * 2 + 1; }\n",
+                    );
+                }
+            }
+            format!(
+                "contract Router {{\n    uint256 acc;\n    function route(uint256 seed) public returns (uint256) {{\n        uint256 x = seed + 27;\n        uint256 y = 0;\n{body}        acc = y;\n        return y;\n    }}\n}}\n"
+            )
+        }
+        "storage" => {
+            let mut body = String::new();
+            for k in 0..8u64 {
+                body.push_str(&format!(
+                    "        balances[msg.sender] += amount + {k};\n        cells[{}] += amount;\n        total += amount + {};\n        checksum += total + balances[msg.sender];\n",
+                    k % 4,
+                    k + 1
+                ));
+            }
+            format!(
+                "contract Ledger {{\n    uint256 total;\n    uint256 checksum;\n    mapping(address => uint256) balances;\n    mapping(uint256 => uint256) cells;\n    function churn(uint256 amount) public returns (uint256) {{\n{body}        return total;\n    }}\n}}\n"
+            )
+        }
+        other => panic!("unknown kernel {other:?} (expected straight_line|branchy|storage)"),
     }
-    format!(
-        "contract Mixer {{\n    uint256 acc;\n    function mix(uint256 seed) public returns (uint256) {{\n        uint256 x = seed;\n        uint256 y = 1;\n{body}        acc = y;\n        return y;\n    }}\n}}\n"
-    )
+}
+
+/// The entry-point transaction of a kernel.
+fn kernel_tx(kernel: &str) -> TxInput {
+    let function = match kernel {
+        "straight_line" => "mix",
+        "branchy" => "route",
+        _ => "churn",
+    };
+    TxInput::new(function, 0, U256::ZERO, &[U256::from_u64(12345)])
 }
 
 /// One timed chunk of the interpreter A/B: `iters` transactions of the
 /// kernel through `ContractHarness` pinned to one tier. Returns tx/sec.
-fn tier_chunk(block_lowering: bool, iters: usize) -> f64 {
-    let compiled = compile_source(&kernel_source()).expect("kernel should compile");
-    let config = FuzzerConfig::default().with_block_lowering(block_lowering);
+fn tier_chunk(kernel: &str, block_lowering: bool, direct_threaded: bool, iters: usize) -> f64 {
+    let compiled = compile_source(&kernel_source(kernel)).expect("kernel should compile");
+    let config = FuzzerConfig::default()
+        .with_block_lowering(block_lowering)
+        .with_direct_threaded(direct_threaded);
     let harness = ContractHarness::new(compiled, &config).expect("kernel should deploy");
-    let seq = Sequence::new(vec![TxInput::new(
-        "mix",
-        0,
-        U256::ZERO,
-        &[U256::from_u64(12345)],
-    )]);
+    let seq = Sequence::new(vec![kernel_tx(kernel)]);
     let mut frame = ExecFrame::new();
     let start = Instant::now();
     let mut successes = 0usize;
@@ -127,17 +190,20 @@ fn tier_chunk(block_lowering: bool, iters: usize) -> f64 {
     iters as f64 / elapsed
 }
 
-/// The interpreter A/B measurement: best-of-N with the tiers interleaved,
-/// so a machine-noise spike hits both sides instead of biasing one.
-fn tier_rates(rounds: usize, iters: usize) -> (f64, f64) {
-    tier_chunk(true, iters / 2); // warm-up: page in both tiers
-    tier_chunk(false, iters / 2);
-    let (mut pre, mut blk) = (0.0f64, 0.0f64);
+/// Best-of-N rates for one kernel under all three tiers, interleaved so a
+/// machine-noise spike hits every side instead of biasing one. Returns
+/// `(predecoded, block_match, direct_threaded)` tx/sec.
+fn kernel_rates(kernel: &str, rounds: usize, iters: usize) -> (f64, f64, f64) {
+    tier_chunk(kernel, true, true, iters / 2); // warm-up: page in all tiers
+    tier_chunk(kernel, true, false, iters / 2);
+    tier_chunk(kernel, false, false, iters / 2);
+    let (mut pre, mut blk, mut thr) = (0.0f64, 0.0f64, 0.0f64);
     for _ in 0..rounds {
-        pre = pre.max(tier_chunk(false, iters));
-        blk = blk.max(tier_chunk(true, iters));
+        pre = pre.max(tier_chunk(kernel, false, false, iters));
+        blk = blk.max(tier_chunk(kernel, true, false, iters));
+        thr = thr.max(tier_chunk(kernel, true, true, iters));
     }
-    (pre, blk)
+    (pre, blk, thr)
 }
 
 fn print_report(report: &CampaignReport, sharded: bool) {
@@ -168,11 +234,23 @@ fn json_entry(report: &CampaignReport, sharded: bool) -> String {
     )
 }
 
-/// JSON record for one interpreter tier of the block-lowering A/B.
+/// JSON record for one interpreter tier of the block-lowering A/B (the
+/// historical top-level keys CI tracks across PRs).
 fn tier_json(block_lowering: bool, rate: f64) -> String {
     format!(
         "{{\"block_lowering\": {}, \"benchmark\": \"local-arithmetic kernel\", \"execs_per_sec\": {:.1}}}",
         block_lowering, rate
+    )
+}
+
+/// JSON record for one kernel: all three tiers side by side.
+fn kernel_json(kernel: &str, pre: f64, blk: f64, thr: f64) -> String {
+    format!(
+        concat!(
+            "\"{}\": {{\"predecoded\": {:.1}, \"block_match\": {:.1}, ",
+            "\"direct_threaded\": {:.1}}}"
+        ),
+        kernel, pre, blk, thr
     )
 }
 
@@ -237,6 +315,24 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    let args: Vec<String> = std::env::args().collect();
+    let kernel_filter = args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let kernels: Vec<&str> = if kernel_filter == "all" {
+        KERNELS.to_vec()
+    } else {
+        let name = KERNELS
+            .iter()
+            .find(|k| **k == kernel_filter)
+            .unwrap_or_else(|| {
+                panic!("unknown --kernel {kernel_filter:?} (expected straight_line|branchy|storage|all)")
+            });
+        vec![name]
+    };
 
     // Warm-up run so page faults and lazy allocations do not skew the
     // single-worker number.
@@ -277,15 +373,28 @@ fn main() {
         round_cost * 100.0
     );
 
-    // The interpreter A/B: the raw-harness kernel, block lowering off vs
-    // on. Every per-instruction gas charge, stack bounds check and dispatch
-    // the lowering and its superinstructions remove shows up directly here.
-    let (predecoded, block_lowered) = tier_rates(12, 5000);
-    println!(
-        "interpreter A/B (raw harness): predecoded {predecoded:.0} execs/sec, \
-         block-lowered {block_lowered:.0} execs/sec ({:.2}x)",
-        block_lowered / predecoded
-    );
+    // The interpreter A/B: each kernel through the raw harness under all
+    // three tiers. Every per-instruction gas charge, stack bounds check
+    // and dispatch decision the lowering, its superinstructions and the
+    // threaded handler chain remove shows up directly here.
+    let mut kernel_entries = Vec::new();
+    let mut legacy_keys: Option<(f64, f64)> = None;
+    for kernel in &kernels {
+        let (pre, blk, thr) = kernel_rates(kernel, 12, 5000);
+        println!(
+            "interpreter A/B ({kernel}): predecoded {pre:.0}, block-match {blk:.0} \
+             ({:.2}x), direct-threaded {thr:.0} ({:.2}x vs match)",
+            blk / pre,
+            thr / blk
+        );
+        kernel_entries.push(kernel_json(kernel, pre, blk, thr));
+        // The historical top-level keys track the straight-line kernel
+        // (falling back to whatever ran when the suite is filtered).
+        if *kernel == "straight_line" || legacy_keys.is_none() {
+            legacy_keys = Some((pre, blk));
+        }
+    }
+    let (predecoded, block_lowered) = legacy_keys.expect("at least one kernel runs");
 
     // The fleet sweep: three corpus contracts through one CampaignService,
     // sequentially on one pool thread vs concurrently on `workers` threads.
@@ -307,6 +416,7 @@ fn main() {
             "  \"single\": {},\n  \"parallel_sharded\": {},\n  \"parallel_global\": {},\n",
             "  \"round_mode\": {},\n",
             "  \"predecoded\": {},\n  \"block_lowered\": {},\n",
+            "  \"kernels\": {{{}}},\n",
             "  \"fleet_sequential\": {},\n  \"fleet_concurrent\": {}\n}}\n"
         ),
         executions,
@@ -316,6 +426,7 @@ fn main() {
         json_entry(&round, true),
         tier_json(false, predecoded),
         tier_json(true, block_lowered),
+        kernel_entries.join(", "),
         fleet_json(1, seq_total, seq_ms),
         fleet_json(workers, conc_total, conc_ms)
     );

@@ -1,17 +1,16 @@
-//! Decoder differential suite: the block-lowered and pre-decoded execution
-//! pipelines must be observably identical to the legacy byte-at-a-time
-//! decoder.
+//! Decoder differential suite: every execution pipeline must be observably
+//! identical to the legacy byte-at-a-time decoder.
 //!
 //! For every corpus contract, 256 seeded calldata inputs (a mix of valid
 //! selectors with random argument words and entirely random byte strings)
-//! are executed **three ways** from identical post-constructor world
-//! snapshots — through the block-lowered tier (per-block static gas and
-//! stack validation, fused superinstructions — the production default),
-//! through the pre-decoded instruction stream with block lowering disabled,
-//! and through the legacy decoder. The full [`ExecutionResult`] (success,
-//! output, gas remaining, halt reason and the complete instrumentation trace
-//! with its branch records) and the resulting world state must match bit for
-//! bit across all three.
+//! are executed **four ways** from identical post-constructor world
+//! snapshots — through the direct-threaded block tier (per-unit handler
+//! pointers — the production default), through the same block tier under
+//! `match` dispatch, through the pre-decoded instruction stream with block
+//! lowering disabled, and through the legacy decoder. The full
+//! [`ExecutionResult`] (success, output, gas remaining, halt reason and the
+//! complete instrumentation trace with its branch records) and the resulting
+//! world state must match bit for bit across all four.
 
 use mufuzz::{ContractHarness, FuzzerConfig};
 use mufuzz_corpus::contracts;
@@ -23,7 +22,7 @@ use std::sync::Arc;
 
 const INPUTS_PER_CONTRACT: usize = 256;
 
-/// The three execution tiers under comparison.
+/// The four execution tiers under comparison.
 #[derive(Clone, Copy, Debug)]
 enum Tier {
     /// Byte-at-a-time decoding in the hot loop (`legacy_decode = true`).
@@ -31,8 +30,11 @@ enum Tier {
     /// Pre-decoded instruction stream, instruction-at-a-time billing
     /// (`block_lowering = false`).
     Predecoded,
-    /// Block-lowered program: per-block gas/stack settlement and fused
-    /// superinstructions (the default).
+    /// Block-lowered program under the `match` dispatcher
+    /// (`direct_threaded = false`).
+    BlockMatch,
+    /// Block-lowered program dispatched through per-unit handler pointers
+    /// (the default).
     Block,
 }
 
@@ -83,14 +85,18 @@ fn run_once(
     match tier {
         Tier::Legacy => evm.config.legacy_decode = true,
         Tier::Predecoded => evm.config.block_lowering = false,
-        Tier::Block => debug_assert!(evm.config.block_lowering),
+        Tier::BlockMatch => evm.config.direct_threaded = false,
+        Tier::Block => {
+            debug_assert!(evm.config.block_lowering);
+            debug_assert!(evm.config.direct_threaded);
+        }
     }
     let result = evm.execute(msg);
     (result, world)
 }
 
 #[test]
-fn block_lowered_pipeline_is_bit_identical_to_both_slower_tiers() {
+fn direct_threaded_pipeline_is_bit_identical_to_all_slower_tiers() {
     for bench in contracts::all_handwritten() {
         let compiled = compile_source(&bench.source).expect("corpus contract must compile");
         let harness = ContractHarness::new(compiled, &FuzzerConfig::default())
@@ -118,12 +124,18 @@ fn block_lowered_pipeline_is_bit_identical_to_both_slower_tiers() {
             let msg = Message::new(sender, harness.contract_address, value, calldata);
 
             let (block, world_block) = run_once(&harness, &cache, &msg, Tier::Block);
+            let (matched, world_matched) = run_once(&harness, &cache, &msg, Tier::BlockMatch);
             let (decoded, world_decoded) = run_once(&harness, &cache, &msg, Tier::Predecoded);
             let (legacy, world_legacy) = run_once(&harness, &cache, &msg, Tier::Legacy);
 
             // Gas first: with a fixed gas limit, equal `gas_used` is equal
             // gas remaining — the sharpest signal when block settlement or a
             // fused arm misbills, so it gets its own assertion.
+            assert_eq!(
+                block.gas_used, matched.gas_used,
+                "{}: dispatch gas divergence on input #{case}",
+                bench.name
+            );
             assert_eq!(
                 block.gas_used, decoded.gas_used,
                 "{}: block-lowered gas divergence on input #{case}",
@@ -133,6 +145,13 @@ fn block_lowered_pipeline_is_bit_identical_to_both_slower_tiers() {
                 decoded.gas_used, legacy.gas_used,
                 "{}: pre-decoded gas divergence on input #{case}",
                 bench.name
+            );
+            assert_eq!(
+                block,
+                matched,
+                "{}: dispatch divergence on input #{case} ({} calldata bytes)",
+                bench.name,
+                msg.data.len()
             );
             assert_eq!(
                 block,
@@ -151,6 +170,11 @@ fn block_lowered_pipeline_is_bit_identical_to_both_slower_tiers() {
             assert_eq!(
                 block.trace.branches, legacy.trace.branches,
                 "{}: branch trace divergence on input #{case}",
+                bench.name
+            );
+            assert_eq!(
+                world_block, world_matched,
+                "{}: dispatch committed state divergence on input #{case}",
                 bench.name
             );
             assert_eq!(
