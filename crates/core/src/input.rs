@@ -70,17 +70,28 @@ impl TxInput {
         }
     }
 
-    /// Build the full calldata for this transaction given its ABI entry:
-    /// selector followed by argument words, padded/truncated to the declared
-    /// parameter count.
+    /// Build the full calldata for this transaction given its ABI entry.
+    ///
+    /// ABIs whose parameters are all static one-word types (every
+    /// toy-language contract) use the raw word layout — selector followed by
+    /// argument words, padded/truncated to the declared parameter count — so
+    /// mutated bytes land in calldata verbatim. ABIs with wider types
+    /// (ingested real contracts) interpret the same stream as 32-byte lanes
+    /// and shape them into typed, canonically encoded arguments, so mutants
+    /// stay type-shaped: dynamic `bytes`/`string` get real length prefixes,
+    /// arrays get element counts, addresses are masked to 160 bits.
     pub fn calldata(&self, abi: &FunctionAbi) -> Vec<u8> {
-        let mut data = abi.selector.to_vec();
-        let args = self.arg_bytes();
-        let wanted = 32 * abi.inputs.len();
-        for i in 0..wanted {
-            data.push(args.get(i).copied().unwrap_or(0));
+        if abi.all_static_words() {
+            let mut data = abi.selector.to_vec();
+            let args = self.arg_bytes();
+            let wanted = 32 * abi.inputs.len();
+            for i in 0..wanted {
+                data.push(args.get(i).copied().unwrap_or(0));
+            }
+            return data;
         }
-        data
+        let lanes: Vec<U256> = (0..abi.lane_count()).map(|i| self.arg_word(i)).collect();
+        abi.encode_call(&abi.values_from_lanes(&lanes))
     }
 
     /// Read the i-th argument word.

@@ -441,9 +441,13 @@ fn run_slot(
         );
         if Worker::wants_masks(&ctx.config, &corpus[i], quota - out.executed) {
             corpus[i].masks_pending = true;
-            let masks = probe_masks(
-                worker, &ctx, &mut rng, &corpus[i], quota, &mut local, &mut out, &mut seen, &prov,
-            );
+            let mut slot_ctx = SlotCtx {
+                local: &mut local,
+                out: &mut out,
+                seen: &mut seen,
+                prov: &prov,
+            };
+            let masks = probe_masks(worker, &ctx, &mut rng, &corpus[i], quota, &mut slot_ctx);
             out.mask_writes.push((corpus[i].uid, masks.clone()));
             corpus[i].masks = Some(masks);
         }
@@ -453,29 +457,45 @@ fn run_slot(
                 break;
             }
             let candidate = mutate_sequence(&ctx, &mut rng, &corpus[i]);
-            execute_observed(
-                worker, &ctx, &candidate, seed_uid, &mut local, &mut out, &mut seen, &prov,
-            );
+            let mut slot_ctx = SlotCtx {
+                local: &mut local,
+                out: &mut out,
+                seen: &mut seen,
+                prov: &prov,
+            };
+            execute_observed(worker, &ctx, &candidate, seed_uid, &mut slot_ctx);
         }
     }
     out
+}
+
+/// Mutable slot-scoped state threaded through every mutant execution: the
+/// slot-local coverage view, the accumulating outcome, the finding keys
+/// already pinned this slot and the slot's provenance stamp.
+struct SlotCtx<'s> {
+    local: &'s mut LocalCoverage,
+    out: &'s mut SlotOutcome,
+    seen: &'s mut BTreeSet<RecordKey>,
+    prov: &'s SlotProvenance,
 }
 
 /// Execute one mutant inside a slot: observe it in the slot monitor
 /// (capturing a replayable record for any fresh finding), merge its coverage
 /// into the slot-local bitmap and stage it as an admission candidate when it
 /// is locally novel. Returns the outcome and the local novelty count.
-#[allow(clippy::too_many_arguments)]
 fn execute_observed(
     worker: &mut Worker,
     ctx: &CampaignContext,
     sequence: &Sequence,
     seed_uid: u64,
-    local: &mut LocalCoverage,
-    out: &mut SlotOutcome,
-    seen: &mut BTreeSet<RecordKey>,
-    prov: &SlotProvenance,
+    slot: &mut SlotCtx<'_>,
 ) -> (SequenceOutcome, usize) {
+    let SlotCtx {
+        local,
+        out,
+        seen,
+        prov,
+    } = slot;
     let outcome = worker
         .harness
         .execute_sequence_with(sequence, &mut worker.frame);
@@ -528,17 +548,13 @@ fn execute_observed(
 /// the slot-local coverage view. A site whose probe would overrun the quota
 /// is left mutable (the same safe default the free-running pass uses when
 /// the global budget runs dry mid-pass).
-#[allow(clippy::too_many_arguments)]
 fn probe_masks(
     worker: &mut Worker,
     ctx: &CampaignContext,
     rng: &mut SmallRng,
     seed: &Seed,
     quota: usize,
-    local: &mut LocalCoverage,
-    out: &mut SlotOutcome,
-    seen: &mut BTreeSet<RecordKey>,
-    prov: &SlotProvenance,
+    slot: &mut SlotCtx<'_>,
 ) -> Vec<MutationMask> {
     let baseline_nested = seed_nested_pcs(ctx, seed);
     let baseline_distance = seed.best_distance.unwrap_or(1.0);
@@ -558,21 +574,21 @@ fn probe_masks(
         }
         for word in 0..probed_words {
             for op in MutationOp::ALL {
-                if out.executed >= quota {
+                if slot.out.executed >= quota {
                     mask.allow(word, op);
                     continue;
                 }
                 let probe_stream = apply_op(&tx.stream, op, word, rng, &ctx.interesting);
                 let mut probe_seq = seed.sequence.clone();
                 probe_seq.txs[tx_index].stream = probe_stream;
-                let (outcome, _) =
-                    execute_observed(worker, ctx, &probe_seq, seed.uid, local, out, seen, prov);
+                let (outcome, _) = execute_observed(worker, ctx, &probe_seq, seed.uid, slot);
                 let probe_nested = outcome_nested_pcs(ctx, &outcome);
                 let keeps_nested = baseline_nested.is_subset(&probe_nested);
                 let index = worker.harness.edge_index();
-                let probe_distance =
-                    distance_to_uncovered(ctx, &outcome, &|edge| local.contains_edge(edge, index))
-                        .unwrap_or(1.0);
+                let probe_distance = distance_to_uncovered(ctx, &outcome, &|edge| {
+                    slot.local.contains_edge(edge, index)
+                })
+                .unwrap_or(1.0);
                 if keeps_nested || probe_distance < baseline_distance {
                     mask.allow(word, op);
                 }

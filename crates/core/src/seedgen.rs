@@ -54,9 +54,12 @@ impl SequenceGenerator {
         rng: &mut SmallRng,
         interesting: &InterestingValues,
     ) -> TxInput {
+        // Seed one word per mutable *lane*: static params take one lane,
+        // dynamic params (ingested ABIs) take length + content lanes, so
+        // every shaped byte of the calldata starts from fuzz-chosen data.
         let (arity, payable) = abi
             .function(function)
-            .map(|f| (f.inputs.len(), f.payable))
+            .map(|f| (f.lane_count(), f.payable))
             .unwrap_or((0, false));
         let mut args = Vec::with_capacity(arity);
         for _ in 0..arity {

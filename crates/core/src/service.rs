@@ -281,7 +281,7 @@ impl CampaignService {
         }
         let shared = CampaignShared::new(ctx.harness.edge_index().len());
         let params = RunParams::new(&ctx, 0);
-        self.launch(ctx, shared, params, workers, options, false, 0, Vec::new())
+        self.launch(ctx, shared, params, workers, options, ResumeInfo::fresh())
     }
 
     /// Resume a checkpointed campaign; returns immediately with a handle.
@@ -399,13 +399,14 @@ impl CampaignService {
             params,
             workers,
             options,
-            true,
-            snapshot.round,
-            snapshot.records.clone(),
+            ResumeInfo {
+                resumed: true,
+                round: snapshot.round,
+                records: snapshot.records.clone(),
+            },
         ))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
         ctx: Arc<CampaignContext>,
@@ -413,9 +414,7 @@ impl CampaignService {
         params: RunParams,
         workers: Vec<Worker>,
         options: SubmitOptions,
-        resumed: bool,
-        resume_round: u64,
-        resume_records: Vec<FindingRecord>,
+        resume: ResumeInfo,
     ) -> CampaignHandle {
         let (sender, events) = channel();
         let _ = sender.send(CampaignEvent::Started {
@@ -429,9 +428,9 @@ impl CampaignService {
             lanes: workers.into_iter().map(|w| Mutex::new(Some(w))).collect(),
             active: AtomicUsize::new(1),
             finished_lanes: AtomicUsize::new(0),
-            resumed,
-            resume_round,
-            resume_records: Mutex::new(resume_records),
+            resumed: resume.resumed,
+            resume_round: resume.round,
+            resume_records: Mutex::new(resume.records),
             paused_elapsed_ms: AtomicU64::new(0),
             priority: Mutex::new(PriorityWindow {
                 score: LAUNCH_PRIORITY,
@@ -454,6 +453,24 @@ impl CampaignService {
         self.pool
             .spawn(LAUNCH_PRIORITY, move |wctx| bootstrap(bootstrap_job, wctx));
         CampaignHandle { job, events }
+    }
+}
+
+/// Where a launched campaign starts from: fresh, or mid-round with the
+/// records a checkpoint carried.
+struct ResumeInfo {
+    resumed: bool,
+    round: u64,
+    records: Vec<FindingRecord>,
+}
+
+impl ResumeInfo {
+    fn fresh() -> ResumeInfo {
+        ResumeInfo {
+            resumed: false,
+            round: 0,
+            records: Vec::new(),
+        }
     }
 }
 

@@ -13,7 +13,12 @@
 //!   the structural properties the evaluation depends on (ordering-sensitive
 //!   state, magic-constant guards, nested branches, injected bugs);
 //! * [`datasets`] — D1-small/D1-large/D2/D3 builders plus the Table II
-//!   summary rows.
+//!   summary rows;
+//! * [`mod@ingest`] — the real-contract front door: standard ABI JSON plus
+//!   runtime-bytecode hex ingested into the same [`CompiledContract`]
+//!   shape the toy-language compiler emits.
+//!
+//! [`CompiledContract`]: mufuzz_lang::CompiledContract
 //!
 //! ```
 //! use mufuzz_corpus::{contracts, datasets};
@@ -31,7 +36,11 @@
 pub mod contracts;
 pub mod datasets;
 pub mod generator;
+pub mod ingest;
 
 pub use contracts::{all_handwritten, BenchContract};
 pub use datasets::{d1_large, d1_small, d2, d3, table2_summaries, Dataset, DatasetSummary};
 pub use generator::{generate_contract, GeneratorConfig};
+pub use ingest::{
+    ingest, parse_abi_json, parse_hex_bytecode, IngestError, IngestedContract, JsonValue,
+};

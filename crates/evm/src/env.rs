@@ -19,6 +19,10 @@ pub struct BlockEnv {
     pub gas_limit: u64,
     /// Difficulty value (pre-merge semantics, exposed via `DIFFICULTY`).
     pub difficulty: U256,
+    /// Chain identifier (EIP-1344, exposed via `CHAINID`).
+    pub chain_id: u64,
+    /// Base fee per gas (EIP-3198, exposed via `BASEFEE`).
+    pub base_fee: U256,
 }
 
 impl Default for BlockEnv {
@@ -29,6 +33,8 @@ impl Default for BlockEnv {
             coinbase: Address::from_low_u64(0xc0ffee),
             gas_limit: 30_000_000,
             difficulty: U256::from_u64(2_000_000_000_000),
+            chain_id: 1,
+            base_fee: U256::from_u64(1_000_000_000),
         }
     }
 }

@@ -39,14 +39,17 @@
 //! without per-transaction heap churn; see its documentation.
 
 use crate::env::{BlockEnv, ExecutionResult, Message};
-use crate::gas::{static_gas, EXP_BYTE_GAS};
+use crate::gas::{
+    static_gas, AccessSets, COPY_WORD_GAS, EXP_BYTE_GAS, MAX_REFUND_QUOTIENT, SHA3_WORD_GAS,
+    SSTORE_CLEAR_REFUND,
+};
 use crate::keccak::keccak256;
 use crate::opcode::Opcode;
 use crate::program::{BlockInfo, BlockProgram, DecodedInstr, DecodedProgram, Fused, ProgramCache};
 use crate::state::{HostBehaviour, WorldState};
 use crate::trace::{
-    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
-    OpcodeSet, SelfDestructEvent, StorageWrite, Taint,
+    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ConformanceEvent,
+    ExecutionTrace, HaltReason, OpcodeSet, SelfDestructEvent, StorageWrite, Taint,
 };
 use crate::types::Address;
 use crate::u256::U256;
@@ -123,6 +126,10 @@ pub(crate) struct LoopState {
     pub(crate) unchecked_calls: Vec<usize>,
     /// Indices of truncated arithmetic events produced in this frame.
     pub(crate) truncated_events: Vec<usize>,
+    /// The frame's RETURNDATA buffer (EIP-211): output of the most recent
+    /// completed call or create, empty at frame entry and after an
+    /// exceptional callee halt.
+    pub(crate) return_data: Vec<u8>,
 }
 
 impl LoopState {
@@ -135,6 +142,7 @@ impl LoopState {
             caller_guard_seen: false,
             unchecked_calls: Vec::new(),
             truncated_events: Vec::new(),
+            return_data: Vec::new(),
         }
     }
 }
@@ -391,6 +399,9 @@ pub struct ExecFrame {
     /// High-water mark of the branch vector, used to pre-reserve the next
     /// trace's capacity.
     branch_hint: usize,
+    /// Per-transaction EIP-2929 warm/cold access sets and the EIP-3529
+    /// refund counter, reset at the start of each top-level message.
+    pub(crate) access: AccessSets,
 }
 
 impl ExecFrame {
@@ -443,7 +454,30 @@ pub(crate) struct FrameCtx<'a> {
     pub(crate) origin: Address,
     pub(crate) value: U256,
     pub(crate) calldata: &'a [u8],
+    /// The executing code blob (`CODECOPY`'s source; `CODESIZE` reads the
+    /// view's length, which is the same bytes).
+    pub(crate) code: &'a [u8],
     pub(crate) gas: u64,
+    pub(crate) depth: usize,
+}
+
+/// The per-call mutable environment threaded through every dispatch tier:
+/// the interpreter's internal call stack, the transaction trace, and the
+/// reusable scratch frame (depth buffers plus the transaction's EIP-2929
+/// access sets).
+pub(crate) struct ExecEnv<'e> {
+    pub(crate) frames: &'e mut Vec<FrameInfo>,
+    pub(crate) trace: &'e mut ExecutionTrace,
+    pub(crate) scratch: &'e mut ExecFrame,
+}
+
+/// Everything identifying one `CREATE2` site: who creates, with what value
+/// and salt, from which depth.
+pub(crate) struct CreateSite {
+    pub(crate) creator: Address,
+    pub(crate) origin: Address,
+    pub(crate) value: U256,
+    pub(crate) salt: U256,
     pub(crate) depth: usize,
 }
 
@@ -540,6 +574,12 @@ impl<'w> Evm<'w> {
         scratch.prime(&mut trace);
         trace.entered_selector = msg.selector();
 
+        // Fresh per-transaction access sets (EIP-2929): the sender and the
+        // target are warm from the first instruction.
+        scratch.access.reset();
+        scratch.access.prewarm(msg.caller);
+        scratch.access.prewarm(msg.to);
+
         // Value transfer first; a failed transfer aborts the transaction.
         if !self.world.transfer(msg.caller, msg.to, msg.value) {
             trace.halt = HaltReason::Fault("insufficient balance for value transfer".into());
@@ -570,16 +610,24 @@ impl<'w> Evm<'w> {
                 origin: msg.origin,
                 value: msg.value,
                 calldata: &msg.data,
+                code: &code,
                 gas: msg.gas,
                 depth: 0,
             };
             self.dispatch_frame(&code, ctx, &mut frames, &mut trace, scratch)
         };
 
-        let gas_used = msg.gas.saturating_sub(result.gas_left);
+        let mut gas_used = msg.gas.saturating_sub(result.gas_left);
+        let success = result.halt.is_success();
+        if success {
+            // EIP-3529 settlement: refunds earned by `SSTORE` clears are
+            // applied against the final bill, capped to a fifth of the gas
+            // actually consumed. Failed transactions forfeit their refunds.
+            let refund = scratch.access.refund().min(gas_used / MAX_REFUND_QUOTIENT);
+            gas_used -= refund;
+        }
         trace.gas_used = gas_used;
         trace.halt = result.halt.clone();
-        let success = result.halt.is_success();
         if !success {
             *self.world = snapshot;
         }
@@ -642,15 +690,12 @@ impl<'w> Evm<'w> {
         if owned.stack.capacity() == 0 {
             owned.stack.reserve(64);
         }
-        let outcome = self.run_frame_inner(
-            view,
-            ctx,
-            frames,
-            trace,
-            scratch,
-            &mut owned,
-            LoopState::start(ctx.gas),
-        );
+        let env = ExecEnv {
+            frames: &mut *frames,
+            trace: &mut *trace,
+            scratch: &mut *scratch,
+        };
+        let outcome = self.run_frame_inner(view, ctx, env, &mut owned, LoopState::start(ctx.gas));
         scratch.put(ctx.depth, owned);
         match outcome {
             FrameOutcome::Done(result) => result,
@@ -680,23 +725,29 @@ impl<'w> Evm<'w> {
         // identical by construction; the knob exists so the differential
         // suite can pin them against each other.
         let outcome = if self.config.direct_threaded {
+            let env = ExecEnv {
+                frames: &mut *frames,
+                trace: &mut *trace,
+                scratch: &mut *scratch,
+            };
             crate::threaded::run(
                 self,
                 program,
                 ctx,
-                frames,
-                trace,
-                scratch,
+                env,
                 &mut owned,
                 LoopState::start(ctx.gas),
             )
         } else {
+            let env = ExecEnv {
+                frames: &mut *frames,
+                trace: &mut *trace,
+                scratch: &mut *scratch,
+            };
             self.run_frame_inner(
                 &BlockCode(program),
                 ctx,
-                frames,
-                trace,
-                scratch,
+                env,
                 &mut owned,
                 LoopState::start(ctx.gas),
             )
@@ -712,7 +763,12 @@ impl<'w> Evm<'w> {
                 // the exact fault or out-of-gas point the block's envelope
                 // could not rule out.
                 let view = PredecodedCode(program.base().as_ref());
-                match self.run_frame_inner(&view, ctx, frames, trace, scratch, &mut owned, state) {
+                let env = ExecEnv {
+                    frames: &mut *frames,
+                    trace: &mut *trace,
+                    scratch: &mut *scratch,
+                };
+                match self.run_frame_inner(&view, ctx, env, &mut owned, state) {
                     FrameOutcome::Done(result) => result,
                     FrameOutcome::Deopt(_) => unreachable!("per-instruction view cannot deopt"),
                 }
@@ -725,17 +781,19 @@ impl<'w> Evm<'w> {
     /// The dispatch loop. `state` is fresh at frame entry and carries the
     /// live loop variables across a block-mode deopt (the cursor is a view
     /// cursor, so a deopt state's cursor addresses the per-instruction view).
-    #[allow(clippy::too_many_arguments)]
     fn run_frame_inner<V: CodeView>(
         &mut self,
         view: &V,
         ctx: FrameCtx<'_>,
-        frames: &mut Vec<FrameInfo>,
-        trace: &mut ExecutionTrace,
-        scratch: &mut ExecFrame,
+        env: ExecEnv<'_>,
         owned: &mut DepthScratch,
         state: LoopState,
     ) -> FrameOutcome {
+        let ExecEnv {
+            frames,
+            trace,
+            scratch,
+        } = env;
         let FrameCtx {
             code_address,
             storage_address,
@@ -743,6 +801,7 @@ impl<'w> Evm<'w> {
             origin,
             value,
             calldata,
+            code,
             gas: _,
             depth,
         } = ctx;
@@ -759,6 +818,7 @@ impl<'w> Evm<'w> {
             mut caller_guard_seen,
             mut unchecked_calls,
             mut truncated_events,
+            mut return_data,
         } = state;
 
         macro_rules! fault {
@@ -844,6 +904,7 @@ impl<'w> Evm<'w> {
                             caller_guard_seen,
                             unchecked_calls,
                             truncated_events,
+                            return_data,
                         });
                     }
                     gas_left -= block.static_gas;
@@ -865,6 +926,7 @@ impl<'w> Evm<'w> {
                                 caller_guard_seen,
                                 unchecked_calls,
                                 truncated_events,
+                                return_data,
                             });
                         }};
                     }
@@ -891,6 +953,7 @@ impl<'w> Evm<'w> {
                                     caller_guard_seen,
                                     unchecked_calls,
                                     truncated_events,
+                                    return_data,
                                 });
                             }
                             gas_left -= instr.tail;
@@ -1468,17 +1531,38 @@ impl<'w> Evm<'w> {
                         }
                         Fused::PushSLoad => {
                             bulk!();
+                            gas_left += instr.tail;
                             let slot = parts[0].imm;
+                            // EIP-2929: the first touch of the slot this
+                            // transaction pays the cold surcharge, billed on
+                            // the exact counter the tail anchor exposes.
+                            let surcharge = scratch.access.slot_surcharge(storage_address, slot);
+                            if gas_left < surcharge {
+                                out_of_gas!();
+                            }
+                            gas_left -= surcharge;
                             let val = self.world.storage(storage_address, slot);
                             let stored_taint = self.world.storage_taint(storage_address, slot);
                             push!(val, Taint::STORAGE | stored_taint);
+                            recharge_tail!();
                             cursor = instr.next;
                         }
                         Fused::PushSStore => {
                             bulk!();
+                            gas_left += instr.tail;
                             let slot = parts[0].imm;
                             let (val, tv) = pop!();
+                            let surcharge = scratch.access.slot_surcharge(storage_address, slot);
+                            if gas_left < surcharge {
+                                out_of_gas!();
+                            }
+                            gas_left -= surcharge;
                             let old = self.world.storage(storage_address, slot);
+                            if !old.is_zero() && val.is_zero() {
+                                // EIP-3529: clearing a slot earns a refund,
+                                // journaled so a reverting frame forfeits it.
+                                scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+                            }
                             trace.storage_writes.push(StorageWrite {
                                 pc: parts[1].pc as usize,
                                 contract: storage_address,
@@ -1495,18 +1579,32 @@ impl<'w> Evm<'w> {
                                 }
                             }
                             self.world.set_storage(storage_address, slot, val, tv);
+                            recharge_tail!();
                             cursor = instr.next;
                         }
                         Fused::StorageExprStore => {
                             // A whole `storage_var = storage_var ⊕ c`
-                            // statement: load, fold, store back — all
-                            // statically billed (SLOAD and SSTORE have no
-                            // dynamic component in this schedule), with no
-                            // stack traffic at all.
-                            bulk!();
+                            // statement: load, fold, store back with no
+                            // stack traffic. Both storage ops carry a
+                            // dynamic EIP-2929 surcharge, so (like the
+                            // `MapSlot*` family) the arm rewinds to the
+                            // exact per-instruction counter at the unit's
+                            // start and replays every constituent's billing
+                            // in order.
+                            gas_left += instr.head;
+                            charge!(0);
+                            charge!(1);
+                            charge!(2);
                             let slot = parts[1].imm;
+                            let surcharge = scratch.access.slot_surcharge(storage_address, slot);
+                            if gas_left < surcharge {
+                                prefix!(2);
+                                out_of_gas!();
+                            }
+                            gas_left -= surcharge;
                             let loaded = self.world.storage(storage_address, slot);
                             let stored_taint = self.world.storage_taint(storage_address, slot);
+                            charge!(3);
                             let (val, tv) = fused_binop!(
                                 parts[3].op,
                                 parts[3].pc as usize,
@@ -1514,8 +1612,20 @@ impl<'w> Evm<'w> {
                                 parts[0].imm,
                                 Taint::STORAGE | stored_taint
                             );
+                            charge!(4);
+                            charge!(5);
                             let out_slot = parts[4].imm;
+                            let surcharge =
+                                scratch.access.slot_surcharge(storage_address, out_slot);
+                            if gas_left < surcharge {
+                                prefix!(5);
+                                out_of_gas!();
+                            }
+                            gas_left -= surcharge;
                             let old = self.world.storage(storage_address, out_slot);
+                            if !old.is_zero() && val.is_zero() {
+                                scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+                            }
                             trace.storage_writes.push(StorageWrite {
                                 pc: parts[5].pc as usize,
                                 contract: storage_address,
@@ -1532,6 +1642,26 @@ impl<'w> Evm<'w> {
                                 }
                             }
                             self.world.set_storage(storage_address, out_slot, val, tv);
+                            bulk!();
+                            // Restore block billing exactly as `MapSlot*`
+                            // does: re-charge the statics of the block's
+                            // instructions after this unit, deopting with
+                            // the exact counter if the surcharges drained
+                            // what the block had pre-paid.
+                            let unit_statics: u64 = parts.iter().map(|di| static_gas(di.op)).sum();
+                            let after = instr.head - unit_statics;
+                            if gas_left < after {
+                                return FrameOutcome::Deopt(LoopState {
+                                    cursor: instr.instr_next as usize,
+                                    gas_left,
+                                    last_cmp,
+                                    caller_guard_seen,
+                                    unchecked_calls,
+                                    truncated_events,
+                                    return_data,
+                                });
+                            }
+                            gas_left -= after;
                             cursor = instr.next;
                         }
                         Fused::MapSlotSha3 | Fused::MapSlotSLoad | Fused::MapSlotSStore => {
@@ -1605,6 +1735,13 @@ impl<'w> Evm<'w> {
                                 }
                                 Fused::MapSlotSLoad => {
                                     charge!(8);
+                                    let surcharge =
+                                        scratch.access.slot_surcharge(storage_address, digest);
+                                    if gas_left < surcharge {
+                                        prefix!(8);
+                                        out_of_gas!();
+                                    }
+                                    gas_left -= surcharge;
                                     let val = self.world.storage(storage_address, digest);
                                     let stored_taint =
                                         self.world.storage_taint(storage_address, digest);
@@ -1613,7 +1750,17 @@ impl<'w> Evm<'w> {
                                 _ => {
                                     charge!(8);
                                     let (val, tv) = pop!();
+                                    let surcharge =
+                                        scratch.access.slot_surcharge(storage_address, digest);
+                                    if gas_left < surcharge {
+                                        prefix!(8);
+                                        out_of_gas!();
+                                    }
+                                    gas_left -= surcharge;
                                     let old = self.world.storage(storage_address, digest);
+                                    if !old.is_zero() && val.is_zero() {
+                                        scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+                                    }
                                     trace.storage_writes.push(StorageWrite {
                                         pc: parts[8].pc as usize,
                                         contract: storage_address,
@@ -1649,6 +1796,7 @@ impl<'w> Evm<'w> {
                                     caller_guard_seen,
                                     unchecked_calls,
                                     truncated_events,
+                                    return_data,
                                 });
                             }
                             gas_left -= after;
@@ -1886,8 +2034,78 @@ impl<'w> Evm<'w> {
                 Opcode::Address => push!(code_address.to_u256(), Taint::empty()),
                 Opcode::Balance => {
                     let (who, _t) = pop!();
-                    let bal = self.world.balance(Address::from_u256(who));
+                    let who = Address::from_u256(who);
+                    // EIP-2929: the first touch of the account this
+                    // transaction pays the cold surcharge.
+                    let surcharge = scratch.access.address_surcharge(who);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
+                    let bal = self.world.balance(who);
                     push!(bal, Taint::BALANCE);
+                }
+                Opcode::ExtCodeSize => {
+                    let (who, _t) = pop!();
+                    let who = Address::from_u256(who);
+                    let surcharge = scratch.access.address_surcharge(who);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
+                    let size = self.world.code(who).len();
+                    push!(U256::from_u64(size as u64), Taint::empty());
+                }
+                Opcode::ExtCodeHash => {
+                    let (who, _t) = pop!();
+                    let who = Address::from_u256(who);
+                    let surcharge = scratch.access.address_surcharge(who);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
+                    // Zero for a non-existent account, the code hash (of the
+                    // empty blob for an EOA) otherwise.
+                    let hash = match self.world.account(who) {
+                        None => U256::ZERO,
+                        Some(account) => U256::from_be_bytes(keccak256(&account.code)),
+                    };
+                    push!(hash, Taint::empty());
+                }
+                Opcode::ExtCodeCopy => {
+                    let (who, _t) = pop!();
+                    let (dst, _) = pop!();
+                    let (src, _) = pop!();
+                    let (len, _) = pop!();
+                    let who = Address::from_u256(who);
+                    let surcharge = scratch.access.address_surcharge(who);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
+                    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+                        (Some(d), Some(s), Some(l)) if l <= self.config.max_memory => (d, s, l),
+                        _ => fault!("extcodecopy out of bounds"),
+                    };
+                    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+                    if gas_left < dynamic {
+                        out_of_gas!();
+                    }
+                    gas_left -= dynamic;
+                    let span = match mem_span(dst, len) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
+                    let ext = self.world.code(who);
+                    for i in 0..len {
+                        memory[dst + i] = ext.get(src.saturating_add(i)).copied().unwrap_or(0);
+                    }
                 }
                 Opcode::SelfBalance => {
                     push!(self.world.balance(storage_address), Taint::BALANCE);
@@ -1926,6 +2144,70 @@ impl<'w> Evm<'w> {
                     }
                 }
                 Opcode::CodeSize => push!(U256::from_u64(view.code_len() as u64), Taint::empty()),
+                Opcode::CodeCopy => {
+                    let (dst, _) = pop!();
+                    let (src, _) = pop!();
+                    let (len, _) = pop!();
+                    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+                        (Some(d), Some(s), Some(l)) if l <= self.config.max_memory => (d, s, l),
+                        _ => fault!("codecopy out of bounds"),
+                    };
+                    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+                    if gas_left < dynamic {
+                        out_of_gas!();
+                    }
+                    gas_left -= dynamic;
+                    let span = match mem_span(dst, len) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
+                    // Reads past the end of the code are zero-padded (the
+                    // EVM's implicit trailing STOP region).
+                    for i in 0..len {
+                        memory[dst + i] = code.get(src.saturating_add(i)).copied().unwrap_or(0);
+                    }
+                }
+                Opcode::ReturnDataSize => {
+                    push!(U256::from_u64(return_data.len() as u64), Taint::empty())
+                }
+                Opcode::ReturnDataCopy => {
+                    let (dst, _) = pop!();
+                    let (src, _) = pop!();
+                    let (len, _) = pop!();
+                    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+                        (Some(d), Some(s), Some(l)) if l <= self.config.max_memory => (d, s, l),
+                        _ => fault!("returndatacopy out of bounds"),
+                    };
+                    // Unlike CALLDATACOPY's zero padding, reading past the
+                    // end of the return buffer is an exceptional halt
+                    // (EIP-211).
+                    match src.checked_add(len) {
+                        Some(end) if end <= return_data.len() => {}
+                        _ => fault!("returndatacopy out of bounds"),
+                    }
+                    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+                    if gas_left < dynamic {
+                        out_of_gas!();
+                    }
+                    gas_left -= dynamic;
+                    let span = match mem_span(dst, len) {
+                        Ok(s) => s,
+                        Err(e) => fault!(e),
+                    };
+                    mem_try!(ensure_memory(
+                        memory,
+                        span,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
+                    memory[dst..dst + len].copy_from_slice(&return_data[src..src + len]);
+                }
                 Opcode::GasPrice => push!(U256::from_u64(1_000_000_000), Taint::empty()),
                 Opcode::BlockHash => {
                     let (n, _t) = pop!();
@@ -1937,6 +2219,8 @@ impl<'w> Evm<'w> {
                 Opcode::Number => push!(U256::from_u64(self.block.number), Taint::BLOCK),
                 Opcode::Difficulty => push!(self.block.difficulty, Taint::BLOCK),
                 Opcode::GasLimit => push!(U256::from_u64(self.block.gas_limit), Taint::empty()),
+                Opcode::ChainId => push!(U256::from_u64(self.block.chain_id), Taint::BLOCK),
+                Opcode::BaseFee => push!(self.block.base_fee, Taint::BLOCK),
                 Opcode::Pop => {
                     pop!();
                 }
@@ -2000,6 +2284,12 @@ impl<'w> Evm<'w> {
                 }
                 Opcode::SLoad => {
                     let (slot, _ts) = pop!();
+                    // EIP-2929: cold slots pay the surcharge on first touch.
+                    let surcharge = scratch.access.slot_surcharge(storage_address, slot);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
                     let val = self.world.storage(storage_address, slot);
                     let stored_taint = self.world.storage_taint(storage_address, slot);
                     push!(val, Taint::STORAGE | stored_taint);
@@ -2007,7 +2297,17 @@ impl<'w> Evm<'w> {
                 Opcode::SStore => {
                     let (slot, _ts) = pop!();
                     let (val, tv) = pop!();
+                    let surcharge = scratch.access.slot_surcharge(storage_address, slot);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
                     let old = self.world.storage(storage_address, slot);
+                    if !old.is_zero() && val.is_zero() {
+                        // EIP-3529: clearing a slot earns a (journaled,
+                        // settlement-capped) refund.
+                        scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+                    }
                     trace.storage_writes.push(StorageWrite {
                         pc,
                         contract: storage_address,
@@ -2115,8 +2415,8 @@ impl<'w> Evm<'w> {
                     };
                     let (args_offset, _) = pop!();
                     let (args_len, _) = pop!();
-                    let (_ret_offset, _) = pop!();
-                    let (_ret_len, _) = pop!();
+                    let (ret_offset, _) = pop!();
+                    let (ret_len, _) = pop!();
 
                     let to = Address::from_u256(to_word);
                     let kind = match op {
@@ -2134,6 +2434,14 @@ impl<'w> Evm<'w> {
                         &mut gas_left,
                         args_buf,
                     ));
+                    // EIP-2929: the first touch of the callee account this
+                    // transaction pays the cold surcharge, before any gas is
+                    // forwarded.
+                    let surcharge = scratch.access.address_surcharge(to);
+                    if gas_left < surcharge {
+                        out_of_gas!();
+                    }
+                    gas_left -= surcharge;
                     // EIP-150 all-but-one-64th: the caller always retains at
                     // least 1/64 of its remaining gas, so an outer frame can
                     // finish (and e.g. persist state) even when the callee
@@ -2191,7 +2499,28 @@ impl<'w> Evm<'w> {
                         ev.callee_exception = callee_exception;
                     }
                     unchecked_calls.push(call_idx);
-                    let _ = output;
+                    // The callee's output becomes this frame's RETURNDATA
+                    // buffer (empty after an exceptional halt), and the part
+                    // that fits is copied into the caller's return region.
+                    return_data = output;
+                    let ret_n = ret_len.to_usize().unwrap_or(0).min(return_data.len());
+                    if ret_n > 0 {
+                        let offset = match ret_offset.to_usize() {
+                            Some(o) => o,
+                            None => fault!("return region out of bounds"),
+                        };
+                        let span = match mem_span(offset, ret_n) {
+                            Ok(s) => s,
+                            Err(e) => fault!(e),
+                        };
+                        mem_try!(ensure_memory(
+                            memory,
+                            span,
+                            self.config.max_memory,
+                            &mut gas_left
+                        ));
+                        memory[offset..offset + ret_n].copy_from_slice(&return_data[..ret_n]);
+                    }
                     push!(U256::from(success), Taint::CALL_RESULT);
                 }
                 Opcode::Create => {
@@ -2201,6 +2530,37 @@ impl<'w> Evm<'w> {
                     let (_offset, _) = pop!();
                     let (_len, _) = pop!();
                     push!(U256::ZERO, Taint::empty());
+                }
+                Opcode::Create2 => {
+                    let (create_value, _tv) = pop!();
+                    let (offset, _) = pop!();
+                    let (len, _) = pop!();
+                    let (salt, _) = pop!();
+                    let init = mem_try!(read_memory_range(
+                        memory,
+                        offset,
+                        len,
+                        self.config.max_memory,
+                        &mut gas_left
+                    ));
+                    // Hashing the init code for the deterministic address
+                    // derivation costs the Keccak word price.
+                    let dynamic = SHA3_WORD_GAS * (init.len() as u64).div_ceil(32);
+                    if gas_left < dynamic {
+                        out_of_gas!();
+                    }
+                    gas_left -= dynamic;
+                    let site = CreateSite {
+                        creator: storage_address,
+                        origin,
+                        value: create_value,
+                        salt,
+                        depth,
+                    };
+                    let (created, out) =
+                        self.do_create2(site, &init, frames, trace, scratch, &mut gas_left);
+                    return_data = out;
+                    push!(created, Taint::CALL_RESULT);
                 }
                 Opcode::Return => {
                     let (offset, _) = pop!();
@@ -2261,6 +2621,13 @@ impl<'w> Evm<'w> {
                     });
                 }
                 Opcode::Unknown(b) => {
+                    // Conformance-tagged exceptional halt: record which byte
+                    // at which pc fell outside the implemented surface, so
+                    // vector runs and ingested-blob campaigns can separate
+                    // "unsupported opcode" from "interpreter bug".
+                    trace
+                        .conformance
+                        .push(ConformanceEvent { pc, byte: b, depth });
                     fault!(format!("unknown opcode 0x{b:02x}"));
                 }
             }
@@ -2277,6 +2644,7 @@ impl<'w> Evm<'w> {
                         caller_guard_seen,
                         unchecked_calls,
                         truncated_events,
+                        return_data,
                     });
                 }
                 gas_left -= instr.tail;
@@ -2357,10 +2725,15 @@ impl<'w> Evm<'w> {
                             origin,
                             value: U256::ZERO,
                             calldata: &callback_data,
+                            code: &callee_code,
                             gas: callback_gas,
                             depth: depth + 2,
                         };
+                        let cp = scratch.access.checkpoint();
                         let result = self.dispatch_frame(&callee_code, ctx, frames, trace, scratch);
+                        if !result.halt.is_success() {
+                            scratch.access.revert_to(cp);
+                        }
                         gas_spent = callback_gas.saturating_sub(result.gas_left);
                         frames.pop();
                     }
@@ -2387,12 +2760,19 @@ impl<'w> Evm<'w> {
                     origin,
                     value: exec_value,
                     calldata: args,
+                    code: &code,
                     gas,
                     depth: depth + 1,
                 };
+                // Journal checkpoint: a reverting callee must not leave warm
+                // access entries or refunds behind (EIP-2929/3529 semantics).
+                let cp = scratch.access.checkpoint();
                 let result = self.dispatch_frame(&code, ctx, frames, trace, scratch);
                 frames.pop();
                 let success = result.halt.is_success();
+                if !success {
+                    scratch.access.revert_to(cp);
+                }
                 let exception = matches!(
                     result.halt,
                     HaltReason::Invalid | HaltReason::Fault(_) | HaltReason::OutOfGas
@@ -2410,6 +2790,112 @@ impl<'w> Evm<'w> {
                 };
                 (success, exception, result.output, gas_spent)
             }
+        }
+    }
+
+    /// Deploy a contract via `CREATE2`: derive the deterministic address
+    /// (`keccak(0xff ‖ creator ‖ salt ‖ keccak(init))[12..]`), run the init
+    /// code, and install its return data as the new account's runtime code.
+    ///
+    /// Returns `(created_address_or_zero, return_data)`; `gas_left` is
+    /// debited in place for the child frame's consumption (all forwarded gas
+    /// on an exceptional halt, EIP-150 style). Depth exhaustion, an
+    /// unpayable endowment and address collisions push zero without spending
+    /// gas, like a failed call. No [`CallEvent`](crate::trace::CallEvent) is
+    /// recorded: creations are not message calls, and the reentrancy oracle
+    /// keys off call events.
+    pub(crate) fn do_create2(
+        &mut self,
+        site: CreateSite,
+        init: &[u8],
+        frames: &mut Vec<FrameInfo>,
+        trace: &mut ExecutionTrace,
+        scratch: &mut ExecFrame,
+        gas_left: &mut u64,
+    ) -> (U256, Vec<u8>) {
+        let CreateSite {
+            creator,
+            origin,
+            value,
+            salt,
+            depth,
+        } = site;
+        if depth + 1 >= self.config.max_call_depth {
+            return (U256::ZERO, vec![]);
+        }
+
+        let mut preimage = Vec::with_capacity(1 + 20 + 32 + 32);
+        preimage.push(0xff);
+        preimage.extend_from_slice(&creator.0);
+        preimage.extend_from_slice(&salt.to_be_bytes());
+        preimage.extend_from_slice(&keccak256(init));
+        let digest = keccak256(&preimage);
+        let mut raw = [0u8; 20];
+        raw.copy_from_slice(&digest[12..32]);
+        let created = Address(raw);
+
+        // Address collision (an account with code or a used nonce already
+        // lives there) fails the creation outright.
+        if let Some(acct) = self.world.account(created) {
+            if !acct.code.is_empty() || acct.nonce != 0 {
+                return (U256::ZERO, vec![]);
+            }
+        }
+
+        // The journal checkpoint is taken *before* the new account is
+        // touched, so a failed creation leaves it cold again.
+        let cp = scratch.access.checkpoint();
+        scratch.access.touch_address(created);
+
+        // Endowment transfer; an unpayable value fails the creation.
+        if !self.world.transfer(creator, created, value) {
+            scratch.access.revert_to(cp);
+            return (U256::ZERO, vec![]);
+        }
+
+        // EIP-150: forward all but one 64th of the remaining gas.
+        let forwarded = *gas_left - *gas_left / 64;
+        let init_arc = Arc::new(init.to_vec());
+        frames.push(FrameInfo {
+            code_address: created,
+        });
+        let ctx = FrameCtx {
+            code_address: created,
+            storage_address: created,
+            caller: creator,
+            origin,
+            value,
+            calldata: &[],
+            code: &init_arc,
+            gas: forwarded,
+            depth: depth + 1,
+        };
+        let result = self.dispatch_frame(&init_arc, ctx, frames, trace, scratch);
+        frames.pop();
+        let success = result.halt.is_success();
+        let exception = matches!(
+            result.halt,
+            HaltReason::Invalid | HaltReason::Fault(_) | HaltReason::OutOfGas
+        );
+        let gas_spent = if exception {
+            forwarded
+        } else {
+            forwarded.saturating_sub(result.gas_left)
+        };
+        *gas_left = gas_left.saturating_sub(gas_spent);
+        if success {
+            let acct = self.world.account_mut(created);
+            acct.code = Arc::new(result.output);
+            acct.nonce = 1;
+            (created.to_u256(), vec![])
+        } else {
+            // Undo the endowment, the access-set entries and any refunds the
+            // init frame earned; a REVERT's output becomes the caller's
+            // RETURNDATA buffer.
+            self.world.transfer(created, creator, value);
+            scratch.access.revert_to(cp);
+            let output = if exception { vec![] } else { result.output };
+            (U256::ZERO, output)
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod types;
 pub mod u256;
 
 pub use env::{BlockEnv, ExecutionResult, Message};
-pub use gas::static_gas;
+pub use gas::{static_gas, AccessCheckpoint, AccessSets};
 pub use interpreter::{Evm, EvmConfig, ExecFrame};
 pub use keccak::{keccak256, selector};
 pub use opcode::{disassemble, Instruction, Opcode};
@@ -57,8 +57,8 @@ pub use program::{
 };
 pub use state::{Account, HostBehaviour, WorldState};
 pub use trace::{
-    ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace,
-    HaltReason, SelfDestructEvent, StorageWrite, Taint,
+    ArithEvent, BranchEdge, BranchRecord, CallEvent, CallKind, CmpKind, Comparison,
+    ConformanceEvent, ExecutionTrace, HaltReason, SelfDestructEvent, StorageWrite, Taint,
 };
 pub use types::{ether, finney, Address};
 pub use u256::U256;

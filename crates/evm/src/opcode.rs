@@ -48,7 +48,13 @@ pub enum Opcode {
     CallDataSize,
     CallDataCopy,
     CodeSize,
+    CodeCopy,
     GasPrice,
+    ExtCodeSize,
+    ExtCodeCopy,
+    ReturnDataSize,
+    ReturnDataCopy,
+    ExtCodeHash,
 
     BlockHash,
     Coinbase,
@@ -56,7 +62,9 @@ pub enum Opcode {
     Number,
     Difficulty,
     GasLimit,
+    ChainId,
     SelfBalance,
+    BaseFee,
 
     Pop,
     MLoad,
@@ -85,6 +93,7 @@ pub enum Opcode {
     CallCode,
     Return,
     DelegateCall,
+    Create2,
     StaticCall,
     Revert,
     Invalid,
@@ -135,14 +144,22 @@ impl Opcode {
             0x36 => CallDataSize,
             0x37 => CallDataCopy,
             0x38 => CodeSize,
+            0x39 => CodeCopy,
             0x3a => GasPrice,
+            0x3b => ExtCodeSize,
+            0x3c => ExtCodeCopy,
+            0x3d => ReturnDataSize,
+            0x3e => ReturnDataCopy,
+            0x3f => ExtCodeHash,
             0x40 => BlockHash,
             0x41 => Coinbase,
             0x42 => Timestamp,
             0x43 => Number,
             0x44 => Difficulty,
             0x45 => GasLimit,
+            0x46 => ChainId,
             0x47 => SelfBalance,
+            0x48 => BaseFee,
             0x50 => Pop,
             0x51 => MLoad,
             0x52 => MStore,
@@ -164,6 +181,7 @@ impl Opcode {
             0xf2 => CallCode,
             0xf3 => Return,
             0xf4 => DelegateCall,
+            0xf5 => Create2,
             0xfa => StaticCall,
             0xfd => Revert,
             0xfe => Invalid,
@@ -212,14 +230,22 @@ impl Opcode {
             CallDataSize => 0x36,
             CallDataCopy => 0x37,
             CodeSize => 0x38,
+            CodeCopy => 0x39,
             GasPrice => 0x3a,
+            ExtCodeSize => 0x3b,
+            ExtCodeCopy => 0x3c,
+            ReturnDataSize => 0x3d,
+            ReturnDataCopy => 0x3e,
+            ExtCodeHash => 0x3f,
             BlockHash => 0x40,
             Coinbase => 0x41,
             Timestamp => 0x42,
             Number => 0x43,
             Difficulty => 0x44,
             GasLimit => 0x45,
+            ChainId => 0x46,
             SelfBalance => 0x47,
+            BaseFee => 0x48,
             Pop => 0x50,
             MLoad => 0x51,
             MStore => 0x52,
@@ -241,6 +267,7 @@ impl Opcode {
             CallCode => 0xf2,
             Return => 0xf3,
             DelegateCall => 0xf4,
+            Create2 => 0xf5,
             StaticCall => 0xfa,
             Revert => 0xfd,
             Invalid => 0xfe,
@@ -263,13 +290,14 @@ impl Opcode {
         match self {
             Stop | JumpDest | Pc | MSize | Gas | Address | Origin | Caller | CallValue
             | CallDataSize | CodeSize | GasPrice | Coinbase | Timestamp | Number | Difficulty
-            | GasLimit | SelfBalance | Push(_) => 0,
+            | GasLimit | ChainId | SelfBalance | BaseFee | ReturnDataSize | Push(_) => 0,
             IsZero | Not | Balance | CallDataLoad | MLoad | SLoad | BlockHash | Pop | Jump
-            | SelfDestruct => 1,
+            | ExtCodeSize | ExtCodeHash | SelfDestruct => 1,
             Add | Mul | Sub | Div | Sdiv | Mod | Smod | Exp | SignExtend | Lt | Gt | Slt | Sgt
             | Eq | And | Or | Xor | Byte | Shl | Shr | Sar | Sha3 | MStore | MStore8 | SStore
             | JumpI | Return | Revert => 2,
-            AddMod | MulMod | CallDataCopy | Create => 3,
+            AddMod | MulMod | CallDataCopy | CodeCopy | ReturnDataCopy | Create => 3,
+            ExtCodeCopy | Create2 => 4,
             Log(n) => 2 + n as usize,
             DelegateCall | StaticCall => 6,
             Call | CallCode => 7,
@@ -284,10 +312,11 @@ impl Opcode {
         use Opcode::*;
         match self {
             Stop | JumpDest | Pop | Jump | JumpI | MStore | MStore8 | SStore | CallDataCopy
-            | Return | Revert | SelfDestruct | Log(_) | Invalid | Unknown(_) => 0,
+            | CodeCopy | ReturnDataCopy | ExtCodeCopy | Return | Revert | SelfDestruct | Log(_)
+            | Invalid | Unknown(_) => 0,
             Swap(n) => n as usize + 1,
             Dup(n) => n as usize + 1,
-            Call | CallCode | DelegateCall | StaticCall | Create => 1,
+            Call | CallCode | DelegateCall | StaticCall | Create | Create2 => 1,
             _ => 1,
         }
     }
@@ -439,6 +468,26 @@ mod tests {
         let instrs = disassemble(&code);
         assert_eq!(instrs.len(), 1);
         assert_eq!(instrs[0].immediate, vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn conformance_surface_decodes() {
+        assert_eq!(Opcode::from_byte(0x39), Opcode::CodeCopy);
+        assert_eq!(Opcode::from_byte(0x3b), Opcode::ExtCodeSize);
+        assert_eq!(Opcode::from_byte(0x3c), Opcode::ExtCodeCopy);
+        assert_eq!(Opcode::from_byte(0x3d), Opcode::ReturnDataSize);
+        assert_eq!(Opcode::from_byte(0x3e), Opcode::ReturnDataCopy);
+        assert_eq!(Opcode::from_byte(0x3f), Opcode::ExtCodeHash);
+        assert_eq!(Opcode::from_byte(0x46), Opcode::ChainId);
+        assert_eq!(Opcode::from_byte(0x48), Opcode::BaseFee);
+        assert_eq!(Opcode::from_byte(0xf5), Opcode::Create2);
+        assert_eq!(Opcode::ReturnDataCopy.stack_inputs(), 3);
+        assert_eq!(Opcode::ExtCodeCopy.stack_inputs(), 4);
+        assert_eq!(Opcode::Create2.stack_inputs(), 4);
+        assert_eq!(Opcode::Create2.stack_outputs(), 1);
+        assert_eq!(Opcode::ChainId.stack_inputs(), 0);
+        assert_eq!(Opcode::ChainId.mnemonic(), "CHAINID");
+        assert_eq!(Opcode::Create2.mnemonic(), "CREATE2");
     }
 
     #[test]

@@ -137,36 +137,50 @@ impl DecodedProgram {
 
 /// True for opcodes that end a basic block.
 ///
-/// Control-flow terminators end a block by definition. The call family and
-/// `CREATE` also end theirs: they forward a fraction of the *exact* counter
-/// into another frame, so the block's accounting must be fully settled
-/// before them. `Unknown` faults while gas remains; keeping it block-final
-/// keeps the reported `gas_left` exact without a residual.
+/// Control-flow terminators end a block by definition. The call family,
+/// `CREATE` and `CREATE2` also end theirs: they forward a fraction of the
+/// *exact* counter into another frame, so the block's accounting must be
+/// fully settled before them. `Unknown` faults while gas remains; keeping it
+/// block-final keeps the reported `gas_left` exact without a residual.
 ///
 /// Every other opcode — including the dynamically billed memory / `SHA3` /
-/// `EXP` ops and the gas-observing `GAS` — stays inside its block: its unit
-/// carries a [`BlockUnit::tail`] residual that the dispatch loop un-charges
-/// around the arm, so the arm observes, bills and faults against the exact
+/// `EXP` ops, the EIP-2929 warm/cold storage and account accesses and the
+/// gas-observing `GAS` — stays inside its block: its unit carries a
+/// [`BlockUnit::tail`] residual that the dispatch loop un-charges around the
+/// arm, so the arm observes, bills and faults against the exact
 /// per-instruction gas value even though the whole block was pre-charged.
 fn ends_block(op: Opcode) -> bool {
     use Opcode::*;
     op.is_terminator()
         || matches!(
             op,
-            Call | CallCode | DelegateCall | StaticCall | Create | Unknown(_)
+            Call | CallCode | DelegateCall | StaticCall | Create | Create2 | Unknown(_)
         )
 }
 
 /// Ops whose dispatch arm must see the exact per-instruction gas counter
-/// mid-block: dynamic billing (memory expansion, `EXP`, `SHA3`,
-/// `CALLDATACOPY`), gas observation (`GAS`), or faults that report
-/// `gas_left` (the memory ops again). Their units carry a non-zero
-/// [`BlockUnit::tail`].
+/// mid-block: dynamic billing (memory expansion, `EXP`, `SHA3`, the copy
+/// family), EIP-2929 warm/cold surcharges (`SLOAD`/`SSTORE`/`BALANCE`/
+/// `EXTCODE*`), gas observation (`GAS`), or faults that report `gas_left`
+/// (the memory ops again). Their units carry a non-zero [`BlockUnit::tail`].
 fn needs_exact_gas(op: Opcode) -> bool {
     use Opcode::*;
     matches!(
         op,
-        Exp | Sha3 | CallDataCopy | MLoad | MStore | MStore8 | Gas
+        Exp | Sha3
+            | CallDataCopy
+            | MLoad
+            | MStore
+            | MStore8
+            | Gas
+            | SLoad
+            | SStore
+            | Balance
+            | CodeCopy
+            | ReturnDataCopy
+            | ExtCodeSize
+            | ExtCodeCopy
+            | ExtCodeHash
     )
 }
 

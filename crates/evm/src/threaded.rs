@@ -20,18 +20,18 @@
 //! [`EvmConfig::direct_threaded`](crate::EvmConfig) knob selects which one
 //! runs.
 
-use crate::gas::{static_gas, EXP_BYTE_GAS};
+use crate::gas::{static_gas, COPY_WORD_GAS, EXP_BYTE_GAS, SHA3_WORD_GAS, SSTORE_CLEAR_REFUND};
 use crate::interpreter::{
     calldata_word, ensure_memory, exp_u256, fused_binop_eval, mem_span, read_memory_into,
-    read_memory_range, BinopSite, CallContext, DepthScratch, Evm, ExecFrame, FrameCtx, FrameInfo,
-    FrameOutcome, FrameResult, LoopState, MemFail,
+    read_memory_range, BinopSite, CallContext, CreateSite, DepthScratch, Evm, ExecEnv, ExecFrame,
+    FrameCtx, FrameInfo, FrameOutcome, FrameResult, LoopState, MemFail,
 };
 use crate::keccak::keccak256;
 use crate::opcode::Opcode;
 use crate::program::{BlockProgram, BlockUnit, DecodedInstr, Fused};
 use crate::trace::{
-    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ExecutionTrace, HaltReason,
-    SelfDestructEvent, Taint,
+    ArithEvent, BranchRecord, CallEvent, CallKind, CmpKind, Comparison, ConformanceEvent,
+    ExecutionTrace, HaltReason, SelfDestructEvent, Taint,
 };
 use crate::types::Address;
 use crate::u256::U256;
@@ -73,6 +73,8 @@ pub(crate) struct Machine<'m, 'w> {
     origin: Address,
     value: U256,
     calldata: &'m [u8],
+    /// The frame's executing bytecode (for `CODECOPY`).
+    code: &'m [u8],
     depth: usize,
     frames: &'m mut Vec<FrameInfo>,
     trace: &'m mut ExecutionTrace,
@@ -85,6 +87,8 @@ pub(crate) struct Machine<'m, 'w> {
     caller_guard_seen: bool,
     unchecked_calls: Vec<usize>,
     truncated_events: Vec<usize>,
+    /// The frame's RETURNDATA buffer (EIP-211).
+    return_data: Vec<u8>,
     /// Halt payload parked by a handler returning [`Step::Done`].
     halt: Option<FrameResult>,
 }
@@ -101,6 +105,7 @@ impl Machine<'_, '_> {
             caller_guard_seen: self.caller_guard_seen,
             unchecked_calls: std::mem::take(&mut self.unchecked_calls),
             truncated_events: std::mem::take(&mut self.truncated_events),
+            return_data: std::mem::take(&mut self.return_data),
         }
     }
 }
@@ -274,17 +279,19 @@ macro_rules! t_binop {
 /// envelope are settled; the inner loop then drives the block's units
 /// through their pre-resolved handlers with the unit cursor in a register
 /// and no per-unit bookkeeping beyond the indirect call itself.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     evm: &mut Evm<'_>,
     program: &BlockProgram,
     ctx: FrameCtx<'_>,
-    frames: &mut Vec<FrameInfo>,
-    trace: &mut ExecutionTrace,
-    scratch: &mut ExecFrame,
+    env: ExecEnv<'_>,
     owned: &mut DepthScratch,
     state: LoopState,
 ) -> FrameOutcome {
+    let ExecEnv {
+        frames,
+        trace,
+        scratch,
+    } = env;
     trace.max_depth = trace.max_depth.max(ctx.depth);
     let max_instructions = evm.config.max_instructions;
     let DepthScratch {
@@ -299,6 +306,7 @@ pub(crate) fn run(
         caller_guard_seen,
         unchecked_calls,
         truncated_events,
+        return_data,
     } = state;
     let mut m = Machine {
         evm,
@@ -309,6 +317,7 @@ pub(crate) fn run(
         origin: ctx.origin,
         value: ctx.value,
         calldata: ctx.calldata,
+        code: ctx.code,
         depth: ctx.depth,
         frames,
         trace,
@@ -321,6 +330,7 @@ pub(crate) fn run(
         caller_guard_seen,
         unchecked_calls,
         truncated_events,
+        return_data,
         halt: None,
     };
     let units = program.units();
@@ -668,6 +678,12 @@ pub(crate) fn select_handler(fused: Fused, parts: &[DecodedInstr]) -> UnitHandle
             CallDataSize => h_calldatasize,
             CallDataCopy => h_calldatacopy,
             CodeSize => h_codesize,
+            CodeCopy => h_codecopy,
+            ReturnDataSize => h_returndatasize,
+            ReturnDataCopy => h_returndatacopy,
+            ExtCodeSize => h_extcodesize,
+            ExtCodeCopy => h_extcodecopy,
+            ExtCodeHash => h_extcodehash,
             GasPrice => h_gasprice,
             BlockHash => h_blockhash,
             Coinbase => h_coinbase,
@@ -675,6 +691,8 @@ pub(crate) fn select_handler(fused: Fused, parts: &[DecodedInstr]) -> UnitHandle
             Number => h_number,
             Difficulty => h_difficulty,
             GasLimit => h_gaslimit,
+            ChainId => h_chainid,
+            BaseFee => h_basefee,
             Pop => h_pop,
             MLoad => h_mload,
             MStore => h_mstore,
@@ -693,6 +711,7 @@ pub(crate) fn select_handler(fused: Fused, parts: &[DecodedInstr]) -> UnitHandle
             Log(_) => h_log,
             Call | CallCode | DelegateCall | StaticCall => h_call,
             Create => h_create,
+            Create2 => h_create2,
             Return => h_return,
             Revert => h_revert,
             Invalid => h_invalid,
@@ -1075,9 +1094,92 @@ fn h_address(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
 
 fn h_balance(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
     let (who, _t) = t_pop!(m);
-    let bal = m.evm.world.balance(Address::from_u256(who));
+    let who = Address::from_u256(who);
+    // EIP-2929: the first touch of the account this transaction pays the
+    // cold surcharge, billed on the exact counter the tail anchor exposes.
+    let surcharge = m.scratch.access.address_surcharge(who);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let bal = m.evm.world.balance(who);
     t_push!(m, bal, Taint::BALANCE);
+    t_recharge!(m, u);
+    Step::Next
+}
+
+fn h_extcodesize(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
+    let (who, _t) = t_pop!(m);
+    let who = Address::from_u256(who);
+    let surcharge = m.scratch.access.address_surcharge(who);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let size = m.evm.world.code(who).len();
+    t_push!(m, U256::from_u64(size as u64), Taint::empty());
+    t_recharge!(m, u);
+    Step::Next
+}
+
+fn h_extcodehash(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
+    let (who, _t) = t_pop!(m);
+    let who = Address::from_u256(who);
+    let surcharge = m.scratch.access.address_surcharge(who);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let hash = match m.evm.world.account(who) {
+        None => U256::ZERO,
+        Some(account) => U256::from_be_bytes(keccak256(&account.code)),
+    };
+    t_push!(m, hash, Taint::empty());
+    t_recharge!(m, u);
+    Step::Next
+}
+
+fn h_extcodecopy(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
+    let (who, _t) = t_pop!(m);
+    let (dst, _) = t_pop!(m);
+    let (src, _) = t_pop!(m);
+    let (len, _) = t_pop!(m);
+    let who = Address::from_u256(who);
+    let surcharge = m.scratch.access.address_surcharge(who);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+        (Some(d), Some(s), Some(l)) if l <= m.evm.config.max_memory => (d, s, l),
+        _ => t_fault!(m, "extcodecopy out of bounds"),
+    };
+    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+    if m.gas_left < dynamic {
+        t_oog!(m);
+    }
+    m.gas_left -= dynamic;
+    let span = match mem_span(dst, len) {
+        Ok(s) => s,
+        Err(e) => t_fault!(m, e),
+    };
+    t_mem!(
+        m,
+        ensure_memory(m.memory, span, m.evm.config.max_memory, &mut m.gas_left)
+    );
+    let ext = m.evm.world.code(who);
+    for i in 0..len {
+        m.memory[dst + i] = ext.get(src.saturating_add(i)).copied().unwrap_or(0);
+    }
+    t_recharge!(m, u);
     Step::Next
 }
 
@@ -1152,6 +1254,82 @@ fn h_codesize(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     Step::Next
 }
 
+fn h_codecopy(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
+    let (dst, _) = t_pop!(m);
+    let (src, _) = t_pop!(m);
+    let (len, _) = t_pop!(m);
+    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+        (Some(d), Some(s), Some(l)) if l <= m.evm.config.max_memory => (d, s, l),
+        _ => t_fault!(m, "codecopy out of bounds"),
+    };
+    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+    if m.gas_left < dynamic {
+        t_oog!(m);
+    }
+    m.gas_left -= dynamic;
+    let span = match mem_span(dst, len) {
+        Ok(s) => s,
+        Err(e) => t_fault!(m, e),
+    };
+    t_mem!(
+        m,
+        ensure_memory(m.memory, span, m.evm.config.max_memory, &mut m.gas_left)
+    );
+    // Reads past the end of the code are zero-padded (the EVM's implicit
+    // trailing STOP region).
+    for i in 0..len {
+        m.memory[dst + i] = m.code.get(src.saturating_add(i)).copied().unwrap_or(0);
+    }
+    t_recharge!(m, u);
+    Step::Next
+}
+
+fn h_returndatasize(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    t_push!(
+        m,
+        U256::from_u64(m.return_data.len() as u64),
+        Taint::empty()
+    );
+    Step::Next
+}
+
+fn h_returndatacopy(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
+    let (dst, _) = t_pop!(m);
+    let (src, _) = t_pop!(m);
+    let (len, _) = t_pop!(m);
+    let (dst, src, len) = match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+        (Some(d), Some(s), Some(l)) if l <= m.evm.config.max_memory => (d, s, l),
+        _ => t_fault!(m, "returndatacopy out of bounds"),
+    };
+    // Unlike CALLDATACOPY's zero padding, reading past the end of the
+    // return buffer is an exceptional halt (EIP-211).
+    match src.checked_add(len) {
+        Some(end) if end <= m.return_data.len() => {}
+        _ => t_fault!(m, "returndatacopy out of bounds"),
+    }
+    let dynamic = COPY_WORD_GAS * (len as u64).div_ceil(32);
+    if m.gas_left < dynamic {
+        t_oog!(m);
+    }
+    m.gas_left -= dynamic;
+    let span = match mem_span(dst, len) {
+        Ok(s) => s,
+        Err(e) => t_fault!(m, e),
+    };
+    t_mem!(
+        m,
+        ensure_memory(m.memory, span, m.evm.config.max_memory, &mut m.gas_left)
+    );
+    m.memory[dst..dst + len].copy_from_slice(&m.return_data[src..src + len]);
+    t_recharge!(m, u);
+    Step::Next
+}
+
 fn h_gasprice(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     m.trace.record_instr(u.op);
     t_push!(m, U256::from_u64(1_000_000_000), Taint::empty());
@@ -1193,6 +1371,18 @@ fn h_difficulty(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
 fn h_gaslimit(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     m.trace.record_instr(u.op);
     t_push!(m, U256::from_u64(m.evm.block.gas_limit), Taint::empty());
+    Step::Next
+}
+
+fn h_chainid(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    t_push!(m, U256::from_u64(m.evm.block.chain_id), Taint::BLOCK);
+    Step::Next
+}
+
+fn h_basefee(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    t_push!(m, m.evm.block.base_fee, Taint::BLOCK);
     Step::Next
 }
 
@@ -1271,18 +1461,39 @@ fn h_mstore8(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
 
 fn h_sload(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
     let (slot, _ts) = t_pop!(m);
+    // EIP-2929: cold slots pay the surcharge on first touch.
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, slot);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
     let val = m.evm.world.storage(m.storage_address, slot);
     let stored_taint = m.evm.world.storage_taint(m.storage_address, slot);
     t_push!(m, val, Taint::STORAGE | stored_taint);
+    t_recharge!(m, u);
     Step::Next
 }
 
 fn h_sstore(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     m.trace.record_instr(u.op);
+    m.gas_left += u.tail;
     let (slot, _ts) = t_pop!(m);
     let (val, tv) = t_pop!(m);
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, slot);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let old = m.evm.world.storage(m.storage_address, slot);
+    if !old.is_zero() && val.is_zero() {
+        // EIP-3529: clearing a slot earns a (journaled, settlement-capped)
+        // refund.
+        m.scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+    }
     store_slot(m, u.pc as usize, slot, val, tv);
+    t_recharge!(m, u);
     Step::Next
 }
 
@@ -1394,8 +1605,8 @@ fn h_call(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     };
     let (args_offset, _) = t_pop!(m);
     let (args_len, _) = t_pop!(m);
-    let (_ret_offset, _) = t_pop!(m);
-    let (_ret_len, _) = t_pop!(m);
+    let (ret_offset, _) = t_pop!(m);
+    let (ret_len, _) = t_pop!(m);
 
     let to = Address::from_u256(to_word);
     let kind = match op {
@@ -1416,6 +1627,13 @@ fn h_call(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
             m.args_buf,
         )
     );
+    // EIP-2929: the first touch of the callee account this transaction pays
+    // the cold surcharge, before any gas is forwarded.
+    let surcharge = m.scratch.access.address_surcharge(to);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
     let available = m.gas_left - m.gas_left / 64;
     let forwarded_gas = gas_req.to_u64().unwrap_or(u64::MAX).min(available);
 
@@ -1464,7 +1682,26 @@ fn h_call(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
         ev.callee_exception = callee_exception;
     }
     m.unchecked_calls.push(call_idx);
-    let _ = output;
+    // The callee's output becomes this frame's RETURNDATA buffer (empty
+    // after an exceptional halt), and the part that fits is copied into the
+    // caller's return region.
+    m.return_data = output;
+    let ret_n = ret_len.to_usize().unwrap_or(0).min(m.return_data.len());
+    if ret_n > 0 {
+        let offset = match ret_offset.to_usize() {
+            Some(o) => o,
+            None => t_fault!(m, "return region out of bounds"),
+        };
+        let span = match mem_span(offset, ret_n) {
+            Ok(s) => s,
+            Err(e) => t_fault!(m, e),
+        };
+        t_mem!(
+            m,
+            ensure_memory(m.memory, span, m.evm.config.max_memory, &mut m.gas_left)
+        );
+        m.memory[offset..offset + ret_n].copy_from_slice(&m.return_data[..ret_n]);
+    }
     t_push!(m, U256::from(success), Taint::CALL_RESULT);
     Step::Next
 }
@@ -1475,6 +1712,44 @@ fn h_create(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     let (_offset, _) = t_pop!(m);
     let (_len, _) = t_pop!(m);
     t_push!(m, U256::ZERO, Taint::empty());
+    Step::Next
+}
+
+fn h_create2(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
+    m.trace.record_instr(u.op);
+    let (create_value, _tv) = t_pop!(m);
+    let (offset, _) = t_pop!(m);
+    let (len, _) = t_pop!(m);
+    let (salt, _) = t_pop!(m);
+    let init = t_mem!(
+        m,
+        read_memory_range(
+            m.memory,
+            offset,
+            len,
+            m.evm.config.max_memory,
+            &mut m.gas_left
+        )
+    );
+    // Hashing the init code for the deterministic address derivation costs
+    // the Keccak word price.
+    let dynamic = SHA3_WORD_GAS * (init.len() as u64).div_ceil(32);
+    if m.gas_left < dynamic {
+        t_oog!(m);
+    }
+    m.gas_left -= dynamic;
+    let site = CreateSite {
+        creator: m.storage_address,
+        origin: m.origin,
+        value: create_value,
+        salt,
+        depth: m.depth,
+    };
+    let (created, out) =
+        m.evm
+            .do_create2(site, &init, m.frames, m.trace, m.scratch, &mut m.gas_left);
+    m.return_data = out;
+    t_push!(m, created, Taint::CALL_RESULT);
     Step::Next
 }
 
@@ -1562,6 +1837,12 @@ fn h_unknown(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
         Opcode::Unknown(b) => b,
         _ => unreachable!("h_unknown dispatches Unknown"),
     };
+    // Conformance-tagged exceptional halt (see the `match` arm).
+    m.trace.conformance.push(ConformanceEvent {
+        pc: u.pc as usize,
+        byte: b,
+        depth: m.depth,
+    });
     t_fault!(m, format!("unknown opcode 0x{b:02x}"));
 }
 
@@ -2072,12 +2353,21 @@ fn hf_local_pair_store(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
 fn hf_push_sload(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     t_cap_check!(m, u);
     t_bulk!(m, u);
+    m.gas_left += u.tail;
     // The pushed slot is the unit's first constituent: its immediate is the
     // unit's `imm`.
     let slot = u.imm;
+    // EIP-2929: the first touch of the slot this transaction pays the cold
+    // surcharge, billed on the exact counter the tail anchor exposes.
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, slot);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
     let val = m.evm.world.storage(m.storage_address, slot);
     let stored_taint = m.evm.world.storage_taint(m.storage_address, slot);
     t_push!(m, val, Taint::STORAGE | stored_taint);
+    t_recharge!(m, u);
     Step::Next
 }
 
@@ -2085,9 +2375,22 @@ fn hf_push_sstore(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
     t_cap_check!(m, u);
     let parts = unit_parts(m, u);
     t_bulk!(m, u);
+    m.gas_left += u.tail;
     let slot = parts[0].imm;
     let (val, tv) = t_pop!(m);
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, slot);
+    if m.gas_left < surcharge {
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let old = m.evm.world.storage(m.storage_address, slot);
+    if !old.is_zero() && val.is_zero() {
+        // EIP-3529: clearing a slot earns a refund, journaled so a
+        // reverting frame forfeits it.
+        m.scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+    }
     store_slot(m, parts[1].pc as usize, slot, val, tv);
+    t_recharge!(m, u);
     Step::Next
 }
 
@@ -2095,10 +2398,24 @@ fn hf_push_sstore(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
 fn hf_storage_expr_store(m: &mut Machine<'_, '_>, u: &BlockUnit, op: Opcode) -> Step {
     t_cap_check!(m, u);
     let parts = unit_parts(m, u);
-    t_bulk!(m, u);
+    // Both storage ops carry a dynamic EIP-2929 surcharge, so (like the
+    // `MapSlot*` family) the arm rewinds to the exact per-instruction
+    // counter at the unit's start and replays every constituent's billing in
+    // order (see the `match` arm).
+    m.gas_left += u.head;
+    t_charge!(m, parts, 0);
+    t_charge!(m, parts, 1);
+    t_charge!(m, parts, 2);
     let slot = parts[1].imm;
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, slot);
+    if m.gas_left < surcharge {
+        t_prefix!(m, parts, 2);
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
     let loaded = m.evm.world.storage(m.storage_address, slot);
     let stored_taint = m.evm.world.storage_taint(m.storage_address, slot);
+    t_charge!(m, parts, 3);
     let (val, tv) = t_binop!(
         m,
         op,
@@ -2107,7 +2424,30 @@ fn hf_storage_expr_store(m: &mut Machine<'_, '_>, u: &BlockUnit, op: Opcode) -> 
         parts[0].imm,
         Taint::STORAGE | stored_taint
     );
-    store_slot(m, parts[5].pc as usize, parts[4].imm, val, tv);
+    t_charge!(m, parts, 4);
+    t_charge!(m, parts, 5);
+    let out_slot = parts[4].imm;
+    let surcharge = m.scratch.access.slot_surcharge(m.storage_address, out_slot);
+    if m.gas_left < surcharge {
+        t_prefix!(m, parts, 5);
+        t_oog!(m);
+    }
+    m.gas_left -= surcharge;
+    let old = m.evm.world.storage(m.storage_address, out_slot);
+    if !old.is_zero() && val.is_zero() {
+        m.scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+    }
+    store_slot(m, parts[5].pc as usize, out_slot, val, tv);
+    t_bulk!(m, u);
+    // Restore block billing exactly as `MapSlot*` does: re-charge the
+    // statics of the block's instructions after this unit, deopting with the
+    // exact counter if the surcharges drained what the block had pre-paid.
+    let unit_statics: u64 = parts.iter().map(|di| static_gas(di.op)).sum();
+    let after = u.head - unit_statics;
+    if m.gas_left < after {
+        return Step::Deopt(u.instr_start + u.instr_count);
+    }
+    m.gas_left -= after;
     Step::Next
 }
 
@@ -2177,6 +2517,12 @@ fn hf_map_slot(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
         }
         Fused::MapSlotSLoad => {
             t_charge!(m, parts, 8);
+            let surcharge = m.scratch.access.slot_surcharge(m.storage_address, digest);
+            if m.gas_left < surcharge {
+                t_prefix!(m, parts, 8);
+                t_oog!(m);
+            }
+            m.gas_left -= surcharge;
             let val = m.evm.world.storage(m.storage_address, digest);
             let stored_taint = m.evm.world.storage_taint(m.storage_address, digest);
             t_push!(m, val, Taint::STORAGE | stored_taint);
@@ -2184,6 +2530,16 @@ fn hf_map_slot(m: &mut Machine<'_, '_>, u: &BlockUnit) -> Step {
         _ => {
             t_charge!(m, parts, 8);
             let (val, tv) = t_pop!(m);
+            let surcharge = m.scratch.access.slot_surcharge(m.storage_address, digest);
+            if m.gas_left < surcharge {
+                t_prefix!(m, parts, 8);
+                t_oog!(m);
+            }
+            m.gas_left -= surcharge;
+            let old = m.evm.world.storage(m.storage_address, digest);
+            if !old.is_zero() && val.is_zero() {
+                m.scratch.access.add_refund(SSTORE_CLEAR_REFUND);
+            }
             store_slot(m, parts[8].pc as usize, digest, val, tv);
         }
     }

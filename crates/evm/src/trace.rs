@@ -386,6 +386,20 @@ impl OpcodeSet {
     }
 }
 
+/// An executed opcode byte the interpreter does not implement. The frame
+/// halts exceptionally (consuming its remaining gas budget like `INVALID`),
+/// and the event records where the conformance surface fell short so
+/// ingested real-bytecode campaigns can report unsupported instructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConformanceEvent {
+    /// Program counter of the unimplemented byte.
+    pub pc: usize,
+    /// The raw opcode byte.
+    pub byte: u8,
+    /// Call depth of the halting frame.
+    pub depth: usize,
+}
+
 /// Instrumentation record of a single top-level transaction execution.
 ///
 /// `PartialEq` compares every recorded event — the decoder differential
@@ -423,6 +437,10 @@ pub struct ExecutionTrace {
     pub gas_used: u64,
     /// Why the outermost frame halted.
     pub halt: HaltReason,
+    /// Conformance-tagged events: opcode bytes outside the implemented
+    /// surface that were executed (each one is an exceptional halt of its
+    /// frame).
+    pub conformance: Vec<ConformanceEvent>,
 }
 
 impl ExecutionTrace {

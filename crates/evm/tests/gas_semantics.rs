@@ -205,10 +205,11 @@ fn run_call_pair(callee_code: Vec<u8>, gas: u64) -> (ExecutionResult, WorldState
 }
 
 /// Gas remaining in the outer frame at the moment of forwarding: the message
-/// budget minus the six pushes (2 gas each), the PUSH32 (2) and the CALL
-/// base cost (700).
+/// budget minus the six pushes (2 gas each), the PUSH32 (2), the CALL base
+/// cost (700) and the EIP-2929 cold surcharge for the first touch of the
+/// callee account (2200).
 fn gas_at_forwarding(msg_gas: u64) -> u64 {
-    msg_gas - 7 * 2 - 700
+    msg_gas - 7 * 2 - 700 - 2_200
 }
 
 #[test]
@@ -254,10 +255,10 @@ fn draining_callee_leaves_the_caller_a_64th() {
 
     // Exact accounting: the callee consumed all forwarded gas, the caller
     // paid its own instructions on top, and what is left is the retention
-    // minus the postlude (POP + 2 pushes + SSTORE + STOP = 5007).
+    // minus the postlude (POP + 2 pushes + cold SSTORE + STOP = 6907).
     let gl = gas_at_forwarding(msg_gas);
     let retained = gl / 64;
-    assert_eq!(msg_gas - result.gas_used, retained - 5_007);
+    assert_eq!(msg_gas - result.gas_used, retained - 6_907);
 }
 
 #[test]
@@ -267,8 +268,11 @@ fn successful_callee_refunds_unspent_gas() {
     let msg_gas = 1_000_000u64;
     let (result, _world) = run_call_pair(vec![0x00], msg_gas);
     assert!(result.success);
-    // Caller instructions: 7 pushes (14) + CALL (700) + callee STOP (1,
-    // charged inside the callee frame) + POP (2) + 2 pushes (4) + SSTORE
-    // (5000) + STOP (1).
-    assert_eq!(result.gas_used, 14 + 700 + 1 + 2 + 4 + 5_000 + 1);
+    // Caller instructions: 7 pushes (14) + CALL (700 + 2200 cold account) +
+    // callee STOP (1, charged inside the callee frame) + POP (2) + 2 pushes
+    // (4) + SSTORE (5000 + 1900 cold slot) + STOP (1).
+    assert_eq!(
+        result.gas_used,
+        14 + 700 + 2_200 + 1 + 2 + 4 + 5_000 + 1_900 + 1
+    );
 }

@@ -9,24 +9,56 @@
 use crate::ast::{Contract, Function, Type};
 use mufuzz_evm::{keccak256, Address, U256};
 
-/// ABI-level parameter type (value types only).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Number of element slots a dynamic array reserves in the mutable lane
+/// stream. The first lane selects the live length (`lane % (BUDGET + 1)`),
+/// the remaining `BUDGET` element groups keep their stream positions stable
+/// so the mask-guided mutator can freeze or mutate individual elements.
+pub const ARRAY_LANE_BUDGET: usize = 4;
+
+/// Upper bound on the byte length shaped into a `bytes` argument.
+pub const MAX_BYTES_LEN: usize = 64;
+
+/// Upper bound on the character length shaped into a `string` argument.
+pub const MAX_STRING_LEN: usize = 32;
+
+/// ABI-level parameter type.
+///
+/// Beyond the toy-language value types (`uint256`/`address`/`bool`) this
+/// covers the types real-contract ABIs use for externally callable
+/// functions: signed integers, fixed-size byte arrays, dynamic `bytes` and
+/// `string`, and flat dynamic arrays of static element types.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParamType {
     /// 256-bit unsigned integer.
     Uint256,
+    /// 256-bit signed (two's-complement) integer.
+    Int256,
     /// 160-bit address.
     Address,
     /// Boolean.
     Bool,
+    /// `bytesN` for `1 <= N <= 32`, left-aligned in its word.
+    FixedBytes(u8),
+    /// Dynamic byte string (`bytes`).
+    Bytes,
+    /// Dynamic UTF-8 string (`string`).
+    Str,
+    /// Flat dynamic array of a *static* element type (`T[]`).
+    Array(Box<ParamType>),
 }
 
 impl ParamType {
     /// Canonical name used in signatures.
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> String {
         match self {
-            ParamType::Uint256 => "uint256",
-            ParamType::Address => "address",
-            ParamType::Bool => "bool",
+            ParamType::Uint256 => "uint256".into(),
+            ParamType::Int256 => "int256".into(),
+            ParamType::Address => "address".into(),
+            ParamType::Bool => "bool".into(),
+            ParamType::FixedBytes(n) => format!("bytes{n}"),
+            ParamType::Bytes => "bytes".into(),
+            ParamType::Str => "string".into(),
+            ParamType::Array(inner) => format!("{}[]", inner.name()),
         }
     }
 
@@ -39,6 +71,27 @@ impl ParamType {
             Type::Mapping(_, _) => None,
         }
     }
+
+    /// Whether the type is head/tail encoded (its head word is an offset).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            ParamType::Bytes | ParamType::Str | ParamType::Array(_)
+        )
+    }
+
+    /// Number of 32-byte lanes this parameter consumes from a transaction's
+    /// mutable byte stream when calldata is shaped from raw fuzz bytes (see
+    /// [`FunctionAbi::values_from_lanes`]). Static one-word types take one
+    /// lane; `bytes`/`string` take a length lane plus a content-seed lane;
+    /// arrays take a length lane plus [`ARRAY_LANE_BUDGET`] element groups.
+    pub fn lane_count(&self) -> usize {
+        match self {
+            ParamType::Bytes | ParamType::Str => 2,
+            ParamType::Array(inner) => 1 + ARRAY_LANE_BUDGET * inner.lane_count(),
+            _ => 1,
+        }
+    }
 }
 
 /// A typed argument value.
@@ -46,29 +99,61 @@ impl ParamType {
 pub enum AbiValue {
     /// Unsigned integer.
     Uint(U256),
+    /// Signed (two's-complement) integer, stored as its raw word.
+    Int(U256),
     /// Address.
     Address(Address),
     /// Boolean.
     Bool(bool),
+    /// `bytesN` payload (at most 32 bytes, left-aligned when encoded).
+    FixedBytes(Vec<u8>),
+    /// Dynamic byte string.
+    Bytes(Vec<u8>),
+    /// Dynamic string.
+    Str(String),
+    /// Dynamic array of static element values.
+    Array(Vec<AbiValue>),
 }
 
 impl AbiValue {
-    /// Encode as a 32-byte word.
+    /// Encode as the 32-byte head word. Static values encode their payload;
+    /// dynamic values have no single-word representation and encode as the
+    /// zero word (callers encode dynamic values through the tail, see
+    /// [`FunctionAbi::encode_call`]).
     pub fn to_word(&self) -> [u8; 32] {
         match self {
-            AbiValue::Uint(v) => v.to_be_bytes(),
+            AbiValue::Uint(v) | AbiValue::Int(v) => v.to_be_bytes(),
             AbiValue::Address(a) => a.to_u256().to_be_bytes(),
             AbiValue::Bool(b) => U256::from(*b).to_be_bytes(),
+            AbiValue::FixedBytes(bytes) => {
+                let mut word = [0u8; 32];
+                let n = bytes.len().min(32);
+                word[..n].copy_from_slice(&bytes[..n]);
+                word
+            }
+            AbiValue::Bytes(_) | AbiValue::Str(_) | AbiValue::Array(_) => [0u8; 32],
         }
     }
 
-    /// Decode a word according to the parameter type.
-    pub fn from_word(ty: ParamType, word: &[u8]) -> AbiValue {
+    /// Decode a word according to the parameter type (static types only;
+    /// dynamic types decode through [`FunctionAbi::decode_args`]).
+    pub fn from_word(ty: &ParamType, word: &[u8]) -> AbiValue {
         let value = U256::from_be_slice(word);
         match ty {
             ParamType::Uint256 => AbiValue::Uint(value),
+            ParamType::Int256 => AbiValue::Int(value),
             ParamType::Address => AbiValue::Address(Address::from_u256(value)),
             ParamType::Bool => AbiValue::Bool(!value.is_zero()),
+            ParamType::FixedBytes(n) => {
+                let n = (*n).min(32) as usize;
+                let mut bytes = vec![0u8; n];
+                let have = word.len().min(n);
+                bytes[..have].copy_from_slice(&word[..have]);
+                AbiValue::FixedBytes(bytes)
+            }
+            ParamType::Bytes => AbiValue::Bytes(Vec::new()),
+            ParamType::Str => AbiValue::Str(String::new()),
+            ParamType::Array(_) => AbiValue::Array(Vec::new()),
         }
     }
 }
@@ -104,21 +189,38 @@ impl FunctionAbi {
 
     /// Canonical signature string.
     pub fn signature(&self) -> String {
-        let params: Vec<&str> = self.inputs.iter().map(|p| p.name()).collect();
+        let params: Vec<String> = self.inputs.iter().map(|p| p.name()).collect();
         format!("{}({})", self.name, params.join(","))
     }
 
-    /// ABI-encode a call to this function.
+    /// ABI-encode a call to this function using Solidity's head/tail layout:
+    /// static values occupy their head word in place, dynamic values put the
+    /// tail offset in the head and append `length ‖ payload` to the tail.
     pub fn encode_call(&self, args: &[AbiValue]) -> Vec<u8> {
-        let mut data = self.selector.to_vec();
-        for arg in args {
-            data.extend_from_slice(&arg.to_word());
+        let head_len = 32 * self.inputs.len();
+        let mut heads: Vec<[u8; 32]> = Vec::with_capacity(self.inputs.len());
+        let mut tail: Vec<u8> = Vec::new();
+        for (i, ty) in self.inputs.iter().enumerate() {
+            let arg = args.get(i);
+            if ty.is_dynamic() {
+                let offset = U256::from_u64((head_len + tail.len()) as u64);
+                heads.push(offset.to_be_bytes());
+                encode_tail(ty, arg, &mut tail);
+            } else {
+                heads.push(arg.map(AbiValue::to_word).unwrap_or([0u8; 32]));
+            }
         }
+        let mut data = self.selector.to_vec();
+        for head in heads {
+            data.extend_from_slice(&head);
+        }
+        data.extend_from_slice(&tail);
         data
     }
 
     /// Decode calldata (after the selector) into typed values. Missing bytes
-    /// decode as zero, mirroring EVM `CALLDATALOAD` semantics.
+    /// decode as zero, mirroring EVM `CALLDATALOAD` semantics; out-of-range
+    /// tail offsets decode dynamic values as empty.
     pub fn decode_args(&self, calldata: &[u8]) -> Vec<AbiValue> {
         let body = if calldata.len() >= 4 {
             &calldata[4..]
@@ -129,19 +231,177 @@ impl FunctionAbi {
             .iter()
             .enumerate()
             .map(|(i, ty)| {
-                let start = i * 32;
-                let mut word = [0u8; 32];
-                for (j, byte) in word.iter_mut().enumerate() {
-                    *byte = body.get(start + j).copied().unwrap_or(0);
+                let word = read_word(body, i * 32);
+                if ty.is_dynamic() {
+                    let offset = word_to_usize(&word);
+                    decode_tail(ty, body, offset)
+                } else {
+                    AbiValue::from_word(ty, &word)
                 }
-                AbiValue::from_word(*ty, &word)
             })
             .collect()
     }
 
-    /// Total calldata length for a call to this function.
+    /// Calldata length of the static head (selector plus one word per
+    /// parameter). For ABIs without dynamic types this is the exact total
+    /// length of an encoded call; dynamic arguments append a tail on top.
     pub fn calldata_len(&self) -> usize {
         4 + 32 * self.inputs.len()
+    }
+
+    /// Number of 32-byte lanes this function consumes from the mutable fuzz
+    /// stream (the sum of its parameters' [`ParamType::lane_count`]).
+    pub fn lane_count(&self) -> usize {
+        self.inputs.iter().map(ParamType::lane_count).sum()
+    }
+
+    /// True when every parameter is a static one-word type, i.e. raw fuzz
+    /// words are already valid calldata and no type shaping is needed.
+    pub fn all_static_words(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|ty| ty.lane_count() == 1 && !ty.is_dynamic())
+    }
+
+    /// Shape raw 32-byte fuzz lanes into typed argument values (missing
+    /// lanes read as zero): the bridge between the mask-guided byte-stream
+    /// mutator and typed calldata. Each parameter consumes
+    /// [`ParamType::lane_count`] lanes at a stable stream position.
+    pub fn values_from_lanes(&self, lanes: &[U256]) -> Vec<AbiValue> {
+        let mut cursor = 0usize;
+        self.inputs
+            .iter()
+            .map(|ty| {
+                let take = ty.lane_count();
+                let value = shape_value(ty, lanes, cursor);
+                cursor += take;
+                value
+            })
+            .collect()
+    }
+}
+
+/// Read the 32-byte word at `start`, zero-filling past the end of `body`.
+fn read_word(body: &[u8], start: usize) -> [u8; 32] {
+    let mut word = [0u8; 32];
+    for (j, byte) in word.iter_mut().enumerate() {
+        *byte = body.get(start.saturating_add(j)).copied().unwrap_or(0);
+    }
+    word
+}
+
+/// Interpret a head word as a tail offset, saturating absurd values.
+fn word_to_usize(word: &[u8; 32]) -> usize {
+    if word[..24].iter().any(|b| *b != 0) {
+        return usize::MAX;
+    }
+    let mut n = [0u8; 8];
+    n.copy_from_slice(&word[24..]);
+    u64::from_be_bytes(n).try_into().unwrap_or(usize::MAX)
+}
+
+/// The low 64 bits of a lane word (used to derive lengths).
+fn lane_low_u64(v: &U256) -> u64 {
+    let bytes = v.to_be_bytes();
+    let mut n = [0u8; 8];
+    n.copy_from_slice(&bytes[24..]);
+    u64::from_be_bytes(n)
+}
+
+/// Append the tail encoding (`length ‖ payload`, payload padded to a word
+/// boundary) of one dynamic value.
+fn encode_tail(ty: &ParamType, arg: Option<&AbiValue>, tail: &mut Vec<u8>) {
+    match (ty, arg) {
+        (ParamType::Bytes, Some(AbiValue::Bytes(bytes))) => encode_tail_bytes(bytes, tail),
+        (ParamType::Str, Some(AbiValue::Str(s))) => encode_tail_bytes(s.as_bytes(), tail),
+        (ParamType::Array(_), Some(AbiValue::Array(elems))) => {
+            tail.extend_from_slice(&U256::from_u64(elems.len() as u64).to_be_bytes());
+            for elem in elems {
+                tail.extend_from_slice(&elem.to_word());
+            }
+        }
+        // Type/value mismatch or missing argument: encode as empty.
+        _ => tail.extend_from_slice(&[0u8; 32]),
+    }
+}
+
+fn encode_tail_bytes(bytes: &[u8], tail: &mut Vec<u8>) {
+    tail.extend_from_slice(&U256::from_u64(bytes.len() as u64).to_be_bytes());
+    tail.extend_from_slice(bytes);
+    let pad = bytes.len().div_ceil(32) * 32 - bytes.len();
+    tail.extend_from_slice(&vec![0u8; pad]);
+}
+
+/// Decode one dynamic value from its tail at `offset` into `body`,
+/// clamping lengths to the bytes actually present.
+fn decode_tail(ty: &ParamType, body: &[u8], offset: usize) -> AbiValue {
+    let empty = match ty {
+        ParamType::Str => AbiValue::Str(String::new()),
+        ParamType::Array(_) => AbiValue::Array(Vec::new()),
+        _ => AbiValue::Bytes(Vec::new()),
+    };
+    if offset >= body.len() {
+        return empty;
+    }
+    let len = word_to_usize(&read_word(body, offset));
+    let data_start = offset.saturating_add(32);
+    match ty {
+        ParamType::Bytes => {
+            let len = len.min(body.len().saturating_sub(data_start));
+            AbiValue::Bytes(body[data_start..data_start + len].to_vec())
+        }
+        ParamType::Str => {
+            let len = len.min(body.len().saturating_sub(data_start));
+            let bytes = &body[data_start..data_start + len];
+            AbiValue::Str(String::from_utf8_lossy(bytes).into_owned())
+        }
+        ParamType::Array(inner) => {
+            // Clamp the element count to the words present in the tail.
+            let available = body.len().saturating_sub(data_start) / 32;
+            let len = len.min(available);
+            let elems = (0..len)
+                .map(|i| AbiValue::from_word(inner, &read_word(body, data_start + 32 * i)))
+                .collect();
+            AbiValue::Array(elems)
+        }
+        _ => empty,
+    }
+}
+
+/// Shape the lanes starting at `cursor` into one typed value.
+fn shape_value(ty: &ParamType, lanes: &[U256], cursor: usize) -> AbiValue {
+    let lane = |i: usize| lanes.get(cursor + i).copied().unwrap_or(U256::ZERO);
+    match ty {
+        ParamType::Uint256 => AbiValue::Uint(lane(0)),
+        ParamType::Int256 => AbiValue::Int(lane(0)),
+        ParamType::Address => AbiValue::Address(Address::from_u256(lane(0))),
+        ParamType::Bool => AbiValue::Bool(!lane(0).is_zero()),
+        ParamType::FixedBytes(n) => {
+            let n = (*n).clamp(1, 32) as usize;
+            AbiValue::FixedBytes(lane(0).to_be_bytes()[..n].to_vec())
+        }
+        ParamType::Bytes => {
+            let len = (lane_low_u64(&lane(0)) % (MAX_BYTES_LEN as u64 + 1)) as usize;
+            let seed = lane(1).to_be_bytes();
+            AbiValue::Bytes((0..len).map(|i| seed[i % 32]).collect())
+        }
+        ParamType::Str => {
+            let len = (lane_low_u64(&lane(0)) % (MAX_STRING_LEN as u64 + 1)) as usize;
+            let seed = lane(1).to_be_bytes();
+            // Printable ASCII so string-typed arguments stay string-shaped.
+            let s: String = (0..len)
+                .map(|i| (0x20 + (seed[i % 32] % 0x5f)) as char)
+                .collect();
+            AbiValue::Str(s)
+        }
+        ParamType::Array(inner) => {
+            let len = (lane_low_u64(&lane(0)) % (ARRAY_LANE_BUDGET as u64 + 1)) as usize;
+            let per = inner.lane_count();
+            let elems = (0..len)
+                .map(|i| shape_value(inner, lanes, cursor + 1 + i * per))
+                .collect();
+            AbiValue::Array(elems)
+        }
     }
 }
 
@@ -248,14 +508,101 @@ mod tests {
     fn bool_decoding_is_nonzero_test() {
         let word_true = U256::from_u64(7).to_be_bytes();
         assert_eq!(
-            AbiValue::from_word(ParamType::Bool, &word_true),
+            AbiValue::from_word(&ParamType::Bool, &word_true),
             AbiValue::Bool(true)
         );
         let word_false = U256::ZERO.to_be_bytes();
         assert_eq!(
-            AbiValue::from_word(ParamType::Bool, &word_false),
+            AbiValue::from_word(&ParamType::Bool, &word_false),
             AbiValue::Bool(false)
         );
+    }
+
+    #[test]
+    fn dynamic_types_roundtrip_through_head_tail_encoding() {
+        let abi = FunctionAbi {
+            name: "g".into(),
+            inputs: vec![
+                ParamType::Uint256,
+                ParamType::Bytes,
+                ParamType::Str,
+                ParamType::Array(Box::new(ParamType::Uint256)),
+                ParamType::FixedBytes(8),
+            ],
+            payable: false,
+            selector: [0xaa, 0xbb, 0xcc, 0xdd],
+        };
+        let args = vec![
+            AbiValue::Uint(U256::from_u64(5)),
+            AbiValue::Bytes(vec![1, 2, 3, 4, 5]),
+            AbiValue::Str("hello".into()),
+            AbiValue::Array(vec![
+                AbiValue::Uint(U256::from_u64(10)),
+                AbiValue::Uint(U256::from_u64(20)),
+            ]),
+            AbiValue::FixedBytes(vec![9, 8, 7, 6, 5, 4, 3, 2]),
+        ];
+        let data = abi.encode_call(&args);
+        // Head: 5 words; tails are word-aligned after the head.
+        assert_eq!(&data[..4], &[0xaa, 0xbb, 0xcc, 0xdd]);
+        assert!(data.len() > abi.calldata_len());
+        assert_eq!(abi.decode_args(&data), args);
+        assert_eq!(abi.signature(), "g(uint256,bytes,string,uint256[],bytes8)");
+    }
+
+    #[test]
+    fn lane_shaping_is_deterministic_and_type_shaped() {
+        let abi = FunctionAbi {
+            name: "h".into(),
+            inputs: vec![
+                ParamType::Bool,
+                ParamType::Bytes,
+                ParamType::Array(Box::new(ParamType::Address)),
+            ],
+            payable: false,
+            selector: [0; 4],
+        };
+        // bool: 1 lane; bytes: 2 lanes; address[]: 1 + 4 lanes.
+        assert_eq!(abi.lane_count(), 1 + 2 + 5);
+        assert!(!abi.all_static_words());
+        let mut lanes = vec![U256::ZERO; abi.lane_count()];
+        lanes[0] = U256::from_u64(99); // bool: nonzero -> true
+        lanes[1] = U256::from_u64(3); // bytes length 3
+        lanes[2] = U256::from_u64(0xab); // bytes content seed
+        lanes[3] = U256::from_u64(2); // array length 2
+        lanes[4] = U256::from_u64(0x1234); // element 0
+        lanes[5] = U256::MAX; // element 1: masked to 160 bits
+        let values = abi.values_from_lanes(&lanes);
+        assert_eq!(values[0], AbiValue::Bool(true));
+        assert!(matches!(&values[1], AbiValue::Bytes(b) if b.len() == 3));
+        let AbiValue::Array(elems) = &values[2] else {
+            panic!("expected array");
+        };
+        assert_eq!(elems.len(), 2);
+        assert_eq!(elems[0], AbiValue::Address(Address::from_low_u64(0x1234)));
+        // Shaped values encode and decode bit-identically (the mutant the
+        // fuzzer executes is exactly the one the decoder reports).
+        let encoded = abi.encode_call(&values);
+        assert_eq!(abi.decode_args(&encoded), values);
+    }
+
+    #[test]
+    fn static_only_abis_keep_the_legacy_word_layout() {
+        let abi = FunctionAbi {
+            name: "f".into(),
+            inputs: vec![ParamType::Uint256, ParamType::Address, ParamType::Bool],
+            payable: false,
+            selector: [1, 2, 3, 4],
+        };
+        assert!(abi.all_static_words());
+        assert_eq!(abi.lane_count(), 3);
+        let lanes = vec![U256::from_u64(7), U256::from_u64(0xbeef), U256::from_u64(1)];
+        let values = abi.values_from_lanes(&lanes);
+        let encoded = abi.encode_call(&values);
+        // Exactly selector ‖ head words: the raw-lane path and the typed
+        // path agree byte for byte on static-only ABIs.
+        assert_eq!(encoded.len(), abi.calldata_len());
+        assert_eq!(&encoded[4..36], &U256::from_u64(7).to_be_bytes());
     }
 
     #[test]

@@ -9,22 +9,50 @@ fn arb_param_types() -> impl Strategy<Value = Vec<ParamType>> {
     proptest::collection::vec(
         prop_oneof![
             Just(ParamType::Uint256),
+            Just(ParamType::Int256),
             Just(ParamType::Address),
             Just(ParamType::Bool),
+            Just(ParamType::FixedBytes(4)),
+            Just(ParamType::FixedBytes(32)),
+            Just(ParamType::Bytes),
+            Just(ParamType::Str),
+            Just(ParamType::Array(Box::new(ParamType::Uint256))),
+            Just(ParamType::Array(Box::new(ParamType::Address))),
         ],
         0..5,
     )
 }
 
-fn arb_value_for(ty: ParamType) -> BoxedStrategy<AbiValue> {
+fn arb_value_for(ty: &ParamType) -> BoxedStrategy<AbiValue> {
     match ty {
         ParamType::Uint256 => proptest::array::uniform32(any::<u8>())
             .prop_map(|b| AbiValue::Uint(U256::from_be_bytes(b)))
+            .boxed(),
+        ParamType::Int256 => proptest::array::uniform32(any::<u8>())
+            .prop_map(|b| AbiValue::Int(U256::from_be_bytes(b)))
             .boxed(),
         ParamType::Address => any::<u64>()
             .prop_map(|n| AbiValue::Address(Address::from_low_u64(n)))
             .boxed(),
         ParamType::Bool => any::<bool>().prop_map(AbiValue::Bool).boxed(),
+        ParamType::FixedBytes(n) => {
+            let n = *n as usize;
+            proptest::collection::vec(any::<u8>(), n..n + 1)
+                .prop_map(AbiValue::FixedBytes)
+                .boxed()
+        }
+        ParamType::Bytes => proptest::collection::vec(any::<u8>(), 0..70)
+            .prop_map(AbiValue::Bytes)
+            .boxed(),
+        // Printable ASCII so encode/decode round-trips exactly (the decoder
+        // reads raw bytes back as UTF-8).
+        ParamType::Str => "[ -~]{0,40}".prop_map(AbiValue::Str).boxed(),
+        ParamType::Array(inner) => {
+            let elems = arb_value_for(inner);
+            proptest::collection::vec(elems, 0..5)
+                .prop_map(AbiValue::Array)
+                .boxed()
+        }
     }
 }
 
@@ -42,10 +70,17 @@ proptest! {
         let mut runner = proptest::test_runner::TestRunner::deterministic();
         let values: Vec<AbiValue> = types
             .iter()
-            .map(|t| arb_value_for(*t).new_tree(&mut runner).unwrap().current())
+            .map(|t| arb_value_for(t).new_tree(&mut runner).unwrap().current())
             .collect();
         let encoded = abi.encode_call(&values);
-        prop_assert_eq!(encoded.len(), abi.calldata_len());
+        // Static-only ABIs stay on the exact legacy word layout; dynamic
+        // arguments append a word-aligned tail on top of the head.
+        if types.iter().all(|t| !t.is_dynamic()) {
+            prop_assert_eq!(encoded.len(), abi.calldata_len());
+        } else {
+            prop_assert!(encoded.len() > abi.calldata_len());
+            prop_assert_eq!((encoded.len() - 4) % 32, 0);
+        }
         let decoded = abi.decode_args(&encoded);
         prop_assert_eq!(decoded, values);
     }

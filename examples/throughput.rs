@@ -30,9 +30,9 @@
 use mufuzz::{
     CampaignReport, CampaignService, ContractHarness, Fuzzer, FuzzerConfig, Sequence, TxInput,
 };
-use mufuzz_corpus::contracts;
+use mufuzz_corpus::{contracts, ingest};
 use mufuzz_evm::{ExecFrame, U256};
-use mufuzz_lang::compile_source;
+use mufuzz_lang::{compile_source, CompiledContract};
 use std::time::Instant;
 
 const SOURCE: &str = r#"
@@ -89,9 +89,12 @@ fn round_campaign(workers: usize, executions: usize) -> CampaignReport {
         .run()
 }
 
-/// The three interpreter-A/B kernels, each stressing a different part of
-/// the dispatcher.
-const KERNELS: [&str; 3] = ["straight_line", "branchy", "storage"];
+/// The interpreter-A/B kernels, each stressing a different part of the
+/// dispatcher. The first three are toy-language sources; `ingested` is the
+/// committed real-bytecode fixture (ABI JSON + runtime hex, no source) and
+/// measures the full ingestion execution path including per-transaction
+/// typed calldata encoding for its dynamic `uint256[]` parameter.
+const KERNELS: [&str; 4] = ["straight_line", "branchy", "storage", "ingested"];
 
 /// Kernel source for the interpreter A/B. Scheduler, corpus and
 /// branch-record costs are identical across the tiers, so a mixed campaign
@@ -160,8 +163,35 @@ fn kernel_source(kernel: &str) -> String {
     }
 }
 
+/// The compiled form of a kernel: toy-language sources compile, the
+/// `ingested` kernel goes through the ABI + bytecode front door instead.
+fn kernel_compiled(kernel: &str) -> CompiledContract {
+    if kernel == "ingested" {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let abi = std::fs::read_to_string(format!("{root}/tests/fixtures/vault_token.abi.json"))
+            .expect("fixture ABI should be readable");
+        let hex = std::fs::read_to_string(format!("{root}/tests/fixtures/vault_token.hex"))
+            .expect("fixture bytecode should be readable");
+        ingest("VaultToken", &abi, &hex)
+            .expect("fixture should ingest")
+            .compiled
+    } else {
+        compile_source(&kernel_source(kernel)).expect("kernel should compile")
+    }
+}
+
 /// The entry-point transaction of a kernel.
 fn kernel_tx(kernel: &str) -> TxInput {
+    if kernel == "ingested" {
+        // `sum(uint256[])`: lane 0 selects a 4-element array, lanes 1..5
+        // are the elements — every transaction walks the dispatcher, the
+        // calldata loop and the head/tail ABI encoder.
+        let lanes: Vec<U256> = [4u64, 11, 22, 33, 44]
+            .iter()
+            .map(|&v| U256::from_u64(v))
+            .collect();
+        return TxInput::new("sum", 0, U256::ZERO, &lanes);
+    }
     let function = match kernel {
         "straight_line" => "mix",
         "branchy" => "route",
@@ -173,7 +203,7 @@ fn kernel_tx(kernel: &str) -> TxInput {
 /// One timed chunk of the interpreter A/B: `iters` transactions of the
 /// kernel through `ContractHarness` pinned to one tier. Returns tx/sec.
 fn tier_chunk(kernel: &str, block_lowering: bool, direct_threaded: bool, iters: usize) -> f64 {
-    let compiled = compile_source(&kernel_source(kernel)).expect("kernel should compile");
+    let compiled = kernel_compiled(kernel);
     let config = FuzzerConfig::default()
         .with_block_lowering(block_lowering)
         .with_direct_threaded(direct_threaded);
@@ -329,7 +359,10 @@ fn main() {
             .iter()
             .find(|k| **k == kernel_filter)
             .unwrap_or_else(|| {
-                panic!("unknown --kernel {kernel_filter:?} (expected straight_line|branchy|storage|all)")
+                panic!(
+                    "unknown --kernel {kernel_filter:?} \
+                     (expected straight_line|branchy|storage|ingested|all)"
+                )
             });
         vec![name]
     };
@@ -379,6 +412,7 @@ fn main() {
     // threaded handler chain remove shows up directly here.
     let mut kernel_entries = Vec::new();
     let mut legacy_keys: Option<(f64, f64)> = None;
+    let mut block_tier_rates: Vec<(&str, f64)> = Vec::new();
     for kernel in &kernels {
         let (pre, blk, thr) = kernel_rates(kernel, 12, 5000);
         println!(
@@ -388,6 +422,7 @@ fn main() {
             thr / blk
         );
         kernel_entries.push(kernel_json(kernel, pre, blk, thr));
+        block_tier_rates.push((kernel, thr));
         // The historical top-level keys track the straight-line kernel
         // (falling back to whatever ran when the suite is filtered).
         if *kernel == "straight_line" || legacy_keys.is_none() {
@@ -395,6 +430,29 @@ fn main() {
         }
     }
     let (predecoded, block_lowered) = legacy_keys.expect("at least one kernel runs");
+
+    // Ingestion guardrail: the real-bytecode kernel pays for per-transaction
+    // head/tail ABI encoding on top of dispatch, but its block-tier
+    // throughput must stay within 5% of the storage kernel's — the encoding
+    // layer is not allowed to become the bottleneck of ingested campaigns.
+    let rate_of = |name: &str| {
+        block_tier_rates
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, r)| *r)
+    };
+    if let (Some(storage), Some(ingested)) = (rate_of("storage"), rate_of("ingested")) {
+        println!(
+            "ingested vs storage (block tier): {ingested:.0} vs {storage:.0} tx/sec ({:.2}x)",
+            ingested / storage
+        );
+        assert!(
+            ingested >= 0.95 * storage,
+            "ingested kernel runs at {:.2}x the storage kernel's block-tier \
+             throughput (floor is 0.95x)",
+            ingested / storage
+        );
+    }
 
     // The fleet sweep: three corpus contracts through one CampaignService,
     // sequentially on one pool thread vs concurrently on `workers` threads.

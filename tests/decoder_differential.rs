@@ -95,100 +95,110 @@ fn run_once(
     (result, world)
 }
 
+/// Run the full 4-tier × [`INPUTS_PER_CONTRACT`] bit-identity sweep over one
+/// compiled (or ingested) contract.
+fn sweep_four_tiers(name: &str, compiled: mufuzz_lang::CompiledContract) {
+    let harness =
+        ContractHarness::new(compiled, &FuzzerConfig::default()).expect("contract must deploy");
+
+    // The production cache shape: the deployed runtime blob, pre-decoded
+    // and block-lowered on insert.
+    let runtime = harness.base_world().code(harness.contract_address);
+    let mut cache = ProgramCache::new();
+    cache.insert(
+        Arc::clone(&runtime),
+        Arc::new(DecodedProgram::decode(&runtime)),
+    );
+
+    // One deterministic stream per contract, derived from its name.
+    let seed = name.bytes().fold(0xD1FFu64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    for case in 0..INPUTS_PER_CONTRACT {
+        let calldata = random_calldata(&harness, &mut rng);
+        let sender = harness.senders[rng.gen_range(0..harness.senders.len())];
+        let value = U256::from_u64(rng.gen_range(0..4u64) * 1_000_000_000);
+        let msg = Message::new(sender, harness.contract_address, value, calldata);
+
+        let (block, world_block) = run_once(&harness, &cache, &msg, Tier::Block);
+        let (matched, world_matched) = run_once(&harness, &cache, &msg, Tier::BlockMatch);
+        let (decoded, world_decoded) = run_once(&harness, &cache, &msg, Tier::Predecoded);
+        let (legacy, world_legacy) = run_once(&harness, &cache, &msg, Tier::Legacy);
+
+        // Gas first: with a fixed gas limit, equal `gas_used` is equal
+        // gas remaining — the sharpest signal when block settlement or a
+        // fused arm misbills, so it gets its own assertion.
+        assert_eq!(
+            block.gas_used, matched.gas_used,
+            "{name}: dispatch gas divergence on input #{case}"
+        );
+        assert_eq!(
+            block.gas_used, decoded.gas_used,
+            "{name}: block-lowered gas divergence on input #{case}"
+        );
+        assert_eq!(
+            decoded.gas_used, legacy.gas_used,
+            "{name}: pre-decoded gas divergence on input #{case}"
+        );
+        assert_eq!(
+            block,
+            matched,
+            "{name}: dispatch divergence on input #{case} ({} calldata bytes)",
+            msg.data.len()
+        );
+        assert_eq!(
+            block,
+            decoded,
+            "{name}: block-lowered divergence on input #{case} ({} calldata bytes)",
+            msg.data.len()
+        );
+        assert_eq!(
+            decoded,
+            legacy,
+            "{name}: decoder divergence on input #{case} ({} calldata bytes)",
+            msg.data.len()
+        );
+        assert_eq!(
+            block.trace.branches, legacy.trace.branches,
+            "{name}: branch trace divergence on input #{case}"
+        );
+        assert_eq!(
+            world_block, world_matched,
+            "{name}: dispatch committed state divergence on input #{case}"
+        );
+        assert_eq!(
+            world_block, world_decoded,
+            "{name}: block-lowered committed state divergence on input #{case}"
+        );
+        assert_eq!(
+            world_decoded, world_legacy,
+            "{name}: committed state divergence on input #{case}"
+        );
+    }
+}
+
 #[test]
 fn direct_threaded_pipeline_is_bit_identical_to_all_slower_tiers() {
     for bench in contracts::all_handwritten() {
         let compiled = compile_source(&bench.source).expect("corpus contract must compile");
-        let harness = ContractHarness::new(compiled, &FuzzerConfig::default())
-            .expect("corpus contract must deploy");
-
-        // The production cache shape: the deployed runtime blob, pre-decoded
-        // and block-lowered on insert.
-        let runtime = harness.base_world().code(harness.contract_address);
-        let mut cache = ProgramCache::new();
-        cache.insert(
-            Arc::clone(&runtime),
-            Arc::new(DecodedProgram::decode(&runtime)),
-        );
-
-        // One deterministic stream per contract, derived from its name.
-        let seed = bench.name.bytes().fold(0xD1FFu64, |acc, b| {
-            acc.wrapping_mul(31).wrapping_add(b as u64)
-        });
-        let mut rng = SmallRng::seed_from_u64(seed);
-
-        for case in 0..INPUTS_PER_CONTRACT {
-            let calldata = random_calldata(&harness, &mut rng);
-            let sender = harness.senders[rng.gen_range(0..harness.senders.len())];
-            let value = U256::from_u64(rng.gen_range(0..4u64) * 1_000_000_000);
-            let msg = Message::new(sender, harness.contract_address, value, calldata);
-
-            let (block, world_block) = run_once(&harness, &cache, &msg, Tier::Block);
-            let (matched, world_matched) = run_once(&harness, &cache, &msg, Tier::BlockMatch);
-            let (decoded, world_decoded) = run_once(&harness, &cache, &msg, Tier::Predecoded);
-            let (legacy, world_legacy) = run_once(&harness, &cache, &msg, Tier::Legacy);
-
-            // Gas first: with a fixed gas limit, equal `gas_used` is equal
-            // gas remaining — the sharpest signal when block settlement or a
-            // fused arm misbills, so it gets its own assertion.
-            assert_eq!(
-                block.gas_used, matched.gas_used,
-                "{}: dispatch gas divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                block.gas_used, decoded.gas_used,
-                "{}: block-lowered gas divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                decoded.gas_used, legacy.gas_used,
-                "{}: pre-decoded gas divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                block,
-                matched,
-                "{}: dispatch divergence on input #{case} ({} calldata bytes)",
-                bench.name,
-                msg.data.len()
-            );
-            assert_eq!(
-                block,
-                decoded,
-                "{}: block-lowered divergence on input #{case} ({} calldata bytes)",
-                bench.name,
-                msg.data.len()
-            );
-            assert_eq!(
-                decoded,
-                legacy,
-                "{}: decoder divergence on input #{case} ({} calldata bytes)",
-                bench.name,
-                msg.data.len()
-            );
-            assert_eq!(
-                block.trace.branches, legacy.trace.branches,
-                "{}: branch trace divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                world_block, world_matched,
-                "{}: dispatch committed state divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                world_block, world_decoded,
-                "{}: block-lowered committed state divergence on input #{case}",
-                bench.name
-            );
-            assert_eq!(
-                world_decoded, world_legacy,
-                "{}: committed state divergence on input #{case}",
-                bench.name
-            );
-        }
+        sweep_four_tiers(&bench.name, compiled);
     }
+}
+
+/// An ingested real-bytecode contract (ABI JSON + runtime hex, no
+/// toy-language source) goes through the identical 4-tier × 256-input
+/// sweep: the conformance surface added for arbitrary bytecode must stay
+/// bit-identical across every dispatch tier too.
+#[test]
+fn ingested_real_bytecode_is_bit_identical_across_all_tiers() {
+    let abi_json = std::fs::read_to_string("tests/fixtures/vault_token.abi.json").unwrap();
+    let bytecode_hex = std::fs::read_to_string("tests/fixtures/vault_token.hex").unwrap();
+    let ingested =
+        mufuzz_corpus::ingest("VaultToken", &abi_json, &bytecode_hex).expect("fixture must ingest");
+    assert!(ingested.skipped.is_empty());
+    sweep_four_tiers("VaultToken", ingested.compiled);
 }
 
 /// Whole-sequence equivalence: the harness's production path (block-lowered,
